@@ -1,0 +1,80 @@
+package oblidb
+
+// One testing.B benchmark per table/figure of the paper's evaluation,
+// each delegating to the experiment runner in internal/bench at a small
+// scale so `go test -bench=.` completes in minutes. For figure-shaped
+// reports at 10% or full paper scale, run cmd/oblidb-bench.
+
+import (
+	"io"
+	"testing"
+
+	"oblidb/internal/bench"
+)
+
+// benchScale keeps testing.B iterations tractable; cmd/oblidb-bench
+// defaults to 0.1 and supports -full.
+const benchScale = 0.004
+
+func runFigure(b *testing.B, f func(bench.Options) error) {
+	b.Helper()
+	o := bench.Options{Scale: benchScale, Out: io.Discard, Seed: 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2StorageAsymptotics regenerates Figure 2: operation scaling
+// of the flat, indexed, and combined storage methods.
+func BenchmarkFig2StorageAsymptotics(b *testing.B) { runFigure(b, bench.RunFig2) }
+
+// BenchmarkFig3Operators regenerates Figure 3: one timing per oblivious
+// physical operator.
+func BenchmarkFig3Operators(b *testing.B) { runFigure(b, bench.RunFig3) }
+
+// BenchmarkFig6Generate regenerates Figure 6: the synthetic Big Data
+// Benchmark datasets.
+func BenchmarkFig6Generate(b *testing.B) { runFigure(b, bench.RunFig6) }
+
+// BenchmarkFig7BigDataBenchmark regenerates Figure 7: Q1–Q3 across
+// Opaque, ObliDB without and with indexes, and the plain executor.
+func BenchmarkFig7BigDataBenchmark(b *testing.B) { runFigure(b, bench.RunFig7) }
+
+// BenchmarkFig8ObliviousMemorySweep regenerates Figure 8: Q3 runtime as
+// the oblivious-memory budget varies.
+func BenchmarkFig8ObliviousMemorySweep(b *testing.B) { runFigure(b, bench.RunFig8) }
+
+// BenchmarkFig9PointOpsVsHIRB regenerates Figure 9: point operation
+// latency of HIRB+vORAM, ObliDB's index, and a plain B+ tree.
+func BenchmarkFig9PointOpsVsHIRB(b *testing.B) { runFigure(b, bench.RunFig9) }
+
+// BenchmarkFig10FlatVsIndex regenerates Figure 10: flat vs indexed
+// operators across retrieved fractions, plus mutations.
+func BenchmarkFig10FlatVsIndex(b *testing.B) { runFigure(b, bench.RunFig10) }
+
+// BenchmarkFig11PointQueries regenerates Figure 11: indexed point-query
+// latency against table size.
+func BenchmarkFig11PointQueries(b *testing.B) { runFigure(b, bench.RunFig11) }
+
+// BenchmarkFig12TableTypes regenerates Figure 12: the L1–L5 workload
+// mixes per storage kind.
+func BenchmarkFig12TableTypes(b *testing.B) { runFigure(b, bench.RunFig12) }
+
+// BenchmarkFig13PlannerChoice regenerates Figure 13: every applicable
+// SELECT algorithm against the planner's pick.
+func BenchmarkFig13PlannerChoice(b *testing.B) { runFigure(b, bench.RunFig13) }
+
+// BenchmarkFig14Joins regenerates Figure 14: the join-algorithm grid over
+// table sizes and oblivious-memory budgets.
+func BenchmarkFig14Joins(b *testing.B) { runFigure(b, bench.RunFig14) }
+
+// BenchmarkPaddingMode regenerates the §7.2 padding-mode measurement.
+func BenchmarkPaddingMode(b *testing.B) { runFigure(b, bench.RunPadding) }
+
+// BenchmarkAblations measures DESIGN.md's called-out design choices
+// against their alternatives (recursive ORAM, sort variants, insert
+// variants, bulk loading, journaling).
+func BenchmarkAblations(b *testing.B) { runFigure(b, bench.RunAblations) }

@@ -1,0 +1,125 @@
+// Command oblidb-cli is an interactive SQL shell over the ObliDB engine:
+// a fresh in-enclave database per session, the full oblivious operator
+// set behind every statement.
+//
+//	$ oblidb-cli
+//	oblidb> CREATE TABLE t (id INTEGER, name VARCHAR(16)) INDEX ON id
+//	oblidb> INSERT INTO t VALUES (1, 'alice'), (2, 'bob')
+//	oblidb> SELECT * FROM t WHERE id = 2
+//
+// Flags tune the enclave: -memory sets the oblivious-memory budget, -pad
+// enables padding mode.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"oblidb/internal/core"
+	"oblidb/internal/sql"
+)
+
+func main() {
+	memory := flag.Int("memory", 0, "oblivious memory budget in bytes (0 = paper default 20 MB)")
+	pad := flag.Int("pad", 0, "padding mode: pad intermediate tables to this many rows (0 = off)")
+	showTime := flag.Bool("time", true, "print per-statement execution time")
+	flag.Parse()
+
+	cfg := core.Config{ObliviousMemory: *memory}
+	if *pad > 0 {
+		cfg.Padding = core.PaddingConfig{Enabled: true, PadRows: *pad, PadGroups: *pad}
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oblidb-cli:", err)
+		os.Exit(1)
+	}
+	exec := sql.New(db)
+
+	fmt.Println("ObliDB shell — oblivious query processing (type \\q to quit, \\help for help)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("oblidb> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\help`:
+			printHelp()
+			continue
+		case line == `\tables`:
+			for _, t := range db.Tables() {
+				fmt.Println(" ", t)
+			}
+			continue
+		case line == `\mem`:
+			e := db.Enclave()
+			fmt.Printf("  oblivious memory: %d of %d bytes in use (peak %d)\n",
+				e.Budget()-e.Available(), e.Budget(), e.PeakUsed())
+			continue
+		}
+		start := time.Now()
+		res, err := exec.Execute(line)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+		if *showTime {
+			if res != nil && len(res.Cols) > 0 && res.Cols[0] != "affected" {
+				fmt.Printf("(%s; plan: select=%s join=%s)\n",
+					elapsed.Round(time.Microsecond), db.LastPlan.SelectAlg, db.LastPlan.JoinAlg)
+			} else {
+				fmt.Printf("(%s)\n", elapsed.Round(time.Microsecond))
+			}
+		}
+	}
+}
+
+func printResult(res *core.Result) {
+	if res == nil {
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, " | "))
+	limit := len(res.Rows)
+	const maxShow = 40
+	if limit > maxShow {
+		limit = maxShow
+	}
+	for _, r := range res.Rows[:limit] {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if len(res.Rows) > limit {
+		fmt.Printf("... (%d rows total)\n", len(res.Rows))
+	}
+}
+
+func printHelp() {
+	fmt.Print(`Statements:
+  CREATE TABLE t (col TYPE, ...) [STORAGE = FLAT|INDEXED|BOTH] [INDEX ON col] [CAPACITY = n]
+  INSERT INTO t VALUES (...), (...)
+  SELECT cols|aggregates FROM t [JOIN t2 ON a = b] [WHERE expr] [GROUP BY expr] [FORCE alg]
+  UPDATE t SET col = expr [WHERE expr]
+  DELETE FROM t [WHERE expr]
+  DROP TABLE t
+Types: INTEGER, FLOAT, VARCHAR(n), BOOLEAN, DATE (stored as ISO string)
+Aggregates: COUNT(*), SUM, AVG, MIN, MAX; functions: SUBSTR(s, start, len)
+Meta: \tables, \mem, \q
+`)
+}

@@ -1,0 +1,117 @@
+package oblidb_test
+
+import (
+	"fmt"
+	"log"
+
+	"oblidb"
+	"oblidb/internal/exec"
+	"oblidb/internal/table"
+)
+
+// The canonical path: open a database, create a table stored both ways,
+// and query it with oblivious operators through SQL.
+func Example() {
+	db, err := oblidb.Open(oblidb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustExec := func(q string) *oblidb.Result {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	mustExec(`CREATE TABLE pets (id INTEGER, name VARCHAR(12), grams INTEGER) STORAGE = BOTH INDEX ON id`)
+	mustExec(`INSERT INTO pets VALUES (1, 'hamster', 40), (2, 'cat', 4200), (3, 'dog', 12000)`)
+
+	res := mustExec(`SELECT name FROM pets WHERE id = 2`)
+	fmt.Println(res.Rows[0][0].AsString())
+
+	res = mustExec(`SELECT COUNT(*), MAX(grams) FROM pets WHERE grams > 100`)
+	fmt.Println(res.Rows[0][0].AsInt(), res.Rows[0][1].AsInt())
+	// Output:
+	// cat
+	// 2 12000
+}
+
+// Aggregation through the compositional API: the fused select+aggregate
+// never materializes an intermediate table, so no intermediate size leaks.
+func ExampleDB_Aggregate() {
+	db, err := oblidb.Open(oblidb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := table.MustSchema(
+		table.Column{Name: "reading", Kind: table.KindInt},
+	)
+	if _, err := db.CreateTable("sensor", schema, oblidb.TableOptions{Capacity: 16}); err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range []int64{3, 9, 4, 12, 7} {
+		if err := db.Insert("sensor", table.Row{table.Int(v)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := db.Aggregate("sensor",
+		func(r table.Row) bool { return r[0].AsInt() > 5 },
+		[]oblidb.AggregateSpec{{Kind: oblidb.AggCount}, {Kind: oblidb.AggSum, Column: "reading"}},
+		nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d readings above 5, sum %.0f\n", res.Rows[0][0].AsInt(), res.Rows[0][1].AsFloat())
+	// Output:
+	// 3 readings above 5, sum 28
+}
+
+// Padding mode hides even result sizes, at a cost (§2.3 of the paper).
+func ExampleConfig_padding() {
+	db, err := oblidb.Open(oblidb.Config{
+		Padding: oblidb.PaddingConfig{Enabled: true, PadRows: 64, PadGroups: 16},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t (x INTEGER)`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1), (2), (3), (4)`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT * FROM t WHERE x >= 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The client sees the 2 real rows; the adversary's view is padded to
+	// the configured bound whatever the result size.
+	fmt.Println(len(res.Rows), "rows")
+	// Output:
+	// 2 rows
+}
+
+// Forcing a specific physical operator, as §5 allows ("users can also
+// manually choose to force a particular operator").
+func ExampleSelectOptions_force() {
+	db, err := oblidb.Open(oblidb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t (x INTEGER)`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (10), (20), (30)`); err != nil {
+		log.Fatal(err)
+	}
+	hash := exec.SelectHash
+	res, err := db.Select("t",
+		func(r table.Row) bool { return r[0].AsInt() >= 20 },
+		oblidb.SelectOptions{Force: &hash})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Rows), "rows via", db.LastPlan.SelectAlg)
+	// Output:
+	// 2 rows via Hash
+}

@@ -1,0 +1,84 @@
+// Analytics: the paper's Big Data Benchmark workload (§7.1) at small
+// scale — the three queries that motivate ObliDB's design, run first on a
+// flat table (every operator scans, as Opaque must) and then with an
+// oblivious index (Q1 reads just the matching key range).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"oblidb/internal/bdb"
+	"oblidb/internal/core"
+	"oblidb/internal/exec"
+)
+
+func main() {
+	const scale = 0.02 // 7,200 rankings / 7,000 visits
+	g := bdb.Scaled(scale, 1)
+
+	run := func(kind core.StorageKind, label string) (q1, q2, q3 time.Duration) {
+		db := core.MustOpen(core.Config{})
+		if err := bdb.Load(db, g, bdb.LoadOptions{RankingsKind: kind}); err != nil {
+			log.Fatal(err)
+		}
+		useIndex := kind != core.KindFlat
+
+		start := time.Now()
+		res, err := bdb.Q1(db, useIndex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q1 = time.Since(start)
+		fmt.Printf("%s Q1: %4d pages with pageRank > %d        %10s (select: %s)\n",
+			label, len(res.Rows), bdb.Q1Param, q1.Round(time.Millisecond), db.LastPlan.SelectAlg)
+
+		start = time.Now()
+		res, err = bdb.Q2(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q2 = time.Since(start)
+		fmt.Printf("%s Q2: %4d sourceIP prefixes, revenue summed %9s\n",
+			label, len(res.Rows), q2.Round(time.Millisecond))
+
+		start = time.Now()
+		res, err = bdb.Q3(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q3 = time.Since(start)
+		fmt.Printf("%s Q3: %4d groups from filtered join         %9s (join: %s)\n",
+			label, len(res.Rows), q3.Round(time.Millisecond), db.LastPlan.JoinAlg)
+		return
+	}
+
+	fmt.Printf("Big Data Benchmark at %.0f%% scale (%d rankings, %d visits)\n\n",
+		scale*100, g.Rankings, g.UserVisits)
+	_, _, _ = run(core.KindFlat, "flat   ")
+	fmt.Println()
+	i1, _, _ := run(core.KindBoth, "indexed")
+
+	// The general-purpose scan-based select — what a system restricted to
+	// whole-table operators must run for Q1.
+	scanDB := core.MustOpen(core.Config{})
+	if err := bdb.Load(scanDB, g, bdb.LoadOptions{RankingsKind: core.KindFlat}); err != nil {
+		log.Fatal(err)
+	}
+	hash := exec.SelectHash
+	start := time.Now()
+	if _, err := scanDB.Select("rankings", bdb.Q1Pred, core.SelectOptions{
+		Projection: []string{"pageURL", "pageRank"}, Force: &hash,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	scanQ1 := time.Since(start)
+
+	fmt.Printf("\nscan-only oblivious Q1 (forced Hash):              %9s\n", scanQ1.Round(time.Millisecond))
+	fmt.Printf("Q1 index speedup over the scan-based operator: %.1f× — the gap that grows\n",
+		math.Round(10*float64(scanQ1)/float64(i1))/10)
+	fmt.Println("into Figure 7's 19× over Opaque at full scale: the indexed plan touches only")
+	fmt.Println("the matching key range, while scan-based systems pay for the whole table.")
+}

@@ -1,0 +1,264 @@
+// Package baseline provides the non-secure reference systems the paper
+// compares against: an in-memory relational executor standing in for
+// Spark SQL (Figure 7: "which provides no security guarantees") and a
+// plain B+ tree standing in for MySQL's point-query path (Figure 9). No
+// encryption, no obliviousness — they exist to anchor the cost of
+// security.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"oblidb/internal/table"
+)
+
+// PlainTable is an unprotected in-memory table.
+type PlainTable struct {
+	Schema *table.Schema
+	Rows   []table.Row
+}
+
+// NewPlainTable creates an empty table.
+func NewPlainTable(s *table.Schema) *PlainTable { return &PlainTable{Schema: s} }
+
+// Insert appends rows.
+func (t *PlainTable) Insert(rows ...table.Row) { t.Rows = append(t.Rows, rows...) }
+
+// Select filters rows.
+func (t *PlainTable) Select(pred table.Pred) []table.Row {
+	var out []table.Row
+	for _, r := range t.Rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Aggregate computes COUNT/SUM/MIN/MAX/AVG over a column for matching
+// rows (col < 0 for COUNT only).
+func (t *PlainTable) Aggregate(pred table.Pred, col int) (count int64, sum, avg float64, min, max table.Value) {
+	for _, r := range t.Rows {
+		if !pred(r) {
+			continue
+		}
+		count++
+		if col >= 0 {
+			v := r[col]
+			if v.IsNumeric() {
+				sum += v.AsFloat()
+			}
+			if count == 1 {
+				min, max = v, v
+			} else {
+				if c, _ := table.Compare(v, min); c < 0 {
+					min = v
+				}
+				if c, _ := table.Compare(v, max); c > 0 {
+					max = v
+				}
+			}
+		}
+	}
+	if count > 0 {
+		avg = sum / float64(count)
+	}
+	return
+}
+
+// GroupSum groups matching rows by key and sums a column — the Q2 shape.
+func (t *PlainTable) GroupSum(pred table.Pred, key func(table.Row) string, col int) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range t.Rows {
+		if pred(r) {
+			out[key(r)] += r[col].AsFloat()
+		}
+	}
+	return out
+}
+
+// HashJoin joins two tables on string equality of the given columns,
+// returning concatenated rows — the Q3 shape.
+func HashJoin(left, right *PlainTable, lcol, rcol int) []table.Row {
+	build := make(map[string]table.Row, len(left.Rows))
+	for _, r := range left.Rows {
+		build[r[lcol].String()] = r
+	}
+	var out []table.Row
+	for _, r := range right.Rows {
+		if l, ok := build[r[rcol].String()]; ok {
+			out = append(out, append(append(table.Row{}, l...), r...))
+		}
+	}
+	return out
+}
+
+// PlainBTree is a non-oblivious in-memory B+ tree keyed by int64 — the
+// MySQL stand-in for point-query latency (Figure 9).
+type PlainBTree struct {
+	order    int
+	root     *btNode
+	numEntry int
+}
+
+type btNode struct {
+	leaf     bool
+	keys     []int64
+	vals     [][]byte  // leaf
+	children []*btNode // internal
+	next     *btNode   // leaf chain
+}
+
+// NewPlainBTree creates an empty tree with the given fanout (min 4).
+func NewPlainBTree(order int) *PlainBTree {
+	if order < 4 {
+		order = 4
+	}
+	return &PlainBTree{order: order, root: &btNode{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *PlainBTree) Len() int { return t.numEntry }
+
+// Get fetches the value for key.
+func (t *PlainBTree) Get(key int64) ([]byte, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[upperBound(n.keys, key)]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// Put inserts or replaces key.
+func (t *PlainBTree) Put(key int64, val []byte) {
+	replaced := t.insert(t.root, key, val)
+	if !replaced && len(t.root.keys) >= t.order {
+		left := t.root
+		mid, right := splitBT(left)
+		t.root = &btNode{keys: []int64{mid}, children: []*btNode{left, right}}
+	}
+	if !replaced {
+		t.numEntry++
+	}
+}
+
+func (t *PlainBTree) insert(n *btNode, key int64, val []byte) (replaced bool) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			return true
+		}
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = val
+		return false
+	}
+	ci := upperBound(n.keys, key)
+	replaced = t.insert(n.children[ci], key, val)
+	if !replaced && len(n.children[ci].keys) >= t.order {
+		mid, right := splitBT(n.children[ci])
+		n.keys = append(n.keys, 0)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = mid
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+	}
+	return replaced
+}
+
+// Delete removes key (no rebalancing — the baseline only measures
+// lookup/insert latency; deletions just drop the entry).
+func (t *PlainBTree) Delete(key int64) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[upperBound(n.keys, key)]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		t.numEntry--
+		return true
+	}
+	return false
+}
+
+// Range visits entries with lo <= key <= hi in order.
+func (t *PlainBTree) Range(lo, hi int64, fn func(key int64, val []byte) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[upperBound(n.keys, lo)]
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+func splitBT(n *btNode) (int64, *btNode) {
+	if n.leaf {
+		mid := len(n.keys) / 2
+		right := &btNode{
+			leaf: true,
+			keys: append([]int64(nil), n.keys[mid:]...),
+			vals: append([][]byte(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &btNode{
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]*btNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sep, right
+}
+
+func upperBound(keys []int64, key int64) int {
+	return sort.Search(len(keys), func(i int) bool { return key < keys[i] })
+}
+
+// Validate checks tree ordering invariants (tests).
+func (t *PlainBTree) Validate() error {
+	var prev *int64
+	ok := true
+	t.Range(-1<<63, 1<<63-1, func(k int64, _ []byte) bool {
+		if prev != nil && k <= *prev {
+			ok = false
+			return false
+		}
+		kk := k
+		prev = &kk
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("baseline: keys out of order")
+	}
+	return nil
+}

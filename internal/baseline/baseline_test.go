@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"oblidb/internal/table"
+)
+
+func plainSchema() *table.Schema {
+	return table.MustSchema(
+		table.Column{Name: "k", Kind: table.KindInt},
+		table.Column{Name: "v", Kind: table.KindFloat},
+		table.Column{Name: "tag", Kind: table.KindString, Width: 8},
+	)
+}
+
+func TestPlainTableOps(t *testing.T) {
+	pt := NewPlainTable(plainSchema())
+	for i := int64(0); i < 10; i++ {
+		pt.Insert(table.Row{table.Int(i), table.Float(float64(i)), table.Str("a")})
+	}
+	got := pt.Select(func(r table.Row) bool { return r[0].AsInt() >= 7 })
+	if len(got) != 3 {
+		t.Fatalf("select returned %d", len(got))
+	}
+	count, sum, avg, min, max := pt.Aggregate(table.All, 1)
+	if count != 10 || sum != 45 || avg != 4.5 || min.AsFloat() != 0 || max.AsFloat() != 9 {
+		t.Fatalf("agg = %d %v %v %v %v", count, sum, avg, min, max)
+	}
+	groups := pt.GroupSum(table.All, func(r table.Row) string {
+		if r[0].AsInt()%2 == 0 {
+			return "even"
+		}
+		return "odd"
+	}, 1)
+	if groups["even"] != 20 || groups["odd"] != 25 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	l := NewPlainTable(plainSchema())
+	r := NewPlainTable(plainSchema())
+	for i := int64(0); i < 5; i++ {
+		l.Insert(table.Row{table.Int(i), table.Float(0), table.Str("l")})
+	}
+	for _, k := range []int64{1, 3, 3, 9} {
+		r.Insert(table.Row{table.Int(k), table.Float(0), table.Str("r")})
+	}
+	out := HashJoin(l, r, 0, 0)
+	if len(out) != 3 {
+		t.Fatalf("join returned %d rows, want 3", len(out))
+	}
+}
+
+func TestBTreeBasics(t *testing.T) {
+	bt := NewPlainBTree(8)
+	for i := int64(0); i < 1000; i++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(i))
+		bt.Put(i, b[:])
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		v, ok := bt.Get(i)
+		if !ok || binary.LittleEndian.Uint64(v) != uint64(i) {
+			t.Fatalf("get %d: ok=%v", i, ok)
+		}
+	}
+	if _, ok := bt.Get(5000); ok {
+		t.Fatal("absent key found")
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewPlainBTree(8)
+	for i := int64(0); i < 100; i += 2 {
+		bt.Put(i, nil)
+	}
+	var got []int64
+	bt.Range(10, 20, func(k int64, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v", got)
+		}
+	}
+}
+
+func TestBTreeReplaceAndDelete(t *testing.T) {
+	bt := NewPlainBTree(8)
+	bt.Put(1, []byte{1})
+	bt.Put(1, []byte{2})
+	if bt.Len() != 1 {
+		t.Fatalf("replace changed Len: %d", bt.Len())
+	}
+	v, _ := bt.Get(1)
+	if v[0] != 2 {
+		t.Fatal("replace did not take")
+	}
+	if !bt.Delete(1) || bt.Delete(1) {
+		t.Fatal("delete semantics wrong")
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("Len after delete = %d", bt.Len())
+	}
+}
+
+func TestBTreeRandomized(t *testing.T) {
+	bt := NewPlainBTree(16)
+	model := map[int64][]byte{}
+	rng := rand.New(rand.NewPCG(8, 8))
+	for step := 0; step < 5000; step++ {
+		k := int64(rng.IntN(500))
+		switch rng.IntN(3) {
+		case 0:
+			v := []byte{byte(rng.Uint32())}
+			bt.Put(k, v)
+			model[k] = v
+		case 1:
+			_, want := model[k]
+			if bt.Delete(k) != want {
+				t.Fatalf("step %d: delete(%d) mismatch", step, k)
+			}
+			delete(model, k)
+		default:
+			v, ok := bt.Get(k)
+			want, exists := model[k]
+			if ok != exists || (ok && v[0] != want[0]) {
+				t.Fatalf("step %d: get(%d) mismatch", step, k)
+			}
+		}
+	}
+	if bt.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", bt.Len(), len(model))
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeSortedProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		bt := NewPlainBTree(8)
+		for _, k := range keys {
+			bt.Put(k, nil)
+		}
+		return bt.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package bdb generates the synthetic datasets of the paper's evaluation:
+// the Big Data Benchmark's RANKINGS (360,000 rows) and USERVISITS
+// (350,000 rows) tables of Figure 6, and the CFPB consumer-complaints
+// table (107,000 rows) used for the padding-mode measurement (§7.2).
+//
+// The original AMPLab files are not distributable here, so the generators
+// reproduce the properties the queries actually exercise: Q1's
+// `pageRank > 1000` selects ~1% of RANKINGS; Q2 groups USERVISITS by an
+// 8-character sourceIP prefix into a bounded group set; Q3's date filter
+// keeps a small fraction of visits, and destURL is a foreign key into
+// RANKINGS.pageURL.
+package bdb
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"oblidb/internal/core"
+	"oblidb/internal/table"
+)
+
+// Paper-scale row counts (Figure 6).
+const (
+	PaperRankings   = 360000
+	PaperUserVisits = 350000
+	PaperCFPB       = 107000
+)
+
+// Gen configures dataset generation. Zero counts mean paper scale.
+type Gen struct {
+	Rankings   int
+	UserVisits int
+	Seed       uint64
+}
+
+// Scaled returns a Gen at the given fraction of paper scale.
+func Scaled(fraction float64, seed uint64) Gen {
+	return Gen{
+		Rankings:   int(float64(PaperRankings) * fraction),
+		UserVisits: int(float64(PaperUserVisits) * fraction),
+		Seed:       seed,
+	}
+}
+
+func (g Gen) rankings() int {
+	if g.Rankings <= 0 {
+		return PaperRankings
+	}
+	return g.Rankings
+}
+
+func (g Gen) userVisits() int {
+	if g.UserVisits <= 0 {
+		return PaperUserVisits
+	}
+	return g.UserVisits
+}
+
+// RankingsSchema is (pageURL, pageRank, avgDuration).
+func RankingsSchema() *table.Schema {
+	return table.MustSchema(
+		table.Column{Name: "pageURL", Kind: table.KindString, Width: 24},
+		table.Column{Name: "pageRank", Kind: table.KindInt},
+		table.Column{Name: "avgDuration", Kind: table.KindInt},
+	)
+}
+
+// UserVisitsSchema is (sourceIP, destURL, visitDate, adRevenue).
+func UserVisitsSchema() *table.Schema {
+	return table.MustSchema(
+		table.Column{Name: "sourceIP", Kind: table.KindString, Width: 15},
+		table.Column{Name: "destURL", Kind: table.KindString, Width: 24},
+		table.Column{Name: "visitDate", Kind: table.KindString, Width: 10},
+		table.Column{Name: "adRevenue", Kind: table.KindFloat},
+	)
+}
+
+// Q1Param is the pageRank threshold the paper uses for Query 1.
+const Q1Param = 1000
+
+// Q2Param is the SUBSTR prefix length for Query 2.
+const Q2Param = 8
+
+// Q3DateLo and Q3DateHi bound Query 3's visitDate filter (param
+// 1980-04-01, as in the paper).
+const (
+	Q3DateLo = "1980-01-01"
+	Q3DateHi = "1980-04-01"
+)
+
+// GenRankings produces the RANKINGS rows. pageRank exceeds Q1Param for
+// ~1.2% of rows, reproducing Q1's low selectivity.
+func (g Gen) GenRankings() []table.Row {
+	n := g.rankings()
+	rng := rand.New(rand.NewPCG(g.Seed, 0xA11CE))
+	rows := make([]table.Row, n)
+	for i := 0; i < n; i++ {
+		rank := 1 + rng.Int64N(Q1Param)
+		if rng.Float64() < 0.012 {
+			rank = Q1Param + 1 + rng.Int64N(9*Q1Param)
+		}
+		rows[i] = table.Row{
+			table.Str(pageURL(i)),
+			table.Int(rank),
+			table.Int(1 + rng.Int64N(300)),
+		}
+	}
+	return rows
+}
+
+// GenUserVisits produces the USERVISITS rows. destURL references
+// RANKINGS.pageURL; visitDate spans 1970–2010 uniformly so the Q3 filter
+// keeps ~0.6%; sourceIPs come from a pool giving ~1000 distinct
+// 8-character prefixes at paper scale.
+func (g Gen) GenUserVisits() []table.Row {
+	n := g.userVisits()
+	nr := g.rankings()
+	rng := rand.New(rand.NewPCG(g.Seed, 0xB0B))
+	prefixes := 1000
+	if n < 100000 {
+		prefixes = max(20, n/100)
+	}
+	rows := make([]table.Row, n)
+	for i := 0; i < n; i++ {
+		p := rng.IntN(prefixes)
+		ip := fmt.Sprintf("%3d.%3d.%d.%d", 100+p/256, p%256, rng.IntN(256), rng.IntN(256))
+		rows[i] = table.Row{
+			table.Str(ip),
+			table.Str(pageURL(rng.IntN(nr))),
+			table.Str(randomDate(rng)),
+			table.Float(float64(rng.IntN(100000)) / 100),
+		}
+	}
+	return rows
+}
+
+func pageURL(i int) string { return fmt.Sprintf("http://url%09d.com", i) }
+
+func randomDate(rng *rand.Rand) string {
+	year := 1970 + rng.IntN(41)
+	month := 1 + rng.IntN(12)
+	day := 1 + rng.IntN(28)
+	return fmt.Sprintf("%04d-%02d-%02d", year, month, day)
+}
+
+// LoadOptions configures table loading.
+type LoadOptions struct {
+	// RankingsKind selects the storage for RANKINGS (Q1 benefits from an
+	// index on pageRank).
+	RankingsKind core.StorageKind
+	// UserVisitsKind selects the storage for USERVISITS.
+	UserVisitsKind core.StorageKind
+}
+
+// Load creates and bulk-loads the two BDB tables into a database.
+func Load(db *core.DB, g Gen, opts LoadOptions) error {
+	rankRows := g.GenRankings()
+	visitRows := g.GenUserVisits()
+	keyCol := ""
+	if opts.RankingsKind != core.KindFlat {
+		keyCol = "pageRank"
+	}
+	if _, err := db.CreateTable("rankings", RankingsSchema(), core.TableOptions{
+		Kind: opts.RankingsKind, KeyColumn: keyCol, Capacity: len(rankRows) + 8,
+	}); err != nil {
+		return err
+	}
+	if err := db.BulkLoad("rankings", rankRows); err != nil {
+		return err
+	}
+	if _, err := db.CreateTable("uservisits", UserVisitsSchema(), core.TableOptions{
+		Kind: core.KindFlat, Capacity: len(visitRows) + 8,
+	}); err != nil {
+		return err
+	}
+	return db.BulkLoad("uservisits", visitRows)
+}
+
+// CFPBSchema is the consumer-complaints table: (id, product, state,
+// submitted, timely).
+func CFPBSchema() *table.Schema {
+	return table.MustSchema(
+		table.Column{Name: "id", Kind: table.KindInt},
+		table.Column{Name: "product", Kind: table.KindString, Width: 20},
+		table.Column{Name: "state", Kind: table.KindString, Width: 2},
+		table.Column{Name: "submitted", Kind: table.KindString, Width: 10},
+		table.Column{Name: "timely", Kind: table.KindBool},
+	)
+}
+
+var cfpbProducts = []string{
+	"Mortgage", "Debt collection", "Credit reporting", "Credit card",
+	"Bank account", "Student loan", "Consumer loan", "Payday loan",
+	"Money transfers", "Prepaid card",
+}
+
+var cfpbStates = []string{
+	"CA", "TX", "NY", "FL", "IL", "PA", "OH", "GA", "NC", "MI",
+	"NJ", "VA", "WA", "AZ", "MA", "TN", "IN", "MO", "MD", "WI",
+}
+
+// GenCFPB produces n synthetic complaint rows (n <= 0 means the paper's
+// 107,000).
+func GenCFPB(n int, seed uint64) []table.Row {
+	if n <= 0 {
+		n = PaperCFPB
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xCF9B))
+	rows := make([]table.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = table.Row{
+			table.Int(int64(i)),
+			table.Str(cfpbProducts[rng.IntN(len(cfpbProducts))]),
+			table.Str(cfpbStates[rng.IntN(len(cfpbStates))]),
+			table.Str(randomDate(rng)),
+			table.Bool(rng.IntN(100) < 97),
+		}
+	}
+	return rows
+}

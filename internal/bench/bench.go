@@ -1,0 +1,169 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7). Each RunFigN function reproduces one figure's
+// experiment and prints rows in the figure's shape; cmd/oblidb-bench and
+// the repository-root benchmarks drive them.
+//
+// Absolute numbers differ from the paper's (this substrate is a simulated
+// enclave, not an SGX testbed); the reproduction target is the shape —
+// who wins, by roughly what factor, and where crossovers fall. Default
+// sizes are 10% of paper scale; Options.Scale = 1 restores it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Options configures experiment runs.
+type Options struct {
+	// Scale is the fraction of paper-scale data (default 0.1).
+	Scale float64
+	// Out receives the report (default: discard-unsafe; callers set it).
+	Out io.Writer
+	// Seed makes data generation reproducible.
+	Seed uint64
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 0.1
+	}
+	return o.Scale
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 20190919 // the paper's arXiv v6 date
+	}
+	return o.Seed
+}
+
+// n scales a paper-scale count, with a small floor so tiny scales stay
+// meaningful.
+func (o Options) n(paperCount int) int {
+	v := int(float64(paperCount) * o.scale())
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+func (o Options) printf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// timed runs f once and returns the wall time.
+func timed(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// timedN runs f n times and returns the mean duration.
+func timedN(n int, f func() error) (time.Duration, error) {
+	if n < 1 {
+		n = 1
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// tablePrinter renders aligned rows.
+type tablePrinter struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *tablePrinter {
+	return &tablePrinter{header: header}
+}
+
+func (t *tablePrinter) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tablePrinter) addf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case time.Duration:
+			row[i] = fmtDur(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.add(row...)
+}
+
+func (t *tablePrinter) render(w io.Writer) {
+	if w == nil {
+		return
+	}
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+}
+
+// ratio renders a/b as "N.N×".
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f×", float64(a)/float64(b))
+}

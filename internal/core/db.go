@@ -1,0 +1,564 @@
+// Package core is the ObliDB engine: tables stored by the flat and/or
+// indexed methods (§3), the oblivious operators of §4 dispatched through
+// the query planner of §5, integrity checking throughout, and the padding
+// mode of §7.2. It is the paper's primary contribution assembled into a
+// database; the oblidb root package re-exports it as the public API.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/exec"
+	"oblidb/internal/obtree"
+	"oblidb/internal/planner"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+	"oblidb/internal/trace"
+	"oblidb/internal/wal"
+)
+
+// StorageKind selects a table's storage method(s) (§3): flat, indexed, or
+// both — "each table can be stored using one or both methods, similarly to
+// how administrators can decide to create indexes in traditional
+// databases".
+type StorageKind int
+
+const (
+	// KindFlat stores the table as contiguous sealed blocks, always
+	// scanned in full.
+	KindFlat StorageKind = iota
+	// KindIndexed stores the table in an oblivious B+ tree over ORAM.
+	KindIndexed
+	// KindBoth maintains both representations, paying double on writes to
+	// serve both point and analytic reads well (§3.3).
+	KindBoth
+)
+
+// String names the storage kind.
+func (k StorageKind) String() string {
+	switch k {
+	case KindFlat:
+		return "flat"
+	case KindIndexed:
+		return "indexed"
+	case KindBoth:
+		return "both"
+	}
+	return fmt.Sprintf("StorageKind(%d)", int(k))
+}
+
+// PaddingConfig enables the paper's padding mode: "all intermediate
+// results are padded to a chosen size and query optimization is not
+// applied" (§2.3).
+type PaddingConfig struct {
+	// Enabled turns padding mode on.
+	Enabled bool
+	// PadRows is the size every intermediate and result table is padded
+	// to.
+	PadRows int
+	// PadGroups is the group count grouped aggregation pads to (the
+	// "maximum supported number of groups", §7.2).
+	PadGroups int
+}
+
+// Config configures a database.
+type Config struct {
+	// ObliviousMemory is the enclave's oblivious memory budget in bytes
+	// (default: the paper's 20 MB).
+	ObliviousMemory int
+	// Tracer observes all untrusted accesses (tests).
+	Tracer *trace.Tracer
+	// Key is the AES-256 data key (random if nil).
+	Key []byte
+	// Seed seeds enclave randomness (derived from key if zero).
+	Seed uint64
+	// Planner tunes operator choice; Planner.DisableContinuous removes
+	// the Continuous algorithm's contiguity leakage.
+	Planner planner.Config
+	// Padding configures padding mode.
+	Padding PaddingConfig
+}
+
+// DB is an ObliDB database: an enclave plus its tables.
+type DB struct {
+	enc    *enclave.Enclave
+	cfg    Config
+	tables map[string]*Table
+	tmpSeq int
+	// wal, when attached, journals every mutation before it executes;
+	// recovering suppresses re-logging during replay.
+	wal        *wal.Log
+	recovering bool
+	// LastPlan records the most recent planner decisions, exposed for the
+	// planner-effectiveness experiments (Figure 13/14).
+	LastPlan PlanInfo
+}
+
+// PlanInfo reports which physical operators the planner chose — exactly
+// the information the paper concedes a query plan leaks (§2.3).
+type PlanInfo struct {
+	SelectAlg exec.SelectAlgorithm
+	JoinAlg   exec.JoinAlgorithm
+	UsedIndex bool
+	Stats     planner.SelectStats
+}
+
+// Open creates a database inside a fresh simulated enclave.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Padding.Enabled && cfg.Padding.PadRows <= 0 {
+		return nil, fmt.Errorf("core: padding mode needs a positive PadRows")
+	}
+	enc, err := enclave.New(enclave.Config{
+		ObliviousMemory: cfg.ObliviousMemory,
+		Tracer:          cfg.Tracer,
+		Key:             cfg.Key,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{enc: enc, cfg: cfg, tables: make(map[string]*Table)}, nil
+}
+
+// MustOpen is Open for tests and examples with known-good configs.
+func MustOpen(cfg Config) *DB {
+	db, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Enclave exposes the underlying enclave (budget accounting, tracing).
+func (db *DB) Enclave() *enclave.Enclave { return db.enc }
+
+// Table is one named table with its storage representations.
+type Table struct {
+	name    string
+	schema  *table.Schema
+	kind    StorageKind
+	flat    *storage.Flat
+	index   *obtree.Tree
+	keyCol  int  // indexed column; -1 if none
+	oblivIn bool // inserts scan obliviously rather than appending
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *table.Schema { return t.schema }
+
+// Kind returns the storage method(s).
+func (t *Table) Kind() StorageKind { return t.kind }
+
+// NumRows returns the live row count (trusted metadata; its value is
+// public, like all table sizes).
+func (t *Table) NumRows() int {
+	if t.flat != nil {
+		return t.flat.NumRows()
+	}
+	return t.index.NumRows()
+}
+
+// Flat exposes the flat representation (nil for indexed-only tables).
+func (t *Table) Flat() *storage.Flat { return t.flat }
+
+// Index exposes the oblivious B+ tree (nil for flat-only tables).
+func (t *Table) Index() *obtree.Tree { return t.index }
+
+// KeyColumn returns the indexed column index, or -1.
+func (t *Table) KeyColumn() int { return t.keyCol }
+
+// TableOptions configures table creation.
+type TableOptions struct {
+	// Kind selects the storage method(s). Default KindFlat.
+	Kind StorageKind
+	// KeyColumn names the indexed column (required for KindIndexed and
+	// KindBoth; must be an INTEGER column).
+	KeyColumn string
+	// Capacity is the maximum row count (default 1024). Flat tables grow
+	// by copying when full; indexes are fixed at creation.
+	Capacity int
+	// ObliviousInserts makes flat inserts scan the whole table instead of
+	// using the constant-time append variant (§3.1).
+	ObliviousInserts bool
+	// RecursiveORAM uses the recursive position map for the index
+	// (Appendix B), shrinking oblivious memory use ~2× slower.
+	RecursiveORAM bool
+}
+
+// CreateTable creates a table.
+func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) (*Table, error) {
+	lname := strings.ToLower(name)
+	if _, exists := db.tables[lname]; exists {
+		return nil, fmt.Errorf("core: table %q already exists", name)
+	}
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	t := &Table{name: name, schema: schema, kind: opts.Kind, keyCol: -1, oblivIn: opts.ObliviousInserts}
+	if opts.Kind == KindFlat || opts.Kind == KindBoth {
+		f, err := storage.NewFlat(db.enc, name+".flat", schema, capacity)
+		if err != nil {
+			return nil, err
+		}
+		t.flat = f
+	}
+	if opts.Kind == KindIndexed || opts.Kind == KindBoth {
+		if opts.KeyColumn == "" {
+			return nil, fmt.Errorf("core: %s table %q needs a key column", opts.Kind, name)
+		}
+		col := schema.ColIndex(opts.KeyColumn)
+		if col < 0 {
+			return nil, fmt.Errorf("core: key column %q not in schema", opts.KeyColumn)
+		}
+		idx, err := obtree.New(db.enc, name+".index", schema, col, capacity, obtree.Options{RecursiveORAM: opts.RecursiveORAM})
+		if err != nil {
+			return nil, err
+		}
+		t.index = idx
+		t.keyCol = col
+	}
+	if db.wal != nil {
+		// The journal's entry size is fixed at its first append, so all
+		// logged tables must exist before mutations begin.
+		if err := db.wal.Register(name, schema); err != nil {
+			return nil, err
+		}
+	}
+	db.tables[lname] = t
+	return t, nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", name)
+	}
+	return t, nil
+}
+
+// Tables lists table names.
+func (db *DB) Tables() []string {
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.name)
+	}
+	return out
+}
+
+// DropTable removes a table, releasing index resources.
+func (db *DB) DropTable(name string) error {
+	lname := strings.ToLower(name)
+	t, ok := db.tables[lname]
+	if !ok {
+		return fmt.Errorf("core: no table %q", name)
+	}
+	if t.index != nil {
+		t.index.Close()
+	}
+	delete(db.tables, lname)
+	return nil
+}
+
+// Insert adds rows to a table, writing to every storage representation it
+// keeps (§3.3: "Using both storage methods ... incurring the cost of both
+// for insertions").
+func (db *DB) Insert(name string, rows ...table.Row) error {
+	t, err := db.Table(name)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := t.schema.ValidateRow(r); err != nil {
+			return err
+		}
+		if err := db.logMutation(wal.OpInsert, t.name, r); err != nil {
+			return err
+		}
+		if t.flat != nil {
+			if err := db.insertFlat(t, r); err != nil {
+				return err
+			}
+		}
+		if t.index != nil {
+			if err := t.index.Insert(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectMatching reads the pre-images of rows matching full, for
+// write-ahead logging. One read pass over the table's cheapest
+// representation.
+func (db *DB) collectMatching(t *Table, full table.Pred) ([]table.Row, error) {
+	var out []table.Row
+	if t.flat != nil {
+		err := t.flat.Scan(func(_ int, r table.Row, used bool) error {
+			if used && full(r) {
+				out = append(out, r.Clone())
+			}
+			return nil
+		})
+		return out, err
+	}
+	err := t.index.ScanRaw(func(r table.Row) error {
+		if full(r) {
+			out = append(out, r.Clone())
+		}
+		return nil
+	})
+	return out, err
+}
+
+func (db *DB) insertFlat(t *Table, r table.Row) error {
+	insert := t.flat.InsertFast
+	if t.oblivIn {
+		insert = t.flat.Insert
+	}
+	err := insert(r)
+	if err == nil {
+		return nil
+	}
+	if !strings.Contains(err.Error(), "is full") {
+		return err
+	}
+	// Grow by copying to a larger table (§3: capacity "can be increased
+	// later by copying to a new, larger table"). The growth is public —
+	// table sizes always are.
+	bigger, gerr := t.flat.Expand(t.name+".flat", 2*t.flat.Capacity())
+	if gerr != nil {
+		return gerr
+	}
+	t.flat = bigger
+	if t.oblivIn {
+		return t.flat.Insert(r)
+	}
+	return t.flat.InsertFast(r)
+}
+
+// BulkLoad fills an empty table with rows: constant-time appends into the
+// flat representation and a bottom-up build of the index. Used for
+// initial loads, where only the row count leaks.
+func (db *DB) BulkLoad(name string, rows []table.Row) error {
+	t, err := db.Table(name)
+	if err != nil {
+		return err
+	}
+	if t.NumRows() != 0 {
+		return fmt.Errorf("core: BulkLoad requires an empty table, %q has %d rows", name, t.NumRows())
+	}
+	if t.flat != nil {
+		for t.flat.Capacity() < len(rows) {
+			bigger, err := t.flat.Expand(t.name+".flat", 2*t.flat.Capacity())
+			if err != nil {
+				return err
+			}
+			t.flat = bigger
+		}
+		for _, r := range rows {
+			if err := t.flat.InsertFast(r); err != nil {
+				return err
+			}
+		}
+	}
+	if t.index != nil {
+		if err := t.index.BulkLoad(rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the rows matching pred, optionally narrowed by a key
+// range on the indexed column. It returns the count removed — already
+// public as the change in table size.
+func (db *DB) Delete(name string, pred table.Pred, key *KeyRange) (int, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return 0, err
+	}
+	if pred == nil {
+		pred = table.All
+	}
+	full := combinePred(t, pred, key)
+
+	if db.wal != nil && !db.recovering {
+		pre, err := db.collectMatching(t, full)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range pre {
+			if err := db.logMutation(wal.OpDelete, t.name, r); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Indexed representation: find victim keys (by range when given,
+	// otherwise by a linear raw scan), then run padded deletes.
+	var victims []int64
+	if t.index != nil {
+		if key != nil {
+			_, err = t.index.RangeScan(key.Lo, key.Hi, func(r table.Row) error {
+				if pred(r) {
+					victims = append(victims, r[t.keyCol].AsInt())
+				}
+				return nil
+			})
+		} else {
+			err = t.index.ScanRaw(func(r table.Row) error {
+				if full(r) {
+					victims = append(victims, r[t.keyCol].AsInt())
+				}
+				return nil
+			})
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	n := 0
+	if t.flat != nil {
+		if n, err = t.flat.Delete(full); err != nil {
+			return n, err
+		}
+	}
+	if t.index != nil {
+		deleted := 0
+		for _, k := range victims {
+			ok, err := t.index.Delete(k)
+			if err != nil {
+				return deleted, err
+			}
+			if ok {
+				deleted++
+			}
+		}
+		if t.flat == nil {
+			n = deleted
+		}
+	}
+	return n, nil
+}
+
+// Update rewrites rows matching pred with upd, optionally narrowed by a
+// key range. Key-column changes are handled as delete+insert on indexes.
+func (db *DB) Update(name string, pred table.Pred, upd table.Updater, key *KeyRange) (int, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return 0, err
+	}
+	if pred == nil {
+		pred = table.All
+	}
+	full := combinePred(t, pred, key)
+
+	if db.wal != nil && !db.recovering {
+		pre, err := db.collectMatching(t, full)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range pre {
+			if err := db.logMutation(wal.OpDelete, t.name, r); err != nil {
+				return 0, err
+			}
+			post := upd(r.Clone())
+			if err := t.schema.ValidateRow(post); err != nil {
+				return 0, err
+			}
+			if err := db.logMutation(wal.OpUpdate, t.name, post); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	var before []table.Row
+	if t.index != nil {
+		collect := func(r table.Row) error {
+			if full(r) {
+				before = append(before, r.Clone())
+			}
+			return nil
+		}
+		if key != nil {
+			_, err = t.index.RangeScan(key.Lo, key.Hi, func(r table.Row) error {
+				if pred(r) {
+					before = append(before, r.Clone())
+				}
+				return nil
+			})
+		} else {
+			err = t.index.ScanRaw(collect)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	n := 0
+	if t.flat != nil {
+		if n, err = t.flat.Update(full, upd); err != nil {
+			return n, err
+		}
+	}
+	if t.index != nil {
+		for _, old := range before {
+			newRow := upd(old.Clone())
+			if err := t.schema.ValidateRow(newRow); err != nil {
+				return n, err
+			}
+			if _, err := t.index.Delete(old[t.keyCol].AsInt()); err != nil {
+				return n, err
+			}
+			if err := t.index.Insert(newRow); err != nil {
+				return n, err
+			}
+		}
+		if t.flat == nil {
+			n = len(before)
+		}
+	}
+	return n, nil
+}
+
+// KeyRange is an inclusive range on a table's indexed column.
+type KeyRange struct {
+	Lo, Hi int64
+}
+
+// Point returns a single-key range.
+func Point(k int64) *KeyRange { return &KeyRange{Lo: k, Hi: k} }
+
+// combinePred folds the key range into the predicate for representations
+// that scan.
+func combinePred(t *Table, pred table.Pred, key *KeyRange) table.Pred {
+	if key == nil {
+		return pred
+	}
+	kc := t.keyCol
+	if kc < 0 {
+		// Flat-only table: the "key range" narrows on the named column of
+		// the schema only when an index exists; without one callers fold
+		// ranges into pred themselves.
+		return pred
+	}
+	return func(r table.Row) bool {
+		k := r[kc].AsInt()
+		return k >= key.Lo && k <= key.Hi && pred(r)
+	}
+}
+
+// tmpName generates a unique name for intermediate tables.
+func (db *DB) tmpName(op string) string {
+	db.tmpSeq++
+	return fmt.Sprintf("tmp%d.%s", db.tmpSeq, op)
+}

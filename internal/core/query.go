@@ -1,0 +1,415 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"oblidb/internal/exec"
+	"oblidb/internal/planner"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+)
+
+// Result is a materialized query result, decrypted inside the enclave for
+// delivery to the client (who talks to the enclave over a secure channel;
+// result contents are outside the adversary's view, their size is not).
+type Result struct {
+	Cols []string
+	Rows []table.Row
+}
+
+// SelectOptions configures a selection query.
+type SelectOptions struct {
+	// KeyRange restricts the query via the table's index when one exists:
+	// "the linear scan begins inside an ORAM at a point specified by an
+	// index lookup" (§4.1).
+	KeyRange *KeyRange
+	// Projection lists output columns (nil means all).
+	Projection []string
+	// Force overrides the planner's algorithm choice ("users can also
+	// manually choose to force a particular operator", §5).
+	Force *exec.SelectAlgorithm
+}
+
+// Select runs an oblivious selection and materializes the result.
+func (db *DB) Select(name string, pred table.Pred, opts SelectOptions) (*Result, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := db.SelectTable(t, pred, opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.Collect(tmp)
+}
+
+// SelectTable runs an oblivious selection into an intermediate table for
+// further composition. The planner's stats scan supplies |R| and
+// contiguity; padding mode skips planning and pads the output (§2.3).
+func (db *DB) SelectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table, error) {
+	if pred == nil {
+		pred = table.All
+	}
+	in, release, err := db.inputFor(t, opts.KeyRange, pred)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	projSchema, transform, err := db.projection(t.schema, opts.Projection)
+	if err != nil {
+		return nil, err
+	}
+	recSize := projSchema.RecordSize()
+
+	execOpts := exec.SelectOptions{Transform: transform, OutSchema: projSchema}
+	var alg exec.SelectAlgorithm
+	if db.cfg.Padding.Enabled {
+		// Padding mode: no planning, fixed general-purpose operator,
+		// output padded to the configured bound.
+		st, err := planner.ScanStats(in, pred)
+		if err != nil {
+			return nil, err
+		}
+		if st.Matching > db.cfg.Padding.PadRows {
+			return nil, fmt.Errorf("core: %d matching rows exceed the padding bound %d", st.Matching, db.cfg.Padding.PadRows)
+		}
+		execOpts.OutSize = db.cfg.Padding.PadRows
+		alg = exec.SelectHash
+		db.LastPlan = PlanInfo{SelectAlg: alg, Stats: st}
+		// The Hash operator places st.Matching real rows among the padded
+		// structure; pred gates real writes, the pad hides |R|.
+		out, err := db.runSelect(in, pred, alg, execOpts, st.Matching)
+		if err != nil {
+			return nil, err
+		}
+		return db.wrapTemp(out), nil
+	}
+
+	st, err := planner.ScanStats(in, pred)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Force != nil {
+		alg = *opts.Force
+	} else {
+		alg = planner.ChooseSelect(db.enc, recSize, st, db.cfg.Planner)
+	}
+	db.LastPlan = PlanInfo{SelectAlg: alg, Stats: st, UsedIndex: opts.KeyRange != nil && t.index != nil}
+	execOpts.OutSize = st.Matching
+	execOpts.ContinuousStart = st.Start
+	out, err := db.runSelect(in, pred, alg, execOpts, st.Matching)
+	if err != nil {
+		return nil, err
+	}
+	return db.wrapTemp(out), nil
+}
+
+// runSelect invokes the operator, retrying hash overflow with fresh salts
+// (the Azar-bound failure case, §4.1).
+func (db *DB) runSelect(in exec.Input, pred table.Pred, alg exec.SelectAlgorithm, opts exec.SelectOptions, matching int) (*storage.Flat, error) {
+	name := db.tmpName("select")
+	for attempt := 0; ; attempt++ {
+		opts.Salt = uint64(attempt)
+		out, err := exec.Select(db.enc, in, pred, alg, opts, name)
+		if err == nil {
+			return out, nil
+		}
+		if !errors.Is(err, exec.ErrHashOverflow) || attempt >= 4 {
+			return nil, err
+		}
+	}
+}
+
+// AggregateSpec is one aggregate over a named column (empty for COUNT).
+type AggregateSpec struct {
+	Kind   exec.AggKind
+	Column string
+}
+
+func (db *DB) resolveSpecs(s *table.Schema, specs []AggregateSpec) ([]exec.AggSpec, []string, error) {
+	out := make([]exec.AggSpec, len(specs))
+	names := make([]string, len(specs))
+	for i, a := range specs {
+		col := -1
+		if a.Kind != exec.AggCount {
+			col = s.ColIndex(a.Column)
+			if col < 0 {
+				return nil, nil, fmt.Errorf("core: no column %q to aggregate", a.Column)
+			}
+			names[i] = fmt.Sprintf("%s(%s)", a.Kind, s.Col(col).Name)
+		} else {
+			names[i] = "COUNT(*)"
+		}
+		out[i] = exec.AggSpec{Kind: a.Kind, Col: col}
+	}
+	return out, names, nil
+}
+
+// Aggregate computes aggregates over rows matching pred in one fused
+// select+aggregate pass — no intermediate table, no intermediate leakage
+// (§4.2).
+func (db *DB) Aggregate(name string, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return db.AggregateTable(t, pred, specs, key)
+}
+
+// AggregateTable is Aggregate over a table handle.
+func (db *DB) AggregateTable(t *Table, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
+	if pred == nil {
+		pred = table.All
+	}
+	in, release, err := db.inputFor(t, key, pred)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	es, names, err := db.resolveSpecs(t.schema, specs)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := exec.Aggregate(in, pred, es)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: names, Rows: []table.Row{table.Row(vals)}}, nil
+}
+
+// GroupKey derives the grouping value from a row inside the enclave.
+type GroupKey = exec.GroupBy
+
+// GroupAggregate runs grouped aggregation (hash bucketing, §4.2),
+// returning one row [group, aggregates...] per group.
+func (db *DB) GroupAggregate(name string, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Result, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := db.GroupAggregateTable(t, pred, groupBy, specs, key)
+	if err != nil {
+		return nil, err
+	}
+	return db.Collect(tmp)
+}
+
+// GroupAggregateTable is GroupAggregate into an intermediate table.
+func (db *DB) GroupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Table, error) {
+	if pred == nil {
+		pred = table.All
+	}
+	in, release, err := db.inputFor(t, key, pred)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	es, _, err := db.resolveSpecs(t.schema, specs)
+	if err != nil {
+		return nil, err
+	}
+	gopts := exec.GroupAggregateOptions{}
+	if db.cfg.Padding.Enabled {
+		gopts.PadGroups = db.cfg.Padding.PadGroups
+	}
+	out, err := exec.GroupAggregate(db.enc, in, pred, groupBy, es, gopts, db.tmpName("group"))
+	if err != nil {
+		return nil, err
+	}
+	return db.wrapTemp(out), nil
+}
+
+// JoinOptions configures a join query.
+type JoinOptions struct {
+	// FilterLeft/FilterRight pre-filter each side obliviously before the
+	// join (composed as in the §4.1 example of chained operators).
+	FilterLeft, FilterRight table.Pred
+	// Force overrides the planner's join choice.
+	Force *exec.JoinAlgorithm
+}
+
+// Join joins left and right on leftCol = rightCol. left is the primary
+// (unique-key) side for the foreign-key sort-merge joins (§4.3).
+func (db *DB) Join(left, right, leftCol, rightCol string, opts JoinOptions) (*Result, error) {
+	tmp, err := db.JoinTable(left, right, leftCol, rightCol, opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.Collect(tmp)
+}
+
+// JoinTable is Join into an intermediate table for further composition.
+func (db *DB) JoinTable(left, right, leftCol, rightCol string, opts JoinOptions) (*Table, error) {
+	lt, err := db.Table(left)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := db.Table(right)
+	if err != nil {
+		return nil, err
+	}
+	lcol := lt.schema.ColIndex(leftCol)
+	rcol := rt.schema.ColIndex(rightCol)
+	if lcol < 0 || rcol < 0 {
+		return nil, fmt.Errorf("core: join columns %q/%q not found", leftCol, rightCol)
+	}
+
+	lTab, rTab := lt, rt
+	if opts.FilterLeft != nil {
+		if lTab, err = db.SelectTable(lt, opts.FilterLeft, SelectOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	if opts.FilterRight != nil {
+		if rTab, err = db.SelectTable(rt, opts.FilterRight, SelectOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	lin, lrel, err := db.inputFor(lTab, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer lrel()
+	rin, rrel, err := db.inputFor(rTab, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer rrel()
+
+	outSchema, err := exec.JoinedSchema(lTab.schema, rTab.schema)
+	if err != nil {
+		return nil, err
+	}
+	var alg exec.JoinAlgorithm
+	if opts.Force != nil {
+		alg = *opts.Force
+	} else {
+		alg = planner.ChooseJoin(db.enc, planner.JoinSizes{
+			T1Blocks:      lin.Blocks(),
+			T2Blocks:      rin.Blocks(),
+			BuildRecSize:  lTab.schema.RecordSize(),
+			SortBlockSize: 9 + max(lTab.schema.RecordSize(), rTab.schema.RecordSize()),
+		})
+	}
+	db.LastPlan.JoinAlg = alg
+	out, err := exec.Join(db.enc, lin, rin, lcol, rcol, alg, exec.JoinOptions{OutSchema: outSchema}, db.tmpName("join"))
+	if err != nil {
+		return nil, err
+	}
+	return db.wrapTemp(out), nil
+}
+
+// Collect decrypts a table's live rows into a Result.
+func (db *DB) Collect(t *Table) (*Result, error) {
+	if t.flat == nil {
+		return nil, fmt.Errorf("core: cannot collect an index-only table; select from it instead")
+	}
+	rows, err := t.flat.Rows()
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, t.schema.NumColumns())
+	for i, c := range t.schema.Columns() {
+		cols[i] = c.Name
+	}
+	return &Result{Cols: cols, Rows: rows}, nil
+}
+
+// wrapTemp registers an operator output as an anonymous intermediate
+// table handle.
+func (db *DB) wrapTemp(f *storage.Flat) *Table {
+	return &Table{name: f.Name(), schema: f.Schema(), kind: KindFlat, flat: f, keyCol: -1}
+}
+
+// inputFor builds the operator input for a table, routing through the
+// best access method:
+//
+//   - key range + index: oblivious index range scan materialized into an
+//     intermediate table (leaking the scanned-segment size, §4.1).
+//   - flat representation: read directly.
+//   - index only, full scan: the ORAM bucket array scanned linearly as a
+//     flat table (§3.2), at less than the full ORAM protocol's cost.
+//
+// release frees any intermediate resources.
+func (db *DB) inputFor(t *Table, key *KeyRange, pred table.Pred) (exec.Input, func(), error) {
+	noop := func() {}
+	if key != nil && t.index != nil {
+		rows := make([]table.Row, 0, 64)
+		if _, err := t.index.RangeScan(key.Lo, key.Hi, func(r table.Row) error {
+			rows = append(rows, r.Clone())
+			return nil
+		}); err != nil {
+			return nil, noop, err
+		}
+		tmp, err := db.materialize(t.schema, rows, "range")
+		if err != nil {
+			return nil, noop, err
+		}
+		return exec.FromFlat(tmp), noop, nil
+	}
+	if t.flat != nil {
+		return exec.FromFlat(t.flat), noop, nil
+	}
+	// Index-only full scan.
+	rows := make([]table.Row, 0, t.index.NumRows())
+	if err := t.index.ScanRaw(func(r table.Row) error {
+		rows = append(rows, r.Clone())
+		return nil
+	}); err != nil {
+		return nil, noop, err
+	}
+	tmp, err := db.materialize(t.schema, rows, "rawscan")
+	if err != nil {
+		return nil, noop, err
+	}
+	return exec.FromFlat(tmp), noop, nil
+}
+
+// materialize writes rows into a fresh flat intermediate table.
+func (db *DB) materialize(s *table.Schema, rows []table.Row, op string) (*storage.Flat, error) {
+	tmp, err := storage.NewFlat(db.enc, db.tmpName(op), s, max(1, len(rows)))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if err := tmp.InsertFast(r); err != nil {
+			return nil, err
+		}
+	}
+	return tmp, nil
+}
+
+// projection resolves a column list into an output schema and transform.
+func (db *DB) projection(s *table.Schema, cols []string) (*table.Schema, Transform, error) {
+	if len(cols) == 0 {
+		return s, nil, nil
+	}
+	idx := make([]int, len(cols))
+	outCols := make([]table.Column, len(cols))
+	for i, name := range cols {
+		c := s.ColIndex(name)
+		if c < 0 {
+			return nil, nil, fmt.Errorf("core: no column %q", name)
+		}
+		idx[i] = c
+		outCols[i] = s.Col(c)
+	}
+	outSchema, err := table.NewSchema(outCols...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tf := func(r table.Row) table.Row {
+		out := make(table.Row, len(idx))
+		for i, c := range idx {
+			out[i] = r[c]
+		}
+		return out
+	}
+	return outSchema, tf, nil
+}
+
+// Transform re-exports the operator row transform for callers composing
+// custom projections.
+type Transform = exec.Transform

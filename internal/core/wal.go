@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"oblidb/internal/table"
+	"oblidb/internal/wal"
+)
+
+// AttachWAL starts journaling this database's mutations into l, as §3
+// sketches: one sealed append per inserted, rewritten, or deleted row,
+// before the mutation itself. Existing tables are registered with the
+// log; tables created afterwards register automatically. Appends leak
+// only the (public) mutation count.
+func (db *DB) AttachWAL(l *wal.Log) error {
+	for _, t := range db.tables {
+		if err := l.Register(t.name, t.schema); err != nil {
+			return err
+		}
+	}
+	db.wal = l
+	return nil
+}
+
+// DetachWAL stops journaling.
+func (db *DB) DetachWAL() { db.wal = nil }
+
+// logMutation appends one entry unless recovery is replaying.
+func (db *DB) logMutation(op wal.Op, tableName string, row table.Row) error {
+	if db.wal == nil || db.recovering {
+		return nil
+	}
+	return db.wal.Append(wal.Entry{Op: op, Table: tableName, Row: row.Clone()})
+}
+
+// Recover rebuilds this database from a journal, standard redo-recovery
+// style: the log is folded into each table's final row multiset inside
+// the enclave — inserts and update post-images add a row, deletes and
+// update pre-images remove one equal row — and the result is bulk-loaded.
+// The database's tables must already exist (schemas are not journaled)
+// and start empty; recovery leaks only the log length and final table
+// sizes.
+func (db *DB) Recover(l *wal.Log) error {
+	for _, t := range db.tables {
+		if t.NumRows() != 0 {
+			return fmt.Errorf("core: recovery requires empty tables; %q has %d rows", t.name, t.NumRows())
+		}
+	}
+	state := make(map[string][]table.Row, len(db.tables))
+	err := l.Replay(func(e wal.Entry) error {
+		if _, err := db.Table(e.Table); err != nil {
+			return err
+		}
+		switch e.Op {
+		case wal.OpInsert, wal.OpUpdate:
+			state[e.Table] = append(state[e.Table], e.Row.Clone())
+			return nil
+		case wal.OpDelete:
+			rows := state[e.Table]
+			for i, r := range rows {
+				if rowsEqual(r, e.Row) {
+					state[e.Table] = append(rows[:i], rows[i+1:]...)
+					return nil
+				}
+			}
+			return fmt.Errorf("core: journal deletes a row absent from the replayed state")
+		}
+		return fmt.Errorf("core: unknown WAL op %d", e.Op)
+	})
+	if err != nil {
+		return err
+	}
+	db.recovering = true
+	defer func() { db.recovering = false }()
+	for name, rows := range state {
+		if err := db.BulkLoad(name, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rowsEqual(a, b table.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

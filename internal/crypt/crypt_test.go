@@ -1,0 +1,115 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSealer(t *testing.T) *Sealer {
+	t.Helper()
+	s, err := NewSealer(NewRandomKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	s := newTestSealer(t)
+	pt := []byte("hello oblivious world")
+	ct := s.Seal(7, 42, 3, pt)
+	got, err := s.Open(7, 42, 3, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip mismatch: %q vs %q", got, pt)
+	}
+}
+
+func TestKeySizeEnforced(t *testing.T) {
+	if _, err := NewSealer(make([]byte, 16)); err == nil {
+		t.Fatal("16-byte key accepted; want AES-256 only")
+	}
+}
+
+func TestFreshNonceEachSeal(t *testing.T) {
+	s := newTestSealer(t)
+	pt := []byte("same plaintext")
+	a := s.Seal(1, 1, 1, pt)
+	b := s.Seal(1, 1, 1, pt)
+	if bytes.Equal(a, b) {
+		t.Fatal("re-sealing produced identical ciphertext; dummy writes would be distinguishable")
+	}
+}
+
+func TestWrongSlotRejected(t *testing.T) {
+	s := newTestSealer(t)
+	ct := s.Seal(1, 5, 0, []byte("row"))
+	cases := []struct {
+		name       string
+		table, idx uint32
+		rev        uint64
+	}{
+		{"moved to another table", 2, 5, 0},
+		{"shuffled to another index", 1, 6, 0},
+		{"rolled back revision", 1, 5, 1},
+	}
+	for _, c := range cases {
+		if _, err := s.Open(c.table, c.idx, c.rev, ct); err == nil {
+			t.Errorf("%s: authentication unexpectedly succeeded", c.name)
+		}
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	s := newTestSealer(t)
+	ct := s.Seal(1, 1, 1, []byte("sensitive"))
+	for i := range ct {
+		mod := append([]byte(nil), ct...)
+		mod[i] ^= 0x01
+		if _, err := s.Open(1, 1, 1, mod); err == nil {
+			t.Fatalf("bit flip at byte %d not detected", i)
+		}
+	}
+}
+
+func TestShortCiphertextRejected(t *testing.T) {
+	s := newTestSealer(t)
+	if _, err := s.Open(0, 0, 0, make([]byte, Overhead-1)); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestDifferentKeysIncompatible(t *testing.T) {
+	a, b := newTestSealer(t), newTestSealer(t)
+	ct := a.Seal(0, 0, 0, []byte("x"))
+	if _, err := b.Open(0, 0, 0, ct); err == nil {
+		t.Fatal("block sealed under one key opened under another")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	s := newTestSealer(t)
+	pt := make([]byte, 100)
+	ct := s.Seal(0, 0, 0, pt)
+	if len(ct) != SealedSize(len(pt)) {
+		t.Fatalf("SealedSize = %d, actual %d", SealedSize(len(pt)), len(ct))
+	}
+	if PlainSize(len(ct)) != len(pt) {
+		t.Fatalf("PlainSize = %d, want %d", PlainSize(len(ct)), len(pt))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := newTestSealer(t)
+	f := func(table, idx uint32, rev uint64, pt []byte) bool {
+		ct := s.Seal(table, idx, rev, pt)
+		got, err := s.Open(table, idx, rev, ct)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

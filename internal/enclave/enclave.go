@@ -1,0 +1,159 @@
+// Package enclave simulates the hardware-enclave environment ObliDB runs
+// in (§2). It provides the two memories the paper distinguishes:
+//
+//   - A small *oblivious memory* region inside the enclave whose access
+//     patterns the OS cannot observe. The paper budgets this explicitly
+//     (≤20 MB in all experiments, §2.2); Enclave meters it in bytes and
+//     operators degrade gracefully when it is scarce.
+//   - Untrusted memory managed by the OS, where every access is visible to
+//     the adversary. Store wraps a block array so that every read and write
+//     is recorded by a trace.Tracer and every block is sealed (encrypted +
+//     authenticated + revision-bound) before it leaves the enclave.
+//
+// There is no SGX here; the substitution preserves exactly what the
+// paper's algorithms depend on — the visible access sequence, the sealed
+// block format, and the oblivious-memory budget — which is argued in
+// DESIGN.md §2.
+package enclave
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+
+	"oblidb/internal/crypt"
+	"oblidb/internal/trace"
+)
+
+// Config configures a simulated enclave.
+type Config struct {
+	// ObliviousMemory is the budget, in bytes, of enclave memory assumed
+	// safe from access-pattern leakage. The paper uses 20 MB or less in all
+	// experiments. Zero means no oblivious memory: only the operators the
+	// paper marks "0 Bytes" can then run.
+	ObliviousMemory int
+	// Tracer, if non-nil, observes every untrusted-memory access. Tests use
+	// this to check obliviousness; benchmarks leave it nil.
+	Tracer *trace.Tracer
+	// Key is the AES-256 data key. If nil a random key is generated,
+	// matching the paper's model where the key lives only inside the
+	// enclave.
+	Key []byte
+	// Seed seeds the enclave's PRNG (ORAM leaf assignment, hash salts).
+	// Zero derives a seed from the key so runs are reproducible per key.
+	Seed uint64
+}
+
+// DefaultObliviousMemory is the 20 MB budget used throughout the paper's
+// evaluation (§2.2).
+const DefaultObliviousMemory = 20 << 20
+
+// Enclave is the trusted environment: it owns the data key, the oblivious
+// memory accountant, and the randomness used by oblivious data structures.
+type Enclave struct {
+	sealer  *crypt.Sealer
+	tracer  *trace.Tracer
+	rng     *rand.Rand
+	budget  int
+	used    int
+	peak    int
+	nextTID uint32
+}
+
+// New creates a simulated enclave. A zero Config gets the paper's default
+// 20 MB oblivious-memory budget and a fresh random key.
+func New(cfg Config) (*Enclave, error) {
+	if cfg.ObliviousMemory < 0 {
+		return nil, fmt.Errorf("enclave: negative oblivious memory budget %d", cfg.ObliviousMemory)
+	}
+	budget := cfg.ObliviousMemory
+	if budget == 0 {
+		budget = DefaultObliviousMemory
+	}
+	key := cfg.Key
+	if key == nil {
+		key = crypt.NewRandomKey()
+	}
+	sealer, err := crypt.NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = binary.LittleEndian.Uint64(key[:8])
+	}
+	return &Enclave{
+		sealer: sealer,
+		tracer: cfg.Tracer,
+		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		budget: budget,
+	}, nil
+}
+
+// MustNew is New for tests and examples where the config is known good.
+func MustNew(cfg Config) *Enclave {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NewZeroOblivious creates an enclave whose oblivious memory budget is
+// "as good as zero": the paper's 0-OM operators must still run, so the
+// accountant permits only reservations of zero bytes.
+func NewZeroOblivious(tr *trace.Tracer) *Enclave {
+	e := MustNew(Config{Tracer: tr})
+	e.budget = 0
+	return e
+}
+
+// Tracer returns the enclave's tracer (possibly nil).
+func (e *Enclave) Tracer() *trace.Tracer { return e.tracer }
+
+// Rand returns the enclave-internal PRNG. In real SGX this would be a
+// hardware CSPRNG; determinism here makes simulations reproducible.
+func (e *Enclave) Rand() *rand.Rand { return e.rng }
+
+// Reserve claims n bytes of oblivious memory, failing if the budget would
+// be exceeded. Callers must pair it with Release.
+func (e *Enclave) Reserve(n int) error {
+	if n < 0 {
+		return fmt.Errorf("enclave: reserve of negative size %d", n)
+	}
+	if e.used+n > e.budget {
+		return fmt.Errorf("enclave: oblivious memory exhausted: want %d bytes, %d of %d in use",
+			n, e.used, e.budget)
+	}
+	e.used += n
+	if e.used > e.peak {
+		e.peak = e.used
+	}
+	return nil
+}
+
+// Release returns n bytes of oblivious memory to the pool.
+func (e *Enclave) Release(n int) {
+	e.used -= n
+	if e.used < 0 {
+		panic("enclave: release of more oblivious memory than reserved")
+	}
+}
+
+// Available returns the unreserved oblivious memory in bytes. Operators
+// that "use whatever quantity of oblivious memory is made available" (§4)
+// size their buffers from this.
+func (e *Enclave) Available() int { return e.budget - e.used }
+
+// Budget returns the total oblivious memory budget in bytes.
+func (e *Enclave) Budget() int { return e.budget }
+
+// PeakUsed returns the high-water mark of reserved oblivious memory.
+func (e *Enclave) PeakUsed() int { return e.peak }
+
+// nextTableID hands out unique ids for sealed-block domain separation.
+func (e *Enclave) nextTableID() uint32 {
+	id := e.nextTID
+	e.nextTID++
+	return id
+}

@@ -1,0 +1,213 @@
+package enclave
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oblidb/internal/trace"
+)
+
+func TestBudgetAccounting(t *testing.T) {
+	e := MustNew(Config{ObliviousMemory: 100})
+	if e.Budget() != 100 || e.Available() != 100 {
+		t.Fatalf("budget=%d available=%d, want 100/100", e.Budget(), e.Available())
+	}
+	if err := e.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reserve(50); err == nil {
+		t.Fatal("over-budget reserve succeeded")
+	}
+	if err := e.Reserve(40); err != nil {
+		t.Fatal(err)
+	}
+	if e.Available() != 0 {
+		t.Fatalf("available=%d, want 0", e.Available())
+	}
+	e.Release(100)
+	if e.Available() != 100 || e.PeakUsed() != 100 {
+		t.Fatalf("available=%d peak=%d, want 100/100", e.Available(), e.PeakUsed())
+	}
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	e := MustNew(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on releasing unreserved memory")
+		}
+	}()
+	e.Release(1)
+}
+
+func TestNegativeBudgetRejected(t *testing.T) {
+	if _, err := New(Config{ObliviousMemory: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestZeroObliviousEnclave(t *testing.T) {
+	e := NewZeroOblivious(nil)
+	if err := e.Reserve(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reserve(1); err == nil {
+		t.Fatal("zero-OM enclave granted oblivious memory")
+	}
+}
+
+func TestDefaultBudgetIsPaperDefault(t *testing.T) {
+	e := MustNew(Config{})
+	if e.Budget() != DefaultObliviousMemory {
+		t.Fatalf("default budget %d, want %d", e.Budget(), DefaultObliviousMemory)
+	}
+}
+
+func TestDeterministicRNGPerKey(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	a := MustNew(Config{Key: key})
+	b := MustNew(Config{Key: key})
+	for i := 0; i < 16; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatal("same key produced different PRNG streams")
+		}
+	}
+}
+
+func TestStoreReadWrite(t *testing.T) {
+	e := MustNew(Config{})
+	s, err := e.NewStore("t", 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, 32)
+	if err := s.Write(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read back wrong data")
+	}
+	// Unwritten blocks read as zero plaintext.
+	got, err = s.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 32)) {
+		t.Fatal("fresh block not zero")
+	}
+}
+
+func TestStoreBounds(t *testing.T) {
+	e := MustNew(Config{})
+	s, _ := e.NewStore("t", 4, 16)
+	if _, err := s.Read(4); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	if _, err := s.Read(-1); err == nil {
+		t.Fatal("negative read succeeded")
+	}
+	if err := s.Write(4, make([]byte, 16)); err == nil {
+		t.Fatal("out-of-range write succeeded")
+	}
+	if err := s.Write(0, make([]byte, 15)); err == nil {
+		t.Fatal("short block write succeeded")
+	}
+}
+
+func TestStoreTracesAccesses(t *testing.T) {
+	tr := trace.New()
+	e := MustNew(Config{Tracer: tr})
+	s, _ := e.NewStore("t", 4, 16)
+	_, _ = s.Read(2)
+	_ = s.Write(1, make([]byte, 16))
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("traced %d events, want 2", len(evs))
+	}
+	if evs[0].Op != trace.Read || evs[0].Index != 2 {
+		t.Fatalf("first event %+v, want read of 2", evs[0])
+	}
+	if evs[1].Op != trace.Write || evs[1].Index != 1 {
+		t.Fatalf("second event %+v, want write of 1", evs[1])
+	}
+}
+
+func TestTamperingDetected(t *testing.T) {
+	e := MustNew(Config{})
+	s, _ := e.NewStore("t", 4, 16)
+	_ = s.Write(0, bytes.Repeat([]byte{1}, 16))
+	raw := s.AdversaryRawBlock(0)
+	raw[20] ^= 0xFF
+	s.AdversarySetRawBlock(0, raw)
+	if _, err := s.Read(0); err == nil {
+		t.Fatal("tampered block read successfully")
+	} else if !strings.Contains(err.Error(), "tampering or rollback") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRollbackDetected(t *testing.T) {
+	e := MustNew(Config{})
+	s, _ := e.NewStore("t", 4, 16)
+	_ = s.Write(0, bytes.Repeat([]byte{1}, 16))
+	old := s.AdversaryRawBlock(0) // snapshot revision 1
+	_ = s.Write(0, bytes.Repeat([]byte{2}, 16))
+	s.AdversarySetRawBlock(0, old) // roll back to revision 1
+	if _, err := s.Read(0); err == nil {
+		t.Fatal("rolled-back block read successfully")
+	}
+}
+
+func TestShuffleDetected(t *testing.T) {
+	e := MustNew(Config{})
+	s, _ := e.NewStore("t", 4, 16)
+	_ = s.Write(0, bytes.Repeat([]byte{1}, 16))
+	_ = s.Write(1, bytes.Repeat([]byte{2}, 16))
+	s.AdversarySwapBlocks(0, 1)
+	if _, err := s.Read(0); err == nil {
+		t.Fatal("shuffled block read successfully")
+	}
+}
+
+func TestCrossStoreReplayDetected(t *testing.T) {
+	// A block from one table placed in another table's slot must fail.
+	e := MustNew(Config{})
+	a, _ := e.NewStore("a", 2, 16)
+	b, _ := e.NewStore("b", 2, 16)
+	_ = a.Write(0, bytes.Repeat([]byte{1}, 16))
+	_ = b.Write(0, bytes.Repeat([]byte{2}, 16))
+	b.AdversarySetRawBlock(0, a.AdversaryRawBlock(0))
+	if _, err := b.Read(0); err == nil {
+		t.Fatal("cross-table block replay succeeded")
+	}
+}
+
+func TestStoreSizeBytes(t *testing.T) {
+	e := MustNew(Config{})
+	s, _ := e.NewStore("t", 10, 64)
+	if s.SizeBytes() != 10*(64+28) {
+		t.Fatalf("SizeBytes = %d, want %d", s.SizeBytes(), 10*(64+28))
+	}
+}
+
+func TestStoreRoundTripProperty(t *testing.T) {
+	e := MustNew(Config{})
+	s, _ := e.NewStore("t", 16, 24)
+	f := func(idx uint8, data [24]byte) bool {
+		i := int(idx) % 16
+		if err := s.Write(i, data[:]); err != nil {
+			return false
+		}
+		got, err := s.Read(i)
+		return err == nil && bytes.Equal(got, data[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package enclave
+
+import (
+	"fmt"
+
+	"oblidb/internal/crypt"
+	"oblidb/internal/trace"
+)
+
+// Store is a fixed-block-size array in untrusted memory. It is the only
+// way data leaves the enclave: every Read/Write is recorded by the tracer
+// (the adversary's view) and every block is sealed with AES-GCM bound to
+// (store id, block index, revision).
+//
+// The enclave-side revision map is trusted metadata — the paper keeps "a
+// copy of which ObliDB also stores inside the enclave" (§3) — so a block
+// replayed from an earlier state fails authentication on the next read.
+type Store struct {
+	enclave *Enclave
+	region  trace.Region
+	id      uint32
+	bsize   int // plaintext block size
+	blocks  [][]byte
+	revs    []uint64
+}
+
+// NewStore allocates a store of n sealed blocks of the given plaintext
+// block size, initialized to all-zero plaintext. Allocation writes every
+// block once, which is itself data-independent.
+func (e *Enclave) NewStore(name string, n, blockSize int) (*Store, error) {
+	if n < 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("enclave: invalid store dimensions n=%d blockSize=%d", n, blockSize)
+	}
+	s := &Store{
+		enclave: e,
+		id:      e.nextTableID(),
+		bsize:   blockSize,
+		blocks:  make([][]byte, n),
+		revs:    make([]uint64, n),
+	}
+	if e.tracer != nil {
+		s.region = e.tracer.Region(name)
+	}
+	zero := make([]byte, blockSize)
+	for i := range s.blocks {
+		s.blocks[i] = e.sealer.Seal(s.id, uint32(i), 0, zero)
+	}
+	return s, nil
+}
+
+// Len returns the number of blocks.
+func (s *Store) Len() int { return len(s.blocks) }
+
+// BlockSize returns the plaintext block size.
+func (s *Store) BlockSize() int { return s.bsize }
+
+// Region returns the trace region of this store.
+func (s *Store) Region() trace.Region { return s.region }
+
+// Read fetches block i into the enclave: the access is traced, then the
+// sealed block is authenticated against its current revision and
+// decrypted. The returned slice is a fresh copy owned by the caller.
+func (s *Store) Read(i int) ([]byte, error) {
+	if i < 0 || i >= len(s.blocks) {
+		return nil, fmt.Errorf("enclave: store %q read out of range: %d of %d", s.region.Name(), i, len(s.blocks))
+	}
+	s.enclave.tracer.Record(s.region, trace.Read, i)
+	pt, err := s.enclave.sealer.Open(s.id, uint32(i), s.revs[i], s.blocks[i])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
+	}
+	return pt, nil
+}
+
+// Write seals plaintext into block i under the next revision and stores
+// it. The plaintext must be exactly one block. Writing the same logical
+// content produces fresh ciphertext, so dummy writes are indistinguishable
+// from real ones — the tracer records both identically.
+func (s *Store) Write(i int, plaintext []byte) error {
+	if i < 0 || i >= len(s.blocks) {
+		return fmt.Errorf("enclave: store %q write out of range: %d of %d", s.region.Name(), i, len(s.blocks))
+	}
+	if len(plaintext) != s.bsize {
+		return fmt.Errorf("enclave: store %q write of %d bytes to %d-byte blocks", s.region.Name(), len(plaintext), s.bsize)
+	}
+	s.enclave.tracer.Record(s.region, trace.Write, i)
+	s.revs[i]++
+	s.blocks[i] = s.enclave.sealer.Seal(s.id, uint32(i), s.revs[i], plaintext)
+	return nil
+}
+
+// SizeBytes returns the untrusted memory consumed by the store, including
+// sealing overhead. This is the "size of data structures" the paper
+// concedes as leakage.
+func (s *Store) SizeBytes() int {
+	return len(s.blocks) * crypt.SealedSize(s.bsize)
+}
+
+// --- Adversary interface -------------------------------------------------
+//
+// The methods below model the malicious OS of the threat model (§2.2).
+// They bypass the enclave: tests use them to mount the attacks the paper
+// claims to catch.
+
+// AdversaryRawBlock returns the sealed bytes of block i as stored in
+// untrusted memory.
+func (s *Store) AdversaryRawBlock(i int) []byte {
+	cp := make([]byte, len(s.blocks[i]))
+	copy(cp, s.blocks[i])
+	return cp
+}
+
+// AdversarySetRawBlock overwrites the sealed bytes of block i without the
+// enclave's knowledge — arbitrary tampering.
+func (s *Store) AdversarySetRawBlock(i int, raw []byte) {
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	s.blocks[i] = cp
+}
+
+// AdversarySwapBlocks exchanges the sealed contents of two slots —
+// shuffling table contents.
+func (s *Store) AdversarySwapBlocks(i, j int) {
+	s.blocks[i], s.blocks[j] = s.blocks[j], s.blocks[i]
+}

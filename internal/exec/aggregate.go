@@ -1,0 +1,303 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+)
+
+// AggKind enumerates the aggregates ObliDB supports (§3): COUNT, SUM,
+// MIN, MAX, AVG.
+type AggKind int
+
+const (
+	// AggCount counts matching rows.
+	AggCount AggKind = iota
+	// AggSum sums a numeric column.
+	AggSum
+	// AggMin takes the minimum of a column.
+	AggMin
+	// AggMax takes the maximum of a column.
+	AggMax
+	// AggAvg averages a numeric column.
+	AggAvg
+)
+
+// String names the aggregate as its SQL keyword.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// AggSpec is one aggregate over one column (Col is ignored for COUNT).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// aggState accumulates one aggregate inside the enclave.
+type aggState struct {
+	spec  AggSpec
+	count int64
+	sum   float64
+	min   table.Value
+	max   table.Value
+	any   bool
+}
+
+func (a *aggState) add(r table.Row) error {
+	a.count++
+	if a.spec.Kind == AggCount {
+		return nil
+	}
+	v := r[a.spec.Col]
+	switch a.spec.Kind {
+	case AggSum, AggAvg:
+		if !v.IsNumeric() {
+			return fmt.Errorf("exec: %s over non-numeric column", a.spec.Kind)
+		}
+		a.sum += v.AsFloat()
+	case AggMin, AggMax:
+		if !a.any {
+			a.min, a.max = v, v
+		} else {
+			if c, err := table.Compare(v, a.min); err != nil {
+				return err
+			} else if c < 0 {
+				a.min = v
+			}
+			if c, err := table.Compare(v, a.max); err != nil {
+				return err
+			} else if c > 0 {
+				a.max = v
+			}
+		}
+	}
+	a.any = true
+	return nil
+}
+
+func (a *aggState) result() table.Value {
+	switch a.spec.Kind {
+	case AggCount:
+		return table.Int(a.count)
+	case AggSum:
+		return table.Float(a.sum)
+	case AggAvg:
+		if a.count == 0 {
+			return table.Float(0)
+		}
+		return table.Float(a.sum / float64(a.count))
+	case AggMin:
+		if !a.any {
+			return table.Int(0)
+		}
+		return a.min
+	case AggMax:
+		if !a.any {
+			return table.Int(0)
+		}
+		return a.max
+	}
+	return table.Int(0)
+}
+
+// Aggregate computes aggregates over the rows matching pred in one scan,
+// keeping all state inside the enclave (§4.2). With a non-trivial pred
+// this is the paper's fused select+aggregate operator: no intermediate
+// table exists, so no intermediate size leaks. The trace is one read per
+// block; no oblivious memory is used.
+func Aggregate(in Input, pred table.Pred, specs []AggSpec) ([]table.Value, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("exec: no aggregates requested")
+	}
+	states := make([]aggState, len(specs))
+	for i, s := range specs {
+		if s.Kind != AggCount && (s.Col < 0 || s.Col >= in.Schema().NumColumns()) {
+			return nil, fmt.Errorf("exec: aggregate column %d out of range", s.Col)
+		}
+		states[i].spec = s
+	}
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		if !used || !pred(row) {
+			continue
+		}
+		for j := range states {
+			if err := states[j].add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]table.Value, len(states))
+	for i := range states {
+		out[i] = states[i].result()
+	}
+	return out, nil
+}
+
+// GroupBy extracts a grouping key from a row, inside the enclave (e.g. a
+// column value or SUBSTR of one).
+type GroupBy func(table.Row) table.Value
+
+// GroupAggregateOptions configures grouped aggregation.
+type GroupAggregateOptions struct {
+	// MaxGroups bounds the in-enclave group table. Zero means the input
+	// size. If distinct groups exceed it, the operator fails; the engine
+	// then falls back to the Opaque-style sort-and-filter (§4.2).
+	MaxGroups int
+	// PadGroups, when positive, pads the output to exactly this many rows
+	// (padding mode pads "to the maximum supported number of groups",
+	// §7.2).
+	PadGroups int
+}
+
+// GroupAggregate computes grouped aggregates with the paper's hash
+// bucketing (§4.2): one scan; each row's group is looked up or added in an
+// in-enclave hash table charged to oblivious memory at 4 bytes per group.
+// Output is one row per group — [group, aggregates...] — in sorted group
+// order, so the only leakage is the (already leaked) number of groups.
+func GroupAggregate(e *enclave.Enclave, in Input, pred table.Pred, groupBy GroupBy, specs []AggSpec, opts GroupAggregateOptions, outName string) (*storage.Flat, error) {
+	if groupBy == nil {
+		return nil, fmt.Errorf("exec: grouped aggregation needs a group key")
+	}
+	maxGroups := opts.MaxGroups
+	if maxGroups <= 0 {
+		maxGroups = in.Blocks()
+	}
+
+	type group struct {
+		key    table.Value
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	reserved := 0
+	defer func() { e.Release(reserved) }()
+
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		if !used || !pred(row) {
+			continue
+		}
+		key := groupBy(row)
+		mk := key.String()
+		g, ok := groups[mk]
+		if !ok {
+			if len(groups) >= maxGroups {
+				return nil, fmt.Errorf("exec: more than %d groups; use the sort-based fallback", maxGroups)
+			}
+			// The paper charges 4 bytes of oblivious memory per group.
+			if err := e.Reserve(4); err != nil {
+				return nil, fmt.Errorf("exec: group table exceeded oblivious memory: %w", err)
+			}
+			reserved += 4
+			g = &group{key: key, states: make([]aggState, len(specs))}
+			for j, s := range specs {
+				g.states[j].spec = s
+			}
+			groups[mk] = g
+		}
+		for j := range g.states {
+			if err := g.states[j].add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Deterministic output order: sorted by group key.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	groupKind, groupWidth := table.KindInt, 0
+	for _, g := range groups {
+		groupKind = g.key.Kind
+		if groupKind == table.KindString {
+			for _, h := range groups {
+				if n := len(h.key.AsString()); n > groupWidth {
+					groupWidth = n
+				}
+			}
+			groupWidth = max(groupWidth, 16)
+		}
+		break
+	}
+	outSchema, err := groupOutputSchema(in.Schema(), groupKind, groupWidth, specs)
+	if err != nil {
+		return nil, err
+	}
+	capacity := max(1, len(groups))
+	if opts.PadGroups > capacity {
+		capacity = opts.PadGroups
+	}
+	out, err := storage.NewFlat(e, outName, outSchema, capacity)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		g := groups[k]
+		row := make(table.Row, 1+len(specs))
+		row[0] = g.key
+		for j := range g.states {
+			row[1+j] = g.states[j].result()
+		}
+		if err := out.SetRow(i, row, true); err != nil {
+			return nil, err
+		}
+	}
+	// Padding mode: dummy-write the remaining slots so the output table
+	// has its padded size with indistinguishable contents.
+	for i := len(keys); i < capacity; i++ {
+		if err := out.SetRow(i, nil, false); err != nil {
+			return nil, err
+		}
+	}
+	out.BumpRows(len(keys))
+	return out, nil
+}
+
+// groupOutputSchema builds the [group, agg...] schema. The group column
+// kind is taken from an observed key (INTEGER for an empty input).
+func groupOutputSchema(in *table.Schema, groupKind table.Kind, groupWidth int, specs []AggSpec) (*table.Schema, error) {
+	cols := make([]table.Column, 1+len(specs))
+	cols[0] = table.Column{Name: "group", Kind: groupKind, Width: groupWidth}
+	for i, s := range specs {
+		name := s.Kind.String()
+		kind := table.KindFloat
+		if s.Kind == AggCount {
+			kind = table.KindInt
+		} else {
+			name += "_" + in.Col(s.Col).Name
+		}
+		if s.Kind == AggMin || s.Kind == AggMax {
+			c := in.Col(s.Col)
+			kind = c.Kind
+			cols[1+i] = table.Column{Name: name, Kind: kind, Width: c.Width}
+			continue
+		}
+		cols[1+i] = table.Column{Name: name, Kind: kind}
+	}
+	return table.NewSchema(cols...)
+}

@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"oblidb/internal/enclave"
+)
+
+// ObliviousSort sorts the first n blocks of st in place with a bitonic
+// sorting network. The network's compare-exchange sequence is a fixed
+// function of n alone — "it always makes the same set of comparisons
+// independent of the data being sorted" (§4.3) — so the sort is oblivious.
+// Every compare-exchange reads both blocks and rewrites both, swapped or
+// not, under fresh encryption.
+//
+// chunkRows enables the paper's two accelerations:
+//
+//   - The Opaque join "uses quicksort to sort chunks of the data that fit
+//     inside an enclave's oblivious memory and merges the chunks with a
+//     bitonic sorting network": network stages that operate entirely
+//     within an aligned chunk are replaced by an in-enclave sort of that
+//     chunk (one read and one write per block — still data-independent).
+//   - The 0-OM join passes chunkRows = 1, running the pure network with no
+//     oblivious memory at all.
+//
+// n and chunkRows must be powers of two with 1 <= chunkRows.
+func ObliviousSort(st *enclave.Store, n, chunkRows int, less func(a, b []byte) bool) error {
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("exec: bitonic sort size %d is not a power of two", n)
+	}
+	if chunkRows <= 0 || chunkRows&(chunkRows-1) != 0 {
+		return fmt.Errorf("exec: chunk size %d is not a power of two", chunkRows)
+	}
+	if chunkRows > n {
+		chunkRows = n
+	}
+	if chunkRows == n {
+		// Whole input fits: one in-enclave sort.
+		return sortChunk(st, 0, n, true, less)
+	}
+
+	// Initial pass: each aligned chunk sorted in the direction stage
+	// k=chunkRows of the full network would leave it.
+	for base := 0; base < n; base += chunkRows {
+		asc := base&chunkRows == 0
+		if err := sortChunk(st, base, chunkRows, asc, less); err != nil {
+			return err
+		}
+	}
+
+	for k := chunkRows << 1; k <= n; k <<= 1 {
+		for j := k >> 1; j >= chunkRows; j >>= 1 {
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				asc := i&k == 0
+				if err := compareExchange(st, i, l, asc, less); err != nil {
+					return err
+				}
+			}
+		}
+		if chunkRows > 1 {
+			// The remaining stages j < chunkRows form a bitonic merge of
+			// each chunk; sorting the (bitonic) chunk in the enclave gives
+			// the same result.
+			for base := 0; base < n; base += chunkRows {
+				asc := base&k == 0
+				if err := sortChunk(st, base, chunkRows, asc, less); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compareExchange is the network primitive: read blocks i and l, order
+// them, write both back.
+func compareExchange(st *enclave.Store, i, l int, asc bool, less func(a, b []byte) bool) error {
+	a, err := st.Read(i)
+	if err != nil {
+		return err
+	}
+	b, err := st.Read(l)
+	if err != nil {
+		return err
+	}
+	if less(b, a) == asc { // out of order for this direction
+		a, b = b, a
+	}
+	if err := st.Write(i, a); err != nil {
+		return err
+	}
+	return st.Write(l, b)
+}
+
+// sortChunk reads rows [base, base+m), sorts them inside the enclave, and
+// writes them back: m reads and m writes whatever the data.
+func sortChunk(st *enclave.Store, base, m int, asc bool, less func(a, b []byte) bool) error {
+	blocks := make([][]byte, m)
+	for i := 0; i < m; i++ {
+		b, err := st.Read(base + i)
+		if err != nil {
+			return err
+		}
+		blocks[i] = b
+	}
+	sort.SliceStable(blocks, func(x, y int) bool {
+		if asc {
+			return less(blocks[x], blocks[y])
+		}
+		return less(blocks[y], blocks[x])
+	})
+	for i := 0; i < m; i++ {
+		if err := st.Write(base+i, blocks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

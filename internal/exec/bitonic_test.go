@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/trace"
+)
+
+func lessU64(a, b []byte) bool {
+	return binary.LittleEndian.Uint64(a) < binary.LittleEndian.Uint64(b)
+}
+
+func fillStore(t *testing.T, e *enclave.Enclave, vals []uint64) *enclave.Store {
+	t.Helper()
+	st, err := e.NewStore("sort", len(vals), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf, v)
+		if err := st.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func readStore(t *testing.T, st *enclave.Store, n int) []uint64 {
+	t.Helper()
+	out := make([]uint64, n)
+	for i := range out {
+		b, err := st.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = binary.LittleEndian.Uint64(b)
+	}
+	return out
+}
+
+func TestBitonicSortChunkSizes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	const n = 64
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 1000
+	}
+	want := append([]uint64(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for _, chunk := range []int{1, 2, 8, 64, 128} {
+		e := enclave.MustNew(enclave.Config{})
+		st := fillStore(t, e, vals)
+		if err := ObliviousSort(st, n, chunk, lessU64); err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		got := readStore(t, st, n)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: position %d = %d, want %d", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBitonicSortProperty(t *testing.T) {
+	f := func(raw []uint16, chunkPow uint8) bool {
+		n := NextPow2(len(raw) + 1)
+		vals := make([]uint64, n)
+		for i, v := range raw {
+			vals[i] = uint64(v)
+		}
+		chunk := 1 << (chunkPow % 6)
+		e := enclave.MustNew(enclave.Config{})
+		st, err := e.NewStore("s", n, 8)
+		if err != nil {
+			return false
+		}
+		buf := make([]byte, 8)
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf, v)
+			if st.Write(i, buf) != nil {
+				return false
+			}
+		}
+		if ObliviousSort(st, n, chunk, lessU64) != nil {
+			return false
+		}
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			b, err := st.Read(i)
+			if err != nil {
+				return false
+			}
+			v := binary.LittleEndian.Uint64(b)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitonicSortRejectsNonPow2(t *testing.T) {
+	e := enclave.MustNew(enclave.Config{})
+	st := fillStore(t, e, make([]uint64, 6))
+	if err := ObliviousSort(st, 6, 1, lessU64); err == nil {
+		t.Fatal("non-power-of-two size accepted")
+	}
+	st2 := fillStore(t, e, make([]uint64, 8))
+	if err := ObliviousSort(st2, 8, 3, lessU64); err == nil {
+		t.Fatal("non-power-of-two chunk accepted")
+	}
+}
+
+func TestBitonicSortTraceFixed(t *testing.T) {
+	// The network's trace is a function of (n, chunk) only.
+	run := func(vals []uint64, chunk int) *trace.Tracer {
+		tr := trace.New()
+		e := enclave.MustNew(enclave.Config{Tracer: tr})
+		st := fillStore(t, e, vals)
+		tr.Reset()
+		if err := ObliviousSort(st, len(vals), chunk, lessU64); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	sorted := make([]uint64, 32)
+	reversed := make([]uint64, 32)
+	for i := range sorted {
+		sorted[i] = uint64(i)
+		reversed[i] = uint64(31 - i)
+	}
+	for _, chunk := range []int{1, 4, 32} {
+		a := run(sorted, chunk)
+		b := run(reversed, chunk)
+		if d := trace.Diff(a, b); d != "" {
+			t.Fatalf("chunk %d: sort trace depends on data: %s", chunk, d)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestBitonicChunkingReducesNetworkPasses(t *testing.T) {
+	// With larger chunks the network does fewer compare-exchanges, the
+	// §4.3 reason the Opaque join beats the 0-OM join.
+	count := func(chunk int) int {
+		tr := trace.New()
+		tr.EnableCounts()
+		e := enclave.MustNew(enclave.Config{Tracer: tr})
+		vals := make([]uint64, 256)
+		for i := range vals {
+			vals[i] = uint64(255 - i)
+		}
+		st := fillStore(t, e, vals)
+		if err := ObliviousSort(st, 256, chunk, lessU64); err != nil {
+			t.Fatal(err)
+		}
+		return int(tr.TotalCount())
+	}
+	pure := count(1)
+	chunked := count(64)
+	if chunked >= pure {
+		t.Fatalf("chunked sort made %d accesses, pure network %d", chunked, pure)
+	}
+}

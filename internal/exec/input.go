@@ -1,0 +1,68 @@
+// Package exec implements ObliDB's oblivious physical operators (§4):
+// five SELECT algorithms, one-pass and grouped aggregation, a fused
+// select+aggregate, and three join algorithms, plus the oblivious bitonic
+// sorting network the sort-merge joins build on.
+//
+// Every operator's untrusted access pattern depends only on public sizes
+// (|T|, |R|, oblivious-memory budget), never on data or query parameters;
+// the package tests assert this by trace equality.
+package exec
+
+import (
+	"fmt"
+
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+)
+
+// Input is a readable table: a fixed number of record blocks, each holding
+// one (possibly unused) row. *storage.Flat implements it directly; the
+// engine adapts index range-scan results to it so every operator runs over
+// both storage methods, as §4 requires.
+type Input interface {
+	// Schema describes the rows.
+	Schema() *table.Schema
+	// Blocks is the number of record blocks — the public size |T|.
+	Blocks() int
+	// ReadBlock reads block i (a traced untrusted access).
+	ReadBlock(i int) (table.Row, bool, error)
+}
+
+// flatInput adapts *storage.Flat to Input.
+type flatInput struct{ f *storage.Flat }
+
+func (fi flatInput) Schema() *table.Schema { return fi.f.Schema() }
+func (fi flatInput) Blocks() int           { return fi.f.Capacity() }
+func (fi flatInput) ReadBlock(i int) (table.Row, bool, error) {
+	return fi.f.ReadBlock(i)
+}
+
+// FromFlat wraps a flat table as an operator input.
+func FromFlat(f *storage.Flat) Input { return flatInput{f} }
+
+// Transform maps an input row to an output row inside the enclave —
+// projections and computed columns. A nil Transform is the identity. It
+// never affects access patterns.
+type Transform func(table.Row) table.Row
+
+func applyTransform(t Transform, r table.Row) table.Row {
+	if t == nil {
+		return r
+	}
+	return t(r)
+}
+
+// outputSchema picks the schema of an operator's output table.
+func outputSchema(in Input, outSchema *table.Schema) *table.Schema {
+	if outSchema != nil {
+		return outSchema
+	}
+	return in.Schema()
+}
+
+func checkOutSize(outSize int) error {
+	if outSize < 0 {
+		return fmt.Errorf("exec: negative output size %d", outSize)
+	}
+	return nil
+}

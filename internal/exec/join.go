@@ -1,0 +1,339 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+)
+
+// JoinAlgorithm names the oblivious join variants of §4.3.
+type JoinAlgorithm int
+
+const (
+	// JoinHash is the oblivious block nested hash join: O(|T1|/S · |T2|),
+	// using whatever oblivious memory is available for the build table.
+	JoinHash JoinAlgorithm = iota
+	// JoinOpaque is the Opaque sort-merge join: in-enclave sorts of
+	// oblivious-memory-sized chunks merged by a bitonic network,
+	// O((N+M) log²((N+M)/S)).
+	JoinOpaque
+	// JoinZeroOM is the paper's 0-OM variant: a pure bitonic sort needing
+	// no oblivious memory, O((N+M) log²(N+M)).
+	JoinZeroOM
+)
+
+// String names the algorithm as the paper does.
+func (a JoinAlgorithm) String() string {
+	switch a {
+	case JoinHash:
+		return "Hash"
+	case JoinOpaque:
+		return "Opaque"
+	case JoinZeroOM:
+		return "0-OM"
+	}
+	return fmt.Sprintf("JoinAlgorithm(%d)", int(a))
+}
+
+// JoinOptions configures a join.
+type JoinOptions struct {
+	// OutSchema is the schema of joined rows (t1's columns then t2's). If
+	// nil it is built by concatenation.
+	OutSchema *table.Schema
+}
+
+// JoinedSchema concatenates two schemas, prefixing duplicate column names.
+func JoinedSchema(s1, s2 *table.Schema) (*table.Schema, error) {
+	cols := make([]table.Column, 0, s1.NumColumns()+s2.NumColumns())
+	cols = append(cols, s1.Columns()...)
+	for _, c := range s2.Columns() {
+		if s1.ColIndex(c.Name) >= 0 {
+			c.Name = "r_" + c.Name
+		}
+		cols = append(cols, c)
+	}
+	return table.NewSchema(cols...)
+}
+
+// Join runs one oblivious join of t1 and t2 on t1.col1 = t2.col2,
+// materializing joined rows into a fresh flat table. t1 is the primary
+// (build) side; the sort-merge variants implement foreign-key joins where
+// col1 is unique in t1, matching §4.3's scope.
+func Join(e *enclave.Enclave, t1, t2 Input, col1, col2 int, alg JoinAlgorithm, opts JoinOptions, outName string) (*storage.Flat, error) {
+	if col1 < 0 || col1 >= t1.Schema().NumColumns() || col2 < 0 || col2 >= t2.Schema().NumColumns() {
+		return nil, fmt.Errorf("exec: join columns out of range")
+	}
+	outSchema := opts.OutSchema
+	if outSchema == nil {
+		var err error
+		outSchema, err = JoinedSchema(t1.Schema(), t2.Schema())
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch alg {
+	case JoinHash:
+		return hashJoin(e, t1, t2, col1, col2, outSchema, outName)
+	case JoinOpaque, JoinZeroOM:
+		return sortMergeJoin(e, t1, t2, col1, col2, alg, outSchema, outName)
+	}
+	return nil, fmt.Errorf("exec: unknown join algorithm %d", alg)
+}
+
+// joinKey maps a value to a 64-bit comparison key. Integers and booleans
+// map injectively; floats order-preservingly; strings by FNV-64a (the
+// merge phase groups by this key, and a 64-bit collision at the paper's
+// table sizes is vanishingly unlikely).
+func joinKey(v table.Value) int64 {
+	switch v.Kind {
+	case table.KindInt, table.KindBool:
+		return v.AsInt()
+	case table.KindFloat:
+		bits := math.Float64bits(v.AsFloat())
+		if bits>>63 != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		return int64(bits)
+	case table.KindString:
+		h := fnv.New64a()
+		h.Write([]byte(v.AsString()))
+		return int64(h.Sum64())
+	}
+	return 0
+}
+
+// hashJoin is the §4.3 oblivious hash join: build an in-enclave hash table
+// from as many rows of t1 as oblivious memory holds, then stream t2,
+// writing one output row — joined or dummy — per comparison, so each
+// probe's access pattern is one read and one write regardless of match.
+// The output structure has ceil(|T1|/S)·|T2| slots.
+func hashJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, outSchema *table.Schema, outName string) (*storage.Flat, error) {
+	recSize := t1.Schema().RecordSize()
+	chunkRows := e.Available() / recSize
+	if chunkRows < 1 {
+		chunkRows = 1
+	}
+	if chunkRows > t1.Blocks() {
+		chunkRows = t1.Blocks()
+	}
+	reserve := chunkRows * recSize
+	if err := e.Reserve(reserve); err != nil {
+		return nil, err
+	}
+	defer e.Release(reserve)
+
+	numChunks := (t1.Blocks() + chunkRows - 1) / chunkRows
+	out, err := storage.NewFlat(e, outName, outSchema, max(1, numChunks*t2.Blocks()))
+	if err != nil {
+		return nil, err
+	}
+	matches := 0
+	outPos := 0
+	build := make(map[int64]table.Row, chunkRows)
+	for c := 0; c < numChunks; c++ {
+		clear(build)
+		lo, hi := c*chunkRows, min((c+1)*chunkRows, t1.Blocks())
+		for i := lo; i < hi; i++ {
+			row, used, err := t1.ReadBlock(i)
+			if err != nil {
+				return nil, err
+			}
+			if used {
+				build[joinKey(row[col1])] = row.Clone()
+			}
+		}
+		for j := 0; j < t2.Blocks(); j++ {
+			row, used, err := t2.ReadBlock(j)
+			if err != nil {
+				return nil, err
+			}
+			var joined table.Row
+			if used {
+				if b, ok := build[joinKey(row[col2])]; ok && b[col1].Equal(row[col2]) {
+					joined = append(append(make(table.Row, 0, len(b)+len(row)), b...), row...)
+				}
+			}
+			// One write per comparison: the joined row or a dummy.
+			if joined != nil {
+				err = out.SetRow(outPos, joined, true)
+				matches++
+			} else {
+				err = out.SetRow(outPos, nil, false)
+			}
+			if err != nil {
+				return nil, err
+			}
+			outPos++
+		}
+	}
+	out.BumpRows(matches)
+	return out, nil
+}
+
+// Tags ordering the combined array: for equal keys the primary row must
+// precede its foreign matches; dummies sort last.
+const (
+	tagPrimary = 1
+	tagForeign = 2
+	tagDummy   = 3
+)
+
+// sortMergeJoin implements both the Opaque join and the 0-OM join (§4.3):
+// copy both tables into one array tagged with their join keys, sort it
+// obliviously by (key, tag), then merge in one linear scan that emits one
+// output row — real or dummy — per array position.
+func sortMergeJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, alg JoinAlgorithm, outSchema *table.Schema, outName string) (*storage.Flat, error) {
+	rec1, rec2 := t1.Schema().RecordSize(), t2.Schema().RecordSize()
+	payload := max(rec1, rec2)
+	blockSize := 1 + 8 + payload
+	n := NextPow2(t1.Blocks() + t2.Blocks())
+
+	st, err := e.NewStore(outName+".sortmerge", n, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, blockSize)
+	fill := func(pos int, tag byte, key int64, schema *table.Schema, row table.Row, used bool) error {
+		for i := range buf {
+			buf[i] = 0
+		}
+		if !used {
+			tag, key = tagDummy, math.MaxInt64
+		}
+		buf[0] = tag
+		binary.LittleEndian.PutUint64(buf[1:9], uint64(key))
+		if used {
+			if err := schema.EncodeRecord(buf[9:], row); err != nil {
+				return err
+			}
+		}
+		return st.Write(pos, buf)
+	}
+	for i := 0; i < t1.Blocks(); i++ {
+		row, used, err := t1.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		var key int64
+		if used {
+			key = joinKey(row[col1])
+		}
+		if err := fill(i, tagPrimary, key, t1.Schema(), row, used); err != nil {
+			return nil, err
+		}
+	}
+	for j := 0; j < t2.Blocks(); j++ {
+		row, used, err := t2.ReadBlock(j)
+		if err != nil {
+			return nil, err
+		}
+		var key int64
+		if used {
+			key = joinKey(row[col2])
+		}
+		if err := fill(t1.Blocks()+j, tagForeign, key, t2.Schema(), row, used); err != nil {
+			return nil, err
+		}
+	}
+	for p := t1.Blocks() + t2.Blocks(); p < n; p++ {
+		if err := fill(p, tagDummy, 0, nil, nil, false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Sort by (key, tag). The Opaque variant accelerates with in-enclave
+	// sorts of chunks sized to the oblivious memory; 0-OM runs the pure
+	// network.
+	chunkRows := 1
+	reserve := 0
+	if alg == JoinOpaque {
+		chunkRows = e.Available() / blockSize
+		if chunkRows < 1 {
+			chunkRows = 1
+		}
+		chunkRows = 1 << func() int { // floor to power of two
+			b := 0
+			for 1<<(b+1) <= chunkRows {
+				b++
+			}
+			return b
+		}()
+		if chunkRows > n {
+			chunkRows = n
+		}
+		reserve = chunkRows * blockSize
+		if err := e.Reserve(reserve); err != nil {
+			return nil, err
+		}
+		defer e.Release(reserve)
+	}
+	less := func(a, b []byte) bool {
+		ka := int64(binary.LittleEndian.Uint64(a[1:9]))
+		kb := int64(binary.LittleEndian.Uint64(b[1:9]))
+		if ka != kb {
+			return ka < kb
+		}
+		return a[0] < b[0]
+	}
+	if err := ObliviousSort(st, n, chunkRows, less); err != nil {
+		return nil, err
+	}
+
+	// Merge: one linear scan; the last-seen primary row rides in the
+	// enclave; every position emits exactly one output write.
+	out, err := storage.NewFlat(e, outName, outSchema, n)
+	if err != nil {
+		return nil, err
+	}
+	var heldKey int64
+	var heldRow table.Row
+	held := false
+	matches := 0
+	for p := 0; p < n; p++ {
+		data, err := st.Read(p)
+		if err != nil {
+			return nil, err
+		}
+		tag := data[0]
+		key := int64(binary.LittleEndian.Uint64(data[1:9]))
+		var joined table.Row
+		switch tag {
+		case tagPrimary:
+			row, used, err := t1.Schema().DecodeRecord(data[9:])
+			if err != nil {
+				return nil, err
+			}
+			if used {
+				heldKey, heldRow, held = key, row, true
+			}
+		case tagForeign:
+			if held && key == heldKey {
+				row, used, err := t2.Schema().DecodeRecord(data[9:])
+				if err != nil {
+					return nil, err
+				}
+				if used && heldRow[col1].Equal(row[col2]) {
+					joined = append(append(make(table.Row, 0, len(heldRow)+len(row)), heldRow...), row...)
+				}
+			}
+		}
+		if joined != nil {
+			err = out.SetRow(p, joined, true)
+			matches++
+		} else {
+			err = out.SetRow(p, nil, false)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.BumpRows(matches)
+	return out, nil
+}

@@ -1,0 +1,364 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/oram"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+)
+
+// SelectAlgorithm names the oblivious SELECT variants of §4.1.
+type SelectAlgorithm int
+
+const (
+	// SelectNaive is the ORAM-per-row baseline the paper includes only for
+	// comparison: O(N log N), 4|R| bytes of oblivious memory.
+	SelectNaive SelectAlgorithm = iota
+	// SelectSmall makes one pass per enclave-buffer of output: O(N²/S).
+	SelectSmall
+	// SelectLarge copies the table and clears unselected rows: O(N), for
+	// outputs that are almost the whole table.
+	SelectLarge
+	// SelectContinuous handles results forming one contiguous segment in a
+	// single pass: O(N). Choosing it leaks contiguity (§4.1) and it can be
+	// disabled.
+	SelectContinuous
+	// SelectHash writes each row (or a dummy) to hashed slots of the
+	// output: O(N·C), the general case.
+	SelectHash
+)
+
+// String names the algorithm as the paper does.
+func (a SelectAlgorithm) String() string {
+	switch a {
+	case SelectNaive:
+		return "Naive"
+	case SelectSmall:
+		return "Small"
+	case SelectLarge:
+		return "Large"
+	case SelectContinuous:
+		return "Continuous"
+	case SelectHash:
+		return "Hash"
+	}
+	return fmt.Sprintf("SelectAlgorithm(%d)", int(a))
+}
+
+// hashSlotsPerPosition is the fixed chain depth of the Hash select:
+// "double hashing and ... a fixed-depth list of 5 slots for each position
+// in R ... for each block in T, there will be 10 accesses to R" (§4.1).
+const hashSlotsPerPosition = 5
+
+// ErrHashOverflow reports that the Hash select could not place a selected
+// row within its 10 candidate slots. Azar et al.'s two-choice bound makes
+// this astronomically unlikely at the paper's parameters; callers may
+// retry with a different salt.
+var ErrHashOverflow = errors.New("exec: hash select overflow; retry with a new salt")
+
+// SelectOptions carries the per-query parameters of a SELECT.
+type SelectOptions struct {
+	// OutSize is |R|, the number of matching rows, supplied by the query
+	// planner's stats scan (§5) and already part of the permitted leakage.
+	OutSize int
+	// Transform optionally projects each selected row (fused
+	// select+project, §4.2). The output schema must match.
+	Transform Transform
+	// OutSchema overrides the output schema when Transform changes the row
+	// shape. Nil keeps the input schema.
+	OutSchema *table.Schema
+	// Salt perturbs the Hash algorithm's hash functions on retry.
+	Salt uint64
+	// ContinuousStart is the block index of the first matching row, needed
+	// only by SelectContinuous (also from the stats scan).
+	ContinuousStart int
+}
+
+// Select runs one oblivious SELECT algorithm over in, materializing the
+// matching rows into a fresh flat table. The trace depends only on
+// (algorithm, |T|, |R|, oblivious memory) — never on pred's outcomes.
+func Select(e *enclave.Enclave, in Input, pred table.Pred, alg SelectAlgorithm, opts SelectOptions, outName string) (*storage.Flat, error) {
+	if err := checkOutSize(opts.OutSize); err != nil {
+		return nil, err
+	}
+	switch alg {
+	case SelectNaive:
+		return selectNaive(e, in, pred, opts, outName)
+	case SelectSmall:
+		return selectSmall(e, in, pred, opts, outName)
+	case SelectLarge:
+		return selectLarge(e, in, pred, opts, outName)
+	case SelectContinuous:
+		return selectContinuous(e, in, pred, opts, outName)
+	case SelectHash:
+		return selectHash(e, in, pred, opts, outName)
+	}
+	return nil, fmt.Errorf("exec: unknown select algorithm %d", alg)
+}
+
+// selectNaive is the baseline: one ORAM operation per input row — a write
+// of the row if selected, a dummy read otherwise — then an oblivious copy
+// of the ORAM contents into flat form (§4.1 "Naive").
+func selectNaive(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
+	schema := outputSchema(in, opts.OutSchema)
+	capacity := max(1, opts.OutSize)
+	o, err := oram.New(e, outName+".naive-oram", capacity, schema.RecordSize(), oram.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer o.Close()
+	buf := make([]byte, schema.RecordSize())
+	next := 0
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		if used && pred(row) && next < capacity {
+			if err := schema.EncodeRecord(buf, applyTransform(opts.Transform, row)); err != nil {
+				return nil, err
+			}
+			if _, err := o.Access(oram.OpWrite, next, buf); err != nil {
+				return nil, err
+			}
+			next++
+		} else {
+			if err := o.DummyAccess(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out, err := storage.NewFlat(e, outName, schema, capacity)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < capacity; i++ {
+		data, err := o.Access(oram.OpRead, i, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Store().Write(i, data); err != nil {
+			return nil, err
+		}
+	}
+	out.BumpRows(opts.OutSize)
+	return out, nil
+}
+
+// selectSmall scans the table once per enclave-buffer of output rows
+// (§4.1 "Small", Figure 4A). The buffer draws on whatever oblivious
+// memory is available; less memory means more passes, never wrong results.
+func selectSmall(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
+	schema := outputSchema(in, opts.OutSchema)
+	recSize := schema.RecordSize()
+	bufRows := e.Available() / recSize
+	if bufRows < 1 {
+		bufRows = 1
+	}
+	if bufRows > max(1, opts.OutSize) {
+		bufRows = max(1, opts.OutSize)
+	}
+	reserve := bufRows * recSize
+	if err := e.Reserve(reserve); err != nil {
+		return nil, err
+	}
+	defer e.Release(reserve)
+
+	out, err := storage.NewFlat(e, outName, schema, max(1, opts.OutSize))
+	if err != nil {
+		return nil, err
+	}
+	buffer := make([]table.Row, 0, bufRows)
+	written := 0
+	for written < opts.OutSize || written == 0 {
+		matchOrdinal := 0
+		buffer = buffer[:0]
+		for i := 0; i < in.Blocks(); i++ {
+			row, used, err := in.ReadBlock(i)
+			if err != nil {
+				return nil, err
+			}
+			if used && pred(row) {
+				// Store only this pass's window of matches.
+				if matchOrdinal >= written && len(buffer) < bufRows {
+					buffer = append(buffer, applyTransform(opts.Transform, row).Clone())
+				}
+				matchOrdinal++
+			}
+		}
+		for _, r := range buffer {
+			if err := out.SetRow(written, r, true); err != nil {
+				return nil, err
+			}
+			written++
+		}
+		if written >= opts.OutSize {
+			break
+		}
+		if len(buffer) == 0 {
+			return nil, fmt.Errorf("exec: small select found %d rows, planner promised %d", written, opts.OutSize)
+		}
+	}
+	out.BumpRows(written)
+	return out, nil
+}
+
+// selectLarge copies the input and clears unselected rows in one more pass
+// (§4.1 "Large", Figure 4B). No oblivious memory.
+func selectLarge(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
+	schema := outputSchema(in, opts.OutSchema)
+	out, err := storage.NewFlat(e, outName, schema, max(1, in.Blocks()))
+	if err != nil {
+		return nil, err
+	}
+	// Copy pass: the copy does not depend on the data copied.
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		if used {
+			err = out.SetRow(i, applyTransform(opts.Transform, row), true)
+		} else {
+			err = out.SetRow(i, nil, false)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Clearing pass over the copy: read each block, write back either the
+	// same data (dummy) or an unused record.
+	kept := 0
+	for i := 0; i < in.Blocks(); i++ {
+		// Note pred must be evaluated on the original row; with a
+		// transform the output row may lack predicate columns, so re-read
+		// the input block for the decision while giving the output the
+		// uniform read+write.
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		outRow, outUsed, err := out.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		if used && pred(row) {
+			if err := out.SetRow(i, outRow, outUsed); err != nil {
+				return nil, err
+			}
+			kept++
+		} else {
+			if err := out.SetRow(i, nil, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.BumpRows(kept)
+	return out, nil
+}
+
+// selectContinuous handles results forming one contiguous run: for the
+// i-th input row, write (really or dummily) to output position i mod |R|
+// (§4.1 "Continuous", Figure 4C). The run may start anywhere; the output
+// is the run rotated by start mod |R|. No oblivious memory.
+func selectContinuous(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
+	schema := outputSchema(in, opts.OutSchema)
+	capacity := max(1, opts.OutSize)
+	out, err := storage.NewFlat(e, outName, schema, capacity)
+	if err != nil {
+		return nil, err
+	}
+	kept := 0
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		j := i % capacity
+		// Read the target slot so a dummy write re-encrypts its current
+		// contents, indistinguishable from a real write.
+		cur, curUsed, err := out.ReadBlock(j)
+		if err != nil {
+			return nil, err
+		}
+		if used && pred(row) && kept < opts.OutSize {
+			err = out.SetRow(j, applyTransform(opts.Transform, row), true)
+			kept++
+		} else {
+			err = out.SetRow(j, cur, curUsed)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.BumpRows(kept)
+	return out, nil
+}
+
+// selectHash writes each selected row to one of 10 hash-addressed slots of
+// the output — 5 chained slots at each of two hash positions — and gives
+// every input row the identical 10 read+write accesses (§4.1 "Hash",
+// Figure 5). The hashes are over the row's position in T, not its
+// contents, so access patterns carry no data. No oblivious memory.
+func selectHash(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
+	schema := outputSchema(in, opts.OutSchema)
+	positions := max(1, opts.OutSize)
+	out, err := storage.NewFlat(e, outName, schema, positions*hashSlotsPerPosition)
+	if err != nil {
+		return nil, err
+	}
+	kept := 0
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		selected := used && pred(row) && kept < opts.OutSize
+		placed := false
+		p1 := hashPos(uint64(i), 0x9e37+opts.Salt, positions)
+		p2 := hashPos(uint64(i), 0x85eb+opts.Salt, positions)
+		for _, p := range [2]int{p1, p2} {
+			for s := 0; s < hashSlotsPerPosition; s++ {
+				slot := p*hashSlotsPerPosition + s
+				cur, curUsed, err := out.ReadBlock(slot)
+				if err != nil {
+					return nil, err
+				}
+				if selected && !placed && !curUsed {
+					if err := out.SetRow(slot, applyTransform(opts.Transform, row), true); err != nil {
+						return nil, err
+					}
+					placed = true
+					continue
+				}
+				if err := out.SetRow(slot, cur, curUsed); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if selected {
+			if !placed {
+				return nil, ErrHashOverflow
+			}
+			kept++
+		}
+	}
+	out.BumpRows(kept)
+	return out, nil
+}
+
+// hashPos hashes a block index (with salt) to an output position.
+func hashPos(i, salt uint64, positions int) int {
+	h := fnv.New64a()
+	var b [16]byte
+	for k := 0; k < 8; k++ {
+		b[k] = byte(i >> (8 * k))
+		b[8+k] = byte(salt >> (8 * k))
+	}
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(positions))
+}

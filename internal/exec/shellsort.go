@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"oblidb/internal/enclave"
+)
+
+// ShellSort is the randomized Shellsort of Goodrich (J.ACM 2011), which
+// the paper cites as the way to "reduce the O(log² n) terms in the
+// oblivious sorts to O(log n) ... at the cost of making the correctness
+// of the sorting algorithm probabilistic" (§4.3).
+//
+// The compare-exchange sequence is drawn from rng *before looking at any
+// data*, so the access pattern — though randomized — is data-independent
+// and the sort is oblivious exactly like the bitonic network. Unlike the
+// network it performs O(n log n) compare-exchanges; with the region
+// passes below it sorts with overwhelming probability, and the
+// (astronomically unlikely) failure mode is a slightly unsorted output,
+// not an error — which is why ObliDB keeps the deterministic bitonic sort
+// as its default.
+func ShellSort(st *enclave.Store, n int, rng *rand.Rand, less func(a, b []byte) bool) error {
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("exec: shellsort size %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	for offset := n / 2; offset >= 1; offset /= 2 {
+		regions := n / offset
+		// Shaker pass, upward then downward.
+		for i := 0; i < regions-1; i++ {
+			if err := compareRegions(st, i*offset, (i+1)*offset, offset, rng, less); err != nil {
+				return err
+			}
+		}
+		for i := regions - 2; i >= 0; i-- {
+			if err := compareRegions(st, i*offset, (i+1)*offset, offset, rng, less); err != nil {
+				return err
+			}
+		}
+		// Brick passes at stride 3 then 2 (Goodrich's extended brick
+		// pattern), then the odd-even adjacent passes.
+		for _, stride := range []int{3, 2} {
+			for i := 0; i+stride < regions; i++ {
+				if err := compareRegions(st, i*offset, (i+stride)*offset, offset, rng, less); err != nil {
+					return err
+				}
+			}
+		}
+		for i := 0; i < regions-1; i += 2 {
+			if err := compareRegions(st, i*offset, (i+1)*offset, offset, rng, less); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < regions-1; i += 2 {
+			if err := compareRegions(st, i*offset, (i+1)*offset, offset, rng, less); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// regionComparisons is the number of random matchings per region pair;
+// Goodrich proves a constant suffices w.h.p., and a slightly generous
+// constant keeps the failure probability negligible at database sizes.
+const regionComparisons = 3
+
+// compareRegions runs c random matchings between two offset-sized
+// regions: for each matching, element i of the left region is
+// compare-exchanged with element π(i) of the right. The permutations come
+// from rng, never from data.
+func compareRegions(st *enclave.Store, a, b, offset int, rng *rand.Rand, less func(x, y []byte) bool) error {
+	if offset == 1 {
+		return compareExchange(st, a, b, true, less)
+	}
+	for c := 0; c < regionCompariparisonsFor(offset); c++ {
+		perm := rng.Perm(offset)
+		for i := 0; i < offset; i++ {
+			if err := compareExchange(st, a+i, b+perm[i], true, less); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// regionCompariparisonsFor lets tiny regions use more matchings, where a
+// single random matching mixes poorly.
+func regionCompariparisonsFor(offset int) int {
+	if offset <= 4 {
+		return regionComparisons + 1
+	}
+	return regionComparisons
+}

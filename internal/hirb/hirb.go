@@ -1,0 +1,406 @@
+// Package hirb models the HIRB tree + vORAM oblivious map of Roche,
+// Aviv, and Choi (S&P'16), the point-query comparison system of §7.1.
+//
+// HIRB differs from ObliDB's indexes in the ways that make it slower in
+// the paper's measurement (Figure 9):
+//
+//   - Its ORAM ("vORAM") uses large buckets — the paper instantiates 4096
+//     bytes, "a somewhat larger size than our own ORAM's buckets" — so
+//     every path access moves far more data through encryption.
+//   - Its client does not sit in an enclave shortcutting reads and
+//     writes: each tree level costs a separate ORAM read and ORAM write
+//     round trip, preserving history independence under the paper's
+//     "catastrophic attack" model.
+//
+// The structure here is a hash-digit trie of fixed height with β=16
+// children per node, giving the same expected O(log_β n) levels as the
+// HIRB tree's hash-derived node heights, with every operation touching
+// exactly height levels.
+package hirb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/oram"
+)
+
+// BucketSize is the vORAM bucket size from the paper's evaluation.
+const BucketSize = 4096
+
+const beta = 16 // children per internal node
+
+// Map is an oblivious key-value map over a large-bucket ORAM.
+type Map struct {
+	o         *oram.ORAM
+	height    int // levels, including the leaf level
+	valueSize int
+	capacity  int
+	count     int
+	nextID    uint32
+	free      []uint32
+	buf       []byte
+}
+
+// node kinds; a fresh all-zero block is kindEmpty.
+const (
+	kindEmpty    = 0
+	kindInternal = 1
+	kindLeaf     = 2
+)
+
+// New creates a map for up to capacity entries of fixed valueSize.
+func New(e *enclave.Enclave, name string, capacity, valueSize int) (*Map, error) {
+	if capacity <= 0 || valueSize <= 0 {
+		return nil, fmt.Errorf("hirb: invalid capacity=%d valueSize=%d", capacity, valueSize)
+	}
+	entrySize := 8 + valueSize
+	perLeaf := (BucketSize - 3) / entrySize
+	if perLeaf < 1 {
+		return nil, fmt.Errorf("hirb: value size %d too large for %d-byte buckets", valueSize, BucketSize)
+	}
+	// Choose the height so expected leaf occupancy is ~perLeaf/2, leaving
+	// headroom for hash skew.
+	height := 1
+	leaves := 1
+	for leaves*perLeaf < 2*capacity {
+		leaves *= beta
+		height++
+	}
+	// Block budget: the full trie can materialize in the worst case.
+	blocks := 1 + 16
+	p := 1
+	for l := 1; l < height; l++ {
+		p *= beta
+		blocks += p
+	}
+	o, err := oram.New(e, name, blocks, BucketSize, oram.Options{})
+	if err != nil {
+		return nil, err
+	}
+	m := &Map{o: o, height: height, valueSize: valueSize, capacity: capacity, nextID: 1, buf: make([]byte, BucketSize)}
+	// Materialize the root.
+	if _, err := o.Access(oram.OpWrite, 0, m.encodeInternal(make([]uint32, beta))); err != nil {
+		return nil, err
+	}
+	if height == 1 {
+		if _, err := o.Access(oram.OpWrite, 0, m.encodeLeaf(nil)); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Close releases ORAM resources.
+func (m *Map) Close() { m.o.Close() }
+
+// Count returns the number of stored entries.
+func (m *Map) Count() int { return m.count }
+
+// Height returns the trie height.
+func (m *Map) Height() int { return m.height }
+
+func keyHash(key int64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(key))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+func digit(hash uint64, level int) int {
+	return int(hash >> (4 * level) & 0xF)
+}
+
+type leafEntry struct {
+	key int64
+	val []byte
+}
+
+func (m *Map) encodeInternal(children []uint32) []byte {
+	for i := range m.buf {
+		m.buf[i] = 0
+	}
+	m.buf[0] = kindInternal
+	for i, c := range children {
+		binary.LittleEndian.PutUint32(m.buf[3+4*i:], c)
+	}
+	return m.buf
+}
+
+func (m *Map) encodeLeaf(entries []leafEntry) []byte {
+	for i := range m.buf {
+		m.buf[i] = 0
+	}
+	m.buf[0] = kindLeaf
+	binary.LittleEndian.PutUint16(m.buf[1:3], uint16(len(entries)))
+	off := 3
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(m.buf[off:], uint64(e.key))
+		copy(m.buf[off+8:off+8+m.valueSize], e.val)
+		off += 8 + m.valueSize
+	}
+	return m.buf
+}
+
+func decodeInternal(data []byte) []uint32 {
+	children := make([]uint32, beta)
+	for i := range children {
+		children[i] = binary.LittleEndian.Uint32(data[3+4*i:])
+	}
+	return children
+}
+
+func (m *Map) decodeLeaf(data []byte) []leafEntry {
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	entries := make([]leafEntry, n)
+	off := 3
+	for i := 0; i < n; i++ {
+		entries[i].key = int64(binary.LittleEndian.Uint64(data[off:]))
+		entries[i].val = append([]byte(nil), data[off+8:off+8+m.valueSize]...)
+		off += 8 + m.valueSize
+	}
+	return entries
+}
+
+// walk descends to the leaf for key, modeling the vORAM client's
+// separate read and write round trips at every level: each level costs
+// two ORAM operations whatever the op, so gets, puts, and deletes are
+// indistinguishable.
+//
+// mutate edits the leaf entries (nil for reads) and reports whether it
+// changed them; walk still rewrites every visited node either way.
+func (m *Map) walk(key int64, mutate func(entries []leafEntry) ([]leafEntry, bool)) ([]leafEntry, error) {
+	h := keyHash(key)
+	id := uint32(0)
+	var leafEntries []leafEntry
+	for level := 0; level < m.height; level++ {
+		data, err := m.o.Access(oram.OpRead, int(id), nil)
+		if err != nil {
+			return nil, err
+		}
+		kind := data[0]
+		atLeafLevel := level == m.height-1
+		if atLeafLevel {
+			var entries []leafEntry
+			if kind == kindLeaf {
+				entries = m.decodeLeaf(data)
+			}
+			leafEntries = entries
+			if mutate != nil {
+				if newEntries, changed := mutate(entries); changed {
+					entries = newEntries
+					leafEntries = newEntries
+				}
+			}
+			if len(entries)*(8+m.valueSize)+3 > BucketSize {
+				return nil, fmt.Errorf("hirb: leaf overflow (%d entries); capacity exceeded or hash skew", len(entries))
+			}
+			if _, err := m.o.Access(oram.OpWrite, int(id), m.encodeLeaf(entries)); err != nil {
+				return nil, err
+			}
+			break
+		}
+		var children []uint32
+		if kind == kindInternal {
+			children = decodeInternal(data)
+		} else {
+			children = make([]uint32, beta)
+		}
+		d := digit(h, level)
+		if children[d] == 0 {
+			if mutate == nil {
+				// Read of a never-materialized subtree: write the node
+				// back unchanged and pad the remaining levels with dummy
+				// accesses so every walk costs 2 ORAM ops per level.
+				if _, err := m.o.Access(oram.OpWrite, int(id), m.encodeInternal(children)); err != nil {
+					return nil, err
+				}
+				for rest := level + 1; rest < m.height; rest++ {
+					if err := m.o.DummyAccess(); err != nil {
+						return nil, err
+					}
+					if err := m.o.DummyAccess(); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			}
+			// Mutations materialize the path.
+			cid, err := m.alloc()
+			if err != nil {
+				return nil, err
+			}
+			children[d] = cid + 1
+		}
+		next := children[d] - 1
+		if _, err := m.o.Access(oram.OpWrite, int(id), m.encodeInternal(children)); err != nil {
+			return nil, err
+		}
+		id = next
+	}
+	return leafEntries, nil
+}
+
+func (m *Map) alloc() (uint32, error) {
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		return id, nil
+	}
+	if int(m.nextID) >= m.o.Capacity() {
+		return 0, fmt.Errorf("hirb: out of blocks")
+	}
+	id := m.nextID
+	m.nextID++
+	return id, nil
+}
+
+// Get fetches the value for key.
+func (m *Map) Get(key int64) ([]byte, bool, error) {
+	entries, err := m.walk(key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, e := range entries {
+		if e.key == key {
+			return e.val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Put inserts or replaces the value for key.
+func (m *Map) Put(key int64, val []byte) error {
+	if len(val) != m.valueSize {
+		return fmt.Errorf("hirb: value must be %d bytes, got %d", m.valueSize, len(val))
+	}
+	if m.count >= m.capacity {
+		return fmt.Errorf("hirb: map is full (%d entries)", m.capacity)
+	}
+	added := false
+	_, err := m.walk(key, func(entries []leafEntry) ([]leafEntry, bool) {
+		for i := range entries {
+			if entries[i].key == key {
+				entries[i].val = append([]byte(nil), val...)
+				return entries, true
+			}
+		}
+		added = true
+		return append(entries, leafEntry{key: key, val: append([]byte(nil), val...)}), true
+	})
+	if err == nil && added {
+		m.count++
+	}
+	return err
+}
+
+// Delete removes key, reporting whether it existed.
+func (m *Map) Delete(key int64) (bool, error) {
+	removed := false
+	_, err := m.walk(key, func(entries []leafEntry) ([]leafEntry, bool) {
+		for i := range entries {
+			if entries[i].key == key {
+				entries = append(entries[:i], entries[i+1:]...)
+				removed = true
+				return entries, true
+			}
+		}
+		return entries, false
+	})
+	if err == nil && removed {
+		m.count--
+	}
+	return removed, err
+}
+
+// BulkLoad fills an empty map in one pass, writing each trie node block
+// exactly once — setup for benchmarks, where only the entry count leaks.
+// Duplicate keys keep the last value.
+func (m *Map) BulkLoad(keys []int64, vals [][]byte) error {
+	if m.count != 0 {
+		return fmt.Errorf("hirb: BulkLoad requires an empty map")
+	}
+	if len(keys) != len(vals) {
+		return fmt.Errorf("hirb: %d keys but %d values", len(keys), len(vals))
+	}
+	if len(keys) > m.capacity {
+		return fmt.Errorf("hirb: %d entries exceed capacity %d", len(keys), m.capacity)
+	}
+	type memNode struct {
+		children [beta]*memNode
+		entries  []leafEntry
+	}
+	root := &memNode{}
+	count := 0
+	for i, k := range keys {
+		if len(vals[i]) != m.valueSize {
+			return fmt.Errorf("hirb: value %d is %d bytes, want %d", i, len(vals[i]), m.valueSize)
+		}
+		h := keyHash(k)
+		n := root
+		for level := 0; level < m.height-1; level++ {
+			d := digit(h, level)
+			if n.children[d] == nil {
+				n.children[d] = &memNode{}
+			}
+			n = n.children[d]
+		}
+		replaced := false
+		for j := range n.entries {
+			if n.entries[j].key == k {
+				n.entries[j].val = append([]byte(nil), vals[i]...)
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			n.entries = append(n.entries, leafEntry{key: k, val: append([]byte(nil), vals[i]...)})
+			count++
+		}
+	}
+	var write func(n *memNode, id uint32, level int) error
+	write = func(n *memNode, id uint32, level int) error {
+		if level == m.height-1 {
+			if len(n.entries)*(8+m.valueSize)+3 > BucketSize {
+				return fmt.Errorf("hirb: leaf overflow during bulk load")
+			}
+			_, err := m.o.Access(oram.OpWrite, int(id), m.encodeLeaf(n.entries))
+			return err
+		}
+		children := make([]uint32, beta)
+		for d, c := range n.children {
+			if c == nil {
+				continue
+			}
+			cid, err := m.alloc()
+			if err != nil {
+				return err
+			}
+			children[d] = cid + 1
+			if err := write(c, cid, level+1); err != nil {
+				return err
+			}
+		}
+		_, err := m.o.Access(oram.OpWrite, int(id), m.encodeInternal(children))
+		return err
+	}
+	if err := write(root, 0, 0); err != nil {
+		return err
+	}
+	m.count = count
+	return nil
+}
+
+// valueEqual is a test helper for fixed-size values.
+func valueEqual(a, b []byte) bool { return bytes.Equal(a, b) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

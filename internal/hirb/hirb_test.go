@@ -1,0 +1,234 @@
+package hirb
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/trace"
+)
+
+func newMap(t *testing.T, capacity int, tr *trace.Tracer) *Map {
+	t.Helper()
+	e := enclave.MustNew(enclave.Config{Tracer: tr})
+	m, err := New(e, "hirb", capacity, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func val64(v uint64) []byte {
+	b := make([]byte, 64)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestPutGetDelete(t *testing.T) {
+	m := newMap(t, 200, nil)
+	for i := int64(0); i < 100; i++ {
+		if err := m.Put(i, val64(uint64(i*7))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if m.Count() != 100 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok, err := m.Get(i)
+		if err != nil || !ok {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+		if binary.LittleEndian.Uint64(v) != uint64(i*7) {
+			t.Fatalf("get %d wrong value", i)
+		}
+	}
+	if _, ok, _ := m.Get(1000); ok {
+		t.Fatal("absent key found")
+	}
+	for i := int64(0); i < 50; i++ {
+		ok, err := m.Delete(i)
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if m.Count() != 50 {
+		t.Fatalf("Count after deletes = %d", m.Count())
+	}
+	if ok, _ := m.Delete(0); ok {
+		t.Fatal("double delete succeeded")
+	}
+	for i := int64(50); i < 100; i++ {
+		if _, ok, _ := m.Get(i); !ok {
+			t.Fatalf("surviving key %d lost", i)
+		}
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	m := newMap(t, 10, nil)
+	_ = m.Put(5, val64(1))
+	_ = m.Put(5, val64(2))
+	if m.Count() != 1 {
+		t.Fatalf("replace changed count: %d", m.Count())
+	}
+	v, _, _ := m.Get(5)
+	if binary.LittleEndian.Uint64(v) != 2 {
+		t.Fatal("replace did not take")
+	}
+}
+
+func TestValueSizeEnforced(t *testing.T) {
+	m := newMap(t, 10, nil)
+	if err := m.Put(1, make([]byte, 63)); err == nil {
+		t.Fatal("short value accepted")
+	}
+}
+
+func TestModel(t *testing.T) {
+	m := newMap(t, 300, nil)
+	model := map[int64]uint64{}
+	rng := rand.New(rand.NewPCG(6, 6))
+	for step := 0; step < 1500; step++ {
+		k := int64(rng.IntN(80))
+		switch rng.IntN(3) {
+		case 0:
+			if len(model) < 300 {
+				v := rng.Uint64()
+				if err := m.Put(k, val64(v)); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = v
+			}
+		case 1:
+			ok, err := m.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want := model[k]
+			if ok != want {
+				t.Fatalf("step %d: delete(%d)=%v, model %v", step, k, ok, want)
+			}
+			delete(model, k)
+		default:
+			v, ok, err := m.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, exists := model[k]
+			if ok != exists {
+				t.Fatalf("step %d: get(%d)=%v, model %v", step, k, ok, exists)
+			}
+			if ok && binary.LittleEndian.Uint64(v) != want {
+				t.Fatalf("step %d: get(%d) wrong value", step, k)
+			}
+		}
+	}
+}
+
+func TestUniformAccessCounts(t *testing.T) {
+	// Gets, puts, and deletes — hit or miss — perform identical numbers of
+	// untrusted accesses: 2 ORAM ops per level.
+	tr := trace.New()
+	tr.EnableCounts()
+	e := enclave.MustNew(enclave.Config{Tracer: tr})
+	m, err := New(e, "hirb", 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := int64(0); i < 50; i++ {
+		_ = m.Put(i, val64(uint64(i)))
+	}
+	count := func(f func()) int {
+		before := tr.TotalCount()
+		f()
+		return int(tr.TotalCount() - before)
+	}
+	want := count(func() { _, _, _ = m.Get(0) })
+	ops := []func(){
+		func() { _, _, _ = m.Get(49) },
+		func() { _, _, _ = m.Get(-12345) }, // miss
+		func() { _ = m.Put(7, val64(9)) },  // replace
+		func() { _, _ = m.Delete(3) },
+		func() { _, _ = m.Delete(-999) }, // miss
+	}
+	for i, f := range ops {
+		if got := count(f); got != want {
+			t.Fatalf("op %d made %d accesses, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	m := newMap(t, 4, nil)
+	for i := int64(0); i < 4; i++ {
+		if err := m.Put(i, val64(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Put(99, val64(0)); err == nil {
+		t.Fatal("over-capacity put accepted")
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	m := newMap(t, 300, nil)
+	keys := make([]int64, 0, 200)
+	vals := make([][]byte, 0, 200)
+	for i := int64(0); i < 200; i++ {
+		keys = append(keys, i)
+		vals = append(vals, val64(uint64(i*3)))
+	}
+	// One duplicate: last value wins, count unaffected.
+	keys = append(keys, 10)
+	vals = append(vals, val64(999))
+	if err := m.BulkLoad(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 200 {
+		t.Fatalf("Count = %d, want 200", m.Count())
+	}
+	for i := int64(0); i < 200; i++ {
+		v, ok, err := m.Get(i)
+		if err != nil || !ok {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+		want := uint64(i * 3)
+		if i == 10 {
+			want = 999
+		}
+		if binary.LittleEndian.Uint64(v) != want {
+			t.Fatalf("get %d = %d, want %d", i, binary.LittleEndian.Uint64(v), want)
+		}
+	}
+	// Mutations still work after a bulk load.
+	if err := m.Put(500, val64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m.Delete(0); !ok {
+		t.Fatal("delete after bulk load failed")
+	}
+	if err := m.BulkLoad(keys, vals); err == nil {
+		t.Fatal("bulk load into non-empty map accepted")
+	}
+}
+
+func TestHeightScalesWithCapacity(t *testing.T) {
+	e := enclave.MustNew(enclave.Config{})
+	small, err := New(e, "s", 50, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	big, err := New(e, "b", 50000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	if big.Height() <= small.Height() {
+		t.Fatalf("heights: big=%d small=%d", big.Height(), small.Height())
+	}
+}

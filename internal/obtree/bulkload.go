@@ -1,0 +1,117 @@
+package obtree
+
+import (
+	"fmt"
+	"sort"
+
+	"oblidb/internal/table"
+)
+
+// BulkLoad fills an empty tree bottom-up: records first, then leaf nodes
+// at ~3/4 occupancy, then each internal level, one ORAM write per block.
+// This is the standard initial-load path — the access pattern is a fixed
+// function of the row count (every block of a freshly built tree is
+// written exactly once in a deterministic order), so it leaks only the
+// table size, like everything else. It avoids the per-insert worst-case
+// padding that makes incremental loads O(N log² N).
+func (t *Tree) BulkLoad(rows []table.Row) error {
+	if t.height != 0 || t.rows != 0 {
+		return fmt.Errorf("obtree: BulkLoad requires an empty tree")
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if len(rows) > t.maxRows {
+		return fmt.Errorf("obtree: %d rows exceed capacity %d", len(rows), t.maxRows)
+	}
+	for _, r := range rows {
+		if err := t.schema.ValidateRow(r); err != nil {
+			return err
+		}
+	}
+	// Sort by key; record ids are assigned in sorted order so composite
+	// (key, recID) order matches slice order.
+	sorted := make([]table.Row, len(rows))
+	copy(sorted, rows)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i][t.keyCol].AsInt() < sorted[j][t.keyCol].AsInt()
+	})
+
+	type entry struct {
+		key int64
+		seq uint32 // record id (leaf) or separator seq (internal)
+		ptr uint32 // child/record id
+	}
+	entries := make([]entry, len(sorted))
+	for i, r := range sorted {
+		recID, err := t.alloc()
+		if err != nil {
+			return err
+		}
+		if err := t.writeRecord(recID, r); err != nil {
+			return err
+		}
+		entries[i] = entry{key: r[t.keyCol].AsInt(), seq: recID, ptr: recID}
+	}
+
+	const fill = fanout * 3 / 4 // leave room for future inserts
+	level := 0
+	leaf := true
+	for {
+		numNodes := (len(entries) + fill - 1) / fill
+		if len(entries) <= fanout {
+			numNodes = 1
+		}
+		// Pre-allocate ids so leaves can set next pointers.
+		ids := make([]uint32, numNodes)
+		for i := range ids {
+			id, err := t.alloc()
+			if err != nil {
+				return err
+			}
+			ids[i] = id
+		}
+		parents := make([]entry, 0, numNodes)
+		for i := 0; i < numNodes; i++ {
+			lo := i * len(entries) / numNodes
+			hi := (i + 1) * len(entries) / numNodes
+			nd := &node{leaf: leaf}
+			if leaf {
+				nd.n = hi - lo
+				for j, e := range entries[lo:hi] {
+					nd.keys[j] = e.key
+					nd.seqs[j] = e.seq
+					nd.ptrs[j] = e.ptr
+				}
+				if i+1 < numNodes {
+					nd.next = ids[i+1] + 1
+				}
+			} else {
+				// Internal: first child has no separator; separators come
+				// from each subsequent child's leftmost composite key.
+				nd.n = hi - lo - 1
+				nd.ptrs[0] = entries[lo].ptr
+				for j, e := range entries[lo+1 : hi] {
+					nd.keys[j] = e.key
+					nd.seqs[j] = e.seq
+					nd.ptrs[j+1] = e.ptr
+				}
+			}
+			if err := t.writeNode(ids[i], nd); err != nil {
+				return err
+			}
+			// This node's leftmost composite key becomes its parent
+			// separator.
+			parents = append(parents, entry{key: entries[lo].key, seq: entries[lo].seq, ptr: ids[i]})
+		}
+		level++
+		if numNodes == 1 {
+			t.root = ids[0]
+			t.height = level
+			t.rows = len(rows)
+			return nil
+		}
+		entries = parents
+		leaf = false
+	}
+}

@@ -1,0 +1,335 @@
+// Package obtree implements ObliDB's indexed storage method (§3.2): a B+
+// tree stored inside a Path ORAM, modified so that composing the two leaks
+// nothing beyond what the paper concedes.
+//
+// The modifications from a textbook B+ tree:
+//
+//   - Every insertion and deletion is padded with dummy ORAM accesses to
+//     the worst-case access count for the tree's (public) height, hiding
+//     splits and merges.
+//   - No parent pointers: splits and merges would otherwise trigger an
+//     ORAM write per child to repoint them (§3.2).
+//   - Lazy write-back: nodes touched by an operation are held in the
+//     enclave and each written to the ORAM once, at the end.
+//   - Data lives in record blocks of one row each (the paper fixes leaves
+//     to one record per block), addressed by the leaf entries.
+//
+// Entries are ordered by the composite (key, record id), which makes every
+// entry unique even under duplicate keys, so ranges never straddle
+// ambiguously and delete targets one specific entry.
+package obtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/oram"
+	"oblidb/internal/table"
+)
+
+// fanout is the maximum number of keys per node. One extra slot in the
+// arrays absorbs the transient overflow that triggers a split.
+const fanout = 8
+
+const (
+	minKeys = fanout / 2
+	maxKeys = fanout + 1
+)
+
+// Block kinds. A fresh (all-zero) ORAM block decodes as kindFree.
+const (
+	kindFree     = 0
+	kindInternal = 1
+	kindLeaf     = 2
+	kindRecord   = 3
+)
+
+// node is the in-enclave form of a tree node.
+//
+// Internal: keys[0..n-1] with seqs as separator tiebreakers, ptrs[0..n]
+// child node ids. Child i holds entries < (keys[i], seqs[i]); child n
+// holds the rest.
+//
+// Leaf: entries (keys[i], ptrs[i]) for i < n, sorted by composite key;
+// ptrs are record block ids (which double as the seq tiebreaker).
+// next links the leaf chain (stored +1; 0 = none).
+type node struct {
+	leaf bool
+	n    int
+	keys [maxKeys]int64
+	seqs [maxKeys]uint32
+	ptrs [maxKeys + 1]uint32
+	next uint32
+}
+
+// seq returns the composite tiebreaker of entry/separator i.
+func (nd *node) seq(i int) int64 {
+	if nd.leaf {
+		return int64(nd.ptrs[i])
+	}
+	return int64(nd.seqs[i])
+}
+
+// cmpKS orders composite keys. seq -1 acts as -infinity for range bounds.
+func cmpKS(k1, s1, k2, s2 int64) int {
+	switch {
+	case k1 < k2:
+		return -1
+	case k1 > k2:
+		return 1
+	case s1 < s2:
+		return -1
+	case s1 > s2:
+		return 1
+	}
+	return 0
+}
+
+// nodeBytes is the encoded size of a node.
+const nodeBytes = 1 + 2 + 4 + maxKeys*8 + (maxKeys+1)*4 + maxKeys*4
+
+// Tree is an oblivious B+ tree over one Path ORAM.
+type Tree struct {
+	enc     *enclave.Enclave
+	schema  *table.Schema
+	keyCol  int
+	o       oram.Scheme
+	name    string
+	root    uint32
+	height  int // node levels on the root-leaf path; 0 = empty tree
+	rows    int
+	free    []uint32
+	nextID  uint32
+	maxRows int
+	ops     int // ORAM accesses in the current operation, for padding
+	buf     []byte
+}
+
+// Options tunes tree construction.
+type Options struct {
+	// RecursiveORAM selects the recursive position map (Appendix B).
+	RecursiveORAM bool
+	// RingORAM stores the tree in a Ring ORAM instead of Path ORAM — the
+	// §8 drop-in replacement ("any other ORAM could replace it with no
+	// other changes to the system").
+	RingORAM bool
+}
+
+// New creates an empty oblivious B+ tree indexing rows of the given schema
+// by the integer column keyCol, able to hold up to maxRows rows.
+func New(e *enclave.Enclave, name string, schema *table.Schema, keyCol, maxRows int, opts Options) (*Tree, error) {
+	if keyCol < 0 || keyCol >= schema.NumColumns() {
+		return nil, fmt.Errorf("obtree: key column %d out of range", keyCol)
+	}
+	if k := schema.Col(keyCol).Kind; k != table.KindInt {
+		return nil, fmt.Errorf("obtree: key column %q must be INTEGER, is %s", schema.Col(keyCol).Name, k)
+	}
+	if maxRows <= 0 {
+		return nil, fmt.Errorf("obtree: maxRows must be positive, got %d", maxRows)
+	}
+	blockSize := nodeBytes
+	if rs := 1 + schema.RecordSize(); rs > blockSize {
+		blockSize = rs
+	}
+	// One record block per row plus tree nodes (≤ ~N/3 at half occupancy),
+	// with slack for transient split allocations.
+	capacity := 2*maxRows + 16
+	var o oram.Scheme
+	var err error
+	if opts.RingORAM {
+		o, err = oram.NewRing(e, name, capacity, blockSize, oram.Options{Recursive: opts.RecursiveORAM})
+	} else {
+		o, err = oram.New(e, name, capacity, blockSize, oram.Options{Recursive: opts.RecursiveORAM})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		enc:     e,
+		schema:  schema,
+		keyCol:  keyCol,
+		o:       o,
+		name:    name,
+		maxRows: maxRows,
+		buf:     make([]byte, blockSize),
+	}, nil
+}
+
+// Close releases the tree's ORAM resources.
+func (t *Tree) Close() { t.o.Close() }
+
+// Schema returns the row schema.
+func (t *Tree) Schema() *table.Schema { return t.schema }
+
+// KeyCol returns the indexed column.
+func (t *Tree) KeyCol() int { return t.keyCol }
+
+// NumRows returns the number of rows stored.
+func (t *Tree) NumRows() int { return t.rows }
+
+// MaxRows returns the construction-time capacity.
+func (t *Tree) MaxRows() int { return t.maxRows }
+
+// Height returns the number of node levels (0 for an empty tree). Height
+// is public: it is a function of the (leaked) table size.
+func (t *Tree) Height() int { return t.height }
+
+// ORAM exposes the underlying ORAM scheme for size accounting and raw
+// scans.
+func (t *Tree) ORAM() oram.Scheme { return t.o }
+
+// --- block ids -----------------------------------------------------------
+
+func (t *Tree) alloc() (uint32, error) {
+	if n := len(t.free); n > 0 {
+		id := t.free[n-1]
+		t.free = t.free[:n-1]
+		return id, nil
+	}
+	if int(t.nextID) >= t.o.Capacity() {
+		return 0, fmt.Errorf("obtree: index %q is full (%d rows)", t.name, t.maxRows)
+	}
+	id := t.nextID
+	t.nextID++
+	return id, nil
+}
+
+func (t *Tree) freeID(id uint32) { t.free = append(t.free, id) }
+
+// --- ORAM I/O with access counting ----------------------------------------
+
+func (t *Tree) readNode(id uint32) (*node, error) {
+	t.ops++
+	data, err := t.o.Access(oram.OpRead, int(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(data)
+}
+
+func (t *Tree) writeNode(id uint32, nd *node) error {
+	t.ops++
+	encodeNode(t.buf, nd)
+	_, err := t.o.Access(oram.OpWrite, int(id), t.buf)
+	return err
+}
+
+func (t *Tree) readRecord(id uint32) (table.Row, error) {
+	t.ops++
+	data, err := t.o.Access(oram.OpRead, int(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	if data[0] != kindRecord {
+		return nil, fmt.Errorf("obtree: block %d is not a record (kind %d)", id, data[0])
+	}
+	row, used, err := t.schema.DecodeRecord(data[1:])
+	if err != nil {
+		return nil, err
+	}
+	if !used {
+		return nil, fmt.Errorf("obtree: record block %d is unused", id)
+	}
+	return row, nil
+}
+
+func (t *Tree) writeRecord(id uint32, r table.Row) error {
+	t.ops++
+	for i := range t.buf {
+		t.buf[i] = 0
+	}
+	t.buf[0] = kindRecord
+	if err := t.schema.EncodeRecord(t.buf[1:], r); err != nil {
+		return err
+	}
+	_, err := t.o.Access(oram.OpWrite, int(id), t.buf)
+	return err
+}
+
+// clearBlock overwrites a freed block with kindFree so linear raw scans
+// never resurrect deleted rows.
+func (t *Tree) clearBlock(id uint32) error {
+	t.ops++
+	for i := range t.buf {
+		t.buf[i] = 0
+	}
+	_, err := t.o.Access(oram.OpWrite, int(id), t.buf)
+	return err
+}
+
+func (t *Tree) dummyAccess() error {
+	t.ops++
+	return t.o.DummyAccess()
+}
+
+// beginOp resets the access counter.
+func (t *Tree) beginOp() { t.ops = 0 }
+
+// padTo issues dummy ORAM accesses until the operation has performed
+// exactly target accesses — the paper's defense for hiding splits and
+// merges (§3.2). target must be a function of public state only.
+func (t *Tree) padTo(target int) error {
+	if t.ops > target {
+		return fmt.Errorf("obtree: operation used %d accesses, exceeding its padding target %d", t.ops, target)
+	}
+	for t.ops < target {
+		if err := t.dummyAccess(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- node codec ------------------------------------------------------------
+
+func encodeNode(buf []byte, nd *node) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if nd.leaf {
+		buf[0] = kindLeaf
+	} else {
+		buf[0] = kindInternal
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(nd.n))
+	binary.LittleEndian.PutUint32(buf[3:7], nd.next)
+	off := 7
+	for i := 0; i < maxKeys; i++ {
+		binary.LittleEndian.PutUint64(buf[off+i*8:], uint64(nd.keys[i]))
+	}
+	off += maxKeys * 8
+	for i := 0; i < maxKeys+1; i++ {
+		binary.LittleEndian.PutUint32(buf[off+i*4:], nd.ptrs[i])
+	}
+	off += (maxKeys + 1) * 4
+	for i := 0; i < maxKeys; i++ {
+		binary.LittleEndian.PutUint32(buf[off+i*4:], nd.seqs[i])
+	}
+}
+
+func decodeNode(data []byte) (*node, error) {
+	kind := data[0]
+	if kind != kindInternal && kind != kindLeaf {
+		return nil, fmt.Errorf("obtree: block is not a node (kind %d)", kind)
+	}
+	nd := &node{leaf: kind == kindLeaf}
+	nd.n = int(binary.LittleEndian.Uint16(data[1:3]))
+	if nd.n > maxKeys {
+		return nil, fmt.Errorf("obtree: corrupt node: %d keys", nd.n)
+	}
+	nd.next = binary.LittleEndian.Uint32(data[3:7])
+	off := 7
+	for i := 0; i < maxKeys; i++ {
+		nd.keys[i] = int64(binary.LittleEndian.Uint64(data[off+i*8:]))
+	}
+	off += maxKeys * 8
+	for i := 0; i < maxKeys+1; i++ {
+		nd.ptrs[i] = binary.LittleEndian.Uint32(data[off+i*4:])
+	}
+	off += (maxKeys + 1) * 4
+	for i := 0; i < maxKeys; i++ {
+		nd.seqs[i] = binary.LittleEndian.Uint32(data[off+i*4:])
+	}
+	return nd, nil
+}

@@ -1,0 +1,358 @@
+// Package opaque reimplements the oblivious-mode operators of Opaque
+// (Zheng et al., NSDI'17), the system the paper compares against in §7.1.
+// Opaque "supports only analytics queries that scan all the data, relying
+// on oblivious sorts of an entire input table": its selection and grouped
+// aggregation are built on whole-table oblivious sorts, in contrast to
+// ObliDB's size-aware operators. It runs over the same enclave substrate
+// so the Figure 7/8 comparisons measure algorithms, not plumbing.
+package opaque
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/exec"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+)
+
+// sortChunkRows returns the in-enclave chunk size Opaque's oblivious sort
+// uses: as many elements as fit in the oblivious memory budget.
+func sortChunkRows(e *enclave.Enclave, blockSize, n int) int {
+	c := e.Available() / blockSize
+	if c < 1 {
+		return 1
+	}
+	p := 1
+	for p*2 <= c {
+		p *= 2
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// Select is Opaque's oblivious filter: copy every row into a combined
+// array with its match flag, obliviously sort matching rows to the front,
+// and emit the first |R| as the result. O(N log² N) whatever the
+// selectivity — the cost ObliDB's Small/Large/Continuous algorithms avoid.
+func Select(e *enclave.Enclave, in exec.Input, pred table.Pred, outSize int, outName string) (*storage.Flat, error) {
+	schema := in.Schema()
+	recSize := schema.RecordSize()
+	blockSize := 1 + recSize
+	n := exec.NextPow2(in.Blocks())
+	st, err := e.NewStore(outName+".sort", n, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, blockSize)
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		for j := range buf {
+			buf[j] = 0
+		}
+		if used && pred(row) {
+			buf[0] = 1
+			if err := schema.EncodeRecord(buf[1:], row); err != nil {
+				return nil, err
+			}
+		}
+		if err := st.Write(i, buf); err != nil {
+			return nil, err
+		}
+	}
+	for i := in.Blocks(); i < n; i++ {
+		for j := range buf {
+			buf[j] = 0
+		}
+		if err := st.Write(i, buf); err != nil {
+			return nil, err
+		}
+	}
+	// Sort selected-first; the order within each class is irrelevant.
+	less := func(a, b []byte) bool { return a[0] > b[0] }
+	if err := exec.ObliviousSort(st, n, sortChunkRows(e, blockSize, n), less); err != nil {
+		return nil, err
+	}
+	out, err := storage.NewFlat(e, outName, schema, maxInt(1, outSize))
+	if err != nil {
+		return nil, err
+	}
+	kept := 0
+	for i := 0; i < maxInt(1, outSize); i++ {
+		data, err := st.Read(i)
+		if err != nil {
+			return nil, err
+		}
+		if data[0] == 1 && kept < outSize {
+			row, _, err := schema.DecodeRecord(data[1:])
+			if err != nil {
+				return nil, err
+			}
+			if err := out.SetRow(i, row, true); err != nil {
+				return nil, err
+			}
+			kept++
+			continue
+		}
+		if err := out.SetRow(i, nil, false); err != nil {
+			return nil, err
+		}
+	}
+	out.BumpRows(kept)
+	return out, nil
+}
+
+// Aggregate is a single oblivious scan, as in ObliDB — whole-table
+// aggregation is the one case where the two systems' approaches coincide.
+func Aggregate(in exec.Input, pred table.Pred, specs []exec.AggSpec) ([]table.Value, error) {
+	return exec.Aggregate(in, pred, specs)
+}
+
+// GroupAggregate is Opaque's sort-and-filter grouped aggregation (§4.2
+// cites it as the O(N log² N) fallback): obliviously sort the table by
+// group key, then one linear scan emits one output write per row — the
+// running aggregate at group boundaries, dummies elsewhere.
+func GroupAggregate(e *enclave.Enclave, in exec.Input, pred table.Pred, groupBy exec.GroupBy, specs []exec.AggSpec, outName string) (*storage.Flat, error) {
+	schema := in.Schema()
+	recSize := schema.RecordSize()
+	blockSize := 9 + recSize // group hash + record
+	n := exec.NextPow2(in.Blocks())
+	st, err := e.NewStore(outName+".sort", n, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, blockSize)
+	write := func(i int, key uint64, row table.Row, used bool) error {
+		for j := range buf {
+			buf[j] = 0
+		}
+		if used {
+			buf[0] = 1
+			binary.LittleEndian.PutUint64(buf[1:9], key)
+			if err := schema.EncodeRecord(buf[9:], row); err != nil {
+				return err
+			}
+		} else {
+			binary.LittleEndian.PutUint64(buf[1:9], math.MaxUint64)
+		}
+		return st.Write(i, buf)
+	}
+	// Fill pass, noting the group column's kind for the output schema
+	// (data values stay inside the enclave; only the schema — already
+	// public — depends on this).
+	groupKind, groupWidth := table.KindInt, 0
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		sel := used && pred(row)
+		var key uint64
+		if sel {
+			g := groupBy(row)
+			key = groupHash(g)
+			if g.Kind == table.KindString {
+				groupKind = table.KindString
+				if w := 2 * len(g.AsString()); w > groupWidth {
+					groupWidth = w
+				}
+			} else {
+				groupKind = g.Kind
+			}
+		}
+		if err := write(i, key, row, sel); err != nil {
+			return nil, err
+		}
+	}
+	if groupWidth < 16 && groupKind == table.KindString {
+		groupWidth = 16
+	}
+	for i := in.Blocks(); i < n; i++ {
+		if err := write(i, 0, nil, false); err != nil {
+			return nil, err
+		}
+	}
+	less := func(a, b []byte) bool {
+		return binary.LittleEndian.Uint64(a[1:9]) < binary.LittleEndian.Uint64(b[1:9])
+	}
+	if err := exec.ObliviousSort(st, n, sortChunkRows(e, blockSize, n), less); err != nil {
+		return nil, err
+	}
+
+	// Merge pass: groups are now contiguous. Every position gets exactly
+	// one read and one output write — a finished group's row at its
+	// boundary, a dummy elsewhere — plus one final write for the pending
+	// group, so the trace is a fixed function of n.
+	outSchema, err := groupSchema(schema, groupKind, groupWidth, specs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := storage.NewFlat(e, outName, outSchema, n+1)
+	if err != nil {
+		return nil, err
+	}
+	var cur *groupState
+	written := 0
+	flushAt := func(pos int) error {
+		if cur != nil {
+			if err := out.SetRow(pos, cur.row(specs), true); err != nil {
+				return err
+			}
+			written++
+			cur = nil
+			return nil
+		}
+		return out.SetRow(pos, nil, false)
+	}
+	for i := 0; i < n; i++ {
+		data, err := st.Read(i)
+		if err != nil {
+			return nil, err
+		}
+		if data[0] != 1 {
+			if err := flushAt(i); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		row, _, err := schema.DecodeRecord(data[9:])
+		if err != nil {
+			return nil, err
+		}
+		key := groupBy(row)
+		if cur != nil && cur.key.Equal(key) {
+			if err := out.SetRow(i, nil, false); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := flushAt(i); err != nil {
+				return nil, err
+			}
+			cur = newGroupState(key, specs)
+		}
+		if err := cur.add(row, specs); err != nil {
+			return nil, err
+		}
+	}
+	if err := flushAt(n); err != nil {
+		return nil, err
+	}
+	out.BumpRows(written)
+	return out, nil
+}
+
+type groupState struct {
+	key    table.Value
+	counts int64
+	sums   []float64
+	mins   []table.Value
+	maxs   []table.Value
+	any    bool
+}
+
+func newGroupState(key table.Value, specs []exec.AggSpec) *groupState {
+	return &groupState{
+		key:  key,
+		sums: make([]float64, len(specs)),
+		mins: make([]table.Value, len(specs)),
+		maxs: make([]table.Value, len(specs)),
+	}
+}
+
+func (g *groupState) add(r table.Row, specs []exec.AggSpec) error {
+	g.counts++
+	for i, s := range specs {
+		if s.Kind == exec.AggCount {
+			continue
+		}
+		v := r[s.Col]
+		switch s.Kind {
+		case exec.AggSum, exec.AggAvg:
+			if !v.IsNumeric() {
+				return fmt.Errorf("opaque: %s over non-numeric column", s.Kind)
+			}
+			g.sums[i] += v.AsFloat()
+		case exec.AggMin, exec.AggMax:
+			if !g.any {
+				g.mins[i], g.maxs[i] = v, v
+				continue
+			}
+			if c, _ := table.Compare(v, g.mins[i]); c < 0 {
+				g.mins[i] = v
+			}
+			if c, _ := table.Compare(v, g.maxs[i]); c > 0 {
+				g.maxs[i] = v
+			}
+		}
+	}
+	g.any = true
+	return nil
+}
+
+func (g *groupState) row(specs []exec.AggSpec) table.Row {
+	out := make(table.Row, 1+len(specs))
+	out[0] = g.key
+	for i, s := range specs {
+		switch s.Kind {
+		case exec.AggCount:
+			out[1+i] = table.Int(g.counts)
+		case exec.AggSum:
+			out[1+i] = table.Float(g.sums[i])
+		case exec.AggAvg:
+			out[1+i] = table.Float(g.sums[i] / float64(g.counts))
+		case exec.AggMin:
+			out[1+i] = g.mins[i]
+		case exec.AggMax:
+			out[1+i] = g.maxs[i]
+		}
+	}
+	return out
+}
+
+func groupSchema(in *table.Schema, kind table.Kind, width int, specs []exec.AggSpec) (*table.Schema, error) {
+	cols := make([]table.Column, 1+len(specs))
+	cols[0] = table.Column{Name: "group", Kind: kind, Width: width}
+	for i, s := range specs {
+		c := table.Column{Name: fmt.Sprintf("agg%d", i), Kind: table.KindFloat}
+		if s.Kind == exec.AggCount {
+			c.Kind = table.KindInt
+		}
+		if s.Kind == exec.AggMin || s.Kind == exec.AggMax {
+			src := in.Col(s.Col)
+			c.Kind, c.Width = src.Kind, src.Width
+		}
+		cols[1+i] = c
+	}
+	return table.NewSchema(cols...)
+}
+
+// Join is Opaque's sort-merge join, shared with ObliDB's operator set.
+func Join(e *enclave.Enclave, t1, t2 exec.Input, col1, col2 int, outName string) (*storage.Flat, error) {
+	return exec.Join(e, t1, t2, col1, col2, exec.JoinOpaque, exec.JoinOptions{}, outName)
+}
+
+func groupHash(v table.Value) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(v.String()))
+	// Reserve MaxUint64 for dummies.
+	s := h.Sum64()
+	if s == math.MaxUint64 {
+		s--
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

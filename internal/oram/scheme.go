@@ -1,0 +1,34 @@
+package oram
+
+// Scheme is the ORAM contract ObliDB's data structures program against.
+// §8 of the paper: "We use the Path ORAM in our implementation, but any
+// other ORAM could replace it with no other changes to the system" — this
+// interface is that replaceability, and both Path ORAM (ORAM) and Ring
+// ORAM (Ring) satisfy it.
+type Scheme interface {
+	// Access performs one logical read or write of block id.
+	Access(op Op, id int, data []byte) ([]byte, error)
+	// Update reads, transforms, and rewrites a block in one operation.
+	Update(id int, fn func([]byte) []byte) ([]byte, error)
+	// DummyAccess performs an access indistinguishable from a real one,
+	// for callers padding to worst-case counts.
+	DummyAccess() error
+	// RawScan streams all live blocks via one linear pass over untrusted
+	// memory (the §3.2 scan-as-flat fallback).
+	RawScan(fn func(id int, data []byte) error) error
+	// Capacity is the number of logical blocks.
+	Capacity() int
+	// BlockSize is the logical block payload size.
+	BlockSize() int
+	// StashSize is the current in-enclave stash occupancy.
+	StashSize() int
+	// UntrustedBytes is the untrusted memory footprint.
+	UntrustedBytes() int
+	// Close releases oblivious-memory reservations.
+	Close()
+}
+
+var (
+	_ Scheme = (*ORAM)(nil)
+	_ Scheme = (*Ring)(nil)
+)

@@ -1,0 +1,231 @@
+// Package planner implements ObliDB's query planner (§5). It chooses the
+// selection and join operator variants using only information the system
+// already leaks — input and output table sizes and the oblivious-memory
+// budget — so planning adds no leakage beyond the final operator choice.
+//
+// For selections, the planner's preliminary scan reads every block once
+// whatever the data: its trace is identical for all inputs of a size. It
+// computes (1) the number of matching rows and (2) whether they are
+// adjacent, exactly the two statistics §5 lists, and the computed output
+// size is handed to the operators that pre-allocate output storage — which
+// is why the paper calls this first scan "for free".
+//
+// For joins the planner reads no data at all: §5 observes that all join
+// algorithms do work determined entirely by the input sizes, so it plugs
+// the sizes and the memory budget into the Figure 3 complexity
+// expressions and picks the cheapest.
+package planner
+
+import (
+	"math"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/exec"
+	"oblidb/internal/table"
+)
+
+// SelectStats is what the preliminary scan learns.
+type SelectStats struct {
+	// InputBlocks is |T|.
+	InputBlocks int
+	// Matching is |R|, the number of rows satisfying the predicate.
+	Matching int
+	// Contiguous reports whether the matching rows form one contiguous
+	// run of blocks.
+	Contiguous bool
+	// Start is the block index of the first matching row (meaningful when
+	// Matching > 0).
+	Start int
+}
+
+// ScanStats makes the planner's preliminary pass: one read per block.
+func ScanStats(in exec.Input, pred table.Pred) (SelectStats, error) {
+	st := SelectStats{InputBlocks: in.Blocks(), Contiguous: true, Start: -1}
+	last := -1
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return st, err
+		}
+		if !used || !pred(row) {
+			continue
+		}
+		if st.Start < 0 {
+			st.Start = i
+		} else if i != last+1 {
+			st.Contiguous = false
+		}
+		last = i
+		st.Matching++
+	}
+	if st.Matching == 0 {
+		st.Contiguous = false
+	}
+	return st, nil
+}
+
+// Config holds the planner's precomputed thresholds (§5: "a precomputed
+// set of thresholds decide when to run each operator").
+type Config struct {
+	// DisableContinuous turns off the Continuous algorithm, trading its
+	// contiguity leakage away (§4.1); used for the Opaque comparison.
+	DisableContinuous bool
+	// LargeFraction is the |R|/|T| ratio above which Large applies. Zero
+	// means 0.9.
+	LargeFraction float64
+}
+
+func (c Config) largeFraction() float64 {
+	if c.LargeFraction <= 0 {
+		return 0.9
+	}
+	return c.LargeFraction
+}
+
+// ChooseSelect picks the selection operator for the scanned statistics by
+// plugging |T|, |R|, and the oblivious-memory budget into each operator's
+// access-count expression and taking the cheapest applicable one — the
+// paper's "precomputed set of thresholds" realized as this
+// implementation's exact costs, so the pick is the measured winner
+// (Figure 13).
+//
+// Costs in untrusted accesses, N=|T|, R=|R|, B=buffer rows:
+//
+//	Small:      ceil(R/B)·N reads + R writes     (needs oblivious memory)
+//	Large:      5N   (copy: N+N; clear: N+N+N)   (only when R ≈ N)
+//	Continuous: 3N   (read in, read out, write out per row)
+//	Hash:       21N  (read in + 10 slot read/write pairs per row)
+func ChooseSelect(e *enclave.Enclave, recSize int, st SelectStats, cfg Config) exec.SelectAlgorithm {
+	n := float64(st.InputBlocks)
+	costHash := 21 * n
+
+	costSmall := math.Inf(1)
+	bufRows := e.Available() / recSize
+	if bufRows > 0 {
+		passes := (st.Matching + bufRows - 1) / bufRows
+		if passes < 1 {
+			passes = 1
+		}
+		costSmall = float64(passes)*n + float64(st.Matching)
+	}
+
+	costLarge := math.Inf(1)
+	if float64(st.Matching) >= cfg.largeFraction()*n {
+		costLarge = 5 * n
+	}
+
+	costCont := math.Inf(1)
+	if !cfg.DisableContinuous && st.Contiguous && st.Matching > 0 {
+		costCont = 3 * n
+	}
+
+	best, alg := costHash, exec.SelectHash
+	if costLarge < best {
+		best, alg = costLarge, exec.SelectLarge
+	}
+	if costCont < best {
+		best, alg = costCont, exec.SelectContinuous
+	}
+	if costSmall < best {
+		alg = exec.SelectSmall
+	}
+	return alg
+}
+
+// JoinSizes carries the public inputs of join planning.
+type JoinSizes struct {
+	// T1Blocks and T2Blocks are the table sizes in blocks.
+	T1Blocks, T2Blocks int
+	// BuildRecSize is the record size of T1 rows (the hash join's build
+	// side); SortBlockSize is the combined-array element size of the
+	// sort-merge joins.
+	BuildRecSize, SortBlockSize int
+}
+
+// ChooseJoin picks the join algorithm from table sizes and the available
+// oblivious memory, per §5: "If the amount of oblivious memory is large
+// relative to the size of the first table, we always use the hash join.
+// Otherwise, we plug in the table sizes and amount of oblivious memory
+// into expressions denoting the ... runtimes ... and choose the smaller
+// result." The expressions below count this implementation's untrusted
+// block accesses exactly, so the planner's pick is the measured winner.
+func ChooseJoin(e *enclave.Enclave, s JoinSizes) exec.JoinAlgorithm {
+	avail := e.Available()
+	buildRows := 0
+	if s.BuildRecSize > 0 {
+		buildRows = avail / s.BuildRecSize
+	}
+	if buildRows >= s.T1Blocks {
+		return exec.JoinHash
+	}
+	// Hash: read T1 once across chunks, then per chunk read T2 and write
+	// one output block per comparison — plus sealing the chunks×|T2|-slot
+	// output structure at allocation.
+	costHash := math.Inf(1)
+	if buildRows >= 1 {
+		chunks := math.Ceil(float64(s.T1Blocks) / float64(buildRows))
+		costHash = float64(s.T1Blocks) + 3*chunks*float64(s.T2Blocks)
+	}
+
+	// Sort-merge: 2n accesses per network pass. A chunked sort runs
+	// Σ (m - log2 C) substage passes for stages m = log2(2C)..log2(n),
+	// plus one chunk pass per stage and the initial chunk pass.
+	n := exec.NextPow2(s.T1Blocks + s.T2Blocks)
+	logN := log2i(n)
+	sortPasses := func(chunk int) float64 {
+		if chunk >= n {
+			return 1
+		}
+		logC := log2i(chunk)
+		passes := 1 // initial chunk sort
+		for m := logC + 1; m <= logN; m++ {
+			passes += m - logC // network substages j >= chunk
+			if chunk > 1 {
+				passes++ // in-enclave chunk merge
+			}
+		}
+		return float64(passes)
+	}
+	// Building and merging: allocate + fill the combined array, then the
+	// merge scan allocates and writes the n-slot output.
+	fill := float64(4*n) + float64(s.T1Blocks+s.T2Blocks)
+	costZero := fill + 2*float64(n)*sortPasses(1)
+	costOpaque := math.Inf(1)
+	sortChunk := 0
+	if s.SortBlockSize > 0 {
+		sortChunk = floorPow2(avail / s.SortBlockSize)
+	}
+	if sortChunk > 1 {
+		costOpaque = fill + 2*float64(n)*sortPasses(sortChunk)
+	}
+
+	best, alg := costHash, exec.JoinHash
+	if costOpaque < best {
+		best, alg = costOpaque, exec.JoinOpaque
+	}
+	if costZero < best {
+		alg = exec.JoinZeroOM
+	}
+	return alg
+}
+
+// log2i returns ceil(log2(n)) for n >= 1.
+func log2i(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+// floorPow2 rounds n down to a power of two (0 for n < 1).
+func floorPow2(n int) int {
+	if n < 1 {
+		return 0
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,126 @@
+package sql
+
+import (
+	"oblidb/internal/core"
+	"oblidb/internal/exec"
+	"oblidb/internal/table"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (cols...) [STORAGE = kind]
+// [INDEX ON col] [CAPACITY = n] [OBLIVIOUS INSERTS].
+type CreateTable struct {
+	Name       string
+	Columns    []table.Column
+	Kind       core.StorageKind
+	IndexCol   string
+	Capacity   int
+	ObliviousI bool
+}
+
+// Insert is INSERT INTO name VALUES (...), (...).
+type Insert struct {
+	Name string
+	Rows []table.Row
+}
+
+// Select is SELECT items FROM table [JOIN right ON l = r]
+// [WHERE expr] [GROUP BY expr] [FORCE algorithm].
+type Select struct {
+	Items   []SelectItem
+	Star    bool
+	From    string
+	Join    *JoinClause
+	Where   Expr
+	GroupBy Expr
+	Force   *exec.SelectAlgorithm
+}
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	// Agg is non-nil when the item is an aggregate call.
+	Agg *AggItem
+}
+
+// AggItem is COUNT(*) or KIND(column).
+type AggItem struct {
+	Kind   exec.AggKind
+	Column string // empty for COUNT(*)
+}
+
+// JoinClause is JOIN right ON leftCol = rightCol.
+type JoinClause struct {
+	Right              string
+	LeftCol, RightCol  *ColumnRef
+	ForceJoinAlgorithm *exec.JoinAlgorithm
+}
+
+// Update is UPDATE name SET col = expr, ... [WHERE expr].
+type Update struct {
+	Name  string
+	Sets  []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM name [WHERE expr].
+type Delete struct {
+	Name  string
+	Where Expr
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+func (*CreateTable) stmt() {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+func (*DropTable) stmt()   {}
+
+// Expr is a SQL expression evaluated inside the enclave.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val table.Value }
+
+// ColumnRef names a column, optionally qualified by table.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// Binary applies an operator to two operands. Op is one of
+// OR AND = <> < <= > >= + - * / %.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is NOT expr or - expr.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Call is a scalar function call (SUBSTR).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (*Literal) expr()   {}
+func (*ColumnRef) expr() {}
+func (*Binary) expr()    {}
+func (*Unary) expr()     {}
+func (*Call) expr()      {}

@@ -1,0 +1,406 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"oblidb/internal/core"
+	"oblidb/internal/table"
+)
+
+// resolver maps column references to row indices. For joins the right
+// table's duplicate-named columns carry the "r_" prefix the engine's
+// JoinedSchema assigns.
+type resolver struct {
+	schema *table.Schema
+	// rightTable and leftTable are the join's source names ("" outside
+	// joins); rightStart is the first right-side column index.
+	leftTable, rightTable string
+	rightStart            int
+}
+
+func newResolver(s *table.Schema) *resolver { return &resolver{schema: s, rightStart: -1} }
+
+func (r *resolver) resolve(c *ColumnRef) (int, error) {
+	if c.Table != "" && r.rightStart >= 0 {
+		// Qualified reference inside a join: search the matching side.
+		if strings.EqualFold(c.Table, r.rightTable) {
+			if i := r.schema.ColIndex("r_" + c.Column); i >= 0 {
+				return i, nil
+			}
+			if i := r.schema.ColIndex(c.Column); i >= r.rightStart {
+				return i, nil
+			}
+			return -1, fmt.Errorf("sql: no column %q in table %q", c.Column, c.Table)
+		}
+		if strings.EqualFold(c.Table, r.leftTable) {
+			if i := r.schema.ColIndex(c.Column); i >= 0 && i < r.rightStart {
+				return i, nil
+			}
+			return -1, fmt.Errorf("sql: no column %q in table %q", c.Column, c.Table)
+		}
+		return -1, fmt.Errorf("sql: unknown table qualifier %q", c.Table)
+	}
+	if i := r.schema.ColIndex(c.Column); i >= 0 {
+		return i, nil
+	}
+	return -1, fmt.Errorf("sql: no column %q", c.Column)
+}
+
+// eval evaluates an expression against a row, inside the enclave.
+func (r *resolver) eval(e Expr, row table.Row) (table.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColumnRef:
+		i, err := r.resolve(x)
+		if err != nil {
+			return table.Value{}, err
+		}
+		return row[i], nil
+	case *Unary:
+		v, err := r.eval(x.X, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		switch x.Op {
+		case "NOT":
+			return table.Bool(!truthy(v)), nil
+		case "-":
+			switch v.Kind {
+			case table.KindInt:
+				return table.Int(-v.AsInt()), nil
+			case table.KindFloat:
+				return table.Float(-v.AsFloat()), nil
+			}
+			return table.Value{}, fmt.Errorf("sql: cannot negate %s", v.Kind)
+		}
+	case *Binary:
+		return r.evalBinary(x, row)
+	case *Call:
+		return r.evalCall(x, row)
+	}
+	return table.Value{}, fmt.Errorf("sql: cannot evaluate %T", e)
+}
+
+func truthy(v table.Value) bool {
+	switch v.Kind {
+	case table.KindBool, table.KindInt:
+		return v.AsInt() != 0
+	case table.KindFloat:
+		return v.AsFloat() != 0
+	case table.KindString:
+		return v.AsString() != ""
+	}
+	return false
+}
+
+func (r *resolver) evalBinary(x *Binary, row table.Row) (table.Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := r.eval(x.L, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		if !truthy(l) {
+			return table.Bool(false), nil
+		}
+		rr, err := r.eval(x.R, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		return table.Bool(truthy(rr)), nil
+	case "OR":
+		l, err := r.eval(x.L, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		if truthy(l) {
+			return table.Bool(true), nil
+		}
+		rr, err := r.eval(x.R, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		return table.Bool(truthy(rr)), nil
+	}
+
+	l, err := r.eval(x.L, row)
+	if err != nil {
+		return table.Value{}, err
+	}
+	rr, err := r.eval(x.R, row)
+	if err != nil {
+		return table.Value{}, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, err := table.Compare(l, rr)
+		if err != nil {
+			return table.Value{}, err
+		}
+		var out bool
+		switch x.Op {
+		case "=":
+			out = c == 0
+		case "<>":
+			out = c != 0
+		case "<":
+			out = c < 0
+		case "<=":
+			out = c <= 0
+		case ">":
+			out = c > 0
+		case ">=":
+			out = c >= 0
+		}
+		return table.Bool(out), nil
+	case "+", "-", "*", "/", "%":
+		return arith(x.Op, l, rr)
+	}
+	return table.Value{}, fmt.Errorf("sql: unknown operator %q", x.Op)
+}
+
+func arith(op string, l, r table.Value) (table.Value, error) {
+	if op == "+" && l.Kind == table.KindString && r.Kind == table.KindString {
+		return table.Str(l.AsString() + r.AsString()), nil
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return table.Value{}, fmt.Errorf("sql: %s needs numeric operands", op)
+	}
+	if l.Kind == table.KindInt && r.Kind == table.KindInt {
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case "+":
+			return table.Int(a + b), nil
+		case "-":
+			return table.Int(a - b), nil
+		case "*":
+			return table.Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return table.Value{}, fmt.Errorf("sql: division by zero")
+			}
+			return table.Int(a / b), nil
+		case "%":
+			if b == 0 {
+				return table.Value{}, fmt.Errorf("sql: modulo by zero")
+			}
+			return table.Int(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case "+":
+		return table.Float(a + b), nil
+	case "-":
+		return table.Float(a - b), nil
+	case "*":
+		return table.Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return table.Value{}, fmt.Errorf("sql: division by zero")
+		}
+		return table.Float(a / b), nil
+	}
+	return table.Value{}, fmt.Errorf("sql: %s not defined on floats", op)
+}
+
+func (r *resolver) evalCall(x *Call, row table.Row) (table.Value, error) {
+	switch x.Name {
+	case "SUBSTR", "SUBSTRING":
+		if len(x.Args) != 3 {
+			return table.Value{}, fmt.Errorf("sql: SUBSTR takes (string, start, length)")
+		}
+		s, err := r.eval(x.Args[0], row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		start, err := r.eval(x.Args[1], row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		length, err := r.eval(x.Args[2], row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		if s.Kind != table.KindString {
+			return table.Value{}, fmt.Errorf("sql: SUBSTR over %s", s.Kind)
+		}
+		str := s.AsString()
+		from := int(start.AsInt()) - 1 // SQL is 1-based
+		if from < 0 {
+			from = 0
+		}
+		if from > len(str) {
+			from = len(str)
+		}
+		to := from + int(length.AsInt())
+		if to > len(str) {
+			to = len(str)
+		}
+		if to < from {
+			to = from
+		}
+		return table.Str(str[from:to]), nil
+	case "LENGTH":
+		if len(x.Args) != 1 {
+			return table.Value{}, fmt.Errorf("sql: LENGTH takes one argument")
+		}
+		s, err := r.eval(x.Args[0], row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		return table.Int(int64(len(s.AsString()))), nil
+	}
+	return table.Value{}, fmt.Errorf("sql: unknown function %q", x.Name)
+}
+
+// constEval evaluates an expression with no column references.
+func constEval(e Expr) (table.Value, error) {
+	r := newResolver(table.MustSchema(table.Column{Name: "_", Kind: table.KindInt}))
+	return r.eval(e, table.Row{table.Int(0)})
+}
+
+// pred compiles an expression into a table.Pred. Evaluation errors
+// surface through errOut (checked after the operator completes) so the
+// predicate signature stays simple.
+func (r *resolver) pred(e Expr, errOut *error) table.Pred {
+	if e == nil {
+		return table.All
+	}
+	return func(row table.Row) bool {
+		v, err := r.eval(e, row)
+		if err != nil {
+			if *errOut == nil {
+				*errOut = err
+			}
+			return false
+		}
+		return truthy(v)
+	}
+}
+
+// keyRange extracts an inclusive range on the indexed column from the
+// conjunctive prefix of a WHERE clause — how the executor decides a query
+// can "begin inside an ORAM at a point specified by an index lookup"
+// (§4.1). Only top-level ANDs are examined; anything else stays in the
+// residual predicate (which is always the full expression).
+func keyRange(e Expr, keyCol string) *core.KeyRange {
+	conjuncts := flattenAnd(e)
+	var lo, hi *int64
+	set := func(p **int64, v int64, pick func(a, b int64) int64) {
+		if *p == nil {
+			*p = &v
+			return
+		}
+		nv := pick(**p, v)
+		*p = &nv
+	}
+	maxI := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	minI := func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for _, c := range conjuncts {
+		b, ok := c.(*Binary)
+		if !ok {
+			continue
+		}
+		col, lit, op, ok := normalizeCmp(b, keyCol)
+		if !ok || col == nil {
+			continue
+		}
+		switch op {
+		case "=":
+			set(&lo, lit, maxI)
+			set(&hi, lit, minI)
+		case ">":
+			set(&lo, lit+1, maxI)
+		case ">=":
+			set(&lo, lit, maxI)
+		case "<":
+			set(&hi, lit-1, minI)
+		case "<=":
+			set(&hi, lit, minI)
+		}
+	}
+	if lo == nil && hi == nil {
+		return nil
+	}
+	r := &core.KeyRange{Lo: -1 << 63, Hi: 1<<63 - 1}
+	if lo != nil {
+		r.Lo = *lo
+	}
+	if hi != nil {
+		r.Hi = *hi
+	}
+	return r
+}
+
+func flattenAnd(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// normalizeCmp matches col OP intLiteral (either orientation) against the
+// named key column.
+func normalizeCmp(b *Binary, keyCol string) (*ColumnRef, int64, string, bool) {
+	flip := map[string]string{"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "="}
+	if _, ok := flip[b.Op]; !ok {
+		return nil, 0, "", false
+	}
+	if cr, ok := b.L.(*ColumnRef); ok && strings.EqualFold(cr.Column, keyCol) {
+		if lit, ok := b.R.(*Literal); ok && lit.Val.Kind == table.KindInt {
+			return cr, lit.Val.AsInt(), b.Op, true
+		}
+	}
+	if cr, ok := b.R.(*ColumnRef); ok && strings.EqualFold(cr.Column, keyCol) {
+		if lit, ok := b.L.(*Literal); ok && lit.Val.Kind == table.KindInt {
+			return cr, lit.Val.AsInt(), flip[b.Op], true
+		}
+	}
+	return nil, 0, "", false
+}
+
+// columnsIn collects the unqualified tables a predicate references:
+// whether every ColumnRef resolves within the given schema.
+func exprOnlyUses(e Expr, s *table.Schema, tableName string) bool {
+	ok := true
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if !ok || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *ColumnRef:
+			if x.Table != "" && !strings.EqualFold(x.Table, tableName) {
+				ok = false
+				return
+			}
+			if s.ColIndex(x.Column) < 0 {
+				ok = false
+			}
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Unary:
+			walk(x.X)
+		case *Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return ok
+}

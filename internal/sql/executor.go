@@ -1,0 +1,605 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"oblidb/internal/core"
+	"oblidb/internal/table"
+)
+
+// Executor runs SQL statements against an ObliDB engine.
+type Executor struct {
+	db *core.DB
+}
+
+// New wraps a database in a SQL executor.
+func New(db *core.DB) *Executor { return &Executor{db: db} }
+
+// DB returns the underlying engine.
+func (x *Executor) DB() *core.DB { return x.db }
+
+// Execute parses and runs one statement. DDL and DML return a one-row
+// result reporting the affected count.
+func (x *Executor) Execute(src string) (*core.Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *CreateTable:
+		return x.createTable(s)
+	case *Insert:
+		return x.insert(s)
+	case *Select:
+		return x.selectStmt(s)
+	case *Update:
+		return x.update(s)
+	case *Delete:
+		return x.delete(s)
+	case *DropTable:
+		if err := x.db.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	}
+	return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+}
+
+func affected(n int) *core.Result {
+	return &core.Result{Cols: []string{"affected"}, Rows: []table.Row{{table.Int(int64(n))}}}
+}
+
+func (x *Executor) createTable(s *CreateTable) (*core.Result, error) {
+	schema, err := table.NewSchema(s.Columns...)
+	if err != nil {
+		return nil, err
+	}
+	kind := s.Kind
+	if s.IndexCol != "" && kind == core.KindFlat {
+		kind = core.KindBoth
+	}
+	_, err = x.db.CreateTable(s.Name, schema, core.TableOptions{
+		Kind:             kind,
+		KeyColumn:        s.IndexCol,
+		Capacity:         s.Capacity,
+		ObliviousInserts: s.ObliviousI,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return affected(0), nil
+}
+
+func (x *Executor) insert(s *Insert) (*core.Result, error) {
+	if err := x.db.Insert(s.Name, s.Rows...); err != nil {
+		return nil, err
+	}
+	return affected(len(s.Rows)), nil
+}
+
+func (x *Executor) update(s *Update) (*core.Result, error) {
+	t, err := x.db.Table(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	res := newResolver(t.Schema())
+	var evalErr error
+	pred := res.pred(s.Where, &evalErr)
+	setCols := make([]int, len(s.Sets))
+	for i, set := range s.Sets {
+		c := t.Schema().ColIndex(set.Column)
+		if c < 0 {
+			return nil, fmt.Errorf("sql: no column %q", set.Column)
+		}
+		setCols[i] = c
+	}
+	upd := func(r table.Row) table.Row {
+		for i, set := range s.Sets {
+			v, err := res.eval(set.Value, r)
+			if err != nil {
+				if evalErr == nil {
+					evalErr = err
+				}
+				return r
+			}
+			r[setCols[i]] = v
+		}
+		return r
+	}
+	var key *core.KeyRange
+	if t.KeyColumn() >= 0 && s.Where != nil {
+		key = keyRange(s.Where, t.Schema().Col(t.KeyColumn()).Name)
+	}
+	n, err := x.db.Update(s.Name, pred, upd, key)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return affected(n), nil
+}
+
+func (x *Executor) delete(s *Delete) (*core.Result, error) {
+	t, err := x.db.Table(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	res := newResolver(t.Schema())
+	var evalErr error
+	pred := res.pred(s.Where, &evalErr)
+	var key *core.KeyRange
+	if t.KeyColumn() >= 0 && s.Where != nil {
+		key = keyRange(s.Where, t.Schema().Col(t.KeyColumn()).Name)
+	}
+	n, err := x.db.Delete(s.Name, pred, key)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return affected(n), nil
+}
+
+func (x *Executor) selectStmt(s *Select) (*core.Result, error) {
+	if s.Join != nil {
+		return x.selectJoin(s)
+	}
+	t, err := x.db.Table(s.From)
+	if err != nil {
+		return nil, err
+	}
+	return x.selectFrom(s, t, s.From)
+}
+
+// selectFrom runs a single-table SELECT over the given table handle.
+func (x *Executor) selectFrom(s *Select, t *core.Table, fromName string) (*core.Result, error) {
+	res := newResolver(t.Schema())
+	res.leftTable = fromName
+	var evalErr error
+	pred := res.pred(s.Where, &evalErr)
+
+	var key *core.KeyRange
+	if t.KeyColumn() >= 0 && s.Where != nil {
+		key = keyRange(s.Where, t.Schema().Col(t.KeyColumn()).Name)
+	}
+
+	hasAgg := false
+	for _, item := range s.Items {
+		if item.Agg != nil {
+			hasAgg = true
+		}
+	}
+
+	switch {
+	case s.GroupBy != nil:
+		out, err := x.groupSelect(s, t, res, pred, key)
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return out, err
+	case hasAgg:
+		specs, names, err := x.aggSpecs(s)
+		if err != nil {
+			return nil, err
+		}
+		out, err := x.db.AggregateTable(t, pred, specs, key)
+		if err != nil {
+			return nil, err
+		}
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		out.Cols = names
+		return out, nil
+	default:
+		opts := core.SelectOptions{KeyRange: key, Force: s.Force}
+		tmp, err := x.db.SelectTable(t, pred, opts)
+		if err != nil {
+			return nil, err
+		}
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		raw, err := x.db.Collect(tmp)
+		if err != nil {
+			return nil, err
+		}
+		return x.project(s, res, raw)
+	}
+}
+
+// aggSpecs converts the select items of an aggregate query.
+func (x *Executor) aggSpecs(s *Select) ([]core.AggregateSpec, []string, error) {
+	specs := make([]core.AggregateSpec, 0, len(s.Items))
+	names := make([]string, 0, len(s.Items))
+	for _, item := range s.Items {
+		if item.Agg == nil {
+			return nil, nil, fmt.Errorf("sql: mixing aggregates and plain columns requires GROUP BY")
+		}
+		specs = append(specs, core.AggregateSpec{Kind: item.Agg.Kind, Column: item.Agg.Column})
+		name := item.Alias
+		if name == "" {
+			name = item.Agg.Kind.String()
+			if item.Agg.Column != "" {
+				name += "(" + item.Agg.Column + ")"
+			} else {
+				name += "(*)"
+			}
+		}
+		names = append(names, name)
+	}
+	return specs, names, nil
+}
+
+// groupSelect lowers GROUP BY queries onto the grouped-aggregation
+// operator. Select items must be the group expression or aggregates.
+func (x *Executor) groupSelect(s *Select, t *core.Table, res *resolver, pred table.Pred, key *core.KeyRange) (*core.Result, error) {
+	var groupErr error
+	groupKey := func(r table.Row) table.Value {
+		v, err := res.eval(s.GroupBy, r)
+		if err != nil && groupErr == nil {
+			groupErr = err
+		}
+		return v
+	}
+	var specs []core.AggregateSpec
+	type outCol struct {
+		isGroup bool
+		aggIdx  int
+		name    string
+	}
+	var outs []outCol
+	for _, item := range s.Items {
+		if item.Agg != nil {
+			specs = append(specs, core.AggregateSpec{Kind: item.Agg.Kind, Column: item.Agg.Column})
+			name := item.Alias
+			if name == "" {
+				name = item.Agg.Kind.String() + "(" + item.Agg.Column + ")"
+				if item.Agg.Column == "" {
+					name = "COUNT(*)"
+				}
+			}
+			outs = append(outs, outCol{aggIdx: len(specs) - 1, name: name})
+			continue
+		}
+		// A non-aggregate item must be the grouping expression itself.
+		if !exprEqual(item.Expr, s.GroupBy) {
+			return nil, fmt.Errorf("sql: non-aggregate select item must match GROUP BY expression")
+		}
+		name := item.Alias
+		if name == "" {
+			name = "group"
+		}
+		outs = append(outs, outCol{isGroup: true, name: name})
+	}
+	raw, err := x.db.GroupAggregate(t.Name(), pred, groupKey, specs, key)
+	if err != nil {
+		return nil, err
+	}
+	if groupErr != nil {
+		return nil, groupErr
+	}
+	// Reorder engine output ([group, aggs...]) to the select list.
+	result := &core.Result{Cols: make([]string, len(outs))}
+	for i, oc := range outs {
+		result.Cols[i] = oc.name
+	}
+	for _, r := range raw.Rows {
+		row := make(table.Row, len(outs))
+		for i, oc := range outs {
+			if oc.isGroup {
+				row[i] = r[0]
+			} else {
+				row[i] = r[1+oc.aggIdx]
+			}
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+// selectJoin lowers JOIN queries: push single-side WHERE conjuncts into
+// oblivious pre-filters, join, then run the residual select (and any
+// grouping) over the intermediate table.
+func (x *Executor) selectJoin(s *Select) (*core.Result, error) {
+	lt, err := x.db.Table(s.From)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := x.db.Table(s.Join.Right)
+	if err != nil {
+		return nil, err
+	}
+	lcol, rcol, err := resolveJoinCols(s, lt, rt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split WHERE into per-side filters and a residual.
+	var leftPred, rightPred table.Pred
+	var residual []Expr
+	var evalErr error
+	lres := newResolver(lt.Schema())
+	rres := newResolver(rt.Schema())
+	for _, c := range flattenAnd(s.Where) {
+		if c == nil {
+			continue
+		}
+		switch {
+		case exprOnlyUses(c, lt.Schema(), s.From):
+			leftPred = andPred(leftPred, lres.pred(c, &evalErr))
+		case exprOnlyUses(c, rt.Schema(), s.Join.Right):
+			rightPred = andPred(rightPred, rres.pred(c, &evalErr))
+		default:
+			residual = append(residual, c)
+		}
+	}
+
+	joined, err := x.db.JoinTable(s.From, s.Join.Right, lcol, rcol, core.JoinOptions{
+		FilterLeft:  leftPred,
+		FilterRight: rightPred,
+		Force:       s.Join.ForceJoinAlgorithm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	// Run the remainder of the query over the joined table.
+	rest := &Select{
+		Items:   s.Items,
+		Star:    s.Star,
+		From:    joined.Name(),
+		Where:   andExprs(residual),
+		GroupBy: s.GroupBy,
+		Force:   s.Force,
+	}
+	jres := newResolver(joined.Schema())
+	jres.leftTable = s.From
+	jres.rightTable = s.Join.Right
+	jres.rightStart = lt.Schema().NumColumns()
+	return x.selectFromJoined(rest, joined, jres)
+}
+
+// selectFromJoined is selectFrom with a prepared join-aware resolver.
+func (x *Executor) selectFromJoined(s *Select, t *core.Table, res *resolver) (*core.Result, error) {
+	var evalErr error
+	pred := res.pred(s.Where, &evalErr)
+	hasAgg := false
+	for _, item := range s.Items {
+		if item.Agg != nil {
+			hasAgg = true
+		}
+	}
+	switch {
+	case s.GroupBy != nil:
+		var groupErr error
+		groupKey := func(r table.Row) table.Value {
+			v, err := res.eval(s.GroupBy, r)
+			if err != nil && groupErr == nil {
+				groupErr = err
+			}
+			return v
+		}
+		var specs []core.AggregateSpec
+		var outs []struct {
+			isGroup bool
+			idx     int
+			name    string
+		}
+		for _, item := range s.Items {
+			if item.Agg != nil {
+				specs = append(specs, core.AggregateSpec{Kind: item.Agg.Kind, Column: joinAggColumn(item.Agg.Column, res)})
+				name := item.Alias
+				if name == "" {
+					name = item.Agg.Kind.String() + "(" + item.Agg.Column + ")"
+				}
+				outs = append(outs, struct {
+					isGroup bool
+					idx     int
+					name    string
+				}{idx: len(specs) - 1, name: name})
+				continue
+			}
+			if !exprEqual(item.Expr, s.GroupBy) {
+				return nil, fmt.Errorf("sql: non-aggregate select item must match GROUP BY expression")
+			}
+			name := item.Alias
+			if name == "" {
+				name = "group"
+			}
+			outs = append(outs, struct {
+				isGroup bool
+				idx     int
+				name    string
+			}{isGroup: true, name: name})
+		}
+		tmp, err := x.db.GroupAggregateTable(t, pred, groupKey, specs, nil)
+		if err != nil {
+			return nil, err
+		}
+		if groupErr != nil {
+			return nil, groupErr
+		}
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		raw, err := x.db.Collect(tmp)
+		if err != nil {
+			return nil, err
+		}
+		result := &core.Result{Cols: make([]string, len(outs))}
+		for i, oc := range outs {
+			result.Cols[i] = oc.name
+		}
+		for _, r := range raw.Rows {
+			row := make(table.Row, len(outs))
+			for i, oc := range outs {
+				if oc.isGroup {
+					row[i] = r[0]
+				} else {
+					row[i] = r[1+oc.idx]
+				}
+			}
+			result.Rows = append(result.Rows, row)
+		}
+		return result, nil
+	case hasAgg:
+		specs := make([]core.AggregateSpec, 0, len(s.Items))
+		names := make([]string, 0, len(s.Items))
+		for _, item := range s.Items {
+			if item.Agg == nil {
+				return nil, fmt.Errorf("sql: mixing aggregates and plain columns requires GROUP BY")
+			}
+			specs = append(specs, core.AggregateSpec{Kind: item.Agg.Kind, Column: joinAggColumn(item.Agg.Column, res)})
+			name := item.Alias
+			if name == "" {
+				name = item.Agg.Kind.String() + "(" + item.Agg.Column + ")"
+			}
+			names = append(names, name)
+		}
+		out, err := x.db.AggregateTable(t, pred, specs, nil)
+		if err != nil {
+			return nil, err
+		}
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		out.Cols = names
+		return out, nil
+	default:
+		tmp, err := x.db.SelectTable(t, pred, core.SelectOptions{Force: s.Force})
+		if err != nil {
+			return nil, err
+		}
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		raw, err := x.db.Collect(tmp)
+		if err != nil {
+			return nil, err
+		}
+		return x.project(s, res, raw)
+	}
+}
+
+// joinAggColumn resolves an aggregate's column name within the joined
+// schema (right-side duplicates carry the r_ prefix).
+func joinAggColumn(col string, res *resolver) string {
+	if res.schema.ColIndex(col) >= 0 {
+		return col
+	}
+	if res.schema.ColIndex("r_"+col) >= 0 {
+		return "r_" + col
+	}
+	return col
+}
+
+// project maps select items over collected rows (a trace-neutral,
+// in-enclave computation).
+func (x *Executor) project(s *Select, res *resolver, raw *core.Result) (*core.Result, error) {
+	if s.Star || len(s.Items) == 0 {
+		return raw, nil
+	}
+	// Rebind the resolver to the raw result's column order.
+	cols := make([]table.Column, len(raw.Cols))
+	for i, name := range raw.Cols {
+		cols[i] = table.Column{Name: name, Kind: table.KindInt}
+	}
+	out := &core.Result{Cols: make([]string, len(s.Items))}
+	for i, item := range s.Items {
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		out.Cols[i] = name
+	}
+	for _, r := range raw.Rows {
+		row := make(table.Row, len(s.Items))
+		for i, item := range s.Items {
+			v, err := res.eval(item.Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func resolveJoinCols(s *Select, lt, rt *core.Table) (string, string, error) {
+	l, r := s.Join.LeftCol, s.Join.RightCol
+	// Allow either order of qualification: ON a.x = b.y or ON b.y = a.x.
+	inLeft := func(c *ColumnRef) bool {
+		if c.Table != "" {
+			return strings.EqualFold(c.Table, s.From)
+		}
+		return lt.Schema().ColIndex(c.Column) >= 0
+	}
+	if inLeft(l) {
+		return l.Column, r.Column, nil
+	}
+	if inLeft(r) {
+		return r.Column, l.Column, nil
+	}
+	return "", "", fmt.Errorf("sql: cannot resolve join columns %q/%q", l.Column, r.Column)
+}
+
+func andPred(a, b table.Pred) table.Pred {
+	if a == nil {
+		return b
+	}
+	return func(r table.Row) bool { return a(r) && b(r) }
+}
+
+func andExprs(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: "AND", L: out, R: e}
+		}
+	}
+	return out
+}
+
+// exprEqual compares expressions structurally.
+func exprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *Literal:
+		y, ok := b.(*Literal)
+		return ok && x.Val.Equal(y.Val)
+	case *ColumnRef:
+		y, ok := b.(*ColumnRef)
+		return ok && strings.EqualFold(x.Column, y.Column) && strings.EqualFold(x.Table, y.Table)
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *Unary:
+		y, ok := b.(*Unary)
+		return ok && x.Op == y.Op && exprEqual(x.X, y.X)
+	case *Call:
+		y, ok := b.(*Call)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !exprEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,684 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oblidb/internal/core"
+	"oblidb/internal/exec"
+	"oblidb/internal/table"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+
+// acceptKeyword consumes an identifier matching word (case-insensitive).
+func (p *parser) acceptKeyword(word string) bool {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(word string) error {
+	if !p.acceptKeyword(word) {
+		return fmt.Errorf("sql: expected %s, got %q", word, p.peek().text)
+	}
+	return nil
+}
+
+// accept consumes a punctuation token.
+func (p *parser) accept(punct string) bool {
+	if p.peek().kind == tokPunct && p.peek().text == punct {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(punct string) error {
+	if !p.accept(punct) {
+		return fmt.Errorf("sql: expected %q, got %q", punct, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q", p.peek().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("CREATE"):
+		return p.createTable()
+	case p.acceptKeyword("INSERT"):
+		return p.insert()
+	case p.acceptKeyword("SELECT"):
+		return p.selectStmt()
+	case p.acceptKeyword("UPDATE"):
+		return p.update()
+	case p.acceptKeyword("DELETE"):
+		return p.delete()
+	case p.acceptKeyword("DROP"):
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	}
+	return nil, fmt.Errorf("sql: expected a statement, got %q", p.peek().text)
+}
+
+func (p *parser) createTable() (Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTable{Name: name}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		col, err := p.columnType(colName)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = append(stmt.Columns, col)
+		if p.accept(",") {
+			continue
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	for {
+		switch {
+		case p.acceptKeyword("STORAGE"):
+			if !p.accept("=") {
+				return nil, fmt.Errorf("sql: expected = after STORAGE")
+			}
+			kind, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			switch strings.ToUpper(kind) {
+			case "FLAT":
+				stmt.Kind = core.KindFlat
+			case "INDEXED":
+				stmt.Kind = core.KindIndexed
+			case "BOTH":
+				stmt.Kind = core.KindBoth
+			default:
+				return nil, fmt.Errorf("sql: unknown storage kind %q", kind)
+			}
+		case p.acceptKeyword("INDEX"):
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.IndexCol = col
+		case p.acceptKeyword("CAPACITY"):
+			if !p.accept("=") {
+				return nil, fmt.Errorf("sql: expected = after CAPACITY")
+			}
+			n, err := p.intLiteral()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Capacity = n
+		case p.acceptKeyword("OBLIVIOUS"):
+			if err := p.expectKeyword("INSERTS"); err != nil {
+				return nil, err
+			}
+			stmt.ObliviousI = true
+		default:
+			if stmt.IndexCol != "" && stmt.Kind == core.KindFlat {
+				stmt.Kind = core.KindBoth
+			}
+			return stmt, nil
+		}
+	}
+}
+
+func (p *parser) columnType(name string) (table.Column, error) {
+	typ, err := p.ident()
+	if err != nil {
+		return table.Column{}, err
+	}
+	switch strings.ToUpper(typ) {
+	case "INTEGER", "INT", "BIGINT", "DATE":
+		return table.Column{Name: name, Kind: table.KindInt}, nil
+	case "FLOAT", "REAL", "DOUBLE":
+		return table.Column{Name: name, Kind: table.KindFloat}, nil
+	case "BOOLEAN", "BOOL":
+		return table.Column{Name: name, Kind: table.KindBool}, nil
+	case "VARCHAR", "CHAR", "TEXT":
+		width := 32
+		if p.accept("(") {
+			width, err = p.intLiteral()
+			if err != nil {
+				return table.Column{}, err
+			}
+			if err := p.expect(")"); err != nil {
+				return table.Column{}, err
+			}
+		}
+		return table.Column{Name: name, Kind: table.KindString, Width: width}, nil
+	}
+	return table.Column{}, fmt.Errorf("sql: unknown type %q for column %q", typ, name)
+}
+
+func (p *parser) intLiteral() (int, error) {
+	if p.peek().kind != tokNumber {
+		return 0, fmt.Errorf("sql: expected number, got %q", p.peek().text)
+	}
+	return strconv.Atoi(p.next().text)
+}
+
+func (p *parser) insert() (Statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	stmt := &Insert{Name: name}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row table.Row
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			v, err := constEval(e)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(",") {
+			return stmt, nil
+		}
+	}
+}
+
+var aggKeywords = map[string]exec.AggKind{
+	"COUNT": exec.AggCount,
+	"SUM":   exec.AggSum,
+	"MIN":   exec.AggMin,
+	"MAX":   exec.AggMax,
+	"AVG":   exec.AggAvg,
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	stmt := &Select{}
+	if p.accept("*") {
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	if p.acceptKeyword("JOIN") {
+		jc, err := p.joinClause()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Join = jc
+	}
+	if p.acceptKeyword("WHERE") {
+		stmt.Where, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		stmt.GroupBy, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("FORCE") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		alg, err := selectAlgByName(name)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Force = &alg
+	}
+	return stmt, nil
+}
+
+func selectAlgByName(name string) (exec.SelectAlgorithm, error) {
+	switch strings.ToUpper(name) {
+	case "NAIVE":
+		return exec.SelectNaive, nil
+	case "SMALL":
+		return exec.SelectSmall, nil
+	case "LARGE":
+		return exec.SelectLarge, nil
+	case "CONTINUOUS":
+		return exec.SelectContinuous, nil
+	case "HASH":
+		return exec.SelectHash, nil
+	}
+	return 0, fmt.Errorf("sql: unknown select algorithm %q", name)
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	e, err := p.expression()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if call, ok := e.(*Call); ok {
+		if kind, isAgg := aggKeywords[strings.ToUpper(call.Name)]; isAgg {
+			agg := &AggItem{Kind: kind}
+			if kind != exec.AggCount {
+				cr, ok := call.Args[0].(*ColumnRef)
+				if !ok {
+					return SelectItem{}, fmt.Errorf("sql: %s takes a column name", call.Name)
+				}
+				agg.Column = cr.Column
+			}
+			item.Agg = agg
+		}
+	}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) joinClause() (*JoinClause, error) {
+	right, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	l, err := p.columnRef()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("=") {
+		return nil, fmt.Errorf("sql: JOIN ON needs an equality")
+	}
+	r, err := p.columnRef()
+	if err != nil {
+		return nil, err
+	}
+	return &JoinClause{Right: right, LeftCol: l, RightCol: r}, nil
+}
+
+func (p *parser) columnRef() (*ColumnRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(".") {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: first, Column: col}, nil
+	}
+	return &ColumnRef{Column: first}, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	stmt := &Update{Name: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("=") {
+			return nil, fmt.Errorf("sql: expected = in SET")
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, SetClause{Column: col, Value: val})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		stmt.Where, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) delete() (Statement, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Delete{Name: name}
+	if p.acceptKeyword("WHERE") {
+		var err error
+		stmt.Where, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+// --- expressions, precedence climbing -------------------------------------
+
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.comparison()
+}
+
+var cmpOps = []string{"<=", ">=", "<>", "!=", "=", "<", ">"}
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range cmpOps {
+		if p.accept(op) {
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			r, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "+", L: l, R: r}
+		case p.accept("-"):
+			r, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("*"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "*", L: l, R: r}
+		case p.accept("/"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "/", L: l, R: r}
+		case p.accept("%"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept("-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &Literal{Val: table.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return &Literal{Val: table.Int(n)}, nil
+	case tokString:
+		p.next()
+		return &Literal{Val: table.Str(t.text)}, nil
+	case tokIdent:
+		switch strings.ToUpper(t.text) {
+		case "TRUE":
+			p.next()
+			return &Literal{Val: table.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: table.Bool(false)}, nil
+		}
+		name, _ := p.ident()
+		if p.accept("(") {
+			return p.callArgs(name)
+		}
+		if p.accept(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Column: col}, nil
+		}
+		return &ColumnRef{Column: name}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected %q in expression", t.text)
+}
+
+func (p *parser) callArgs(name string) (Expr, error) {
+	call := &Call{Name: strings.ToUpper(name)}
+	if p.accept("*") {
+		// COUNT(*)
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	if p.accept(")") {
+		return call, nil
+	}
+	for {
+		arg, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if p.accept(",") {
+			continue
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+}

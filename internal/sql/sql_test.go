@@ -1,0 +1,451 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oblidb/internal/core"
+	"oblidb/internal/table"
+)
+
+func newExec(t *testing.T) *Executor {
+	t.Helper()
+	return New(core.MustOpen(core.Config{}))
+}
+
+func mustExec(t *testing.T, x *Executor, q string) *core.Result {
+	t.Helper()
+	res, err := x.Execute(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res
+}
+
+func seed(t *testing.T, x *Executor) {
+	t.Helper()
+	mustExec(t, x, `CREATE TABLE emp (id INTEGER, name VARCHAR(16), dept VARCHAR(8), salary INTEGER) STORAGE = BOTH INDEX ON id CAPACITY = 64`)
+	rows := []string{
+		`(1, 'alice', 'eng', 120)`,
+		`(2, 'bob', 'eng', 100)`,
+		`(3, 'carol', 'sales', 90)`,
+		`(4, 'dave', 'sales', 80)`,
+		`(5, 'erin', 'hr', 70)`,
+		`(6, 'frank', 'eng', 110)`,
+	}
+	mustExec(t, x, `INSERT INTO emp VALUES `+strings.Join(rows, ", "))
+}
+
+func TestCreateInsertSelectStar(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT * FROM emp`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(res.Rows))
+	}
+	if len(res.Cols) != 4 || res.Cols[0] != "id" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT name FROM emp WHERE dept = 'eng' AND salary >= 110`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2: %v", len(res.Rows), res.Rows)
+	}
+	names := map[string]bool{}
+	for _, r := range res.Rows {
+		names[r[0].AsString()] = true
+	}
+	if !names["alice"] || !names["frank"] {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSelectKeyRangeUsesIndex(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT * FROM emp WHERE id >= 2 AND id <= 4`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	if !x.DB().LastPlan.UsedIndex {
+		t.Fatal("index not used for key-range query")
+	}
+	// Point query, the paper's §4.1 example shape.
+	res = mustExec(t, x, `SELECT * FROM emp WHERE id = 5`)
+	if len(res.Rows) != 1 || res.Rows[0][1].AsString() != "erin" {
+		t.Fatalf("point query: %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) FROM emp`)
+	r := res.Rows[0]
+	if r[0].AsInt() != 6 || r[1].AsFloat() != 570 || r[2].AsInt() != 70 || r[3].AsInt() != 120 || r[4].AsFloat() != 95 {
+		t.Fatalf("aggregates = %v", r)
+	}
+	// Fused select+aggregate.
+	res = mustExec(t, x, `SELECT COUNT(*) AS engineers FROM emp WHERE dept = 'eng'`)
+	if res.Rows[0][0].AsInt() != 3 || res.Cols[0] != "engineers" {
+		t.Fatalf("fused agg = %v cols=%v", res.Rows, res.Cols)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d groups, want 3", len(res.Rows))
+	}
+	byDept := map[string][2]int64{}
+	for _, r := range res.Rows {
+		byDept[r[0].AsString()] = [2]int64{r[1].AsInt(), int64(r[2].AsFloat())}
+	}
+	if byDept["eng"] != [2]int64{3, 330} || byDept["sales"] != [2]int64{2, 170} || byDept["hr"] != [2]int64{1, 70} {
+		t.Fatalf("groups = %v", byDept)
+	}
+}
+
+func TestGroupBySubstr(t *testing.T) {
+	// The BDB Q2 shape: group by a computed prefix.
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT SUBSTR(name, 1, 1), COUNT(*) FROM emp GROUP BY SUBSTR(name, 1, 1)`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d groups, want 6 (distinct initials)", len(res.Rows))
+	}
+}
+
+func TestJoin(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	mustExec(t, x, `CREATE TABLE bonus (emp_id INTEGER, amount INTEGER) CAPACITY = 16`)
+	mustExec(t, x, `INSERT INTO bonus VALUES (1, 10), (3, 30), (3, 31), (9, 99)`)
+	res := mustExec(t, x, `SELECT * FROM emp JOIN bonus ON emp.id = bonus.emp_id`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("join returned %d rows, want 3", len(res.Rows))
+	}
+}
+
+func TestJoinWithFilterAndGroup(t *testing.T) {
+	// The BDB Q3 shape: filtered join + grouped aggregation.
+	x := newExec(t)
+	seed(t, x)
+	mustExec(t, x, `CREATE TABLE bonus (emp_id INTEGER, amount INTEGER) CAPACITY = 16`)
+	mustExec(t, x, `INSERT INTO bonus VALUES (1, 10), (2, 20), (3, 30), (3, 31), (4, 40)`)
+	res := mustExec(t, x, `SELECT dept, SUM(amount) FROM emp JOIN bonus ON id = emp_id WHERE salary >= 90 GROUP BY dept`)
+	byDept := map[string]float64{}
+	for _, r := range res.Rows {
+		byDept[r[0].AsString()] = r[1].AsFloat()
+	}
+	// salary>=90 keeps ids 1,2,3,6; bonuses for 1,2,3,3 → eng 30, sales 61.
+	if byDept["eng"] != 30 || byDept["sales"] != 61 {
+		t.Fatalf("grouped join = %v", byDept)
+	}
+}
+
+func TestJoinAggregateWithoutGroup(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	mustExec(t, x, `CREATE TABLE bonus (emp_id INTEGER, amount INTEGER) CAPACITY = 16`)
+	mustExec(t, x, `INSERT INTO bonus VALUES (1, 10), (2, 20), (9, 99)`)
+	res := mustExec(t, x, `SELECT COUNT(*), SUM(amount) FROM emp JOIN bonus ON id = emp_id`)
+	if res.Rows[0][0].AsInt() != 2 || res.Rows[0][1].AsFloat() != 30 {
+		t.Fatalf("join aggregate = %v", res.Rows[0])
+	}
+}
+
+func TestJoinQualifiedColumnsAndDuplicates(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	// A right table sharing column names with emp: the joined schema
+	// renames them, and qualified references still resolve.
+	mustExec(t, x, `CREATE TABLE emp2 (id INTEGER, name VARCHAR(16)) CAPACITY = 8`)
+	mustExec(t, x, `INSERT INTO emp2 VALUES (1, 'mirror-a'), (3, 'mirror-c')`)
+	res := mustExec(t, x, `SELECT emp.name, emp2.name FROM emp JOIN emp2 ON emp.id = emp2.id`)
+	if len(res.Rows) != 2 || len(res.Rows[0]) != 2 {
+		t.Fatalf("qualified join = %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[1].AsString()[:6] != "mirror" {
+			t.Fatalf("right-side name resolved wrong: %v", r)
+		}
+	}
+	// Reversed ON order must also resolve.
+	res = mustExec(t, x, `SELECT COUNT(*) FROM emp JOIN emp2 ON emp2.id = emp.id`)
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("reversed ON = %v", res.Rows[0][0])
+	}
+}
+
+func TestJoinGroupByRightColumn(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	mustExec(t, x, `CREATE TABLE bonus (emp_id INTEGER, kind VARCHAR(8), amount INTEGER) CAPACITY = 16`)
+	mustExec(t, x, `INSERT INTO bonus VALUES (1, 'spot', 5), (2, 'spot', 7), (1, 'annual', 50)`)
+	res := mustExec(t, x, `SELECT kind, SUM(amount) FROM emp JOIN bonus ON id = emp_id GROUP BY kind`)
+	sums := map[string]float64{}
+	for _, r := range res.Rows {
+		sums[r[0].AsString()] = r[1].AsFloat()
+	}
+	if sums["spot"] != 12 || sums["annual"] != 50 {
+		t.Fatalf("grouped join sums = %v", sums)
+	}
+}
+
+func TestGroupByWithAliases(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT dept AS d, COUNT(*) AS n FROM emp GROUP BY dept`)
+	if res.Cols[0] != "d" || res.Cols[1] != "n" {
+		t.Fatalf("aliases = %v", res.Cols)
+	}
+}
+
+func TestArithmeticAndFunctions(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT name FROM emp WHERE salary % 2 = 0 AND LENGTH(name) >= 5 AND -salary < 0`)
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows matched composite expression")
+	}
+	res = mustExec(t, x, `SELECT SUBSTR(name, 2, 3) FROM emp WHERE id = 1`)
+	if res.Rows[0][0].AsString() != "lic" {
+		t.Fatalf("SUBSTR = %v", res.Rows[0][0])
+	}
+	// Out-of-range SUBSTR bounds clamp.
+	res = mustExec(t, x, `SELECT SUBSTR(name, 99, 3) FROM emp WHERE id = 1`)
+	if res.Rows[0][0].AsString() != "" {
+		t.Fatalf("clamped SUBSTR = %v", res.Rows[0][0])
+	}
+}
+
+func TestNotAndOrPrecedence(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT COUNT(*) FROM emp WHERE NOT dept = 'eng' AND salary > 60 OR id = 1`)
+	// (NOT eng AND >60) = carol,dave,erin → 3; OR id=1 adds alice → 4.
+	if res.Rows[0][0].AsInt() != 4 {
+		t.Fatalf("precedence result = %v", res.Rows[0][0])
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `UPDATE emp SET salary = salary + 5 WHERE dept = 'eng'`)
+	if res.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("updated %v, want 3", res.Rows[0][0])
+	}
+	res = mustExec(t, x, `SELECT SUM(salary) FROM emp`)
+	if res.Rows[0][0].AsFloat() != 585 {
+		t.Fatalf("sum after update = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, x, `DELETE FROM emp WHERE salary < 90`)
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("deleted %v, want 2", res.Rows[0][0])
+	}
+	res = mustExec(t, x, `SELECT COUNT(*) FROM emp`)
+	if res.Rows[0][0].AsInt() != 4 {
+		t.Fatalf("count after delete = %v", res.Rows[0][0])
+	}
+}
+
+func TestDeleteByKey(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	mustExec(t, x, `DELETE FROM emp WHERE id = 3`)
+	res := mustExec(t, x, `SELECT COUNT(*) FROM emp`)
+	if res.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestForceAlgorithm(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	mustExec(t, x, `SELECT * FROM emp WHERE salary > 100 FORCE HASH`)
+	if x.DB().LastPlan.SelectAlg.String() != "Hash" {
+		t.Fatalf("forced algorithm not honored: %s", x.DB().LastPlan.SelectAlg)
+	}
+}
+
+func TestComputedProjection(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	res := mustExec(t, x, `SELECT name, salary * 2 AS double_pay FROM emp WHERE id = 1`)
+	if res.Rows[0][1].AsInt() != 240 || res.Cols[1] != "double_pay" {
+		t.Fatalf("computed projection = %v %v", res.Cols, res.Rows)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	mustExec(t, x, `DROP TABLE emp`)
+	if _, err := x.Execute(`SELECT * FROM emp`); err == nil {
+		t.Fatal("select from dropped table succeeded")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	x := newExec(t)
+	bad := []string{
+		`SELEC * FROM t`,
+		`SELECT * FROM`,
+		`CREATE TABLE t (x WIBBLE)`,
+		`INSERT INTO t VALUES (1,`,
+		`SELECT * FROM t WHERE x ===`,
+		`SELECT * FROM t; SELECT * FROM t`,
+		`CREATE TABLE t (x INTEGER) STORAGE = MAGNETIC`,
+		`SELECT 'unterminated FROM t`,
+	}
+	for _, q := range bad {
+		if _, err := x.Execute(q); err == nil {
+			t.Errorf("accepted: %s", q)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	x := newExec(t)
+	seed(t, x)
+	bad := []string{
+		`SELECT ghost FROM emp`,
+		`SELECT * FROM emp WHERE ghost = 1`,
+		`SELECT SUM(name) FROM emp`,
+		`SELECT dept, COUNT(*) FROM emp GROUP BY salary`,
+		`SELECT * FROM emp WHERE salary / 0 = 1`,
+		`INSERT INTO emp VALUES (1)`,
+	}
+	for _, q := range bad {
+		if _, err := x.Execute(q); err == nil {
+			t.Errorf("accepted: %s", q)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	x := newExec(t)
+	mustExec(t, x, `CREATE TABLE q (s VARCHAR(16))`)
+	mustExec(t, x, `INSERT INTO q VALUES ('it''s')`)
+	res := mustExec(t, x, `SELECT * FROM q WHERE s = 'it''s'`)
+	if len(res.Rows) != 1 {
+		t.Fatal("escaped quote mishandled")
+	}
+}
+
+func TestDateAsStringComparison(t *testing.T) {
+	// ISO dates compare lexicographically; the paper's Checkins example.
+	x := newExec(t)
+	mustExec(t, x, `CREATE TABLE checkins (uid INTEGER, date VARCHAR(10)) CAPACITY = 16`)
+	mustExec(t, x, `INSERT INTO checkins VALUES (1, '2018-08-14'), (2, '2017-01-01'), (1, '2018-09-02')`)
+	res := mustExec(t, x, `SELECT * FROM checkins WHERE uid = 1 AND date > '2018-01-01'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestConstEvalInInsert(t *testing.T) {
+	x := newExec(t)
+	mustExec(t, x, `CREATE TABLE n (v INTEGER)`)
+	mustExec(t, x, `INSERT INTO n VALUES (2 + 3 * 4)`)
+	res := mustExec(t, x, `SELECT * FROM n`)
+	if res.Rows[0][0].AsInt() != 14 {
+		t.Fatalf("const eval = %v", res.Rows[0][0])
+	}
+}
+
+func TestBoolColumns(t *testing.T) {
+	x := newExec(t)
+	mustExec(t, x, `CREATE TABLE flags (id INTEGER, ok BOOLEAN)`)
+	mustExec(t, x, `INSERT INTO flags VALUES (1, TRUE), (2, FALSE)`)
+	res := mustExec(t, x, `SELECT id FROM flags WHERE ok`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("bool filter = %v", res.Rows)
+	}
+}
+
+func TestKeyRangeExtraction(t *testing.T) {
+	parse := func(q string) Expr {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stmt.(*Select).Where
+	}
+	e := parse(`SELECT * FROM t WHERE id >= 5 AND id < 10 AND name = 'x'`)
+	kr := keyRange(e, "id")
+	if kr == nil || kr.Lo != 5 || kr.Hi != 9 {
+		t.Fatalf("range = %+v", kr)
+	}
+	e = parse(`SELECT * FROM t WHERE 7 = id`)
+	kr = keyRange(e, "id")
+	if kr == nil || kr.Lo != 7 || kr.Hi != 7 {
+		t.Fatalf("flipped eq range = %+v", kr)
+	}
+	e = parse(`SELECT * FROM t WHERE id = 1 OR id = 2`)
+	if keyRange(e, "id") != nil {
+		t.Fatal("OR must not produce a key range")
+	}
+	e = parse(`SELECT * FROM t WHERE other > 3`)
+	if keyRange(e, "id") != nil {
+		t.Fatal("non-key column produced a range")
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	// Property: any input yields a statement or an error, never a panic.
+	check := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	seeds := []string{
+		"", ";", "SELECT", "SELECT * FROM", "SELECT ((((", "'", "''",
+		"CREATE TABLE t (", "INSERT INTO t VALUES", "1 + 2",
+		"SELECT * FROM t WHERE x = = 1", "SELECT COUNT( FROM t",
+		"UPDATE t SET", "DELETE", "DROP", "\x00\x01\x02",
+		"SELECT * FROM t GROUP BY", "SELECT SUBSTR(a FROM t",
+	}
+	for _, s := range seeds {
+		if !check(s) {
+			t.Fatalf("parser panicked on %q", s)
+		}
+	}
+	if err := quick.Check(func(s string) bool { return check(s) }, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations of a valid statement.
+	base := `SELECT dept, COUNT(*) FROM emp JOIN b ON id = emp_id WHERE salary >= 90 GROUP BY dept`
+	for i := 0; i < len(base); i++ {
+		if !check(base[:i]) || !check(base[i:]) {
+			t.Fatalf("parser panicked on truncation at %d", i)
+		}
+	}
+}
+
+func TestValueParsingKinds(t *testing.T) {
+	x := newExec(t)
+	mustExec(t, x, `CREATE TABLE k (i INTEGER, f FLOAT, s VARCHAR(8), b BOOLEAN)`)
+	mustExec(t, x, `INSERT INTO k VALUES (-3, 2.5, 'hi', TRUE)`)
+	res := mustExec(t, x, `SELECT * FROM k`)
+	r := res.Rows[0]
+	if r[0].AsInt() != -3 || r[1].AsFloat() != 2.5 || r[2].AsString() != "hi" || !r[3].AsBool() {
+		t.Fatalf("row = %v", r)
+	}
+	if r[0].Kind != table.KindInt || r[1].Kind != table.KindFloat {
+		t.Fatalf("kinds = %v %v", r[0].Kind, r[1].Kind)
+	}
+}

@@ -1,0 +1,297 @@
+// Package storage implements ObliDB's flat storage method (§3.1): rows in
+// a series of adjacent sealed blocks with no built-in access-pattern
+// protection, so every operation that must be oblivious scans the whole
+// table, giving unaffected blocks dummy writes (a re-encryption of the
+// data they already hold).
+//
+// One record per block, as in the paper's implementation. The trusted
+// metadata per table is tiny: the capacity, the used-row count, and the
+// cursor for the constant-time insert variant.
+package storage
+
+import (
+	"fmt"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/table"
+)
+
+// Flat is a flat-method table: capacity sealed record blocks in untrusted
+// memory.
+type Flat struct {
+	enc      *enclave.Enclave
+	schema   *table.Schema
+	store    *enclave.Store
+	name     string
+	rows     int // number of used records (trusted metadata)
+	appendAt int // next slot for the constant-time insert variant
+	buf      []byte
+}
+
+// NewFlat creates a flat table with the given fixed capacity in rows.
+func NewFlat(e *enclave.Enclave, name string, schema *table.Schema, capacity int) (*Flat, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("storage: flat table %q needs positive capacity, got %d", name, capacity)
+	}
+	store, err := e.NewStore(name, capacity, schema.RecordSize())
+	if err != nil {
+		return nil, err
+	}
+	return &Flat{
+		enc:    e,
+		schema: schema,
+		store:  store,
+		name:   name,
+		buf:    make([]byte, schema.RecordSize()),
+	}, nil
+}
+
+// Name returns the table name.
+func (f *Flat) Name() string { return f.name }
+
+// Schema returns the table schema.
+func (f *Flat) Schema() *table.Schema { return f.schema }
+
+// Capacity returns the number of record blocks. This is the size the
+// adversary sees.
+func (f *Flat) Capacity() int { return f.store.Len() }
+
+// NumRows returns the used-record count (trusted enclave metadata).
+func (f *Flat) NumRows() int { return f.rows }
+
+// Store exposes the underlying untrusted store (for adversary tests and
+// operators that stream blocks directly).
+func (f *Flat) Store() *enclave.Store { return f.store }
+
+// ReadBlock decrypts block i, returning its row and used flag.
+func (f *Flat) ReadBlock(i int) (table.Row, bool, error) {
+	plain, err := f.store.Read(i)
+	if err != nil {
+		return nil, false, err
+	}
+	return f.schema.DecodeRecord(plain)
+}
+
+// WriteRow seals row r into block i as a used record.
+func (f *Flat) WriteRow(i int, r table.Row) error {
+	if err := f.schema.EncodeRecord(f.buf, r); err != nil {
+		return err
+	}
+	return f.store.Write(i, f.buf)
+}
+
+// WriteDummy seals an unused record into block i.
+func (f *Flat) WriteDummy(i int) error {
+	if err := f.schema.EncodeDummy(f.buf); err != nil {
+		return err
+	}
+	return f.store.Write(i, f.buf)
+}
+
+// rewrite re-seals the given plaintext unchanged — the paper's dummy
+// write: "overwriting a row with the data it already held, re-encrypted
+// and therefore re-randomized".
+func (f *Flat) rewrite(i int, plain []byte) error {
+	return f.store.Write(i, plain)
+}
+
+// Insert obliviously inserts a row: one pass over the table in which the
+// first unused block receives the real write and every other block a dummy
+// write. Leaks only the table size.
+func (f *Flat) Insert(r table.Row) error {
+	if err := f.schema.ValidateRow(r); err != nil {
+		return err
+	}
+	inserted := false
+	for i := 0; i < f.store.Len(); i++ {
+		plain, err := f.store.Read(i)
+		if err != nil {
+			return err
+		}
+		if !inserted && plain[0] == 0 {
+			if err := f.WriteRow(i, r); err != nil {
+				return err
+			}
+			inserted = true
+			if i >= f.appendAt {
+				f.appendAt = i + 1
+			}
+			continue
+		}
+		if err := f.rewrite(i, plain); err != nil {
+			return err
+		}
+	}
+	if !inserted {
+		return fmt.Errorf("storage: table %q is full (%d rows)", f.name, f.store.Len())
+	}
+	f.rows++
+	return nil
+}
+
+// InsertFast is the constant-time insertion variant for tables with few
+// deletions (§3.1): it writes directly to the next slot, skipping the
+// scan. The slot sequence depends only on the number of prior insertions,
+// which the adversary already learns from table sizes over time.
+func (f *Flat) InsertFast(r table.Row) error {
+	if err := f.schema.ValidateRow(r); err != nil {
+		return err
+	}
+	if f.appendAt >= f.store.Len() {
+		return fmt.Errorf("storage: table %q is full (%d rows)", f.name, f.store.Len())
+	}
+	if err := f.WriteRow(f.appendAt, r); err != nil {
+		return err
+	}
+	f.appendAt++
+	f.rows++
+	return nil
+}
+
+// Update obliviously applies upd to every row matching pred in one pass:
+// matching blocks get the rewritten row, all others a dummy write. It
+// returns the number of rows updated.
+func (f *Flat) Update(pred table.Pred, upd table.Updater) (int, error) {
+	updated := 0
+	for i := 0; i < f.store.Len(); i++ {
+		plain, err := f.store.Read(i)
+		if err != nil {
+			return updated, err
+		}
+		row, used, err := f.schema.DecodeRecord(plain)
+		if err != nil {
+			return updated, err
+		}
+		if used && pred(row) {
+			newRow := upd(row)
+			if err := f.WriteRow(i, newRow); err != nil {
+				return updated, err
+			}
+			updated++
+			continue
+		}
+		if err := f.rewrite(i, plain); err != nil {
+			return updated, err
+		}
+	}
+	return updated, nil
+}
+
+// Delete obliviously marks every row matching pred unused, overwriting it
+// with dummy data; all other blocks get dummy writes. It returns the
+// number of rows deleted.
+func (f *Flat) Delete(pred table.Pred) (int, error) {
+	deleted := 0
+	for i := 0; i < f.store.Len(); i++ {
+		plain, err := f.store.Read(i)
+		if err != nil {
+			return deleted, err
+		}
+		row, used, err := f.schema.DecodeRecord(plain)
+		if err != nil {
+			return deleted, err
+		}
+		if used && pred(row) {
+			if err := f.WriteDummy(i); err != nil {
+				return deleted, err
+			}
+			deleted++
+			continue
+		}
+		if err := f.rewrite(i, plain); err != nil {
+			return deleted, err
+		}
+	}
+	f.rows -= deleted
+	if deleted > 0 {
+		// Deletions may open holes before appendAt; fall back to scanning
+		// inserts for correctness (the paper offers InsertFast for tables
+		// "with few deletions").
+		f.appendAt = f.store.Len()
+	}
+	return deleted, nil
+}
+
+// Scan reads every block once in order, invoking fn inside the enclave.
+// This is the read pass underlying aggregates and the planner's stats
+// scan; its trace is one read per block regardless of data.
+func (f *Flat) Scan(fn func(i int, row table.Row, used bool) error) error {
+	for i := 0; i < f.store.Len(); i++ {
+		row, used, err := f.ReadBlock(i)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, row, used); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows collects all used rows in block order. It is a convenience for
+// tests and result delivery, not an oblivious operator.
+func (f *Flat) Rows() ([]table.Row, error) {
+	var out []table.Row
+	err := f.Scan(func(_ int, row table.Row, used bool) error {
+		if used {
+			out = append(out, row)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// CopyInto obliviously copies this table block-for-block into dst, which
+// must have at least the same capacity and an equal schema. The copy's
+// trace depends only on sizes (used by the Large select, §4.1).
+func (f *Flat) CopyInto(dst *Flat) error {
+	if !f.schema.Equal(dst.schema) {
+		return fmt.Errorf("storage: schema mismatch copying %q into %q", f.name, dst.name)
+	}
+	if dst.store.Len() < f.store.Len() {
+		return fmt.Errorf("storage: destination %q too small: %d < %d", dst.name, dst.store.Len(), f.store.Len())
+	}
+	for i := 0; i < f.store.Len(); i++ {
+		plain, err := f.store.Read(i)
+		if err != nil {
+			return err
+		}
+		if err := dst.store.Write(i, plain); err != nil {
+			return err
+		}
+	}
+	dst.rows = f.rows
+	dst.appendAt = f.appendAt
+	return nil
+}
+
+// Expand returns a new flat table with larger capacity holding the same
+// rows ("an initial maximum capacity that can be increased later by
+// copying to a new, larger table", §3).
+func (f *Flat) Expand(name string, newCapacity int) (*Flat, error) {
+	if newCapacity < f.store.Len() {
+		return nil, fmt.Errorf("storage: cannot shrink %q from %d to %d", f.name, f.store.Len(), newCapacity)
+	}
+	bigger, err := NewFlat(f.enc, name, f.schema, newCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.CopyInto(bigger); err != nil {
+		return nil, err
+	}
+	return bigger, nil
+}
+
+// SetRow writes a row (or dummy) directly to block i, adjusting the used
+// count. It is the building block operators use when they own the whole
+// output table; it performs exactly one write.
+func (f *Flat) SetRow(i int, r table.Row, used bool) error {
+	if !used {
+		return f.WriteDummy(i)
+	}
+	return f.WriteRow(i, r)
+}
+
+// BumpRows adjusts the trusted row count after operators fill an output
+// table directly through SetRow.
+func (f *Flat) BumpRows(n int) { f.rows += n }

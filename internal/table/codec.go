@@ -1,0 +1,132 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Record layout: a one-byte used flag followed by the fixed-length row
+// encoding. A record with flag 0 is a dummy — either never-written space
+// or a row "marked unused and overwritten with dummy data" by a delete or
+// by an oblivious operator writing filler (§3.1, §4).
+
+// RecordSize returns the fixed block payload size for rows of this schema.
+func (s *Schema) RecordSize() int { return 1 + s.rowSize }
+
+// EncodeRecord writes a used record for row r into dst, which must be at
+// least RecordSize bytes. Bytes beyond the record are left untouched.
+func (s *Schema) EncodeRecord(dst []byte, r Row) error {
+	if len(dst) < s.RecordSize() {
+		return fmt.Errorf("table: record buffer too small: %d < %d", len(dst), s.RecordSize())
+	}
+	dst[0] = 1
+	return s.encodeRow(dst[1:], r)
+}
+
+// EncodeDummy writes an unused (dummy) record into dst. The payload is
+// zeroed so dummy records are deterministic plaintext; sealing randomizes
+// the ciphertext.
+func (s *Schema) EncodeDummy(dst []byte) error {
+	if len(dst) < s.RecordSize() {
+		return fmt.Errorf("table: record buffer too small: %d < %d", len(dst), s.RecordSize())
+	}
+	for i := 0; i < s.RecordSize(); i++ {
+		dst[i] = 0
+	}
+	return nil
+}
+
+// DecodeRecord parses a record. used=false means the block holds no row;
+// the returned Row is nil in that case.
+func (s *Schema) DecodeRecord(b []byte) (row Row, used bool, err error) {
+	if len(b) < s.RecordSize() {
+		return nil, false, fmt.Errorf("table: record too short: %d < %d", len(b), s.RecordSize())
+	}
+	if b[0] == 0 {
+		return nil, false, nil
+	}
+	row, err = s.decodeRow(b[1:])
+	return row, true, err
+}
+
+// encodeRow writes the row's fixed encoding into dst (rowSize bytes).
+func (s *Schema) encodeRow(dst []byte, r Row) error {
+	if len(r) != len(s.cols) {
+		return fmt.Errorf("table: row has %d values, schema has %d columns", len(r), len(s.cols))
+	}
+	for i, c := range s.cols {
+		v := r[i]
+		if !kindAssignable(c.Kind, v.Kind) {
+			return fmt.Errorf("table: column %q is %s, got %s", c.Name, c.Kind, v.Kind)
+		}
+		field := dst[s.offsets[i]:]
+		switch c.Kind {
+		case KindInt:
+			binary.LittleEndian.PutUint64(field, uint64(v.AsInt()))
+		case KindFloat:
+			binary.LittleEndian.PutUint64(field, math.Float64bits(v.AsFloat()))
+		case KindBool:
+			field[0] = byte(v.int64 & 1)
+		case KindString:
+			str := v.str
+			if len(str) > c.Width {
+				return fmt.Errorf("table: value %q exceeds column %q width %d", str, c.Name, c.Width)
+			}
+			binary.LittleEndian.PutUint16(field, uint16(len(str)))
+			n := copy(field[2:2+c.Width], str)
+			for j := 2 + n; j < 2+c.Width; j++ {
+				field[j] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// decodeRow parses the fixed encoding back into a Row.
+func (s *Schema) decodeRow(b []byte) (Row, error) {
+	row := make(Row, len(s.cols))
+	for i, c := range s.cols {
+		field := b[s.offsets[i]:]
+		switch c.Kind {
+		case KindInt:
+			row[i] = Int(int64(binary.LittleEndian.Uint64(field)))
+		case KindFloat:
+			row[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(field)))
+		case KindBool:
+			row[i] = Bool(field[0] != 0)
+		case KindString:
+			n := int(binary.LittleEndian.Uint16(field))
+			if n > c.Width {
+				return nil, fmt.Errorf("table: corrupt string length %d > width %d in column %q", n, c.Width, c.Name)
+			}
+			row[i] = Str(string(field[2 : 2+n]))
+		}
+	}
+	return row, nil
+}
+
+// kindAssignable reports whether a value of kind v can be stored in a
+// column of kind c. Ints widen to floats, matching SQL numeric coercion.
+func kindAssignable(c, v Kind) bool {
+	if c == v {
+		return true
+	}
+	return c == KindFloat && v == KindInt
+}
+
+// ValidateRow checks a row against the schema without encoding it.
+func (s *Schema) ValidateRow(r Row) error {
+	if len(r) != len(s.cols) {
+		return fmt.Errorf("table: row has %d values, schema has %d columns", len(r), len(s.cols))
+	}
+	for i, c := range s.cols {
+		if !kindAssignable(c.Kind, r[i].Kind) {
+			return fmt.Errorf("table: column %q is %s, got %s", c.Name, c.Kind, r[i].Kind)
+		}
+		if c.Kind == KindString && len(r[i].str) > c.Width {
+			return fmt.Errorf("table: value %q exceeds column %q width %d", r[i].str, c.Name, c.Width)
+		}
+	}
+	return nil
+}

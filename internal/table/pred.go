@@ -1,0 +1,16 @@
+package table
+
+// Pred is a row predicate, evaluated entirely inside the enclave. Operator
+// obliviousness never depends on a predicate's outcome — only on the sizes
+// the planner has already leaked — which the trace-equality tests verify.
+type Pred func(Row) bool
+
+// Updater rewrites a row in place for UPDATE operators. It must return a
+// row of the same schema.
+type Updater func(Row) Row
+
+// All matches every row.
+func All(Row) bool { return true }
+
+// None matches no row.
+func None(Row) bool { return false }

@@ -1,0 +1,159 @@
+// Package table defines schemas, typed values, and the fixed-length record
+// encoding ObliDB stores in blocks. The paper's implementation "assumes
+// records are of fixed length and also stores a boolean flag with each
+// record indicating whether it is in use" (§3); this package implements
+// exactly that layout so flat storage and B+ tree leaves share one codec.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates column types.
+type Kind uint8
+
+const (
+	// KindInt is a 64-bit signed integer. Dates are stored as days since
+	// the epoch using this kind.
+	KindInt Kind = iota
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is a fixed-width string column (width set per column).
+	KindString
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String names the kind as its SQL type keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Column describes one column. Width is the maximum byte length for
+// KindString and ignored otherwise.
+type Column struct {
+	Name  string
+	Kind  Kind
+	Width int
+}
+
+// encodedSize returns the fixed on-block size of a column value.
+func (c Column) encodedSize() int {
+	switch c.Kind {
+	case KindInt, KindFloat:
+		return 8
+	case KindBool:
+		return 1
+	case KindString:
+		return 2 + c.Width // length prefix + padded bytes
+	}
+	panic("table: unknown column kind")
+}
+
+// Schema is an ordered set of columns with a fixed row encoding.
+type Schema struct {
+	cols    []Column
+	offsets []int
+	byName  map[string]int
+	rowSize int
+}
+
+// NewSchema validates columns and computes the encoding layout.
+func NewSchema(cols ...Column) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table: schema needs at least one column")
+	}
+	s := &Schema{
+		cols:    append([]Column(nil), cols...),
+		offsets: make([]int, len(cols)),
+		byName:  make(map[string]int, len(cols)),
+	}
+	off := 0
+	for i, c := range s.cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("table: column %d has empty name", i)
+		}
+		name := strings.ToLower(c.Name)
+		if _, dup := s.byName[name]; dup {
+			return nil, fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		if c.Kind == KindString && c.Width <= 0 {
+			return nil, fmt.Errorf("table: string column %q needs positive width", c.Name)
+		}
+		if c.Kind > KindBool {
+			return nil, fmt.Errorf("table: column %q has unknown kind", c.Name)
+		}
+		s.byName[name] = i
+		s.offsets[i] = off
+		off += c.encodedSize()
+	}
+	s.rowSize = off
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for literals in tests and
+// examples.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Columns returns the schema's columns. Callers must not mutate the slice.
+func (s *Schema) Columns() []Column { return s.cols }
+
+// NumColumns returns the number of columns.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// RowSize returns the fixed encoded size of one row in bytes.
+func (s *Schema) RowSize() int { return s.rowSize }
+
+// ColIndex returns the index of the named column (case-insensitive), or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Col returns the column at index i.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// String renders the schema as a DDL-ish column list.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		if c.Kind == KindString {
+			parts[i] = fmt.Sprintf("%s %s(%d)", c.Name, c.Kind, c.Width)
+		} else {
+			parts[i] = fmt.Sprintf("%s %s", c.Name, c.Kind)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Equal reports whether two schemas have identical columns.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "score", Kind: KindFloat},
+		Column{Name: "name", Kind: KindString, Width: 16},
+		Column{Name: "active", Kind: KindBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := testSchema(t)
+	// 8 (int) + 8 (float) + 2+16 (string) + 1 (bool)
+	if s.RowSize() != 35 {
+		t.Fatalf("RowSize = %d, want 35", s.RowSize())
+	}
+	if s.RecordSize() != 36 {
+		t.Fatalf("RecordSize = %d, want 36", s.RecordSize())
+	}
+	if s.ColIndex("NAME") != 2 || s.ColIndex("name") != 2 {
+		t.Fatal("ColIndex should be case-insensitive")
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Fatal("missing column should give -1")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cols []Column
+	}{
+		{"empty", nil},
+		{"anonymous column", []Column{{Kind: KindInt}}},
+		{"duplicate (case-insensitive)", []Column{{Name: "A", Kind: KindInt}, {Name: "a", Kind: KindInt}}},
+		{"string without width", []Column{{Name: "s", Kind: KindString}}},
+		{"bad kind", []Column{{Name: "x", Kind: Kind(9)}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSchema(c.cols...); err == nil {
+			t.Errorf("%s: schema accepted", c.name)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	row := Row{Int(42), Float(3.5), Str("alice"), Bool(true)}
+	buf := make([]byte, s.RecordSize())
+	if err := s.EncodeRecord(buf, row); err != nil {
+		t.Fatal(err)
+	}
+	got, used, err := s.DecodeRecord(buf)
+	if err != nil || !used {
+		t.Fatalf("decode: used=%v err=%v", used, err)
+	}
+	for i := range row {
+		if !got[i].Equal(row[i]) {
+			t.Fatalf("column %d: got %v want %v", i, got[i], row[i])
+		}
+	}
+}
+
+func TestDummyRecord(t *testing.T) {
+	s := testSchema(t)
+	buf := make([]byte, s.RecordSize())
+	_ = s.EncodeRecord(buf, Row{Int(1), Float(1), Str("x"), Bool(false)})
+	if err := s.EncodeDummy(buf); err != nil {
+		t.Fatal(err)
+	}
+	row, used, err := s.DecodeRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used || row != nil {
+		t.Fatal("dummy record decoded as used")
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("dummy record not zeroed")
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := testSchema(t)
+	buf := make([]byte, s.RecordSize())
+	if err := s.EncodeRecord(buf[:3], Row{Int(1), Float(1), Str(""), Bool(false)}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := s.EncodeRecord(buf, Row{Int(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := s.EncodeRecord(buf, Row{Str("x"), Float(1), Str(""), Bool(false)}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := s.EncodeRecord(buf, Row{Int(1), Float(1), Str(strings.Repeat("z", 17)), Bool(false)}); err == nil {
+		t.Error("overwide string accepted")
+	}
+}
+
+func TestIntWidensToFloat(t *testing.T) {
+	s := MustSchema(Column{Name: "v", Kind: KindFloat})
+	buf := make([]byte, s.RecordSize())
+	if err := s.EncodeRecord(buf, Row{Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	row, _, _ := s.DecodeRecord(buf)
+	if row[0].AsFloat() != 7.0 {
+		t.Fatalf("got %v, want 7.0", row[0])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Float(1.5), -1},
+		{Float(2.5), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Fatalf("Compare(%v,%v): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Compare(Str("a"), Int(1)); err == nil {
+		t.Error("cross-kind compare of string/int accepted")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if Int(-3).String() != "-3" || Bool(true).String() != "TRUE" || Str("x").String() != `"x"` {
+		t.Fatal("value rendering wrong")
+	}
+}
+
+func TestValidateRow(t *testing.T) {
+	s := testSchema(t)
+	ok := Row{Int(1), Float(2), Str("ok"), Bool(true)}
+	if err := s.ValidateRow(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateRow(ok[:2]); err == nil {
+		t.Error("short row validated")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), Str("a")}
+	c := r.Clone()
+	c[0] = Int(9)
+	if r[0].AsInt() != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := testSchema(t)
+	str := s.String()
+	if !strings.Contains(str, "VARCHAR(16)") || !strings.Contains(str, "id INTEGER") {
+		t.Fatalf("unexpected schema string %q", str)
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := testSchema(t)
+	b := testSchema(t)
+	if !a.Equal(b) {
+		t.Fatal("identical schemas not equal")
+	}
+	c := MustSchema(Column{Name: "id", Kind: KindInt})
+	if a.Equal(c) {
+		t.Fatal("different schemas equal")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	s := testSchema(t)
+	buf := make([]byte, s.RecordSize())
+	f := func(id int64, score float64, name string, active bool) bool {
+		if math.IsNaN(score) {
+			score = 0 // NaN != NaN; excluded from equality property
+		}
+		if len(name) > 16 {
+			name = name[:16]
+		}
+		if strings.ContainsRune(name, 0xFFFD) {
+			// quick can generate invalid UTF-16 surrogate strings whose
+			// byte length exceeds rune count; keep it simple.
+			name = "fallback"
+		}
+		if len(name) > 16 {
+			name = name[:16]
+		}
+		row := Row{Int(id), Float(score), Str(name), Bool(active)}
+		if s.ValidateRow(row) != nil {
+			return true // skip rows the schema rejects (e.g. slicing split a rune)
+		}
+		if err := s.EncodeRecord(buf, row); err != nil {
+			return false
+		}
+		got, used, err := s.DecodeRecord(buf)
+		if err != nil || !used {
+			return false
+		}
+		for i := range row {
+			if !got[i].Equal(row[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

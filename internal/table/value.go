@@ -1,0 +1,132 @@
+package table
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is a dynamically typed cell value. It is a tagged union rather
+// than an interface so rows can be compared and copied without heap
+// traffic on the hot operator paths.
+type Value struct {
+	Kind  Kind
+	int64 int64
+	f64   float64
+	str   string
+}
+
+// Int constructs an integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, int64: v} }
+
+// Float constructs a float value.
+func Float(v float64) Value { return Value{Kind: KindFloat, f64: v} }
+
+// Str constructs a string value.
+func Str(v string) Value { return Value{Kind: KindString, str: v} }
+
+// Bool constructs a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Kind: KindBool, int64: i}
+}
+
+// AsInt returns the integer payload (valid for KindInt and KindBool).
+func (v Value) AsInt() int64 { return v.int64 }
+
+// AsFloat returns the float payload, converting integers.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KindFloat {
+		return v.f64
+	}
+	return float64(v.int64)
+}
+
+// AsString returns the string payload.
+func (v Value) AsString() string { return v.str }
+
+// AsBool returns the boolean payload.
+func (v Value) AsBool() bool { return v.int64 != 0 }
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// Compare orders two values. Numeric kinds compare numerically against
+// each other; otherwise kinds must match. It returns -1, 0, or +1.
+func Compare(a, b Value) (int, error) {
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.Kind == KindInt && b.Kind == KindInt {
+			return cmpOrdered(a.int64, b.int64), nil
+		}
+		return cmpOrdered(a.AsFloat(), b.AsFloat()), nil
+	}
+	if a.Kind != b.Kind {
+		return 0, fmt.Errorf("table: cannot compare %s with %s", a.Kind, b.Kind)
+	}
+	switch a.Kind {
+	case KindString:
+		return cmpOrdered(a.str, b.str), nil
+	case KindBool:
+		return cmpOrdered(a.int64, b.int64), nil
+	}
+	return 0, fmt.Errorf("table: cannot compare %s values", a.Kind)
+}
+
+func cmpOrdered[T int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// String renders the value as a SQL literal.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.int64, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f64, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindBool:
+		if v.int64 != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// Equal reports deep equality of two values (numeric cross-kind equality
+// included, matching Compare).
+func (v Value) Equal(o Value) bool {
+	c, err := Compare(v, o)
+	return err == nil && c == 0
+}
+
+// Row is one tuple of values, ordered per its schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	cp := make(Row, len(r))
+	copy(cp, r)
+	return cp
+}
+
+// String renders the row as a parenthesized tuple.
+func (r Row) String() string {
+	s := "("
+	for i, v := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}

@@ -1,0 +1,252 @@
+// Package trace records the sequence of accesses an algorithm makes to
+// untrusted memory. In the paper's threat model (§2.2) the adversary
+// controls the OS and observes every address the enclave touches outside
+// its protected region; this package makes that adversarial view a
+// first-class artifact so tests can assert that two executions are
+// indistinguishable.
+//
+// A Tracer collects Events. Each Event names a region (a logical untrusted
+// data structure, e.g. one table's block array or one ORAM's bucket tree),
+// an operation (read or write), and a block index within the region.
+// Obliviousness of an operator is then the statement: for fixed public
+// parameters (table sizes, operator choice), the trace is identical no
+// matter what the data or query parameters are.
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Op distinguishes reads from writes. The adversary sees which one occurs
+// (bus direction / page permissions), so both are part of the trace.
+type Op uint8
+
+const (
+	// Read is an untrusted-memory read.
+	Read Op = iota
+	// Write is an untrusted-memory write.
+	Write
+)
+
+// String returns "R" or "W".
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Region identifies one untrusted data structure. Regions are compared by
+// value; allocate them with Tracer.Region so names stay unique.
+type Region struct {
+	id   uint32
+	name string
+}
+
+// Name returns the human-readable region name.
+func (r Region) Name() string { return r.name }
+
+// Event is a single untrusted-memory access.
+type Event struct {
+	Region uint32
+	Op     Op
+	Index  uint32
+}
+
+// Tracer accumulates events. The zero value is a valid, disabled tracer:
+// Record is a no-op until Enable is called, so production paths pay nothing
+// when tracing is off.
+type Tracer struct {
+	enabled bool
+	events  []Event
+	regions []string
+	counts  map[uint32]uint64 // per-region access counts, kept even when full event log disabled
+	countOn bool
+}
+
+// New returns an enabled Tracer.
+func New() *Tracer {
+	t := &Tracer{}
+	t.Enable()
+	return t
+}
+
+// Enable turns on full event recording.
+func (t *Tracer) Enable() { t.enabled = true }
+
+// Disable turns off full event recording (counting continues if on).
+func (t *Tracer) Disable() { t.enabled = false }
+
+// Enabled reports whether full event recording is on.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled }
+
+// EnableCounts turns on lightweight per-region access counting, which is
+// cheap enough to leave on during benchmarks.
+func (t *Tracer) EnableCounts() {
+	t.countOn = true
+	if t.counts == nil {
+		t.counts = make(map[uint32]uint64)
+	}
+}
+
+// Region registers a named region and returns its handle.
+func (t *Tracer) Region(name string) Region {
+	if t == nil {
+		return Region{}
+	}
+	id := uint32(len(t.regions))
+	t.regions = append(t.regions, name)
+	return Region{id: id, name: name}
+}
+
+// Record appends one event. It is a no-op on a nil or disabled tracer.
+func (t *Tracer) Record(r Region, op Op, index int) {
+	if t == nil {
+		return
+	}
+	if t.countOn {
+		t.counts[r.id]++
+	}
+	if !t.enabled {
+		return
+	}
+	t.events = append(t.events, Event{Region: r.id, Op: op, Index: uint32(index)})
+}
+
+// Reset discards all recorded events and counts but keeps region names.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.events = t.events[:0]
+	for k := range t.counts {
+		delete(t.counts, k)
+	}
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events. The returned slice aliases internal
+// storage; callers must not mutate it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Count returns the number of accesses recorded against a region.
+func (t *Tracer) Count(r Region) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.counts[r.id]
+}
+
+// TotalCount returns the number of accesses recorded against all regions.
+func (t *Tracer) TotalCount() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+// Fingerprint returns a SHA-256 digest of the event sequence. Two traces
+// are indistinguishable to the adversary exactly when their fingerprints
+// are equal (region ids are allocation-ordered, so equal programs produce
+// equal ids).
+func (t *Tracer) Fingerprint() [32]byte {
+	h := sha256.New()
+	var buf [9]byte
+	for _, e := range t.events {
+		binary.LittleEndian.PutUint32(buf[0:4], e.Region)
+		buf[4] = byte(e.Op)
+		binary.LittleEndian.PutUint32(buf[5:9], e.Index)
+		h.Write(buf[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// CanonicalFingerprint digests the trace with region ids renumbered by
+// first appearance. Two runs of the same program segment that allocate
+// fresh untrusted structures (temporary tables get new region ids each
+// time) are pattern-identical exactly when their canonical fingerprints
+// match; the adversary likewise identifies fresh allocations only by
+// order of appearance.
+func (t *Tracer) CanonicalFingerprint() [32]byte {
+	h := sha256.New()
+	remap := make(map[uint32]uint32, 8)
+	var buf [9]byte
+	for _, e := range t.events {
+		id, ok := remap[e.Region]
+		if !ok {
+			id = uint32(len(remap))
+			remap[e.Region] = id
+		}
+		binary.LittleEndian.PutUint32(buf[0:4], id)
+		buf[4] = byte(e.Op)
+		binary.LittleEndian.PutUint32(buf[5:9], e.Index)
+		h.Write(buf[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Diff compares two traces and returns a description of the first
+// divergence, or "" if the traces are identical. Intended for test
+// failure messages.
+func Diff(a, b *Tracer) string {
+	ea, eb := a.Events(), b.Events()
+	n := len(ea)
+	if len(eb) < n {
+		n = len(eb)
+	}
+	for i := 0; i < n; i++ {
+		if ea[i] != eb[i] {
+			return fmt.Sprintf("traces diverge at event %d: %s vs %s",
+				i, a.format(ea[i]), b.format(eb[i]))
+		}
+	}
+	if len(ea) != len(eb) {
+		return fmt.Sprintf("trace lengths differ: %d vs %d events", len(ea), len(eb))
+	}
+	return ""
+}
+
+// Equal reports whether two traces recorded identical event sequences.
+func Equal(a, b *Tracer) bool { return Diff(a, b) == "" }
+
+func (t *Tracer) format(e Event) string {
+	name := fmt.Sprintf("region%d", e.Region)
+	if int(e.Region) < len(t.regions) {
+		name = t.regions[e.Region]
+	}
+	return fmt.Sprintf("%s[%d].%s", name, e.Index, e.Op)
+}
+
+// String renders the whole trace, one event per line. Useful only for
+// small traces in debugging.
+func (t *Tracer) String() string {
+	var sb strings.Builder
+	for _, e := range t.events {
+		sb.WriteString(t.format(e))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

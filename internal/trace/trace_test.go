@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueDisabled(t *testing.T) {
+	var tr Tracer
+	r := tr.Region("x")
+	tr.Record(r, Read, 0)
+	if tr.Len() != 0 {
+		t.Fatalf("disabled tracer recorded %d events", tr.Len())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	r := tr.Region("x")
+	tr.Record(r, Read, 1) // must not panic
+	tr.Reset()
+	if tr.Len() != 0 || tr.Count(r) != 0 || tr.TotalCount() != 0 {
+		t.Fatal("nil tracer should report zero everything")
+	}
+}
+
+func TestRecordAndEqual(t *testing.T) {
+	a, b := New(), New()
+	ra, rb := a.Region("t"), b.Region("t")
+	for i := 0; i < 10; i++ {
+		a.Record(ra, Read, i)
+		b.Record(rb, Read, i)
+	}
+	if !Equal(a, b) {
+		t.Fatalf("identical traces not equal: %s", Diff(a, b))
+	}
+	b.Record(rb, Write, 3)
+	if Equal(a, b) {
+		t.Fatal("traces of different length reported equal")
+	}
+}
+
+func TestDiffReportsFirstDivergence(t *testing.T) {
+	a, b := New(), New()
+	ra, rb := a.Region("t"), b.Region("t")
+	a.Record(ra, Read, 1)
+	a.Record(ra, Write, 2)
+	b.Record(rb, Read, 1)
+	b.Record(rb, Write, 3)
+	d := Diff(a, b)
+	if d == "" {
+		t.Fatal("divergent traces reported equal")
+	}
+}
+
+func TestFingerprintMatchesEqual(t *testing.T) {
+	f := func(ops []bool, idxs []uint16) bool {
+		a, b := New(), New()
+		ra, rb := a.Region("t"), b.Region("t")
+		n := len(ops)
+		if len(idxs) < n {
+			n = len(idxs)
+		}
+		for i := 0; i < n; i++ {
+			op := Read
+			if ops[i] {
+				op = Write
+			}
+			a.Record(ra, op, int(idxs[i]))
+			b.Record(rb, op, int(idxs[i]))
+		}
+		return Equal(a, b) && a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a, b := New(), New()
+	ra, rb := a.Region("t"), b.Region("t")
+	a.Record(ra, Read, 1)
+	b.Record(rb, Read, 2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different traces share a fingerprint")
+	}
+}
+
+func TestResetClearsEventsKeepsRegions(t *testing.T) {
+	tr := New()
+	tr.EnableCounts()
+	r := tr.Region("t")
+	tr.Record(r, Read, 0)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Count(r) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	tr.Record(r, Write, 5)
+	if tr.Len() != 1 || tr.Count(r) != 1 {
+		t.Fatal("tracer unusable after reset")
+	}
+}
+
+func TestCountsWithoutEvents(t *testing.T) {
+	tr := &Tracer{}
+	tr.EnableCounts()
+	r := tr.Region("t")
+	for i := 0; i < 7; i++ {
+		tr.Record(r, Read, i)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("count-only tracer stored %d events", tr.Len())
+	}
+	if tr.Count(r) != 7 || tr.TotalCount() != 7 {
+		t.Fatalf("count = %d, want 7", tr.Count(r))
+	}
+}
+
+func TestStringAndOpString(t *testing.T) {
+	tr := New()
+	r := tr.Region("tbl")
+	tr.Record(r, Read, 4)
+	tr.Record(r, Write, 9)
+	want := "tbl[4].R\ntbl[9].W\n"
+	if got := tr.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCanonicalFingerprint(t *testing.T) {
+	// Two runs allocating regions in the same pattern but with different
+	// absolute ids are canonically equal...
+	a := New()
+	_ = a.Region("setup") // consumes id 0
+	r1 := a.Region("x")
+	a.Record(r1, Read, 5)
+
+	b := New()
+	s1 := b.Region("x") // id 0 here
+	b.Record(s1, Read, 5)
+
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("raw fingerprints should differ (different region ids)")
+	}
+	if a.CanonicalFingerprint() != b.CanonicalFingerprint() {
+		t.Fatal("canonical fingerprints should match")
+	}
+
+	// ...but different patterns stay distinguishable.
+	c := New()
+	c1 := c.Region("x")
+	c.Record(c1, Write, 5)
+	if a.CanonicalFingerprint() == c.CanonicalFingerprint() {
+		t.Fatal("canonicalization erased an op difference")
+	}
+
+	// Interleaving across two regions is preserved.
+	d1, d2 := New(), New()
+	p1, p2 := d1.Region("p"), d1.Region("q")
+	q1, q2 := d2.Region("p"), d2.Region("q")
+	d1.Record(p1, Read, 0)
+	d1.Record(p2, Read, 0)
+	d2.Record(q2, Read, 0)
+	d2.Record(q1, Read, 0)
+	if d1.CanonicalFingerprint() != d2.CanonicalFingerprint() {
+		// First-appearance numbering makes these equal: both are
+		// "fresh region, then another fresh region".
+		t.Fatal("symmetric interleavings should canonicalize equal")
+	}
+}
+
+func TestRegionsIndependent(t *testing.T) {
+	a := New()
+	r1 := a.Region("one")
+	r2 := a.Region("two")
+	a.Record(r1, Read, 0)
+
+	b := New()
+	s1 := b.Region("one")
+	s2 := b.Region("two")
+	b.Record(s2, Read, 0)
+	_ = r2
+	_ = s1
+	if Equal(a, b) {
+		t.Fatal("accesses to different regions compared equal")
+	}
+}

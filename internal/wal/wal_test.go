@@ -1,0 +1,129 @@
+package wal
+
+import (
+	"testing"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/table"
+)
+
+func walSchema() *table.Schema {
+	return table.MustSchema(
+		table.Column{Name: "k", Kind: table.KindInt},
+		table.Column{Name: "s", Kind: table.KindString, Width: 10},
+	)
+}
+
+func newLog(t *testing.T, capacity int) *Log {
+	t.Helper()
+	e := enclave.MustNew(enclave.Config{})
+	l, err := New(e, "j", capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("t", walSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l := newLog(t, 16)
+	entries := []Entry{
+		{Op: OpInsert, Table: "t", Row: table.Row{table.Int(1), table.Str("a")}},
+		{Op: OpDelete, Table: "t", Row: table.Row{table.Int(1), table.Str("a")}},
+		{Op: OpUpdate, Table: "t", Row: table.Row{table.Int(2), table.Str("b")}},
+	}
+	for _, e := range entries {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	i := 0
+	if err := l.Replay(func(e Entry) error {
+		want := entries[i]
+		if e.Op != want.Op || e.Table != want.Table || !e.Row[0].Equal(want.Row[0]) || !e.Row[1].Equal(want.Row[1]) {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, want)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != 3 {
+		t.Fatalf("replayed %d entries", i)
+	}
+}
+
+func TestCapacityAndRegistrationRules(t *testing.T) {
+	e := enclave.MustNew(enclave.Config{})
+	if _, err := New(e, "j", 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	l := newLog(t, 1)
+	if err := l.Append(Entry{Op: OpInsert, Table: "t", Row: table.Row{table.Int(1), table.Str("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Entry{Op: OpInsert, Table: "t", Row: table.Row{table.Int(2), table.Str("y")}}); err == nil {
+		t.Fatal("over-capacity append accepted")
+	}
+	if err := l.Register("late", walSchema()); err == nil {
+		t.Fatal("registration after appends accepted")
+	}
+	if err := l.Append(Entry{Op: OpInsert, Table: "nope", Row: table.Row{table.Int(1), table.Str("x")}}); err == nil {
+		t.Fatal("unregistered table accepted")
+	}
+}
+
+func TestEmptyLogReplay(t *testing.T) {
+	l := newLog(t, 4)
+	if err := l.Replay(func(Entry) error { t.Fatal("unexpected entry"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestAppendWithoutRegistration(t *testing.T) {
+	e := enclave.MustNew(enclave.Config{})
+	l, err := New(e, "j", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Entry{Op: OpInsert, Table: "t"}); err == nil {
+		t.Fatal("append with no registered tables accepted")
+	}
+}
+
+func TestMultiTableEntries(t *testing.T) {
+	e := enclave.MustNew(enclave.Config{})
+	l, err := New(e, "j", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := table.MustSchema(table.Column{Name: "text", Kind: table.KindString, Width: 64})
+	if err := l.Register("a", walSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("b", wide); err != nil {
+		t.Fatal(err)
+	}
+	// The wider schema sets the entry size; narrow entries still fit.
+	if err := l.Append(Entry{Op: OpInsert, Table: "a", Row: table.Row{table.Int(1), table.Str("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Entry{Op: OpInsert, Table: "b", Row: table.Row{table.Str("wide value")}}); err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string]int{}
+	if err := l.Replay(func(e Entry) error { tables[e.Table]++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tables["a"] != 1 || tables["b"] != 1 {
+		t.Fatalf("replayed tables = %v", tables)
+	}
+}

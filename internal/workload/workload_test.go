@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+
+	"oblidb/internal/core"
+)
+
+func TestMixPercentagesSum(t *testing.T) {
+	for _, m := range Mixes {
+		total := m.PointRead + m.SmallRead + m.LargeRead + m.Insert + m.Delete
+		if total != 100 {
+			t.Errorf("%s sums to %d", m.Name, total)
+		}
+	}
+}
+
+func TestOpsDistribution(t *testing.T) {
+	m := Mixes[0] // L1: 5/0/5/90/0
+	ops := m.Ops(2000, 1)
+	counts := map[string]int{}
+	for _, op := range ops {
+		counts[op]++
+	}
+	if counts["insert"] < 1600 {
+		t.Fatalf("L1 inserts = %d of 2000, want ~1800", counts["insert"])
+	}
+	if counts["delete"] != 0 {
+		t.Fatalf("L1 has deletes: %d", counts["delete"])
+	}
+	// Deterministic per seed.
+	again := m.Ops(2000, 1)
+	for i := range ops {
+		if ops[i] != again[i] {
+			t.Fatal("op stream not deterministic")
+		}
+	}
+}
+
+func TestRunnerAllKindsAllCategories(t *testing.T) {
+	for _, kind := range []core.StorageKind{core.KindFlat, core.KindIndexed, core.KindBoth} {
+		t.Run(kind.String(), func(t *testing.T) {
+			db := core.MustOpen(core.Config{})
+			if err := Setup(db, "w", kind, 200); err != nil {
+				t.Fatal(err)
+			}
+			r := NewRunner(db, "w", 200, 3)
+			for _, cat := range []string{"point", "small", "large", "insert", "delete"} {
+				if err := r.RunOp(cat); err != nil {
+					t.Fatalf("%s/%s: %v", kind, cat, err)
+				}
+			}
+			if err := r.RunOp("bogus"); err == nil {
+				t.Fatal("unknown category accepted")
+			}
+		})
+	}
+}
+
+func TestRunnerMixEndToEnd(t *testing.T) {
+	db := core.MustOpen(core.Config{})
+	if err := Setup(db, "w", core.KindBoth, 150); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(db, "w", 150, 9)
+	for _, op := range Mixes[3].Ops(40, 9) { // L4 exercises everything
+		if err := r.RunOp(op); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package oblidb is a Go implementation of ObliDB (Eskandarian & Zaharia,
+// VLDB 2019): a database engine whose every query runs with oblivious —
+// access-pattern-hiding — physical operators inside a (simulated)
+// hardware enclave.
+//
+// The engine stores each table by one or both of two methods: a flat
+// array of sealed blocks that operators always scan in full, and a B+
+// tree inside a Path ORAM whose mutations are padded to worst-case access
+// counts. Selections run one of four size-specialized oblivious
+// algorithms chosen by a query planner that consults only already-public
+// sizes; joins choose among an oblivious hash join and two sort-merge
+// joins over a bitonic sorting network. Everything an adversarial OS can
+// observe — the sequence of untrusted memory accesses — depends only on
+// table sizes and the chosen plan, never on data or query parameters.
+//
+// # Quick start
+//
+//	db, err := oblidb.Open(oblidb.Config{})
+//	if err != nil { ... }
+//	db.Exec(`CREATE TABLE users (id INTEGER, name VARCHAR(16)) INDEX ON id`)
+//	db.Exec(`INSERT INTO users VALUES (1, 'alice'), (2, 'bob')`)
+//	res, err := db.Exec(`SELECT name FROM users WHERE id = 2`)
+//
+// Alongside SQL, the engine's compositional API (Select, Aggregate,
+// GroupAggregate, Join, and their *Table variants) is available on DB.
+//
+// There is no SGX hardware underneath: the enclave is simulated with an
+// explicitly budgeted oblivious memory and a traced untrusted store, so
+// the obliviousness guarantees are testable — see DESIGN.md.
+package oblidb
+
+import (
+	"oblidb/internal/core"
+	"oblidb/internal/exec"
+	"oblidb/internal/sql"
+)
+
+// Config configures a database; see core.Config for fields. The zero
+// value gets the paper's defaults (20 MB oblivious memory, no padding).
+type Config = core.Config
+
+// PaddingConfig enables padding mode (§2.3 of the paper).
+type PaddingConfig = core.PaddingConfig
+
+// Result is a materialized query result.
+type Result = core.Result
+
+// TableOptions configures table creation.
+type TableOptions = core.TableOptions
+
+// SelectOptions configures selection queries.
+type SelectOptions = core.SelectOptions
+
+// JoinOptions configures join queries.
+type JoinOptions = core.JoinOptions
+
+// AggregateSpec names one aggregate over a column.
+type AggregateSpec = core.AggregateSpec
+
+// KeyRange is an inclusive range on an indexed column.
+type KeyRange = core.KeyRange
+
+// Storage methods (§3 of the paper).
+const (
+	KindFlat    = core.KindFlat
+	KindIndexed = core.KindIndexed
+	KindBoth    = core.KindBoth
+)
+
+// Aggregate kinds.
+const (
+	AggCount = exec.AggCount
+	AggSum   = exec.AggSum
+	AggMin   = exec.AggMin
+	AggMax   = exec.AggMax
+	AggAvg   = exec.AggAvg
+)
+
+// DB is an ObliDB database handle: the engine plus a SQL executor.
+type DB struct {
+	*core.DB
+	sqlExec *sql.Executor
+}
+
+// Open creates a database inside a fresh simulated enclave.
+func Open(cfg Config) (*DB, error) {
+	inner, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{DB: inner, sqlExec: sql.New(inner)}, nil
+}
+
+// Exec parses and runs one SQL statement. DDL and DML return a one-row
+// result with the affected count.
+func (db *DB) Exec(query string) (*Result, error) {
+	return db.sqlExec.Execute(query)
+}

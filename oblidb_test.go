@@ -1,0 +1,90 @@
+package oblidb
+
+import (
+	"testing"
+
+	"oblidb/internal/table"
+)
+
+func TestPublicAPISQL(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []string{
+		`CREATE TABLE users (id INTEGER, name VARCHAR(16), age INTEGER) STORAGE = BOTH INDEX ON id CAPACITY = 64`,
+		`INSERT INTO users VALUES (1, 'alice', 34), (2, 'bob', 28), (3, 'carol', 41)`,
+	}
+	for _, q := range steps {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	res, err := db.Exec(`SELECT name FROM users WHERE id = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "bob" {
+		t.Fatalf("point query = %v", res.Rows)
+	}
+	res, err = db.Exec(`SELECT COUNT(*), AVG(age) FROM users`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestPublicAPIProgrammatic(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := table.MustSchema(
+		table.Column{Name: "k", Kind: table.KindInt},
+		table.Column{Name: "v", Kind: table.KindInt},
+	)
+	if _, err := db.CreateTable("t", schema, TableOptions{Kind: KindBoth, KeyColumn: "k", Capacity: 32}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := db.Insert("t", table.Row{table.Int(i), table.Int(i * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Select("t", nil, SelectOptions{KeyRange: &KeyRange{Lo: 5, Hi: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("range select = %d rows", len(res.Rows))
+	}
+	agg, err := db.Aggregate("t", nil, []AggregateSpec{{Kind: AggMax, Column: "v"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Rows[0][0].AsInt() != 19*19 {
+		t.Fatalf("max = %v", agg.Rows[0][0])
+	}
+}
+
+func TestPaddingModeThroughFacade(t *testing.T) {
+	db, err := Open(Config{Padding: PaddingConfig{Enabled: true, PadRows: 32, PadGroups: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t (x INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT * FROM t WHERE x > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("padded select returned %d real rows", len(res.Rows))
+	}
+}

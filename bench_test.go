@@ -78,3 +78,8 @@ func BenchmarkPaddingMode(b *testing.B) { runFigure(b, bench.RunPadding) }
 // against their alternatives (recursive ORAM, sort variants, insert
 // variants, bulk loading, journaling).
 func BenchmarkAblations(b *testing.B) { runFigure(b, bench.RunAblations) }
+
+// BenchmarkServedThroughput measures statements/second through the
+// network server's epoch-padded scheduler at epoch sizes 1, 8, and 64
+// (DESIGN.md §6), with concurrent clients over loopback TCP.
+func BenchmarkServedThroughput(b *testing.B) { runFigure(b, bench.RunServed) }

@@ -1,0 +1,198 @@
+// Package client is the network client for an ObliDB server
+// (cmd/oblidb-server): Dial a server, Exec SQL, Prepare statements for
+// repeated execution, and read server Stats.
+//
+// A Conn is safe for concurrent use. Each request carries an id, so any
+// number of goroutines can have statements in flight on one connection;
+// the server answers when the epoch scheduler executes them, which
+// means latency is quantized to the server's epoch cadence — batch
+// concurrent work rather than serializing round trips.
+//
+//	c, err := client.Dial("localhost:7744")
+//	if err != nil { ... }
+//	defer c.Close()
+//	c.Exec(`CREATE TABLE t (id INTEGER, name VARCHAR(16))`)
+//	res, err := c.Exec(`SELECT name FROM t WHERE id = 2`)
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"oblidb/internal/wire"
+)
+
+// Result is a materialized query result (columns plus decoded rows).
+type Result = wire.Result
+
+// Stats is a server's self-reported counters.
+type Stats = wire.Stats
+
+// Conn is one connection to an ObliDB server, safe for concurrent use.
+type Conn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan *wire.Response
+	err     error // terminal receive error, sticky
+}
+
+// Dial connects to an ObliDB server at addr ("host:port").
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{conn: nc, pending: make(map[uint32]chan *wire.Response)}
+	go c.receive()
+	return c, nil
+}
+
+// receive is the single reader goroutine: it dispatches each response
+// to the request that is waiting for it, and on connection failure
+// fails every pending request.
+func (c *Conn) receive() {
+	for {
+		payload, err := wire.ReadFrame(c.conn)
+		if err == nil {
+			var resp *wire.Response
+			if resp, err = wire.DecodeResponse(payload); err == nil {
+				c.mu.Lock()
+				ch := c.pending[resp.ID]
+				delete(c.pending, resp.ID)
+				c.mu.Unlock()
+				if ch != nil {
+					ch <- resp
+				}
+				continue
+			}
+		}
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = fmt.Errorf("oblidb client: connection lost: %w", err)
+		}
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			close(ch)
+		}
+		c.mu.Unlock()
+		return
+	}
+}
+
+// roundTrip sends one request and waits for its response.
+func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
+	ch := make(chan *wire.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	payload := wire.EncodeRequest(req)
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.conn, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if resp.Type == wire.TError {
+		return nil, fmt.Errorf("oblidb: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Exec runs one SQL statement on the server and returns its result.
+// The call blocks until the server's epoch scheduler executes the
+// statement.
+func (c *Conn) Exec(sql string) (*Result, error) {
+	resp, err := c.roundTrip(&wire.Request{Type: wire.TExec, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.TResult {
+		return nil, fmt.Errorf("oblidb client: unexpected response type %d", resp.Type)
+	}
+	return resp.Result, nil
+}
+
+// Stmt is a server-side prepared statement.
+type Stmt struct {
+	c      *Conn
+	handle uint32
+	sql    string
+}
+
+// Prepare parses sql on the server and returns a handle for repeated
+// execution without re-parsing.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	resp, err := c.roundTrip(&wire.Request{Type: wire.TPrepare, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.TPrepared {
+		return nil, fmt.Errorf("oblidb client: unexpected response type %d", resp.Type)
+	}
+	return &Stmt{c: c, handle: resp.Handle, sql: sql}, nil
+}
+
+// Exec runs the prepared statement.
+func (st *Stmt) Exec() (*Result, error) {
+	resp, err := st.c.roundTrip(&wire.Request{Type: wire.TExecPrepared, Handle: st.handle})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.TResult {
+		return nil, fmt.Errorf("oblidb client: unexpected response type %d", resp.Type)
+	}
+	return resp.Result, nil
+}
+
+// String returns the statement's SQL.
+func (st *Stmt) String() string { return st.sql }
+
+// Close releases the server-side handle. The statement must not be
+// executed afterwards.
+func (st *Stmt) Close() error {
+	payload := wire.EncodeRequest(&wire.Request{Type: wire.TClosePrepared, Handle: st.handle})
+	st.c.wmu.Lock()
+	defer st.c.wmu.Unlock()
+	return wire.WriteFrame(st.c.conn, payload)
+}
+
+// Stats fetches the server's public counters.
+func (c *Conn) Stats() (Stats, error) {
+	resp, err := c.roundTrip(&wire.Request{Type: wire.TStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Type != wire.TStatsResult {
+		return Stats{}, fmt.Errorf("oblidb client: unexpected response type %d", resp.Type)
+	}
+	return resp.Stats, nil
+}
+
+// Close closes the connection; in-flight requests fail.
+func (c *Conn) Close() error {
+	return c.conn.Close()
+}

@@ -1,14 +1,20 @@
 // Command oblidb-cli is an interactive SQL shell over the ObliDB engine:
-// a fresh in-enclave database per session, the full oblivious operator
-// set behind every statement.
+// by default a fresh in-enclave database per session, the full oblivious
+// operator set behind every statement.
 //
 //	$ oblidb-cli
 //	oblidb> CREATE TABLE t (id INTEGER, name VARCHAR(16)) INDEX ON id
 //	oblidb> INSERT INTO t VALUES (1, 'alice'), (2, 'bob')
 //	oblidb> SELECT * FROM t WHERE id = 2
 //
-// Flags tune the enclave: -memory sets the oblivious-memory budget, -pad
-// enables padding mode.
+// With -connect host:port the shell becomes a network client of an
+// oblidb-server instead: statements travel the wire protocol and run
+// inside the server's epoch scheduler, so per-statement latency is
+// quantized to the server's epoch cadence.
+//
+// Flags tune the local enclave: -memory sets the oblivious-memory
+// budget, -pad enables padding mode (both ignored with -connect; the
+// server owns its engine).
 package main
 
 import (
@@ -19,98 +25,160 @@ import (
 	"strings"
 	"time"
 
+	"oblidb/client"
 	"oblidb/internal/core"
 	"oblidb/internal/sql"
+	"oblidb/internal/table"
 )
 
 func main() {
 	memory := flag.Int("memory", 0, "oblivious memory budget in bytes (0 = paper default 20 MB)")
 	pad := flag.Int("pad", 0, "padding mode: pad intermediate tables to this many rows (0 = off)")
 	showTime := flag.Bool("time", true, "print per-statement execution time")
+	connect := flag.String("connect", "", "connect to an oblidb-server at host:port instead of embedding an engine")
 	flag.Parse()
-
-	cfg := core.Config{ObliviousMemory: *memory}
-	if *pad > 0 {
-		cfg.Padding = core.PaddingConfig{Enabled: true, PadRows: *pad, PadGroups: *pad}
-	}
-	db, err := core.Open(cfg)
-	if err != nil {
+	if err := run(*memory, *pad, *showTime, *connect); err != nil {
 		fmt.Fprintln(os.Stderr, "oblidb-cli:", err)
 		os.Exit(1)
 	}
-	exec := sql.New(db)
+}
 
-	fmt.Println("ObliDB shell — oblivious query processing (type \\q to quit, \\help for help)")
+func run(memory, pad int, showTime bool, connect string) error {
+	var db *core.DB
+	var exec *sql.Executor
+	var conn *client.Conn
+
+	if connect != "" {
+		var err error
+		conn, err = client.Dial(connect)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		fmt.Printf("ObliDB shell — connected to %s (type \\q to quit, \\help for help)\n", connect)
+	} else {
+		cfg := core.Config{ObliviousMemory: memory}
+		if pad > 0 {
+			cfg.Padding = core.PaddingConfig{Enabled: true, PadRows: pad, PadGroups: pad}
+		}
+		var err error
+		db, err = core.Open(cfg)
+		if err != nil {
+			return err
+		}
+		exec = sql.New(db)
+		fmt.Println("ObliDB shell — oblivious query processing (type \\q to quit, \\help for help)")
+	}
+
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
 		fmt.Print("oblidb> ")
 		if !scanner.Scan() {
 			fmt.Println()
-			return
+			// Distinguish EOF (clean exit) from a read error.
+			return scanner.Err()
 		}
 		line := strings.TrimSpace(scanner.Text())
 		switch {
 		case line == "":
 			continue
 		case line == `\q` || line == "exit" || line == "quit":
-			return
+			return nil
 		case line == `\help`:
-			printHelp()
+			printHelp(conn != nil)
 			continue
 		case line == `\tables`:
+			if conn != nil {
+				fmt.Println("  \\tables is unavailable in connect mode")
+				continue
+			}
 			for _, t := range db.Tables() {
 				fmt.Println(" ", t)
 			}
 			continue
 		case line == `\mem`:
+			if conn != nil {
+				fmt.Println("  \\mem is unavailable in connect mode; try \\stats")
+				continue
+			}
 			e := db.Enclave()
 			fmt.Printf("  oblivious memory: %d of %d bytes in use (peak %d)\n",
 				e.Budget()-e.Available(), e.Budget(), e.PeakUsed())
 			continue
+		case line == `\stats`:
+			if conn == nil {
+				fmt.Println("  \\stats is only available in connect mode")
+				continue
+			}
+			st, err := conn.Stats()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  epochs: %d × %d slots; statements: %d real, %d dummy; sessions: %d; up %s\n",
+				st.Epochs, st.EpochSize, st.Real, st.Dummy, st.Sessions,
+				(time.Duration(st.UptimeMillis) * time.Millisecond).Round(time.Millisecond))
+			continue
 		}
+
 		start := time.Now()
-		res, err := exec.Execute(line)
+		var cols []string
+		var rows []table.Row
+		var err error
+		if conn != nil {
+			var res *client.Result
+			if res, err = conn.Exec(line); err == nil && res != nil {
+				cols, rows = res.Cols, res.Rows
+			}
+		} else {
+			var res *core.Result
+			if res, err = exec.Execute(line); err == nil && res != nil {
+				cols, rows = res.Cols, res.Rows
+			}
+		}
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
-		printResult(res)
-		if *showTime {
-			if res != nil && len(res.Cols) > 0 && res.Cols[0] != "affected" {
+		printResult(cols, rows)
+		if showTime {
+			if conn == nil && len(cols) > 0 && cols[0] != "affected" {
 				fmt.Printf("(%s; plan: select=%s join=%s)\n",
 					elapsed.Round(time.Microsecond), db.LastPlan.SelectAlg, db.LastPlan.JoinAlg)
 			} else {
+				// Connect mode has no plan to show (the server keeps its
+				// engine private) and the time includes the epoch wait.
 				fmt.Printf("(%s)\n", elapsed.Round(time.Microsecond))
 			}
 		}
 	}
 }
 
-func printResult(res *core.Result) {
-	if res == nil {
+func printResult(cols []string, rows []table.Row) {
+	if len(cols) == 0 {
 		return
 	}
-	fmt.Println(strings.Join(res.Cols, " | "))
-	limit := len(res.Rows)
+	fmt.Println(strings.Join(cols, " | "))
+	limit := len(rows)
 	const maxShow = 40
 	if limit > maxShow {
 		limit = maxShow
 	}
-	for _, r := range res.Rows[:limit] {
+	for _, r := range rows[:limit] {
 		cells := make([]string, len(r))
 		for i, v := range r {
 			cells[i] = v.String()
 		}
 		fmt.Println(strings.Join(cells, " | "))
 	}
-	if len(res.Rows) > limit {
-		fmt.Printf("... (%d rows total)\n", len(res.Rows))
+	if len(rows) > limit {
+		fmt.Printf("... (%d rows total)\n", len(rows))
 	}
 }
 
-func printHelp() {
+func printHelp(connected bool) {
 	fmt.Print(`Statements:
   CREATE TABLE t (col TYPE, ...) [STORAGE = FLAT|INDEXED|BOTH] [INDEX ON col] [CAPACITY = n]
   INSERT INTO t VALUES (...), (...)
@@ -120,6 +188,10 @@ func printHelp() {
   DROP TABLE t
 Types: INTEGER, FLOAT, VARCHAR(n), BOOLEAN, DATE (stored as ISO string)
 Aggregates: COUNT(*), SUM, AVG, MIN, MAX; functions: SUBSTR(s, start, len)
-Meta: \tables, \mem, \q
 `)
+	if connected {
+		fmt.Println("Meta: \\stats, \\q")
+	} else {
+		fmt.Println("Meta: \\tables, \\mem, \\q")
+	}
 }

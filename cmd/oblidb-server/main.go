@@ -1,0 +1,73 @@
+// Command oblidb-server serves an ObliDB database over TCP behind an
+// epoch-padded batch scheduler: clients connect with the client package
+// (or oblidb-cli -connect) and submit SQL; the server executes a
+// fixed-size, dummy-padded batch of statements on a fixed cadence so
+// the untrusted host observes a constant-rate, constant-size query
+// stream regardless of real client traffic.
+//
+//	$ oblidb-server -addr :7744 -epoch-size 8 -epoch-interval 5ms
+//	$ oblidb-cli -connect localhost:7744
+//
+// Flags tune the enclave (-memory, -pad) exactly as in oblidb-cli.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oblidb/internal/core"
+	"oblidb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7744", "TCP listen address")
+	epochSize := flag.Int("epoch-size", 8, "statement slots per epoch")
+	epochInterval := flag.Duration("epoch-interval", 5*time.Millisecond, "fixed cadence between epochs")
+	memory := flag.Int("memory", 0, "oblivious memory budget in bytes (0 = paper default 20 MB)")
+	pad := flag.Int("pad", 0, "padding mode: pad intermediate tables to this many rows (0 = off)")
+	quiet := flag.Bool("quiet", false, "suppress serving diagnostics")
+	flag.Parse()
+
+	engine := core.Config{ObliviousMemory: *memory}
+	if *pad > 0 {
+		engine.Padding = core.PaddingConfig{Enabled: true, PadRows: *pad, PadGroups: *pad}
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	srv, err := server.New(server.Config{
+		Engine:        engine,
+		EpochSize:     *epochSize,
+		EpochInterval: *epochInterval,
+		Logf:          logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oblidb-server:", err)
+		os.Exit(1)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "oblidb-server: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "oblidb-server: serving on %s (epoch: %d slots every %s)\n",
+		*addr, *epochSize, *epochInterval)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "oblidb-server:", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "oblidb-server: %d epochs, %d real + %d dummy statements, up %s\n",
+		st.Epochs, st.Real, st.Dummy, time.Duration(st.UptimeMillis)*time.Millisecond)
+}

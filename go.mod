@@ -1,0 +1,3 @@
+module oblidb
+
+go 1.22

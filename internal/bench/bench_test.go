@@ -22,9 +22,9 @@ func TestAllFiguresSmoke(t *testing.T) {
 	for _, want := range []string{
 		"Figure 2", "Figure 3", "Figure 6", "Figure 7", "Figure 8",
 		"Figure 9", "Figure 10", "Figure 11", "Figure 12", "Figure 13",
-		"Figure 14", "Padding mode",
+		"Figure 14", "Padding mode", "Served throughput",
 		"Opaque Oblivious", "ObliDB (indexed)", "Spark SQL (plain)",
-		"HIRB", "planner pick",
+		"HIRB", "planner pick", "Dummy share",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)

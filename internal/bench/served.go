@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oblidb/client"
+	"oblidb/internal/core"
+	"oblidb/internal/server"
+)
+
+// RunServed measures the serving layer: statements per second through
+// the network server's epoch scheduler, at epoch sizes 1, 8, and 64,
+// with concurrent clients hammering a loopback listener. It is the
+// throughput counterpart of the figure experiments: epoch size 1 is the
+// no-batching baseline (every statement pays a full epoch), larger
+// epochs amortize the fixed cadence across more real work, and the
+// dummy column shows what padding the idle slots cost. There is no
+// paper figure to match — the paper's engine is a library — but this is
+// the number the ROADMAP's production-scale target moves.
+func RunServed(o Options) error {
+	o.printf("Served throughput: statements/second through the epoch scheduler\n")
+	const clients = 4
+	interval := time.Millisecond
+	perClient := o.n(500)
+	perClient -= perClient % 2 // statements issue in insert+select pairs
+
+	tp := newTable("Epoch size", "Clients", "Stmts", "Elapsed", "Stmts/sec", "Dummy share")
+	for _, epochSize := range []int{1, 8, 64} {
+		srv, err := server.New(server.Config{
+			Engine:        core.Config{ObliviousMemory: o.obliviousMemory(), Seed: o.seed()},
+			EpochSize:     epochSize,
+			EpochInterval: interval,
+		})
+		if err != nil {
+			return fmt.Errorf("served: %w", err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			select {
+			case err := <-serveErr:
+				srv.Close()
+				return fmt.Errorf("served: listen: %w", err)
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		addr := srv.Addr().String()
+
+		setup, err := client.Dial(addr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("served: %w", err)
+		}
+		if _, err := setup.Exec(fmt.Sprintf(
+			"CREATE TABLE s (k INTEGER, payload VARCHAR(32)) CAPACITY = %d", 4*clients*perClient+64)); err != nil {
+			srv.Close()
+			return fmt.Errorf("served: %w", err)
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, err := client.Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				// Half writes, half point reads, pipelined in pairs so
+				// the epoch's slots can actually fill.
+				for i := 0; i < perClient; i += 2 {
+					k := w*perClient + i
+					pair := make(chan error, 2)
+					for _, stmt := range []string{
+						fmt.Sprintf("INSERT INTO s VALUES (%d, 'payload-%016d')", k, k),
+						fmt.Sprintf("SELECT COUNT(*) FROM s WHERE k = %d", k),
+					} {
+						go func(stmt string) {
+							_, err := c.Exec(stmt)
+							pair <- err
+						}(stmt)
+					}
+					for j := 0; j < 2; j++ {
+						if err := <-pair; err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+				errs <- nil
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				srv.Close()
+				return fmt.Errorf("served (epoch %d): %w", epochSize, err)
+			}
+		}
+		st := srv.Stats()
+		srv.Close()
+
+		total := clients * perClient
+		dummyShare := float64(st.Dummy) / float64(st.Real+st.Dummy)
+		tp.addf(epochSize, clients, total, elapsed,
+			fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+			fmt.Sprintf("%.0f%%", 100*dummyShare))
+	}
+	tp.render(o.Out)
+	o.printf("  (loopback TCP, %s epochs; dummy share is the padding cost of the constant-rate stream)\n\n", interval)
+	return nil
+}

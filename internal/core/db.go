@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"oblidb/internal/enclave"
 	"oblidb/internal/exec"
@@ -82,7 +83,21 @@ type Config struct {
 }
 
 // DB is an ObliDB database: an enclave plus its tables.
+//
+// Concurrency: every exported method takes a single database-wide mutex,
+// so a DB is safe for concurrent use — one statement at a time. The
+// engine is deliberately not internally parallel: oblivious operators
+// derive their security from a fixed, data-independent access sequence,
+// and interleaving two operators' accesses would entangle their traces.
+// The network server (internal/server) therefore funnels all statements
+// through a single executor goroutine — its epoch scheduler — and this
+// mutex is the backstop that keeps direct library use (tests, embedders
+// sharing a DB across goroutines) race-free as well. Exported methods
+// lock and delegate to unexported, unlocked variants; internal
+// cross-calls use the unlocked variants so the mutex is never taken
+// reentrantly.
 type DB struct {
+	mu     sync.Mutex
 	enc    *enclave.Enclave
 	cfg    Config
 	tables map[string]*Table
@@ -92,7 +107,9 @@ type DB struct {
 	wal        *wal.Log
 	recovering bool
 	// LastPlan records the most recent planner decisions, exposed for the
-	// planner-effectiveness experiments (Figure 13/14).
+	// planner-effectiveness experiments (Figure 13/14). It is written
+	// under the database mutex; read it only while no other goroutine is
+	// running queries (the experiments are single-threaded).
 	LastPlan PlanInfo
 }
 
@@ -192,6 +209,8 @@ type TableOptions struct {
 
 // CreateTable creates a table.
 func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	lname := strings.ToLower(name)
 	if _, exists := db.tables[lname]; exists {
 		return nil, fmt.Errorf("core: table %q already exists", name)
@@ -236,6 +255,13 @@ func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) 
 
 // Table looks up a table by name (case-insensitive).
 func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lookup(name)
+}
+
+// lookup is Table without the lock, for internal cross-calls.
+func (db *DB) lookup(name string) (*Table, error) {
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("core: no table %q", name)
@@ -245,6 +271,8 @@ func (db *DB) Table(name string) (*Table, error) {
 
 // Tables lists table names.
 func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	out := make([]string, 0, len(db.tables))
 	for _, t := range db.tables {
 		out = append(out, t.name)
@@ -254,6 +282,8 @@ func (db *DB) Tables() []string {
 
 // DropTable removes a table, releasing index resources.
 func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	lname := strings.ToLower(name)
 	t, ok := db.tables[lname]
 	if !ok {
@@ -270,7 +300,9 @@ func (db *DB) DropTable(name string) error {
 // keeps (§3.3: "Using both storage methods ... incurring the cost of both
 // for insertions").
 func (db *DB) Insert(name string, rows ...table.Row) error {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookup(name)
 	if err != nil {
 		return err
 	}
@@ -348,7 +380,14 @@ func (db *DB) insertFlat(t *Table, r table.Row) error {
 // flat representation and a bottom-up build of the index. Used for
 // initial loads, where only the row count leaks.
 func (db *DB) BulkLoad(name string, rows []table.Row) error {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.bulkLoad(name, rows)
+}
+
+// bulkLoad is BulkLoad without the lock, for internal cross-calls.
+func (db *DB) bulkLoad(name string, rows []table.Row) error {
+	t, err := db.lookup(name)
 	if err != nil {
 		return err
 	}
@@ -381,7 +420,9 @@ func (db *DB) BulkLoad(name string, rows []table.Row) error {
 // range on the indexed column. It returns the count removed — already
 // public as the change in table size.
 func (db *DB) Delete(name string, pred table.Pred, key *KeyRange) (int, error) {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookup(name)
 	if err != nil {
 		return 0, err
 	}
@@ -453,7 +494,9 @@ func (db *DB) Delete(name string, pred table.Pred, key *KeyRange) (int, error) {
 // Update rewrites rows matching pred with upd, optionally narrowed by a
 // key range. Key-column changes are handled as delete+insert on indexes.
 func (db *DB) Update(name string, pred table.Pred, upd table.Updater, key *KeyRange) (int, error) {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookup(name)
 	if err != nil {
 		return 0, err
 	}

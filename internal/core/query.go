@@ -33,21 +33,30 @@ type SelectOptions struct {
 
 // Select runs an oblivious selection and materializes the result.
 func (db *DB) Select(name string, pred table.Pred, opts SelectOptions) (*Result, error) {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	tmp, err := db.SelectTable(t, pred, opts)
+	tmp, err := db.selectTable(t, pred, opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.Collect(tmp)
+	return db.collect(tmp)
 }
 
 // SelectTable runs an oblivious selection into an intermediate table for
 // further composition. The planner's stats scan supplies |R| and
 // contiguity; padding mode skips planning and pads the output (§2.3).
 func (db *DB) SelectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.selectTable(t, pred, opts)
+}
+
+// selectTable is SelectTable without the lock, for internal cross-calls.
+func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table, error) {
 	if pred == nil {
 		pred = table.All
 	}
@@ -151,15 +160,24 @@ func (db *DB) resolveSpecs(s *table.Schema, specs []AggregateSpec) ([]exec.AggSp
 // select+aggregate pass — no intermediate table, no intermediate leakage
 // (§4.2).
 func (db *DB) Aggregate(name string, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return db.AggregateTable(t, pred, specs, key)
+	return db.aggregateTable(t, pred, specs, key)
 }
 
 // AggregateTable is Aggregate over a table handle.
 func (db *DB) AggregateTable(t *Table, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.aggregateTable(t, pred, specs, key)
+}
+
+// aggregateTable is AggregateTable without the lock.
+func (db *DB) aggregateTable(t *Table, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
 	if pred == nil {
 		pred = table.All
 	}
@@ -185,19 +203,28 @@ type GroupKey = exec.GroupBy
 // GroupAggregate runs grouped aggregation (hash bucketing, §4.2),
 // returning one row [group, aggregates...] per group.
 func (db *DB) GroupAggregate(name string, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Result, error) {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	tmp, err := db.GroupAggregateTable(t, pred, groupBy, specs, key)
+	tmp, err := db.groupAggregateTable(t, pred, groupBy, specs, key)
 	if err != nil {
 		return nil, err
 	}
-	return db.Collect(tmp)
+	return db.collect(tmp)
 }
 
 // GroupAggregateTable is GroupAggregate into an intermediate table.
 func (db *DB) GroupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.groupAggregateTable(t, pred, groupBy, specs, key)
+}
+
+// groupAggregateTable is GroupAggregateTable without the lock.
+func (db *DB) groupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Table, error) {
 	if pred == nil {
 		pred = table.All
 	}
@@ -233,20 +260,29 @@ type JoinOptions struct {
 // Join joins left and right on leftCol = rightCol. left is the primary
 // (unique-key) side for the foreign-key sort-merge joins (§4.3).
 func (db *DB) Join(left, right, leftCol, rightCol string, opts JoinOptions) (*Result, error) {
-	tmp, err := db.JoinTable(left, right, leftCol, rightCol, opts)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tmp, err := db.joinTable(left, right, leftCol, rightCol, opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.Collect(tmp)
+	return db.collect(tmp)
 }
 
 // JoinTable is Join into an intermediate table for further composition.
 func (db *DB) JoinTable(left, right, leftCol, rightCol string, opts JoinOptions) (*Table, error) {
-	lt, err := db.Table(left)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.joinTable(left, right, leftCol, rightCol, opts)
+}
+
+// joinTable is JoinTable without the lock.
+func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions) (*Table, error) {
+	lt, err := db.lookup(left)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := db.Table(right)
+	rt, err := db.lookup(right)
 	if err != nil {
 		return nil, err
 	}
@@ -258,12 +294,12 @@ func (db *DB) JoinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 
 	lTab, rTab := lt, rt
 	if opts.FilterLeft != nil {
-		if lTab, err = db.SelectTable(lt, opts.FilterLeft, SelectOptions{}); err != nil {
+		if lTab, err = db.selectTable(lt, opts.FilterLeft, SelectOptions{}); err != nil {
 			return nil, err
 		}
 	}
 	if opts.FilterRight != nil {
-		if rTab, err = db.SelectTable(rt, opts.FilterRight, SelectOptions{}); err != nil {
+		if rTab, err = db.selectTable(rt, opts.FilterRight, SelectOptions{}); err != nil {
 			return nil, err
 		}
 	}
@@ -303,6 +339,13 @@ func (db *DB) JoinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 
 // Collect decrypts a table's live rows into a Result.
 func (db *DB) Collect(t *Table) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.collect(t)
+}
+
+// collect is Collect without the lock.
+func (db *DB) collect(t *Table) (*Result, error) {
 	if t.flat == nil {
 		return nil, fmt.Errorf("core: cannot collect an index-only table; select from it instead")
 	}

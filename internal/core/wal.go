@@ -13,6 +13,8 @@ import (
 // log; tables created afterwards register automatically. Appends leak
 // only the (public) mutation count.
 func (db *DB) AttachWAL(l *wal.Log) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for _, t := range db.tables {
 		if err := l.Register(t.name, t.schema); err != nil {
 			return err
@@ -23,7 +25,11 @@ func (db *DB) AttachWAL(l *wal.Log) error {
 }
 
 // DetachWAL stops journaling.
-func (db *DB) DetachWAL() { db.wal = nil }
+func (db *DB) DetachWAL() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.wal = nil
+}
 
 // logMutation appends one entry unless recovery is replaying.
 func (db *DB) logMutation(op wal.Op, tableName string, row table.Row) error {
@@ -41,6 +47,8 @@ func (db *DB) logMutation(op wal.Op, tableName string, row table.Row) error {
 // and start empty; recovery leaks only the log length and final table
 // sizes.
 func (db *DB) Recover(l *wal.Log) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for _, t := range db.tables {
 		if t.NumRows() != 0 {
 			return fmt.Errorf("core: recovery requires empty tables; %q has %d rows", t.name, t.NumRows())
@@ -48,7 +56,7 @@ func (db *DB) Recover(l *wal.Log) error {
 	}
 	state := make(map[string][]table.Row, len(db.tables))
 	err := l.Replay(func(e wal.Entry) error {
-		if _, err := db.Table(e.Table); err != nil {
+		if _, err := db.lookup(e.Table); err != nil {
 			return err
 		}
 		switch e.Op {
@@ -73,7 +81,7 @@ func (db *DB) Recover(l *wal.Log) error {
 	db.recovering = true
 	defer func() { db.recovering = false }()
 	for name, rows := range state {
-		if err := db.BulkLoad(name, rows); err != nil {
+		if err := db.bulkLoad(name, rows); err != nil {
 			return err
 		}
 	}

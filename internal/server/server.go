@@ -1,0 +1,369 @@
+// Package server turns the ObliDB engine into a network service whose
+// observable request stream leaks nothing about client behavior.
+//
+// The engine alone hides *what* a query touches; an adversarial host
+// still learns *when* and *how often* clients query by watching the
+// enclave work. Following Obladi (Crooks et al., OSDI 2018), this
+// server executes statements only inside fixed-size epochs on a fixed
+// cadence: every EpochInterval it takes up to EpochSize queued
+// statements and runs exactly EpochSize statements against the engine,
+// padding any empty slots with a dummy statement. Idle or saturated,
+// bursty or steady, the host observes the same thing — one batch of
+// EpochSize query executions per epoch — so arrival times, arrival
+// counts, and burstiness are all hidden. What remains visible is the
+// epoch cadence and size (public configuration) and, per slot, the
+// engine's own leakage (table sizes and plan choice, §2.3 of the
+// paper); run the engine in padding mode to flatten the latter.
+//
+// All engine access funnels through one executor goroutine — the epoch
+// scheduler — so statements never interleave; see the concurrency note
+// on core.DB.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"oblidb/internal/core"
+	"oblidb/internal/sql"
+	"oblidb/internal/trace"
+	"oblidb/internal/wire"
+)
+
+// Config configures a server.
+type Config struct {
+	// Engine configures the underlying database.
+	Engine core.Config
+	// EpochSize is the number of statement slots per epoch (default 8).
+	EpochSize int
+	// EpochInterval is the fixed cadence between epochs (default 5ms).
+	EpochInterval time.Duration
+	// Manual disables the internal scheduler goroutine: epochs then run
+	// only when RunEpoch is called, which tests use to drive the epoch
+	// stream deterministically.
+	Manual bool
+	// MaxPending bounds the statement queue (default 4096). A full
+	// queue blocks the session that is reading, back-pressuring that
+	// client's connection.
+	MaxPending int
+	// DummySQL overrides the padding statement. The default is an
+	// aggregate over a one-row table the server creates at startup.
+	DummySQL string
+	// Tracer, if non-nil, records one event per executed statement slot
+	// so tests can assert the observable stream is client-independent.
+	Tracer *trace.Tracer
+	// Logf, if non-nil, receives serving diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// padTable is the server-owned table the default dummy statement reads.
+const padTable = "oblidb_pad"
+
+// Server is a concurrent oblivious query server.
+type Server struct {
+	cfg   Config
+	db    *core.DB
+	exec  *sql.Executor
+	dummy sql.Statement
+	jobs  chan *job
+	quit  chan struct{}
+	done  chan struct{}
+
+	slotRegion trace.Region
+
+	mu         sync.Mutex
+	lis        net.Listener
+	sessions   map[*session]struct{}
+	closed     bool
+	start      time.Time
+	epochCount uint64
+	// epochs holds the observable per-epoch slot counts for trace
+	// assertions. It is recorded only when a Tracer is configured: a
+	// production server at a 5ms cadence would otherwise grow it
+	// forever.
+	epochs  []int
+	real    uint64
+	dummies uint64
+
+	epochMu sync.Mutex // serializes runEpoch across scheduler/RunEpoch/Close
+}
+
+// job is one client statement waiting for an epoch slot.
+type job struct {
+	sess *session
+	id   uint32
+	stmt sql.Statement
+}
+
+// New opens an engine and starts the epoch scheduler. The server is
+// live immediately — epochs tick (all-dummy when idle) even before
+// Serve is called — and must be stopped with Close.
+func New(cfg Config) (*Server, error) {
+	if cfg.EpochSize <= 0 {
+		cfg.EpochSize = 8
+	}
+	if cfg.EpochInterval <= 0 {
+		cfg.EpochInterval = 5 * time.Millisecond
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4096
+	}
+	db, err := core.Open(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		db:       db,
+		exec:     sql.New(db),
+		jobs:     make(chan *job, cfg.MaxPending),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		sessions: make(map[*session]struct{}),
+		start:    time.Now(),
+	}
+	if cfg.Tracer != nil {
+		s.slotRegion = cfg.Tracer.Region("server.epochs")
+	}
+	dummySQL := cfg.DummySQL
+	if dummySQL == "" {
+		for _, stmt := range []string{
+			"CREATE TABLE " + padTable + " (k INTEGER)",
+			"INSERT INTO " + padTable + " VALUES (0)",
+		} {
+			if _, err := s.exec.Execute(stmt); err != nil {
+				return nil, fmt.Errorf("server: creating pad table: %w", err)
+			}
+		}
+		dummySQL = "SELECT COUNT(*) FROM " + padTable
+	}
+	if s.dummy, err = sql.Parse(dummySQL); err != nil {
+		return nil, fmt.Errorf("server: dummy statement: %w", err)
+	}
+	go s.schedule()
+	return s, nil
+}
+
+// DB exposes the underlying engine, for tests that compare served
+// results against direct execution.
+func (s *Server) DB() *core.DB { return s.db }
+
+// schedule is the single executor goroutine: it alone touches the
+// engine, once per EpochInterval, draining the queue in fixed-size,
+// dummy-padded batches.
+func (s *Server) schedule() {
+	defer close(s.done)
+	if s.cfg.Manual {
+		<-s.quit
+		return
+	}
+	tick := time.NewTicker(s.cfg.EpochInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			// Graceful shutdown: keep running epochs on the same cadence
+			// — still padded, still paced, so the stream stays uniform
+			// to the end and the drain's length does not leak the
+			// backlog's timing — until no statement is left waiting.
+			for len(s.jobs) > 0 {
+				<-tick.C
+				s.RunEpoch()
+			}
+			return
+		case <-tick.C:
+			s.RunEpoch()
+		}
+	}
+}
+
+// RunEpoch executes exactly one epoch: up to EpochSize queued
+// statements, then dummy statements for every remaining slot. The
+// scheduler calls it on its cadence; tests call it directly (in Manual
+// mode) to drive a deterministic epoch stream.
+func (s *Server) RunEpoch() {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	size := s.cfg.EpochSize
+	batch := make([]*job, 0, size)
+collect:
+	for len(batch) < size {
+		select {
+		case j := <-s.jobs:
+			batch = append(batch, j)
+		default:
+			break collect
+		}
+	}
+	for slot := 0; slot < size; slot++ {
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Record(s.slotRegion, trace.Write, slot)
+		}
+		if slot < len(batch) {
+			j := batch[slot]
+			res, err := s.exec.ExecuteStmt(j.stmt)
+			j.sess.reply(j.id, res, err)
+			continue
+		}
+		if _, err := s.exec.ExecuteStmt(s.dummy); err != nil && s.cfg.Logf != nil {
+			s.cfg.Logf("server: dummy statement failed: %v", err)
+		}
+	}
+	s.mu.Lock()
+	s.epochCount++
+	if s.cfg.Tracer != nil {
+		s.epochs = append(s.epochs, size)
+	}
+	s.real += uint64(len(batch))
+	s.dummies += uint64(size - len(batch))
+	s.mu.Unlock()
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until the server is closed. It owns
+// the listener and closes it on shutdown.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return fmt.Errorf("server: already closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		sess := newSession(s, conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		go sess.serve()
+	}
+}
+
+// Addr returns the listening address, for servers started on ":0".
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// dropSession forgets a finished session.
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+// submit queues one statement for the next epoch with a free slot. It
+// blocks for back-pressure when the queue is full and fails once the
+// server is shutting down.
+func (s *Server) submit(j *job) error {
+	select {
+	case <-s.quit:
+		return fmt.Errorf("server: shutting down")
+	case s.jobs <- j:
+		return nil
+	}
+}
+
+// Close shuts the server down gracefully: stop accepting, let the
+// scheduler flush every queued statement through final (still padded)
+// epochs, fail anything that slipped in after, and close all sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	close(s.quit)
+	if s.cfg.Manual {
+		// Manual mode: flush on the caller's goroutine.
+		for len(s.jobs) > 0 {
+			s.RunEpoch()
+		}
+	}
+	<-s.done
+	// Statements enqueued after the final drain get an error rather
+	// than silence.
+	for {
+		select {
+		case j := <-s.jobs:
+			j.sess.reply(j.id, nil, fmt.Errorf("server: shutting down"))
+		default:
+			s.mu.Lock()
+			sessions := make([]*session, 0, len(s.sessions))
+			for sess := range s.sessions {
+				sessions = append(sessions, sess)
+			}
+			s.mu.Unlock()
+			for _, sess := range sessions {
+				sess.close()
+			}
+			return nil
+		}
+	}
+}
+
+// Pending reports how many statements are queued for future epochs.
+func (s *Server) Pending() int { return len(s.jobs) }
+
+// Stats reports the server's public counters.
+func (s *Server) Stats() wire.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return wire.Stats{
+		Epochs:       s.epochCount,
+		EpochSize:    uint32(s.cfg.EpochSize),
+		Real:         s.real,
+		Dummy:        s.dummies,
+		Sessions:     uint32(len(s.sessions)),
+		UptimeMillis: uint64(time.Since(s.start) / time.Millisecond),
+	}
+}
+
+// ObservedStream returns the per-epoch slot counts — the entirety of
+// what the untrusted host can tally about request arrivals. Every entry
+// equals EpochSize by construction; tests assert two servers with
+// different client behavior produce equal streams. The stream is only
+// recorded when Config.Tracer is set.
+func (s *Server) ObservedStream() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.epochs))
+	copy(out, s.epochs)
+	return out
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"oblidb/internal/core"
+	"oblidb/internal/sql"
+	"oblidb/internal/wire"
+)
+
+// outBuffer is how many responses a session may leave unread before the
+// server declares it a slow consumer and drops it. The epoch scheduler
+// never blocks on a client socket: replies go through this buffer and a
+// per-session writer goroutine, so one stalled client cannot stall the
+// epoch cadence — or other clients — by not reading.
+const outBuffer = 256
+
+// session is one client connection. A single reader goroutine decodes
+// frames and either answers directly (Prepare, Stats — neither touches
+// the engine) or queues a job for the epoch scheduler; all responses
+// funnel through the out channel to a single writer goroutine.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	out      chan *wire.Response
+	readDone chan struct{} // closed when the reader loop exits
+
+	// prepared is touched only by the reader goroutine.
+	prepared   map[uint32]sql.Statement
+	nextHandle uint32
+
+	closeOnce sync.Once
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		srv:      s,
+		conn:     conn,
+		out:      make(chan *wire.Response, outBuffer),
+		readDone: make(chan struct{}),
+		prepared: make(map[uint32]sql.Statement),
+	}
+}
+
+// serve runs the reader loop until the connection drops or the server
+// closes it.
+func (ss *session) serve() {
+	defer ss.srv.dropSession(ss)
+	defer ss.close()
+	defer close(ss.readDone)
+	go ss.writer()
+	for {
+		payload, err := wire.ReadFrame(ss.conn)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// Undecodable frame: the stream is unsynchronized, drop it.
+			if ss.srv.cfg.Logf != nil {
+				ss.srv.cfg.Logf("server: bad frame from %s: %v", ss.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		ss.handle(req)
+	}
+}
+
+// writer drains the out channel onto the socket. After the reader
+// exits it flushes what is already queued, then stops.
+func (ss *session) writer() {
+	for {
+		select {
+		case r := <-ss.out:
+			if err := wire.WriteFrame(ss.conn, wire.EncodeResponse(r)); err != nil {
+				ss.close()
+				return
+			}
+		case <-ss.readDone:
+			for {
+				select {
+				case r := <-ss.out:
+					if err := wire.WriteFrame(ss.conn, wire.EncodeResponse(r)); err != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (ss *session) handle(req *wire.Request) {
+	switch req.Type {
+	case wire.TExec:
+		stmt, err := sql.Parse(req.SQL)
+		if err == nil {
+			err = checkReserved(stmt)
+		}
+		if err != nil {
+			ss.send(&wire.Response{Type: wire.TError, ID: req.ID, Err: err.Error()})
+			return
+		}
+		ss.enqueue(req.ID, stmt)
+	case wire.TPrepare:
+		stmt, err := sql.Parse(req.SQL)
+		if err == nil {
+			err = checkReserved(stmt)
+		}
+		if err != nil {
+			ss.send(&wire.Response{Type: wire.TError, ID: req.ID, Err: err.Error()})
+			return
+		}
+		ss.nextHandle++
+		ss.prepared[ss.nextHandle] = stmt
+		ss.send(&wire.Response{Type: wire.TPrepared, ID: req.ID, Handle: ss.nextHandle})
+	case wire.TExecPrepared:
+		stmt, ok := ss.prepared[req.Handle]
+		if !ok {
+			ss.send(&wire.Response{Type: wire.TError, ID: req.ID,
+				Err: fmt.Sprintf("server: no prepared statement %d", req.Handle)})
+			return
+		}
+		ss.enqueue(req.ID, stmt)
+	case wire.TClosePrepared:
+		delete(ss.prepared, req.Handle)
+	case wire.TStats:
+		ss.send(&wire.Response{Type: wire.TStatsResult, ID: req.ID, Stats: ss.srv.Stats()})
+	default:
+		ss.send(&wire.Response{Type: wire.TError, ID: req.ID,
+			Err: fmt.Sprintf("server: unknown request type %d", req.Type)})
+	}
+}
+
+// checkReserved rejects DDL and mutations against the server-owned pad
+// table: a client that could drop or rewrite it would silently disable
+// the dummy padding the leakage model depends on. Reads are allowed —
+// they are exactly what the dummy statement itself does.
+func checkReserved(stmt sql.Statement) error {
+	var name string
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		name = s.Name
+	case *sql.Insert:
+		name = s.Name
+	case *sql.Update:
+		name = s.Name
+	case *sql.Delete:
+		name = s.Name
+	case *sql.DropTable:
+		name = s.Name
+	}
+	if strings.EqualFold(name, padTable) {
+		return fmt.Errorf("server: table %q is reserved", padTable)
+	}
+	return nil
+}
+
+// enqueue hands a parsed statement to the scheduler.
+func (ss *session) enqueue(id uint32, stmt sql.Statement) {
+	if err := ss.srv.submit(&job{sess: ss, id: id, stmt: stmt}); err != nil {
+		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+	}
+}
+
+// reply delivers an epoch slot's outcome to the client.
+func (ss *session) reply(id uint32, res *core.Result, err error) {
+	if err != nil {
+		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		return
+	}
+	wres := &wire.Result{}
+	if res != nil {
+		wres.Cols = res.Cols
+		wres.Rows = res.Rows
+	}
+	ss.send(&wire.Response{Type: wire.TResult, ID: id, Result: wres})
+}
+
+// send queues a response for the writer goroutine. It never blocks: a
+// session whose buffer is full has stopped reading, and is dropped
+// rather than allowed to stall the caller (which may be the epoch
+// scheduler).
+func (ss *session) send(r *wire.Response) {
+	select {
+	case ss.out <- r:
+	default:
+		if ss.srv.cfg.Logf != nil {
+			ss.srv.cfg.Logf("server: dropping slow client %s", ss.conn.RemoteAddr())
+		}
+		ss.close()
+	}
+}
+
+// close tears the connection down, unblocking the reader and writer.
+func (ss *session) close() {
+	ss.closeOnce.Do(func() { ss.conn.Close() })
+}

@@ -26,6 +26,14 @@ func (x *Executor) Execute(src string) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return x.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt runs an already-parsed statement. Servers use it to
+// execute prepared statements without re-parsing; parsing happens inside
+// the enclave and touches no untrusted memory, so splitting it from
+// execution changes nothing about the trace.
+func (x *Executor) ExecuteStmt(stmt Statement) (*core.Result, error) {
 	switch s := stmt.(type) {
 	case *CreateTable:
 		return x.createTable(s)

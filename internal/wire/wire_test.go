@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"oblidb/internal/table"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, []byte("hello"), bytes.Repeat([]byte{0xab}, 1<<16)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	r := bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(r); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Type: TExec, ID: 7, SQL: "SELECT * FROM t WHERE k = 1"},
+		{Type: TPrepare, ID: 8, SQL: "INSERT INTO t VALUES (1, 'x')"},
+		{Type: TExecPrepared, ID: 9, Handle: 3},
+		{Type: TClosePrepared, ID: 10, Handle: 3},
+		{Type: TStats, ID: 11},
+	}
+	for _, req := range reqs {
+		got, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			t.Fatalf("decode %d: %v", req.Type, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("round trip %d: got %+v, want %+v", req.Type, got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{Type: TError, ID: 1, Err: "core: no table \"t\""},
+		{Type: TPrepared, ID: 2, Handle: 42},
+		{Type: TStatsResult, ID: 3, Stats: Stats{
+			Epochs: 10, EpochSize: 8, Real: 3, Dummy: 77, Sessions: 2, UptimeMillis: 1234,
+		}},
+		{Type: TResult, ID: 4, Result: &Result{
+			Cols: []string{"k", "name", "score", "ok"},
+			Rows: []table.Row{
+				{table.Int(-5), table.Str("alice"), table.Float(1.5), table.Bool(true)},
+				{table.Int(9), table.Str(""), table.Float(-0.25), table.Bool(false)},
+			},
+		}},
+		{Type: TResult, ID: 5, Result: &Result{Cols: []string{"affected"}}},
+	}
+	for _, resp := range resps {
+		got, err := DecodeResponse(EncodeResponse(resp))
+		if err != nil {
+			t.Fatalf("decode %d: %v", resp.Type, err)
+		}
+		if got.Type != resp.Type || got.ID != resp.ID || got.Err != resp.Err ||
+			got.Handle != resp.Handle || got.Stats != resp.Stats {
+			t.Fatalf("round trip %d: got %+v, want %+v", resp.Type, got, resp)
+		}
+		if resp.Result == nil {
+			continue
+		}
+		if !reflect.DeepEqual(got.Result.Cols, resp.Result.Cols) {
+			t.Fatalf("cols: got %v, want %v", got.Result.Cols, resp.Result.Cols)
+		}
+		if len(got.Result.Rows) != len(resp.Result.Rows) {
+			t.Fatalf("rows: got %d, want %d", len(got.Result.Rows), len(resp.Result.Rows))
+		}
+		for i, row := range resp.Result.Rows {
+			for j, v := range row {
+				if !got.Result.Rows[i][j].Equal(v) {
+					t.Fatalf("row %d col %d: got %s, want %s", i, j, got.Result.Rows[i][j], v)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeRequest([]byte{99, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown request type accepted")
+	}
+	if _, err := DecodeResponse([]byte{99, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown response type accepted")
+	}
+	if _, err := DecodeRequest([]byte{TExec, 0}); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+	// A string length pointing past the payload must error, not panic.
+	if _, err := DecodeRequest(append([]byte{TExec, 0, 0, 0, 1}, 0xff, 0x7f)); err == nil {
+		t.Fatal("lying string length accepted")
+	}
+}

@@ -22,7 +22,13 @@
 //	res, err := db.Exec(`SELECT name FROM users WHERE id = 2`)
 //
 // Alongside SQL, the engine's compositional API (Select, Aggregate,
-// GroupAggregate, Join, and their *Table variants) is available on DB.
+// GroupAggregate, Join, and their *Table variants) is available on DB,
+// which is safe for concurrent use.
+//
+// To serve a database over the network, run cmd/oblidb-server and
+// connect with the client package (or oblidb-cli -connect): the server
+// executes statements in fixed-size, dummy-padded epochs so the
+// untrusted host learns nothing from request timing or rates either.
 //
 // There is no SGX hardware underneath: the enclave is simulated with an
 // explicitly budgeted oblivious memory and a traced untrusted store, so

@@ -1,0 +1,205 @@
+package client_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"oblidb/client"
+	"oblidb/internal/server"
+	"oblidb/internal/wire"
+)
+
+// startServer brings up a real server on loopback with a fast epoch
+// cadence and returns its address.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := server.New(server.Config{EpochSize: 4, EpochInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	go srv.ListenAndServe("127.0.0.1:0")
+	for i := 0; srv.Addr() == nil; i++ {
+		if i > 2000 {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return srv.Addr().String()
+}
+
+func TestPrepareExecPreparedLifecycle(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec("CREATE TABLE t (k INTEGER, v INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)"); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Prepare("SELECT COUNT(*) FROM t WHERE v >= 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.String() != "SELECT COUNT(*) FROM t WHERE v >= 20" {
+		t.Fatalf("Stmt.String = %q", st.String())
+	}
+	for i := 0; i < 3; i++ {
+		res, err := st.Exec()
+		if err != nil {
+			t.Fatalf("exec %d: %v", i, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 2 {
+			t.Fatalf("exec %d returned %v", i, res.Rows)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Executing a closed handle is a server-side error, not a hang or a
+	// protocol desync.
+	if _, err := st.Exec(); err == nil || !strings.Contains(err.Error(), "no prepared statement") {
+		t.Fatalf("exec after close: %v", err)
+	}
+	// The connection is still healthy after the error.
+	if _, err := c.Exec("SELECT COUNT(*) FROM t"); err != nil {
+		t.Fatalf("connection unusable after prepared-statement error: %v", err)
+	}
+}
+
+func TestPrepareErrorPaths(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Parse errors surface at Prepare time, before any epoch slot is
+	// spent.
+	if _, err := c.Prepare("SELEC * FROM t"); err == nil {
+		t.Fatal("Prepare of invalid SQL succeeded")
+	}
+	// The server's pad table is reserved against mutation, prepared or
+	// not.
+	if _, err := c.Prepare("DROP TABLE oblidb_pad"); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("Prepare of reserved-table DDL: %v", err)
+	}
+	// Exec of a statement against a missing table is an epoch-time
+	// error delivered to the right request.
+	if _, err := c.Exec("SELECT * FROM missing"); err == nil || !strings.Contains(err.Error(), "no table") {
+		t.Fatalf("select from missing table: %v", err)
+	}
+}
+
+// TestSlowDecodeFrameBoundary drives the wire protocol over a raw
+// connection that dribbles bytes across frame boundaries in both
+// directions: a frame header split from its payload (and split within
+// itself) must decode exactly as a contiguous write would.
+func TestSlowDecodeFrameBoundary(t *testing.T) {
+	addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := wire.EncodeRequest(&wire.Request{Type: wire.TExec, ID: 42, SQL: "SELECT COUNT(*) FROM oblidb_pad"})
+	frame := make([]byte, 0, 4+len(payload))
+	frame = append(frame, byte(len(payload)>>24), byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload)))
+	frame = append(frame, payload...)
+
+	// Dribble: 1 byte at a time with pauses, crossing the length-prefix
+	// boundary and every payload boundary.
+	for i := range frame {
+		if _, err := conn.Write(frame[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+		if i < 6 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Read the response one byte at a time too.
+	readFull := func(n int) []byte {
+		buf := make([]byte, n)
+		for off := 0; off < n; {
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			m, err := conn.Read(buf[off : off+1])
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			off += m
+		}
+		return buf
+	}
+	hdr := readFull(4)
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n <= 0 || n > wire.MaxFrame {
+		t.Fatalf("bad response frame length %d", n)
+	}
+	resp, err := wire.DecodeResponse(readFull(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 42 {
+		t.Fatalf("response answers request %d, want 42", resp.ID)
+	}
+	if resp.Type != wire.TResult {
+		t.Fatalf("response type %d (err %q)", resp.Type, resp.Err)
+	}
+	if len(resp.Result.Rows) != 1 || resp.Result.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("pad-table count = %v", resp.Result.Rows)
+	}
+}
+
+func TestConnectionLossFailsPending(t *testing.T) {
+	// A "server" that accepts, reads nothing, and abruptly drops the
+	// connection: every pending request must fail, never hang, and the
+	// connection must stay failed (sticky error).
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	dropped := make(chan struct{})
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+		conn.Close()
+		close(dropped)
+	}()
+	c, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Exec("SELECT COUNT(*) FROM oblidb_pad")
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("pending request succeeded on a dropped connection")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending request hung after connection loss")
+	}
+	<-dropped
+	if _, err := c.Exec("SELECT 1 FROM oblidb_pad"); err == nil {
+		t.Fatal("exec on dead connection succeeded")
+	}
+}

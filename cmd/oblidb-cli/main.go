@@ -21,6 +21,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -37,13 +38,15 @@ func main() {
 	showTime := flag.Bool("time", true, "print per-statement execution time")
 	connect := flag.String("connect", "", "connect to an oblidb-server at host:port instead of embedding an engine")
 	flag.Parse()
-	if err := run(*memory, *pad, *showTime, *connect); err != nil {
+	if err := run(os.Stdin, os.Stdout, *memory, *pad, *showTime, *connect); err != nil {
 		fmt.Fprintln(os.Stderr, "oblidb-cli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(memory, pad int, showTime bool, connect string) error {
+// run drives the shell: statements read from in, results written to
+// out. main wires it to stdin/stdout; tests drive it with buffers.
+func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect string) error {
 	var db *core.DB
 	var exec *sql.Executor
 	var conn *client.Conn
@@ -55,7 +58,7 @@ func run(memory, pad int, showTime bool, connect string) error {
 			return err
 		}
 		defer conn.Close()
-		fmt.Printf("ObliDB shell — connected to %s (type \\q to quit, \\help for help)\n", connect)
+		fmt.Fprintf(out, "ObliDB shell — connected to %s (type \\q to quit, \\help for help)\n", connect)
 	} else {
 		cfg := core.Config{ObliviousMemory: memory}
 		if pad > 0 {
@@ -67,15 +70,15 @@ func run(memory, pad int, showTime bool, connect string) error {
 			return err
 		}
 		exec = sql.New(db)
-		fmt.Println("ObliDB shell — oblivious query processing (type \\q to quit, \\help for help)")
+		fmt.Fprintln(out, "ObliDB shell — oblivious query processing (type \\q to quit, \\help for help)")
 	}
 
-	scanner := bufio.NewScanner(os.Stdin)
+	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
-		fmt.Print("oblidb> ")
+		fmt.Fprint(out, "oblidb> ")
 		if !scanner.Scan() {
-			fmt.Println()
+			fmt.Fprintln(out)
 			// Distinguish EOF (clean exit) from a read error.
 			return scanner.Err()
 		}
@@ -86,37 +89,37 @@ func run(memory, pad int, showTime bool, connect string) error {
 		case line == `\q` || line == "exit" || line == "quit":
 			return nil
 		case line == `\help`:
-			printHelp(conn != nil)
+			printHelp(out, conn != nil)
 			continue
 		case line == `\tables`:
 			if conn != nil {
-				fmt.Println("  \\tables is unavailable in connect mode")
+				fmt.Fprintln(out, `  \tables is unavailable in connect mode`)
 				continue
 			}
 			for _, t := range db.Tables() {
-				fmt.Println(" ", t)
+				fmt.Fprintln(out, " ", t)
 			}
 			continue
 		case line == `\mem`:
 			if conn != nil {
-				fmt.Println("  \\mem is unavailable in connect mode; try \\stats")
+				fmt.Fprintln(out, `  \mem is unavailable in connect mode; try \stats`)
 				continue
 			}
 			e := db.Enclave()
-			fmt.Printf("  oblivious memory: %d of %d bytes in use (peak %d)\n",
+			fmt.Fprintf(out, "  oblivious memory: %d of %d bytes in use (peak %d)\n",
 				e.Budget()-e.Available(), e.Budget(), e.PeakUsed())
 			continue
 		case line == `\stats`:
 			if conn == nil {
-				fmt.Println("  \\stats is only available in connect mode")
+				fmt.Fprintln(out, `  \stats is only available in connect mode`)
 				continue
 			}
 			st, err := conn.Stats()
 			if err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			fmt.Printf("  epochs: %d × %d slots; statements: %d real, %d dummy; sessions: %d; up %s\n",
+			fmt.Fprintf(out, "  epochs: %d × %d slots; statements: %d real, %d dummy; sessions: %d; up %s\n",
 				st.Epochs, st.EpochSize, st.Real, st.Dummy, st.Sessions,
 				(time.Duration(st.UptimeMillis) * time.Millisecond).Round(time.Millisecond))
 			continue
@@ -139,28 +142,28 @@ func run(memory, pad int, showTime bool, connect string) error {
 		}
 		elapsed := time.Since(start)
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			continue
 		}
-		printResult(cols, rows)
+		printResult(out, cols, rows)
 		if showTime {
 			if conn == nil && len(cols) > 0 && cols[0] != "affected" {
-				fmt.Printf("(%s; plan: select=%s join=%s)\n",
+				fmt.Fprintf(out, "(%s; plan: select=%s join=%s)\n",
 					elapsed.Round(time.Microsecond), db.LastPlan.SelectAlg, db.LastPlan.JoinAlg)
 			} else {
 				// Connect mode has no plan to show (the server keeps its
 				// engine private) and the time includes the epoch wait.
-				fmt.Printf("(%s)\n", elapsed.Round(time.Microsecond))
+				fmt.Fprintf(out, "(%s)\n", elapsed.Round(time.Microsecond))
 			}
 		}
 	}
 }
 
-func printResult(cols []string, rows []table.Row) {
+func printResult(out io.Writer, cols []string, rows []table.Row) {
 	if len(cols) == 0 {
 		return
 	}
-	fmt.Println(strings.Join(cols, " | "))
+	fmt.Fprintln(out, strings.Join(cols, " | "))
 	limit := len(rows)
 	const maxShow = 40
 	if limit > maxShow {
@@ -171,15 +174,15 @@ func printResult(cols []string, rows []table.Row) {
 		for i, v := range r {
 			cells[i] = v.String()
 		}
-		fmt.Println(strings.Join(cells, " | "))
+		fmt.Fprintln(out, strings.Join(cells, " | "))
 	}
 	if len(rows) > limit {
-		fmt.Printf("... (%d rows total)\n", len(rows))
+		fmt.Fprintf(out, "... (%d rows total)\n", len(rows))
 	}
 }
 
-func printHelp(connected bool) {
-	fmt.Print(`Statements:
+func printHelp(out io.Writer, connected bool) {
+	fmt.Fprint(out, `Statements:
   CREATE TABLE t (col TYPE, ...) [STORAGE = FLAT|INDEXED|BOTH] [INDEX ON col] [CAPACITY = n]
   INSERT INTO t VALUES (...), (...)
   SELECT cols|aggregates FROM t [JOIN t2 ON a = b] [WHERE expr] [GROUP BY expr] [FORCE alg]
@@ -190,8 +193,8 @@ Types: INTEGER, FLOAT, VARCHAR(n), BOOLEAN, DATE (stored as ISO string)
 Aggregates: COUNT(*), SUM, AVG, MIN, MAX; functions: SUBSTR(s, start, len)
 `)
 	if connected {
-		fmt.Println("Meta: \\stats, \\q")
+		fmt.Fprintln(out, `Meta: \stats, \q`)
 	} else {
-		fmt.Println("Meta: \\tables, \\mem, \\q")
+		fmt.Fprintln(out, `Meta: \tables, \mem, \q`)
 	}
 }

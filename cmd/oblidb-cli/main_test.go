@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oblidb/internal/server"
+	"oblidb/internal/table"
+)
+
+// driveShell runs the shell over a scripted session and returns its
+// output.
+func driveShell(t *testing.T, script string, connect string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, 0, 0, false, connect); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestShellEmbeddedSession(t *testing.T) {
+	script := strings.Join([]string{
+		`\help`,
+		"CREATE TABLE t (id INTEGER, name VARCHAR(8))",
+		"INSERT INTO t VALUES (1, 'alice'), (2, 'bob')",
+		"SELECT name FROM t WHERE id = 2",
+		"SELECT BROKEN SYNTAX !!",
+		`\tables`,
+		`\mem`,
+		`\stats`,
+		`\q`,
+	}, "\n") + "\n"
+	out := driveShell(t, script, "")
+	for _, want := range []string{
+		"ObliDB shell",
+		"Statements:",         // \help
+		`"bob"`,               // the select's result row
+		"error:",              // the broken statement reports, not aborts
+		"  t",                 // \tables
+		"oblivious memory:",   // \mem
+		"only available in c", // \stats refused when embedded
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("embedded session output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellConnectSession(t *testing.T) {
+	srv, err := server.New(server.Config{EpochSize: 4, EpochInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.ListenAndServe("127.0.0.1:0")
+	for i := 0; srv.Addr() == nil; i++ {
+		if i > 2000 {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	script := strings.Join([]string{
+		"CREATE TABLE c (k INTEGER)",
+		"INSERT INTO c VALUES (5), (6)",
+		"SELECT COUNT(*) FROM c",
+		`\tables`, // unavailable over the wire
+		`\stats`,
+		"exit",
+	}, "\n") + "\n"
+	out := driveShell(t, script, srv.Addr().String())
+	for _, want := range []string{
+		"connected to",
+		"COUNT(*)",
+		"2", // the count
+		"unavailable in connect mode",
+		"epochs:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("connect session output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellEOFExitsClean(t *testing.T) {
+	// EOF without \q is a clean exit (scanner.Err() == nil), not an
+	// error.
+	out := driveShell(t, "SELECT COUNT(*) FROM nothing\n", "")
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("missing-table error not reported:\n%s", out)
+	}
+}
+
+func TestPrintResultTruncatesLongResults(t *testing.T) {
+	var out strings.Builder
+	rows := make([]table.Row, 50)
+	for i := range rows {
+		rows[i] = table.Row{table.Int(int64(i))}
+	}
+	printResult(&out, []string{"k"}, rows)
+	if !strings.Contains(out.String(), "(50 rows total)") {
+		t.Fatalf("long result not truncated:\n%s", out.String())
+	}
+}

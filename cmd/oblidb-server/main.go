@@ -29,10 +29,12 @@ func main() {
 	epochInterval := flag.Duration("epoch-interval", 5*time.Millisecond, "fixed cadence between epochs")
 	memory := flag.Int("memory", 0, "oblivious memory budget in bytes (0 = paper default 20 MB)")
 	pad := flag.Int("pad", 0, "padding mode: pad intermediate tables to this many rows (0 = off)")
+	parallelism := flag.Int("parallelism", 1, "intra-query worker pool size (-1 = GOMAXPROCS, 1 = serial)")
+	workers := flag.Int("workers", 1, "epoch slots executed concurrently (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress serving diagnostics")
 	flag.Parse()
 
-	engine := core.Config{ObliviousMemory: *memory}
+	engine := core.Config{ObliviousMemory: *memory, Parallelism: *parallelism}
 	if *pad > 0 {
 		engine.Padding = core.PaddingConfig{Enabled: true, PadRows: *pad, PadGroups: *pad}
 	}
@@ -46,6 +48,7 @@ func main() {
 		Engine:        engine,
 		EpochSize:     *epochSize,
 		EpochInterval: *epochInterval,
+		Workers:       *workers,
 		Logf:          logf,
 	})
 	if err != nil {

@@ -26,12 +26,24 @@ func RunServed(o Options) error {
 	perClient := o.n(500)
 	perClient -= perClient % 2 // statements issue in insert+select pairs
 
-	tp := newTable("Epoch size", "Clients", "Stmts", "Elapsed", "Stmts/sec", "Dummy share")
-	for _, epochSize := range []int{1, 8, 64} {
+	type cell struct {
+		epochSize, parallelism int
+	}
+	cells := []cell{
+		{1, 1}, {8, 1}, {64, 1},
+		// Selection-heavy mixes against a parallel engine: the epoch
+		// slots run on a worker pool and each statement's operators
+		// partition across the intra-query pool.
+		{8, 4}, {64, 4},
+	}
+	tp := newTable("Epoch size", "P", "Clients", "Stmts", "Elapsed", "Stmts/sec", "Dummy share")
+	for _, c := range cells {
+		epochSize := c.epochSize
 		srv, err := server.New(server.Config{
-			Engine:        core.Config{ObliviousMemory: o.obliviousMemory(), Seed: o.seed()},
+			Engine:        core.Config{ObliviousMemory: o.obliviousMemory(), Seed: o.seed(), Parallelism: c.parallelism},
 			EpochSize:     epochSize,
 			EpochInterval: interval,
+			Workers:       c.parallelism,
 		})
 		if err != nil {
 			return fmt.Errorf("served: %w", err)
@@ -111,7 +123,7 @@ func RunServed(o Options) error {
 
 		total := clients * perClient
 		dummyShare := float64(st.Dummy) / float64(st.Real+st.Dummy)
-		tp.addf(epochSize, clients, total, elapsed,
+		tp.addf(epochSize, c.parallelism, clients, total, elapsed,
 			fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
 			fmt.Sprintf("%.0f%%", 100*dummyShare))
 	}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -80,28 +81,41 @@ type Config struct {
 	Planner planner.Config
 	// Padding configures padding mode.
 	Padding PaddingConfig
+	// Parallelism bounds the intra-query worker pool: queries are split
+	// into up to this many equal padded partitions executed concurrently
+	// (the per-query count is chosen by the planner from public sizes
+	// alone). 0 or 1 keeps the engine serial; -1 uses GOMAXPROCS. The
+	// pool size is public configuration, like the epoch cadence.
+	Parallelism int
+	// WorkerTracers, if non-nil, must hold one tracer per worker; each
+	// worker's untrusted accesses — the adversarial view of one core —
+	// are recorded there. Tests assert the multiset of worker traces is
+	// input-independent (trace.MultisetFingerprint).
+	WorkerTracers []*trace.Tracer
 }
 
 // DB is an ObliDB database: an enclave plus its tables.
 //
 // Concurrency: every exported method takes a single database-wide mutex,
 // so a DB is safe for concurrent use — one statement at a time. The
-// engine is deliberately not internally parallel: oblivious operators
-// derive their security from a fixed, data-independent access sequence,
-// and interleaving two operators' accesses would entangle their traces.
-// The network server (internal/server) therefore funnels all statements
-// through a single executor goroutine — its epoch scheduler — and this
-// mutex is the backstop that keeps direct library use (tests, embedders
-// sharing a DB across goroutines) race-free as well. Exported methods
-// lock and delegate to unexported, unlocked variants; internal
-// cross-calls use the unlocked variants so the mutex is never taken
-// reentrantly.
+// engine does not interleave two statements' accesses (that would
+// entangle their traces); instead it parallelizes WITHIN a statement
+// when Config.Parallelism allows it, splitting an operator into equal
+// padded partitions executed by worker enclaves whose per-core access
+// streams are each deterministic (see internal/exec's parallel
+// operators). The network server (internal/server) funnels all
+// statements through its epoch scheduler, and this mutex is the backstop
+// that keeps direct library use (tests, embedders sharing a DB across
+// goroutines) race-free as well. Exported methods lock and delegate to
+// unexported, unlocked variants; internal cross-calls use the unlocked
+// variants so the mutex is never taken reentrantly.
 type DB struct {
-	mu     sync.Mutex
-	enc    *enclave.Enclave
-	cfg    Config
-	tables map[string]*Table
-	tmpSeq int
+	mu      sync.Mutex
+	enc     *enclave.Enclave
+	cfg     Config
+	tables  map[string]*Table
+	workers []*enclave.Enclave // intra-query worker pool (nil when serial)
+	tmpSeq  int
 	// wal, when attached, journals every mutation before it executes;
 	// recovering suppresses re-logging during replay.
 	wal        *wal.Log
@@ -136,7 +150,28 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{enc: enc, cfg: cfg, tables: make(map[string]*Table)}, nil
+	db := &DB{enc: enc, cfg: cfg, tables: make(map[string]*Table)}
+	p := cfg.Parallelism
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > 1 {
+		db.workers, err = enc.Split(p, cfg.WorkerTracers)
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.WorkerTracers != nil {
+		return nil, fmt.Errorf("core: WorkerTracers set on a serial engine")
+	}
+	return db, nil
+}
+
+// Parallelism reports the worker-pool size (1 when serial).
+func (db *DB) Parallelism() int {
+	if len(db.workers) == 0 {
+		return 1
+	}
+	return len(db.workers)
 }
 
 // MustOpen is Open for tests and examples with known-good configs.

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"oblidb/internal/exec"
+	"oblidb/internal/table"
+	"oblidb/internal/trace"
+)
+
+// These tests cover the engine-level Parallelism option: identical
+// results to the serial engine, and end-to-end obliviousness of the
+// partitioned execution (parent trace plus per-worker trace multiset).
+
+func seedBig(t *testing.T, db *DB, n int) {
+	t.Helper()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 17)
+	}
+	seedFlat(t, db, vals)
+}
+
+func sortedIDs(res *Result) []int64 {
+	out := make([]int64, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r[0].AsInt()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestParallelEngineMatchesSerial(t *testing.T) {
+	const n = 256
+	serial := MustOpen(Config{})
+	seedBig(t, serial, n)
+	par := MustOpen(Config{Parallelism: 4})
+	seedBig(t, par, n)
+	if par.Parallelism() != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", par.Parallelism())
+	}
+
+	pred := func(r table.Row) bool { return r[1].AsInt() == 5 }
+	for _, force := range []*exec.SelectAlgorithm{nil, algPtr(exec.SelectLarge), algPtr(exec.SelectHash), algPtr(exec.SelectSmall)} {
+		name := "planner"
+		if force != nil {
+			name = force.String()
+		}
+		t.Run("select/"+name, func(t *testing.T) {
+			a, err := serial.Select("t", pred, SelectOptions{Force: force})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.Select("t", pred, SelectOptions{Force: force})
+			if err != nil {
+				t.Fatal(err)
+			}
+			av, bv := sortedIDs(a), sortedIDs(b)
+			if fmt.Sprint(av) != fmt.Sprint(bv) {
+				t.Fatalf("parallel select differs: %v vs %v", bv, av)
+			}
+		})
+	}
+
+	t.Run("aggregate", func(t *testing.T) {
+		specs := []AggregateSpec{{Kind: exec.AggCount}, {Kind: exec.AggSum, Column: "val"}, {Kind: exec.AggMax, Column: "val"}}
+		a, err := serial.Aggregate("t", pred, specs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Aggregate("t", pred, specs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Rows[0] {
+			if !a.Rows[0][i].Equal(b.Rows[0][i]) {
+				t.Fatalf("aggregate %d: parallel %v, serial %v", i, b.Rows[0][i], a.Rows[0][i])
+			}
+		}
+	})
+
+	t.Run("group", func(t *testing.T) {
+		groupBy := func(r table.Row) table.Value { return r[1] }
+		specs := []AggregateSpec{{Kind: exec.AggCount}}
+		a, err := serial.GroupAggregate("t", nil, groupBy, specs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.GroupAggregate("t", nil, groupBy, specs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("group counts differ: %d vs %d", len(b.Rows), len(a.Rows))
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if !a.Rows[i][j].Equal(b.Rows[i][j]) {
+					t.Fatalf("group row %d differs", i)
+				}
+			}
+		}
+	})
+}
+
+func algPtr(a exec.SelectAlgorithm) *exec.SelectAlgorithm { return &a }
+
+func TestParallelJoinMatchesSerial(t *testing.T) {
+	setup := func(cfg Config) *DB {
+		db := MustOpen(cfg)
+		s1 := table.MustSchema(table.Column{Name: "pk", Kind: table.KindInt})
+		s2 := table.MustSchema(table.Column{Name: "fk", Kind: table.KindInt})
+		if _, err := db.CreateTable("l", s1, TableOptions{Capacity: 32}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateTable("r", s2, TableOptions{Capacity: 256}); err != nil {
+			t.Fatal(err)
+		}
+		lrows := make([]table.Row, 32)
+		for i := range lrows {
+			lrows[i] = table.Row{table.Int(int64(i))}
+		}
+		rrows := make([]table.Row, 256)
+		for i := range rrows {
+			rrows[i] = table.Row{table.Int(int64(i % 40))}
+		}
+		if err := db.BulkLoad("l", lrows); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.BulkLoad("r", rrows); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	alg := exec.JoinHash
+	serial := setup(Config{})
+	par := setup(Config{Parallelism: 4})
+	a, err := serial.Join("l", "r", "pk", "fk", JoinOptions{Force: &alg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Join("l", "r", "pk", "fk", JoinOptions{Force: &alg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(res *Result) []string {
+		out := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = fmt.Sprintf("%v|%v", r[0], r[1])
+		}
+		sort.Strings(out)
+		return out
+	}
+	ak, bk := key(a), key(b)
+	if fmt.Sprint(ak) != fmt.Sprint(bk) {
+		t.Fatalf("parallel join differs:\n%v\nvs\n%v", bk, ak)
+	}
+}
+
+// parallelTracedRun executes one select on a Parallelism-4 engine with
+// per-worker tracers and reduces it to (parent canonical, worker
+// multiset) fingerprints.
+func parallelTracedRun(t *testing.T, vals []int64, param int64, force *exec.SelectAlgorithm) ([32]byte, [32]byte) {
+	t.Helper()
+	parent := trace.New()
+	wts := make([]*trace.Tracer, 4)
+	for i := range wts {
+		wts[i] = trace.New()
+	}
+	db, err := Open(Config{Tracer: parent, Key: fixedKey, Parallelism: 4, WorkerTracers: wts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedFlat(t, db, vals)
+	parent.Reset()
+	tab, _ := db.Table("t")
+	if _, err := db.SelectTable(tab, func(r table.Row) bool { return r[1].AsInt() == param }, SelectOptions{Force: force}); err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for _, w := range wts {
+		events += w.Len()
+	}
+	if events == 0 {
+		t.Fatal("parallel path did not engage: no worker events")
+	}
+	return parent.CanonicalFingerprint(), trace.MultisetFingerprint(wts)
+}
+
+func TestEndToEndParallelSelectTraceOblivious(t *testing.T) {
+	// 256 rows so the planner's partition rule actually engages; same
+	// |T| and |R|, different data and parameters.
+	const n, k = 256, 32
+	valsA := make([]int64, n)
+	valsB := make([]int64, n)
+	for i := 0; i < k; i++ {
+		valsA[i*5] = 7
+		valsB[i*3+100] = 9
+	}
+	for _, force := range []*exec.SelectAlgorithm{nil, algPtr(exec.SelectHash), algPtr(exec.SelectLarge)} {
+		name := "planner"
+		if force != nil {
+			name = force.String()
+		}
+		t.Run(name, func(t *testing.T) {
+			pa, wa := parallelTracedRun(t, valsA, 7, force)
+			pb, wb := parallelTracedRun(t, valsB, 9, force)
+			if pa != pb {
+				t.Fatal("parallel engine: parent trace depends on data")
+			}
+			if wa != wb {
+				t.Fatal("parallel engine: worker trace multiset depends on data")
+			}
+		})
+	}
+}
+
+func TestEndToEndParallelAggregateTraceOblivious(t *testing.T) {
+	run := func(vals []int64, threshold int64) ([32]byte, [32]byte) {
+		parent := trace.New()
+		wts := make([]*trace.Tracer, 4)
+		for i := range wts {
+			wts[i] = trace.New()
+		}
+		db, err := Open(Config{Tracer: parent, Key: fixedKey, Parallelism: 4, WorkerTracers: wts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedFlat(t, db, vals)
+		parent.Reset()
+		if _, err := db.Aggregate("t",
+			func(r table.Row) bool { return r[1].AsInt() > threshold },
+			[]AggregateSpec{{Kind: exec.AggSum, Column: "val"}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		return parent.CanonicalFingerprint(), trace.MultisetFingerprint(wts)
+	}
+	many := make([]int64, 256)
+	flat := make([]int64, 256)
+	for i := range many {
+		many[i] = int64(i)
+		flat[i] = 1
+	}
+	pa, wa := run(many, 128)
+	pb, wb := run(flat, 0)
+	if pa != pb || wa != wb {
+		t.Fatal("parallel aggregate trace depends on data")
+	}
+}
+
+func TestParallelLargeSelect(t *testing.T) {
+	// The Large regime (R ≈ N) exercises the concat combine path
+	// end-to-end through the planner.
+	par := MustOpen(Config{Parallelism: 4})
+	seedBig(t, par, 256)
+	res, err := par.Select("t", func(r table.Row) bool { return r[1].AsInt() >= 0 }, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 256 {
+		t.Fatalf("large select returned %d rows, want 256", len(res.Rows))
+	}
+	if got := par.LastPlan.SelectAlg; got != exec.SelectLarge && got != exec.SelectSmall {
+		t.Logf("planner chose %s", got)
+	}
+}
+
+func TestParallelGroupAggregateFallsBackOnTightMemory(t *testing.T) {
+	// 64 distinct groups concentrated in one partition: each worker's
+	// budget/P share cannot hold the worst-case group table, so the
+	// engine must fall back to the serial operator (whose full budget
+	// suffices) instead of failing — and the fallback decision is made
+	// up front from public sizes, never mid-scan.
+	run := func(parallelism int) *Result {
+		db := MustOpen(Config{ObliviousMemory: 2048, Parallelism: parallelism})
+		vals := make([]int64, 256)
+		for i := 0; i < 64; i++ {
+			vals[i] = int64(i) // partition 0 holds every distinct value
+		}
+		seedFlat(t, db, vals)
+		res, err := db.GroupAggregate("t", nil,
+			func(r table.Row) table.Value { return r[1] },
+			[]AggregateSpec{{Kind: exec.AggCount}}, nil)
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", parallelism, err)
+		}
+		return res
+	}
+	serial := run(1)
+	par := run(4) // 2048/4 = 512 < 4*maxGroups(=256 blocks)*... forces fallback
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("fallback result differs: %d vs %d groups", len(par.Rows), len(serial.Rows))
+	}
+}
+
+func TestParallelJoinFallsBackOnWideBuildRecords(t *testing.T) {
+	// Build-side records wider than a worker's budget share: the
+	// parallel hash join cannot hold even one build row per worker and
+	// must fall back to the serial join rather than erroring.
+	db := MustOpen(Config{ObliviousMemory: 2048, Parallelism: 4})
+	wide := table.MustSchema(
+		table.Column{Name: "pk", Kind: table.KindInt},
+		table.Column{Name: "pad", Kind: table.KindString, Width: 900},
+	)
+	narrow := table.MustSchema(table.Column{Name: "fk", Kind: table.KindInt})
+	if _, err := db.CreateTable("l", wide, TableOptions{Capacity: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("r", narrow, TableOptions{Capacity: 256}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Insert("l", table.Row{table.Int(int64(i)), table.Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rrows := make([]table.Row, 256)
+	for i := range rrows {
+		rrows[i] = table.Row{table.Int(int64(i % 8))}
+	}
+	if err := db.BulkLoad("r", rrows); err != nil {
+		t.Fatal(err)
+	}
+	alg := exec.JoinHash
+	res, err := db.Join("l", "r", "pk", "fk", JoinOptions{Force: &alg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 128 { // pk 0..3 each matches 32 foreign rows
+		t.Fatalf("join returned %d rows, want 128", len(res.Rows))
+	}
+}

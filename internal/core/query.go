@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"oblidb/internal/enclave"
 	"oblidb/internal/exec"
 	"oblidb/internal/planner"
 	"oblidb/internal/storage"
@@ -121,7 +122,7 @@ func (db *DB) runSelect(in exec.Input, pred table.Pred, alg exec.SelectAlgorithm
 	name := db.tmpName("select")
 	for attempt := 0; ; attempt++ {
 		opts.Salt = uint64(attempt)
-		out, err := exec.Select(db.enc, in, pred, alg, opts, name)
+		out, err := db.execSelect(in, pred, alg, opts, name)
 		if err == nil {
 			return out, nil
 		}
@@ -129,6 +130,42 @@ func (db *DB) runSelect(in exec.Input, pred table.Pred, alg exec.SelectAlgorithm
 			return nil, err
 		}
 	}
+}
+
+// execSelect dispatches one select to the parallel variant when the
+// worker pool, the planner's partition rule, and the algorithm allow it,
+// falling back to the serial operator otherwise. The dispatch decision
+// uses public sizes only.
+func (db *DB) execSelect(in exec.Input, pred table.Pred, alg exec.SelectAlgorithm, opts exec.SelectOptions, name string) (*storage.Flat, error) {
+	recSize := in.Schema().RecordSize()
+	if opts.OutSchema != nil {
+		recSize = opts.OutSchema.RecordSize()
+	}
+	if ws, f, ok := db.parallelFor(in, recSize); ok && exec.ParallelizableSelect(alg) && !db.cfg.Padding.Enabled {
+		out, err := exec.ParallelSelect(db.enc, ws, f, pred, alg, opts, name)
+		if !errors.Is(err, exec.ErrSerialFallback) {
+			return out, err
+		}
+	}
+	return exec.Select(db.enc, in, pred, alg, opts, name)
+}
+
+// parallelFor decides whether an operator over in runs partitioned: the
+// engine must have a pool, the input must be a flat block array, and the
+// planner must find a partition count ≥ 2 worth the handoff.
+func (db *DB) parallelFor(in exec.Input, recSize int) ([]*enclave.Enclave, *storage.Flat, bool) {
+	if len(db.workers) < 2 {
+		return nil, nil, false
+	}
+	f, ok := exec.AsFlat(in)
+	if !ok {
+		return nil, nil, false
+	}
+	p := planner.ChooseParallelism(db.enc, f.Capacity(), recSize, len(db.workers))
+	if p < 2 {
+		return nil, nil, false
+	}
+	return db.workers[:p], f, true
 }
 
 // AggregateSpec is one aggregate over a named column (empty for COUNT).
@@ -190,7 +227,12 @@ func (db *DB) aggregateTable(t *Table, pred table.Pred, specs []AggregateSpec, k
 	if err != nil {
 		return nil, err
 	}
-	vals, err := exec.Aggregate(in, pred, es)
+	var vals []table.Value
+	if ws, f, ok := db.parallelFor(in, t.schema.RecordSize()); ok {
+		vals, err = exec.ParallelAggregate(ws, f, pred, es)
+	} else {
+		vals, err = exec.Aggregate(in, pred, es)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +283,17 @@ func (db *DB) groupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, s
 	if db.cfg.Padding.Enabled {
 		gopts.PadGroups = db.cfg.Padding.PadGroups
 	}
-	out, err := exec.GroupAggregate(db.enc, in, pred, groupBy, es, gopts, db.tmpName("group"))
+	var out *storage.Flat
+	if ws, f, ok := db.parallelFor(in, t.schema.RecordSize()); ok {
+		out, err = exec.ParallelGroupAggregate(db.enc, ws, f, pred, groupBy, es, gopts, db.tmpName("group"))
+		if !errors.Is(err, exec.ErrSerialFallback) {
+			if err != nil {
+				return nil, err
+			}
+			return db.wrapTemp(out), nil
+		}
+	}
+	out, err = exec.GroupAggregate(db.enc, in, pred, groupBy, es, gopts, db.tmpName("group"))
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +382,19 @@ func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 		})
 	}
 	db.LastPlan.JoinAlg = alg
-	out, err := exec.Join(db.enc, lin, rin, lcol, rcol, alg, exec.JoinOptions{OutSchema: outSchema}, db.tmpName("join"))
+	name := db.tmpName("join")
+	var out *storage.Flat
+	if ws, rf, ok := db.parallelFor(rin, rTab.schema.RecordSize()); ok && alg == exec.JoinHash {
+		if lf, lok := exec.AsFlat(lin); lok {
+			out, err = exec.ParallelHashJoin(db.enc, ws, lf, rf, lcol, rcol, outSchema, name)
+			if errors.Is(err, exec.ErrSerialFallback) {
+				out, err = nil, nil
+			}
+		}
+	}
+	if out == nil && err == nil {
+		out, err = exec.Join(db.enc, lin, rin, lcol, rcol, alg, exec.JoinOptions{OutSchema: outSchema}, name)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"oblidb/internal/crypt"
 	"oblidb/internal/trace"
@@ -51,13 +52,18 @@ const DefaultObliviousMemory = 20 << 20
 // Enclave is the trusted environment: it owns the data key, the oblivious
 // memory accountant, and the randomness used by oblivious data structures.
 type Enclave struct {
-	sealer  *crypt.Sealer
-	tracer  *trace.Tracer
-	rng     *rand.Rand
-	budget  int
-	used    int
-	peak    int
-	nextTID uint32
+	sealer *crypt.Sealer
+	tracer *trace.Tracer
+	rng    *rand.Rand
+	budget int
+	used   int
+	peak   int
+	key    []byte
+	seed   uint64
+	// tids hands out store ids for sealed-block domain separation. It is
+	// shared (and atomic) across an enclave and its Split workers so two
+	// workers never seal blocks under the same id.
+	tids *atomic.Uint32
 }
 
 // New creates a simulated enclave. A zero Config gets the paper's default
@@ -87,7 +93,53 @@ func New(cfg Config) (*Enclave, error) {
 		tracer: cfg.Tracer,
 		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
 		budget: budget,
+		key:    key,
+		seed:   seed,
+		tids:   new(atomic.Uint32),
 	}, nil
+}
+
+// Split derives n worker enclaves for partition-parallel operators. Each
+// worker shares the parent's data key (so sealed blocks interoperate) and
+// its store-id counter (so ids stay globally unique), but owns everything
+// a concurrent goroutine must not share: its own sealer (the nonce pool
+// is stateful), its own deterministic PRNG stream, its own tracer — the
+// adversarial view of one core — and an equal slice, budget/n, of the
+// parent's currently unreserved oblivious memory.
+//
+// tracers may be nil (workers run untraced) or hold one tracer per
+// worker; obliviousness tests pass per-worker tracers and assert the
+// multiset of worker traces is input-independent.
+func (e *Enclave) Split(n int, tracers []*trace.Tracer) ([]*Enclave, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("enclave: cannot split into %d workers", n)
+	}
+	if tracers != nil && len(tracers) != n {
+		return nil, fmt.Errorf("enclave: %d tracers for %d workers", len(tracers), n)
+	}
+	workers := make([]*Enclave, n)
+	share := e.Available() / n
+	for i := range workers {
+		sealer, err := crypt.NewSealer(e.key)
+		if err != nil {
+			return nil, err
+		}
+		var tr *trace.Tracer
+		if tracers != nil {
+			tr = tracers[i]
+		}
+		seed := e.seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		workers[i] = &Enclave{
+			sealer: sealer,
+			tracer: tr,
+			rng:    rand.New(rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9)),
+			budget: share,
+			key:    e.key,
+			seed:   seed,
+			tids:   e.tids,
+		}
+	}
+	return workers, nil
 }
 
 // MustNew is New for tests and examples where the config is known good.
@@ -153,7 +205,5 @@ func (e *Enclave) PeakUsed() int { return e.peak }
 
 // nextTableID hands out unique ids for sealed-block domain separation.
 func (e *Enclave) nextTableID() uint32 {
-	id := e.nextTID
-	e.nextTID++
-	return id
+	return e.tids.Add(1) - 1
 }

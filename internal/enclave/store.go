@@ -72,6 +72,26 @@ func (s *Store) Read(i int) ([]byte, error) {
 	return pt, nil
 }
 
+// ReadVia is Read with the access recorded against a caller-supplied
+// tracer and region instead of the store's own. Partition-parallel
+// workers read a shared source table through it so that each worker's
+// adversarial view — the per-core access stream — lands on that worker's
+// tracer. Concurrent ReadVia calls are safe as long as no goroutine
+// writes the store meanwhile: decryption is stateless and the revision
+// map is only read. via may belong to a different enclave than the
+// store; sealed blocks interoperate because Split workers share the key.
+func (s *Store) ReadVia(via *Enclave, r trace.Region, i int) ([]byte, error) {
+	if i < 0 || i >= len(s.blocks) {
+		return nil, fmt.Errorf("enclave: store %q read out of range: %d of %d", s.region.Name(), i, len(s.blocks))
+	}
+	via.tracer.Record(r, trace.Read, i)
+	pt, err := via.sealer.Open(s.id, uint32(i), s.revs[i], s.blocks[i])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
+	}
+	return pt, nil
+}
+
 // Write seals plaintext into block i under the next revision and stores
 // it. The plaintext must be exactly one block. Writing the same logical
 // content produces fresh ciphertext, so dummy writes are indistinguishable
@@ -86,6 +106,26 @@ func (s *Store) Write(i int, plaintext []byte) error {
 	s.enclave.tracer.Record(s.region, trace.Write, i)
 	s.revs[i]++
 	s.blocks[i] = s.enclave.sealer.Seal(s.id, uint32(i), s.revs[i], plaintext)
+	return nil
+}
+
+// WriteVia is Write with the access recorded against a caller-supplied
+// tracer and the sealing done by the caller's enclave (same key, so the
+// ciphertext interoperates). Partition-parallel workers use it to fill
+// DISJOINT block ranges of one shared output store concurrently: writes
+// to different indices touch different revision and block slots, so no
+// two workers may ever write the same index, and nothing may read the
+// store until the workers join.
+func (s *Store) WriteVia(via *Enclave, r trace.Region, i int, plaintext []byte) error {
+	if i < 0 || i >= len(s.blocks) {
+		return fmt.Errorf("enclave: store %q write out of range: %d of %d", s.region.Name(), i, len(s.blocks))
+	}
+	if len(plaintext) != s.bsize {
+		return fmt.Errorf("enclave: store %q write of %d bytes to %d-byte blocks", s.region.Name(), len(plaintext), s.bsize)
+	}
+	via.tracer.Record(r, trace.Write, i)
+	s.revs[i]++
+	s.blocks[i] = via.sealer.Seal(s.id, uint32(i), s.revs[i], plaintext)
 	return nil
 }
 

@@ -91,6 +91,33 @@ func (a *aggState) add(r table.Row) error {
 	return nil
 }
 
+// merge folds another partial state for the same spec into a. Every
+// aggregate ObliDB supports decomposes over a partition of the input —
+// COUNT and SUM add, MIN/MAX compare, AVG carries (sum, count) — which
+// is what makes partition-parallel aggregation exact, not approximate.
+func (a *aggState) merge(b *aggState) error {
+	a.count += b.count
+	a.sum += b.sum
+	if b.any {
+		if !a.any {
+			a.min, a.max = b.min, b.max
+		} else {
+			if c, err := table.Compare(b.min, a.min); err != nil {
+				return err
+			} else if c < 0 {
+				a.min = b.min
+			}
+			if c, err := table.Compare(b.max, a.max); err != nil {
+				return err
+			} else if c > 0 {
+				a.max = b.max
+			}
+		}
+		a.any = true
+	}
+	return nil
+}
+
 func (a *aggState) result() table.Value {
 	switch a.spec.Kind {
 	case AggCount:
@@ -122,6 +149,17 @@ func (a *aggState) result() table.Value {
 // table exists, so no intermediate size leaks. The trace is one read per
 // block; no oblivious memory is used.
 func Aggregate(in Input, pred table.Pred, specs []AggSpec) ([]table.Value, error) {
+	states, err := aggScan(in, pred, specs)
+	if err != nil {
+		return nil, err
+	}
+	return aggResults(states), nil
+}
+
+// aggScan is the scan phase of Aggregate: one read per block, all state
+// in the enclave. Parallel aggregation runs one aggScan per partition
+// and merges the partial states.
+func aggScan(in Input, pred table.Pred, specs []AggSpec) ([]aggState, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("exec: no aggregates requested")
 	}
@@ -146,11 +184,15 @@ func Aggregate(in Input, pred table.Pred, specs []AggSpec) ([]table.Value, error
 			}
 		}
 	}
+	return states, nil
+}
+
+func aggResults(states []aggState) []table.Value {
 	out := make([]table.Value, len(states))
 	for i := range states {
 		out[i] = states[i].result()
 	}
-	return out, nil
+	return out
 }
 
 // GroupBy extracts a grouping key from a row, inside the enclave (e.g. a
@@ -182,19 +224,31 @@ func GroupAggregate(e *enclave.Enclave, in Input, pred table.Pred, groupBy Group
 	if maxGroups <= 0 {
 		maxGroups = in.Blocks()
 	}
-
-	type group struct {
-		key    table.Value
-		states []aggState
+	groups, reserved, err := groupScan(e, in, pred, groupBy, specs, maxGroups)
+	defer func() { e.Release(reserved) }()
+	if err != nil {
+		return nil, err
 	}
+	return emitGroups(e, groups, specs, in.Schema(), opts, outName)
+}
+
+// group is one grouping bucket's in-enclave state.
+type group struct {
+	key    table.Value
+	states []aggState
+}
+
+// groupScan is the scan phase of grouped aggregation: one read per
+// block, buckets in an in-enclave hash table charged 4 bytes apiece to
+// e's oblivious memory. It returns the buckets and the bytes reserved;
+// the caller releases them once done with the buckets.
+func groupScan(e *enclave.Enclave, in Input, pred table.Pred, groupBy GroupBy, specs []AggSpec, maxGroups int) (map[string]*group, int, error) {
 	groups := make(map[string]*group)
 	reserved := 0
-	defer func() { e.Release(reserved) }()
-
 	for i := 0; i < in.Blocks(); i++ {
 		row, used, err := in.ReadBlock(i)
 		if err != nil {
-			return nil, err
+			return nil, reserved, err
 		}
 		if !used || !pred(row) {
 			continue
@@ -204,11 +258,11 @@ func GroupAggregate(e *enclave.Enclave, in Input, pred table.Pred, groupBy Group
 		g, ok := groups[mk]
 		if !ok {
 			if len(groups) >= maxGroups {
-				return nil, fmt.Errorf("exec: more than %d groups; use the sort-based fallback", maxGroups)
+				return nil, reserved, fmt.Errorf("exec: more than %d groups; use the sort-based fallback", maxGroups)
 			}
 			// The paper charges 4 bytes of oblivious memory per group.
 			if err := e.Reserve(4); err != nil {
-				return nil, fmt.Errorf("exec: group table exceeded oblivious memory: %w", err)
+				return nil, reserved, fmt.Errorf("exec: group table exceeded oblivious memory: %w", err)
 			}
 			reserved += 4
 			g = &group{key: key, states: make([]aggState, len(specs))}
@@ -219,11 +273,38 @@ func GroupAggregate(e *enclave.Enclave, in Input, pred table.Pred, groupBy Group
 		}
 		for j := range g.states {
 			if err := g.states[j].add(row); err != nil {
-				return nil, err
+				return nil, reserved, err
 			}
 		}
 	}
+	return groups, reserved, nil
+}
 
+// mergeGroups folds src's buckets into dst (both in-enclave).
+func mergeGroups(dst, src map[string]*group, specs []AggSpec, maxGroups int) error {
+	for mk, g := range src {
+		d, ok := dst[mk]
+		if !ok {
+			if len(dst) >= maxGroups {
+				return fmt.Errorf("exec: more than %d groups; use the sort-based fallback", maxGroups)
+			}
+			dst[mk] = g
+			continue
+		}
+		for j := range d.states {
+			if err := d.states[j].merge(&g.states[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emitGroups is the output phase of grouped aggregation: one row
+// [group, aggregates...] per bucket in sorted key order, padded to
+// opts.PadGroups when set. Its trace depends only on the number of
+// groups (already-conceded leakage) and the padding bound.
+func emitGroups(e *enclave.Enclave, groups map[string]*group, specs []AggSpec, inSchema *table.Schema, opts GroupAggregateOptions, outName string) (*storage.Flat, error) {
 	// Deterministic output order: sorted by group key.
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
@@ -244,7 +325,7 @@ func GroupAggregate(e *enclave.Enclave, in Input, pred table.Pred, groupBy Group
 		}
 		break
 	}
-	outSchema, err := groupOutputSchema(in.Schema(), groupKind, groupWidth, specs)
+	outSchema, err := groupOutputSchema(inSchema, groupKind, groupWidth, specs)
 	if err != nil {
 		return nil, err
 	}

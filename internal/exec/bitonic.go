@@ -130,3 +130,12 @@ func NextPow2(n int) int {
 	}
 	return 1 << bits.Len(uint(n-1))
 }
+
+// FloorPow2 returns the largest power of two <= n (0 for n < 1). Sort
+// chunk sizing rounds budgets down with it.
+func FloorPow2(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return 1 << (bits.Len(uint(n)) - 1)
+}

@@ -40,6 +40,17 @@ func (fi flatInput) ReadBlock(i int) (table.Row, bool, error) {
 // FromFlat wraps a flat table as an operator input.
 func FromFlat(f *storage.Flat) Input { return flatInput{f} }
 
+// AsFlat recovers the flat table behind an input, when there is one.
+// The partition-parallel operators need the table itself (to build a
+// Partitioned view over its block array), not just a block reader.
+func AsFlat(in Input) (*storage.Flat, bool) {
+	fi, ok := in.(flatInput)
+	if !ok {
+		return nil, false
+	}
+	return fi.f, true
+}
+
 // Transform maps an input row to an output row inside the enclave —
 // projections and computed columns. A nil Transform is the identity. It
 // never affects access patterns.

@@ -132,6 +132,35 @@ func ChooseSelect(e *enclave.Enclave, recSize int, st SelectStats, cfg Config) e
 	return alg
 }
 
+// MinPartitionBlocks is the smallest partition worth a worker: below
+// this, goroutine handoff and per-partition padding dominate the scan.
+const MinPartitionBlocks = 32
+
+// ChooseParallelism picks the partition count P for a parallel operator
+// from the same public-size-only inputs as the rest of the planner (§5):
+// the table size in blocks, the record size, the unreserved oblivious
+// memory, and the worker-pool size (bounded by GOMAXPROCS at engine
+// open). The choice leaks nothing beyond P itself, which — like the
+// operator choice — is conceded plan leakage.
+func ChooseParallelism(e *enclave.Enclave, blocks, recSize, maxWorkers int) int {
+	p := maxWorkers
+	if m := blocks / MinPartitionBlocks; p > m {
+		p = m
+	}
+	// Every worker needs a useful slice of oblivious memory — enough to
+	// buffer at least MinPartitionBlocks records — or the per-partition
+	// operators degrade to their worst cases.
+	if recSize > 0 {
+		if m := e.Available() / (MinPartitionBlocks * recSize); p > m {
+			p = m
+		}
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
 // JoinSizes carries the public inputs of join planning.
 type JoinSizes struct {
 	// T1Blocks and T2Blocks are the table sizes in blocks.
@@ -193,7 +222,7 @@ func ChooseJoin(e *enclave.Enclave, s JoinSizes) exec.JoinAlgorithm {
 	costOpaque := math.Inf(1)
 	sortChunk := 0
 	if s.SortBlockSize > 0 {
-		sortChunk = floorPow2(avail / s.SortBlockSize)
+		sortChunk = exec.FloorPow2(avail / s.SortBlockSize)
 	}
 	if sortChunk > 1 {
 		costOpaque = fill + 2*float64(n)*sortPasses(sortChunk)
@@ -216,16 +245,4 @@ func log2i(n int) int {
 		l++
 	}
 	return l
-}
-
-// floorPow2 rounds n down to a power of two (0 for n < 1).
-func floorPow2(n int) int {
-	if n < 1 {
-		return 0
-	}
-	p := 1
-	for p*2 <= n {
-		p *= 2
-	}
-	return p
 }

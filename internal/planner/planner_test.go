@@ -151,3 +151,25 @@ func TestChooseJoin(t *testing.T) {
 		t.Errorf("zero memory chose %s, want 0-OM", got)
 	}
 }
+
+func TestChooseParallelism(t *testing.T) {
+	e := enclave.MustNew(enclave.Config{})
+	// Plenty of blocks and memory: take the whole pool.
+	if p := ChooseParallelism(e, 4096, 64, 8); p != 8 {
+		t.Fatalf("large table chose P=%d, want 8", p)
+	}
+	// Tiny table: not worth splitting.
+	if p := ChooseParallelism(e, 16, 64, 8); p != 1 {
+		t.Fatalf("tiny table chose P=%d, want 1", p)
+	}
+	// Partition floor: 96 blocks support at most 3 partitions.
+	if p := ChooseParallelism(e, 96, 64, 8); p != 3 {
+		t.Fatalf("96 blocks chose P=%d, want 3", p)
+	}
+	// Starved oblivious memory clamps the pool.
+	tight := enclave.MustNew(enclave.Config{ObliviousMemory: 1})
+	tight.Reserve(1)
+	if p := ChooseParallelism(tight, 4096, 64, 8); p != 1 {
+		t.Fatalf("memory-starved engine chose P=%d, want 1", p)
+	}
+}

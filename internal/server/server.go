@@ -15,9 +15,12 @@
 // engine's own leakage (table sizes and plan choice, §2.3 of the
 // paper); run the engine in padding mode to flatten the latter.
 //
-// All engine access funnels through one executor goroutine — the epoch
-// scheduler — so statements never interleave; see the concurrency note
-// on core.DB.
+// All engine access funnels through the epoch scheduler. By default it
+// executes an epoch's slots serially on one goroutine; with
+// Config.Workers > 1 the slots are dispatched to a worker pool, and the
+// engine's own locking plus its intra-query partition parallelism
+// (core.Config.Parallelism) turn the extra cores into throughput. See
+// the concurrency note on core.DB.
 package server
 
 import (
@@ -40,6 +43,17 @@ type Config struct {
 	EpochSize int
 	// EpochInterval is the fixed cadence between epochs (default 5ms).
 	EpochInterval time.Duration
+	// Workers is the number of statement slots of one epoch executed
+	// concurrently (default 1: slots run serially in arrival order).
+	// With Workers > 1 the slots of an epoch are dispatched to a
+	// goroutine pool; the engine's internal locking keeps statements
+	// race-free, and engine-level Config.Parallelism lets each
+	// statement's operators fan out across partitions. Statements
+	// within one epoch may then complete in any order — the protocol
+	// already answers by request id, not arrival order — so clients
+	// that need ordering await each result. The observable stream is
+	// unchanged: exactly EpochSize slot executions per epoch.
+	Workers int
 	// Manual disables the internal scheduler goroutine: epochs then run
 	// only when RunEpoch is called, which tests use to drive the epoch
 	// stream deterministically.
@@ -197,19 +211,39 @@ collect:
 			break collect
 		}
 	}
+	// The observable stream — one slot event per epoch slot — is
+	// recorded up front, so it is identical whether the slots then run
+	// serially or across the worker pool.
 	for slot := 0; slot < size; slot++ {
 		if s.cfg.Tracer != nil {
 			s.cfg.Tracer.Record(s.slotRegion, trace.Write, slot)
 		}
-		if slot < len(batch) {
-			j := batch[slot]
-			res, err := s.exec.ExecuteStmt(j.stmt)
-			j.sess.reply(j.id, res, err)
-			continue
+	}
+	workers := s.cfg.Workers
+	if workers > size {
+		workers = size
+	}
+	if workers <= 1 {
+		for slot := 0; slot < size; slot++ {
+			s.executeSlot(slot, batch)
 		}
-		if _, err := s.exec.ExecuteStmt(s.dummy); err != nil && s.cfg.Logf != nil {
-			s.cfg.Logf("server: dummy statement failed: %v", err)
+	} else {
+		slots := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for slot := range slots {
+					s.executeSlot(slot, batch)
+				}
+			}()
 		}
+		for slot := 0; slot < size; slot++ {
+			slots <- slot
+		}
+		close(slots)
+		wg.Wait()
 	}
 	s.mu.Lock()
 	s.epochCount++
@@ -219,6 +253,20 @@ collect:
 	s.real += uint64(len(batch))
 	s.dummies += uint64(size - len(batch))
 	s.mu.Unlock()
+}
+
+// executeSlot runs one epoch slot: a queued statement (answered to its
+// session) or the padding dummy.
+func (s *Server) executeSlot(slot int, batch []*job) {
+	if slot < len(batch) {
+		j := batch[slot]
+		res, err := s.exec.ExecuteStmt(j.stmt)
+		j.sess.reply(j.id, res, err)
+		return
+	}
+	if _, err := s.exec.ExecuteStmt(s.dummy); err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("server: dummy statement failed: %v", err)
+	}
 }
 
 // ListenAndServe listens on addr ("host:port") and serves until Close.

@@ -447,3 +447,123 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal("Exec calls still blocked after server close")
 	}
 }
+
+// TestPooledEpochExecution drives the worker-pool epoch executor with a
+// parallel engine: results must match direct serial execution and the
+// observable stream must stay one full epoch per RunEpoch.
+func TestPooledEpochExecution(t *testing.T) {
+	tr := trace.New()
+	srv, addr := startServer(t, server.Config{
+		Engine:    core.Config{Parallelism: 4},
+		EpochSize: 8,
+		Workers:   4,
+		Manual:    true,
+		Tracer:    tr,
+	})
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Setup sequentially (awaited, so ordering is guaranteed even with
+	// a pooled executor).
+	done := make(chan error, 1)
+	go func() {
+		if _, err := c.Exec("CREATE TABLE p (k INTEGER, v INTEGER) CAPACITY = 256"); err != nil {
+			done <- err
+			return
+		}
+		var tuples []string
+		for i := 0; i < 200; i++ {
+			tuples = append(tuples, fmt.Sprintf("(%d, %d)", i, i%10))
+		}
+		if _, err := c.Exec("INSERT INTO p VALUES " + strings.Join(tuples, ", ")); err != nil {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	pump := func() {
+		for {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Error(err)
+				}
+				return
+			default:
+				srv.RunEpoch()
+			}
+		}
+	}
+	pump()
+
+	// A batch of concurrent read-only statements lands in shared epochs
+	// and executes across the pool.
+	type res struct {
+		sql string
+		out string
+		err error
+	}
+	stmts := []string{
+		"SELECT COUNT(*) FROM p WHERE v = 3",
+		"SELECT SUM(v) FROM p",
+		"SELECT * FROM p WHERE v = 7",
+		"SELECT MIN(k) FROM p WHERE v > 5",
+		"SELECT COUNT(*) FROM p",
+		"SELECT MAX(v) FROM p WHERE k < 100",
+	}
+	results := make(chan res, len(stmts))
+	var wg sync.WaitGroup
+	for _, s := range stmts {
+		wg.Add(1)
+		go func(s string) {
+			defer wg.Done()
+			r, err := c.Exec(s)
+			if err != nil {
+				results <- res{sql: s, err: err}
+				return
+			}
+			results <- res{sql: s, out: canon(r.Cols, r.Rows)}
+		}(s)
+	}
+	go func() { wg.Wait(); done <- nil }()
+	pump()
+	close(results)
+
+	// Direct serial reference.
+	direct := core.MustOpen(core.Config{})
+	dx := sql.New(direct)
+	if _, err := dx.Execute("CREATE TABLE p (k INTEGER, v INTEGER) CAPACITY = 256"); err != nil {
+		t.Fatal(err)
+	}
+	var tuples []string
+	for i := 0; i < 200; i++ {
+		tuples = append(tuples, fmt.Sprintf("(%d, %d)", i, i%10))
+	}
+	if _, err := dx.Execute("INSERT INTO p VALUES " + strings.Join(tuples, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("%s: %v", r.sql, r.err)
+		}
+		want, err := dx.Execute(r.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, w := r.out, canon(want.Cols, want.Rows); got != w {
+			t.Fatalf("%s:\npooled: %s\ndirect: %s", r.sql, got, w)
+		}
+	}
+
+	// The observable stream is full epochs only, same as the serial
+	// executor produces.
+	for i, n := range srv.ObservedStream() {
+		if n != 8 {
+			t.Fatalf("epoch %d had %d slots, want 8", i, n)
+		}
+	}
+}

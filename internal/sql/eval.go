@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"oblidb/internal/core"
 	"oblidb/internal/table"
@@ -264,17 +265,22 @@ func constEval(e Expr) (table.Value, error) {
 
 // pred compiles an expression into a table.Pred. Evaluation errors
 // surface through errOut (checked after the operator completes) so the
-// predicate signature stays simple.
+// predicate signature stays simple. The error capture is mutex-guarded
+// because partition-parallel operators evaluate one predicate from
+// several workers at once; eval itself touches no shared state.
 func (r *resolver) pred(e Expr, errOut *error) table.Pred {
 	if e == nil {
 		return table.All
 	}
+	var mu sync.Mutex
 	return func(row table.Row) bool {
 		v, err := r.eval(e, row)
 		if err != nil {
+			mu.Lock()
 			if *errOut == nil {
 				*errOut = err
 			}
+			mu.Unlock()
 			return false
 		}
 		return truthy(v)

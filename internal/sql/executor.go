@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"oblidb/internal/core"
 	"oblidb/internal/table"
@@ -246,13 +247,7 @@ func (x *Executor) aggSpecs(s *Select) ([]core.AggregateSpec, []string, error) {
 // operator. Select items must be the group expression or aggregates.
 func (x *Executor) groupSelect(s *Select, t *core.Table, res *resolver, pred table.Pred, key *core.KeyRange) (*core.Result, error) {
 	var groupErr error
-	groupKey := func(r table.Row) table.Value {
-		v, err := res.eval(s.GroupBy, r)
-		if err != nil && groupErr == nil {
-			groupErr = err
-		}
-		return v
-	}
+	groupKey := groupKeyFunc(res, s.GroupBy, &groupErr)
 	var specs []core.AggregateSpec
 	type outCol struct {
 		isGroup bool
@@ -387,13 +382,7 @@ func (x *Executor) selectFromJoined(s *Select, t *core.Table, res *resolver) (*c
 	switch {
 	case s.GroupBy != nil:
 		var groupErr error
-		groupKey := func(r table.Row) table.Value {
-			v, err := res.eval(s.GroupBy, r)
-			if err != nil && groupErr == nil {
-				groupErr = err
-			}
-			return v
-		}
+		groupKey := groupKeyFunc(res, s.GroupBy, &groupErr)
 		var specs []core.AggregateSpec
 		var outs []struct {
 			isGroup bool
@@ -561,6 +550,24 @@ func resolveJoinCols(s *Select, lt, rt *core.Table) (string, string, error) {
 		return r.Column, l.Column, nil
 	}
 	return "", "", fmt.Errorf("sql: cannot resolve join columns %q/%q", l.Column, r.Column)
+}
+
+// groupKeyFunc compiles the GROUP BY expression into a core.GroupKey.
+// Like resolver.pred, the error capture is mutex-guarded because the
+// parallel grouped-aggregation operator calls it from several workers.
+func groupKeyFunc(res *resolver, e Expr, errOut *error) core.GroupKey {
+	var mu sync.Mutex
+	return func(r table.Row) table.Value {
+		v, err := res.eval(e, r)
+		if err != nil {
+			mu.Lock()
+			if *errOut == nil {
+				*errOut = err
+			}
+			mu.Unlock()
+		}
+		return v
+	}
 }
 
 func andPred(a, b table.Pred) table.Pred {

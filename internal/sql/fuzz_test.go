@@ -1,0 +1,47 @@
+package sql
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzParser asserts two properties over arbitrary input: the parser
+// never panics (it must reject, not crash — statements arrive off the
+// network), and parsing is a fixed point through rendering: any
+// statement that parses renders to SQL that reparses to a statement
+// rendering identically.
+func FuzzParser(f *testing.F) {
+	for _, seed := range []string{
+		"CREATE TABLE t (id INTEGER, name VARCHAR(16), f FLOAT, b BOOLEAN) INDEX ON id CAPACITY = 64 OBLIVIOUS INSERTS",
+		"CREATE TABLE t (k INTEGER) STORAGE = INDEXED INDEX ON k",
+		"INSERT INTO t VALUES (1, 'al''ice', 2.5, TRUE), (-2, 'bob', 0.0, FALSE)",
+		"SELECT * FROM t",
+		"SELECT a, b AS c FROM t WHERE a > 1 AND NOT b = 'x' FORCE Hash",
+		"SELECT COUNT(*), SUM(v) FROM t WHERE k >= 10 GROUP BY SUBSTR(name, 1, 3)",
+		"SELECT * FROM l JOIN r ON l.k = r.fk WHERE l.v < 9",
+		"UPDATE t SET v = v + 1, w = 'q' WHERE k % 2 = 0",
+		"DELETE FROM t WHERE NOT (a OR b)",
+		"DROP TABLE t;",
+		"SELECT 1.5 + -2 * (3 / 4) FROM t",
+		"-- comment\nSELECT * FROM t",
+		"SELECT SUM() FROM t",
+		"INSERT INTO t VALUES (0.0)",
+		"'",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src) // must never panic
+		if err != nil {
+			return
+		}
+		s1 := stmt.(fmt.Stringer).String()
+		stmt2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("rendering of %q does not reparse: %q: %v", src, s1, err)
+		}
+		if s2 := stmt2.(fmt.Stringer).String(); s1 != s2 {
+			t.Fatalf("parse→String not a fixed point for %q:\n  first:  %q\n  second: %q", src, s1, s2)
+		}
+	})
+}

@@ -79,8 +79,12 @@ func (l *lexer) skipSpace() {
 	}
 }
 
+// isIdentStart admits ASCII letters and underscore only. The lexer
+// walks bytes, so admitting non-ASCII "letters" byte-wise would split
+// multi-byte runes and let invalid UTF-8 into identifiers (where e.g.
+// strings.ToUpper would rewrite it to U+FFFD and break round-trips).
 func isIdentStart(c rune) bool {
-	return unicode.IsLetter(c) || c == '_'
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
 }
 
 func (l *lexer) lexIdent() {

@@ -354,6 +354,9 @@ func (p *parser) selectItem() (SelectItem, error) {
 		if kind, isAgg := aggKeywords[strings.ToUpper(call.Name)]; isAgg {
 			agg := &AggItem{Kind: kind}
 			if kind != exec.AggCount {
+				if len(call.Args) != 1 {
+					return SelectItem{}, fmt.Errorf("sql: %s takes exactly one column name", call.Name)
+				}
 				cr, ok := call.Args[0].(*ColumnRef)
 				if !ok {
 					return SelectItem{}, fmt.Errorf("sql: %s takes a column name", call.Name)

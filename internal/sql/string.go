@@ -1,0 +1,212 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oblidb/internal/core"
+	"oblidb/internal/table"
+)
+
+// Statement and expression rendering. The invariant — enforced by
+// FuzzParser — is that String() of any parsed statement reparses to a
+// statement that renders identically: parse → String → parse is a
+// fixed point. Rendering is fully parenthesized, so no precedence
+// reasoning is needed.
+
+// String renders the statement as parseable SQL.
+func (s *CreateTable) String() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(s.Name)
+	sb.WriteString(" (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteByte(' ')
+		switch c.Kind {
+		case table.KindInt:
+			sb.WriteString("INTEGER")
+		case table.KindFloat:
+			sb.WriteString("FLOAT")
+		case table.KindBool:
+			sb.WriteString("BOOLEAN")
+		default:
+			fmt.Fprintf(&sb, "VARCHAR(%d)", c.Width)
+		}
+	}
+	sb.WriteString(")")
+	if s.Kind != core.KindFlat {
+		sb.WriteString(" STORAGE = ")
+		sb.WriteString(strings.ToUpper(s.Kind.String()))
+	}
+	if s.IndexCol != "" {
+		sb.WriteString(" INDEX ON ")
+		sb.WriteString(s.IndexCol)
+	}
+	if s.Capacity != 0 {
+		fmt.Fprintf(&sb, " CAPACITY = %d", s.Capacity)
+	}
+	if s.ObliviousI {
+		sb.WriteString(" OBLIVIOUS INSERTS")
+	}
+	return sb.String()
+}
+
+// String renders the statement as parseable SQL.
+func (s *Insert) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(s.Name)
+	sb.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(valueSQL(v))
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// String renders the statement as parseable SQL.
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Star || len(s.Items) == 0 {
+		sb.WriteByte('*')
+	} else {
+		for i, item := range s.Items {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(exprSQL(item.Expr))
+			if item.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(item.Alias)
+			}
+		}
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.From)
+	if s.Join != nil {
+		sb.WriteString(" JOIN ")
+		sb.WriteString(s.Join.Right)
+		sb.WriteString(" ON ")
+		sb.WriteString(columnRefSQL(s.Join.LeftCol))
+		sb.WriteString(" = ")
+		sb.WriteString(columnRefSQL(s.Join.RightCol))
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(exprSQL(s.Where))
+	}
+	if s.GroupBy != nil {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(exprSQL(s.GroupBy))
+	}
+	if s.Force != nil {
+		sb.WriteString(" FORCE ")
+		sb.WriteString(s.Force.String())
+	}
+	return sb.String()
+}
+
+// String renders the statement as parseable SQL.
+func (s *Update) String() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE ")
+	sb.WriteString(s.Name)
+	sb.WriteString(" SET ")
+	for i, set := range s.Sets {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(set.Column)
+		sb.WriteString(" = ")
+		sb.WriteString(exprSQL(set.Value))
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(exprSQL(s.Where))
+	}
+	return sb.String()
+}
+
+// String renders the statement as parseable SQL.
+func (s *Delete) String() string {
+	out := "DELETE FROM " + s.Name
+	if s.Where != nil {
+		out += " WHERE " + exprSQL(s.Where)
+	}
+	return out
+}
+
+// String renders the statement as parseable SQL.
+func (s *DropTable) String() string { return "DROP TABLE " + s.Name }
+
+// exprSQL renders an expression, fully parenthesized.
+func exprSQL(e Expr) string {
+	switch x := e.(type) {
+	case *Literal:
+		return valueSQL(x.Val)
+	case *ColumnRef:
+		return columnRefSQL(x)
+	case *Binary:
+		return "(" + exprSQL(x.L) + " " + x.Op + " " + exprSQL(x.R) + ")"
+	case *Unary:
+		if x.Op == "NOT" {
+			return "NOT (" + exprSQL(x.X) + ")"
+		}
+		return x.Op + "(" + exprSQL(x.X) + ")"
+	case *Call:
+		if len(x.Args) == 0 {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprSQL(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}
+
+func columnRefSQL(c *ColumnRef) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// valueSQL renders a literal so that it reparses to the same value AND
+// the same kind: floats always carry a decimal point (the lexer has no
+// exponent syntax), strings double their quotes.
+func valueSQL(v table.Value) string {
+	switch v.Kind {
+	case table.KindInt:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case table.KindFloat:
+		s := strconv.FormatFloat(v.AsFloat(), 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	case table.KindBool:
+		if v.AsBool() {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "'" + strings.ReplaceAll(v.AsString(), "'", "''") + "'"
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"oblidb/internal/enclave"
 	"oblidb/internal/table"
+	"oblidb/internal/trace"
 )
 
 // Flat is a flat-method table: capacity sealed record blocks in untrusted
@@ -66,6 +67,17 @@ func (f *Flat) Store() *enclave.Store { return f.store }
 // ReadBlock decrypts block i, returning its row and used flag.
 func (f *Flat) ReadBlock(i int) (table.Row, bool, error) {
 	plain, err := f.store.Read(i)
+	if err != nil {
+		return nil, false, err
+	}
+	return f.schema.DecodeRecord(plain)
+}
+
+// ReadBlockVia is ReadBlock with the untrusted access recorded on a
+// worker enclave's tracer (see enclave.Store.ReadVia); partition views
+// use it so concurrent workers never touch a shared tracer.
+func (f *Flat) ReadBlockVia(via *enclave.Enclave, r trace.Region, i int) (table.Row, bool, error) {
+	plain, err := f.store.ReadVia(via, r, i)
 	if err != nil {
 		return nil, false, err
 	}

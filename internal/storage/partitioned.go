@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"fmt"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/table"
+	"oblidb/internal/trace"
+)
+
+// Partitioned splits a flat table's block array into P equal padded
+// partitions for partition-parallel operators. The split is purely a
+// view: partition p covers blocks [p·S, (p+1)·S) of the source, where
+// S = ceil(capacity/P), and indices past the source capacity read as
+// padding (an unused record) without touching untrusted memory. Both P
+// and S are functions of the (public) table size alone, so the layout
+// leaks nothing beyond P itself.
+//
+// Each partition reads the shared source through its own worker
+// enclave: the access lands on that worker's tracer — the adversarial
+// view of one core — and decryption uses the worker's sealer, so P
+// goroutines can scan their partitions concurrently. (Concurrent reads
+// of an enclave.Store are safe while nothing writes it; oblivious
+// operators never write their input.)
+type Partitioned struct {
+	src     *Flat
+	parts   []*PartitionView
+	partLen int
+}
+
+// NewPartitioned builds the P-way partitioned view of src, one
+// partition per worker enclave.
+func NewPartitioned(src *Flat, workers []*enclave.Enclave) (*Partitioned, error) {
+	p := len(workers)
+	if p < 1 {
+		return nil, fmt.Errorf("storage: partitioning %q needs at least one worker", src.Name())
+	}
+	partLen := (src.Capacity() + p - 1) / p
+	pt := &Partitioned{src: src, partLen: partLen}
+	for i, w := range workers {
+		view := &PartitionView{
+			src:  src,
+			via:  w,
+			lo:   i * partLen,
+			n:    partLen,
+			part: i,
+		}
+		if tr := w.Tracer(); tr != nil {
+			view.region = tr.Region(fmt.Sprintf("%s.part%d", src.Name(), i))
+		}
+		pt.parts = append(pt.parts, view)
+	}
+	return pt, nil
+}
+
+// NumPartitions returns P.
+func (p *Partitioned) NumPartitions() int { return len(p.parts) }
+
+// PartLen returns S, the padded per-partition block count.
+func (p *Partitioned) PartLen() int { return p.partLen }
+
+// Part returns partition i's view (an operator input).
+func (p *Partitioned) Part(i int) *PartitionView { return p.parts[i] }
+
+// Source returns the underlying flat table.
+func (p *Partitioned) Source() *Flat { return p.src }
+
+// PartitionView is one partition: an exec.Input over a block range of
+// the source table, reading through one worker enclave.
+type PartitionView struct {
+	src    *Flat
+	via    *enclave.Enclave
+	region trace.Region
+	lo     int
+	n      int
+	part   int
+}
+
+// Schema describes the rows (the source schema).
+func (v *PartitionView) Schema() *table.Schema { return v.src.Schema() }
+
+// Blocks is the padded partition size S — identical for every
+// partition, whatever the data.
+func (v *PartitionView) Blocks() int { return v.n }
+
+// Index reports which partition this view is.
+func (v *PartitionView) Index() int { return v.part }
+
+// ReadBlock reads partition block i, i.e. source block lo+i. Padding
+// blocks past the source capacity decode as unused records without an
+// untrusted access; whether index i is padding is a function of the
+// public sizes only.
+func (v *PartitionView) ReadBlock(i int) (table.Row, bool, error) {
+	if i < 0 || i >= v.n {
+		return nil, false, fmt.Errorf("storage: partition %d read out of range: %d of %d", v.part, i, v.n)
+	}
+	abs := v.lo + i
+	if abs >= v.src.Capacity() {
+		return nil, false, nil
+	}
+	return v.src.ReadBlockVia(v.via, v.region, abs)
+}
+
+// RangeWriter gives one worker write access to a disjoint block range
+// [lo, lo+n) of a shared output table: sealing runs on the worker's
+// enclave and the accesses land on its tracer, so P workers can fill P
+// disjoint ranges of one output concurrently with no combine pass
+// afterwards. The caller guarantees ranges do not overlap and that
+// nobody reads the table until the workers join; row accounting
+// (BumpRows) stays with the caller.
+type RangeWriter struct {
+	f      *Flat
+	via    *enclave.Enclave
+	region trace.Region
+	lo, n  int
+	buf    []byte
+}
+
+// RangeWriter creates a writer for blocks [lo, lo+n) of f through
+// worker enclave w (partition index part names the trace region).
+func (f *Flat) RangeWriter(w *enclave.Enclave, part, lo, n int) *RangeWriter {
+	rw := &RangeWriter{f: f, via: w, lo: lo, n: n, buf: make([]byte, f.schema.RecordSize())}
+	if tr := w.Tracer(); tr != nil {
+		rw.region = tr.Region(fmt.Sprintf("%s.out%d", f.name, part))
+	}
+	return rw
+}
+
+// SetRow writes a row (or dummy) to range block i, i.e. table block
+// lo+i.
+func (w *RangeWriter) SetRow(i int, r table.Row, used bool) error {
+	if i < 0 || i >= w.n {
+		return fmt.Errorf("storage: range write out of range: %d of %d", i, w.n)
+	}
+	var err error
+	if used {
+		err = w.f.schema.EncodeRecord(w.buf, r)
+	} else {
+		err = w.f.schema.EncodeDummy(w.buf)
+	}
+	if err != nil {
+		return err
+	}
+	return w.f.store.WriteVia(w.via, w.region, w.lo+i, w.buf)
+}
+
+// ReadBlock reads range block i back (the read-modify half of operators
+// like Large's clearing pass), traced on the worker.
+func (w *RangeWriter) ReadBlock(i int) (table.Row, bool, error) {
+	if i < 0 || i >= w.n {
+		return nil, false, fmt.Errorf("storage: range read out of range: %d of %d", i, w.n)
+	}
+	return w.f.ReadBlockVia(w.via, w.region, w.lo+i)
+}
+
+// FullView wraps an entire flat table as a single worker-read view —
+// the broadcast side of a parallel join, where every worker streams the
+// same (small) table through its own enclave.
+func FullView(src *Flat, w *enclave.Enclave, part int) *PartitionView {
+	v := &PartitionView{src: src, via: w, lo: 0, n: src.Capacity(), part: part}
+	if tr := w.Tracer(); tr != nil {
+		v.region = tr.Region(fmt.Sprintf("%s.bcast%d", src.Name(), part))
+	}
+	return v
+}

@@ -14,9 +14,11 @@
 package trace
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -202,6 +204,32 @@ func (t *Tracer) CanonicalFingerprint() [32]byte {
 		buf[4] = byte(e.Op)
 		binary.LittleEndian.PutUint32(buf[5:9], e.Index)
 		h.Write(buf[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// MultisetFingerprint digests a parallel execution observed through
+// per-worker tracers. Each worker's trace is reduced to its canonical
+// fingerprint, the fingerprints are sorted, and the sorted sequence is
+// hashed. The result is therefore independent of which worker ran on
+// which OS thread and of how the scheduler interleaved them — the
+// adversary sees per-core access streams, and obliviousness of a
+// partition-parallel operator is the statement that this multiset of
+// streams is input-independent for fixed public parameters (partition
+// count P and partition sizes).
+func MultisetFingerprint(workers []*Tracer) [32]byte {
+	prints := make([][32]byte, len(workers))
+	for i, w := range workers {
+		prints[i] = w.CanonicalFingerprint()
+	}
+	sort.Slice(prints, func(i, j int) bool {
+		return bytes.Compare(prints[i][:], prints[j][:]) < 0
+	})
+	h := sha256.New()
+	for _, p := range prints {
+		h.Write(p[:])
 	}
 	var out [32]byte
 	h.Sum(out[:0])

@@ -185,3 +185,39 @@ func TestRegionsIndependent(t *testing.T) {
 		t.Fatal("accesses to different regions compared equal")
 	}
 }
+
+func TestMultisetFingerprintOrderIndependent(t *testing.T) {
+	mk := func(indices ...int) *Tracer {
+		tr := New()
+		r := tr.Region("part")
+		for _, i := range indices {
+			tr.Record(r, Read, i)
+		}
+		return tr
+	}
+	a := []*Tracer{mk(0, 1, 2), mk(3, 4), mk(5)}
+	b := []*Tracer{mk(5), mk(0, 1, 2), mk(3, 4)} // same traces, permuted workers
+	if MultisetFingerprint(a) != MultisetFingerprint(b) {
+		t.Fatal("multiset fingerprint depends on worker order")
+	}
+	c := []*Tracer{mk(5), mk(0, 1, 2), mk(3, 9)} // one event differs
+	if MultisetFingerprint(a) == MultisetFingerprint(c) {
+		t.Fatal("multiset fingerprint missed a differing trace")
+	}
+}
+
+func TestMultisetFingerprintCanonicalizesRegions(t *testing.T) {
+	// Two workers that allocate fresh regions (different ids, same
+	// pattern) must fingerprint equal — region identity is canonicalized
+	// per worker by first appearance, like CanonicalFingerprint.
+	a := New()
+	a.Region("scratch") // unused extra region shifts ids
+	ra := a.Region("part")
+	a.Record(ra, Write, 7)
+	b := New()
+	rb := b.Region("part")
+	b.Record(rb, Write, 7)
+	if MultisetFingerprint([]*Tracer{a}) != MultisetFingerprint([]*Tracer{b}) {
+		t.Fatal("multiset fingerprint not canonical over region ids")
+	}
+}

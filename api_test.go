@@ -1,0 +1,182 @@
+package oblidb
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"oblidb/internal/table"
+)
+
+func apiDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := db.ExecContext(ctx, `CREATE TABLE users (id INTEGER, name VARCHAR(16), age INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx, `INSERT INTO users VALUES (?, ?, ?), (?, ?, ?), (?, ?, ?)`,
+		1, "alice", 34, 2, "bob", 28, 3, "carol", 41); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQueryRowsIteration(t *testing.T) {
+	db := apiDB(t)
+	rows, err := db.Query(context.Background(), `SELECT name, age FROM users WHERE age > $1`, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	got := map[string]int64{}
+	for rows.Next() {
+		var name string
+		var age int64
+		if err := rows.Scan(&name, &age); err != nil {
+			t.Fatal(err)
+		}
+		got[name] = age
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["alice"] != 34 || got["carol"] != 41 {
+		t.Fatalf("got %v", got)
+	}
+	// Scan after exhaustion must error, not panic.
+	if err := rows.Scan(new(string), new(int64)); err == nil {
+		t.Fatal("Scan after exhausted Next unexpectedly succeeded")
+	}
+}
+
+func TestPreparedReuse(t *testing.T) {
+	db := apiDB(t)
+	st, err := db.Prepare(`SELECT name FROM users WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 1 {
+		t.Fatalf("NumParams = %d", st.NumParams())
+	}
+	want := map[int64]string{1: "alice", 2: "bob", 3: "carol"}
+	for id, name := range want {
+		rows, err := st.Query(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("no row for id %d", id)
+		}
+		var got string
+		if err := rows.Scan(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got != name {
+			t.Fatalf("id %d: got %q want %q", id, got, name)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if _, err := st.Exec(int64(1)); err == nil {
+		t.Fatal("Exec on closed statement unexpectedly succeeded")
+	}
+}
+
+func TestQueryRowAndNoRows(t *testing.T) {
+	db := apiDB(t)
+	ctx := context.Background()
+	var name string
+	if err := db.QueryRow(ctx, `SELECT name FROM users WHERE id = $1`, 2).Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name != "bob" {
+		t.Fatalf("got %q", name)
+	}
+	err := db.QueryRow(ctx, `SELECT name FROM users WHERE id = $1`, 99).Scan(&name)
+	if !errors.Is(err, ErrNoRows) {
+		t.Fatalf("want ErrNoRows, got %v", err)
+	}
+}
+
+func TestContextCancellationBetweenStatements(t *testing.T) {
+	db := apiDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.ExecContext(ctx, `SELECT * FROM users`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecContext on canceled ctx: %v", err)
+	}
+	st, err := db.Prepare(`SELECT * FROM users WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExecContext(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stmt.ExecContext on canceled ctx: %v", err)
+	}
+}
+
+func TestExecCompatibilityWrapper(t *testing.T) {
+	db := apiDB(t)
+	res, err := db.Exec(`SELECT name FROM users WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "alice" {
+		t.Fatalf("got %v", res.Rows)
+	}
+	// A parameterized statement through the no-args wrapper is a clean
+	// arity error.
+	if _, err := db.Exec(`SELECT name FROM users WHERE id = ?`); err == nil {
+		t.Fatal("Exec of parameterized statement without args unexpectedly succeeded")
+	}
+}
+
+func TestArgumentConversions(t *testing.T) {
+	db := apiDB(t)
+	ctx := context.Background()
+	// int widths, float32, []byte all convert through table.FromAny.
+	if _, err := db.ExecContext(ctx, `INSERT INTO users VALUES (?, ?, ?)`, int32(4), []byte("dave"), uint16(23)); err != nil {
+		t.Fatal(err)
+	}
+	var age int
+	if err := db.QueryRow(ctx, `SELECT age FROM users WHERE name = ?`, "dave").Scan(&age); err != nil {
+		t.Fatal(err)
+	}
+	if age != 23 {
+		t.Fatalf("age = %d", age)
+	}
+	// Unsupported type: clean error.
+	if _, err := db.ExecContext(ctx, `SELECT * FROM users WHERE id = ?`, struct{}{}); err == nil {
+		t.Fatal("binding a struct unexpectedly succeeded")
+	}
+	// Values scan: raw table.Value destination.
+	var v table.Value
+	if err := db.QueryRow(ctx, `SELECT age FROM users WHERE id = $1`, 1).Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != table.KindInt || v.AsInt() != 34 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestPlanCacheStatsSurface(t *testing.T) {
+	db := apiDB(t)
+	ctx := context.Background()
+	_, _, misses0 := db.PlanCacheStats()
+	for i := 0; i < 3; i++ {
+		if _, err := db.ExecContext(ctx, `SELECT * FROM users WHERE id = ?`, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, hits, misses := db.PlanCacheStats()
+	if hits < 2 {
+		t.Fatalf("expected ≥2 plan-cache hits, got %d (misses %d→%d)", hits, misses0, misses)
+	}
+}

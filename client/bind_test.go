@@ -1,0 +1,200 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"oblidb/client"
+	"oblidb/internal/server"
+)
+
+func TestBoundArgsRoundTrip(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, stmt := range []string{
+		"CREATE TABLE t (k INTEGER, v INTEGER, name VARCHAR(16))",
+		"INSERT INTO t VALUES (1, 10, 'alice'), (2, 20, 'bob'), (3, 30, 'carol')",
+	} {
+		if _, err := c.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+
+	st, err := c.Prepare("SELECT name FROM t WHERE k = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", st.NumParams())
+	}
+	want := map[int]string{1: "alice", 2: "bob", 3: "carol"}
+	for k, name := range want {
+		res, err := st.Exec(k)
+		if err != nil {
+			t.Fatalf("exec(%d): %v", k, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].AsString() != name {
+			t.Fatalf("exec(%d) = %v, want %q", k, res.Rows, name)
+		}
+	}
+
+	// Arity errors are client-side and instant — no epoch slot spent.
+	if _, err := st.Exec(); err == nil || !strings.Contains(err.Error(), "parameter") {
+		t.Fatalf("no-arg exec of 1-param statement: %v", err)
+	}
+	if _, err := st.Exec(1, 2); err == nil || !strings.Contains(err.Error(), "parameter") {
+		t.Fatalf("2-arg exec of 1-param statement: %v", err)
+	}
+
+	// An INSERT through bound args, with mixed types.
+	ins, err := c.Prepare("INSERT INTO t VALUES (?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	if _, err := ins.Exec(4, 40, "dave"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Exec(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "dave" {
+		t.Fatalf("bound insert not visible: %v", res.Rows)
+	}
+
+	// Unparameterized Exec of a placeholder statement is rejected by
+	// the server with a helpful error.
+	if _, err := c.Exec("SELECT * FROM t WHERE k = ?"); err == nil ||
+		!strings.Contains(err.Error(), "prepare") {
+		t.Fatalf("TExec of parameterized statement: %v", err)
+	}
+}
+
+func TestStmtCloseIdempotentAndAfterConnLoss(t *testing.T) {
+	srv, err := server.New(server.Config{EpochSize: 4, EpochInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.ListenAndServe("127.0.0.1:0")
+	for i := 0; srv.Addr() == nil; i++ {
+		if i > 2000 {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("CREATE TABLE s (k INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Prepare("SELECT COUNT(*) FROM s WHERE k = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double Close: second call is a no-op, same result.
+	if err := st.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Close after connection loss must not error or panic.
+	st2, err := c.Prepare("SELECT COUNT(*) FROM s WHERE k = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the reader goroutine a moment to mark the connection dead.
+	for i := 0; i < 2000; i++ {
+		if _, err := st2.Exec(1); err != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatalf("Close after connection loss: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatalf("second Close after connection loss: %v", err)
+	}
+}
+
+func TestConnCloseReleasesHandles(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("CREATE TABLE r (k INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	var stmts []*client.Stmt
+	for i := 0; i < 3; i++ {
+		st, err := c.Prepare("SELECT COUNT(*) FROM r WHERE k = $1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts = append(stmts, st)
+	}
+	// Conn.Close sends best-effort TClosePrepared for each open handle,
+	// then closes the socket.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Statements closed via the connection: Close afterwards stays nil.
+	for i, st := range stmts {
+		if err := st.Close(); err != nil {
+			t.Fatalf("stmt %d Close after Conn.Close: %v", i, err)
+		}
+	}
+}
+
+func TestExecContextCancellation(t *testing.T) {
+	// A manual-mode server never runs an epoch on its own, so the
+	// statement stays queued and the context always wins the race.
+	srv, err := server.New(server.Config{EpochSize: 1, Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.ListenAndServe("127.0.0.1:0")
+	for i := 0; srv.Addr() == nil; i++ {
+		if i > 2000 {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.ExecContext(ctx, "SELECT 1 FROM oblidb_pad")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not unblock the round trip promptly")
+	}
+}

@@ -1,6 +1,7 @@
 // Package client is the network client for an ObliDB server
-// (cmd/oblidb-server): Dial a server, Exec SQL, Prepare statements for
-// repeated execution, and read server Stats.
+// (cmd/oblidb-server): Dial a server, Exec SQL, Prepare parameterized
+// statements for repeated execution with bound arguments, and read
+// server Stats.
 //
 // A Conn is safe for concurrent use. Each request carries an id, so any
 // number of goroutines can have statements in flight on one connection;
@@ -12,14 +13,21 @@
 //	if err != nil { ... }
 //	defer c.Close()
 //	c.Exec(`CREATE TABLE t (id INTEGER, name VARCHAR(16))`)
-//	res, err := c.Exec(`SELECT name FROM t WHERE id = 2`)
+//	st, err := c.Prepare(`SELECT name FROM t WHERE id = $1`)
+//	res, err := st.Exec(2)
+//
+// Prepared statements separate the public statement shape (sent once,
+// at Prepare) from the private argument values, which travel only
+// inside the encrypted channel and bind inside the enclave.
 package client
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
 
+	"oblidb/internal/table"
 	"oblidb/internal/wire"
 )
 
@@ -38,7 +46,8 @@ type Conn struct {
 	mu      sync.Mutex
 	nextID  uint32
 	pending map[uint32]chan *wire.Response
-	err     error // terminal receive error, sticky
+	stmts   map[uint32]struct{} // open prepared handles
+	err     error               // terminal receive error, sticky
 }
 
 // Dial connects to an ObliDB server at addr ("host:port").
@@ -47,7 +56,11 @@ func Dial(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{conn: nc, pending: make(map[uint32]chan *wire.Response)}
+	c := &Conn{
+		conn:    nc,
+		pending: make(map[uint32]chan *wire.Response),
+		stmts:   make(map[uint32]struct{}),
+	}
 	go c.receive()
 	return c, nil
 }
@@ -84,8 +97,10 @@ func (c *Conn) receive() {
 	}
 }
 
-// roundTrip sends one request and waits for its response.
-func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
+// roundTrip sends one request and waits for its response, honoring ctx
+// while waiting: on cancellation the pending slot is abandoned (the
+// statement may still execute server-side; only the reply is dropped).
+func (c *Conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	ch := make(chan *wire.Response, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -109,24 +124,37 @@ func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
 		return nil, err
 	}
 
-	resp, ok := <-ch
-	if !ok {
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		if resp.Type == wire.TError {
+			return nil, fmt.Errorf("oblidb: %s", resp.Err)
+		}
+		return resp, nil
+	case <-ctx.Done():
 		c.mu.Lock()
-		err := c.err
+		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return nil, err
+		return nil, ctx.Err()
 	}
-	if resp.Type == wire.TError {
-		return nil, fmt.Errorf("oblidb: %s", resp.Err)
-	}
-	return resp, nil
 }
 
-// Exec runs one SQL statement on the server and returns its result.
-// The call blocks until the server's epoch scheduler executes the
-// statement.
+// Exec runs one SQL statement (without placeholders) on the server and
+// returns its result. The call blocks until the server's epoch
+// scheduler executes the statement.
 func (c *Conn) Exec(sql string) (*Result, error) {
-	resp, err := c.roundTrip(&wire.Request{Type: wire.TExec, SQL: sql})
+	return c.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec honoring ctx while waiting for the epoch
+// scheduler.
+func (c *Conn) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Type: wire.TExec, SQL: sql})
 	if err != nil {
 		return nil, err
 	}
@@ -136,29 +164,64 @@ func (c *Conn) Exec(sql string) (*Result, error) {
 	return resp.Result, nil
 }
 
-// Stmt is a server-side prepared statement.
+// Stmt is a server-side prepared statement. It is safe for concurrent
+// use; Close is idempotent and safe after connection loss.
 type Stmt struct {
-	c      *Conn
-	handle uint32
-	sql    string
+	c         *Conn
+	handle    uint32
+	sql       string
+	numParams int
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Prepare parses sql on the server and returns a handle for repeated
-// execution without re-parsing.
+// execution without re-parsing. The statement may contain ? / $n
+// placeholders, bound per execution by Exec's arguments.
 func (c *Conn) Prepare(sql string) (*Stmt, error) {
-	resp, err := c.roundTrip(&wire.Request{Type: wire.TPrepare, SQL: sql})
+	return c.PrepareContext(context.Background(), sql)
+}
+
+// PrepareContext is Prepare honoring ctx.
+func (c *Conn) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Type: wire.TPrepare, SQL: sql})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Type != wire.TPrepared {
 		return nil, fmt.Errorf("oblidb client: unexpected response type %d", resp.Type)
 	}
-	return &Stmt{c: c, handle: resp.Handle, sql: sql}, nil
+	st := &Stmt{c: c, handle: resp.Handle, sql: sql, numParams: int(resp.NumParams)}
+	c.mu.Lock()
+	c.stmts[st.handle] = struct{}{}
+	c.mu.Unlock()
+	return st, nil
 }
 
-// Exec runs the prepared statement.
-func (st *Stmt) Exec() (*Result, error) {
-	resp, err := st.c.roundTrip(&wire.Request{Type: wire.TExecPrepared, Handle: st.handle})
+// Exec runs the prepared statement with the given arguments bound to
+// its placeholders. Accepted argument types are those of
+// table.FromAny: Go integers, floats, string, []byte, bool, and nil.
+func (st *Stmt) Exec(args ...any) (*Result, error) {
+	return st.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec honoring ctx while waiting for the epoch
+// scheduler.
+func (st *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
+	vals := make([]table.Value, len(args))
+	for i, a := range args {
+		v, err := table.FromAny(a)
+		if err != nil {
+			return nil, fmt.Errorf("oblidb client: argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	if len(vals) != st.numParams {
+		return nil, fmt.Errorf("oblidb client: statement has %d parameter(s), got %d argument(s)",
+			st.numParams, len(vals))
+	}
+	resp, err := st.c.roundTrip(ctx, &wire.Request{Type: wire.TExecPrepared, Handle: st.handle, Args: vals})
 	if err != nil {
 		return nil, err
 	}
@@ -168,21 +231,45 @@ func (st *Stmt) Exec() (*Result, error) {
 	return resp.Result, nil
 }
 
+// NumParams reports how many arguments Exec requires.
+func (st *Stmt) NumParams() int { return st.numParams }
+
 // String returns the statement's SQL.
 func (st *Stmt) String() string { return st.sql }
 
-// Close releases the server-side handle. The statement must not be
-// executed afterwards.
+// Close releases the server-side handle. It is idempotent, and safe
+// after connection loss (the server released the handle with the
+// session). The statement must not be executed afterwards.
 func (st *Stmt) Close() error {
-	payload := wire.EncodeRequest(&wire.Request{Type: wire.TClosePrepared, Handle: st.handle})
-	st.c.wmu.Lock()
-	defer st.c.wmu.Unlock()
-	return wire.WriteFrame(st.c.conn, payload)
+	st.closeOnce.Do(func() {
+		st.c.mu.Lock()
+		_, registered := st.c.stmts[st.handle]
+		delete(st.c.stmts, st.handle)
+		lost := st.c.err != nil
+		st.c.mu.Unlock()
+		if !registered || lost {
+			// Either Conn.Close already released the handle, or the
+			// session is gone and took its prepared handles with it;
+			// nothing to release either way.
+			return
+		}
+		st.closeErr = st.c.sendClose(st.handle)
+	})
+	return st.closeErr
+}
+
+// sendClose writes a TClosePrepared frame (fire-and-forget; the server
+// does not answer it).
+func (c *Conn) sendClose(handle uint32) error {
+	payload := wire.EncodeRequest(&wire.Request{Type: wire.TClosePrepared, Handle: handle})
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.conn, payload)
 }
 
 // Stats fetches the server's public counters.
 func (c *Conn) Stats() (Stats, error) {
-	resp, err := c.roundTrip(&wire.Request{Type: wire.TStats})
+	resp, err := c.roundTrip(context.Background(), &wire.Request{Type: wire.TStats})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -192,7 +279,23 @@ func (c *Conn) Stats() (Stats, error) {
 	return resp.Stats, nil
 }
 
-// Close closes the connection; in-flight requests fail.
+// Close releases every outstanding prepared handle server-side
+// (best-effort) and closes the connection; in-flight requests fail.
 func (c *Conn) Close() error {
+	c.mu.Lock()
+	handles := make([]uint32, 0, len(c.stmts))
+	for h := range c.stmts {
+		handles = append(handles, h)
+	}
+	c.stmts = make(map[uint32]struct{})
+	lost := c.err != nil
+	c.mu.Unlock()
+	if !lost {
+		for _, h := range handles {
+			if err := c.sendClose(h); err != nil {
+				break // the socket is going away anyway
+			}
+		}
+	}
 	return c.conn.Close()
 }

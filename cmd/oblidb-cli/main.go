@@ -6,6 +6,13 @@
 //	oblidb> CREATE TABLE t (id INTEGER, name VARCHAR(16)) INDEX ON id
 //	oblidb> INSERT INTO t VALUES (1, 'alice'), (2, 'bob')
 //	oblidb> SELECT * FROM t WHERE id = 2
+//	oblidb> \prepare byid SELECT name FROM t WHERE id = $1
+//	oblidb> \exec byid 1
+//
+// \prepare parses a parameterized statement shape once under a name;
+// \exec runs it with bound arguments (integers, floats, 'strings',
+// TRUE/FALSE, NULL). In connect mode the shape is prepared server-side
+// and the arguments travel as typed wire values.
 //
 // With -connect host:port the shell becomes a network client of an
 // oblidb-server instead: statements travel the wire protocol and run
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,12 +52,21 @@ func main() {
 	}
 }
 
+// localStmt is an in-process prepared statement: one parse, bound to
+// fresh arguments at each \exec.
+type localStmt struct {
+	stmt      sql.Statement
+	numParams int
+}
+
 // run drives the shell: statements read from in, results written to
 // out. main wires it to stdin/stdout; tests drive it with buffers.
 func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect string) error {
 	var db *core.DB
 	var exec *sql.Executor
 	var conn *client.Conn
+	localPrepared := make(map[string]*localStmt)
+	remotePrepared := make(map[string]*client.Stmt)
 
 	if connect != "" {
 		var err error
@@ -109,6 +126,94 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 			fmt.Fprintf(out, "  oblivious memory: %d of %d bytes in use (peak %d)\n",
 				e.Budget()-e.Available(), e.Budget(), e.PeakUsed())
 			continue
+		case line == `\prepare`:
+			fmt.Fprintln(out, `usage: \prepare name <sql>`)
+			continue
+		case line == `\exec`:
+			fmt.Fprintln(out, `usage: \exec name [arg1 arg2 ...]`)
+			continue
+		case strings.HasPrefix(line, `\prepare `):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, `\prepare `))
+			name, stmtSQL, ok := strings.Cut(rest, " ")
+			if !ok || name == "" || strings.TrimSpace(stmtSQL) == "" {
+				fmt.Fprintln(out, `usage: \prepare name <sql>`)
+				continue
+			}
+			stmtSQL = strings.TrimSpace(stmtSQL)
+			if conn != nil {
+				st, err := conn.Prepare(stmtSQL)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					continue
+				}
+				if old, exists := remotePrepared[name]; exists {
+					old.Close()
+				}
+				remotePrepared[name] = st
+				fmt.Fprintf(out, "prepared %q (%d parameter(s))\n", name, st.NumParams())
+			} else {
+				stmt, n, err := exec.Stmt(stmtSQL)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					continue
+				}
+				localPrepared[name] = &localStmt{stmt: stmt, numParams: n}
+				fmt.Fprintf(out, "prepared %q (%d parameter(s))\n", name, n)
+			}
+			continue
+		case strings.HasPrefix(line, `\exec `):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, `\exec `))
+			name, argSrc, _ := strings.Cut(rest, " ")
+			if name == "" {
+				fmt.Fprintln(out, `usage: \exec name [arg1 arg2 ...]`)
+				continue
+			}
+			args, err := parseShellArgs(argSrc)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			start := time.Now()
+			var cols []string
+			var rows []table.Row
+			if conn != nil {
+				st, ok := remotePrepared[name]
+				if !ok {
+					fmt.Fprintf(out, "error: no prepared statement %q (use \\prepare)\n", name)
+					continue
+				}
+				anyArgs := make([]any, len(args))
+				for i, v := range args {
+					anyArgs[i] = v
+				}
+				res, err := st.Exec(anyArgs...)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					continue
+				}
+				if res != nil {
+					cols, rows = res.Cols, res.Rows
+				}
+			} else {
+				st, ok := localPrepared[name]
+				if !ok {
+					fmt.Fprintf(out, "error: no prepared statement %q (use \\prepare)\n", name)
+					continue
+				}
+				res, err := exec.ExecuteBound(st.stmt, st.numParams, args)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					continue
+				}
+				if res != nil {
+					cols, rows = res.Cols, res.Rows
+				}
+			}
+			printResult(out, cols, rows)
+			if showTime {
+				fmt.Fprintf(out, "(%s)\n", time.Since(start).Round(time.Microsecond))
+			}
+			continue
 		case line == `\stats`:
 			if conn == nil {
 				fmt.Fprintln(out, `  \stats is only available in connect mode`)
@@ -159,6 +264,71 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 	}
 }
 
+// parseShellArgs parses \exec arguments: integers, floats, 'quoted
+// strings' (with ” escaping), TRUE/FALSE, and NULL, separated by
+// whitespace.
+func parseShellArgs(src string) ([]table.Value, error) {
+	var args []table.Value
+	i := 0
+	for {
+		for i < len(src) && (src[i] == ' ' || src[i] == '\t') {
+			i++
+		}
+		if i >= len(src) {
+			return args, nil
+		}
+		if src[i] == '\'' {
+			var sb strings.Builder
+			i++
+			for {
+				if i >= len(src) {
+					return nil, fmt.Errorf("unterminated string argument")
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			args = append(args, table.Str(sb.String()))
+			continue
+		}
+		start := i
+		for i < len(src) && src[i] != ' ' && src[i] != '\t' {
+			i++
+		}
+		word := src[start:i]
+		switch strings.ToUpper(word) {
+		case "TRUE":
+			args = append(args, table.Bool(true))
+			continue
+		case "FALSE":
+			args = append(args, table.Bool(false))
+			continue
+		case "NULL":
+			args = append(args, table.Null())
+			continue
+		}
+		if strings.ContainsAny(word, ".eE") && word != "-" {
+			if f, err := strconv.ParseFloat(word, 64); err == nil {
+				args = append(args, table.Float(f))
+				continue
+			}
+		}
+		if n, err := strconv.ParseInt(word, 10, 64); err == nil {
+			args = append(args, table.Int(n))
+			continue
+		}
+		return nil, fmt.Errorf("cannot parse argument %q (quote strings with '...')", word)
+	}
+}
+
 func printResult(out io.Writer, cols []string, rows []table.Row) {
 	if len(cols) == 0 {
 		return
@@ -189,12 +359,16 @@ func printHelp(out io.Writer, connected bool) {
   UPDATE t SET col = expr [WHERE expr]
   DELETE FROM t [WHERE expr]
   DROP TABLE t
-Types: INTEGER, FLOAT, VARCHAR(n), BOOLEAN, DATE (stored as ISO string)
+Types: INTEGER, FLOAT, VARCHAR(n), BOOLEAN, DATE (stored as days since epoch)
 Aggregates: COUNT(*), SUM, AVG, MIN, MAX; functions: SUBSTR(s, start, len)
+Statements take ? or $n placeholders when prepared:
+  \prepare name <sql>            parse once, keep under a name
+  \exec name arg1 arg2 ...       run it with bound arguments
+                                 (args: 42, 1.5, 'text', TRUE, NULL)
 `)
 	if connected {
-		fmt.Fprintln(out, `Meta: \stats, \q`)
+		fmt.Fprintln(out, `Meta: \prepare, \exec, \stats, \q`)
 	} else {
-		fmt.Fprintln(out, `Meta: \tables, \mem, \q`)
+		fmt.Fprintln(out, `Meta: \prepare, \exec, \tables, \mem, \q`)
 	}
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oblidb/internal/server"
+	"oblidb/internal/table"
+)
+
+// preparedScript is a session exercising \prepare and \exec: prepare a
+// parameterized select, run it with two different arguments, hit the
+// arity and unknown-name error paths, and re-prepare over a name.
+var preparedScript = strings.Join([]string{
+	"CREATE TABLE t (id INTEGER, name VARCHAR(8))",
+	"INSERT INTO t VALUES (1, 'alice'), (2, 'bob'), (3, 'carol')",
+	`\prepare byid SELECT name FROM t WHERE id = $1`,
+	`\exec byid 2`,
+	`\exec byid 3`,
+	`\exec byid`,           // arity error
+	`\exec nosuch 1`,       // unknown name
+	`\exec byid 'not done`, // bad argument syntax
+	`\prepare ins INSERT INTO t VALUES (?, ?)`,
+	`\exec ins 4 'dave'`,
+	`\exec byid 4`,
+	`\prepare byid SELECT id FROM t WHERE name = ?`, // redefine
+	`\exec byid 'alice'`,
+	`\prepare`, // usage error
+	`\exec`,    // usage error
+	`\q`,
+}, "\n") + "\n"
+
+func checkPreparedOutput(t *testing.T, out string) {
+	t.Helper()
+	for _, want := range []string{
+		`prepared "byid" (1 parameter(s))`,
+		`"bob"`,
+		`"carol"`,
+		"parameter", // arity error mentions parameters
+		`no prepared statement "nosuch"`,
+		"unterminated string argument",
+		`prepared "ins" (2 parameter(s))`,
+		`"dave"`, // bound insert visible through the prepared select
+		"1",      // id of alice after redefinition
+		`usage: \prepare name <sql>`,
+		`usage: \exec name [arg1 arg2 ...]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prepared session output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellPrepareExecEmbedded(t *testing.T) {
+	checkPreparedOutput(t, driveShell(t, preparedScript, ""))
+}
+
+func TestShellPrepareExecConnect(t *testing.T) {
+	srv, err := server.New(server.Config{EpochSize: 4, EpochInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.ListenAndServe("127.0.0.1:0")
+	for i := 0; srv.Addr() == nil; i++ {
+		if i > 2000 {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	checkPreparedOutput(t, driveShell(t, preparedScript, srv.Addr().String()))
+}
+
+func TestParseShellArgs(t *testing.T) {
+	args, err := parseShellArgs("42 -7 1.5 'al''ice' TRUE false NULL ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []table.Value{
+		table.Int(42), table.Int(-7), table.Float(1.5),
+		table.Str("al'ice"), table.Bool(true), table.Bool(false),
+		table.Null(), table.Str(""),
+	}
+	if len(args) != len(want) {
+		t.Fatalf("got %d args, want %d: %v", len(args), len(want), args)
+	}
+	for i, w := range want {
+		if args[i].Kind != w.Kind || args[i].String() != w.String() {
+			t.Errorf("arg %d: got %s (%s), want %s (%s)", i, args[i], args[i].Kind, w, w.Kind)
+		}
+	}
+	if _, err := parseShellArgs("bareword"); err == nil {
+		t.Error("bareword argument unexpectedly parsed")
+	}
+	if _, err := parseShellArgs("'open"); err == nil {
+		t.Error("unterminated string unexpectedly parsed")
+	}
+	if args, err := parseShellArgs("   "); err != nil || len(args) != 0 {
+		t.Errorf("blank args: %v, %v", args, err)
+	}
+}

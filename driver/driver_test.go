@@ -1,0 +1,297 @@
+package driver_test
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	_ "oblidb/driver"
+	"oblidb/internal/server"
+)
+
+// startServer brings up a real oblidb-server on loopback and returns
+// its networked DSN.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := server.New(server.Config{EpochSize: 4, EpochInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	go srv.ListenAndServe("127.0.0.1:0")
+	for i := 0; srv.Addr() == nil; i++ {
+		if i > 2000 {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return "oblidb://" + srv.Addr().String()
+}
+
+// eachDSN runs a subtest against both DSN forms: a fresh in-process
+// engine and a fresh networked server.
+func eachDSN(t *testing.T, f func(t *testing.T, db *sql.DB)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		db, err := sql.Open("oblidb", "mem://")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		f(t, db)
+	})
+	t.Run("net", func(t *testing.T) {
+		db, err := sql.Open("oblidb", startServer(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		f(t, db)
+	})
+}
+
+func seed(t *testing.T, db *sql.DB) {
+	t.Helper()
+	ctx := context.Background()
+	if _, err := db.ExecContext(ctx, `CREATE TABLE users (id INTEGER, name VARCHAR(16), age INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.PrepareContext(ctx, `INSERT INTO users VALUES (?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i, u := range []struct {
+		name string
+		age  int
+	}{{"alice", 34}, {"bob", 28}, {"carol", 41}} {
+		if _, err := st.Exec(i+1, u.name, u.age); err != nil {
+			t.Fatalf("insert %s: %v", u.name, err)
+		}
+	}
+}
+
+func TestQueryContextRowsIteration(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		rows, err := db.QueryContext(context.Background(),
+			`SELECT name, age FROM users WHERE age > $1`, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		cols, err := rows.Columns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cols) != 2 || cols[0] != "name" || cols[1] != "age" {
+			t.Fatalf("columns = %v", cols)
+		}
+		got := map[string]int64{}
+		for rows.Next() {
+			var name string
+			var age int64
+			if err := rows.Scan(&name, &age); err != nil {
+				t.Fatal(err)
+			}
+			got[name] = age
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || got["alice"] != 34 || got["carol"] != 41 {
+			t.Fatalf("got %v", got)
+		}
+	})
+}
+
+func TestExecAffectedCounts(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		ctx := context.Background()
+		res, err := db.ExecContext(ctx, `UPDATE users SET age = age + 1 WHERE age < $1`, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := res.RowsAffected()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("RowsAffected = %d, want 2", n)
+		}
+		res, err = db.ExecContext(ctx, `DELETE FROM users WHERE id = ?`, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := res.RowsAffected(); n != 1 {
+			t.Fatalf("delete RowsAffected = %d, want 1", n)
+		}
+		if _, err := res.LastInsertId(); err == nil {
+			t.Fatal("LastInsertId unexpectedly supported")
+		}
+	})
+}
+
+func TestPreparedReuseThroughPool(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		st, err := db.Prepare(`SELECT name FROM users WHERE id = $1`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		want := map[int]string{1: "alice", 2: "bob", 3: "carol"}
+		for id, name := range want {
+			var got string
+			if err := st.QueryRow(id).Scan(&got); err != nil {
+				t.Fatalf("id %d: %v", id, err)
+			}
+			if got != name {
+				t.Fatalf("id %d: got %q want %q", id, got, name)
+			}
+		}
+		// Wrong arity surfaces as an error, not a panic. database/sql
+		// checks NumInput before the statement reaches the engine.
+		if _, err := st.Query(); err == nil {
+			t.Fatal("0-arg query of a 1-param statement unexpectedly succeeded")
+		}
+	})
+}
+
+func TestQueryRowNoRows(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		var name string
+		err := db.QueryRow(`SELECT name FROM users WHERE id = $1`, 99).Scan(&name)
+		if !errors.Is(err, sql.ErrNoRows) {
+			t.Fatalf("want sql.ErrNoRows, got %v", err)
+		}
+	})
+}
+
+func TestCtxCancellationBetweenStatements(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		ctx, cancel := context.WithCancel(context.Background())
+		// First statement under the live context succeeds.
+		var n int64
+		if err := db.QueryRowContext(ctx, `SELECT COUNT(*) FROM users`).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != 3 {
+			t.Fatalf("COUNT(*) = %d", n)
+		}
+		cancel()
+		// The next statement must fail with the context's error.
+		_, err := db.ExecContext(ctx, `SELECT COUNT(*) FROM users`)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	})
+}
+
+func TestTransactionsUnsupported(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		if _, err := db.Begin(); err == nil {
+			t.Fatal("Begin unexpectedly succeeded")
+		} else if !strings.Contains(err.Error(), "transactions") {
+			t.Fatalf("unhelpful Begin error: %v", err)
+		}
+	})
+}
+
+func TestPingAndPool(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		if err := db.Ping(); err != nil {
+			t.Fatal(err)
+		}
+		// Several pooled connections all see the same data.
+		seed(t, db)
+		db.SetMaxOpenConns(4)
+		errs := make(chan error, 8)
+		for i := 0; i < 8; i++ {
+			go func() {
+				var n int64
+				err := db.QueryRow(`SELECT COUNT(*) FROM users`).Scan(&n)
+				if err == nil && n != 3 {
+					err = fmt.Errorf("COUNT(*) = %d, want 3", n)
+				}
+				errs <- err
+			}()
+		}
+		for i := 0; i < 8; i++ {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestBadDSN(t *testing.T) {
+	db, err := sql.Open("oblidb", "postgres://nope")
+	if err == nil {
+		// sql.Open defers driver errors to first use.
+		err = db.Ping()
+		db.Close()
+	}
+	if err == nil {
+		t.Fatal("bad DSN accepted")
+	}
+}
+
+func TestAffectedNotSniffedFromColumnName(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		// A user query aliasing a column to "affected" is query output,
+		// not a DML outcome: RowsAffected must not report its value.
+		res, err := db.ExecContext(context.Background(),
+			`SELECT COUNT(*) AS affected FROM users WHERE age > $1`, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := res.RowsAffected(); err == nil {
+			t.Fatalf("RowsAffected on a SELECT reported %d", n)
+		}
+	})
+}
+
+func TestTimeArgumentsBindAsDates(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		ctx := context.Background()
+		if _, err := db.ExecContext(ctx, `CREATE TABLE events (day DATE, what VARCHAR(16))`); err != nil {
+			t.Fatal(err)
+		}
+		// 2024-03-01 UTC = 19783 days since the Unix epoch, the
+		// engine's DATE representation.
+		when := time.Date(2024, 3, 1, 10, 30, 0, 0, time.UTC)
+		if _, err := db.ExecContext(ctx, `INSERT INTO events VALUES (?, ?)`, when, "launch"); err != nil {
+			t.Fatal(err)
+		}
+		var day int64
+		if err := db.QueryRowContext(ctx, `SELECT day FROM events WHERE what = $1`, "launch").Scan(&day); err != nil {
+			t.Fatal(err)
+		}
+		if day != 19783 {
+			t.Fatalf("day = %d, want 19783", day)
+		}
+	})
+}
+
+func TestNamedParametersRejected(t *testing.T) {
+	db, err := sql.Open("oblidb", "mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (id INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`SELECT * FROM t WHERE id = ?`, sql.Named("id", 1)); err == nil {
+		t.Fatal("named parameter unexpectedly accepted")
+	}
+}

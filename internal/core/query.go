@@ -17,6 +17,10 @@ import (
 type Result struct {
 	Cols []string
 	Rows []table.Row
+	// Affected marks a DDL/DML outcome: the single cell is the affected
+	// row count, not query output. Consumers (the database/sql driver's
+	// RowsAffected) key on this flag rather than sniffing column names.
+	Affected bool
 }
 
 // SelectOptions configures a selection query.

@@ -31,6 +31,7 @@ import (
 
 	"oblidb/internal/core"
 	"oblidb/internal/sql"
+	"oblidb/internal/table"
 	"oblidb/internal/trace"
 	"oblidb/internal/wire"
 )
@@ -104,11 +105,16 @@ type Server struct {
 	epochMu sync.Mutex // serializes runEpoch across scheduler/RunEpoch/Close
 }
 
-// job is one client statement waiting for an epoch slot.
+// job is one client statement waiting for an epoch slot, with the
+// arguments bound to its placeholders (nil for unparameterized
+// statements). numParams is the arity computed at parse/prepare time,
+// so the epoch executor need not re-walk the AST.
 type job struct {
-	sess *session
-	id   uint32
-	stmt sql.Statement
+	sess      *session
+	id        uint32
+	stmt      sql.Statement
+	args      []table.Value
+	numParams int
 }
 
 // New opens an engine and starts the epoch scheduler. The server is
@@ -155,6 +161,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.dummy, err = sql.Parse(dummySQL); err != nil {
 		return nil, fmt.Errorf("server: dummy statement: %w", err)
+	}
+	if n := sql.NumParams(s.dummy); n != 0 {
+		return nil, fmt.Errorf("server: dummy statement has %d placeholder(s); it must be self-contained", n)
 	}
 	go s.schedule()
 	return s, nil
@@ -260,11 +269,11 @@ collect:
 func (s *Server) executeSlot(slot int, batch []*job) {
 	if slot < len(batch) {
 		j := batch[slot]
-		res, err := s.exec.ExecuteStmt(j.stmt)
+		res, err := s.exec.ExecuteBound(j.stmt, j.numParams, j.args)
 		j.sess.reply(j.id, res, err)
 		return
 	}
-	if _, err := s.exec.ExecuteStmt(s.dummy); err != nil && s.cfg.Logf != nil {
+	if _, err := s.exec.ExecuteBound(s.dummy, 0, nil); err != nil && s.cfg.Logf != nil {
 		s.cfg.Logf("server: dummy statement failed: %v", err)
 	}
 }

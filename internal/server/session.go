@@ -8,6 +8,7 @@ import (
 
 	"oblidb/internal/core"
 	"oblidb/internal/sql"
+	"oblidb/internal/table"
 	"oblidb/internal/wire"
 )
 
@@ -30,10 +31,18 @@ type session struct {
 	readDone chan struct{} // closed when the reader loop exits
 
 	// prepared is touched only by the reader goroutine.
-	prepared   map[uint32]sql.Statement
+	prepared   map[uint32]*preparedStmt
 	nextHandle uint32
 
 	closeOnce sync.Once
+}
+
+// preparedStmt is one server-side prepared statement shape: the parse
+// plus its placeholder arity, checked against every execution's bound
+// arguments before the statement reaches an epoch slot.
+type preparedStmt struct {
+	stmt      sql.Statement
+	numParams int
 }
 
 func newSession(s *Server, conn net.Conn) *session {
@@ -42,7 +51,7 @@ func newSession(s *Server, conn net.Conn) *session {
 		conn:     conn,
 		out:      make(chan *wire.Response, outBuffer),
 		readDone: make(chan struct{}),
-		prepared: make(map[uint32]sql.Statement),
+		prepared: make(map[uint32]*preparedStmt),
 	}
 }
 
@@ -102,11 +111,16 @@ func (ss *session) handle(req *wire.Request) {
 		if err == nil {
 			err = checkReserved(stmt)
 		}
+		if err == nil && sql.NumParams(stmt) > 0 {
+			// A one-shot Exec has nowhere to bind arguments from;
+			// placeholder statements must go through Prepare.
+			err = fmt.Errorf("server: statement has parameters; prepare it and execute with arguments")
+		}
 		if err != nil {
 			ss.send(&wire.Response{Type: wire.TError, ID: req.ID, Err: err.Error()})
 			return
 		}
-		ss.enqueue(req.ID, stmt)
+		ss.enqueue(req.ID, stmt, nil, 0)
 	case wire.TPrepare:
 		stmt, err := sql.Parse(req.SQL)
 		if err == nil {
@@ -117,16 +131,24 @@ func (ss *session) handle(req *wire.Request) {
 			return
 		}
 		ss.nextHandle++
-		ss.prepared[ss.nextHandle] = stmt
-		ss.send(&wire.Response{Type: wire.TPrepared, ID: req.ID, Handle: ss.nextHandle})
+		ps := &preparedStmt{stmt: stmt, numParams: sql.NumParams(stmt)}
+		ss.prepared[ss.nextHandle] = ps
+		ss.send(&wire.Response{Type: wire.TPrepared, ID: req.ID,
+			Handle: ss.nextHandle, NumParams: uint32(ps.numParams)})
 	case wire.TExecPrepared:
-		stmt, ok := ss.prepared[req.Handle]
+		ps, ok := ss.prepared[req.Handle]
 		if !ok {
 			ss.send(&wire.Response{Type: wire.TError, ID: req.ID,
 				Err: fmt.Sprintf("server: no prepared statement %d", req.Handle)})
 			return
 		}
-		ss.enqueue(req.ID, stmt)
+		if len(req.Args) != ps.numParams {
+			ss.send(&wire.Response{Type: wire.TError, ID: req.ID,
+				Err: fmt.Sprintf("server: statement has %d parameter(s), got %d argument(s)",
+					ps.numParams, len(req.Args))})
+			return
+		}
+		ss.enqueue(req.ID, ps.stmt, req.Args, ps.numParams)
 	case wire.TClosePrepared:
 		delete(ss.prepared, req.Handle)
 	case wire.TStats:
@@ -161,9 +183,10 @@ func checkReserved(stmt sql.Statement) error {
 	return nil
 }
 
-// enqueue hands a parsed statement to the scheduler.
-func (ss *session) enqueue(id uint32, stmt sql.Statement) {
-	if err := ss.srv.submit(&job{sess: ss, id: id, stmt: stmt}); err != nil {
+// enqueue hands a parsed statement and its bound arguments to the
+// scheduler.
+func (ss *session) enqueue(id uint32, stmt sql.Statement, args []table.Value, numParams int) {
+	if err := ss.srv.submit(&job{sess: ss, id: id, stmt: stmt, args: args, numParams: numParams}); err != nil {
 		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
 	}
 }
@@ -178,6 +201,7 @@ func (ss *session) reply(id uint32, res *core.Result, err error) {
 	if res != nil {
 		wres.Cols = res.Cols
 		wres.Rows = res.Rows
+		wres.Affected = res.Affected
 	}
 	ss.send(&wire.Response{Type: wire.TResult, ID: id, Result: wres})
 }

@@ -20,10 +20,12 @@ type CreateTable struct {
 	ObliviousI bool
 }
 
-// Insert is INSERT INTO name VALUES (...), (...).
+// Insert is INSERT INTO name VALUES (...), (...). Each value is kept as
+// an expression (not pre-evaluated) so placeholders bind at execution
+// time; rows of pure literals still cost one constant fold per execution.
 type Insert struct {
-	Name string
-	Rows []table.Row
+	Name   string
+	Values [][]Expr
 }
 
 // Select is SELECT items FROM table [JOIN right ON l = r]
@@ -119,8 +121,76 @@ type Call struct {
 	Args []Expr
 }
 
-func (*Literal) expr()   {}
-func (*ColumnRef) expr() {}
-func (*Binary) expr()    {}
-func (*Unary) expr()     {}
-func (*Call) expr()      {}
+// Placeholder is a bound statement parameter: $n (1-based) or ?, which
+// the parser numbers SQLite-style as one past the largest parameter
+// index seen so far. A placeholder never folds into the statement: its
+// value arrives at execution time and is visible only to the in-enclave
+// evaluator, so it cannot influence the plan, the key-range extraction,
+// or anything else the host observes.
+type Placeholder struct {
+	// Index is the 1-based parameter position.
+	Index int
+}
+
+func (*Literal) expr()     {}
+func (*ColumnRef) expr()   {}
+func (*Binary) expr()      {}
+func (*Unary) expr()       {}
+func (*Call) expr()        {}
+func (*Placeholder) expr() {}
+
+// NumParams reports how many arguments a statement needs when executed:
+// the largest placeholder index anywhere in it (parameters are 1-based,
+// so a statement mentioning only $3 still needs three).
+func NumParams(stmt Statement) int {
+	maxIdx := 0
+	walkStatementExprs(stmt, func(e Expr) {
+		if p, ok := e.(*Placeholder); ok && p.Index > maxIdx {
+			maxIdx = p.Index
+		}
+	})
+	return maxIdx
+}
+
+// walkStatementExprs visits every expression in a statement, depth-first.
+func walkStatementExprs(stmt Statement, visit func(Expr)) {
+	switch s := stmt.(type) {
+	case *Insert:
+		for _, row := range s.Values {
+			for _, e := range row {
+				walkExpr(e, visit)
+			}
+		}
+	case *Select:
+		for _, item := range s.Items {
+			walkExpr(item.Expr, visit)
+		}
+		walkExpr(s.Where, visit)
+		walkExpr(s.GroupBy, visit)
+	case *Update:
+		for _, set := range s.Sets {
+			walkExpr(set.Value, visit)
+		}
+		walkExpr(s.Where, visit)
+	case *Delete:
+		walkExpr(s.Where, visit)
+	}
+}
+
+func walkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *Binary:
+		walkExpr(x.L, visit)
+		walkExpr(x.R, visit)
+	case *Unary:
+		walkExpr(x.X, visit)
+	case *Call:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	}
+}

@@ -18,9 +18,20 @@ type resolver struct {
 	// joins); rightStart is the first right-side column index.
 	leftTable, rightTable string
 	rightStart            int
+	// args are the bound parameter values ($1 = args[0]). They live
+	// only here, inside the enclave's evaluator: placeholders are never
+	// substituted into the AST, so argument values cannot reach the
+	// planner, the key-range extraction, or the rendered statement.
+	args []table.Value
 }
 
 func newResolver(s *table.Schema) *resolver { return &resolver{schema: s, rightStart: -1} }
+
+// withArgs attaches bound parameter values to the resolver.
+func (r *resolver) withArgs(args []table.Value) *resolver {
+	r.args = args
+	return r
+}
 
 func (r *resolver) resolve(c *ColumnRef) (int, error) {
 	if c.Table != "" && r.rightStart >= 0 {
@@ -53,6 +64,11 @@ func (r *resolver) eval(e Expr, row table.Row) (table.Value, error) {
 	switch x := e.(type) {
 	case *Literal:
 		return x.Val, nil
+	case *Placeholder:
+		if x.Index < 1 || x.Index > len(r.args) {
+			return table.Value{}, fmt.Errorf("sql: parameter $%d not bound (%d argument(s) given)", x.Index, len(r.args))
+		}
+		return r.args[x.Index-1], nil
 	case *ColumnRef:
 		i, err := r.resolve(x)
 		if err != nil {
@@ -257,9 +273,10 @@ func (r *resolver) evalCall(x *Call, row table.Row) (table.Value, error) {
 	return table.Value{}, fmt.Errorf("sql: unknown function %q", x.Name)
 }
 
-// constEval evaluates an expression with no column references.
-func constEval(e Expr) (table.Value, error) {
-	r := newResolver(table.MustSchema(table.Column{Name: "_", Kind: table.KindInt}))
+// constEval evaluates an expression with no column references, binding
+// placeholders from args.
+func constEval(e Expr, args []table.Value) (table.Value, error) {
+	r := newResolver(table.MustSchema(table.Column{Name: "_", Kind: table.KindInt})).withArgs(args)
 	return r.eval(e, table.Row{table.Int(0)})
 }
 

@@ -9,43 +9,180 @@ import (
 	"oblidb/internal/table"
 )
 
-// Executor runs SQL statements against an ObliDB engine.
+// planCacheLimit bounds the statement cache. When full, the cache is
+// cleared wholesale — a rare event for realistic workloads (which cycle
+// through far fewer than 256 statement shapes), and simpler to reason
+// about than LRU bookkeeping on the hot path.
+const planCacheLimit = 256
+
+// planEntry is one cached parse: the statement AST (immutable after
+// parse, shared freely across goroutines) plus its parameter arity.
+type planEntry struct {
+	stmt      Statement
+	numParams int
+}
+
+// Executor runs SQL statements against an ObliDB engine. It keeps a
+// plan cache keyed by statement *shape* — the placeholder-normalized
+// String() rendering — so re-executions of a parameterized statement
+// skip parsing, and spelling variants (?, $1, extra whitespace) of one
+// shape share an entry. Nothing about an argument value is in the key;
+// the cache cannot leak parameters by its hit pattern because hits
+// depend only on statement text.
 type Executor struct {
 	db *core.DB
+
+	mu     sync.Mutex
+	plans  map[string]*planEntry // canonical shape → parse
+	bySrc  map[string]string     // raw source text → canonical shape
+	hits   uint64
+	misses uint64
 }
 
 // New wraps a database in a SQL executor.
-func New(db *core.DB) *Executor { return &Executor{db: db} }
+func New(db *core.DB) *Executor {
+	return &Executor{
+		db:    db,
+		plans: make(map[string]*planEntry),
+		bySrc: make(map[string]string),
+	}
+}
 
 // DB returns the underlying engine.
 func (x *Executor) DB() *core.DB { return x.db }
 
-// Execute parses and runs one statement. DDL and DML return a one-row
-// result reporting the affected count.
+// Execute parses and runs one statement with no bound arguments. DDL
+// and DML return a one-row result reporting the affected count.
 func (x *Executor) Execute(src string) (*core.Result, error) {
+	return x.ExecuteArgs(src, nil)
+}
+
+// ExecuteArgs parses (or recalls from the plan cache) one statement and
+// executes it with the given arguments bound to its placeholders.
+func (x *Executor) ExecuteArgs(src string, args []table.Value) (*core.Result, error) {
+	entry, err := x.plan(src, false)
+	if err != nil {
+		return nil, err
+	}
+	return x.execEntry(entry, args)
+}
+
+// plan returns the cached parse of src, parsing and caching on miss.
+// The returned statement is shared: callers must treat it as immutable.
+//
+// Zero-placeholder statements are cached only when cacheLiterals is set
+// (the Prepare path): a one-shot literal statement — a bulk load of
+// distinct INSERTs, say — is by construction never re-executed by
+// shape, and letting such statements fill the cache would evict the
+// parameterized shapes that plan-once/execute-many exists for.
+func (x *Executor) plan(src string, cacheLiterals bool) (*planEntry, error) {
+	x.mu.Lock()
+	if key, ok := x.bySrc[src]; ok {
+		if entry, ok := x.plans[key]; ok {
+			x.hits++
+			x.mu.Unlock()
+			return entry, nil
+		}
+	}
+	x.mu.Unlock()
+
 	stmt, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return x.ExecuteStmt(stmt)
+	entry := &planEntry{stmt: stmt, numParams: NumParams(stmt)}
+	key := stmt.(fmt.Stringer).String()
+
+	x.mu.Lock()
+	x.misses++
+	if entry.numParams == 0 && !cacheLiterals {
+		x.mu.Unlock()
+		return entry, nil
+	}
+	if existing, ok := x.plans[key]; ok {
+		// Another spelling of a shape already cached: share its parse.
+		entry = existing
+	} else {
+		if len(x.plans) >= planCacheLimit {
+			x.plans = make(map[string]*planEntry)
+			x.bySrc = make(map[string]string)
+		}
+		x.plans[key] = entry
+	}
+	if len(x.bySrc) < 4*planCacheLimit {
+		x.bySrc[src] = key
+	}
+	x.mu.Unlock()
+	return entry, nil
 }
 
-// ExecuteStmt runs an already-parsed statement. Servers use it to
-// execute prepared statements without re-parsing; parsing happens inside
-// the enclave and touches no untrusted memory, so splitting it from
-// execution changes nothing about the trace.
+// Stmt returns the cached parsed statement and its parameter count for
+// src. It is the prepare step: pair it with ExecuteBound.
+func (x *Executor) Stmt(src string) (Statement, int, error) {
+	entry, err := x.plan(src, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	return entry.stmt, entry.numParams, nil
+}
+
+// PlanCacheStats reports the cache's size and hit/miss counters.
+func (x *Executor) PlanCacheStats() (entries int, hits, misses uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.plans), x.hits, x.misses
+}
+
+func (x *Executor) execEntry(entry *planEntry, args []table.Value) (*core.Result, error) {
+	if len(args) != entry.numParams {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s), got %d argument(s)", entry.numParams, len(args))
+	}
+	return x.executeStmt(entry.stmt, args)
+}
+
+// ExecuteStmt runs an already-parsed statement with no bound arguments.
+// Servers use it to execute prepared statements without re-parsing;
+// parsing happens inside the enclave and touches no untrusted memory,
+// so splitting it from execution changes nothing about the trace.
 func (x *Executor) ExecuteStmt(stmt Statement) (*core.Result, error) {
+	return x.ExecuteStmtArgs(stmt, nil)
+}
+
+// ExecuteStmtArgs runs an already-parsed statement with arguments bound
+// to its placeholders. Binding is strict: the argument count must equal
+// the statement's parameter count. The values are visible only to the
+// in-enclave expression evaluator — never to the planner or any code
+// that touches untrusted memory — so two executions of one statement
+// shape with different arguments produce identical traces whenever the
+// public parameters (table and output sizes) match.
+func (x *Executor) ExecuteStmtArgs(stmt Statement, args []table.Value) (*core.Result, error) {
+	return x.ExecuteBound(stmt, NumParams(stmt), args)
+}
+
+// ExecuteBound is ExecuteStmtArgs for callers that computed the
+// statement's parameter count once at prepare time (Stmt, the server's
+// per-session prepared shapes): it skips the per-execution AST walk on
+// the hot path. numParams must be NumParams(stmt).
+func (x *Executor) ExecuteBound(stmt Statement, numParams int, args []table.Value) (*core.Result, error) {
+	if len(args) != numParams {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s), got %d argument(s)", numParams, len(args))
+	}
+	return x.executeStmt(stmt, args)
+}
+
+// executeStmt dispatches after arity checking.
+func (x *Executor) executeStmt(stmt Statement, args []table.Value) (*core.Result, error) {
 	switch s := stmt.(type) {
 	case *CreateTable:
 		return x.createTable(s)
 	case *Insert:
-		return x.insert(s)
+		return x.insert(s, args)
 	case *Select:
-		return x.selectStmt(s)
+		return x.selectStmt(s, args)
 	case *Update:
-		return x.update(s)
+		return x.update(s, args)
 	case *Delete:
-		return x.delete(s)
+		return x.delete(s, args)
 	case *DropTable:
 		if err := x.db.DropTable(s.Name); err != nil {
 			return nil, err
@@ -56,7 +193,7 @@ func (x *Executor) ExecuteStmt(stmt Statement) (*core.Result, error) {
 }
 
 func affected(n int) *core.Result {
-	return &core.Result{Cols: []string{"affected"}, Rows: []table.Row{{table.Int(int64(n))}}}
+	return &core.Result{Cols: []string{"affected"}, Rows: []table.Row{{table.Int(int64(n))}}, Affected: true}
 }
 
 func (x *Executor) createTable(s *CreateTable) (*core.Result, error) {
@@ -80,19 +217,31 @@ func (x *Executor) createTable(s *CreateTable) (*core.Result, error) {
 	return affected(0), nil
 }
 
-func (x *Executor) insert(s *Insert) (*core.Result, error) {
-	if err := x.db.Insert(s.Name, s.Rows...); err != nil {
+func (x *Executor) insert(s *Insert, args []table.Value) (*core.Result, error) {
+	rows := make([]table.Row, len(s.Values))
+	for i, exprs := range s.Values {
+		row := make(table.Row, len(exprs))
+		for j, e := range exprs {
+			v, err := constEval(e, args)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	if err := x.db.Insert(s.Name, rows...); err != nil {
 		return nil, err
 	}
-	return affected(len(s.Rows)), nil
+	return affected(len(rows)), nil
 }
 
-func (x *Executor) update(s *Update) (*core.Result, error) {
+func (x *Executor) update(s *Update, args []table.Value) (*core.Result, error) {
 	t, err := x.db.Table(s.Name)
 	if err != nil {
 		return nil, err
 	}
-	res := newResolver(t.Schema())
+	res := newResolver(t.Schema()).withArgs(args)
 	var evalErr error
 	pred := res.pred(s.Where, &evalErr)
 	setCols := make([]int, len(s.Sets))
@@ -130,12 +279,12 @@ func (x *Executor) update(s *Update) (*core.Result, error) {
 	return affected(n), nil
 }
 
-func (x *Executor) delete(s *Delete) (*core.Result, error) {
+func (x *Executor) delete(s *Delete, args []table.Value) (*core.Result, error) {
 	t, err := x.db.Table(s.Name)
 	if err != nil {
 		return nil, err
 	}
-	res := newResolver(t.Schema())
+	res := newResolver(t.Schema()).withArgs(args)
 	var evalErr error
 	pred := res.pred(s.Where, &evalErr)
 	var key *core.KeyRange
@@ -152,20 +301,20 @@ func (x *Executor) delete(s *Delete) (*core.Result, error) {
 	return affected(n), nil
 }
 
-func (x *Executor) selectStmt(s *Select) (*core.Result, error) {
+func (x *Executor) selectStmt(s *Select, args []table.Value) (*core.Result, error) {
 	if s.Join != nil {
-		return x.selectJoin(s)
+		return x.selectJoin(s, args)
 	}
 	t, err := x.db.Table(s.From)
 	if err != nil {
 		return nil, err
 	}
-	return x.selectFrom(s, t, s.From)
+	return x.selectFrom(s, t, s.From, args)
 }
 
 // selectFrom runs a single-table SELECT over the given table handle.
-func (x *Executor) selectFrom(s *Select, t *core.Table, fromName string) (*core.Result, error) {
-	res := newResolver(t.Schema())
+func (x *Executor) selectFrom(s *Select, t *core.Table, fromName string, args []table.Value) (*core.Result, error) {
+	res := newResolver(t.Schema()).withArgs(args)
 	res.leftTable = fromName
 	var evalErr error
 	pred := res.pred(s.Where, &evalErr)
@@ -307,7 +456,7 @@ func (x *Executor) groupSelect(s *Select, t *core.Table, res *resolver, pred tab
 // selectJoin lowers JOIN queries: push single-side WHERE conjuncts into
 // oblivious pre-filters, join, then run the residual select (and any
 // grouping) over the intermediate table.
-func (x *Executor) selectJoin(s *Select) (*core.Result, error) {
+func (x *Executor) selectJoin(s *Select, args []table.Value) (*core.Result, error) {
 	lt, err := x.db.Table(s.From)
 	if err != nil {
 		return nil, err
@@ -325,8 +474,8 @@ func (x *Executor) selectJoin(s *Select) (*core.Result, error) {
 	var leftPred, rightPred table.Pred
 	var residual []Expr
 	var evalErr error
-	lres := newResolver(lt.Schema())
-	rres := newResolver(rt.Schema())
+	lres := newResolver(lt.Schema()).withArgs(args)
+	rres := newResolver(rt.Schema()).withArgs(args)
 	for _, c := range flattenAnd(s.Where) {
 		if c == nil {
 			continue
@@ -362,7 +511,7 @@ func (x *Executor) selectJoin(s *Select) (*core.Result, error) {
 		GroupBy: s.GroupBy,
 		Force:   s.Force,
 	}
-	jres := newResolver(joined.Schema())
+	jres := newResolver(joined.Schema()).withArgs(args)
 	jres.leftTable = s.From
 	jres.rightTable = s.Join.Right
 	jres.rightStart = lt.Schema().NumColumns()
@@ -615,6 +764,9 @@ func exprEqual(a, b Expr) bool {
 			}
 		}
 		return true
+	case *Placeholder:
+		y, ok := b.(*Placeholder)
+		return ok && x.Index == y.Index
 	}
 	return false
 }

@@ -27,6 +27,16 @@ func FuzzParser(f *testing.F) {
 		"SELECT SUM() FROM t",
 		"INSERT INTO t VALUES (0.0)",
 		"'",
+		"SELECT * FROM t WHERE id = ?",
+		"SELECT * FROM t WHERE id = $1 AND v < $2",
+		"SELECT * FROM t WHERE id = $1 AND v < ? OR w = ?",
+		"SELECT * FROM t WHERE id = $9",
+		"INSERT INTO t VALUES (?, $2, 'x'), ($1, ?, ?)",
+		"UPDATE t SET v = $1 WHERE k = $2",
+		"DELETE FROM t WHERE k = ? AND v <> $1",
+		"SELECT * FROM t WHERE id = $0",
+		"SELECT * FROM t WHERE id = $99999999999999999999",
+		"SELECT * FROM t WHERE id = $",
 	} {
 		f.Add(seed)
 	}

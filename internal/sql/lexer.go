@@ -20,6 +20,10 @@ const (
 	tokNumber
 	tokString
 	tokPunct
+	// tokParam is a numbered placeholder: the token text is the digits
+	// after the $ ("1" for $1). Anonymous ? placeholders lex as tokPunct
+	// and are numbered by the parser.
+	tokParam
 )
 
 type token struct {
@@ -53,6 +57,10 @@ func lex(src string) ([]token, error) {
 			}
 		case c == '\'':
 			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '$':
+			if err := l.lexParam(); err != nil {
 				return nil, err
 			}
 		default:
@@ -139,6 +147,21 @@ func (l *lexer) lexString() error {
 	return fmt.Errorf("sql: unterminated string at offset %d", start)
 }
 
+// lexParam tokenizes a $n placeholder: $ followed by one or more digits.
+func (l *lexer) lexParam() error {
+	start := l.pos
+	l.pos++ // $
+	digits := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos == digits {
+		return fmt.Errorf("sql: $ must be followed by a parameter number at offset %d", start)
+	}
+	l.tokens = append(l.tokens, token{kind: tokParam, text: l.src[digits:l.pos], pos: start})
+	return nil
+}
+
 var twoCharPunct = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
 
 func (l *lexer) lexPunct() error {
@@ -149,7 +172,7 @@ func (l *lexer) lexPunct() error {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';', '?':
 		l.tokens = append(l.tokens, token{kind: tokPunct, text: string(c), pos: l.pos})
 		l.pos++
 		return nil

@@ -28,9 +28,17 @@ func Parse(src string) (Statement, error) {
 	return stmt, nil
 }
 
+// maxParamIndex bounds $n so a hostile statement cannot demand an
+// absurd argument arity.
+const maxParamIndex = 65535
+
 type parser struct {
 	tokens []token
 	pos    int
+	// maxParam is the largest placeholder index seen so far; an
+	// anonymous ? takes maxParam+1 (SQLite's numbering rule, which keeps
+	// mixed ? / $n statements deterministic).
+	maxParam int
 }
 
 func (p *parser) peek() token { return p.tokens[p.pos] }
@@ -234,17 +242,24 @@ func (p *parser) insert() (Statement, error) {
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
-		var row table.Row
+		var row []Expr
 		for {
 			e, err := p.expression()
 			if err != nil {
 				return nil, err
 			}
-			v, err := constEval(e)
-			if err != nil {
-				return nil, err
+			// Values must be constant over the row being inserted —
+			// literals, arithmetic, placeholders — never column refs.
+			var badCol error
+			walkExpr(e, func(x Expr) {
+				if c, ok := x.(*ColumnRef); ok && badCol == nil {
+					badCol = fmt.Errorf("sql: INSERT value cannot reference column %q", c.Column)
+				}
+			})
+			if badCol != nil {
+				return nil, badCol
 			}
-			row = append(row, v)
+			row = append(row, e)
 			if p.accept(",") {
 				continue
 			}
@@ -253,7 +268,7 @@ func (p *parser) insert() (Statement, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		stmt.Rows = append(stmt.Rows, row)
+		stmt.Values = append(stmt.Values, row)
 		if !p.accept(",") {
 			return stmt, nil
 		}
@@ -604,6 +619,16 @@ func (p *parser) unary() (Expr, error) {
 func (p *parser) primary() (Expr, error) {
 	t := p.peek()
 	switch t.kind {
+	case tokParam:
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 || n > maxParamIndex {
+			return nil, fmt.Errorf("sql: bad parameter number $%s (1..%d)", t.text, maxParamIndex)
+		}
+		if n > p.maxParam {
+			p.maxParam = n
+		}
+		return &Placeholder{Index: n}, nil
 	case tokNumber:
 		p.next()
 		if strings.Contains(t.text, ".") {
@@ -643,6 +668,14 @@ func (p *parser) primary() (Expr, error) {
 		}
 		return &ColumnRef{Column: name}, nil
 	case tokPunct:
+		if t.text == "?" {
+			p.next()
+			p.maxParam++
+			if p.maxParam > maxParamIndex {
+				return nil, fmt.Errorf("sql: too many parameters (max %d)", maxParamIndex)
+			}
+			return &Placeholder{Index: p.maxParam}, nil
+		}
 		if t.text == "(" {
 			p.next()
 			e, err := p.expression()

@@ -62,16 +62,16 @@ func (s *Insert) String() string {
 	sb.WriteString("INSERT INTO ")
 	sb.WriteString(s.Name)
 	sb.WriteString(" VALUES ")
-	for i, row := range s.Rows {
+	for i, row := range s.Values {
 		if i > 0 {
 			sb.WriteString(", ")
 		}
 		sb.WriteByte('(')
-		for j, v := range row {
+		for j, e := range row {
 			if j > 0 {
 				sb.WriteString(", ")
 			}
-			sb.WriteString(valueSQL(v))
+			sb.WriteString(exprSQL(e))
 		}
 		sb.WriteByte(')')
 	}
@@ -177,6 +177,11 @@ func exprSQL(e Expr) string {
 			args[i] = exprSQL(a)
 		}
 		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *Placeholder:
+		// Always the $n form: String() is the placeholder-normalized
+		// statement shape, so ? and $1 render identically and the plan
+		// cache keys on shape, not spelling.
+		return "$" + strconv.Itoa(x.Index)
 	}
 	return fmt.Sprintf("/*?%T*/", e)
 }

@@ -23,6 +23,10 @@ const (
 	KindString
 	// KindBool is a boolean.
 	KindBool
+	// KindNull is the kind of the SQL NULL value. It is a legal value
+	// kind for bound statement parameters only — never a column kind
+	// (NewSchema rejects it).
+	KindNull
 )
 
 // String names the kind as its SQL type keyword.
@@ -36,6 +40,8 @@ func (k Kind) String() string {
 		return "VARCHAR"
 	case KindBool:
 		return "BOOLEAN"
+	case KindNull:
+		return "NULL"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"strconv"
+	"time"
 )
 
 // Value is a dynamically typed cell value. It is a tagged union rather
@@ -31,6 +32,75 @@ func Bool(v bool) Value {
 		i = 1
 	}
 	return Value{Kind: KindBool, int64: i}
+}
+
+// Null constructs the SQL NULL value. NULL is a value kind, not a
+// column kind: it exists so bound statement parameters can carry "no
+// value" through the wire protocol and the binder, but no column stores
+// it (NewSchema rejects it) and comparisons against it error.
+func Null() Value { return Value{Kind: KindNull} }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// FromAny converts a Go value into a Value: all int/uint widths,
+// float32/64, string, []byte, bool, nil (NULL), time.Time (as a DATE:
+// days since the Unix epoch, matching KindInt's date convention), and
+// Value itself. It is the single conversion used by every
+// parameter-binding surface (public API, network client, database/sql
+// driver), so the accepted types are the same everywhere.
+func FromAny(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Null(), nil
+	case Value:
+		return x, nil
+	case time.Time:
+		// Floor division so pre-1970 instants land on the right day.
+		secs := x.Unix()
+		days := secs / 86400
+		if secs%86400 < 0 {
+			days--
+		}
+		return Int(days), nil
+	case int:
+		return Int(int64(x)), nil
+	case int8:
+		return Int(int64(x)), nil
+	case int16:
+		return Int(int64(x)), nil
+	case int32:
+		return Int(int64(x)), nil
+	case int64:
+		return Int(x), nil
+	case uint:
+		if uint64(x) > 1<<63-1 {
+			return Value{}, fmt.Errorf("table: uint argument %d overflows int64", x)
+		}
+		return Int(int64(x)), nil
+	case uint8:
+		return Int(int64(x)), nil
+	case uint16:
+		return Int(int64(x)), nil
+	case uint32:
+		return Int(int64(x)), nil
+	case uint64:
+		if x > 1<<63-1 {
+			return Value{}, fmt.Errorf("table: uint64 argument %d overflows int64", x)
+		}
+		return Int(int64(x)), nil
+	case float32:
+		return Float(float64(x)), nil
+	case float64:
+		return Float(x), nil
+	case string:
+		return Str(x), nil
+	case []byte:
+		return Str(string(x)), nil
+	case bool:
+		return Bool(x), nil
+	}
+	return Value{}, fmt.Errorf("table: cannot bind argument of type %T", v)
 }
 
 // AsInt returns the integer payload (valid for KindInt and KindBool).
@@ -98,6 +168,8 @@ func (v Value) String() string {
 			return "TRUE"
 		}
 		return "FALSE"
+	case KindNull:
+		return "NULL"
 	}
 	return "?"
 }

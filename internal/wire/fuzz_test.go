@@ -15,6 +15,11 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(EncodeRequest(&Request{Type: TExec, ID: 7, SQL: "SELECT * FROM t"}))
 	f.Add(EncodeRequest(&Request{Type: TPrepare, ID: 1, SQL: "INSERT INTO t VALUES (1)"}))
 	f.Add(EncodeRequest(&Request{Type: TExecPrepared, ID: 2, Handle: 3}))
+	f.Add(EncodeRequest(&Request{Type: TExecPrepared, ID: 3, Handle: 4, Args: []table.Value{
+		table.Int(7), table.Float(-0.5), table.Str("x"), table.Bool(false), table.Null(),
+	}}))
+	f.Add(EncodeResponse(&Response{Type: TPrepared, ID: 12, Handle: 9, NumParams: 2}))
+	f.Add([]byte{TExecPrepared, 0, 0, 0, 9, 0, 0, 0, 3}) // protocol-v1 body: handle only
 	f.Add(EncodeRequest(&Request{Type: TStats, ID: 9}))
 	f.Add(EncodeResponse(&Response{Type: TError, ID: 4, Err: "no such table"}))
 	f.Add(EncodeResponse(&Response{Type: TPrepared, ID: 5, Handle: 8}))

@@ -29,9 +29,13 @@ const (
 	// TExec executes one SQL statement (body: string SQL).
 	TExec byte = 1
 	// TPrepare parses a statement and returns a reusable handle (body:
-	// string SQL).
+	// string SQL). The statement may contain ? / $n placeholders.
 	TPrepare byte = 2
-	// TExecPrepared executes a prepared handle (body: uint32 handle).
+	// TExecPrepared executes a prepared handle with bound arguments
+	// (body: uint32 handle, uvarint argument count, then one tagged
+	// value per argument — int64, float64, string, bool, or null). A
+	// body that ends after the handle means zero arguments, which keeps
+	// protocol-v1 frames decodable.
 	TExecPrepared byte = 3
 	// TClosePrepared releases a prepared handle (body: uint32 handle).
 	TClosePrepared byte = 4
@@ -56,8 +60,9 @@ const MaxFrame = 64 << 20
 type Request struct {
 	Type   byte
 	ID     uint32
-	SQL    string // TExec, TPrepare
-	Handle uint32 // TExecPrepared, TClosePrepared
+	SQL    string        // TExec, TPrepare
+	Handle uint32        // TExecPrepared, TClosePrepared
+	Args   []table.Value // TExecPrepared: bound placeholder values
 }
 
 // Result is a materialized query result in transit: the same shape as
@@ -66,6 +71,10 @@ type Request struct {
 type Result struct {
 	Cols []string
 	Rows []table.Row
+	// Affected marks a DDL/DML outcome result (single cell = affected
+	// row count). Encoded as a trailing flag byte; protocol-v1 frames
+	// without it decode as false.
+	Affected bool
 }
 
 // Stats is the server's self-report: everything in it is information
@@ -87,12 +96,13 @@ type Stats struct {
 
 // Response is any server→client message.
 type Response struct {
-	Type   byte
-	ID     uint32
-	Err    string  // TError
-	Result *Result // TResult
-	Handle uint32  // TPrepared
-	Stats  Stats   // TStatsResult
+	Type      byte
+	ID        uint32
+	Err       string  // TError
+	Result    *Result // TResult
+	Handle    uint32  // TPrepared
+	NumParams uint32  // TPrepared: placeholder count of the statement
+	Stats     Stats   // TStatsResult
 }
 
 // WriteFrame writes one length-prefixed frame.
@@ -214,7 +224,13 @@ func EncodeRequest(r *Request) []byte {
 	switch r.Type {
 	case TExec, TPrepare:
 		e.str(r.SQL)
-	case TExecPrepared, TClosePrepared:
+	case TExecPrepared:
+		e.u32(r.Handle)
+		e.uvarint(len(r.Args))
+		for _, v := range r.Args {
+			e.value(v)
+		}
+	case TClosePrepared:
 		e.u32(r.Handle)
 	}
 	return e.b
@@ -227,7 +243,29 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	switch r.Type {
 	case TExec, TPrepare:
 		r.SQL = d.str()
-	case TExecPrepared, TClosePrepared:
+	case TExecPrepared:
+		r.Handle = d.u32()
+		// Protocol v1 ended here; an empty remainder is zero arguments.
+		if d.err == nil && len(d.b) > 0 {
+			n := d.uvarint()
+			// Cap preallocation by what the remaining payload could
+			// encode (≥1 byte per value) so a lying count cannot force
+			// a huge allocation.
+			capHint := n
+			if maxVals := len(d.b); capHint > maxVals {
+				capHint = maxVals
+			}
+			if n > 0 {
+				args := make([]table.Value, 0, capHint)
+				for i := 0; i < n && d.err == nil; i++ {
+					args = append(args, d.value())
+				}
+				if d.err == nil {
+					r.Args = args
+				}
+			}
+		}
+	case TClosePrepared:
 		r.Handle = d.u32()
 	case TStats:
 	default:
@@ -246,6 +284,7 @@ func EncodeResponse(r *Response) []byte {
 		e.str(r.Err)
 	case TPrepared:
 		e.u32(r.Handle)
+		e.uvarint(int(r.NumParams))
 	case TResult:
 		encodeResult(e, r.Result)
 	case TStatsResult:
@@ -268,6 +307,10 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		r.Err = d.str()
 	case TPrepared:
 		r.Handle = d.u32()
+		// Protocol v1 ended here; an empty remainder is zero parameters.
+		if d.err == nil && len(d.b) > 0 {
+			r.NumParams = uint32(d.uvarint())
+		}
 	case TResult:
 		r.Result = decodeResult(d)
 	case TStatsResult:
@@ -290,7 +333,50 @@ const (
 	vFloat  byte = 2
 	vString byte = 3
 	vBool   byte = 4
+	vNull   byte = 5
 )
+
+// value appends one tagged value.
+func (e *enc) value(v table.Value) {
+	switch v.Kind {
+	case table.KindInt:
+		e.byte(vInt)
+		e.i64(v.AsInt())
+	case table.KindFloat:
+		e.byte(vFloat)
+		e.f64(v.AsFloat())
+	case table.KindBool:
+		e.byte(vBool)
+		if v.AsBool() {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+	case table.KindNull:
+		e.byte(vNull)
+	default:
+		e.byte(vString)
+		e.str(v.AsString())
+	}
+}
+
+// value consumes one tagged value.
+func (d *dec) value() table.Value {
+	switch d.byte() {
+	case vInt:
+		return table.Int(d.i64())
+	case vFloat:
+		return table.Float(d.f64())
+	case vBool:
+		return table.Bool(d.byte() != 0)
+	case vString:
+		return table.Str(d.str())
+	case vNull:
+		return table.Null()
+	}
+	d.fail("unknown value kind")
+	return table.Value{}
+}
 
 func encodeResult(e *enc, res *Result) {
 	e.uvarint(len(res.Cols))
@@ -301,25 +387,13 @@ func encodeResult(e *enc, res *Result) {
 	for _, row := range res.Rows {
 		e.uvarint(len(row))
 		for _, v := range row {
-			switch v.Kind {
-			case table.KindInt:
-				e.byte(vInt)
-				e.i64(v.AsInt())
-			case table.KindFloat:
-				e.byte(vFloat)
-				e.f64(v.AsFloat())
-			case table.KindBool:
-				e.byte(vBool)
-				if v.AsBool() {
-					e.byte(1)
-				} else {
-					e.byte(0)
-				}
-			default:
-				e.byte(vString)
-				e.str(v.AsString())
-			}
+			e.value(v)
 		}
+	}
+	if res.Affected {
+		e.byte(1)
+	} else {
+		e.byte(0)
 	}
 }
 
@@ -341,20 +415,14 @@ func decodeResult(d *dec) *Result {
 		}
 		row := make(table.Row, 0, capHint)
 		for j := 0; j < nv && d.err == nil; j++ {
-			switch d.byte() {
-			case vInt:
-				row = append(row, table.Int(d.i64()))
-			case vFloat:
-				row = append(row, table.Float(d.f64()))
-			case vBool:
-				row = append(row, table.Bool(d.byte() != 0))
-			case vString:
-				row = append(row, table.Str(d.str()))
-			default:
-				d.fail("unknown value kind")
-			}
+			row = append(row, d.value())
 		}
 		res.Rows = append(res.Rows, row)
+	}
+	// Protocol v1 ended at the rows; the trailing byte is the
+	// affected-count flag.
+	if d.err == nil && len(d.b) > 0 {
+		res.Affected = d.byte() != 0
 	}
 	return res
 }

@@ -40,6 +40,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Type: TExec, ID: 7, SQL: "SELECT * FROM t WHERE k = 1"},
 		{Type: TPrepare, ID: 8, SQL: "INSERT INTO t VALUES (1, 'x')"},
 		{Type: TExecPrepared, ID: 9, Handle: 3},
+		{Type: TExecPrepared, ID: 12, Handle: 4, Args: []table.Value{
+			table.Int(-7), table.Float(2.5), table.Str("al'ice"), table.Bool(true), table.Null(),
+		}},
 		{Type: TClosePrepared, ID: 10, Handle: 3},
 		{Type: TStats, ID: 11},
 	}
@@ -58,6 +61,7 @@ func TestResponseRoundTrip(t *testing.T) {
 	resps := []*Response{
 		{Type: TError, ID: 1, Err: "core: no table \"t\""},
 		{Type: TPrepared, ID: 2, Handle: 42},
+		{Type: TPrepared, ID: 6, Handle: 43, NumParams: 3},
 		{Type: TStatsResult, ID: 3, Stats: Stats{
 			Epochs: 10, EpochSize: 8, Real: 3, Dummy: 77, Sessions: 2, UptimeMillis: 1234,
 		}},
@@ -69,6 +73,11 @@ func TestResponseRoundTrip(t *testing.T) {
 			},
 		}},
 		{Type: TResult, ID: 5, Result: &Result{Cols: []string{"affected"}}},
+		{Type: TResult, ID: 8, Result: &Result{
+			Cols:     []string{"affected"},
+			Rows:     []table.Row{{table.Int(3)}},
+			Affected: true,
+		}},
 	}
 	for _, resp := range resps {
 		got, err := DecodeResponse(EncodeResponse(resp))
@@ -76,7 +85,7 @@ func TestResponseRoundTrip(t *testing.T) {
 			t.Fatalf("decode %d: %v", resp.Type, err)
 		}
 		if got.Type != resp.Type || got.ID != resp.ID || got.Err != resp.Err ||
-			got.Handle != resp.Handle || got.Stats != resp.Stats {
+			got.Handle != resp.Handle || got.NumParams != resp.NumParams || got.Stats != resp.Stats {
 			t.Fatalf("round trip %d: got %+v, want %+v", resp.Type, got, resp)
 		}
 		if resp.Result == nil {
@@ -84,6 +93,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got.Result.Cols, resp.Result.Cols) {
 			t.Fatalf("cols: got %v, want %v", got.Result.Cols, resp.Result.Cols)
+		}
+		if got.Result.Affected != resp.Result.Affected {
+			t.Fatalf("affected flag: got %v, want %v", got.Result.Affected, resp.Result.Affected)
 		}
 		if len(got.Result.Rows) != len(resp.Result.Rows) {
 			t.Fatalf("rows: got %d, want %d", len(got.Result.Rows), len(resp.Result.Rows))
@@ -111,5 +123,34 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	// A string length pointing past the payload must error, not panic.
 	if _, err := DecodeRequest(append([]byte{TExec, 0, 0, 0, 1}, 0xff, 0x7f)); err == nil {
 		t.Fatal("lying string length accepted")
+	}
+	// A lying argument count on TExecPrepared must error, not panic or
+	// over-allocate.
+	if _, err := DecodeRequest(append([]byte{TExecPrepared, 0, 0, 0, 1, 0, 0, 0, 2}, 0xff, 0x7f)); err == nil {
+		t.Fatal("lying argument count accepted")
+	}
+	// An unknown value tag in the argument list must error.
+	if _, err := DecodeRequest(append([]byte{TExecPrepared, 0, 0, 0, 1, 0, 0, 0, 2}, 1, 99)); err == nil {
+		t.Fatal("unknown argument value kind accepted")
+	}
+}
+
+// TestLegacyPreparedFramesDecode pins protocol-v1 compatibility: frames
+// whose TExecPrepared body ends at the handle (and TPrepared at the
+// handle) still decode, as zero arguments / zero parameters.
+func TestLegacyPreparedFramesDecode(t *testing.T) {
+	req, err := DecodeRequest([]byte{TExecPrepared, 0, 0, 0, 9, 0, 0, 0, 3})
+	if err != nil {
+		t.Fatalf("legacy TExecPrepared: %v", err)
+	}
+	if req.Handle != 3 || len(req.Args) != 0 {
+		t.Fatalf("legacy TExecPrepared decoded to %+v", req)
+	}
+	resp, err := DecodeResponse([]byte{TPrepared, 0, 0, 0, 2, 0, 0, 0, 42})
+	if err != nil {
+		t.Fatalf("legacy TPrepared: %v", err)
+	}
+	if resp.Handle != 42 || resp.NumParams != 0 {
+		t.Fatalf("legacy TPrepared decoded to %+v", resp)
 	}
 }

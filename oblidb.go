@@ -17,9 +17,22 @@
 //
 //	db, err := oblidb.Open(oblidb.Config{})
 //	if err != nil { ... }
-//	db.Exec(`CREATE TABLE users (id INTEGER, name VARCHAR(16)) INDEX ON id`)
-//	db.Exec(`INSERT INTO users VALUES (1, 'alice'), (2, 'bob')`)
-//	res, err := db.Exec(`SELECT name FROM users WHERE id = 2`)
+//	ctx := context.Background()
+//	db.ExecContext(ctx, `CREATE TABLE users (id INTEGER, name VARCHAR(16)) INDEX ON id`)
+//	db.ExecContext(ctx, `INSERT INTO users VALUES (?, ?), (?, ?)`, 1, "alice", 2, "bob")
+//	rows, err := db.Query(ctx, `SELECT name FROM users WHERE id = $1`, 2)
+//	for rows.Next() {
+//		var name string
+//		rows.Scan(&name)
+//	}
+//
+// Statements take ? or $n placeholders; Prepare parses a statement
+// shape once for repeated execution with different arguments. The
+// separation is part of the security model: the statement shape (which
+// determines the plan, and hence everything the host observes) is
+// public, while argument values bind inside the enclave and influence
+// only in-enclave evaluation. A database/sql driver wrapping this API
+// is available as the oblidb/driver package.
 //
 // Alongside SQL, the engine's compositional API (Select, Aggregate,
 // GroupAggregate, Join, and their *Table variants) is available on DB,
@@ -36,6 +49,9 @@
 package oblidb
 
 import (
+	"context"
+	"errors"
+
 	"oblidb/internal/core"
 	"oblidb/internal/exec"
 	"oblidb/internal/sql"
@@ -82,6 +98,9 @@ const (
 	AggAvg   = exec.AggAvg
 )
 
+// ErrNoRows is returned by Row.Scan when the query matched no rows.
+var ErrNoRows = errors.New("oblidb: no rows in result set")
+
 // DB is an ObliDB database handle: the engine plus a SQL executor.
 type DB struct {
 	*core.DB
@@ -97,8 +116,73 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{DB: inner, sqlExec: sql.New(inner)}, nil
 }
 
-// Exec parses and runs one SQL statement. DDL and DML return a one-row
-// result with the affected count.
+// Exec parses and runs one SQL statement with no bound arguments. DDL
+// and DML return a one-row result with the affected count. It is the
+// thin compatibility form of ExecContext.
 func (db *DB) Exec(query string) (*Result, error) {
 	return db.sqlExec.Execute(query)
+}
+
+// ExecContext parses (or recalls from the plan cache) one SQL statement
+// and runs it with args bound to its ? / $n placeholders. The context
+// is honored between statements: cancellation before execution starts
+// prevents it, but an in-flight oblivious operator always runs to
+// completion (interrupting one would truncate its padded access
+// sequence, and the truncation point would leak).
+func (db *DB) ExecContext(ctx context.Context, query string, args ...any) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vals, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return db.sqlExec.ExecuteArgs(query, vals)
+}
+
+// Query runs one SQL statement with bound arguments and returns a
+// cursor over its rows. Like all ObliDB results the rows are fully
+// materialized before the cursor is handed back; Rows is an iteration
+// convenience, not a streaming plan.
+func (db *DB) Query(ctx context.Context, query string, args ...any) (*Rows, error) {
+	res, err := db.ExecContext(ctx, query, args...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(res), nil
+}
+
+// QueryRow runs a query expected to return at most one row. Scan it
+// with Rows.Scan semantics via the returned cursor helper.
+func (db *DB) QueryRow(ctx context.Context, query string, args ...any) *Row {
+	rows, err := db.Query(ctx, query, args...)
+	if err != nil {
+		return &Row{err: err}
+	}
+	return &Row{rows: rows}
+}
+
+// Row is the result of QueryRow: a deferred one-row Scan.
+type Row struct {
+	rows *Rows
+	err  error
+}
+
+// Scan copies the single result row into dest, or reports ErrNoRows
+// when the query matched nothing.
+func (r *Row) Scan(dest ...any) error {
+	if r.err != nil {
+		return r.err
+	}
+	defer r.rows.Close()
+	if !r.rows.Next() {
+		return ErrNoRows
+	}
+	return r.rows.Scan(dest...)
+}
+
+// PlanCacheStats reports the executor's plan-cache size and hit/miss
+// counters — a plan-once/execute-many observability hook.
+func (db *DB) PlanCacheStats() (entries int, hits, misses uint64) {
+	return db.sqlExec.PlanCacheStats()
 }

@@ -1,0 +1,161 @@
+package oblidb
+
+import (
+	"fmt"
+
+	"oblidb/internal/core"
+	"oblidb/internal/table"
+)
+
+// Rows is a cursor over a materialized query result. Results are always
+// fully materialized inside the enclave before delivery — obliviousness
+// demands the whole padded output be produced regardless of how much of
+// it the caller reads — so the cursor is a reading convenience, not a
+// streaming execution: Close never cancels work, and iteration order is
+// the engine's output order.
+//
+//	rows, err := db.Query(ctx, "SELECT id, name FROM users WHERE city = $1", "Oslo")
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		var id int64
+//		var name string
+//		if err := rows.Scan(&id, &name); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+type Rows struct {
+	cols   []string
+	rows   []table.Row
+	cur    int // index of the row Scan reads; -1 before the first Next
+	closed bool
+	err    error
+}
+
+func newRows(res *core.Result) *Rows {
+	if res == nil {
+		return &Rows{cur: -1}
+	}
+	return &Rows{cols: res.Cols, rows: res.Rows, cur: -1}
+}
+
+// Columns returns the result's column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row, returning false when none remain or
+// the cursor is closed.
+func (r *Rows) Next() bool {
+	if r.closed {
+		return false
+	}
+	r.cur++
+	return r.cur < len(r.rows)
+}
+
+// Scan copies the current row into dest, which must have one pointer
+// per column: *int64, *int, *float64, *string, *bool, *table.Value, or
+// *any. Numeric kinds convert to *float64; everything converts to *any
+// and *string (via the value's SQL rendering for non-strings).
+func (r *Rows) Scan(dest ...any) error {
+	if r.closed {
+		return fmt.Errorf("oblidb: Scan on closed Rows")
+	}
+	if r.cur < 0 || r.cur >= len(r.rows) {
+		return fmt.Errorf("oblidb: Scan called without a successful Next")
+	}
+	row := r.rows[r.cur]
+	if len(dest) != len(row) {
+		return fmt.Errorf("oblidb: Scan got %d destinations for %d columns", len(dest), len(row))
+	}
+	for i, d := range dest {
+		if err := scanValue(row[i], d); err != nil {
+			return fmt.Errorf("oblidb: column %d (%s): %w", i, r.colName(i), err)
+		}
+	}
+	return nil
+}
+
+func (r *Rows) colName(i int) string {
+	if i < len(r.cols) {
+		return r.cols[i]
+	}
+	return "?"
+}
+
+func scanValue(v table.Value, dest any) error {
+	switch d := dest.(type) {
+	case *table.Value:
+		*d = v
+		return nil
+	case *any:
+		switch v.Kind {
+		case table.KindInt:
+			*d = v.AsInt()
+		case table.KindFloat:
+			*d = v.AsFloat()
+		case table.KindBool:
+			*d = v.AsBool()
+		case table.KindNull:
+			*d = nil
+		default:
+			*d = v.AsString()
+		}
+		return nil
+	case *int64:
+		if v.Kind != table.KindInt && v.Kind != table.KindBool {
+			return fmt.Errorf("cannot scan %s into *int64", v.Kind)
+		}
+		*d = v.AsInt()
+		return nil
+	case *int:
+		if v.Kind != table.KindInt && v.Kind != table.KindBool {
+			return fmt.Errorf("cannot scan %s into *int", v.Kind)
+		}
+		*d = int(v.AsInt())
+		return nil
+	case *float64:
+		if !v.IsNumeric() {
+			return fmt.Errorf("cannot scan %s into *float64", v.Kind)
+		}
+		*d = v.AsFloat()
+		return nil
+	case *bool:
+		if v.Kind != table.KindBool {
+			return fmt.Errorf("cannot scan %s into *bool", v.Kind)
+		}
+		*d = v.AsBool()
+		return nil
+	case *string:
+		if v.Kind == table.KindString {
+			*d = v.AsString()
+		} else {
+			*d = v.String()
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported Scan destination %T", dest)
+}
+
+// Values returns the current row's raw values (valid after a successful
+// Next, until the next call). Callers must not mutate it.
+func (r *Rows) Values() (table.Row, error) {
+	if r.closed || r.cur < 0 || r.cur >= len(r.rows) {
+		return nil, fmt.Errorf("oblidb: Values called without a successful Next")
+	}
+	return r.rows[r.cur], nil
+}
+
+// Len reports the total number of rows in the result (the result is
+// materialized, so this is exact and does not consume the cursor).
+func (r *Rows) Len() int { return len(r.rows) }
+
+// Err returns the error, if any, encountered during iteration. It
+// exists for database/sql-style loops; materialized iteration itself
+// cannot fail.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. It is idempotent; iteration after Close
+// reports no rows.
+func (r *Rows) Close() error {
+	r.closed = true
+	return nil
+}

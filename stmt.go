@@ -1,0 +1,105 @@
+package oblidb
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"oblidb/internal/sql"
+	"oblidb/internal/table"
+)
+
+// Stmt is a prepared statement: one parse of a statement shape, bound
+// to fresh argument values on every execution. The shape (the
+// placeholder-normalized SQL text) is what determines the query plan;
+// the arguments bind inside the enclave and never influence anything
+// the host observes. A Stmt is safe for concurrent use.
+type Stmt struct {
+	db        *DB
+	stmt      sql.Statement
+	numParams int
+	shape     string
+	closed    atomic.Bool
+}
+
+// Prepare parses a statement once for repeated execution with bound
+// arguments. The parse is shared with the executor's plan cache, so
+// preparing is cheap even for shapes already seen.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	stmt, n, err := db.sqlExec.Stmt(query)
+	if err != nil {
+		return nil, err
+	}
+	shape := stmt.(fmt.Stringer).String()
+	return &Stmt{db: db, stmt: stmt, numParams: n, shape: shape}, nil
+}
+
+// NumParams reports how many arguments Exec and Query require.
+func (s *Stmt) NumParams() int { return s.numParams }
+
+// String returns the statement's canonical (placeholder-normalized)
+// SQL shape.
+func (s *Stmt) String() string { return s.shape }
+
+// Exec runs the statement with the given arguments.
+func (s *Stmt) Exec(args ...any) (*Result, error) {
+	return s.ExecContext(context.Background(), args...)
+}
+
+// ExecContext runs the statement with the given arguments, honoring
+// ctx between statements: a context canceled before execution starts
+// prevents it; an in-flight oblivious operator is never interrupted
+// (aborting mid-operator would truncate its padded access sequence —
+// and the truncation point would itself be an observable).
+func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("oblidb: statement is closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vals, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.sqlExec.ExecuteBound(s.stmt, s.numParams, vals)
+}
+
+// Query runs the statement and returns a cursor over its rows.
+func (s *Stmt) Query(args ...any) (*Rows, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query honoring ctx between statements.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
+	res, err := s.ExecContext(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(res), nil
+}
+
+// Close releases the statement handle. It is idempotent, and the
+// underlying parse stays in the executor's plan cache for future
+// Prepare calls of the same shape.
+func (s *Stmt) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// toValues converts public-API arguments to engine values via the one
+// shared conversion (table.FromAny).
+func toValues(args []any) ([]table.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	vals := make([]table.Value, len(args))
+	for i, a := range args {
+		v, err := table.FromAny(a)
+		if err != nil {
+			return nil, fmt.Errorf("oblidb: argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}

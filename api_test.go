@@ -166,6 +166,46 @@ func TestArgumentConversions(t *testing.T) {
 	}
 }
 
+// TestOrderLimitAndExplainSurface drives ORDER BY / LIMIT and EXPLAIN
+// through the public Query API and checks the compiled-plan counters.
+func TestOrderLimitAndExplainSurface(t *testing.T) {
+	db := apiDB(t)
+	ctx := context.Background()
+	rows, err := db.Query(ctx, `SELECT name FROM users WHERE age >= $1 ORDER BY age DESC LIMIT 2`, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for rows.Next() {
+		var name string
+		if err := rows.Scan(&name); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	if len(names) != 2 || names[0] != "carol" || names[1] != "alice" {
+		t.Fatalf("ORDER BY age DESC LIMIT 2 = %v", names)
+	}
+	// Re-execute the shape: the compiled plan replays.
+	if _, err := db.Query(ctx, `SELECT name FROM users WHERE age >= $1 ORDER BY age DESC LIMIT 2`, 30); err != nil {
+		t.Fatal(err)
+	}
+	if cs := db.CacheStats(); cs.CompileSkips == 0 {
+		t.Fatalf("re-execution did not replay the compiled plan: %+v", cs)
+	}
+	if ps := db.PlanStats(); ps.Sorts < 2 || ps.Limits < 2 {
+		t.Fatalf("pick stats missed the sort/limit pipeline: %+v", ps)
+	}
+
+	var first string
+	if err := db.QueryRow(ctx, `EXPLAIN SELECT name FROM users ORDER BY age LIMIT 1`).Scan(&first); err != nil {
+		t.Fatal(err)
+	}
+	if first != "Collect" {
+		t.Fatalf("EXPLAIN first line = %q", first)
+	}
+}
+
 func TestPlanCacheStatsSurface(t *testing.T) {
 	db := apiDB(t)
 	ctx := context.Background()

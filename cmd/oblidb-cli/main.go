@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,20 +53,13 @@ func main() {
 	}
 }
 
-// localStmt is an in-process prepared statement: one parse, bound to
-// fresh arguments at each \exec.
-type localStmt struct {
-	stmt      sql.Statement
-	numParams int
-}
-
 // run drives the shell: statements read from in, results written to
 // out. main wires it to stdin/stdout; tests drive it with buffers.
 func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect string) error {
 	var db *core.DB
 	var exec *sql.Executor
 	var conn *client.Conn
-	localPrepared := make(map[string]*localStmt)
+	localPrepared := make(map[string]*sql.Prepared)
 	remotePrepared := make(map[string]*client.Stmt)
 
 	if connect != "" {
@@ -152,13 +146,13 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 				remotePrepared[name] = st
 				fmt.Fprintf(out, "prepared %q (%d parameter(s))\n", name, st.NumParams())
 			} else {
-				stmt, n, err := exec.Stmt(stmtSQL)
+				st, err := exec.Prepare(stmtSQL)
 				if err != nil {
 					fmt.Fprintln(out, "error:", err)
 					continue
 				}
-				localPrepared[name] = &localStmt{stmt: stmt, numParams: n}
-				fmt.Fprintf(out, "prepared %q (%d parameter(s))\n", name, n)
+				localPrepared[name] = st
+				fmt.Fprintf(out, "prepared %q (%d parameter(s))\n", name, st.NumParams())
 			}
 			continue
 		case strings.HasPrefix(line, `\exec `):
@@ -200,7 +194,7 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 					fmt.Fprintf(out, "error: no prepared statement %q (use \\prepare)\n", name)
 					continue
 				}
-				res, err := exec.ExecuteBound(st.stmt, st.numParams, args)
+				res, err := st.Exec(args)
 				if err != nil {
 					fmt.Fprintln(out, "error:", err)
 					continue
@@ -216,7 +210,10 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 			continue
 		case line == `\stats`:
 			if conn == nil {
-				fmt.Fprintln(out, `  \stats is only available in connect mode`)
+				cs := exec.CacheStats()
+				fmt.Fprintf(out, "  plan cache: %d shape(s); %d hit(s), %d miss(es); %d compile(s), %d replay(s)\n",
+					cs.Entries, cs.Hits, cs.Misses, cs.Compiles, cs.CompileSkips)
+				printPicks(out, db.PlanStats())
 				continue
 			}
 			st, err := conn.Stats()
@@ -227,6 +224,41 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 			fmt.Fprintf(out, "  epochs: %d × %d slots; statements: %d real, %d dummy; sessions: %d; up %s\n",
 				st.Epochs, st.EpochSize, st.Real, st.Dummy, st.Sessions,
 				(time.Duration(st.UptimeMillis) * time.Millisecond).Round(time.Millisecond))
+			fmt.Fprintf(out, "  plan cache: %d shape(s); %d hit(s), %d miss(es); %d compile(s), %d replay(s)\n",
+				st.PlanEntries, st.PlanHits, st.PlanMisses, st.PlanCompiles, st.PlanCompileSkips)
+			if len(st.Picks) > 0 {
+				parts := make([]string, len(st.Picks))
+				for i, p := range st.Picks {
+					parts[i] = fmt.Sprintf("%s=%d", p.Name, p.Count)
+				}
+				fmt.Fprintf(out, "  operator picks: %s\n", strings.Join(parts, " "))
+			}
+			continue
+		case line == `\explain`:
+			fmt.Fprintln(out, `usage: \explain <sql>`)
+			continue
+		case strings.HasPrefix(line, `\explain `):
+			stmtSQL := strings.TrimSpace(strings.TrimPrefix(line, `\explain `))
+			var planRows []table.Row
+			var err error
+			if conn != nil {
+				var r *client.Result
+				if r, err = conn.Exec("EXPLAIN " + stmtSQL); err == nil && r != nil {
+					planRows = r.Rows
+				}
+			} else {
+				var r *core.Result
+				if r, err = exec.Execute("EXPLAIN " + stmtSQL); err == nil && r != nil {
+					planRows = r.Rows
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			for _, r := range planRows {
+				fmt.Fprintln(out, " ", r[0].AsString())
+			}
 			continue
 		}
 
@@ -262,6 +294,35 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 			}
 		}
 	}
+}
+
+// printPicks renders the engine's per-algorithm pick counters.
+func printPicks(out io.Writer, p core.PickStats) {
+	var parts []string
+	for _, name := range sortedKeys(p.Select) {
+		parts = append(parts, fmt.Sprintf("select.%s=%d", name, p.Select[name]))
+	}
+	for _, name := range sortedKeys(p.Join) {
+		parts = append(parts, fmt.Sprintf("join.%s=%d", name, p.Join[name]))
+	}
+	if p.Sorts > 0 {
+		parts = append(parts, fmt.Sprintf("sort=%d", p.Sorts))
+	}
+	if p.Limits > 0 {
+		parts = append(parts, fmt.Sprintf("limit=%d", p.Limits))
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(out, "  operator picks: %s\n", strings.Join(parts, " "))
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // parseShellArgs parses \exec arguments: integers, floats, 'quoted
@@ -355,20 +416,23 @@ func printHelp(out io.Writer, connected bool) {
 	fmt.Fprint(out, `Statements:
   CREATE TABLE t (col TYPE, ...) [STORAGE = FLAT|INDEXED|BOTH] [INDEX ON col] [CAPACITY = n]
   INSERT INTO t VALUES (...), (...)
-  SELECT cols|aggregates FROM t [JOIN t2 ON a = b] [WHERE expr] [GROUP BY expr] [FORCE alg]
+  SELECT cols|aggregates FROM t [JOIN t2 ON a = b] [WHERE expr] [GROUP BY expr]
+         [ORDER BY col [ASC|DESC]] [LIMIT n] [FORCE alg]
   UPDATE t SET col = expr [WHERE expr]
   DELETE FROM t [WHERE expr]
   DROP TABLE t
+  EXPLAIN <stmt>                 show the physical plan instead of executing
 Types: INTEGER, FLOAT, VARCHAR(n), BOOLEAN, DATE (stored as days since epoch)
 Aggregates: COUNT(*), SUM, AVG, MIN, MAX; functions: SUBSTR(s, start, len)
 Statements take ? or $n placeholders when prepared:
   \prepare name <sql>            parse once, keep under a name
   \exec name arg1 arg2 ...       run it with bound arguments
                                  (args: 42, 1.5, 'text', TRUE, NULL)
+  \explain <sql>                 shorthand for EXPLAIN <sql>
 `)
 	if connected {
-		fmt.Fprintln(out, `Meta: \prepare, \exec, \stats, \q`)
+		fmt.Fprintln(out, `Meta: \prepare, \exec, \explain, \stats, \q`)
 	} else {
-		fmt.Fprintln(out, `Meta: \prepare, \exec, \tables, \mem, \q`)
+		fmt.Fprintln(out, `Meta: \prepare, \exec, \explain, \stats, \tables, \mem, \q`)
 	}
 }

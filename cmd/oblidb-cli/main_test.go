@@ -26,7 +26,9 @@ func TestShellEmbeddedSession(t *testing.T) {
 		"CREATE TABLE t (id INTEGER, name VARCHAR(8))",
 		"INSERT INTO t VALUES (1, 'alice'), (2, 'bob')",
 		"SELECT name FROM t WHERE id = 2",
+		"SELECT id FROM t WHERE id >= 1 ORDER BY id DESC LIMIT 1",
 		"SELECT BROKEN SYNTAX !!",
+		`\explain SELECT name FROM t WHERE id = $1 ORDER BY id LIMIT 1`,
 		`\tables`,
 		`\mem`,
 		`\stats`,
@@ -35,12 +37,16 @@ func TestShellEmbeddedSession(t *testing.T) {
 	out := driveShell(t, script, "")
 	for _, want := range []string{
 		"ObliDB shell",
-		"Statements:",         // \help
-		`"bob"`,               // the select's result row
-		"error:",              // the broken statement reports, not aborts
-		"  t",                 // \tables
-		"oblivious memory:",   // \mem
-		"only available in c", // \stats refused when embedded
+		"Statements:",       // \help
+		`"bob"`,             // the select's result row
+		"error:",            // the broken statement reports, not aborts
+		"  t",               // \tables
+		"oblivious memory:", // \mem
+		"plan cache:",       // \stats works embedded now
+		"operator picks:",   // \stats pick counters
+		"Limit 1",           // \explain renders the plan tree
+		"Sort id",
+		"sort=", // the ORDER BY execution was tallied
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("embedded session output missing %q:\n%s", want, out)
@@ -66,6 +72,8 @@ func TestShellConnectSession(t *testing.T) {
 		"CREATE TABLE c (k INTEGER)",
 		"INSERT INTO c VALUES (5), (6)",
 		"SELECT COUNT(*) FROM c",
+		"SELECT k FROM c ORDER BY k DESC LIMIT 1",
+		`\explain SELECT k FROM c ORDER BY k DESC LIMIT 1`,
 		`\tables`, // unavailable over the wire
 		`\stats`,
 		"exit",
@@ -74,9 +82,12 @@ func TestShellConnectSession(t *testing.T) {
 	for _, want := range []string{
 		"connected to",
 		"COUNT(*)",
-		"2", // the count
+		"2",           // the count
+		"6",           // the ORDER BY ... LIMIT result
+		"Sort k DESC", // \explain travels the wire
 		"unavailable in connect mode",
 		"epochs:",
+		"plan cache:", // the server publishes its cache counters
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("connect session output missing %q:\n%s", want, out)

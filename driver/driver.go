@@ -145,11 +145,11 @@ func (c *memConn) PrepareContext(ctx context.Context, query string) (driver.Stmt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	stmt, n, err := c.exec.Stmt(query)
+	prep, err := c.exec.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return &memStmt{conn: c, stmt: stmt, numParams: n}, nil
+	return &memStmt{conn: c, prep: prep}, nil
 }
 
 func (c *memConn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
@@ -198,19 +198,20 @@ func (c *memConn) Close() error {
 	return nil
 }
 
-// memStmt is a prepared statement on the in-process engine.
+// memStmt is a prepared statement on the in-process engine: the handle
+// pins the executor's cache entry, so every execution replays the
+// shape's compiled plan without a per-call lookup.
 type memStmt struct {
-	conn      *memConn
-	stmt      sqlexec.Statement
-	numParams int
-	closed    bool
+	conn   *memConn
+	prep   *sqlexec.Prepared
+	closed bool
 }
 
 var _ driver.Stmt = (*memStmt)(nil)
 var _ driver.StmtExecContext = (*memStmt)(nil)
 var _ driver.StmtQueryContext = (*memStmt)(nil)
 
-func (s *memStmt) NumInput() int { return s.numParams }
+func (s *memStmt) NumInput() int { return s.prep.NumParams() }
 
 func (s *memStmt) Close() error {
 	// Idempotent; the parse stays in the executor's plan cache.
@@ -225,7 +226,7 @@ func (s *memStmt) run(ctx context.Context, vals []table.Value) (*core.Result, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return s.conn.exec.ExecuteBound(s.stmt, s.numParams, vals)
+	return s.prep.Exec(vals)
 }
 
 func (s *memStmt) Exec(args []driver.Value) (driver.Result, error) {

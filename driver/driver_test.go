@@ -75,6 +75,46 @@ func seed(t *testing.T, db *sql.DB) {
 	}
 }
 
+// TestOrderByLimitThroughDriver drives the ORDER BY / LIMIT pipeline
+// and EXPLAIN through database/sql against both DSN forms.
+func TestOrderByLimitThroughDriver(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		ctx := context.Background()
+		rows, err := db.QueryContext(ctx,
+			`SELECT name, age FROM users WHERE age >= ? ORDER BY age DESC LIMIT 2`, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var got []string
+		for rows.Next() {
+			var name string
+			var age int
+			if err := rows.Scan(&name, &age); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, fmt.Sprintf("%s:%d", name, age))
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"carol:41", "alice:34"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("driver ORDER BY LIMIT = %v, want %v", got, want)
+		}
+
+		var line string
+		if err := db.QueryRowContext(ctx,
+			`EXPLAIN SELECT name FROM users ORDER BY age LIMIT 1`).Scan(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line != "Collect" {
+			t.Fatalf("EXPLAIN first line = %q, want Collect", line)
+		}
+	})
+}
+
 func TestQueryContextRowsIteration(t *testing.T) {
 	eachDSN(t, func(t *testing.T, db *sql.DB) {
 		seed(t, db)

@@ -125,6 +125,77 @@ type DB struct {
 	// under the database mutex; read it only while no other goroutine is
 	// running queries (the experiments are single-threaded).
 	LastPlan PlanInfo
+	// picks tallies every runtime operator-algorithm decision (guarded
+	// by mu); PlanStats reports a copy.
+	picks PickStats
+	// catEpoch counts catalog changes (CreateTable/DropTable). Compiled
+	// plans cache catalog-derived decisions — access paths, join splits
+	// — so plan caches key their entries to the epoch and recompile
+	// after DDL instead of replaying stale decisions. It lives here, on
+	// the engine that owns the catalog, so DDL through any surface (SQL
+	// or the embedded-engine API) invalidates alike.
+	catEpoch uint64
+}
+
+// CatalogEpoch reports the current catalog version; it changes exactly
+// when CreateTable or DropTable succeeds.
+func (db *DB) CatalogEpoch() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.catEpoch
+}
+
+// PickStats counts the planner's runtime algorithm picks — one tally
+// per operator execution, keyed by the chosen variant. Everything here
+// is already-conceded plan leakage (§2.3), which is why the server may
+// publish it over the wire.
+type PickStats struct {
+	// Select and Join count picks per algorithm name.
+	Select map[string]uint64
+	Join   map[string]uint64
+	// Sorts and Limits count oblivious ORDER BY and LIMIT executions.
+	Sorts, Limits uint64
+}
+
+// clone deep-copies the counters.
+func (p PickStats) clone() PickStats {
+	out := PickStats{Sorts: p.Sorts, Limits: p.Limits}
+	if p.Select != nil {
+		out.Select = make(map[string]uint64, len(p.Select))
+		for k, v := range p.Select {
+			out.Select[k] = v
+		}
+	}
+	if p.Join != nil {
+		out.Join = make(map[string]uint64, len(p.Join))
+		for k, v := range p.Join {
+			out.Join[k] = v
+		}
+	}
+	return out
+}
+
+// PlanStats reports the engine's per-algorithm pick counters.
+func (db *DB) PlanStats() PickStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.picks.clone()
+}
+
+// pickSelect and pickJoin tally one runtime algorithm decision (called
+// with mu held).
+func (db *DB) pickSelect(name string) {
+	if db.picks.Select == nil {
+		db.picks.Select = make(map[string]uint64)
+	}
+	db.picks.Select[name]++
+}
+
+func (db *DB) pickJoin(name string) {
+	if db.picks.Join == nil {
+		db.picks.Join = make(map[string]uint64)
+	}
+	db.picks.Join[name]++
 }
 
 // PlanInfo reports which physical operators the planner chose — exactly
@@ -285,6 +356,7 @@ func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) 
 		}
 	}
 	db.tables[lname] = t
+	db.catEpoch++
 	return t, nil
 }
 
@@ -328,6 +400,7 @@ func (db *DB) DropTable(name string) error {
 		t.index.Close()
 	}
 	delete(db.tables, lname)
+	db.catEpoch++
 	return nil
 }
 
@@ -337,6 +410,12 @@ func (db *DB) DropTable(name string) error {
 func (db *DB) Insert(name string, rows ...table.Row) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.insertRows(name, rows)
+}
+
+// insertRows is Insert without the lock, for internal cross-calls (the
+// plan interpreter runs under the database mutex already).
+func (db *DB) insertRows(name string, rows []table.Row) error {
 	t, err := db.lookup(name)
 	if err != nil {
 		return err
@@ -457,6 +536,11 @@ func (db *DB) bulkLoad(name string, rows []table.Row) error {
 func (db *DB) Delete(name string, pred table.Pred, key *KeyRange) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.deleteRows(name, pred, key)
+}
+
+// deleteRows is Delete without the lock, for internal cross-calls.
+func (db *DB) deleteRows(name string, pred table.Pred, key *KeyRange) (int, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return 0, err
@@ -531,6 +615,11 @@ func (db *DB) Delete(name string, pred table.Pred, key *KeyRange) (int, error) {
 func (db *DB) Update(name string, pred table.Pred, upd table.Updater, key *KeyRange) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.updateRows(name, pred, upd, key)
+}
+
+// updateRows is Update without the lock, for internal cross-calls.
+func (db *DB) updateRows(name string, pred table.Pred, upd table.Updater, key *KeyRange) (int, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return 0, err

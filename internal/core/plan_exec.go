@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+
+	"oblidb/internal/exec"
+	"oblidb/internal/plan"
+	"oblidb/internal/planner"
+	"oblidb/internal/table"
+)
+
+// This file is the engine's plan interpreter: it executes the physical
+// plan IR of internal/plan by wrapping the existing oblivious operators.
+// The interpreter holds the database mutex for the whole statement (like
+// every exported entry point) and makes no data-dependent decisions of
+// its own — each node maps onto exactly the operator invocation the old
+// per-statement entry points performed, so the refactor moves dispatch,
+// not leakage.
+
+// TableMeta implements plan.Catalog with the engine's public metadata.
+func (db *DB) TableMeta(name string) (plan.TableMeta, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tableMeta(name)
+}
+
+// tableMeta is TableMeta without the lock.
+func (db *DB) tableMeta(name string) (plan.TableMeta, bool) {
+	t, err := db.lookup(name)
+	if err != nil {
+		return plan.TableMeta{}, false
+	}
+	m := plan.TableMeta{
+		RecordSize: t.schema.RecordSize(),
+		NumColumns: t.schema.NumColumns(),
+	}
+	if t.keyCol >= 0 {
+		m.KeyColumn = t.schema.Col(t.keyCol).Name
+	}
+	if t.flat != nil {
+		m.Blocks = t.flat.Capacity()
+	} else {
+		m.Blocks = t.index.NumRows()
+	}
+	return m, true
+}
+
+// lockedCatalog adapts the (already locked) database for the optimizer
+// pass, which runs under the database mutex.
+type lockedCatalog struct{ db *DB }
+
+func (c lockedCatalog) TableMeta(name string) (plan.TableMeta, bool) {
+	return c.db.tableMeta(name)
+}
+
+// ExplainPlan runs the optimizer pass over a compiled plan — every
+// node gets the algorithm, parallelism, and padded cost estimate the
+// planner derives from public sizes alone — and renders the annotated
+// tree. Annotation and rendering both happen under the database mutex:
+// compiled plans are shared across executions (and across concurrent
+// EXPLAINs of one shape), so the Choice fields must never be read while
+// another annotation writes them. The interpreter's runtime decisions
+// use the same choosers with the stats scan's exact |R| where one runs.
+func (db *DB) ExplainPlan(root plan.Node) []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	workers := len(db.workers)
+	if workers == 0 {
+		workers = 1
+	}
+	planner.Annotate(root, lockedCatalog{db}, db.enc, db.cfg.Planner, workers)
+	return plan.Explain(root)
+}
+
+// ExecutePlan runs a compiled plan with the given binder supplying this
+// execution's argument values. Deferred evaluation errors surface after
+// the operators complete — they must run their full padded access
+// sequences regardless.
+func (db *DB) ExecutePlan(root plan.Node, b plan.Binder) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := db.runPlan(root, b)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runPlan executes a statement-level plan node.
+func (db *DB) runPlan(n plan.Node, b plan.Binder) (*Result, error) {
+	switch x := n.(type) {
+	case *plan.Collect:
+		return db.runCollect(x, b)
+	case *plan.Aggregate:
+		t, key, cond, names, err := db.planSource(x.Input, b)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := b.Pred(cond, t.schema, names)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]AggregateSpec, len(x.Specs))
+		outNames := make([]string, len(x.Specs))
+		for i, s := range x.Specs {
+			specs[i] = AggregateSpec{Kind: s.Kind, Column: planAggColumn(t.schema, s.Column, names)}
+			outNames[i] = s.Name
+		}
+		res, err := db.aggregateTable(t, pred, specs, key)
+		if err != nil {
+			return nil, err
+		}
+		res.Cols = outNames
+		return res, nil
+	case *plan.Insert:
+		rows := make([]table.Row, len(x.Rows))
+		for i, exprs := range x.Rows {
+			row, err := b.RowValues(exprs)
+			if err != nil {
+				return nil, err
+			}
+			rows[i] = row
+		}
+		if err := db.insertRows(x.Table, rows); err != nil {
+			return nil, err
+		}
+		return affectedResult(len(rows)), nil
+	case *plan.Update:
+		t, err := db.lookup(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := b.Pred(x.Cond, t.schema, nil)
+		if err != nil {
+			return nil, err
+		}
+		upd, err := b.Updater(x.Sets, t.schema)
+		if err != nil {
+			return nil, err
+		}
+		count, err := db.updateRows(x.Table, pred, upd, engineRange(x.Key))
+		if err != nil {
+			return nil, err
+		}
+		return affectedResult(count), nil
+	case *plan.Delete:
+		t, err := db.lookup(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := b.Pred(x.Cond, t.schema, nil)
+		if err != nil {
+			return nil, err
+		}
+		count, err := db.deleteRows(x.Table, pred, engineRange(x.Key))
+		if err != nil {
+			return nil, err
+		}
+		return affectedResult(count), nil
+	}
+	return nil, fmt.Errorf("core: cannot execute plan node %T as a statement", n)
+}
+
+// runCollect materializes the subtree and decrypts it into a Result,
+// applying the trailing projection (a trace-neutral in-enclave map).
+func (db *DB) runCollect(c *plan.Collect, b plan.Binder) (*Result, error) {
+	inner := c.Input
+	var items []plan.ProjItem
+	if pr, ok := inner.(*plan.Project); ok {
+		items = pr.Items
+		inner = pr.Input
+	}
+	t, names, err := db.planTable(inner, b)
+	if err != nil {
+		return nil, err
+	}
+	// Surface predicate evaluation errors before handing rows back, as
+	// the per-statement entry points did.
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	raw, err := db.collect(t)
+	if err != nil {
+		return nil, err
+	}
+	if items == nil {
+		return raw, nil
+	}
+	mapper, err := b.Project(items, raw.Cols, names)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Cols: make([]string, len(items))}
+	for i, it := range items {
+		out.Cols[i] = it.Name
+	}
+	for _, r := range raw.Rows {
+		row, err := mapper(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// planTable materializes a table-producing plan node into an
+// intermediate table, returning the join naming context its rows carry
+// (nil outside joins).
+func (db *DB) planTable(n plan.Node, b plan.Binder) (*Table, *plan.JoinNames, error) {
+	switch x := n.(type) {
+	case *plan.Filter:
+		t, key, cond, names, err := db.planSource(x, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred, err := b.Pred(cond, t.schema, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := db.selectTable(t, pred, SelectOptions{KeyRange: key, Force: x.Force})
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, names, nil
+	case *plan.Join:
+		return db.planJoin(x, b)
+	case *plan.GroupBy:
+		t, key, cond, names, err := db.planSource(x.Input, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred, err := b.Pred(cond, t.schema, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupKey, err := b.GroupKey(x.Key, t.schema, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs := make([]AggregateSpec, len(x.Specs))
+		for i, s := range x.Specs {
+			specs[i] = AggregateSpec{Kind: s.Kind, Column: planAggColumn(t.schema, s.Column, names)}
+		}
+		out, err := db.groupAggregateTable(t, pred, groupKey, specs, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The grouped output has its own [group, aggs...] schema; join
+		// naming does not survive it.
+		return out, nil, nil
+	case *plan.Sort:
+		return db.planSort(x, b)
+	case *plan.Limit:
+		t, names, err := db.planTable(x.Input, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		in, release, err := db.inputFor(t, nil, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer release()
+		out, err := exec.Limit(db.enc, in, x.N, db.tmpName("limit"))
+		if err != nil {
+			return nil, nil, err
+		}
+		db.picks.Limits++
+		return db.wrapTemp(out), names, nil
+	case *plan.Scan, *plan.IndexScan:
+		// The compiler wraps leaves in Filter; a bare leaf still
+		// materializes through an all-rows oblivious select (the engine
+		// never hands out raw storage).
+		t, key, _, _, err := db.planSource(n, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := db.selectTable(t, table.All, SelectOptions{KeyRange: key})
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, nil, nil
+	}
+	return nil, nil, fmt.Errorf("core: unexpected plan node %T in a table position", n)
+}
+
+// planSource resolves a node to (table, key range, pending filter
+// condition, join names) without materializing the filter, so callers
+// fuse the predicate into their own operator pass — the aggregate's
+// fused scan, the sort's copy pass, the select's chosen algorithm.
+func (db *DB) planSource(n plan.Node, b plan.Binder) (*Table, *KeyRange, plan.Expr, *plan.JoinNames, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		t, err := db.lookup(x.Table)
+		return t, nil, nil, nil, err
+	case *plan.IndexScan:
+		t, err := db.lookup(x.Table)
+		return t, &KeyRange{Lo: x.Range.Lo, Hi: x.Range.Hi}, nil, nil, err
+	case *plan.Filter:
+		switch x.Input.(type) {
+		case *plan.Scan, *plan.IndexScan:
+			t, key, _, _, err := db.planSource(x.Input, b)
+			return t, key, x.Cond, nil, err
+		}
+		t, names, err := db.planTable(x.Input, b)
+		return t, nil, x.Cond, names, err
+	default:
+		t, names, err := db.planTable(n, b)
+		return t, nil, nil, names, err
+	}
+}
+
+// planJoin executes a Join node: side filters (the children's
+// conditions) fuse into the join's oblivious pre-filter passes.
+func (db *DB) planJoin(x *plan.Join, b plan.Binder) (*Table, *plan.JoinNames, error) {
+	lt, err := db.lookup(x.LeftTable)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := db.lookup(x.RightTable)
+	if err != nil {
+		return nil, nil, err
+	}
+	sideCond := func(n plan.Node) plan.Expr {
+		if f, ok := n.(*plan.Filter); ok {
+			return f.Cond
+		}
+		return nil
+	}
+	var leftPred, rightPred table.Pred
+	if cond := sideCond(x.Left); cond != nil {
+		if leftPred, err = b.Pred(cond, lt.schema, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cond := sideCond(x.Right); cond != nil {
+		if rightPred, err = b.Pred(cond, rt.schema, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	joined, err := db.joinTable(x.LeftTable, x.RightTable, x.LeftCol, x.RightCol, JoinOptions{
+		FilterLeft:  leftPred,
+		FilterRight: rightPred,
+		Force:       x.Force,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	names := &plan.JoinNames{Left: x.LeftTable, Right: x.RightTable, RightStart: lt.schema.NumColumns()}
+	return joined, names, nil
+}
+
+// planSort executes a Sort node: the input filter fuses into OrderBy's
+// copy pass (no stats scan, no |R|-sized intermediate — the trace
+// depends only on the input capacity), then the bitonic network orders
+// the padded table dummy-last.
+func (db *DB) planSort(x *plan.Sort, b plan.Binder) (*Table, *plan.JoinNames, error) {
+	t, key, cond, names, err := db.planSource(x.Input, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := b.Pred(cond, t.schema, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	col := -1
+	if x.Key != nil {
+		if col, err = b.Column(x.Key, t.schema, names); err != nil {
+			return nil, nil, err
+		}
+	}
+	in, release, err := db.inputFor(t, key, pred)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	out, err := exec.OrderBy(db.enc, in, pred, col, x.Desc, db.tmpName("sort"))
+	if err != nil {
+		return nil, nil, err
+	}
+	db.picks.Sorts++
+	return db.wrapTemp(out), names, nil
+}
+
+// planAggColumn resolves an aggregate's column for rows that come from
+// a join (names != nil): right-side duplicates carry the r_ prefix in
+// the joined schema, so a bare name that only resolves prefixed is
+// rewritten. Plain tables keep strict resolution — a missing column
+// stays an error even if an unrelated r_-named column exists.
+func planAggColumn(s *table.Schema, col string, names *plan.JoinNames) string {
+	if names == nil || col == "" {
+		return col
+	}
+	if s.ColIndex(col) < 0 && s.ColIndex("r_"+col) >= 0 {
+		return "r_" + col
+	}
+	return col
+}
+
+// engineRange converts a plan key range back to the engine's.
+func engineRange(k *plan.KeyRange) *KeyRange {
+	if k == nil {
+		return nil
+	}
+	return &KeyRange{Lo: k.Lo, Hi: k.Hi}
+}
+
+// affectedResult is the one-row result DML returns.
+func affectedResult(n int) *Result {
+	return &Result{Cols: []string{"affected"}, Rows: []table.Row{{table.Int(int64(n))}}, Affected: true}
+}

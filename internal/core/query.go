@@ -92,6 +92,7 @@ func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table
 		execOpts.OutSize = db.cfg.Padding.PadRows
 		alg = exec.SelectHash
 		db.LastPlan = PlanInfo{SelectAlg: alg, Stats: st}
+		db.pickSelect(alg.String())
 		// The Hash operator places st.Matching real rows among the padded
 		// structure; pred gates real writes, the pad hides |R|.
 		out, err := db.runSelect(in, pred, alg, execOpts, st.Matching)
@@ -111,6 +112,7 @@ func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table
 		alg = planner.ChooseSelect(db.enc, recSize, st, db.cfg.Planner)
 	}
 	db.LastPlan = PlanInfo{SelectAlg: alg, Stats: st, UsedIndex: opts.KeyRange != nil && t.index != nil}
+	db.pickSelect(alg.String())
 	execOpts.OutSize = st.Matching
 	execOpts.ContinuousStart = st.Start
 	out, err := db.runSelect(in, pred, alg, execOpts, st.Matching)
@@ -386,6 +388,7 @@ func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 		})
 	}
 	db.LastPlan.JoinAlg = alg
+	db.pickJoin(alg.String())
 	name := db.tmpName("join")
 	var out *storage.Flat
 	if ws, rf, ok := db.parallelFor(rin, rTab.schema.RecordSize()); ok && alg == exec.JoinHash {

@@ -137,12 +137,16 @@ func (g *Generator) Next() Op {
 		return g.delete0()
 	case p < 51:
 		return g.update0()
-	case p < 68:
+	case p < 63:
 		return g.select0()
-	case p < 82:
+	case p < 71:
+		return g.orderLimit0()
+	case p < 79:
 		return g.aggregate0()
-	case p < 92:
+	case p < 88:
 		return g.group0()
+	case p < 94:
+		return g.joinAggregate()
 	default:
 		return g.join()
 	}
@@ -255,6 +259,76 @@ func (g *Generator) select0() Op {
 	}
 }
 
+// orderLimit0 generates ORDER BY (and usually LIMIT) shapes over t0.
+// The sort key is k — unique by construction — so the top-n prefix is
+// deterministic and every engine must return the same multiset.
+func (g *Generator) orderLimit0() Op {
+	pd := g.pred0()
+	desc := g.rng.IntN(2) == 0
+	dir := ""
+	if desc {
+		dir = " DESC"
+	}
+	limit := -1
+	limitSQL := ""
+	if g.rng.IntN(4) != 0 {
+		limit = g.rng.IntN(6) + 1
+		limitSQL = fmt.Sprintf(" LIMIT %d", limit)
+	}
+	return Op{
+		SQL: fmt.Sprintf("SELECT * FROM t0 WHERE %s ORDER BY k%s%s", pd.sql, dir, limitSQL),
+		Ref: func(r *Ref) *RefResult {
+			res := &RefResult{Cols: []string{"k", "v", "s"}}
+			each0(r, func(k, v int64, s string) {
+				if pd.fn(k, v, s) {
+					res.Rows = append(res.Rows, table.Row{table.Int(k), table.Int(v), table.Str(s)})
+				}
+			})
+			sort.Slice(res.Rows, func(i, j int) bool {
+				if desc {
+					return res.Rows[i][0].AsInt() > res.Rows[j][0].AsInt()
+				}
+				return res.Rows[i][0].AsInt() < res.Rows[j][0].AsInt()
+			})
+			if limit >= 0 && len(res.Rows) > limit {
+				res.Rows = res.Rows[:limit]
+			}
+			return res
+		},
+	}
+}
+
+// joinAggregate generates join-then-aggregate shapes: the aggregate
+// runs fused over the joined intermediate with the side filter pushed
+// into the join's oblivious pre-filter.
+func (g *Generator) joinAggregate() Op {
+	c := g.genVal()
+	return Op{
+		SQL: fmt.Sprintf("SELECT COUNT(*), SUM(w) FROM t0 JOIN t1 ON k = fk WHERE w < %d", c),
+		Ref: func(r *Ref) *RefResult {
+			byK := make(map[int64]table.Row, len(r.t0.Rows))
+			for _, row := range r.t0.Rows {
+				byK[row[0].AsInt()] = row
+			}
+			var count int64
+			var sum float64
+			for _, fr := range r.t1.Rows {
+				if fr[1].AsInt() >= c {
+					continue
+				}
+				if _, ok := byK[fr[0].AsInt()]; ok {
+					count++
+					sum += float64(fr[1].AsInt())
+				}
+			}
+			return &RefResult{
+				Cols: []string{"COUNT(*)", "SUM(w)"},
+				Rows: []table.Row{{table.Int(count), table.Float(sum)}},
+			}
+		},
+	}
+}
+
 func (g *Generator) aggregate0() Op {
 	pd := g.pred0()
 	return Op{
@@ -290,8 +364,17 @@ func (g *Generator) aggregate0() Op {
 
 func (g *Generator) group0() Op {
 	pd := g.pred0()
+	// A quarter of grouped queries ride the ORDER BY ... LIMIT pipeline
+	// over the grouped output (the group key v is unique per group, so
+	// the top-n prefix is deterministic).
+	limit := -1
+	suffix := ""
+	if g.rng.IntN(4) == 0 {
+		limit = g.rng.IntN(4) + 1
+		suffix = fmt.Sprintf(" ORDER BY v LIMIT %d", limit)
+	}
 	return Op{
-		SQL: fmt.Sprintf("SELECT v, COUNT(*), SUM(k) FROM t0 WHERE %s GROUP BY v", pd.sql),
+		SQL: fmt.Sprintf("SELECT v, COUNT(*), SUM(k) FROM t0 WHERE %s GROUP BY v%s", pd.sql, suffix),
 		Ref: func(r *Ref) *RefResult {
 			type acc struct{ count, sum int64 }
 			groups := map[int64]*acc{}
@@ -310,6 +393,14 @@ func (g *Generator) group0() Op {
 			res := &RefResult{Cols: []string{"group", "COUNT(*)", "SUM(k)"}}
 			for v, a := range groups {
 				res.Rows = append(res.Rows, table.Row{table.Int(v), table.Int(a.count), table.Float(float64(a.sum))})
+			}
+			if limit >= 0 {
+				sort.Slice(res.Rows, func(i, j int) bool {
+					return res.Rows[i][0].AsInt() < res.Rows[j][0].AsInt()
+				})
+				if len(res.Rows) > limit {
+					res.Rows = res.Rows[:limit]
+				}
 			}
 			return res
 		},

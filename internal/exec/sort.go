@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+)
+
+// OrderBy materializes the rows of in that match pred into a fresh flat
+// table sorted on column col (descending when desc is set), with every
+// dummy record after every real one. col < 0 sorts by the used flag
+// alone — the dummy-last compaction a bare LIMIT needs.
+//
+// The operator is built for trace independence from the match count:
+//
+//  1. A copy pass reads every input block once and writes every output
+//     block once — the matching rows as themselves, everything else as
+//     a dummy — into an output padded to the next power of two of the
+//     input size. No stats scan runs and no |R|-sized intermediate
+//     exists, so unlike the SELECT algorithms nothing here depends on
+//     how many rows matched.
+//  2. The bitonic network of ObliviousSort orders the padded table with
+//     its fixed, size-determined compare-exchange sequence, accelerated
+//     by in-enclave chunk sorts when the memory budget allows (the same
+//     two-level scheme as the Opaque join).
+//
+// The comparator orders dummies last, then by the key column, then by
+// the sealed record's remaining bytes — a total order, so the output
+// permutation is a deterministic function of the row multiset and ties
+// cannot make engines diverge.
+func OrderBy(e *enclave.Enclave, in Input, pred table.Pred, col int, desc bool, outName string) (*storage.Flat, error) {
+	schema := in.Schema()
+	if col >= schema.NumColumns() {
+		return nil, fmt.Errorf("exec: sort column %d out of range", col)
+	}
+	if pred == nil {
+		pred = table.All
+	}
+	n := NextPow2(max(1, in.Blocks()))
+	out, err := storage.NewFlat(e, outName, schema, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Copy pass: one read and one write per block, real or dummy.
+	kept := 0
+	for i := 0; i < in.Blocks(); i++ {
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		if used && pred(row) {
+			err = out.SetRow(i, row, true)
+			kept++
+		} else {
+			err = out.SetRow(i, nil, false)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := in.Blocks(); i < n; i++ {
+		if err := out.SetRow(i, nil, false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Chunk sizing from the oblivious-memory budget, as the sort-merge
+	// joins do: whole chunks sort in-enclave, the network merges them.
+	recSize := schema.RecordSize()
+	chunkRows := FloorPow2(e.Available() / max(1, recSize))
+	if chunkRows < 1 {
+		chunkRows = 1
+	}
+	if chunkRows > n {
+		chunkRows = n
+	}
+	if chunkRows > 1 {
+		reserve := chunkRows * recSize
+		if err := e.Reserve(reserve); err != nil {
+			return nil, err
+		}
+		defer e.Release(reserve)
+	}
+
+	var sortErr error
+	less := func(a, b []byte) bool {
+		la := recordLess(schema, a, b, col, desc, &sortErr)
+		return la
+	}
+	if err := ObliviousSort(out.Store(), n, chunkRows, less); err != nil {
+		return nil, err
+	}
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out.BumpRows(kept)
+	return out, nil
+}
+
+// recordLess is the OrderBy comparator over two sealed-record
+// plaintexts: dummies last, then the key column (col >= 0), then the
+// raw bytes as a deterministic tiebreak. Errors stick in *errOut — the
+// network must run its full fixed sequence regardless.
+func recordLess(schema *table.Schema, a, b []byte, col int, desc bool, errOut *error) bool {
+	rowA, usedA, err := schema.DecodeRecord(a)
+	if err != nil {
+		if *errOut == nil {
+			*errOut = err
+		}
+		return false
+	}
+	rowB, usedB, err := schema.DecodeRecord(b)
+	if err != nil {
+		if *errOut == nil {
+			*errOut = err
+		}
+		return false
+	}
+	if usedA != usedB {
+		return usedA // real rows before dummies
+	}
+	if !usedA {
+		return false // dummies are all equal
+	}
+	if col >= 0 {
+		c, err := table.Compare(rowA[col], rowB[col])
+		if err != nil {
+			if *errOut == nil {
+				*errOut = err
+			}
+			return false
+		}
+		if c != 0 {
+			if desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return bytes.Compare(a, b) < 0
+}
+
+// Limit copies the first n blocks of in into an n-capacity output —
+// the oblivious LIMIT. The input must be dummy-last (an OrderBy
+// output), so the copied prefix holds exactly the first min(|R|, n)
+// rows. The output size is always n whatever the data: the host learns
+// the statement's public limit, never how many rows actually matched.
+func Limit(e *enclave.Enclave, in Input, n int, outName string) (*storage.Flat, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("exec: negative limit %d", n)
+	}
+	schema := in.Schema()
+	out, err := storage.NewFlat(e, outName, schema, max(1, n))
+	if err != nil {
+		return nil, err
+	}
+	kept := 0
+	for i := 0; i < max(1, n); i++ {
+		if i >= n || i >= in.Blocks() {
+			// Past the input (or a zero limit): pad with dummies.
+			if err := out.SetRow(i, nil, false); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		row, used, err := in.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.SetRow(i, row, used); err != nil {
+			return nil, err
+		}
+		if used {
+			kept++
+		}
+	}
+	out.BumpRows(kept)
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"testing"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/table"
+	"oblidb/internal/trace"
+)
+
+// sortedVals reads the used rows of a table in block order, returning
+// the val column — OrderBy's output order.
+func sortedVals(t *testing.T, f interface {
+	Rows() ([]table.Row, error)
+}) []int64 {
+	t.Helper()
+	rows, err := f.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[1].AsInt()
+	}
+	return out
+}
+
+func TestOrderBySortsMatchingRowsDummyLast(t *testing.T) {
+	e := enclave.MustNew(enclave.Config{})
+	vals := []int64{5, -3, 9, 0, 7, -3, 12, 1, 4, 2}
+	in := buildFlat(t, e, "in", vals)
+	pred := func(r table.Row) bool { return r[1].AsInt() >= 0 }
+	out, err := OrderBy(e, FromFlat(in), pred, 1, false, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Capacity() != NextPow2(len(vals)) {
+		t.Fatalf("capacity = %d, want padded %d", out.Capacity(), NextPow2(len(vals)))
+	}
+	want := []int64{0, 1, 2, 4, 5, 7, 9, 12}
+	if got := sortedVals(t, out); !eqInt64s(got, want) {
+		t.Fatalf("ascending sort = %v, want %v", got, want)
+	}
+	// Dummy-last: the used rows must occupy a prefix of the blocks.
+	seenDummy := false
+	for i := 0; i < out.Capacity(); i++ {
+		_, used, err := out.ReadBlock(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !used {
+			seenDummy = true
+		} else if seenDummy {
+			t.Fatalf("real row at block %d after a dummy", i)
+		}
+	}
+
+	desc, err := OrderBy(e, FromFlat(in), pred, 1, true, "out2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDesc := []int64{12, 9, 7, 5, 4, 2, 1, 0}
+	if got := sortedVals(t, desc); !eqInt64s(got, wantDesc) {
+		t.Fatalf("descending sort = %v, want %v", got, wantDesc)
+	}
+}
+
+func TestOrderByCompactOnly(t *testing.T) {
+	// col < 0: no key, just dummy-last compaction.
+	e := enclave.MustNew(enclave.Config{})
+	vals := []int64{3, 1, 2}
+	in := buildFlat(t, e, "in", vals)
+	out, err := OrderBy(e, FromFlat(in), func(r table.Row) bool { return r[1].AsInt() != 1 }, -1, false, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := out.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || out.NumRows() != 2 {
+		t.Fatalf("compaction kept %d rows (NumRows %d), want 2", len(rows), out.NumRows())
+	}
+}
+
+func TestLimitFixedOutput(t *testing.T) {
+	e := enclave.MustNew(enclave.Config{})
+	vals := []int64{9, 5, 7, 1, 3}
+	in := buildFlat(t, e, "in", vals)
+	sorted, err := OrderBy(e, FromFlat(in), nil, 1, false, "sorted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Limit(e, FromFlat(sorted), 3, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Capacity() != 3 {
+		t.Fatalf("limit capacity = %d, want 3", out.Capacity())
+	}
+	if got := sortedVals(t, out); !eqInt64s(got, []int64{1, 3, 5}) {
+		t.Fatalf("limit rows = %v, want [1 3 5]", got)
+	}
+
+	// Limit beyond the row count keeps its fixed size, padded.
+	big, err := Limit(e, FromFlat(sorted), 7, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Capacity() != 7 {
+		t.Fatalf("limit capacity = %d, want 7", big.Capacity())
+	}
+	if got := sortedVals(t, big); !eqInt64s(got, []int64{1, 3, 5, 7, 9}) {
+		t.Fatalf("over-limit rows = %v", got)
+	}
+
+	zero, err := Limit(e, FromFlat(sorted), 0, "zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedVals(t, zero); len(got) != 0 {
+		t.Fatalf("limit 0 returned rows %v", got)
+	}
+}
+
+// TestOrderByLimitTraceIndependent is the operator-level obliviousness
+// claim: for one input size and one limit, the untrusted trace of
+// OrderBy+Limit is byte-identical whatever the data and however many
+// rows match — there is no stats scan and no |R|-sized intermediate.
+func TestOrderByLimitTraceIndependent(t *testing.T) {
+	run := func(vals []int64, threshold int64) *trace.Tracer {
+		tr := trace.New()
+		e := enclave.MustNew(enclave.Config{Tracer: tr, Key: make([]byte, 32)})
+		in := buildFlat(t, e, "in", vals)
+		tr.Reset()
+		sorted, err := OrderBy(e, FromFlat(in),
+			func(r table.Row) bool { return r[1].AsInt() > threshold }, 1, false, "sorted")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Limit(e, FromFlat(sorted), 4, "out"); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	allMatch := run([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0)
+	noneMatch := run([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 100)
+	scattered := run([]int64{5, -1, 8, -2, 3, -3, 9, -4, 1, -5}, 0)
+	if d := trace.Diff(allMatch, noneMatch); d != "" {
+		t.Fatalf("trace depends on match count: %s", d)
+	}
+	if d := trace.Diff(allMatch, scattered); d != "" {
+		t.Fatalf("trace depends on data distribution: %s", d)
+	}
+}

@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Explain renders a plan tree as indented text, one line per node, with
+// whatever annotations the optimizer pass filled in. The rendering is a
+// pure function of the plan (statement shape + public catalog sizes at
+// annotation time), so EXPLAIN output is stable per shape and golden
+// tests can pin it.
+func Explain(root Node) []string {
+	var lines []string
+	var walk func(n Node, prefix string, last bool, top bool)
+	walk = func(n Node, prefix string, last bool, top bool) {
+		line := describe(n)
+		if top {
+			lines = append(lines, line)
+		} else {
+			branch := "├─ "
+			if last {
+				branch = "└─ "
+			}
+			lines = append(lines, prefix+branch+line)
+		}
+		childPrefix := prefix
+		if !top {
+			if last {
+				childPrefix += "   "
+			} else {
+				childPrefix += "│  "
+			}
+		}
+		kids := children(n)
+		for i, k := range kids {
+			walk(k, childPrefix, i == len(kids)-1, false)
+		}
+	}
+	walk(root, "", true, true)
+	return lines
+}
+
+// children lists a node's inputs in display order.
+func children(n Node) []Node {
+	switch x := n.(type) {
+	case *Filter:
+		return []Node{x.Input}
+	case *Project:
+		return []Node{x.Input}
+	case *Join:
+		return []Node{x.Left, x.Right}
+	case *Aggregate:
+		return []Node{x.Input}
+	case *GroupBy:
+		return []Node{x.Input}
+	case *Sort:
+		return []Node{x.Input}
+	case *Limit:
+		return []Node{x.Input}
+	case *Collect:
+		return []Node{x.Input}
+	}
+	return nil
+}
+
+// describe renders one node.
+func describe(n Node) string {
+	switch x := n.(type) {
+	case *Scan:
+		if x.InBlocks > 0 {
+			return fmt.Sprintf("Scan %s [blocks=%d]", x.Table, x.InBlocks)
+		}
+		return "Scan " + x.Table
+	case *IndexScan:
+		s := fmt.Sprintf("IndexScan %s (%s)", x.Table, rangeSQL(x.KeyCol, x.Range))
+		if x.InBlocks > 0 {
+			s += fmt.Sprintf(" [blocks≤%d]", x.InBlocks)
+		}
+		return s
+	case *Filter:
+		cond := x.CondSQL
+		if cond == "" {
+			cond = "*"
+		}
+		s := "Filter " + cond
+		if x.Force != nil {
+			s += " FORCE " + x.Force.String()
+		}
+		return s + annot(&x.Choice)
+	case *Project:
+		names := make([]string, len(x.Items))
+		for i, it := range x.Items {
+			names[i] = it.Name
+		}
+		return "Project " + strings.Join(names, ", ")
+	case *Join:
+		s := fmt.Sprintf("Join %s.%s = %s.%s", x.LeftTable, x.LeftCol, x.RightTable, x.RightCol)
+		if x.Force != nil {
+			s += " FORCE " + x.Force.String()
+		}
+		return s + annot(&x.Choice)
+	case *Aggregate:
+		return "Aggregate " + specNames(x.Specs)
+	case *GroupBy:
+		return "GroupBy " + x.KeySQL + ": " + specNames(x.Specs) + annot(&x.Choice)
+	case *Sort:
+		s := "Sort"
+		if x.Key == nil {
+			s += " (compact)"
+		} else {
+			s += " " + x.KeySQL
+			if x.Desc {
+				s += " DESC"
+			}
+		}
+		return s + annot(&x.Choice)
+	case *Limit:
+		return fmt.Sprintf("Limit %d", x.N)
+	case *Collect:
+		return "Collect"
+	case *Insert:
+		return fmt.Sprintf("Insert %s (%d row(s))", x.Table, len(x.Rows))
+	case *Update:
+		s := fmt.Sprintf("Update %s (%d set(s))", x.Table, len(x.Sets))
+		if x.CondSQL != "" {
+			s += " WHERE " + x.CondSQL
+		}
+		if x.Key != nil {
+			s += " via " + rangeSQL(x.KeyCol, *x.Key)
+		}
+		return s
+	case *Delete:
+		s := "Delete " + x.Table
+		if x.CondSQL != "" {
+			s += " WHERE " + x.CondSQL
+		}
+		if x.Key != nil {
+			s += " via " + rangeSQL(x.KeyCol, *x.Key)
+		}
+		return s
+	}
+	return fmt.Sprintf("%T", n)
+}
+
+func specNames(specs []AggSpec) string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// rangeSQL renders a key range on a named column.
+func rangeSQL(col string, r KeyRange) string {
+	switch {
+	case r.Lo == r.Hi:
+		return fmt.Sprintf("%s = %d", col, r.Lo)
+	case r.Lo == math.MinInt64:
+		return fmt.Sprintf("%s <= %d", col, r.Hi)
+	case r.Hi == math.MaxInt64:
+		return fmt.Sprintf("%s >= %d", col, r.Lo)
+	}
+	return fmt.Sprintf("%s in [%d, %d]", col, r.Lo, r.Hi)
+}
+
+// annot renders a filled-in Choice (empty string before annotation).
+func annot(c *Choice) string {
+	if c.Algorithm == "" && c.InBlocks == 0 && c.Cost == 0 {
+		return ""
+	}
+	var parts []string
+	if c.Algorithm != "" {
+		eq := "="
+		if c.Estimated {
+			eq = "≈"
+		}
+		parts = append(parts, "alg"+eq+c.Algorithm)
+	}
+	if c.InBlocks > 0 || c.OutBlocks > 0 {
+		parts = append(parts, fmt.Sprintf("blocks=%d→%d", c.InBlocks, c.OutBlocks))
+	}
+	if c.Parallelism > 1 {
+		parts = append(parts, fmt.Sprintf("P=%d", c.Parallelism))
+	}
+	if c.Cost > 0 {
+		parts = append(parts, fmt.Sprintf("cost≈%d", c.Cost))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,181 @@
+package planner
+
+import (
+	"math"
+
+	"oblidb/internal/enclave"
+	"oblidb/internal/exec"
+	"oblidb/internal/plan"
+)
+
+// Annotate is the optimizer pass over a compiled plan: it walks the IR
+// bottom-up and fills every node's Choice with the algorithm,
+// parallelism, and cost the planner derives from *public* information
+// alone — catalog sizes, the oblivious-memory budget, the worker-pool
+// size. Nothing here reads table data or argument values, so annotating
+// (and rendering via EXPLAIN) leaks exactly what the paper already
+// concedes a query plan leaks (§2.3).
+//
+// Selection nodes are annotated with the padded estimate |R| = |T| (the
+// stats scan that learns the exact |R| runs only at execution); their
+// Choice is marked Estimated. Join, sort, and limit decisions depend on
+// sizes alone, so their annotations are the runtime picks.
+func Annotate(root plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, maxWorkers int) {
+	annotate(root, cat, e, cfg, maxWorkers, false)
+}
+
+// nodeInfo is the public size estimate a subtree produces.
+type nodeInfo struct {
+	blocks  int // output size in blocks (padded estimate)
+	recSize int // output record size in bytes
+}
+
+// fused marks a Filter that is the direct input of an Aggregate,
+// GroupBy, or Sort: the interpreter folds its predicate into that
+// operator's own scan, so no SELECT algorithm runs and no intermediate
+// table exists.
+func annotate(n plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, maxWorkers int, fused bool) nodeInfo {
+	rec := func(child plan.Node) nodeInfo { return annotate(child, cat, e, cfg, maxWorkers, false) }
+	recFused := func(child plan.Node) nodeInfo { return annotate(child, cat, e, cfg, maxWorkers, true) }
+	switch x := n.(type) {
+	case *plan.Scan:
+		m, ok := cat.TableMeta(x.Table)
+		if !ok {
+			return nodeInfo{}
+		}
+		x.InBlocks, x.OutBlocks = m.Blocks, m.Blocks
+		return nodeInfo{blocks: m.Blocks, recSize: m.RecordSize}
+	case *plan.IndexScan:
+		m, ok := cat.TableMeta(x.Table)
+		if !ok {
+			return nodeInfo{}
+		}
+		// The scanned segment's size is data-dependent (the conceded
+		// index leakage of §4.1); the padded estimate is the whole
+		// table.
+		x.Algorithm, x.Estimated = "RangeScan", true
+		x.InBlocks, x.OutBlocks = m.Blocks, m.Blocks
+		return nodeInfo{blocks: m.Blocks, recSize: m.RecordSize}
+	case *plan.Filter:
+		in := rec(x.Input)
+		if fused {
+			// The parent operator's scan evaluates this predicate in
+			// its own single pass; no SELECT algorithm runs.
+			x.Algorithm, x.Estimated = "FusedScan", false
+			x.InBlocks, x.OutBlocks = in.blocks, in.blocks
+			x.Parallelism = ChooseParallelism(e, in.blocks, in.recSize, maxWorkers)
+			x.Cost = int64(in.blocks)
+			return nodeInfo{blocks: in.blocks, recSize: in.recSize}
+		}
+		st := SelectStats{InputBlocks: in.blocks, Matching: in.blocks}
+		var alg exec.SelectAlgorithm
+		var cost float64
+		if x.Force != nil {
+			alg = *x.Force
+			cost = SelectCost(alg, e, in.recSize, st, cfg)
+			x.Estimated = false
+		} else {
+			alg, cost = chooseSelectCost(e, in.recSize, st, cfg)
+			x.Estimated = true
+		}
+		x.Algorithm = alg.String()
+		x.InBlocks, x.OutBlocks = in.blocks, in.blocks
+		x.Parallelism = ChooseParallelism(e, in.blocks, in.recSize, maxWorkers)
+		x.Cost = finiteCost(cost)
+		return nodeInfo{blocks: in.blocks, recSize: in.recSize}
+	case *plan.Join:
+		l, r := rec(x.Left), rec(x.Right)
+		sizes := JoinSizes{
+			T1Blocks:      l.blocks,
+			T2Blocks:      r.blocks,
+			BuildRecSize:  l.recSize,
+			SortBlockSize: 9 + max(l.recSize, r.recSize),
+		}
+		var alg exec.JoinAlgorithm
+		var cost float64
+		if x.Force != nil {
+			alg, cost = *x.Force, math.NaN()
+		} else {
+			alg, cost = chooseJoinCost(e, sizes)
+		}
+		x.Algorithm = alg.String()
+		x.InBlocks = l.blocks + r.blocks
+		x.OutBlocks = l.blocks + r.blocks
+		x.Cost = finiteCost(cost)
+		return nodeInfo{blocks: l.blocks + r.blocks, recSize: l.recSize + r.recSize}
+	case *plan.Aggregate:
+		in := recFused(x.Input)
+		return nodeInfo{blocks: 1, recSize: in.recSize}
+	case *plan.GroupBy:
+		in := recFused(x.Input)
+		x.Algorithm = "HashGroup"
+		x.InBlocks, x.OutBlocks = in.blocks, in.blocks
+		x.Cost = int64(in.blocks)
+		return nodeInfo{blocks: in.blocks, recSize: in.recSize}
+	case *plan.Sort:
+		in := recFused(x.Input)
+		n2 := exec.NextPow2(maxInt(1, in.blocks))
+		chunk := exec.FloorPow2(e.Available() / maxInt(1, in.recSize))
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > n2 {
+			chunk = n2
+		}
+		x.Algorithm = "BitonicSort"
+		x.InBlocks, x.OutBlocks = in.blocks, n2
+		x.Parallelism = 1
+		// Copy pass (one read + one write per padded block) plus the
+		// network's passes, two accesses per block per pass.
+		x.Cost = int64(in.blocks+n2) + int64(2*n2)*int64(sortNetworkPasses(n2, chunk))
+		return nodeInfo{blocks: n2, recSize: in.recSize}
+	case *plan.Limit:
+		in := rec(x.Input)
+		return nodeInfo{blocks: x.N, recSize: in.recSize}
+	case *plan.Project:
+		return rec(x.Input)
+	case *plan.Collect:
+		return rec(x.Input)
+	case *plan.Update, *plan.Delete, *plan.Insert:
+		// DML nodes carry no Choice: their operators are fixed
+		// full-scan (or index-ranged) passes.
+		return nodeInfo{}
+	}
+	return nodeInfo{}
+}
+
+// sortNetworkPasses counts the block-array passes of the chunked
+// bitonic sort of exec.ObliviousSort: the initial chunk pass, each
+// stage's network substages with j >= chunk, and one in-enclave chunk
+// merge per stage (the same accounting ChooseJoin applies to the
+// sort-merge joins).
+func sortNetworkPasses(n, chunk int) int {
+	if chunk >= n {
+		return 1
+	}
+	logN, logC := log2i(n), log2i(chunk)
+	passes := 1
+	for m := logC + 1; m <= logN; m++ {
+		passes += m - logC
+		if chunk > 1 {
+			passes++
+		}
+	}
+	return passes
+}
+
+// finiteCost rounds a cost estimate for display, dropping the
+// non-finite sentinels of inapplicable algorithms.
+func finiteCost(c float64) int64 {
+	if math.IsInf(c, 0) || math.IsNaN(c) {
+		return 0
+	}
+	return int64(math.Round(c))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

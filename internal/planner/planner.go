@@ -96,28 +96,17 @@ func (c Config) largeFraction() float64 {
 //	Continuous: 3N   (read in, read out, write out per row)
 //	Hash:       21N  (read in + 10 slot read/write pairs per row)
 func ChooseSelect(e *enclave.Enclave, recSize int, st SelectStats, cfg Config) exec.SelectAlgorithm {
-	n := float64(st.InputBlocks)
-	costHash := 21 * n
+	alg, _ := chooseSelectCost(e, recSize, st, cfg)
+	return alg
+}
 
-	costSmall := math.Inf(1)
-	bufRows := e.Available() / recSize
-	if bufRows > 0 {
-		passes := (st.Matching + bufRows - 1) / bufRows
-		if passes < 1 {
-			passes = 1
-		}
-		costSmall = float64(passes)*n + float64(st.Matching)
-	}
-
-	costLarge := math.Inf(1)
-	if float64(st.Matching) >= cfg.largeFraction()*n {
-		costLarge = 5 * n
-	}
-
-	costCont := math.Inf(1)
-	if !cfg.DisableContinuous && st.Contiguous && st.Matching > 0 {
-		costCont = 3 * n
-	}
+// chooseSelectCost is ChooseSelect returning the winning cost as well,
+// for the optimizer pass's plan annotations.
+func chooseSelectCost(e *enclave.Enclave, recSize int, st SelectStats, cfg Config) (exec.SelectAlgorithm, float64) {
+	costHash := SelectCost(exec.SelectHash, e, recSize, st, cfg)
+	costSmall := SelectCost(exec.SelectSmall, e, recSize, st, cfg)
+	costLarge := SelectCost(exec.SelectLarge, e, recSize, st, cfg)
+	costCont := SelectCost(exec.SelectContinuous, e, recSize, st, cfg)
 
 	best, alg := costHash, exec.SelectHash
 	if costLarge < best {
@@ -127,9 +116,44 @@ func ChooseSelect(e *enclave.Enclave, recSize int, st SelectStats, cfg Config) e
 		best, alg = costCont, exec.SelectContinuous
 	}
 	if costSmall < best {
-		alg = exec.SelectSmall
+		best, alg = costSmall, exec.SelectSmall
 	}
-	return alg
+	return alg, best
+}
+
+// SelectCost returns one algorithm's estimated untrusted access count
+// for the scanned statistics (+Inf when the algorithm does not apply).
+// These are the Figure-3-style expressions ChooseSelect minimizes over.
+func SelectCost(alg exec.SelectAlgorithm, e *enclave.Enclave, recSize int, st SelectStats, cfg Config) float64 {
+	n := float64(st.InputBlocks)
+	switch alg {
+	case exec.SelectHash:
+		return 21 * n
+	case exec.SelectSmall:
+		if recSize <= 0 {
+			return math.Inf(1)
+		}
+		bufRows := e.Available() / recSize
+		if bufRows <= 0 {
+			return math.Inf(1)
+		}
+		passes := (st.Matching + bufRows - 1) / bufRows
+		if passes < 1 {
+			passes = 1
+		}
+		return float64(passes)*n + float64(st.Matching)
+	case exec.SelectLarge:
+		if float64(st.Matching) >= cfg.largeFraction()*n {
+			return 5 * n
+		}
+		return math.Inf(1)
+	case exec.SelectContinuous:
+		if !cfg.DisableContinuous && st.Contiguous && st.Matching > 0 {
+			return 3 * n
+		}
+		return math.Inf(1)
+	}
+	return math.Inf(1)
 }
 
 // MinPartitionBlocks is the smallest partition worth a worker: below
@@ -179,13 +203,21 @@ type JoinSizes struct {
 // result." The expressions below count this implementation's untrusted
 // block accesses exactly, so the planner's pick is the measured winner.
 func ChooseJoin(e *enclave.Enclave, s JoinSizes) exec.JoinAlgorithm {
+	alg, _ := chooseJoinCost(e, s)
+	return alg
+}
+
+// chooseJoinCost is ChooseJoin returning the winning cost estimate as
+// well, for the optimizer pass's plan annotations.
+func chooseJoinCost(e *enclave.Enclave, s JoinSizes) (exec.JoinAlgorithm, float64) {
 	avail := e.Available()
 	buildRows := 0
 	if s.BuildRecSize > 0 {
 		buildRows = avail / s.BuildRecSize
 	}
 	if buildRows >= s.T1Blocks {
-		return exec.JoinHash
+		// The whole build side fits: "we always use the hash join."
+		return exec.JoinHash, float64(s.T1Blocks) + 3*float64(s.T2Blocks)
 	}
 	// Hash: read T1 once across chunks, then per chunk read T2 and write
 	// one output block per comparison — plus sealing the chunks×|T2|-slot
@@ -233,9 +265,9 @@ func ChooseJoin(e *enclave.Enclave, s JoinSizes) exec.JoinAlgorithm {
 		best, alg = costOpaque, exec.JoinOpaque
 	}
 	if costZero < best {
-		alg = exec.JoinZeroOM
+		best, alg = costZero, exec.JoinZeroOM
 	}
-	return alg
+	return alg, best
 }
 
 // log2i returns ceil(log2(n)) for n >= 1.

@@ -26,6 +26,7 @@ package server
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -81,7 +82,7 @@ type Server struct {
 	cfg   Config
 	db    *core.DB
 	exec  *sql.Executor
-	dummy sql.Statement
+	dummy *sql.Prepared
 	jobs  chan *job
 	quit  chan struct{}
 	done  chan struct{}
@@ -107,14 +108,14 @@ type Server struct {
 
 // job is one client statement waiting for an epoch slot, with the
 // arguments bound to its placeholders (nil for unparameterized
-// statements). numParams is the arity computed at parse/prepare time,
-// so the epoch executor need not re-walk the AST.
+// statements). prep carries the parse, arity, and — after its first
+// execution — the compiled physical plan, so epoch slots replay plans
+// instead of re-planning.
 type job struct {
-	sess      *session
-	id        uint32
-	stmt      sql.Statement
-	args      []table.Value
-	numParams int
+	sess *session
+	id   uint32
+	prep *sql.Prepared
+	args []table.Value
 }
 
 // New opens an engine and starts the epoch scheduler. The server is
@@ -159,10 +160,10 @@ func New(cfg Config) (*Server, error) {
 		}
 		dummySQL = "SELECT COUNT(*) FROM " + padTable
 	}
-	if s.dummy, err = sql.Parse(dummySQL); err != nil {
+	if s.dummy, err = s.exec.Prepare(dummySQL); err != nil {
 		return nil, fmt.Errorf("server: dummy statement: %w", err)
 	}
-	if n := sql.NumParams(s.dummy); n != 0 {
+	if n := s.dummy.NumParams(); n != 0 {
 		return nil, fmt.Errorf("server: dummy statement has %d placeholder(s); it must be self-contained", n)
 	}
 	go s.schedule()
@@ -269,11 +270,11 @@ collect:
 func (s *Server) executeSlot(slot int, batch []*job) {
 	if slot < len(batch) {
 		j := batch[slot]
-		res, err := s.exec.ExecuteBound(j.stmt, j.numParams, j.args)
+		res, err := j.prep.Exec(j.args)
 		j.sess.reply(j.id, res, err)
 		return
 	}
-	if _, err := s.exec.ExecuteBound(s.dummy, 0, nil); err != nil && s.cfg.Logf != nil {
+	if _, err := s.dummy.Exec(nil); err != nil && s.cfg.Logf != nil {
 		s.cfg.Logf("server: dummy statement failed: %v", err)
 	}
 }
@@ -398,8 +399,12 @@ func (s *Server) Close() error {
 // Pending reports how many statements are queued for future epochs.
 func (s *Server) Pending() int { return len(s.jobs) }
 
-// Stats reports the server's public counters.
+// Stats reports the server's public counters, including the SQL layer's
+// plan-cache counters and the engine's per-algorithm pick tallies (plan
+// choices are already-conceded leakage, §2.3).
 func (s *Server) Stats() wire.Stats {
+	cache := s.exec.CacheStats()
+	picks := enginePicks(s.db.PlanStats())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return wire.Stats{
@@ -409,7 +414,34 @@ func (s *Server) Stats() wire.Stats {
 		Dummy:        s.dummies,
 		Sessions:     uint32(len(s.sessions)),
 		UptimeMillis: uint64(time.Since(s.start) / time.Millisecond),
+
+		PlanEntries:      uint32(cache.Entries),
+		PlanHits:         cache.Hits,
+		PlanMisses:       cache.Misses,
+		PlanCompiles:     cache.Compiles,
+		PlanCompileSkips: cache.CompileSkips,
+		Picks:            picks,
 	}
+}
+
+// enginePicks flattens the engine's pick counters into sorted wire
+// pairs ("select.Hash", "join.Opaque", "sort", "limit").
+func enginePicks(p core.PickStats) []wire.AlgPick {
+	var out []wire.AlgPick
+	for name, n := range p.Select {
+		out = append(out, wire.AlgPick{Name: "select." + name, Count: n})
+	}
+	for name, n := range p.Join {
+		out = append(out, wire.AlgPick{Name: "join." + name, Count: n})
+	}
+	if p.Sorts > 0 {
+		out = append(out, wire.AlgPick{Name: "sort", Count: p.Sorts})
+	}
+	if p.Limits > 0 {
+		out = append(out, wire.AlgPick{Name: "limit", Count: p.Limits})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // ObservedStream returns the per-epoch slot counts — the entirety of

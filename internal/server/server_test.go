@@ -314,6 +314,77 @@ func TestPreparedStatements(t *testing.T) {
 	}
 }
 
+// TestOrderLimitAndExplainServed drives the ORDER BY / LIMIT pipeline
+// and EXPLAIN end-to-end over the wire: prepared parameterized shapes
+// replay compiled plans across epochs, EXPLAIN renders the plan the
+// cache serves, and the server's stats publish the cache and pick
+// counters.
+func TestOrderLimitAndExplainServed(t *testing.T) {
+	_, addr := startServer(t, server.Config{
+		EpochSize:     2,
+		EpochInterval: time.Millisecond,
+	})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	for _, stmt := range []string{
+		"CREATE TABLE o (k INTEGER, v INTEGER) CAPACITY = 16",
+		"INSERT INTO o VALUES (1, 30), (2, 10), (3, 40), (4, 20), (5, 5)",
+	} {
+		if _, err := c.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	top, err := c.Prepare("SELECT k, v FROM o WHERE v >= $1 ORDER BY v DESC LIMIT 2")
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := top.Exec(10)
+		if err != nil {
+			t.Fatalf("exec %d: %v", i, err)
+		}
+		if len(res.Rows) != 2 || res.Rows[0][1].AsInt() != 40 || res.Rows[1][1].AsInt() != 30 {
+			t.Fatalf("served ORDER BY LIMIT = %v", res.Rows)
+		}
+	}
+
+	expl, err := c.Exec("EXPLAIN SELECT k, v FROM o WHERE v >= $1 ORDER BY v DESC LIMIT 2")
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	var lines []string
+	for _, r := range expl.Rows {
+		lines = append(lines, r[0].AsString())
+	}
+	rendered := strings.Join(lines, "\n")
+	for _, want := range []string{"Limit 2", "Sort v DESC", "Filter (v >= $1)", "Scan o"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("served EXPLAIN missing %q:\n%s", want, rendered)
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.PlanCompileSkips == 0 {
+		t.Fatalf("served re-executions never replayed a compiled plan: %+v", st)
+	}
+	var sawSort bool
+	for _, p := range st.Picks {
+		if p.Name == "sort" && p.Count >= 3 {
+			sawSort = true
+		}
+	}
+	if !sawSort {
+		t.Fatalf("stats picks missing sort tally: %+v", st.Picks)
+	}
+}
+
 // TestPadTableReserved checks a client cannot sabotage the padding:
 // DDL and mutations on the server-owned pad table are rejected, while
 // reading it (what the dummy statement does) stays allowed.

@@ -30,19 +30,15 @@ type session struct {
 	out      chan *wire.Response
 	readDone chan struct{} // closed when the reader loop exits
 
-	// prepared is touched only by the reader goroutine.
-	prepared   map[uint32]*preparedStmt
+	// prepared is touched only by the reader goroutine. Each entry is a
+	// statement shape whose parse and compiled plan are shared through
+	// the executor's shape-keyed cache; arity is checked against every
+	// execution's bound arguments before the statement reaches an epoch
+	// slot.
+	prepared   map[uint32]*sql.Prepared
 	nextHandle uint32
 
 	closeOnce sync.Once
-}
-
-// preparedStmt is one server-side prepared statement shape: the parse
-// plus its placeholder arity, checked against every execution's bound
-// arguments before the statement reaches an epoch slot.
-type preparedStmt struct {
-	stmt      sql.Statement
-	numParams int
 }
 
 func newSession(s *Server, conn net.Conn) *session {
@@ -51,7 +47,7 @@ func newSession(s *Server, conn net.Conn) *session {
 		conn:     conn,
 		out:      make(chan *wire.Response, outBuffer),
 		readDone: make(chan struct{}),
-		prepared: make(map[uint32]*preparedStmt),
+		prepared: make(map[uint32]*sql.Prepared),
 	}
 }
 
@@ -107,11 +103,11 @@ func (ss *session) writer() {
 func (ss *session) handle(req *wire.Request) {
 	switch req.Type {
 	case wire.TExec:
-		stmt, err := sql.Parse(req.SQL)
+		prep, err := ss.srv.exec.PrepareOneShot(req.SQL)
 		if err == nil {
-			err = checkReserved(stmt)
+			err = checkReserved(prep.Stmt())
 		}
-		if err == nil && sql.NumParams(stmt) > 0 {
+		if err == nil && prep.NumParams() > 0 {
 			// A one-shot Exec has nowhere to bind arguments from;
 			// placeholder statements must go through Prepare.
 			err = fmt.Errorf("server: statement has parameters; prepare it and execute with arguments")
@@ -120,21 +116,20 @@ func (ss *session) handle(req *wire.Request) {
 			ss.send(&wire.Response{Type: wire.TError, ID: req.ID, Err: err.Error()})
 			return
 		}
-		ss.enqueue(req.ID, stmt, nil, 0)
+		ss.enqueue(req.ID, prep, nil)
 	case wire.TPrepare:
-		stmt, err := sql.Parse(req.SQL)
+		prep, err := ss.srv.exec.Prepare(req.SQL)
 		if err == nil {
-			err = checkReserved(stmt)
+			err = checkReserved(prep.Stmt())
 		}
 		if err != nil {
 			ss.send(&wire.Response{Type: wire.TError, ID: req.ID, Err: err.Error()})
 			return
 		}
 		ss.nextHandle++
-		ps := &preparedStmt{stmt: stmt, numParams: sql.NumParams(stmt)}
-		ss.prepared[ss.nextHandle] = ps
+		ss.prepared[ss.nextHandle] = prep
 		ss.send(&wire.Response{Type: wire.TPrepared, ID: req.ID,
-			Handle: ss.nextHandle, NumParams: uint32(ps.numParams)})
+			Handle: ss.nextHandle, NumParams: uint32(prep.NumParams())})
 	case wire.TExecPrepared:
 		ps, ok := ss.prepared[req.Handle]
 		if !ok {
@@ -142,13 +137,13 @@ func (ss *session) handle(req *wire.Request) {
 				Err: fmt.Sprintf("server: no prepared statement %d", req.Handle)})
 			return
 		}
-		if len(req.Args) != ps.numParams {
+		if len(req.Args) != ps.NumParams() {
 			ss.send(&wire.Response{Type: wire.TError, ID: req.ID,
 				Err: fmt.Sprintf("server: statement has %d parameter(s), got %d argument(s)",
-					ps.numParams, len(req.Args))})
+					ps.NumParams(), len(req.Args))})
 			return
 		}
-		ss.enqueue(req.ID, ps.stmt, req.Args, ps.numParams)
+		ss.enqueue(req.ID, ps, req.Args)
 	case wire.TClosePrepared:
 		delete(ss.prepared, req.Handle)
 	case wire.TStats:
@@ -183,10 +178,10 @@ func checkReserved(stmt sql.Statement) error {
 	return nil
 }
 
-// enqueue hands a parsed statement and its bound arguments to the
+// enqueue hands a prepared statement and its bound arguments to the
 // scheduler.
-func (ss *session) enqueue(id uint32, stmt sql.Statement, args []table.Value, numParams int) {
-	if err := ss.srv.submit(&job{sess: ss, id: id, stmt: stmt, args: args, numParams: numParams}); err != nil {
+func (ss *session) enqueue(id uint32, prep *sql.Prepared, args []table.Value) {
+	if err := ss.srv.submit(&job{sess: ss, id: id, prep: prep, args: args}); err != nil {
 		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
 	}
 }

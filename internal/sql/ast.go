@@ -29,7 +29,8 @@ type Insert struct {
 }
 
 // Select is SELECT items FROM table [JOIN right ON l = r]
-// [WHERE expr] [GROUP BY expr] [FORCE algorithm].
+// [WHERE expr] [GROUP BY expr] [ORDER BY col [ASC|DESC]] [LIMIT n]
+// [FORCE algorithm].
 type Select struct {
 	Items   []SelectItem
 	Star    bool
@@ -37,7 +38,20 @@ type Select struct {
 	Join    *JoinClause
 	Where   Expr
 	GroupBy Expr
-	Force   *exec.SelectAlgorithm
+	Order   *OrderClause
+	// Limit is the LIMIT row count; nil means no LIMIT. The parser only
+	// accepts a literal here: the limit is the public output size, and
+	// a placeholder limit would make that size depend on a private
+	// argument value.
+	Limit *int
+	Force *exec.SelectAlgorithm
+}
+
+// OrderClause is ORDER BY col [ASC|DESC]. The key must be a column
+// reference; ASC is the normalized default.
+type OrderClause struct {
+	Col  *ColumnRef
+	Desc bool
 }
 
 // SelectItem is one output expression with an optional alias.
@@ -83,12 +97,19 @@ type Delete struct {
 // DropTable is DROP TABLE name.
 type DropTable struct{ Name string }
 
+// Explain is EXPLAIN <stmt>: compile the inner statement into its
+// physical plan and render it instead of executing. EXPLAIN is pure
+// statement shape — it never binds arguments (NumParams reports 0 even
+// when the inner statement has placeholders) and touches no table data.
+type Explain struct{ Stmt Statement }
+
 func (*CreateTable) stmt() {}
 func (*Insert) stmt()      {}
 func (*Select) stmt()      {}
 func (*Update) stmt()      {}
 func (*Delete) stmt()      {}
 func (*DropTable) stmt()   {}
+func (*Explain) stmt()     {}
 
 // Expr is a SQL expression evaluated inside the enclave.
 type Expr interface{ expr() }
@@ -141,8 +162,13 @@ func (*Placeholder) expr() {}
 
 // NumParams reports how many arguments a statement needs when executed:
 // the largest placeholder index anywhere in it (parameters are 1-based,
-// so a statement mentioning only $3 still needs three).
+// so a statement mentioning only $3 still needs three). EXPLAIN takes
+// no arguments regardless of its inner statement: it renders the shape,
+// which placeholders are part of, without ever binding them.
 func NumParams(stmt Statement) int {
+	if _, ok := stmt.(*Explain); ok {
+		return 0
+	}
 	maxIdx := 0
 	walkStatementExprs(stmt, func(e Expr) {
 		if p, ok := e.(*Placeholder); ok && p.Index > maxIdx {

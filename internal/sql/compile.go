@@ -1,0 +1,327 @@
+package sql
+
+import (
+	"fmt"
+
+	"oblidb/internal/core"
+	"oblidb/internal/plan"
+)
+
+// This file is the plan compiler: it lowers a parsed statement into the
+// physical plan IR of internal/plan. A compiled plan is pure statement
+// shape plus public catalog metadata — expression structure, table
+// names, literal-derived key ranges, the public LIMIT — and never a
+// bound argument value, so the shape-keyed cache stores compiled plans
+// and re-executions skip both parsing and planning.
+
+// rangeFor extracts the key range a WHERE clause implies for t's
+// indexed column. It is the single key-range extraction point (the
+// SELECT, UPDATE, and DELETE compilers all route through it); only
+// literal comparisons contribute — placeholders never narrow a range,
+// so the range is part of the statement shape.
+func rangeFor(t *core.Table, where Expr) *core.KeyRange {
+	if t == nil || t.KeyColumn() < 0 || where == nil {
+		return nil
+	}
+	return keyRange(where, t.Schema().Col(t.KeyColumn()).Name)
+}
+
+// planRange converts an engine key range to the IR's representation.
+func planRange(k *core.KeyRange) *plan.KeyRange {
+	if k == nil {
+		return nil
+	}
+	return &plan.KeyRange{Lo: k.Lo, Hi: k.Hi}
+}
+
+// condSQL renders a condition for EXPLAIN ("" for nil).
+func condSQL(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return exprSQL(e)
+}
+
+// compile lowers one statement into a plan rooted at a Collect,
+// Aggregate, or DML node. DDL (CREATE/DROP) and EXPLAIN are catalog
+// operations the executor handles directly.
+func (x *Executor) compile(stmt Statement) (plan.Node, error) {
+	switch s := stmt.(type) {
+	case *Select:
+		return x.compileSelect(s)
+	case *Insert:
+		rows := make([][]plan.Expr, len(s.Values))
+		for i, exprs := range s.Values {
+			row := make([]plan.Expr, len(exprs))
+			for j, e := range exprs {
+				row[j] = e
+			}
+			rows[i] = row
+		}
+		return &plan.Insert{Table: s.Name, Rows: rows}, nil
+	case *Update:
+		t, err := x.db.Table(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		sets := make([]plan.SetExpr, len(s.Sets))
+		for i, set := range s.Sets {
+			if t.Schema().ColIndex(set.Column) < 0 {
+				return nil, fmt.Errorf("sql: no column %q", set.Column)
+			}
+			sets[i] = plan.SetExpr{Column: set.Column, Value: set.Value, SQL: exprSQL(set.Value)}
+		}
+		return &plan.Update{
+			Table: s.Name, Sets: sets,
+			Cond: exprOrNil(s.Where), CondSQL: condSQL(s.Where),
+			Key: planRange(rangeFor(t, s.Where)), KeyCol: keyColName(t),
+		}, nil
+	case *Delete:
+		t, err := x.db.Table(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Delete{
+			Table: s.Name,
+			Cond:  exprOrNil(s.Where), CondSQL: condSQL(s.Where),
+			Key: planRange(rangeFor(t, s.Where)), KeyCol: keyColName(t),
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: cannot compile %T into a plan", stmt)
+}
+
+// exprOrNil keeps a nil sql.Expr a nil plan.Expr (a typed nil inside an
+// interface would defeat the interpreter's nil checks).
+func exprOrNil(e Expr) plan.Expr {
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+func keyColName(t *core.Table) string {
+	if t.KeyColumn() < 0 {
+		return ""
+	}
+	return t.Schema().Col(t.KeyColumn()).Name
+}
+
+// compileSource picks the access path for a table under a WHERE clause:
+// an IndexScan when the table has an index and the literal conjuncts
+// bound its key column, a full Scan otherwise.
+func compileSource(t *core.Table, name string, where Expr) plan.Node {
+	if key := rangeFor(t, where); key != nil {
+		return &plan.IndexScan{Table: name, KeyCol: keyColName(t), Range: plan.KeyRange{Lo: key.Lo, Hi: key.Hi}}
+	}
+	return &plan.Scan{Table: name}
+}
+
+func (x *Executor) compileSelect(s *Select) (plan.Node, error) {
+	if s.Join != nil {
+		return x.compileJoinSelect(s)
+	}
+	t, err := x.db.Table(s.From)
+	if err != nil {
+		return nil, err
+	}
+	source := compileSource(t, s.From, s.Where)
+	return x.compileSelectBody(s, source, s.Where)
+}
+
+// compileSelectBody builds everything above the (possibly joined)
+// source: grouping or aggregation, ordering, limiting, projection.
+// where is the residual condition to fuse into the first operator.
+func (x *Executor) compileSelectBody(s *Select, source plan.Node, where Expr) (plan.Node, error) {
+	hasAgg := false
+	for _, item := range s.Items {
+		if item.Agg != nil {
+			hasAgg = true
+		}
+	}
+	filter := func(force bool) *plan.Filter {
+		f := &plan.Filter{Input: source, Cond: exprOrNil(where), CondSQL: condSQL(where)}
+		if force {
+			f.Force = s.Force
+		}
+		return f
+	}
+	switch {
+	case s.GroupBy != nil:
+		return x.compileGroup(s, filter(false))
+	case hasAgg:
+		if s.Order != nil || s.Limit != nil {
+			return nil, fmt.Errorf("sql: ORDER BY/LIMIT need a GROUP BY to apply to aggregates")
+		}
+		specs, err := compileAggSpecs(s.Items)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Aggregate{Input: filter(false), Specs: specs}, nil
+	default:
+		if s.Force != nil && (s.Order != nil || s.Limit != nil) {
+			return nil, fmt.Errorf("sql: FORCE cannot combine with ORDER BY/LIMIT (the sort pipeline fixes the physical operators)")
+		}
+		node, err := compileOrderLimit(s, filter(true), s.Order, false)
+		if err != nil {
+			return nil, err
+		}
+		if !s.Star && len(s.Items) > 0 {
+			items := make([]plan.ProjItem, len(s.Items))
+			for i, item := range s.Items {
+				name := item.Alias
+				if name == "" {
+					if cr, ok := item.Expr.(*ColumnRef); ok {
+						name = cr.Column
+					} else {
+						name = fmt.Sprintf("col%d", i+1)
+					}
+				}
+				items[i] = plan.ProjItem{Col: -1, E: item.Expr, SQL: exprSQL(item.Expr), Name: name}
+			}
+			node = &plan.Project{Input: node, Items: items}
+		}
+		return &plan.Collect{Input: node}, nil
+	}
+}
+
+// compileOrderLimit wraps node in Sort and Limit nodes per the
+// statement's clauses. A LIMIT without ORDER BY still needs the
+// dummy-last compaction a Sort provides, so it gets a keyless Sort.
+// group marks that node is a GroupBy output laid out [group, aggs...]:
+// the sort key is then the synthetic "group" column.
+func compileOrderLimit(s *Select, node plan.Node, order *OrderClause, group bool) (plan.Node, error) {
+	switch {
+	case order != nil:
+		// EXPLAIN always shows the user's column; over a GroupBy the
+		// engine's output names the key column "group", so the
+		// executable key is rewritten while KeySQL keeps the original.
+		key := Expr(order.Col)
+		if group {
+			key = &ColumnRef{Column: "group"}
+		}
+		node = &plan.Sort{Input: node, Key: key, KeySQL: columnRefSQL(order.Col), Desc: order.Desc}
+	case s.Limit != nil:
+		node = &plan.Sort{Input: node}
+	}
+	if s.Limit != nil {
+		node = &plan.Limit{Input: node, N: *s.Limit}
+	}
+	return node, nil
+}
+
+// compileAggSpecs converts aggregate select items, rejecting bare
+// columns (those need GROUP BY).
+func compileAggSpecs(items []SelectItem) ([]plan.AggSpec, error) {
+	specs := make([]plan.AggSpec, 0, len(items))
+	for _, item := range items {
+		if item.Agg == nil {
+			return nil, fmt.Errorf("sql: mixing aggregates and plain columns requires GROUP BY")
+		}
+		specs = append(specs, plan.AggSpec{Kind: item.Agg.Kind, Column: item.Agg.Column, Name: aggName(item)})
+	}
+	return specs, nil
+}
+
+// aggName is the output column name of one aggregate item.
+func aggName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	name := item.Agg.Kind.String()
+	if item.Agg.Column != "" {
+		return name + "(" + item.Agg.Column + ")"
+	}
+	return name + "(*)"
+}
+
+// compileGroup lowers GROUP BY queries. Select items must be the group
+// expression or aggregates; the Project node reorders the engine's
+// [group, aggregates...] layout into select-list order.
+func (x *Executor) compileGroup(s *Select, input *plan.Filter) (plan.Node, error) {
+	var specs []plan.AggSpec
+	var items []plan.ProjItem
+	for _, item := range s.Items {
+		if item.Agg != nil {
+			specs = append(specs, plan.AggSpec{Kind: item.Agg.Kind, Column: item.Agg.Column, Name: aggName(item)})
+			items = append(items, plan.ProjItem{Col: len(specs), Name: aggName(item)}) // 1+aggIdx
+			continue
+		}
+		// A non-aggregate item must be the grouping expression itself.
+		if !exprEqual(item.Expr, s.GroupBy) {
+			return nil, fmt.Errorf("sql: non-aggregate select item must match GROUP BY expression")
+		}
+		name := item.Alias
+		if name == "" {
+			name = "group"
+		}
+		items = append(items, plan.ProjItem{Col: 0, Name: name})
+	}
+	var node plan.Node = &plan.GroupBy{
+		Input: input, Key: s.GroupBy, KeySQL: exprSQL(s.GroupBy), Specs: specs,
+	}
+	if s.Order != nil {
+		// Ordering a grouped result: the key must be the grouping
+		// expression (the aggregates have no pre-projection column to
+		// sort by).
+		if !exprEqual(s.Order.Col, s.GroupBy) {
+			return nil, fmt.Errorf("sql: ORDER BY over GROUP BY must order by the grouping expression")
+		}
+	}
+	node, err := compileOrderLimit(s, node, s.Order, true)
+	if err != nil {
+		return nil, err
+	}
+	node = &plan.Project{Input: node, Items: items}
+	return &plan.Collect{Input: node}, nil
+}
+
+// compileJoinSelect lowers JOIN queries: push single-side WHERE
+// conjuncts into the join's oblivious pre-filters, join, then compile
+// the residual select (and any grouping, ordering, limiting) over the
+// joined table.
+func (x *Executor) compileJoinSelect(s *Select) (plan.Node, error) {
+	lt, err := x.db.Table(s.From)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := x.db.Table(s.Join.Right)
+	if err != nil {
+		return nil, err
+	}
+	lcol, rcol, err := resolveJoinCols(s, lt, rt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split WHERE into per-side conjuncts and a residual.
+	var left, right, residual []Expr
+	for _, c := range flattenAnd(s.Where) {
+		if c == nil {
+			continue
+		}
+		switch {
+		case exprOnlyUses(c, lt.Schema(), s.From):
+			left = append(left, c)
+		case exprOnlyUses(c, rt.Schema(), s.Join.Right):
+			right = append(right, c)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	side := func(name string, conds []Expr) plan.Node {
+		var n plan.Node = &plan.Scan{Table: name}
+		if len(conds) > 0 {
+			cond := andExprs(conds)
+			n = &plan.Filter{Input: n, Cond: cond, CondSQL: exprSQL(cond)}
+		}
+		return n
+	}
+	join := &plan.Join{
+		Left:      side(s.From, left),
+		Right:     side(s.Join.Right, right),
+		LeftTable: s.From, RightTable: s.Join.Right,
+		LeftCol: lcol, RightCol: rcol,
+		Force: s.Join.ForceJoinAlgorithm,
+	}
+	return x.compileSelectBody(s, join, andExprs(residual))
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"oblidb/internal/core"
+	"oblidb/internal/plan"
 	"oblidb/internal/table"
 )
 
@@ -15,28 +16,39 @@ import (
 // about than LRU bookkeeping on the hot path.
 const planCacheLimit = 256
 
-// planEntry is one cached parse: the statement AST (immutable after
-// parse, shared freely across goroutines) plus its parameter arity.
+// planEntry is one cached statement shape: the AST (immutable after
+// parse, shared freely across goroutines), its parameter arity, and —
+// once the statement has executed — its compiled physical plan.
+// compiledEpoch records the catalog epoch the plan was compiled under;
+// DDL bumps the executor's epoch, so stale plans recompile instead of
+// referencing dropped or re-created tables.
 type planEntry struct {
 	stmt      Statement
 	numParams int
+
+	// Guarded by Executor.mu.
+	compiled      plan.Node
+	compiledEpoch uint64
 }
 
 // Executor runs SQL statements against an ObliDB engine. It keeps a
 // plan cache keyed by statement *shape* — the placeholder-normalized
 // String() rendering — so re-executions of a parameterized statement
-// skip parsing, and spelling variants (?, $1, extra whitespace) of one
-// shape share an entry. Nothing about an argument value is in the key;
-// the cache cannot leak parameters by its hit pattern because hits
-// depend only on statement text.
+// skip parsing AND plan compilation, and spelling variants (?, $1,
+// extra whitespace) of one shape share an entry. Nothing about an
+// argument value is in the key or the compiled plan; the cache cannot
+// leak parameters by its hit pattern because hits depend only on
+// statement text.
 type Executor struct {
 	db *core.DB
 
-	mu     sync.Mutex
-	plans  map[string]*planEntry // canonical shape → parse
-	bySrc  map[string]string     // raw source text → canonical shape
-	hits   uint64
-	misses uint64
+	mu           sync.Mutex
+	plans        map[string]*planEntry // canonical shape → entry
+	bySrc        map[string]string     // raw source text → canonical shape
+	hits         uint64
+	misses       uint64
+	compiles     uint64 // plan compilations performed
+	compileSkips uint64 // executions that reused a compiled plan
 }
 
 // New wraps a database in a SQL executor.
@@ -67,7 +79,7 @@ func (x *Executor) ExecuteArgs(src string, args []table.Value) (*core.Result, er
 	return x.execEntry(entry, args)
 }
 
-// plan returns the cached parse of src, parsing and caching on miss.
+// plan returns the cached entry for src, parsing and caching on miss.
 // The returned statement is shared: callers must treat it as immutable.
 //
 // Zero-placeholder statements are cached only when cacheLiterals is set
@@ -95,13 +107,13 @@ func (x *Executor) plan(src string, cacheLiterals bool) (*planEntry, error) {
 
 	x.mu.Lock()
 	x.misses++
-	if entry.numParams == 0 && !cacheLiterals {
+	if existing, ok := x.plans[key]; ok {
+		// Another spelling (or one-shot re-send) of a cached shape:
+		// share its parse and compiled plan.
+		entry = existing
+	} else if entry.numParams == 0 && !cacheLiterals {
 		x.mu.Unlock()
 		return entry, nil
-	}
-	if existing, ok := x.plans[key]; ok {
-		// Another spelling of a shape already cached: share its parse.
-		entry = existing
 	} else {
 		if len(x.plans) >= planCacheLimit {
 			x.plans = make(map[string]*planEntry)
@@ -116,8 +128,75 @@ func (x *Executor) plan(src string, cacheLiterals bool) (*planEntry, error) {
 	return entry, nil
 }
 
+// entryFor finds or creates the cache entry sharing stmt's shape, so
+// raw-statement callers (ExecuteStmt, EXPLAIN) reuse one compiled plan
+// per shape. cacheLiterals follows plan's policy: without it, a
+// zero-placeholder statement gets a transient entry instead of
+// occupying (and at the limit, wiping) the shared cache — the EXPLAIN
+// path passes false so a stream of distinct literal EXPLAINs cannot
+// evict the plan-once/execute-many shapes.
+func (x *Executor) entryFor(stmt Statement, cacheLiterals bool) *planEntry {
+	key := stmt.(fmt.Stringer).String()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if entry, ok := x.plans[key]; ok {
+		return entry
+	}
+	entry := &planEntry{stmt: stmt, numParams: NumParams(stmt)}
+	if entry.numParams == 0 && !cacheLiterals {
+		return entry
+	}
+	if len(x.plans) >= planCacheLimit {
+		x.plans = make(map[string]*planEntry)
+		x.bySrc = make(map[string]string)
+	}
+	x.plans[key] = entry
+	return entry
+}
+
+// Prepared is a cached statement shape ready for repeated execution:
+// parse and compiled plan are shared across every execution of the
+// shape, only argument binding is per-call.
+type Prepared struct {
+	x     *Executor
+	entry *planEntry
+}
+
+// Prepare parses (or recalls) a statement shape for repeated execution.
+func (x *Executor) Prepare(src string) (*Prepared, error) {
+	entry, err := x.plan(src, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{x: x, entry: entry}, nil
+}
+
+// PrepareOneShot is Prepare for single executions: literal-only
+// statements skip the shape cache so one-shot statements cannot evict
+// the plan-once/execute-many shapes.
+func (x *Executor) PrepareOneShot(src string) (*Prepared, error) {
+	entry, err := x.plan(src, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{x: x, entry: entry}, nil
+}
+
+// Stmt returns the prepared statement's AST (immutable; callers must
+// not modify it).
+func (p *Prepared) Stmt() Statement { return p.entry.stmt }
+
+// NumParams reports how many arguments Exec requires.
+func (p *Prepared) NumParams() int { return p.entry.numParams }
+
+// Exec runs the prepared statement with args bound to its placeholders.
+func (p *Prepared) Exec(args []table.Value) (*core.Result, error) {
+	return p.x.execEntry(p.entry, args)
+}
+
 // Stmt returns the cached parsed statement and its parameter count for
-// src. It is the prepare step: pair it with ExecuteBound.
+// src. It is the prepare step paired with ExecuteBound; Prepare is the
+// richer form that also hands back the shape's compiled-plan entry.
 func (x *Executor) Stmt(src string) (Statement, int, error) {
 	entry, err := x.plan(src, true)
 	if err != nil {
@@ -133,11 +212,33 @@ func (x *Executor) PlanCacheStats() (entries int, hits, misses uint64) {
 	return len(x.plans), x.hits, x.misses
 }
 
+// CacheStats is the executor's full self-report: parse-cache size and
+// hit/miss counters plus compiled-plan counters. CompileSkips counts
+// executions that replayed a cached compiled plan without re-planning —
+// the number the cache-hit fast path is measured by.
+type CacheStats struct {
+	Entries      int
+	Hits, Misses uint64
+	Compiles     uint64
+	CompileSkips uint64
+}
+
+// CacheStats reports the executor's counters.
+func (x *Executor) CacheStats() CacheStats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return CacheStats{
+		Entries: len(x.plans),
+		Hits:    x.hits, Misses: x.misses,
+		Compiles: x.compiles, CompileSkips: x.compileSkips,
+	}
+}
+
 func (x *Executor) execEntry(entry *planEntry, args []table.Value) (*core.Result, error) {
 	if len(args) != entry.numParams {
 		return nil, fmt.Errorf("sql: statement has %d parameter(s), got %d argument(s)", entry.numParams, len(args))
 	}
-	return x.executeStmt(entry.stmt, args)
+	return x.runEntry(entry, args)
 }
 
 // ExecuteStmt runs an already-parsed statement with no bound arguments.
@@ -160,36 +261,90 @@ func (x *Executor) ExecuteStmtArgs(stmt Statement, args []table.Value) (*core.Re
 }
 
 // ExecuteBound is ExecuteStmtArgs for callers that computed the
-// statement's parameter count once at prepare time (Stmt, the server's
-// per-session prepared shapes): it skips the per-execution AST walk on
-// the hot path. numParams must be NumParams(stmt).
+// statement's parameter count once at prepare time. It looks the
+// statement's cache entry up by shape (one String render per call) so
+// repeated executions share a compiled plan; callers on a hot path
+// should hold a *Prepared instead, which pins the entry and skips the
+// lookup entirely. numParams must be NumParams(stmt).
 func (x *Executor) ExecuteBound(stmt Statement, numParams int, args []table.Value) (*core.Result, error) {
 	if len(args) != numParams {
 		return nil, fmt.Errorf("sql: statement has %d parameter(s), got %d argument(s)", numParams, len(args))
 	}
-	return x.executeStmt(stmt, args)
+	// cacheLiterals=false: like one-shot Execute, a literal statement
+	// arriving here must not occupy (or at the limit, wipe) the shared
+	// shape cache; cached shapes are still found and replayed.
+	return x.runEntry(x.entryFor(stmt, false), args)
 }
 
-// executeStmt dispatches after arity checking.
-func (x *Executor) executeStmt(stmt Statement, args []table.Value) (*core.Result, error) {
-	switch s := stmt.(type) {
+// runEntry dispatches after arity checking: DDL and EXPLAIN execute
+// directly (they are catalog operations), everything else compiles into
+// (or replays) the entry's physical plan and runs it through the
+// engine's plan interpreter.
+func (x *Executor) runEntry(entry *planEntry, args []table.Value) (*core.Result, error) {
+	switch s := entry.stmt.(type) {
 	case *CreateTable:
+		// DDL invalidates compiled plans via the engine's catalog epoch
+		// (bumped inside CreateTable/DropTable, whichever surface issues
+		// them).
 		return x.createTable(s)
-	case *Insert:
-		return x.insert(s, args)
-	case *Select:
-		return x.selectStmt(s, args)
-	case *Update:
-		return x.update(s, args)
-	case *Delete:
-		return x.delete(s, args)
 	case *DropTable:
 		if err := x.db.DropTable(s.Name); err != nil {
 			return nil, err
 		}
 		return affected(0), nil
+	case *Explain:
+		return x.explainStmt(s)
 	}
-	return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+	root, err := x.compiledPlan(entry)
+	if err != nil {
+		return nil, err
+	}
+	return x.db.ExecutePlan(root, newBinder(args))
+}
+
+// compiledPlan returns the entry's compiled plan, compiling on first
+// execution (or after DDL moved the engine's catalog epoch, voiding
+// catalog-derived decisions like access paths and join splits) and
+// replaying it afterwards.
+func (x *Executor) compiledPlan(entry *planEntry) (plan.Node, error) {
+	epoch := x.db.CatalogEpoch()
+	x.mu.Lock()
+	if entry.compiled != nil && entry.compiledEpoch == epoch {
+		x.compileSkips++
+		root := entry.compiled
+		x.mu.Unlock()
+		return root, nil
+	}
+	x.mu.Unlock()
+
+	root, err := x.compile(entry.stmt)
+	if err != nil {
+		return nil, err
+	}
+	x.mu.Lock()
+	x.compiles++
+	entry.compiled, entry.compiledEpoch = root, epoch
+	x.mu.Unlock()
+	return root, nil
+}
+
+// explainStmt renders the inner statement's physical plan. A
+// parameterized (or already-cached) shape shares its entry with later
+// executions, so EXPLAIN shows exactly the plan the cache serves;
+// literal one-shot shapes stay out of the cache, like every other
+// one-shot. Annotation and rendering run together under the engine
+// mutex (ExplainPlan) because the plan is shared.
+func (x *Executor) explainStmt(s *Explain) (*core.Result, error) {
+	entry := x.entryFor(s.Stmt, false)
+	root, err := x.compiledPlan(entry)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{Cols: []string{"plan"}}
+	for _, line := range x.db.ExplainPlan(root) {
+		res.Rows = append(res.Rows, table.Row{table.Str(line)})
+	}
+	return res, nil
 }
 
 func affected(n int) *core.Result {
@@ -217,472 +372,6 @@ func (x *Executor) createTable(s *CreateTable) (*core.Result, error) {
 	return affected(0), nil
 }
 
-func (x *Executor) insert(s *Insert, args []table.Value) (*core.Result, error) {
-	rows := make([]table.Row, len(s.Values))
-	for i, exprs := range s.Values {
-		row := make(table.Row, len(exprs))
-		for j, e := range exprs {
-			v, err := constEval(e, args)
-			if err != nil {
-				return nil, err
-			}
-			row[j] = v
-		}
-		rows[i] = row
-	}
-	if err := x.db.Insert(s.Name, rows...); err != nil {
-		return nil, err
-	}
-	return affected(len(rows)), nil
-}
-
-func (x *Executor) update(s *Update, args []table.Value) (*core.Result, error) {
-	t, err := x.db.Table(s.Name)
-	if err != nil {
-		return nil, err
-	}
-	res := newResolver(t.Schema()).withArgs(args)
-	var evalErr error
-	pred := res.pred(s.Where, &evalErr)
-	setCols := make([]int, len(s.Sets))
-	for i, set := range s.Sets {
-		c := t.Schema().ColIndex(set.Column)
-		if c < 0 {
-			return nil, fmt.Errorf("sql: no column %q", set.Column)
-		}
-		setCols[i] = c
-	}
-	upd := func(r table.Row) table.Row {
-		for i, set := range s.Sets {
-			v, err := res.eval(set.Value, r)
-			if err != nil {
-				if evalErr == nil {
-					evalErr = err
-				}
-				return r
-			}
-			r[setCols[i]] = v
-		}
-		return r
-	}
-	var key *core.KeyRange
-	if t.KeyColumn() >= 0 && s.Where != nil {
-		key = keyRange(s.Where, t.Schema().Col(t.KeyColumn()).Name)
-	}
-	n, err := x.db.Update(s.Name, pred, upd, key)
-	if err != nil {
-		return nil, err
-	}
-	if evalErr != nil {
-		return nil, evalErr
-	}
-	return affected(n), nil
-}
-
-func (x *Executor) delete(s *Delete, args []table.Value) (*core.Result, error) {
-	t, err := x.db.Table(s.Name)
-	if err != nil {
-		return nil, err
-	}
-	res := newResolver(t.Schema()).withArgs(args)
-	var evalErr error
-	pred := res.pred(s.Where, &evalErr)
-	var key *core.KeyRange
-	if t.KeyColumn() >= 0 && s.Where != nil {
-		key = keyRange(s.Where, t.Schema().Col(t.KeyColumn()).Name)
-	}
-	n, err := x.db.Delete(s.Name, pred, key)
-	if err != nil {
-		return nil, err
-	}
-	if evalErr != nil {
-		return nil, evalErr
-	}
-	return affected(n), nil
-}
-
-func (x *Executor) selectStmt(s *Select, args []table.Value) (*core.Result, error) {
-	if s.Join != nil {
-		return x.selectJoin(s, args)
-	}
-	t, err := x.db.Table(s.From)
-	if err != nil {
-		return nil, err
-	}
-	return x.selectFrom(s, t, s.From, args)
-}
-
-// selectFrom runs a single-table SELECT over the given table handle.
-func (x *Executor) selectFrom(s *Select, t *core.Table, fromName string, args []table.Value) (*core.Result, error) {
-	res := newResolver(t.Schema()).withArgs(args)
-	res.leftTable = fromName
-	var evalErr error
-	pred := res.pred(s.Where, &evalErr)
-
-	var key *core.KeyRange
-	if t.KeyColumn() >= 0 && s.Where != nil {
-		key = keyRange(s.Where, t.Schema().Col(t.KeyColumn()).Name)
-	}
-
-	hasAgg := false
-	for _, item := range s.Items {
-		if item.Agg != nil {
-			hasAgg = true
-		}
-	}
-
-	switch {
-	case s.GroupBy != nil:
-		out, err := x.groupSelect(s, t, res, pred, key)
-		if evalErr != nil {
-			return nil, evalErr
-		}
-		return out, err
-	case hasAgg:
-		specs, names, err := x.aggSpecs(s)
-		if err != nil {
-			return nil, err
-		}
-		out, err := x.db.AggregateTable(t, pred, specs, key)
-		if err != nil {
-			return nil, err
-		}
-		if evalErr != nil {
-			return nil, evalErr
-		}
-		out.Cols = names
-		return out, nil
-	default:
-		opts := core.SelectOptions{KeyRange: key, Force: s.Force}
-		tmp, err := x.db.SelectTable(t, pred, opts)
-		if err != nil {
-			return nil, err
-		}
-		if evalErr != nil {
-			return nil, evalErr
-		}
-		raw, err := x.db.Collect(tmp)
-		if err != nil {
-			return nil, err
-		}
-		return x.project(s, res, raw)
-	}
-}
-
-// aggSpecs converts the select items of an aggregate query.
-func (x *Executor) aggSpecs(s *Select) ([]core.AggregateSpec, []string, error) {
-	specs := make([]core.AggregateSpec, 0, len(s.Items))
-	names := make([]string, 0, len(s.Items))
-	for _, item := range s.Items {
-		if item.Agg == nil {
-			return nil, nil, fmt.Errorf("sql: mixing aggregates and plain columns requires GROUP BY")
-		}
-		specs = append(specs, core.AggregateSpec{Kind: item.Agg.Kind, Column: item.Agg.Column})
-		name := item.Alias
-		if name == "" {
-			name = item.Agg.Kind.String()
-			if item.Agg.Column != "" {
-				name += "(" + item.Agg.Column + ")"
-			} else {
-				name += "(*)"
-			}
-		}
-		names = append(names, name)
-	}
-	return specs, names, nil
-}
-
-// groupSelect lowers GROUP BY queries onto the grouped-aggregation
-// operator. Select items must be the group expression or aggregates.
-func (x *Executor) groupSelect(s *Select, t *core.Table, res *resolver, pred table.Pred, key *core.KeyRange) (*core.Result, error) {
-	var groupErr error
-	groupKey := groupKeyFunc(res, s.GroupBy, &groupErr)
-	var specs []core.AggregateSpec
-	type outCol struct {
-		isGroup bool
-		aggIdx  int
-		name    string
-	}
-	var outs []outCol
-	for _, item := range s.Items {
-		if item.Agg != nil {
-			specs = append(specs, core.AggregateSpec{Kind: item.Agg.Kind, Column: item.Agg.Column})
-			name := item.Alias
-			if name == "" {
-				name = item.Agg.Kind.String() + "(" + item.Agg.Column + ")"
-				if item.Agg.Column == "" {
-					name = "COUNT(*)"
-				}
-			}
-			outs = append(outs, outCol{aggIdx: len(specs) - 1, name: name})
-			continue
-		}
-		// A non-aggregate item must be the grouping expression itself.
-		if !exprEqual(item.Expr, s.GroupBy) {
-			return nil, fmt.Errorf("sql: non-aggregate select item must match GROUP BY expression")
-		}
-		name := item.Alias
-		if name == "" {
-			name = "group"
-		}
-		outs = append(outs, outCol{isGroup: true, name: name})
-	}
-	raw, err := x.db.GroupAggregate(t.Name(), pred, groupKey, specs, key)
-	if err != nil {
-		return nil, err
-	}
-	if groupErr != nil {
-		return nil, groupErr
-	}
-	// Reorder engine output ([group, aggs...]) to the select list.
-	result := &core.Result{Cols: make([]string, len(outs))}
-	for i, oc := range outs {
-		result.Cols[i] = oc.name
-	}
-	for _, r := range raw.Rows {
-		row := make(table.Row, len(outs))
-		for i, oc := range outs {
-			if oc.isGroup {
-				row[i] = r[0]
-			} else {
-				row[i] = r[1+oc.aggIdx]
-			}
-		}
-		result.Rows = append(result.Rows, row)
-	}
-	return result, nil
-}
-
-// selectJoin lowers JOIN queries: push single-side WHERE conjuncts into
-// oblivious pre-filters, join, then run the residual select (and any
-// grouping) over the intermediate table.
-func (x *Executor) selectJoin(s *Select, args []table.Value) (*core.Result, error) {
-	lt, err := x.db.Table(s.From)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := x.db.Table(s.Join.Right)
-	if err != nil {
-		return nil, err
-	}
-	lcol, rcol, err := resolveJoinCols(s, lt, rt)
-	if err != nil {
-		return nil, err
-	}
-
-	// Split WHERE into per-side filters and a residual.
-	var leftPred, rightPred table.Pred
-	var residual []Expr
-	var evalErr error
-	lres := newResolver(lt.Schema()).withArgs(args)
-	rres := newResolver(rt.Schema()).withArgs(args)
-	for _, c := range flattenAnd(s.Where) {
-		if c == nil {
-			continue
-		}
-		switch {
-		case exprOnlyUses(c, lt.Schema(), s.From):
-			leftPred = andPred(leftPred, lres.pred(c, &evalErr))
-		case exprOnlyUses(c, rt.Schema(), s.Join.Right):
-			rightPred = andPred(rightPred, rres.pred(c, &evalErr))
-		default:
-			residual = append(residual, c)
-		}
-	}
-
-	joined, err := x.db.JoinTable(s.From, s.Join.Right, lcol, rcol, core.JoinOptions{
-		FilterLeft:  leftPred,
-		FilterRight: rightPred,
-		Force:       s.Join.ForceJoinAlgorithm,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if evalErr != nil {
-		return nil, evalErr
-	}
-
-	// Run the remainder of the query over the joined table.
-	rest := &Select{
-		Items:   s.Items,
-		Star:    s.Star,
-		From:    joined.Name(),
-		Where:   andExprs(residual),
-		GroupBy: s.GroupBy,
-		Force:   s.Force,
-	}
-	jres := newResolver(joined.Schema()).withArgs(args)
-	jres.leftTable = s.From
-	jres.rightTable = s.Join.Right
-	jres.rightStart = lt.Schema().NumColumns()
-	return x.selectFromJoined(rest, joined, jres)
-}
-
-// selectFromJoined is selectFrom with a prepared join-aware resolver.
-func (x *Executor) selectFromJoined(s *Select, t *core.Table, res *resolver) (*core.Result, error) {
-	var evalErr error
-	pred := res.pred(s.Where, &evalErr)
-	hasAgg := false
-	for _, item := range s.Items {
-		if item.Agg != nil {
-			hasAgg = true
-		}
-	}
-	switch {
-	case s.GroupBy != nil:
-		var groupErr error
-		groupKey := groupKeyFunc(res, s.GroupBy, &groupErr)
-		var specs []core.AggregateSpec
-		var outs []struct {
-			isGroup bool
-			idx     int
-			name    string
-		}
-		for _, item := range s.Items {
-			if item.Agg != nil {
-				specs = append(specs, core.AggregateSpec{Kind: item.Agg.Kind, Column: joinAggColumn(item.Agg.Column, res)})
-				name := item.Alias
-				if name == "" {
-					name = item.Agg.Kind.String() + "(" + item.Agg.Column + ")"
-				}
-				outs = append(outs, struct {
-					isGroup bool
-					idx     int
-					name    string
-				}{idx: len(specs) - 1, name: name})
-				continue
-			}
-			if !exprEqual(item.Expr, s.GroupBy) {
-				return nil, fmt.Errorf("sql: non-aggregate select item must match GROUP BY expression")
-			}
-			name := item.Alias
-			if name == "" {
-				name = "group"
-			}
-			outs = append(outs, struct {
-				isGroup bool
-				idx     int
-				name    string
-			}{isGroup: true, name: name})
-		}
-		tmp, err := x.db.GroupAggregateTable(t, pred, groupKey, specs, nil)
-		if err != nil {
-			return nil, err
-		}
-		if groupErr != nil {
-			return nil, groupErr
-		}
-		if evalErr != nil {
-			return nil, evalErr
-		}
-		raw, err := x.db.Collect(tmp)
-		if err != nil {
-			return nil, err
-		}
-		result := &core.Result{Cols: make([]string, len(outs))}
-		for i, oc := range outs {
-			result.Cols[i] = oc.name
-		}
-		for _, r := range raw.Rows {
-			row := make(table.Row, len(outs))
-			for i, oc := range outs {
-				if oc.isGroup {
-					row[i] = r[0]
-				} else {
-					row[i] = r[1+oc.idx]
-				}
-			}
-			result.Rows = append(result.Rows, row)
-		}
-		return result, nil
-	case hasAgg:
-		specs := make([]core.AggregateSpec, 0, len(s.Items))
-		names := make([]string, 0, len(s.Items))
-		for _, item := range s.Items {
-			if item.Agg == nil {
-				return nil, fmt.Errorf("sql: mixing aggregates and plain columns requires GROUP BY")
-			}
-			specs = append(specs, core.AggregateSpec{Kind: item.Agg.Kind, Column: joinAggColumn(item.Agg.Column, res)})
-			name := item.Alias
-			if name == "" {
-				name = item.Agg.Kind.String() + "(" + item.Agg.Column + ")"
-			}
-			names = append(names, name)
-		}
-		out, err := x.db.AggregateTable(t, pred, specs, nil)
-		if err != nil {
-			return nil, err
-		}
-		if evalErr != nil {
-			return nil, evalErr
-		}
-		out.Cols = names
-		return out, nil
-	default:
-		tmp, err := x.db.SelectTable(t, pred, core.SelectOptions{Force: s.Force})
-		if err != nil {
-			return nil, err
-		}
-		if evalErr != nil {
-			return nil, evalErr
-		}
-		raw, err := x.db.Collect(tmp)
-		if err != nil {
-			return nil, err
-		}
-		return x.project(s, res, raw)
-	}
-}
-
-// joinAggColumn resolves an aggregate's column name within the joined
-// schema (right-side duplicates carry the r_ prefix).
-func joinAggColumn(col string, res *resolver) string {
-	if res.schema.ColIndex(col) >= 0 {
-		return col
-	}
-	if res.schema.ColIndex("r_"+col) >= 0 {
-		return "r_" + col
-	}
-	return col
-}
-
-// project maps select items over collected rows (a trace-neutral,
-// in-enclave computation).
-func (x *Executor) project(s *Select, res *resolver, raw *core.Result) (*core.Result, error) {
-	if s.Star || len(s.Items) == 0 {
-		return raw, nil
-	}
-	// Rebind the resolver to the raw result's column order.
-	cols := make([]table.Column, len(raw.Cols))
-	for i, name := range raw.Cols {
-		cols[i] = table.Column{Name: name, Kind: table.KindInt}
-	}
-	out := &core.Result{Cols: make([]string, len(s.Items))}
-	for i, item := range s.Items {
-		name := item.Alias
-		if name == "" {
-			if cr, ok := item.Expr.(*ColumnRef); ok {
-				name = cr.Column
-			} else {
-				name = fmt.Sprintf("col%d", i+1)
-			}
-		}
-		out.Cols[i] = name
-	}
-	for _, r := range raw.Rows {
-		row := make(table.Row, len(s.Items))
-		for i, item := range s.Items {
-			v, err := res.eval(item.Expr, r)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
-}
-
 func resolveJoinCols(s *Select, lt, rt *core.Table) (string, string, error) {
 	l, r := s.Join.LeftCol, s.Join.RightCol
 	// Allow either order of qualification: ON a.x = b.y or ON b.y = a.x.
@@ -699,31 +388,6 @@ func resolveJoinCols(s *Select, lt, rt *core.Table) (string, string, error) {
 		return r.Column, l.Column, nil
 	}
 	return "", "", fmt.Errorf("sql: cannot resolve join columns %q/%q", l.Column, r.Column)
-}
-
-// groupKeyFunc compiles the GROUP BY expression into a core.GroupKey.
-// Like resolver.pred, the error capture is mutex-guarded because the
-// parallel grouped-aggregation operator calls it from several workers.
-func groupKeyFunc(res *resolver, e Expr, errOut *error) core.GroupKey {
-	var mu sync.Mutex
-	return func(r table.Row) table.Value {
-		v, err := res.eval(e, r)
-		if err != nil {
-			mu.Lock()
-			if *errOut == nil {
-				*errOut = err
-			}
-			mu.Unlock()
-		}
-		return v
-	}
-}
-
-func andPred(a, b table.Pred) table.Pred {
-	if a == nil {
-		return b
-	}
-	return func(r table.Row) bool { return a(r) && b(r) }
 }
 
 func andExprs(es []Expr) Expr {

@@ -1,0 +1,68 @@
+package sql
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oblidb/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite EXPLAIN golden files")
+
+// TestExplainGolden pins the rendered plan for a set of statement
+// shapes against golden files. The fixture is deterministic — fixed
+// capacities, fixed enclave config — so the rendering (which includes
+// public catalog sizes and padded cost estimates) is stable per shape.
+// Regenerate with: go test ./internal/sql/ -run TestExplainGolden -update
+func TestExplainGolden(t *testing.T) {
+	x := New(core.MustOpen(core.Config{}))
+	for _, stmt := range []string{
+		"CREATE TABLE orders (id INTEGER, amount INTEGER, tag VARCHAR(8)) INDEX ON id CAPACITY = 64",
+		"CREATE TABLE items (order_id INTEGER, qty INTEGER) CAPACITY = 128",
+	} {
+		mustExec(t, x, stmt)
+	}
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"select_where", "SELECT * FROM orders WHERE amount > $1"},
+		{"select_order_limit", "SELECT id, amount FROM orders WHERE amount > $1 ORDER BY amount DESC LIMIT 5"},
+		{"index_range", "SELECT * FROM orders WHERE id >= 10 AND id <= 20 AND amount > $1"},
+		{"join_aggregate", "SELECT COUNT(*), SUM(qty) FROM orders JOIN items ON id = order_id WHERE amount > 100"},
+		{"group_order_limit", "SELECT tag, COUNT(*) FROM orders GROUP BY tag ORDER BY tag LIMIT 3"},
+		{"update_range", "UPDATE orders SET amount = $1 WHERE id = 7"},
+		{"delete_where", "DELETE FROM orders WHERE amount < 0"},
+		{"bare_limit", "SELECT * FROM orders LIMIT 4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := mustExec(t, x, "EXPLAIN "+tc.sql)
+			var lines []string
+			for _, r := range res.Rows {
+				lines = append(lines, r[0].AsString())
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			path := filepath.Join("testdata", "explain", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN %s drifted from golden:\n--- got ---\n%s--- want ---\n%s", tc.sql, got, want)
+			}
+		})
+	}
+}

@@ -37,6 +37,16 @@ func FuzzParser(f *testing.F) {
 		"SELECT * FROM t WHERE id = $0",
 		"SELECT * FROM t WHERE id = $99999999999999999999",
 		"SELECT * FROM t WHERE id = $",
+		"SELECT * FROM t WHERE v > 1 ORDER BY k DESC LIMIT 10",
+		"SELECT k FROM t ORDER BY t.k ASC",
+		"SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v LIMIT 3",
+		"SELECT * FROM t ORDER BY k LIMIT 0",
+		"SELECT * FROM t LIMIT ?",
+		"SELECT * FROM t LIMIT $1",
+		"SELECT * FROM t LIMIT -1",
+		"EXPLAIN SELECT * FROM t WHERE id = $1 ORDER BY k LIMIT 3",
+		"EXPLAIN UPDATE t SET v = $1 WHERE k = 7",
+		"EXPLAIN EXPLAIN SELECT * FROM t",
 	} {
 		f.Add(seed)
 	}

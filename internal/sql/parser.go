@@ -86,6 +86,15 @@ func (p *parser) ident() (string, error) {
 
 func (p *parser) statement() (Statement, error) {
 	switch {
+	case p.acceptKeyword("EXPLAIN"):
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := inner.(*Explain); ok {
+			return nil, fmt.Errorf("sql: EXPLAIN cannot nest")
+		}
+		return &Explain{Stmt: inner}, nil
 	case p.acceptKeyword("CREATE"):
 		return p.createTable()
 	case p.acceptKeyword("INSERT"):
@@ -328,6 +337,37 @@ func (p *parser) selectStmt() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		oc := &OrderClause{Col: col}
+		if p.acceptKeyword("DESC") {
+			oc.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		stmt.Order = oc
+	}
+	if p.acceptKeyword("LIMIT") {
+		if t := p.peek(); t.kind == tokParam || (t.kind == tokPunct && t.text == "?") {
+			// The limit is the public output size; a parameter would tie
+			// what the host observes to a private argument value.
+			return nil, fmt.Errorf("sql: LIMIT must be a literal, not a parameter (the limit is the public output size)")
+		}
+		n, err := p.intLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("sql: negative LIMIT %d", n)
+		}
+		stmt.Limit = &n
 	}
 	if p.acceptKeyword("FORCE") {
 		name, err := p.ident()

@@ -114,6 +114,16 @@ func (s *Select) String() string {
 		sb.WriteString(" GROUP BY ")
 		sb.WriteString(exprSQL(s.GroupBy))
 	}
+	if s.Order != nil {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(columnRefSQL(s.Order.Col))
+		if s.Order.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&sb, " LIMIT %d", *s.Limit)
+	}
 	if s.Force != nil {
 		sb.WriteString(" FORCE ")
 		sb.WriteString(s.Force.String())
@@ -153,6 +163,11 @@ func (s *Delete) String() string {
 
 // String renders the statement as parseable SQL.
 func (s *DropTable) String() string { return "DROP TABLE " + s.Name }
+
+// String renders the statement as parseable SQL.
+func (s *Explain) String() string {
+	return "EXPLAIN " + s.Stmt.(fmt.Stringer).String()
+}
 
 // exprSQL renders an expression, fully parenthesized.
 func exprSQL(e Expr) string {

@@ -79,7 +79,8 @@ type Result struct {
 
 // Stats is the server's self-report: everything in it is information
 // the server deliberately publishes (epoch cadence and size are exactly
-// what the untrusted host observes anyway).
+// what the untrusted host observes anyway, and plan choices are the
+// conceded leakage of §2.3).
 type Stats struct {
 	// Epochs is the number of epochs executed so far.
 	Epochs uint64
@@ -92,6 +93,24 @@ type Stats struct {
 	Sessions uint32
 	// UptimeMillis is milliseconds since the server started serving.
 	UptimeMillis uint64
+
+	// Plan-cache and optimizer counters (a v2 extension; v1 frames
+	// decode with zeros). PlanEntries is the number of cached statement
+	// shapes; PlanHits/PlanMisses count parse-cache lookups;
+	// PlanCompiles/PlanCompileSkips count plan compilations vs
+	// executions that replayed a compiled plan.
+	PlanEntries                    uint32
+	PlanHits, PlanMisses           uint64
+	PlanCompiles, PlanCompileSkips uint64
+	// Picks tallies runtime operator-algorithm decisions, e.g.
+	// "select.Hash" or "join.Opaque" or "sort", sorted by name.
+	Picks []AlgPick
+}
+
+// AlgPick is one operator-algorithm tally of Stats.Picks.
+type AlgPick struct {
+	Name  string
+	Count uint64
 }
 
 // Response is any server→client message.
@@ -294,6 +313,17 @@ func EncodeResponse(r *Response) []byte {
 		e.u64(r.Stats.Dummy)
 		e.u32(r.Stats.Sessions)
 		e.u64(r.Stats.UptimeMillis)
+		// v2 extension: plan-cache and optimizer counters.
+		e.u32(r.Stats.PlanEntries)
+		e.u64(r.Stats.PlanHits)
+		e.u64(r.Stats.PlanMisses)
+		e.u64(r.Stats.PlanCompiles)
+		e.u64(r.Stats.PlanCompileSkips)
+		e.uvarint(len(r.Stats.Picks))
+		for _, p := range r.Stats.Picks {
+			e.str(p.Name)
+			e.u64(p.Count)
+		}
 	}
 	return e.b
 }
@@ -320,6 +350,30 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		r.Stats.Dummy = d.u64()
 		r.Stats.Sessions = d.u32()
 		r.Stats.UptimeMillis = d.u64()
+		// Protocol v1 ended here; the remainder is the plan-cache and
+		// optimizer extension.
+		if d.err == nil && len(d.b) > 0 {
+			r.Stats.PlanEntries = d.u32()
+			r.Stats.PlanHits = d.u64()
+			r.Stats.PlanMisses = d.u64()
+			r.Stats.PlanCompiles = d.u64()
+			r.Stats.PlanCompileSkips = d.u64()
+			n := d.uvarint()
+			capHint := n
+			if maxPicks := len(d.b) / 9; capHint > maxPicks {
+				capHint = maxPicks
+			}
+			if n > 0 && d.err == nil {
+				picks := make([]AlgPick, 0, capHint)
+				for i := 0; i < n && d.err == nil; i++ {
+					name := d.str()
+					picks = append(picks, AlgPick{Name: name, Count: d.u64()})
+				}
+				if d.err == nil {
+					r.Stats.Picks = picks
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("wire: unknown response type %d", r.Type)
 	}

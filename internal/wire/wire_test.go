@@ -65,6 +65,11 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Type: TStatsResult, ID: 3, Stats: Stats{
 			Epochs: 10, EpochSize: 8, Real: 3, Dummy: 77, Sessions: 2, UptimeMillis: 1234,
 		}},
+		{Type: TStatsResult, ID: 9, Stats: Stats{
+			Epochs: 2, EpochSize: 4, Real: 1, Dummy: 7, Sessions: 1, UptimeMillis: 55,
+			PlanEntries: 3, PlanHits: 9, PlanMisses: 4, PlanCompiles: 3, PlanCompileSkips: 6,
+			Picks: []AlgPick{{Name: "join.Hash", Count: 2}, {Name: "select.Small", Count: 11}, {Name: "sort", Count: 5}},
+		}},
 		{Type: TResult, ID: 4, Result: &Result{
 			Cols: []string{"k", "name", "score", "ok"},
 			Rows: []table.Row{
@@ -85,7 +90,8 @@ func TestResponseRoundTrip(t *testing.T) {
 			t.Fatalf("decode %d: %v", resp.Type, err)
 		}
 		if got.Type != resp.Type || got.ID != resp.ID || got.Err != resp.Err ||
-			got.Handle != resp.Handle || got.NumParams != resp.NumParams || got.Stats != resp.Stats {
+			got.Handle != resp.Handle || got.NumParams != resp.NumParams ||
+			!reflect.DeepEqual(got.Stats, resp.Stats) {
 			t.Fatalf("round trip %d: got %+v, want %+v", resp.Type, got, resp)
 		}
 		if resp.Result == nil {
@@ -152,5 +158,28 @@ func TestLegacyPreparedFramesDecode(t *testing.T) {
 	}
 	if resp.Handle != 42 || resp.NumParams != 0 {
 		t.Fatalf("legacy TPrepared decoded to %+v", resp)
+	}
+}
+
+// TestLegacyStatsFrameDecodes pins the v1 TStatsResult layout: a frame
+// ending after UptimeMillis decodes with zeroed plan-cache counters and
+// no picks.
+func TestLegacyStatsFrameDecodes(t *testing.T) {
+	payload := []byte{TStatsResult, 0, 0, 0, 7}
+	payload = append(payload, 0, 0, 0, 0, 0, 0, 0, 10)  // Epochs
+	payload = append(payload, 0, 0, 0, 8)               // EpochSize
+	payload = append(payload, 0, 0, 0, 0, 0, 0, 0, 3)   // Real
+	payload = append(payload, 0, 0, 0, 0, 0, 0, 0, 77)  // Dummy
+	payload = append(payload, 0, 0, 0, 2)               // Sessions
+	payload = append(payload, 0, 0, 0, 0, 0, 0, 4, 210) // UptimeMillis
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("legacy TStatsResult: %v", err)
+	}
+	if resp.Stats.Epochs != 10 || resp.Stats.EpochSize != 8 || resp.Stats.UptimeMillis != 1234 {
+		t.Fatalf("legacy TStatsResult decoded to %+v", resp.Stats)
+	}
+	if resp.Stats.PlanEntries != 0 || resp.Stats.PlanHits != 0 || resp.Stats.Picks != nil {
+		t.Fatalf("v1 frame grew plan fields: %+v", resp.Stats)
 	}
 }

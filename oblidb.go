@@ -186,3 +186,11 @@ func (r *Row) Scan(dest ...any) error {
 func (db *DB) PlanCacheStats() (entries int, hits, misses uint64) {
 	return db.sqlExec.PlanCacheStats()
 }
+
+// CacheStats reports the executor's full plan-cache counters: parse
+// hits/misses plus compiled-plan compilations and replays. Re-executing
+// a cached statement shape replays its compiled physical plan —
+// CompileSkips counts those fast-path executions. The engine's
+// per-algorithm pick tallies are available via PlanStats (promoted from
+// the embedded engine handle).
+func (db *DB) CacheStats() sql.CacheStats { return db.sqlExec.CacheStats() }

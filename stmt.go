@@ -15,27 +15,27 @@ import (
 // the arguments bind inside the enclave and never influence anything
 // the host observes. A Stmt is safe for concurrent use.
 type Stmt struct {
-	db        *DB
-	stmt      sql.Statement
-	numParams int
-	shape     string
-	closed    atomic.Bool
+	db     *DB
+	prep   *sql.Prepared
+	shape  string
+	closed atomic.Bool
 }
 
 // Prepare parses a statement once for repeated execution with bound
-// arguments. The parse is shared with the executor's plan cache, so
-// preparing is cheap even for shapes already seen.
+// arguments. The parse and the compiled physical plan are shared with
+// the executor's plan cache, so preparing is cheap even for shapes
+// already seen, and every execution replays the compiled plan.
 func (db *DB) Prepare(query string) (*Stmt, error) {
-	stmt, n, err := db.sqlExec.Stmt(query)
+	prep, err := db.sqlExec.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	shape := stmt.(fmt.Stringer).String()
-	return &Stmt{db: db, stmt: stmt, numParams: n, shape: shape}, nil
+	shape := prep.Stmt().(fmt.Stringer).String()
+	return &Stmt{db: db, prep: prep, shape: shape}, nil
 }
 
 // NumParams reports how many arguments Exec and Query require.
-func (s *Stmt) NumParams() int { return s.numParams }
+func (s *Stmt) NumParams() int { return s.prep.NumParams() }
 
 // String returns the statement's canonical (placeholder-normalized)
 // SQL shape.
@@ -62,7 +62,7 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.db.sqlExec.ExecuteBound(s.stmt, s.numParams, vals)
+	return s.prep.Exec(vals)
 }
 
 // Query runs the statement and returns a cursor over its rows.

@@ -10,6 +10,10 @@ import (
 	"testing"
 
 	"oblidb/internal/bench"
+	"oblidb/internal/enclave"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+	"oblidb/internal/workload"
 )
 
 // benchScale keeps testing.B iterations tractable; cmd/oblidb-bench
@@ -88,3 +92,47 @@ func BenchmarkServedThroughput(b *testing.B) { runFigure(b, bench.RunServed) }
 // BenchmarkParallelSpeedup measures the partition-parallel operators'
 // wall-clock against worker-pool sizes 1/2/4/8 (DESIGN.md §9).
 func BenchmarkParallelSpeedup(b *testing.B) { runFigure(b, bench.RunParallel) }
+
+// BenchmarkPacking measures block packing (DESIGN.md §12): scan, select,
+// and oblivious-insert wall time at R ∈ {1, 4, 16, default}, with
+// speedups over the paper's one-record-per-block geometry.
+func BenchmarkPacking(b *testing.B) { runFigure(b, bench.RunPacking) }
+
+// benchScanAt times a full-table scan of an n-row workload table at
+// packing factor r — the read pass under every aggregate, stats scan,
+// and select. Compare BenchmarkFlatScanR1 against
+// BenchmarkFlatScanPackedDefault for the per-pass speedup (≥4× at the
+// default ~4 KiB blocks on typical hardware).
+func benchScanAt(b *testing.B, r int) {
+	b.Helper()
+	e := enclave.MustNew(enclave.Config{Seed: 11})
+	const n = 4096
+	f, err := storage.NewFlatGeom(e, "bench.scan", workload.Schema(), n, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := f.InsertFast(workload.NewRow(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Scan(func(int, table.Row, bool) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(n * workload.Schema().RecordSize()))
+}
+
+// BenchmarkFlatScanR1 scans at the paper's one-record-per-block layout.
+func BenchmarkFlatScanR1(b *testing.B) { benchScanAt(b, 1) }
+
+// BenchmarkFlatScanPacked16 scans at a fixed 16-record packing.
+func BenchmarkFlatScanPacked16(b *testing.B) { benchScanAt(b, 16) }
+
+// BenchmarkFlatScanPackedDefault scans at the engine's ~4 KiB default.
+func BenchmarkFlatScanPackedDefault(b *testing.B) {
+	benchScanAt(b, storage.DefaultRowsPerBlock(workload.Schema()))
+}

@@ -57,10 +57,19 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale data (equivalent to -scale 1; slow)")
 	scale := flag.Float64("scale", 0.1, "fraction of paper-scale data")
 	seed := flag.Uint64("seed", 0, "data generation seed (0 = default)")
+	jsonPath := flag.String("json", "", "write the machine-readable perf trajectory (BENCH_<n>.json) to this path and exit")
 	flag.Parse()
 
 	if *full {
 		*scale = 1
+	}
+	if *jsonPath != "" {
+		opts := bench.Options{Scale: *scale, Out: os.Stdout, Seed: *seed}
+		if err := bench.WriteBenchJSON(opts, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "oblidb-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *all {
 		figs = append([]string{}, bench.Order...)

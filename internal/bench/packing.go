@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"oblidb/client"
+	"oblidb/internal/core"
+	"oblidb/internal/enclave"
+	"oblidb/internal/server"
+	"oblidb/internal/storage"
+	"oblidb/internal/table"
+	"oblidb/internal/workload"
+)
+
+// This file measures block packing (DESIGN.md §12): the same oblivious
+// operations at R = 1 (the paper's one-record-per-block geometry) versus
+// packed geometries, where every full-table pass costs one AEAD
+// open/seal per sealed block instead of per row. The speedup column is
+// the bench trajectory future perf PRs compare against (BENCH_5.json).
+
+// packingGeometries lists the packing factors the figure sweeps: the
+// paper geometry, two fixed intermediate points, and the engine's
+// ~4 KiB default for the workload schema.
+func packingGeometries() []int {
+	def := storage.DefaultRowsPerBlock(workload.Schema())
+	gs := []int{1, 4, 16}
+	for _, g := range gs {
+		if g == def {
+			return gs
+		}
+	}
+	if def > 1 {
+		gs = append(gs, def)
+	}
+	return gs
+}
+
+// packedTable builds and fills a flat workload table at geometry r.
+func packedTable(e *enclave.Enclave, name string, rows, r int) (*storage.Flat, error) {
+	f, err := storage.NewFlatGeom(e, name, workload.Schema(), rows, r)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := f.InsertFast(workload.NewRow(int64(i))); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// packingCell is one measured (operation, R) point.
+type packingCell struct {
+	Op      string  `json:"op"`
+	Rows    int     `json:"rows"`
+	R       int     `json:"rows_per_block"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// measurePacking times the scan / select / insert trio at geometry r.
+// The select runs through the engine (stats scan + planner + chosen
+// operator), exactly the full-table select path queries take; the insert
+// is the oblivious full-scan variant (§3.1).
+func measurePacking(o Options, rows, r int) ([]packingCell, error) {
+	var cells []packingCell
+
+	// Flat scan: the read pass under every aggregate and stats scan.
+	e := enclave.MustNew(enclave.Config{Seed: o.seed()})
+	f, err := packedTable(e, fmt.Sprintf("pack.r%d", r), rows, r)
+	if err != nil {
+		return nil, err
+	}
+	reps := 5
+	d, err := timedN(reps, func() error {
+		return f.Scan(func(int, table.Row, bool) error { return nil })
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, packingCell{"flat_scan", rows, r, float64(d.Nanoseconds())})
+
+	// Engine select (~10% selectivity): stats scan + planner + operator.
+	db := core.MustOpen(core.Config{Seed: o.seed(), RowsPerBlock: r})
+	if err := workload.Setup(db, "t", core.KindFlat, rows); err != nil {
+		return nil, err
+	}
+	tab, err := db.Table("t")
+	if err != nil {
+		return nil, err
+	}
+	cut := int64(rows / 10)
+	d, err = timedN(reps, func() error {
+		_, err := db.SelectTable(tab, func(rw table.Row) bool { return rw[0].AsInt() < cut }, core.SelectOptions{})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, packingCell{"select", rows, r, float64(d.Nanoseconds())})
+
+	// Oblivious insert: one full read+rewrite pass over the table.
+	half, err := storage.NewFlatGeom(e, fmt.Sprintf("pack.ins.r%d", r), workload.Schema(), rows, r)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows/2; i++ {
+		if err := half.InsertFast(workload.NewRow(int64(i))); err != nil {
+			return nil, err
+		}
+	}
+	d, err = timedN(reps, func() error { return half.Insert(workload.NewRow(0)) })
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, packingCell{"insert", rows, r, float64(d.Nanoseconds())})
+	return cells, nil
+}
+
+// RunPacking is the "packing" figure: scan, select, and oblivious-insert
+// wall time at each geometry, with the speedup over R = 1.
+func RunPacking(o Options) error {
+	rows := o.n(100000)
+	o.printf("Block packing: R rows per sealed block (%d-row table, %d B records)\n",
+		rows, workload.Schema().RecordSize())
+	cells := map[int][]packingCell{}
+	for _, r := range packingGeometries() {
+		cs, err := measurePacking(o, rows, r)
+		if err != nil {
+			return fmt.Errorf("packing R=%d: %w", r, err)
+		}
+		cells[r] = cs
+	}
+	base := cells[1]
+	tp := newTable("R", "block bytes", "scan", "select", "insert", "scan speedup", "select speedup")
+	for _, r := range packingGeometries() {
+		cs := cells[r]
+		tp.addf(r, workload.Schema().BlockSize(r),
+			time.Duration(cs[0].NsPerOp), time.Duration(cs[1].NsPerOp), time.Duration(cs[2].NsPerOp),
+			ratio(time.Duration(base[0].NsPerOp), time.Duration(cs[0].NsPerOp)),
+			ratio(time.Duration(base[1].NsPerOp), time.Duration(cs[1].NsPerOp)))
+	}
+	tp.render(o.Out)
+	o.printf("  (R=1 is the paper's geometry; the default packs ~4 KiB of plaintext per\n")
+	o.printf("   sealed block, dividing AEAD calls, trace events, and allocations per\n")
+	o.printf("   full-table pass by R — §3's block is the sealed unit, not the row)\n\n")
+	return nil
+}
+
+// servedCell is one served-throughput measurement at a geometry.
+type servedCell struct {
+	R            int     `json:"rows_per_block"`
+	Stmts        int     `json:"stmts"`
+	StmtsPerSec  float64 `json:"stmts_per_sec"`
+	EpochSize    int     `json:"epoch_size"`
+	NsPerStmt    float64 `json:"ns_per_stmt"`
+	ClientsCount int     `json:"clients"`
+}
+
+// measureServed runs the loopback server benchmark at geometry r (0 =
+// engine default) and epoch size 8.
+func measureServed(o Options, r int) (servedCell, error) {
+	const clients = 4
+	const epochSize = 8
+	perClient := o.n(200)
+	perClient -= perClient % 2
+	srv, err := server.New(server.Config{
+		Engine:        core.Config{ObliviousMemory: o.obliviousMemory(), Seed: o.seed(), RowsPerBlock: r},
+		EpochSize:     epochSize,
+		EpochInterval: time.Millisecond,
+	})
+	if err != nil {
+		return servedCell{}, err
+	}
+	defer srv.Close()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+	for srv.Addr() == nil {
+		select {
+		case err := <-serveErr:
+			return servedCell{}, err
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	addr := srv.Addr().String()
+	setup, err := client.Dial(addr)
+	if err != nil {
+		return servedCell{}, err
+	}
+	if _, err := setup.Exec(fmt.Sprintf(
+		"CREATE TABLE s (k INTEGER, payload VARCHAR(32)) CAPACITY = %d", 4*clients*perClient+64)); err != nil {
+		return servedCell{}, err
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i += 2 {
+				k := w*perClient + i
+				if _, err := c.Exec(fmt.Sprintf("INSERT INTO s VALUES (%d, 'payload-%016d')", k, k)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Exec(fmt.Sprintf("SELECT COUNT(*) FROM s WHERE k = %d", k)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return servedCell{}, err
+		}
+	}
+	total := clients * perClient
+	return servedCell{
+		R:            r,
+		Stmts:        total,
+		StmtsPerSec:  float64(total) / elapsed.Seconds(),
+		EpochSize:    epochSize,
+		NsPerStmt:    float64(elapsed.Nanoseconds()) / float64(total),
+		ClientsCount: clients,
+	}, nil
+}
+
+// BenchReport is the machine-readable perf trajectory one PR leaves for
+// the next (BENCH_<n>.json): the packed-storage figures plus served
+// throughput at the paper geometry and the default packing.
+type BenchReport struct {
+	Bench    string        `json:"bench"`
+	GOOS     string        `json:"goos"`
+	GOARCH   string        `json:"goarch"`
+	DefaultR int           `json:"default_rows_per_block"`
+	Packing  []packingCell `json:"packing"`
+	Served   []servedCell  `json:"served"`
+}
+
+// WriteBenchJSON runs the packing and served measurements at R ∈ {1,
+// default} and writes BENCH_5.json-style output to path. CI uploads it
+// as an artifact so subsequent PRs have a trajectory to compare against.
+func WriteBenchJSON(o Options, path string) error {
+	def := storage.DefaultRowsPerBlock(workload.Schema())
+	rows := o.n(100000)
+	rep := BenchReport{
+		Bench:    "block-packing",
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		DefaultR: def,
+	}
+	for _, r := range []int{1, def} {
+		cs, err := measurePacking(o, rows, r)
+		if err != nil {
+			return err
+		}
+		rep.Packing = append(rep.Packing, cs...)
+		sc, err := measureServed(o, r)
+		if err != nil {
+			return err
+		}
+		sc.R = r
+		rep.Served = append(rep.Served, sc)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	o.printf("wrote %s (default R=%d)\n", path, def)
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -358,9 +358,12 @@ func TestPaddingMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Output structure padded: 5 slots per position × PadRows positions.
-	if tmp.flat.Capacity() != 16*5 {
-		t.Fatalf("padded select capacity %d, want %d", tmp.flat.Capacity(), 16*5)
+	// Output structure padded: 5 slots per position × PadRows positions,
+	// rounded up to whole sealed blocks at the engine's packing factor.
+	r := tmp.flat.RowsPerBlock()
+	want := (16*5 + r - 1) / r * r
+	if tmp.flat.Capacity() != want {
+		t.Fatalf("padded select capacity %d, want %d", tmp.flat.Capacity(), want)
 	}
 	res, _ := db.Collect(tmp)
 	if len(res.Rows) != 7 {
@@ -373,8 +376,10 @@ func TestPaddingMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.flat.Capacity() != 16 {
-		t.Fatalf("padded groups capacity %d, want 16", g.flat.Capacity())
+	gr := g.flat.RowsPerBlock()
+	gwant := (16 + gr - 1) / gr * gr
+	if g.flat.Capacity() != gwant {
+		t.Fatalf("padded groups capacity %d, want %d", g.flat.Capacity(), gwant)
 	}
 	// Exceeding the pad bound must fail loudly, not leak.
 	if _, err := db.SelectTable(tab, nil, SelectOptions{}); err == nil {

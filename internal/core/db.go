@@ -87,6 +87,14 @@ type Config struct {
 	// alone). 0 or 1 keeps the engine serial; -1 uses GOMAXPROCS. The
 	// pool size is public configuration, like the epoch cadence.
 	Parallelism int
+	// RowsPerBlock is the packing factor R: how many records each sealed
+	// block holds. Every full-table pass costs one AEAD open/seal per
+	// block, so packing divides the crypto and trace cost of scans by R.
+	// 0 (the default) sizes blocks to ~4 KiB of plaintext per table;
+	// 1 reproduces the paper's one-record-per-block geometry. R is public
+	// geometry, like table sizes — traces depend only on the pair
+	// (capacity, R).
+	RowsPerBlock int
 	// WorkerTracers, if non-nil, must hold one tracer per worker; each
 	// worker's untrusted accesses — the adversarial view of one core —
 	// are recorded there. Tests assert the multiset of worker traces is
@@ -327,7 +335,7 @@ func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) 
 	}
 	t := &Table{name: name, schema: schema, kind: opts.Kind, keyCol: -1, oblivIn: opts.ObliviousInserts}
 	if opts.Kind == KindFlat || opts.Kind == KindBoth {
-		f, err := storage.NewFlat(db.enc, name+".flat", schema, capacity)
+		f, err := storage.NewFlatGeom(db.enc, name+".flat", schema, capacity, db.rowsPerBlockFor(schema))
 		if err != nil {
 			return nil, err
 		}
@@ -722,6 +730,15 @@ func combinePred(t *Table, pred table.Pred, key *KeyRange) table.Pred {
 		k := r[kc].AsInt()
 		return k >= key.Lo && k <= key.Hi && pred(r)
 	}
+}
+
+// rowsPerBlockFor resolves the engine's packing factor for a schema:
+// the configured knob, or the ~4 KiB-per-block default.
+func (db *DB) rowsPerBlockFor(s *table.Schema) int {
+	if db.cfg.RowsPerBlock > 0 {
+		return db.cfg.RowsPerBlock
+	}
+	return storage.DefaultRowsPerBlock(s)
 }
 
 // tmpName generates a unique name for intermediate tables.

@@ -161,15 +161,17 @@ func TestParallelJoinMatchesSerial(t *testing.T) {
 
 // parallelTracedRun executes one select on a Parallelism-4 engine with
 // per-worker tracers and reduces it to (parent canonical, worker
-// multiset) fingerprints.
-func parallelTracedRun(t *testing.T, vals []int64, param int64, force *exec.SelectAlgorithm) ([32]byte, [32]byte) {
+// multiset) fingerprints. rpb pins the packing factor: R = 1 keeps the
+// 256-row table at 256 sealed blocks (the paper geometry), R > 1 runs
+// the same check over block-aligned packed partitions.
+func parallelTracedRun(t *testing.T, vals []int64, param int64, force *exec.SelectAlgorithm, rpb int) ([32]byte, [32]byte) {
 	t.Helper()
 	parent := trace.New()
 	wts := make([]*trace.Tracer, 4)
 	for i := range wts {
 		wts[i] = trace.New()
 	}
-	db, err := Open(Config{Tracer: parent, Key: fixedKey, Parallelism: 4, WorkerTracers: wts})
+	db, err := Open(Config{Tracer: parent, Key: fixedKey, Parallelism: 4, WorkerTracers: wts, RowsPerBlock: rpb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,13 +207,43 @@ func TestEndToEndParallelSelectTraceOblivious(t *testing.T) {
 			name = force.String()
 		}
 		t.Run(name, func(t *testing.T) {
-			pa, wa := parallelTracedRun(t, valsA, 7, force)
-			pb, wb := parallelTracedRun(t, valsB, 9, force)
+			pa, wa := parallelTracedRun(t, valsA, 7, force, 1)
+			pb, wb := parallelTracedRun(t, valsB, 9, force, 1)
 			if pa != pb {
 				t.Fatal("parallel engine: parent trace depends on data")
 			}
 			if wa != wb {
 				t.Fatal("parallel engine: worker trace multiset depends on data")
+			}
+		})
+	}
+}
+
+func TestEndToEndParallelSelectTraceObliviousPacked(t *testing.T) {
+	// The packed parallel path — block-aligned PartitionView reads,
+	// RangeWriter sealed fills and RMW blocks — under the same
+	// end-to-end check: at R = 4 a 2048-row table is 512 sealed blocks,
+	// enough for the partition rule to engage all 4 workers.
+	const n, k = 2048, 128
+	valsA := make([]int64, n)
+	valsB := make([]int64, n)
+	for i := 0; i < k; i++ {
+		valsA[i*5] = 7
+		valsB[i*3+1000] = 9
+	}
+	for _, force := range []*exec.SelectAlgorithm{nil, algPtr(exec.SelectHash), algPtr(exec.SelectLarge)} {
+		name := "planner"
+		if force != nil {
+			name = force.String()
+		}
+		t.Run(name, func(t *testing.T) {
+			pa, wa := parallelTracedRun(t, valsA, 7, force, 4)
+			pb, wb := parallelTracedRun(t, valsB, 9, force, 4)
+			if pa != pb {
+				t.Fatal("packed parallel engine: parent trace depends on data")
+			}
+			if wa != wb {
+				t.Fatal("packed parallel engine: worker trace multiset depends on data")
 			}
 		})
 	}
@@ -224,7 +256,7 @@ func TestEndToEndParallelAggregateTraceOblivious(t *testing.T) {
 		for i := range wts {
 			wts[i] = trace.New()
 		}
-		db, err := Open(Config{Tracer: parent, Key: fixedKey, Parallelism: 4, WorkerTracers: wts})
+		db, err := Open(Config{Tracer: parent, Key: fixedKey, Parallelism: 4, WorkerTracers: wts, RowsPerBlock: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -38,9 +38,21 @@ func (db *DB) tableMeta(name string) (plan.TableMeta, bool) {
 		m.KeyColumn = t.schema.Col(t.keyCol).Name
 	}
 	if t.flat != nil {
-		m.Blocks = t.flat.Capacity()
+		m.Blocks = t.flat.NumBlocks()
+		m.Rows = t.flat.Capacity()
+		m.RowsPerBlock = t.flat.RowsPerBlock()
 	} else {
-		m.Blocks = t.index.NumRows()
+		// Index-only tables materialize scans through db.materialize,
+		// which packs the intermediate at the engine's geometry — report
+		// that geometry so plan costs match what executes.
+		r := db.rowsPerBlockFor(t.schema)
+		rows := t.index.NumRows()
+		m.Blocks = (rows + r - 1) / r
+		if m.Blocks < 1 {
+			m.Blocks = 1
+		}
+		m.Rows = m.Blocks * r
+		m.RowsPerBlock = r
 	}
 	return m, true
 }

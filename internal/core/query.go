@@ -167,7 +167,7 @@ func (db *DB) parallelFor(in exec.Input, recSize int) ([]*enclave.Enclave, *stor
 	if !ok {
 		return nil, nil, false
 	}
-	p := planner.ChooseParallelism(db.enc, f.Capacity(), recSize, len(db.workers))
+	p := planner.ChooseParallelism(db.enc, f.NumBlocks(), recSize, len(db.workers))
 	if p < 2 {
 		return nil, nil, false
 	}
@@ -383,6 +383,8 @@ func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 		alg = planner.ChooseJoin(db.enc, planner.JoinSizes{
 			T1Blocks:      lin.Blocks(),
 			T2Blocks:      rin.Blocks(),
+			T1Rows:        exec.RowSlots(lin),
+			T2Rows:        exec.RowSlots(rin),
 			BuildRecSize:  lTab.schema.RecordSize(),
 			SortBlockSize: 9 + max(lTab.schema.RecordSize(), rTab.schema.RecordSize()),
 		})
@@ -481,17 +483,26 @@ func (db *DB) inputFor(t *Table, key *KeyRange, pred table.Pred) (exec.Input, fu
 	return exec.FromFlat(tmp), noop, nil
 }
 
-// materialize writes rows into a fresh flat intermediate table.
+// materialize writes rows into a fresh flat intermediate table at the
+// engine's configured geometry, sealing one packed block at a time.
 func (db *DB) materialize(s *table.Schema, rows []table.Row, op string) (*storage.Flat, error) {
-	tmp, err := storage.NewFlat(db.enc, db.tmpName(op), s, max(1, len(rows)))
+	tmp, err := storage.NewFlatGeom(db.enc, db.tmpName(op), s, max(1, len(rows)), db.rowsPerBlockFor(s))
 	if err != nil {
 		return nil, err
 	}
+	w := tmp.NewBlockWriter()
 	for _, r := range rows {
-		if err := tmp.InsertFast(r); err != nil {
+		if err := s.ValidateRow(r); err != nil {
+			return nil, err
+		}
+		if err := w.Append(r, true); err != nil {
 			return nil, err
 		}
 	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	tmp.BumpRows(len(rows))
 	return tmp, nil
 }
 

@@ -231,9 +231,9 @@ func TestTamperedTableFailsQueries(t *testing.T) {
 	db := MustOpen(Config{})
 	seedFlat(t, db, []int64{1, 2, 3, 4})
 	tab, _ := db.Table("t")
-	raw := tab.Flat().Store().AdversaryRawBlock(2)
+	raw := tab.Flat().Store().AdversaryRawBlock(0)
 	raw[len(raw)-1] ^= 0x80
-	tab.Flat().Store().AdversarySetRawBlock(2, raw)
+	tab.Flat().Store().AdversarySetRawBlock(0, raw)
 	if _, err := db.Select("t", nil, SelectOptions{}); err == nil {
 		t.Fatal("query over tampered table succeeded")
 	}
@@ -244,14 +244,14 @@ func TestRollbackFailsQueries(t *testing.T) {
 	seedFlat(t, db, []int64{1, 2, 3, 4})
 	tab, _ := db.Table("t")
 	st := tab.Flat().Store()
-	old := st.AdversaryRawBlock(1)
+	old := st.AdversaryRawBlock(0)
 	if _, err := db.Update("t", table.All, func(r table.Row) table.Row {
 		r[1] = table.Int(9)
 		return r
 	}, nil); err != nil {
 		t.Fatal(err)
 	}
-	st.AdversarySetRawBlock(1, old) // roll block 1 back to its pre-update state
+	st.AdversarySetRawBlock(0, old) // roll block 0 back to its pre-update state
 	if _, err := db.Select("t", nil, SelectOptions{}); err == nil {
 		t.Fatal("query over rolled-back table succeeded")
 	}

@@ -42,6 +42,11 @@ type Sealer struct {
 	// dummy write needs a fresh nonce).
 	nonceBuf []byte
 	nonceOff int
+	// adbuf is the reusable additional-data buffer. A stack array would
+	// escape through the AEAD interface call and cost one heap
+	// allocation per sealed block — the kind of per-block cost this
+	// package exists to amortize away.
+	adbuf [16]byte
 }
 
 // NewSealer creates a Sealer from a 32-byte key.
@@ -69,13 +74,12 @@ func NewRandomKey() []byte {
 	return key
 }
 
-// aad builds the additional-data binding for a block.
-func aad(table uint32, index uint32, revision uint64) [16]byte {
-	var b [16]byte
-	binary.LittleEndian.PutUint32(b[0:4], table)
-	binary.LittleEndian.PutUint32(b[4:8], index)
-	binary.LittleEndian.PutUint64(b[8:16], revision)
-	return b
+// aad fills the Sealer's reusable additional-data binding for a block.
+func (s *Sealer) aad(table uint32, index uint32, revision uint64) []byte {
+	binary.LittleEndian.PutUint32(s.adbuf[0:4], table)
+	binary.LittleEndian.PutUint32(s.adbuf[4:8], index)
+	binary.LittleEndian.PutUint64(s.adbuf[8:16], revision)
+	return s.adbuf[:]
 }
 
 // Seal encrypts plaintext for slot (table, index) at the given revision.
@@ -83,10 +87,24 @@ func aad(table uint32, index uint32, revision uint64) [16]byte {
 // yields a different ciphertext — this is what makes the paper's "dummy
 // writes" (re-encrypting unchanged data) indistinguishable from real ones.
 func (s *Sealer) Seal(table, index uint32, revision uint64, plaintext []byte) []byte {
-	out := make([]byte, 12, 12+len(plaintext)+16)
-	s.fillNonce(out[:12])
-	ad := aad(table, index, revision)
-	return s.aead.Seal(out, out[:12], plaintext, ad[:])
+	return s.SealTo(nil, table, index, revision, plaintext)
+}
+
+// SealTo is Seal writing into dst's capacity instead of allocating.
+// dst's length is ignored; when its capacity holds the sealed block
+// (SealedSize(len(plaintext)) bytes) no allocation happens, which is what
+// keeps the per-block hot path allocation-free — stores re-seal every
+// dummy write into the ciphertext buffer the slot already owns. dst must
+// not overlap plaintext.
+func (s *Sealer) SealTo(dst []byte, table, index uint32, revision uint64, plaintext []byte) []byte {
+	need := SealedSize(len(plaintext))
+	if cap(dst) < need {
+		dst = make([]byte, 0, need)
+	}
+	dst = dst[:12]
+	s.fillNonce(dst)
+	ad := s.aad(table, index, revision)
+	return s.aead.Seal(dst, dst[:12], plaintext, ad)
 }
 
 // fillNonce copies 12 fresh random bytes into dst from the buffered pool.
@@ -108,11 +126,23 @@ func (s *Sealer) fillNonce(dst []byte) {
 // slot (table, index) at exactly the given revision. A wrong revision —
 // i.e. a rollback — fails with ErrAuth just like any other tampering.
 func (s *Sealer) Open(table, index uint32, revision uint64, sealed []byte) ([]byte, error) {
+	return s.OpenInto(nil, table, index, revision, sealed)
+}
+
+// OpenInto is Open decrypting into dst's capacity instead of allocating.
+// dst's length is ignored; when its capacity holds the plaintext
+// (PlainSize(len(sealed)) bytes) no allocation happens. dst must not
+// overlap sealed. The returned slice aliases dst (or a fresh buffer when
+// dst was too small).
+func (s *Sealer) OpenInto(dst []byte, table, index uint32, revision uint64, sealed []byte) ([]byte, error) {
 	if len(sealed) < Overhead {
 		return nil, ErrAuth
 	}
-	ad := aad(table, index, revision)
-	pt, err := s.aead.Open(nil, sealed[:12], sealed[12:], ad[:])
+	if need := PlainSize(len(sealed)); cap(dst) < need {
+		dst = make([]byte, 0, need)
+	}
+	ad := s.aad(table, index, revision)
+	pt, err := s.aead.Open(dst[:0], sealed[:12], sealed[12:], ad)
 	if err != nil {
 		return nil, ErrAuth
 	}

@@ -38,6 +38,23 @@ func TestDifferentialSQLWorkloads(t *testing.T) {
 				}
 				engines = append(engines, engine{name, sql.New(db)})
 			}
+			// Block-packing matrix: the same workloads at R ∈ {1, 4, 16}
+			// (the default engines above run the auto ~4 KiB packing), so
+			// every packed geometry — including R = 1, the paper's — is
+			// differentially checked against the same reference. R = 4
+			// also runs parallel, exercising block-aligned partitions.
+			for _, r := range []int{1, 4, 16} {
+				db, err := core.Open(core.Config{Seed: seed + 1, RowsPerBlock: r})
+				if err != nil {
+					t.Fatal(err)
+				}
+				engines = append(engines, engine{fmt.Sprintf("packed-R%d", r), sql.New(db)})
+			}
+			dbp, err := core.Open(core.Config{Seed: seed + 1, RowsPerBlock: 4, Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines = append(engines, engine{"packed-R4-P2", sql.New(dbp)})
 			ref := NewRef()
 			for _, e := range engines {
 				for _, ddl := range Setup() {

@@ -61,11 +61,19 @@ func (s *Store) Region() trace.Region { return s.region }
 // sealed block is authenticated against its current revision and
 // decrypted. The returned slice is a fresh copy owned by the caller.
 func (s *Store) Read(i int) ([]byte, error) {
+	return s.ReadInto(i, nil)
+}
+
+// ReadInto is Read decrypting into dst's capacity: when dst can hold one
+// plaintext block nothing is allocated, so steady-state scans that reuse
+// one scratch block pay zero allocations per block. The returned slice
+// aliases dst (or a fresh buffer when dst was too small).
+func (s *Store) ReadInto(i int, dst []byte) ([]byte, error) {
 	if i < 0 || i >= len(s.blocks) {
 		return nil, fmt.Errorf("enclave: store %q read out of range: %d of %d", s.region.Name(), i, len(s.blocks))
 	}
 	s.enclave.tracer.Record(s.region, trace.Read, i)
-	pt, err := s.enclave.sealer.Open(s.id, uint32(i), s.revs[i], s.blocks[i])
+	pt, err := s.enclave.sealer.OpenInto(dst, s.id, uint32(i), s.revs[i], s.blocks[i])
 	if err != nil {
 		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
 	}
@@ -81,11 +89,18 @@ func (s *Store) Read(i int) ([]byte, error) {
 // map is only read. via may belong to a different enclave than the
 // store; sealed blocks interoperate because Split workers share the key.
 func (s *Store) ReadVia(via *Enclave, r trace.Region, i int) ([]byte, error) {
+	return s.ReadIntoVia(via, r, i, nil)
+}
+
+// ReadIntoVia is ReadVia decrypting into dst's capacity (see ReadInto);
+// each parallel worker owns its scratch, so concurrent partition scans
+// stay allocation-free per block too.
+func (s *Store) ReadIntoVia(via *Enclave, r trace.Region, i int, dst []byte) ([]byte, error) {
 	if i < 0 || i >= len(s.blocks) {
 		return nil, fmt.Errorf("enclave: store %q read out of range: %d of %d", s.region.Name(), i, len(s.blocks))
 	}
 	via.tracer.Record(r, trace.Read, i)
-	pt, err := via.sealer.Open(s.id, uint32(i), s.revs[i], s.blocks[i])
+	pt, err := via.sealer.OpenInto(dst, s.id, uint32(i), s.revs[i], s.blocks[i])
 	if err != nil {
 		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
 	}
@@ -105,8 +120,33 @@ func (s *Store) Write(i int, plaintext []byte) error {
 	}
 	s.enclave.tracer.Record(s.region, trace.Write, i)
 	s.revs[i]++
-	s.blocks[i] = s.enclave.sealer.Seal(s.id, uint32(i), s.revs[i], plaintext)
+	// Re-seal into the slot's existing ciphertext buffer: the sealed size
+	// is fixed, so steady-state writes (every dummy write included)
+	// allocate nothing.
+	s.blocks[i] = s.enclave.sealer.SealTo(s.blocks[i][:0], s.id, uint32(i), s.revs[i], plaintext)
 	return nil
+}
+
+// RMW is the read-modify-write cycle packed tables need: it reads block
+// i into dst's capacity, hands the plaintext to fn for in-place
+// mutation, and writes the (possibly updated) block back under the next
+// revision. The trace is always exactly one read then one write,
+// whatever fn does — a packed dummy write re-seals one block, not R
+// rows. The returned slice is the plaintext buffer for reuse on the
+// next call.
+func (s *Store) RMW(i int, dst []byte, fn func(plain []byte) error) ([]byte, error) {
+	plain, err := s.ReadInto(i, dst)
+	if err != nil {
+		return dst, err
+	}
+	if err := fn(plain); err != nil {
+		// fn failed possibly mid-mutation: abort without writing the torn
+		// plaintext back. Errors abort the whole statement, so the
+		// truncated trace carries nothing data-dependent beyond the
+		// failure itself (which the caller surfaces anyway).
+		return plain, err
+	}
+	return plain, s.Write(i, plain)
 }
 
 // WriteVia is Write with the access recorded against a caller-supplied
@@ -125,7 +165,7 @@ func (s *Store) WriteVia(via *Enclave, r trace.Region, i int, plaintext []byte) 
 	}
 	via.tracer.Record(r, trace.Write, i)
 	s.revs[i]++
-	s.blocks[i] = via.sealer.Seal(s.id, uint32(i), s.revs[i], plaintext)
+	s.blocks[i] = via.sealer.SealTo(s.blocks[i][:0], s.id, uint32(i), s.revs[i], plaintext)
 	return nil
 }
 

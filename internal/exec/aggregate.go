@@ -72,18 +72,20 @@ func (a *aggState) add(r table.Row) error {
 		}
 		a.sum += v.AsFloat()
 	case AggMin, AggMax:
+		// Clone retained extrema: v may alias the scan's scratch block
+		// (see table.Value.Clone), and the state outlives the row.
 		if !a.any {
-			a.min, a.max = v, v
+			a.min, a.max = v.Clone(), v.Clone()
 		} else {
 			if c, err := table.Compare(v, a.min); err != nil {
 				return err
 			} else if c < 0 {
-				a.min = v
+				a.min = v.Clone()
 			}
 			if c, err := table.Compare(v, a.max); err != nil {
 				return err
 			} else if c > 0 {
-				a.max = v
+				a.max = v.Clone()
 			}
 		}
 	}
@@ -170,19 +172,19 @@ func aggScan(in Input, pred table.Pred, specs []AggSpec) ([]aggState, error) {
 		}
 		states[i].spec = s
 	}
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
+	err := ForEachRow(in, func(_ int, row table.Row, used bool) error {
 		if !used || !pred(row) {
-			continue
+			return nil
 		}
 		for j := range states {
 			if err := states[j].add(row); err != nil {
-				return nil, err
+				return err
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return states, nil
 }
@@ -222,14 +224,14 @@ func GroupAggregate(e *enclave.Enclave, in Input, pred table.Pred, groupBy Group
 	}
 	maxGroups := opts.MaxGroups
 	if maxGroups <= 0 {
-		maxGroups = in.Blocks()
+		maxGroups = RowSlots(in)
 	}
 	groups, reserved, err := groupScan(e, in, pred, groupBy, specs, maxGroups)
 	defer func() { e.Release(reserved) }()
 	if err != nil {
 		return nil, err
 	}
-	return emitGroups(e, groups, specs, in.Schema(), opts, outName)
+	return emitGroups(e, groups, specs, in.Schema(), opts, outGeom(in), outName)
 }
 
 // group is one grouping bucket's in-enclave state.
@@ -245,27 +247,24 @@ type group struct {
 func groupScan(e *enclave.Enclave, in Input, pred table.Pred, groupBy GroupBy, specs []AggSpec, maxGroups int) (map[string]*group, int, error) {
 	groups := make(map[string]*group)
 	reserved := 0
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, reserved, err
-		}
+	err := ForEachRow(in, func(_ int, row table.Row, used bool) error {
 		if !used || !pred(row) {
-			continue
+			return nil
 		}
 		key := groupBy(row)
 		mk := key.String()
 		g, ok := groups[mk]
 		if !ok {
 			if len(groups) >= maxGroups {
-				return nil, reserved, fmt.Errorf("exec: more than %d groups; use the sort-based fallback", maxGroups)
+				return fmt.Errorf("exec: more than %d groups; use the sort-based fallback", maxGroups)
 			}
 			// The paper charges 4 bytes of oblivious memory per group.
 			if err := e.Reserve(4); err != nil {
-				return nil, reserved, fmt.Errorf("exec: group table exceeded oblivious memory: %w", err)
+				return fmt.Errorf("exec: group table exceeded oblivious memory: %w", err)
 			}
 			reserved += 4
-			g = &group{key: key, states: make([]aggState, len(specs))}
+			// The key outlives the scanned row; detach it from the scratch.
+			g = &group{key: key.Clone(), states: make([]aggState, len(specs))}
 			for j, s := range specs {
 				g.states[j].spec = s
 			}
@@ -273,9 +272,13 @@ func groupScan(e *enclave.Enclave, in Input, pred table.Pred, groupBy GroupBy, s
 		}
 		for j := range g.states {
 			if err := g.states[j].add(row); err != nil {
-				return nil, reserved, err
+				return err
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, reserved, err
 	}
 	return groups, reserved, nil
 }
@@ -304,7 +307,7 @@ func mergeGroups(dst, src map[string]*group, specs []AggSpec, maxGroups int) err
 // [group, aggregates...] per bucket in sorted key order, padded to
 // opts.PadGroups when set. Its trace depends only on the number of
 // groups (already-conceded leakage) and the padding bound.
-func emitGroups(e *enclave.Enclave, groups map[string]*group, specs []AggSpec, inSchema *table.Schema, opts GroupAggregateOptions, outName string) (*storage.Flat, error) {
+func emitGroups(e *enclave.Enclave, groups map[string]*group, specs []AggSpec, inSchema *table.Schema, opts GroupAggregateOptions, rpb int, outName string) (*storage.Flat, error) {
 	// Deterministic output order: sorted by group key.
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
@@ -333,27 +336,31 @@ func emitGroups(e *enclave.Enclave, groups map[string]*group, specs []AggSpec, i
 	if opts.PadGroups > capacity {
 		capacity = opts.PadGroups
 	}
-	out, err := storage.NewFlat(e, outName, outSchema, capacity)
+	out, err := storage.NewFlatGeom(e, outName, outSchema, capacity, rpb)
 	if err != nil {
 		return nil, err
 	}
-	for i, k := range keys {
+	w := out.NewBlockWriter()
+	for _, k := range keys {
 		g := groups[k]
 		row := make(table.Row, 1+len(specs))
 		row[0] = g.key
 		for j := range g.states {
 			row[1+j] = g.states[j].result()
 		}
-		if err := out.SetRow(i, row, true); err != nil {
+		if err := w.Append(row, true); err != nil {
 			return nil, err
 		}
 	}
 	// Padding mode: dummy-write the remaining slots so the output table
 	// has its padded size with indistinguishable contents.
 	for i := len(keys); i < capacity; i++ {
-		if err := out.SetRow(i, nil, false); err != nil {
+		if err := w.Append(nil, false); err != nil {
 			return nil, err
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	out.BumpRows(len(keys))
 	return out, nil

@@ -111,17 +111,19 @@ func joinKey(v table.Value) int64 {
 
 // hashJoin is the §4.3 oblivious hash join: build an in-enclave hash table
 // from as many rows of t1 as oblivious memory holds, then stream t2,
-// writing one output row — joined or dummy — per comparison, so each
-// probe's access pattern is one read and one write regardless of match.
-// The output structure has ceil(|T1|/S)·|T2| slots.
+// writing one output slot — joined or dummy — per comparison, so each
+// probe's access pattern is data-independent. The output structure has
+// ceil(rows(T1)/S)·rows(T2) slots; reads and the sequential output fill
+// both amortize to one untrusted access per packed block.
 func hashJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, outSchema *table.Schema, outName string) (*storage.Flat, error) {
 	recSize := t1.Schema().RecordSize()
+	t1Rows := RowSlots(t1)
 	chunkRows := e.Available() / recSize
 	if chunkRows < 1 {
 		chunkRows = 1
 	}
-	if chunkRows > t1.Blocks() {
-		chunkRows = t1.Blocks()
+	if chunkRows > t1Rows {
+		chunkRows = t1Rows
 	}
 	reserve := chunkRows * recSize
 	if err := e.Reserve(reserve); err != nil {
@@ -129,19 +131,25 @@ func hashJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, outSchema *table
 	}
 	defer e.Release(reserve)
 
-	numChunks := (t1.Blocks() + chunkRows - 1) / chunkRows
-	out, err := storage.NewFlat(e, outName, outSchema, max(1, numChunks*t2.Blocks()))
+	numChunks := (t1Rows + chunkRows - 1) / chunkRows
+	out, err := storage.NewFlatGeom(e, outName, outSchema, max(1, numChunks*RowSlots(t2)), outGeom(t2))
 	if err != nil {
 		return nil, err
 	}
+	w := out.NewBlockWriter()
 	matches := 0
-	outPos := 0
 	build := make(map[int64]table.Row, chunkRows)
+	t1r := NewRowReader(t1)
+	probeBuf := t2.Schema().NewBlockBuf(t2.RowsPerBlock())
 	for c := 0; c < numChunks; c++ {
 		clear(build)
-		lo, hi := c*chunkRows, min((c+1)*chunkRows, t1.Blocks())
+		// Each chunk's probe pass may read the same underlying table as
+		// t1 (a self-join), clobbering the scratch the reader's cached
+		// rows alias; drop the cache at every (public) chunk boundary.
+		t1r.Invalidate()
+		lo, hi := c*chunkRows, min((c+1)*chunkRows, t1Rows)
 		for i := lo; i < hi; i++ {
-			row, used, err := t1.ReadBlock(i)
+			row, used, err := t1r.Read(i)
 			if err != nil {
 				return nil, err
 			}
@@ -149,29 +157,26 @@ func hashJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, outSchema *table
 				build[joinKey(row[col1])] = row.Clone()
 			}
 		}
-		for j := 0; j < t2.Blocks(); j++ {
-			row, used, err := t2.ReadBlock(j)
-			if err != nil {
-				return nil, err
-			}
+		err := ForEachRowInto(t2, probeBuf, func(_ int, row table.Row, used bool) error {
 			var joined table.Row
 			if used {
 				if b, ok := build[joinKey(row[col2])]; ok && b[col1].Equal(row[col2]) {
 					joined = append(append(make(table.Row, 0, len(b)+len(row)), b...), row...)
 				}
 			}
-			// One write per comparison: the joined row or a dummy.
+			// One output slot per comparison: the joined row or a dummy.
 			if joined != nil {
-				err = out.SetRow(outPos, joined, true)
 				matches++
-			} else {
-				err = out.SetRow(outPos, nil, false)
+				return w.Append(joined, true)
 			}
-			if err != nil {
-				return nil, err
-			}
-			outPos++
+			return w.Append(nil, false)
+		})
+		if err != nil {
+			return nil, err
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	out.BumpRows(matches)
 	return out, nil
@@ -193,7 +198,8 @@ func sortMergeJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, alg JoinAlg
 	rec1, rec2 := t1.Schema().RecordSize(), t2.Schema().RecordSize()
 	payload := max(rec1, rec2)
 	blockSize := 1 + 8 + payload
-	n := NextPow2(t1.Blocks() + t2.Blocks())
+	rows1, rows2 := RowSlots(t1), RowSlots(t2)
+	n := NextPow2(rows1 + rows2)
 
 	st, err := e.NewStore(outName+".sortmerge", n, blockSize)
 	if err != nil {
@@ -216,33 +222,27 @@ func sortMergeJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, alg JoinAlg
 		}
 		return st.Write(pos, buf)
 	}
-	for i := 0; i < t1.Blocks(); i++ {
-		row, used, err := t1.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
+	err = ForEachRow(t1, func(i int, row table.Row, used bool) error {
 		var key int64
 		if used {
 			key = joinKey(row[col1])
 		}
-		if err := fill(i, tagPrimary, key, t1.Schema(), row, used); err != nil {
-			return nil, err
-		}
+		return fill(i, tagPrimary, key, t1.Schema(), row, used)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for j := 0; j < t2.Blocks(); j++ {
-		row, used, err := t2.ReadBlock(j)
-		if err != nil {
-			return nil, err
-		}
+	err = ForEachRow(t2, func(j int, row table.Row, used bool) error {
 		var key int64
 		if used {
 			key = joinKey(row[col2])
 		}
-		if err := fill(t1.Blocks()+j, tagForeign, key, t2.Schema(), row, used); err != nil {
-			return nil, err
-		}
+		return fill(rows1+j, tagForeign, key, t2.Schema(), row, used)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for p := t1.Blocks() + t2.Blocks(); p < n; p++ {
+	for p := rows1 + rows2; p < n; p++ {
 		if err := fill(p, tagDummy, 0, nil, nil, false); err != nil {
 			return nil, err
 		}
@@ -287,17 +287,20 @@ func sortMergeJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, alg JoinAlg
 	}
 
 	// Merge: one linear scan; the last-seen primary row rides in the
-	// enclave; every position emits exactly one output write.
-	out, err := storage.NewFlat(e, outName, outSchema, n)
+	// enclave; every position emits exactly one output slot, the
+	// sequential fill sealing one packed block at a time.
+	out, err := storage.NewFlatGeom(e, outName, outSchema, n, outGeom(t1))
 	if err != nil {
 		return nil, err
 	}
+	w := out.NewBlockWriter()
 	var heldKey int64
 	var heldRow table.Row
 	held := false
 	matches := 0
+	rbuf := make([]byte, blockSize)
 	for p := 0; p < n; p++ {
-		data, err := st.Read(p)
+		data, err := st.ReadInto(p, rbuf)
 		if err != nil {
 			return nil, err
 		}
@@ -325,14 +328,17 @@ func sortMergeJoin(e *enclave.Enclave, t1, t2 Input, col1, col2 int, alg JoinAlg
 			}
 		}
 		if joined != nil {
-			err = out.SetRow(p, joined, true)
 			matches++
+			err = w.Append(joined, true)
 		} else {
-			err = out.SetRow(p, nil, false)
+			err = w.Append(nil, false)
 		}
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	out.BumpRows(matches)
 	return out, nil

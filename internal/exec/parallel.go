@@ -81,7 +81,7 @@ func ParallelSelect(e *enclave.Enclave, workers []*enclave.Enclave, in *storage.
 		return parallelSelectLarge(e, workers, pt, pred, opts, outName)
 	}
 	partOpts := opts
-	partOpts.OutSize = min(pt.PartLen(), opts.OutSize)
+	partOpts.OutSize = min(pt.PartRows(), opts.OutSize)
 	partOpts.ContinuousStart = 0
 
 	parts := make([]*storage.Flat, len(workers))
@@ -98,54 +98,62 @@ func ParallelSelect(e *enclave.Enclave, workers []*enclave.Enclave, in *storage.
 }
 
 // parallelSelectLarge is the partitioned Large select: one shared
-// output sized P·S, with worker p running the serial copy+clear passes
-// over its partition directly into output range [p·S, (p+1)·S) through
-// a RangeWriter — no combine pass at all. Padding blocks write dummies,
-// so the output shape is a function of (|T|, P) alone.
+// output sized P·S blocks, with worker p running the serial copy+clear
+// passes over its partition directly into output block range
+// [p·S, (p+1)·S) through a RangeWriter — no combine pass at all. Padding
+// blocks write dummies, so the output shape is a function of (|T|, R, P)
+// alone.
 func parallelSelectLarge(e *enclave.Enclave, workers []*enclave.Enclave, pt *storage.Partitioned, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
 	schema := outputSchema(FromFlat(pt.Source()), opts.OutSchema)
-	partLen := pt.PartLen()
-	out, err := storage.NewFlat(e, outName, schema, max(1, partLen*len(workers)))
+	rpb := pt.Source().RowsPerBlock()
+	partRows := pt.PartRows()
+	out, err := storage.NewFlatGeom(e, outName, schema, max(1, partRows*len(workers)), rpb)
 	if err != nil {
 		return nil, err
 	}
 	kept := make([]int, len(workers))
 	err = runWorkers(len(workers), func(p int) error {
 		view := pt.Part(p)
-		w := out.RangeWriter(workers[p], p, p*partLen, partLen)
-		// Copy pass.
-		for i := 0; i < partLen; i++ {
-			row, used, err := view.ReadBlock(i)
-			if err != nil {
-				return err
-			}
-			if used {
-				err = w.SetRow(i, applyTransform(opts.Transform, row), true)
-			} else {
-				err = w.SetRow(i, nil, false)
-			}
-			if err != nil {
-				return err
-			}
+		w, err := out.RangeWriter(workers[p], p, p*partRows, partRows)
+		if err != nil {
+			return err
 		}
-		// Clearing pass: uniform read+write per output block, keeping
-		// only predicate matches (pred evaluated on the re-read input
-		// row, as in the serial operator).
-		for i := 0; i < partLen; i++ {
-			row, used, err := view.ReadBlock(i)
-			if err != nil {
+		// Copy pass: one read per partition block, one sealed write per
+		// output block.
+		err = ForEachRow(view, func(_ int, row table.Row, used bool) error {
+			if used {
+				return w.Append(applyTransform(opts.Transform, row), true)
+			}
+			return w.Append(nil, false)
+		})
+		if err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		// Clearing pass: uniform input read + output read-modify-write
+		// per block, keeping only predicate matches (pred evaluated on
+		// the re-read input row, as in the serial operator).
+		inBuf := view.Schema().NewBlockBuf(rpb)
+		for b := 0; b < view.Blocks(); b++ {
+			if err := view.ReadBlockInto(b, inBuf); err != nil {
 				return err
 			}
-			outRow, outUsed, err := w.ReadBlock(i)
-			if err != nil {
-				return err
-			}
-			if used && pred(row) {
-				if err := w.SetRow(i, outRow, outUsed); err != nil {
-					return err
+			err := w.RMWBlock(b, func(plain []byte) error {
+				for j := 0; j < rpb; j++ {
+					row, used := inBuf.Row(j)
+					if used && pred(row) {
+						kept[p]++
+						continue
+					}
+					if err := schema.EncodeDummyAt(plain, j); err != nil {
+						return err
+					}
 				}
-				kept[p]++
-			} else if err := w.SetRow(i, nil, false); err != nil {
+				return nil
+			})
+			if err != nil {
 				return err
 			}
 		}
@@ -171,7 +179,7 @@ func parallelSelectLarge(e *enclave.Enclave, workers []*enclave.Enclave, pt *sto
 func parallelSelectSmall(e *enclave.Enclave, workers []*enclave.Enclave, pt *storage.Partitioned, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
 	schema := outputSchema(FromFlat(pt.Source()), opts.OutSchema)
 	recSize := schema.RecordSize()
-	bound := min(pt.PartLen(), opts.OutSize)
+	bound := min(pt.PartRows(), opts.OutSize)
 	reserve := bound * recSize
 	for _, w := range workers {
 		if reserve > w.Available() {
@@ -196,36 +204,34 @@ func parallelSelectSmall(e *enclave.Enclave, workers []*enclave.Enclave, pt *sto
 	err := runWorkers(len(workers), func(p int) error {
 		view := pt.Part(p)
 		buf := make([]table.Row, 0, bound)
-		for i := 0; i < view.Blocks(); i++ {
-			row, used, err := view.ReadBlock(i)
-			if err != nil {
-				return err
-			}
+		err := ForEachRow(view, func(_ int, row table.Row, used bool) error {
 			if used && pred(row) {
 				if len(buf) >= bound {
 					return fmt.Errorf("exec: partition %d found more than %d rows, planner promised %d total", p, bound, opts.OutSize)
 				}
 				buf = append(buf, applyTransform(opts.Transform, row).Clone())
 			}
-		}
+			return nil
+		})
 		bufs[p] = buf
-		return nil
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	out, err := storage.NewFlat(e, outName, schema, max(1, opts.OutSize))
+	out, err := storage.NewFlatGeom(e, outName, schema, max(1, opts.OutSize), pt.Source().RowsPerBlock())
 	if err != nil {
 		return nil, err
 	}
+	w := out.NewBlockWriter()
 	written := 0
 	for _, buf := range bufs {
 		for _, row := range buf {
 			if written >= opts.OutSize {
 				return nil, fmt.Errorf("exec: parallel small select found more rows than the promised %d", opts.OutSize)
 			}
-			if err := out.SetRow(written, row, true); err != nil {
+			if err := w.Append(row, true); err != nil {
 				return nil, err
 			}
 			written++
@@ -233,6 +239,9 @@ func parallelSelectSmall(e *enclave.Enclave, workers []*enclave.Enclave, pt *sto
 	}
 	if written < opts.OutSize {
 		return nil, fmt.Errorf("exec: parallel small select found %d rows, planner promised %d", written, opts.OutSize)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	out.BumpRows(written)
 	return out, nil
@@ -323,7 +332,7 @@ func ParallelGroupAggregate(e *enclave.Enclave, workers []*enclave.Enclave, in *
 		return nil, fmt.Errorf("exec: merged group table exceeded oblivious memory: %w", err)
 	}
 	defer e.Release(reserve)
-	return emitGroups(e, merged, specs, in.Schema(), opts, outName)
+	return emitGroups(e, merged, specs, in.Schema(), opts, in.RowsPerBlock(), outName)
 }
 
 // ParallelHashJoin partitions the foreign (probe) side across the pool
@@ -360,9 +369,9 @@ func ParallelHashJoin(e *enclave.Enclave, workers []*enclave.Enclave, t1, t2 *st
 		chunkRows = t1.Capacity()
 	}
 	chunks := (t1.Capacity() + chunkRows - 1) / chunkRows
-	partLen := pt2.PartLen()
-	per := chunks * partLen
-	out, err := storage.NewFlat(e, outName, outSchema, max(1, per*len(workers)))
+	partRows := pt2.PartRows()
+	per := chunks * partRows // a multiple of R: ranges stay block-aligned
+	out, err := storage.NewFlatGeom(e, outName, outSchema, max(1, per*len(workers)), t2.RowsPerBlock())
 	if err != nil {
 		return nil, err
 	}
@@ -373,16 +382,19 @@ func ParallelHashJoin(e *enclave.Enclave, workers []*enclave.Enclave, t1, t2 *st
 			return err
 		}
 		defer workers[p].Release(reserve)
-		bcast := storage.FullView(t1, workers[p], p)
+		bcast := NewRowReader(storage.FullView(t1, workers[p], p))
 		view := pt2.Part(p)
-		w := out.RangeWriter(workers[p], p, p*per, per)
+		w, err := out.RangeWriter(workers[p], p, p*per, per)
+		if err != nil {
+			return err
+		}
 		build := make(map[int64]table.Row, chunkRows)
-		outPos := 0
+		probeBuf := view.Schema().NewBlockBuf(view.RowsPerBlock())
 		for c := 0; c < chunks; c++ {
 			clear(build)
 			lo, hi := c*chunkRows, min((c+1)*chunkRows, t1.Capacity())
 			for i := lo; i < hi; i++ {
-				row, used, err := bcast.ReadBlock(i)
+				row, used, err := bcast.Read(i)
 				if err != nil {
 					return err
 				}
@@ -390,11 +402,7 @@ func ParallelHashJoin(e *enclave.Enclave, workers []*enclave.Enclave, t1, t2 *st
 					build[joinKey(row[col1])] = row.Clone()
 				}
 			}
-			for j := 0; j < partLen; j++ {
-				row, used, err := view.ReadBlock(j)
-				if err != nil {
-					return err
-				}
+			err := ForEachRowInto(view, probeBuf, func(_ int, row table.Row, used bool) error {
 				var joined table.Row
 				if used {
 					if b, ok := build[joinKey(row[col2])]; ok && b[col1].Equal(row[col2]) {
@@ -402,18 +410,16 @@ func ParallelHashJoin(e *enclave.Enclave, workers []*enclave.Enclave, t1, t2 *st
 					}
 				}
 				if joined != nil {
-					err = w.SetRow(outPos, joined, true)
 					matches[p]++
-				} else {
-					err = w.SetRow(outPos, nil, false)
+					return w.Append(joined, true)
 				}
-				if err != nil {
-					return err
-				}
-				outPos++
+				return w.Append(nil, false)
+			})
+			if err != nil {
+				return err
 			}
 		}
-		return nil
+		return w.Flush()
 	})
 	if err != nil {
 		return nil, err
@@ -447,17 +453,25 @@ func compactParts(e *enclave.Enclave, parts []*storage.Flat, schema *table.Schem
 	if err != nil {
 		return nil, err
 	}
+	buf := make([]byte, recSize)
 	pos := 0
 	for _, p := range parts {
-		for i := 0; i < p.Capacity(); i++ {
-			plain, err := p.Store().Read(i)
-			if err != nil {
-				return nil, err
+		err := ForEachRow(FromFlat(p), func(_ int, row table.Row, used bool) error {
+			if used {
+				if err := schema.EncodeRecord(buf, row); err != nil {
+					return err
+				}
+			} else if err := schema.EncodeDummy(buf); err != nil {
+				return err
 			}
-			if err := st.Write(pos, plain); err != nil {
-				return nil, err
+			if err := st.Write(pos, buf); err != nil {
+				return err
 			}
 			pos++
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	dummy := make([]byte, recSize)
@@ -491,22 +505,34 @@ func compactParts(e *enclave.Enclave, parts []*storage.Flat, schema *table.Schem
 		return nil, err
 	}
 
-	out, err := storage.NewFlat(e, outName, schema, max(1, outSize))
+	rpb := 1
+	if len(parts) > 0 {
+		rpb = parts[0].RowsPerBlock()
+	}
+	out, err := storage.NewFlatGeom(e, outName, schema, max(1, outSize), rpb)
 	if err != nil {
 		return nil, err
 	}
+	w := out.NewBlockWriter()
 	kept := 0
 	for i := 0; i < outSize; i++ {
-		plain, err := st.Read(i)
+		plain, err := st.ReadInto(i, buf)
 		if err != nil {
 			return nil, err
 		}
-		if plain[0] != 0 {
-			kept++
-		}
-		if err := out.Store().Write(i, plain); err != nil {
+		row, used, err := schema.DecodeRecord(plain)
+		if err != nil {
 			return nil, err
 		}
+		if used {
+			kept++
+		}
+		if err := w.Append(row, used); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	out.BumpRows(kept)
 	return out, nil

@@ -80,7 +80,7 @@ type SelectOptions struct {
 
 // Select runs one oblivious SELECT algorithm over in, materializing the
 // matching rows into a fresh flat table. The trace depends only on
-// (algorithm, |T|, |R|, oblivious memory) — never on pred's outcomes.
+// (algorithm, |T|, R, |R|, oblivious memory) — never on pred's outcomes.
 func Select(e *enclave.Enclave, in Input, pred table.Pred, alg SelectAlgorithm, opts SelectOptions, outName string) (*storage.Flat, error) {
 	if err := checkOutSize(opts.OutSize); err != nil {
 		return nil, err
@@ -113,37 +113,42 @@ func selectNaive(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptio
 	defer o.Close()
 	buf := make([]byte, schema.RecordSize())
 	next := 0
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
+	err = ForEachRow(in, func(i int, row table.Row, used bool) error {
 		if used && pred(row) && next < capacity {
 			if err := schema.EncodeRecord(buf, applyTransform(opts.Transform, row)); err != nil {
-				return nil, err
+				return err
 			}
 			if _, err := o.Access(oram.OpWrite, next, buf); err != nil {
-				return nil, err
+				return err
 			}
 			next++
-		} else {
-			if err := o.DummyAccess(); err != nil {
-				return nil, err
-			}
+			return nil
 		}
-	}
-	out, err := storage.NewFlat(e, outName, schema, capacity)
+		return o.DummyAccess()
+	})
 	if err != nil {
 		return nil, err
 	}
+	out, err := storage.NewFlatGeom(e, outName, schema, capacity, outGeom(in))
+	if err != nil {
+		return nil, err
+	}
+	w := out.NewBlockWriter()
 	for i := 0; i < capacity; i++ {
 		data, err := o.Access(oram.OpRead, i, nil)
 		if err != nil {
 			return nil, err
 		}
-		if err := out.Store().Write(i, data); err != nil {
+		row, used, err := schema.DecodeRecord(data)
+		if err != nil {
 			return nil, err
 		}
+		if err := w.Append(row, used); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	out.BumpRows(opts.OutSize)
 	return out, nil
@@ -152,6 +157,8 @@ func selectNaive(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptio
 // selectSmall scans the table once per enclave-buffer of output rows
 // (§4.1 "Small", Figure 4A). The buffer draws on whatever oblivious
 // memory is available; less memory means more passes, never wrong results.
+// Each pass costs one read per sealed block; the output is written
+// sequentially, one seal per output block.
 func selectSmall(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
 	schema := outputSchema(in, opts.OutSchema)
 	recSize := schema.RecordSize()
@@ -168,20 +175,18 @@ func selectSmall(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptio
 	}
 	defer e.Release(reserve)
 
-	out, err := storage.NewFlat(e, outName, schema, max(1, opts.OutSize))
+	out, err := storage.NewFlatGeom(e, outName, schema, max(1, opts.OutSize), outGeom(in))
 	if err != nil {
 		return nil, err
 	}
+	w := out.NewBlockWriter()
 	buffer := make([]table.Row, 0, bufRows)
+	scanBuf := in.Schema().NewBlockBuf(in.RowsPerBlock())
 	written := 0
 	for written < opts.OutSize || written == 0 {
 		matchOrdinal := 0
 		buffer = buffer[:0]
-		for i := 0; i < in.Blocks(); i++ {
-			row, used, err := in.ReadBlock(i)
-			if err != nil {
-				return nil, err
-			}
+		err := ForEachRowInto(in, scanBuf, func(_ int, row table.Row, used bool) error {
 			if used && pred(row) {
 				// Store only this pass's window of matches.
 				if matchOrdinal >= written && len(buffer) < bufRows {
@@ -189,9 +194,13 @@ func selectSmall(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptio
 				}
 				matchOrdinal++
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		for _, r := range buffer {
-			if err := out.SetRow(written, r, true); err != nil {
+			if err := w.Append(r, true); err != nil {
 				return nil, err
 			}
 			written++
@@ -203,58 +212,67 @@ func selectSmall(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptio
 			return nil, fmt.Errorf("exec: small select found %d rows, planner promised %d", written, opts.OutSize)
 		}
 	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
 	out.BumpRows(written)
 	return out, nil
 }
 
 // selectLarge copies the input and clears unselected rows in one more pass
-// (§4.1 "Large", Figure 4B). No oblivious memory.
+// (§4.1 "Large", Figure 4B). No oblivious memory. Both passes run
+// block-at-a-time: the copy is one read + one write per block, the
+// clearing pass one input read plus one output read-modify-write per
+// block.
 func selectLarge(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
 	schema := outputSchema(in, opts.OutSchema)
-	out, err := storage.NewFlat(e, outName, schema, max(1, in.Blocks()))
+	rpb := outGeom(in)
+	out, err := storage.NewFlatGeom(e, outName, schema, max(1, RowSlots(in)), rpb)
 	if err != nil {
 		return nil, err
 	}
 	// Copy pass: the copy does not depend on the data copied.
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
+	w := out.NewBlockWriter()
+	err = ForEachRow(in, func(_ int, row table.Row, used bool) error {
 		if used {
-			err = out.SetRow(i, applyTransform(opts.Transform, row), true)
-		} else {
-			err = out.SetRow(i, nil, false)
+			return w.Append(applyTransform(opts.Transform, row), true)
 		}
-		if err != nil {
-			return nil, err
-		}
+		return w.Append(nil, false)
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Clearing pass over the copy: read each block, write back either the
-	// same data (dummy) or an unused record.
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	// Clearing pass over the copy: read each input block and
+	// read-modify-write the aligned output block, keeping matches and
+	// clearing the rest. Note pred must be evaluated on the original row;
+	// with a transform the output row may lack predicate columns, so the
+	// input block is re-read for the decision while the output gets the
+	// uniform read+write.
+	inBuf := in.Schema().NewBlockBuf(in.RowsPerBlock())
+	scratch := make([]byte, out.Store().BlockSize())
 	kept := 0
-	for i := 0; i < in.Blocks(); i++ {
-		// Note pred must be evaluated on the original row; with a
-		// transform the output row may lack predicate columns, so re-read
-		// the input block for the decision while giving the output the
-		// uniform read+write.
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
+	for b := 0; b < in.Blocks(); b++ {
+		if err := in.ReadBlockInto(b, inBuf); err != nil {
 			return nil, err
 		}
-		outRow, outUsed, err := out.ReadBlock(i)
+		scratch, err = out.Store().RMW(b, scratch, func(plain []byte) error {
+			for j := 0; j < in.RowsPerBlock(); j++ {
+				row, used := inBuf.Row(j)
+				if used && pred(row) {
+					kept++
+					continue // the copied record stays, re-encrypted
+				}
+				if err := schema.EncodeDummyAt(plain, j); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
-		}
-		if used && pred(row) {
-			if err := out.SetRow(i, outRow, outUsed); err != nil {
-				return nil, err
-			}
-			kept++
-		} else {
-			if err := out.SetRow(i, nil, false); err != nil {
-				return nil, err
-			}
 		}
 	}
 	out.BumpRows(kept)
@@ -264,36 +282,31 @@ func selectLarge(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptio
 // selectContinuous handles results forming one contiguous run: for the
 // i-th input row, write (really or dummily) to output position i mod |R|
 // (§4.1 "Continuous", Figure 4C). The run may start anywhere; the output
-// is the run rotated by start mod |R|. No oblivious memory.
+// is the run rotated by start mod |R|. No oblivious memory. Every input
+// row costs one read-modify-write of the target output block — a dummy
+// write re-seals the block's current contents, indistinguishable from a
+// real write.
 func selectContinuous(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
 	schema := outputSchema(in, opts.OutSchema)
 	capacity := max(1, opts.OutSize)
-	out, err := storage.NewFlat(e, outName, schema, capacity)
+	out, err := storage.NewFlatGeom(e, outName, schema, capacity, outGeom(in))
 	if err != nil {
 		return nil, err
 	}
 	kept := 0
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
+	err = ForEachRow(in, func(i int, row table.Row, used bool) error {
 		j := i % capacity
-		// Read the target slot so a dummy write re-encrypts its current
-		// contents, indistinguishable from a real write.
-		cur, curUsed, err := out.ReadBlock(j)
-		if err != nil {
-			return nil, err
-		}
-		if used && pred(row) && kept < opts.OutSize {
-			err = out.SetRow(j, applyTransform(opts.Transform, row), true)
-			kept++
-		} else {
-			err = out.SetRow(j, cur, curUsed)
-		}
-		if err != nil {
-			return nil, err
-		}
+		match := used && pred(row) && kept < opts.OutSize
+		return out.RMWSlot(j, func(plain []byte, slot int) error {
+			if match {
+				kept++
+				return schema.EncodeRecordAt(plain, slot, applyTransform(opts.Transform, row))
+			}
+			return nil // dummy write: re-seal the slot's current contents
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
 	out.BumpRows(kept)
 	return out, nil
@@ -301,22 +314,18 @@ func selectContinuous(e *enclave.Enclave, in Input, pred table.Pred, opts Select
 
 // selectHash writes each selected row to one of 10 hash-addressed slots of
 // the output — 5 chained slots at each of two hash positions — and gives
-// every input row the identical 10 read+write accesses (§4.1 "Hash",
-// Figure 5). The hashes are over the row's position in T, not its
+// every input row the identical 10 read-modify-write accesses (§4.1
+// "Hash", Figure 5). The hashes are over the row's position in T, not its
 // contents, so access patterns carry no data. No oblivious memory.
 func selectHash(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOptions, outName string) (*storage.Flat, error) {
 	schema := outputSchema(in, opts.OutSchema)
 	positions := max(1, opts.OutSize)
-	out, err := storage.NewFlat(e, outName, schema, positions*hashSlotsPerPosition)
+	out, err := storage.NewFlatGeom(e, outName, schema, positions*hashSlotsPerPosition, outGeom(in))
 	if err != nil {
 		return nil, err
 	}
 	kept := 0
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
+	err = ForEachRow(in, func(i int, row table.Row, used bool) error {
 		selected := used && pred(row) && kept < opts.OutSize
 		placed := false
 		p1 := hashPos(uint64(i), 0x9e37+opts.Salt, positions)
@@ -324,28 +333,28 @@ func selectHash(e *enclave.Enclave, in Input, pred table.Pred, opts SelectOption
 		for _, p := range [2]int{p1, p2} {
 			for s := 0; s < hashSlotsPerPosition; s++ {
 				slot := p*hashSlotsPerPosition + s
-				cur, curUsed, err := out.ReadBlock(slot)
-				if err != nil {
-					return nil, err
-				}
-				if selected && !placed && !curUsed {
-					if err := out.SetRow(slot, applyTransform(opts.Transform, row), true); err != nil {
-						return nil, err
+				err := out.RMWSlot(slot, func(plain []byte, j int) error {
+					if selected && !placed && !schema.UsedAt(plain, j) {
+						placed = true
+						return schema.EncodeRecordAt(plain, j, applyTransform(opts.Transform, row))
 					}
-					placed = true
-					continue
-				}
-				if err := out.SetRow(slot, cur, curUsed); err != nil {
-					return nil, err
+					return nil // dummy write
+				})
+				if err != nil {
+					return err
 				}
 			}
 		}
 		if selected {
 			if !placed {
-				return nil, ErrHashOverflow
+				return ErrHashOverflow
 			}
 			kept++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out.BumpRows(kept)
 	return out, nil

@@ -39,38 +39,59 @@ func OrderBy(e *enclave.Enclave, in Input, pred table.Pred, col int, desc bool, 
 	if pred == nil {
 		pred = table.All
 	}
-	n := NextPow2(max(1, in.Blocks()))
-	out, err := storage.NewFlat(e, outName, schema, n)
+	n := NextPow2(max(1, RowSlots(in)))
+	recSize := schema.RecordSize()
+
+	// Copy pass into a record-granularity sort array — the bitonic
+	// network compare-exchanges single records, so the sort runs over
+	// one-record blocks whatever the input packing. At R = 1 the output
+	// table itself has that granularity and is sorted in place (the
+	// paper geometry's original cost); at R > 1 a scratch store holds
+	// the records and an emit pass re-packs them. One read per input
+	// block, one write per record, real or dummy.
+	rpb := outGeom(in)
+	var out *storage.Flat
+	var st *enclave.Store
+	var err error
+	if rpb == 1 {
+		out, err = storage.NewFlatGeom(e, outName, schema, n, 1)
+		if err != nil {
+			return nil, err
+		}
+		st = out.Store()
+	} else {
+		st, err = e.NewStore(outName+".sortbuf", n, recSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, recSize)
+	kept := 0
+	err = ForEachRow(in, func(i int, row table.Row, used bool) error {
+		if used && pred(row) {
+			if err := schema.EncodeRecord(buf, row); err != nil {
+				return err
+			}
+			kept++
+		} else if err := schema.EncodeDummy(buf); err != nil {
+			return err
+		}
+		return st.Write(i, buf)
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Copy pass: one read and one write per block, real or dummy.
-	kept := 0
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
-		if used && pred(row) {
-			err = out.SetRow(i, row, true)
-			kept++
-		} else {
-			err = out.SetRow(i, nil, false)
-		}
-		if err != nil {
-			return nil, err
-		}
+	if err := schema.EncodeDummy(buf); err != nil {
+		return nil, err
 	}
-	for i := in.Blocks(); i < n; i++ {
-		if err := out.SetRow(i, nil, false); err != nil {
+	for i := RowSlots(in); i < n; i++ {
+		if err := st.Write(i, buf); err != nil {
 			return nil, err
 		}
 	}
 
 	// Chunk sizing from the oblivious-memory budget, as the sort-merge
 	// joins do: whole chunks sort in-enclave, the network merges them.
-	recSize := schema.RecordSize()
 	chunkRows := FloorPow2(e.Available() / max(1, recSize))
 	if chunkRows < 1 {
 		chunkRows = 1
@@ -91,11 +112,40 @@ func OrderBy(e *enclave.Enclave, in Input, pred table.Pred, col int, desc bool, 
 		la := recordLess(schema, a, b, col, desc, &sortErr)
 		return la
 	}
-	if err := ObliviousSort(out.Store(), n, chunkRows, less); err != nil {
+	if err := ObliviousSort(st, n, chunkRows, less); err != nil {
 		return nil, err
 	}
 	if sortErr != nil {
 		return nil, sortErr
+	}
+	if out != nil {
+		// R = 1: the output was sorted in place; no emit pass.
+		out.BumpRows(kept)
+		return out, nil
+	}
+
+	// Emit pass: the sorted records stream into the packed output in
+	// order, one seal per output block.
+	out, err = storage.NewFlatGeom(e, outName, schema, n, rpb)
+	if err != nil {
+		return nil, err
+	}
+	w := out.NewBlockWriter()
+	for i := 0; i < n; i++ {
+		data, err := st.ReadInto(i, buf)
+		if err != nil {
+			return nil, err
+		}
+		row, used, err := schema.DecodeRecord(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Append(row, used); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	out.BumpRows(kept)
 	return out, nil
@@ -144,39 +194,45 @@ func recordLess(schema *table.Schema, a, b []byte, col int, desc bool, errOut *e
 	return bytes.Compare(a, b) < 0
 }
 
-// Limit copies the first n blocks of in into an n-capacity output —
+// Limit copies the first n row slots of in into an n-capacity output —
 // the oblivious LIMIT. The input must be dummy-last (an OrderBy
 // output), so the copied prefix holds exactly the first min(|R|, n)
 // rows. The output size is always n whatever the data: the host learns
 // the statement's public limit, never how many rows actually matched.
+// Reads and writes both amortize to one access per packed block.
 func Limit(e *enclave.Enclave, in Input, n int, outName string) (*storage.Flat, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("exec: negative limit %d", n)
 	}
 	schema := in.Schema()
-	out, err := storage.NewFlat(e, outName, schema, max(1, n))
+	out, err := storage.NewFlatGeom(e, outName, schema, max(1, n), outGeom(in))
 	if err != nil {
 		return nil, err
 	}
+	w := out.NewBlockWriter()
+	r := NewRowReader(in)
 	kept := 0
 	for i := 0; i < max(1, n); i++ {
-		if i >= n || i >= in.Blocks() {
+		if i >= n || i >= RowSlots(in) {
 			// Past the input (or a zero limit): pad with dummies.
-			if err := out.SetRow(i, nil, false); err != nil {
+			if err := w.Append(nil, false); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		row, used, err := in.ReadBlock(i)
+		row, used, err := r.Read(i)
 		if err != nil {
 			return nil, err
 		}
-		if err := out.SetRow(i, row, used); err != nil {
+		if err := w.Append(row, used); err != nil {
 			return nil, err
 		}
 		if used {
 			kept++
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	out.BumpRows(kept)
 	return out, nil

@@ -44,7 +44,7 @@ func TestOrderBySortsMatchingRowsDummyLast(t *testing.T) {
 	// Dummy-last: the used rows must occupy a prefix of the blocks.
 	seenDummy := false
 	for i := 0; i < out.Capacity(); i++ {
-		_, used, err := out.ReadBlock(i)
+		_, used, err := out.ReadRow(i)
 		if err != nil {
 			t.Fatal(err)
 		}

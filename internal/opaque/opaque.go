@@ -44,31 +44,29 @@ func Select(e *enclave.Enclave, in exec.Input, pred table.Pred, outSize int, out
 	schema := in.Schema()
 	recSize := schema.RecordSize()
 	blockSize := 1 + recSize
-	n := exec.NextPow2(in.Blocks())
+	rows := exec.RowSlots(in)
+	n := exec.NextPow2(rows)
 	st, err := e.NewStore(outName+".sort", n, blockSize)
 	if err != nil {
 		return nil, err
 	}
 	buf := make([]byte, blockSize)
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
+	err = exec.ForEachRow(in, func(i int, row table.Row, used bool) error {
 		for j := range buf {
 			buf[j] = 0
 		}
 		if used && pred(row) {
 			buf[0] = 1
 			if err := schema.EncodeRecord(buf[1:], row); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		if err := st.Write(i, buf); err != nil {
-			return nil, err
-		}
+		return st.Write(i, buf)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := in.Blocks(); i < n; i++ {
+	for i := rows; i < n; i++ {
 		for j := range buf {
 			buf[j] = 0
 		}
@@ -124,7 +122,8 @@ func GroupAggregate(e *enclave.Enclave, in exec.Input, pred table.Pred, groupBy 
 	schema := in.Schema()
 	recSize := schema.RecordSize()
 	blockSize := 9 + recSize // group hash + record
-	n := exec.NextPow2(in.Blocks())
+	rows := exec.RowSlots(in)
+	n := exec.NextPow2(rows)
 	st, err := e.NewStore(outName+".sort", n, blockSize)
 	if err != nil {
 		return nil, err
@@ -149,11 +148,7 @@ func GroupAggregate(e *enclave.Enclave, in exec.Input, pred table.Pred, groupBy 
 	// (data values stay inside the enclave; only the schema — already
 	// public — depends on this).
 	groupKind, groupWidth := table.KindInt, 0
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
+	err = exec.ForEachRow(in, func(i int, row table.Row, used bool) error {
 		sel := used && pred(row)
 		var key uint64
 		if sel {
@@ -168,14 +163,15 @@ func GroupAggregate(e *enclave.Enclave, in exec.Input, pred table.Pred, groupBy 
 				groupKind = g.Kind
 			}
 		}
-		if err := write(i, key, row, sel); err != nil {
-			return nil, err
-		}
+		return write(i, key, row, sel)
+	})
+	if err != nil {
+		return nil, err
 	}
 	if groupWidth < 16 && groupKind == table.KindString {
 		groupWidth = 16
 	}
-	for i := in.Blocks(); i < n; i++ {
+	for i := rows; i < n; i++ {
 		if err := write(i, 0, nil, false); err != nil {
 			return nil, err
 		}

@@ -70,7 +70,7 @@ func describe(n Node) string {
 	switch x := n.(type) {
 	case *Scan:
 		if x.InBlocks > 0 {
-			return fmt.Sprintf("Scan %s [blocks=%d]", x.Table, x.InBlocks)
+			return fmt.Sprintf("Scan %s [blocks=%d%s]", x.Table, x.InBlocks, geomSuffix(x.RowsPerBlock))
 		}
 		return "Scan " + x.Table
 	case *IndexScan:
@@ -152,6 +152,15 @@ func specNames(specs []AggSpec) string {
 	return strings.Join(names, ", ")
 }
 
+// geomSuffix renders the block-packing geometry (" R=…"), omitted at the
+// paper's one-record-per-block layout so R = 1 plans read as before.
+func geomSuffix(rpb int) string {
+	if rpb <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(" R=%d", rpb)
+}
+
 // rangeSQL renders a key range on a named column.
 func rangeSQL(col string, r KeyRange) string {
 	switch {
@@ -179,7 +188,7 @@ func annot(c *Choice) string {
 		parts = append(parts, "alg"+eq+c.Algorithm)
 	}
 	if c.InBlocks > 0 || c.OutBlocks > 0 {
-		parts = append(parts, fmt.Sprintf("blocks=%d→%d", c.InBlocks, c.OutBlocks))
+		parts = append(parts, fmt.Sprintf("blocks=%d→%d%s", c.InBlocks, c.OutBlocks, geomSuffix(c.RowsPerBlock)))
 	}
 	if c.Parallelism > 1 {
 		parts = append(parts, fmt.Sprintf("P=%d", c.Parallelism))

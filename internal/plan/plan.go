@@ -223,8 +223,12 @@ type Choice struct {
 	// Parallelism is the partition count the planner would use (>= 1).
 	Parallelism int
 	// InBlocks and OutBlocks are the public input and (padded) output
-	// sizes in blocks.
+	// sizes in sealed blocks.
 	InBlocks, OutBlocks int
+	// RowsPerBlock is the packing factor R of the node's input: how many
+	// records each sealed block holds. Part of the public geometry the
+	// cost is expressed in.
+	RowsPerBlock int
 	// Cost is the estimated number of untrusted block accesses under
 	// the padded output estimate.
 	Cost int64
@@ -241,9 +245,14 @@ type Annotatable interface{ choice() *Choice }
 // already observes plus index configuration. It is everything the
 // optimizer is allowed to consult.
 type TableMeta struct {
-	// Blocks is the table's capacity in blocks (the size |T| the host
-	// sees).
+	// Blocks is the table's capacity in sealed blocks (the size |T| the
+	// host sees).
 	Blocks int
+	// Rows is the row-slot capacity, Blocks × RowsPerBlock.
+	Rows int
+	// RowsPerBlock is the packing factor R (1 for index-only tables,
+	// whose block unit is the record).
+	RowsPerBlock int
 	// RecordSize is the sealed record size in bytes.
 	RecordSize int
 	// KeyColumn names the indexed column ("" when the table has no

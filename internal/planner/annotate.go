@@ -26,8 +26,23 @@ func Annotate(root plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, 
 
 // nodeInfo is the public size estimate a subtree produces.
 type nodeInfo struct {
-	blocks  int // output size in blocks (padded estimate)
+	blocks  int // output size in sealed blocks (padded estimate)
+	rows    int // output row slots (blocks × rpb)
+	rpb     int // packing factor R of the output
 	recSize int // output record size in bytes
+}
+
+// geom fills a nodeInfo's derived fields from rows and R.
+func geom(rows, rpb, recSize int) nodeInfo {
+	if rpb < 1 {
+		rpb = 1
+	}
+	return nodeInfo{
+		blocks:  (rows + rpb - 1) / rpb,
+		rows:    rows,
+		rpb:     rpb,
+		recSize: recSize,
+	}
 }
 
 // fused marks a Filter that is the direct input of an Aggregate,
@@ -44,7 +59,8 @@ func annotate(n plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, max
 			return nodeInfo{}
 		}
 		x.InBlocks, x.OutBlocks = m.Blocks, m.Blocks
-		return nodeInfo{blocks: m.Blocks, recSize: m.RecordSize}
+		x.RowsPerBlock = m.RowsPerBlock
+		return geom(m.Rows, m.RowsPerBlock, m.RecordSize)
 	case *plan.IndexScan:
 		m, ok := cat.TableMeta(x.Table)
 		if !ok {
@@ -52,10 +68,12 @@ func annotate(n plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, max
 		}
 		// The scanned segment's size is data-dependent (the conceded
 		// index leakage of §4.1); the padded estimate is the whole
-		// table.
+		// table. Range-scan materializations repack at the engine's
+		// geometry, which the catalog reports per table.
 		x.Algorithm, x.Estimated = "RangeScan", true
 		x.InBlocks, x.OutBlocks = m.Blocks, m.Blocks
-		return nodeInfo{blocks: m.Blocks, recSize: m.RecordSize}
+		x.RowsPerBlock = m.RowsPerBlock
+		return geom(m.Rows, m.RowsPerBlock, m.RecordSize)
 	case *plan.Filter:
 		in := rec(x.Input)
 		if fused {
@@ -63,11 +81,17 @@ func annotate(n plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, max
 			// its own single pass; no SELECT algorithm runs.
 			x.Algorithm, x.Estimated = "FusedScan", false
 			x.InBlocks, x.OutBlocks = in.blocks, in.blocks
+			x.RowsPerBlock = in.rpb
 			x.Parallelism = ChooseParallelism(e, in.blocks, in.recSize, maxWorkers)
 			x.Cost = int64(in.blocks)
-			return nodeInfo{blocks: in.blocks, recSize: in.recSize}
+			return in
 		}
-		st := SelectStats{InputBlocks: in.blocks, Matching: in.blocks}
+		st := SelectStats{
+			InputBlocks:  in.blocks,
+			InputRows:    in.rows,
+			RowsPerBlock: in.rpb,
+			Matching:     in.rows,
+		}
 		var alg exec.SelectAlgorithm
 		var cost float64
 		if x.Force != nil {
@@ -80,14 +104,17 @@ func annotate(n plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, max
 		}
 		x.Algorithm = alg.String()
 		x.InBlocks, x.OutBlocks = in.blocks, in.blocks
+		x.RowsPerBlock = in.rpb
 		x.Parallelism = ChooseParallelism(e, in.blocks, in.recSize, maxWorkers)
 		x.Cost = finiteCost(cost)
-		return nodeInfo{blocks: in.blocks, recSize: in.recSize}
+		return in
 	case *plan.Join:
 		l, r := rec(x.Left), rec(x.Right)
 		sizes := JoinSizes{
 			T1Blocks:      l.blocks,
 			T2Blocks:      r.blocks,
+			T1Rows:        l.rows,
+			T2Rows:        r.rows,
 			BuildRecSize:  l.recSize,
 			SortBlockSize: 9 + max(l.recSize, r.recSize),
 		}
@@ -101,20 +128,29 @@ func annotate(n plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, max
 		x.Algorithm = alg.String()
 		x.InBlocks = l.blocks + r.blocks
 		x.OutBlocks = l.blocks + r.blocks
+		// Output geometry matches execution: the hash join's output
+		// inherits the probe side's R, the sort-merge joins the primary
+		// side's.
+		outRpb := l.rpb
+		if alg == exec.JoinHash {
+			outRpb = r.rpb
+		}
+		x.RowsPerBlock = outRpb
 		x.Cost = finiteCost(cost)
-		return nodeInfo{blocks: l.blocks + r.blocks, recSize: l.recSize + r.recSize}
+		return geom(l.rows+r.rows, outRpb, l.recSize+r.recSize)
 	case *plan.Aggregate:
 		in := recFused(x.Input)
-		return nodeInfo{blocks: 1, recSize: in.recSize}
+		return geom(1, 1, in.recSize)
 	case *plan.GroupBy:
 		in := recFused(x.Input)
 		x.Algorithm = "HashGroup"
 		x.InBlocks, x.OutBlocks = in.blocks, in.blocks
+		x.RowsPerBlock = in.rpb
 		x.Cost = int64(in.blocks)
-		return nodeInfo{blocks: in.blocks, recSize: in.recSize}
+		return in
 	case *plan.Sort:
 		in := recFused(x.Input)
-		n2 := exec.NextPow2(maxInt(1, in.blocks))
+		n2 := exec.NextPow2(maxInt(1, in.rows))
 		chunk := exec.FloorPow2(e.Available() / maxInt(1, in.recSize))
 		if chunk < 1 {
 			chunk = 1
@@ -122,16 +158,25 @@ func annotate(n plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, max
 		if chunk > n2 {
 			chunk = n2
 		}
+		out := geom(n2, in.rpb, in.recSize)
 		x.Algorithm = "BitonicSort"
-		x.InBlocks, x.OutBlocks = in.blocks, n2
+		x.InBlocks, x.OutBlocks = in.blocks, out.blocks
+		x.RowsPerBlock = in.rpb
 		x.Parallelism = 1
-		// Copy pass (one read + one write per padded block) plus the
-		// network's passes, two accesses per block per pass.
-		x.Cost = int64(in.blocks+n2) + int64(2*n2)*int64(sortNetworkPasses(n2, chunk))
-		return nodeInfo{blocks: n2, recSize: in.recSize}
+		// Fill pass (one read per input block, one write per scratch
+		// record), the record-granular network's passes at two accesses
+		// per record per pass, then — at R > 1 only — the emit pass that
+		// re-packs (n reads + packed writes); at R = 1 the output is
+		// sorted in place.
+		emit := int64(0)
+		if in.rpb > 1 {
+			emit = int64(n2) + int64(out.blocks)
+		}
+		x.Cost = int64(in.blocks+n2) + int64(2*n2)*int64(sortNetworkPasses(n2, chunk)) + emit
+		return out
 	case *plan.Limit:
 		in := rec(x.Input)
-		return nodeInfo{blocks: x.N, recSize: in.recSize}
+		return geom(x.N, in.rpb, in.recSize)
 	case *plan.Project:
 		return rec(x.Input)
 	case *plan.Collect:

@@ -24,31 +24,40 @@ import (
 	"oblidb/internal/table"
 )
 
-// SelectStats is what the preliminary scan learns.
+// SelectStats is what the preliminary scan learns, plus the public
+// geometry the cost expressions need.
 type SelectStats struct {
-	// InputBlocks is |T|.
+	// InputBlocks is |T| in sealed blocks — the unit of every untrusted
+	// access, and hence of every cost expression.
 	InputBlocks int
+	// InputRows is the row-slot capacity, InputBlocks × RowsPerBlock.
+	InputRows int
+	// RowsPerBlock is the packing factor R.
+	RowsPerBlock int
 	// Matching is |R|, the number of rows satisfying the predicate.
 	Matching int
 	// Contiguous reports whether the matching rows form one contiguous
-	// run of blocks.
+	// run of row slots.
 	Contiguous bool
-	// Start is the block index of the first matching row (meaningful when
-	// Matching > 0).
+	// Start is the row-slot index of the first matching row (meaningful
+	// when Matching > 0).
 	Start int
 }
 
-// ScanStats makes the planner's preliminary pass: one read per block.
+// ScanStats makes the planner's preliminary pass: one read per sealed
+// block, whatever the data.
 func ScanStats(in exec.Input, pred table.Pred) (SelectStats, error) {
-	st := SelectStats{InputBlocks: in.Blocks(), Contiguous: true, Start: -1}
+	st := SelectStats{
+		InputBlocks:  in.Blocks(),
+		InputRows:    exec.RowSlots(in),
+		RowsPerBlock: in.RowsPerBlock(),
+		Contiguous:   true,
+		Start:        -1,
+	}
 	last := -1
-	for i := 0; i < in.Blocks(); i++ {
-		row, used, err := in.ReadBlock(i)
-		if err != nil {
-			return st, err
-		}
+	err := exec.ForEachRow(in, func(i int, row table.Row, used bool) error {
 		if !used || !pred(row) {
-			continue
+			return nil
 		}
 		if st.Start < 0 {
 			st.Start = i
@@ -57,11 +66,37 @@ func ScanStats(in exec.Input, pred table.Pred) (SelectStats, error) {
 		}
 		last = i
 		st.Matching++
+		return nil
+	})
+	if err != nil {
+		return st, err
 	}
 	if st.Matching == 0 {
 		st.Contiguous = false
 	}
 	return st, nil
+}
+
+// blocksFor converts a row count to sealed blocks at the stats' packing.
+func (st SelectStats) blocksFor(rows int) float64 {
+	r := st.RowsPerBlock
+	if r < 1 {
+		r = 1
+	}
+	return math.Ceil(float64(rows) / float64(r))
+}
+
+// rowSlots returns the row capacity, defaulting to InputBlocks × R for
+// stats built without the packed fields (R = 1 geometry).
+func (st SelectStats) rowSlots() float64 {
+	if st.InputRows > 0 {
+		return float64(st.InputRows)
+	}
+	r := st.RowsPerBlock
+	if r < 1 {
+		r = 1
+	}
+	return float64(st.InputBlocks * r)
 }
 
 // Config holds the planner's precomputed thresholds (§5: "a precomputed
@@ -83,18 +118,23 @@ func (c Config) largeFraction() float64 {
 }
 
 // ChooseSelect picks the selection operator for the scanned statistics by
-// plugging |T|, |R|, and the oblivious-memory budget into each operator's
-// access-count expression and taking the cheapest applicable one — the
-// paper's "precomputed set of thresholds" realized as this
-// implementation's exact costs, so the pick is the measured winner
-// (Figure 13).
+// plugging |T|, |R|, the packing factor, and the oblivious-memory budget
+// into each operator's access-count expression and taking the cheapest
+// applicable one — the paper's "precomputed set of thresholds" realized
+// as this implementation's exact costs, so the pick is the measured
+// winner (Figure 13).
 //
-// Costs in untrusted accesses, N=|T|, R=|R|, B=buffer rows:
+// Costs in untrusted *block* accesses, N=|T| in blocks, n=row slots,
+// R=|R| matching rows, B=buffer rows:
 //
-//	Small:      ceil(R/B)·N reads + R writes     (needs oblivious memory)
-//	Large:      5N   (copy: N+N; clear: N+N+N)   (only when R ≈ N)
-//	Continuous: 3N   (read in, read out, write out per row)
-//	Hash:       21N  (read in + 10 slot read/write pairs per row)
+//	Small:      ceil(R/B)·N reads + ceil(R/rpb) writes  (needs oblivious memory)
+//	Large:      5N   (copy: N+N; clear: N+N+N)          (only when R ≈ n)
+//	Continuous: N + 2n   (block reads in + per-row RMW of the output)
+//	Hash:       N + 20n  (block reads in + 10 slot RMWs per row)
+//
+// Packing shifts the balance exactly as the implementation does: the
+// block-sequential Small and Large get ~rpb× cheaper while the
+// row-scattered Continuous and Hash keep their per-row RMW cost.
 func ChooseSelect(e *enclave.Enclave, recSize int, st SelectStats, cfg Config) exec.SelectAlgorithm {
 	alg, _ := chooseSelectCost(e, recSize, st, cfg)
 	return alg
@@ -125,10 +165,11 @@ func chooseSelectCost(e *enclave.Enclave, recSize int, st SelectStats, cfg Confi
 // for the scanned statistics (+Inf when the algorithm does not apply).
 // These are the Figure-3-style expressions ChooseSelect minimizes over.
 func SelectCost(alg exec.SelectAlgorithm, e *enclave.Enclave, recSize int, st SelectStats, cfg Config) float64 {
-	n := float64(st.InputBlocks)
+	nB := float64(st.InputBlocks)
+	rows := st.rowSlots()
 	switch alg {
 	case exec.SelectHash:
-		return 21 * n
+		return nB + 20*rows
 	case exec.SelectSmall:
 		if recSize <= 0 {
 			return math.Inf(1)
@@ -141,15 +182,15 @@ func SelectCost(alg exec.SelectAlgorithm, e *enclave.Enclave, recSize int, st Se
 		if passes < 1 {
 			passes = 1
 		}
-		return float64(passes)*n + float64(st.Matching)
+		return float64(passes)*nB + st.blocksFor(st.Matching)
 	case exec.SelectLarge:
-		if float64(st.Matching) >= cfg.largeFraction()*n {
-			return 5 * n
+		if float64(st.Matching) >= cfg.largeFraction()*rows {
+			return 5 * nB
 		}
 		return math.Inf(1)
 	case exec.SelectContinuous:
 		if !cfg.DisableContinuous && st.Contiguous && st.Matching > 0 {
-			return 3 * n
+			return nB + 2*rows
 		}
 		return math.Inf(1)
 	}
@@ -187,12 +228,27 @@ func ChooseParallelism(e *enclave.Enclave, blocks, recSize, maxWorkers int) int 
 
 // JoinSizes carries the public inputs of join planning.
 type JoinSizes struct {
-	// T1Blocks and T2Blocks are the table sizes in blocks.
+	// T1Blocks and T2Blocks are the table sizes in sealed blocks (the
+	// traced access unit).
 	T1Blocks, T2Blocks int
+	// T1Rows and T2Rows are the row-slot capacities (blocks × packing).
+	// Zero means "same as blocks", i.e. the paper's R = 1 geometry.
+	T1Rows, T2Rows int
 	// BuildRecSize is the record size of T1 rows (the hash join's build
 	// side); SortBlockSize is the combined-array element size of the
 	// sort-merge joins.
 	BuildRecSize, SortBlockSize int
+}
+
+func (s JoinSizes) rows() (int, int) {
+	r1, r2 := s.T1Rows, s.T2Rows
+	if r1 == 0 {
+		r1 = s.T1Blocks
+	}
+	if r2 == 0 {
+		r2 = s.T2Blocks
+	}
+	return r1, r2
 }
 
 // ChooseJoin picks the join algorithm from table sizes and the available
@@ -211,27 +267,30 @@ func ChooseJoin(e *enclave.Enclave, s JoinSizes) exec.JoinAlgorithm {
 // well, for the optimizer pass's plan annotations.
 func chooseJoinCost(e *enclave.Enclave, s JoinSizes) (exec.JoinAlgorithm, float64) {
 	avail := e.Available()
+	rows1, rows2 := s.rows()
 	buildRows := 0
 	if s.BuildRecSize > 0 {
 		buildRows = avail / s.BuildRecSize
 	}
-	if buildRows >= s.T1Blocks {
+	if buildRows >= rows1 {
 		// The whole build side fits: "we always use the hash join."
 		return exec.JoinHash, float64(s.T1Blocks) + 3*float64(s.T2Blocks)
 	}
-	// Hash: read T1 once across chunks, then per chunk read T2 and write
-	// one output block per comparison — plus sealing the chunks×|T2|-slot
-	// output structure at allocation.
+	// Hash: read T1 once across chunks, then per chunk read T2's blocks
+	// and seal one output block per packed probe group — plus sealing
+	// the chunks×rows(T2)-slot output structure at allocation.
 	costHash := math.Inf(1)
 	if buildRows >= 1 {
-		chunks := math.Ceil(float64(s.T1Blocks) / float64(buildRows))
+		chunks := math.Ceil(float64(rows1) / float64(buildRows))
 		costHash = float64(s.T1Blocks) + 3*chunks*float64(s.T2Blocks)
 	}
 
-	// Sort-merge: 2n accesses per network pass. A chunked sort runs
+	// Sort-merge: the combined array is record-granular (one record per
+	// scratch block, whatever the input packing), so its network passes
+	// cost 2n accesses over n = NextPow2(rows). A chunked sort runs
 	// Σ (m - log2 C) substage passes for stages m = log2(2C)..log2(n),
 	// plus one chunk pass per stage and the initial chunk pass.
-	n := exec.NextPow2(s.T1Blocks + s.T2Blocks)
+	n := exec.NextPow2(rows1 + rows2)
 	logN := log2i(n)
 	sortPasses := func(chunk int) float64 {
 		if chunk >= n {
@@ -247,8 +306,9 @@ func chooseJoinCost(e *enclave.Enclave, s JoinSizes) (exec.JoinAlgorithm, float6
 		}
 		return float64(passes)
 	}
-	// Building and merging: allocate + fill the combined array, then the
-	// merge scan allocates and writes the n-slot output.
+	// Building and merging: allocate + fill the combined array (reading
+	// each input block once), then the merge scan allocates and writes
+	// the n-slot output.
 	fill := float64(4*n) + float64(s.T1Blocks+s.T2Blocks)
 	costZero := fill + 2*float64(n)*sortPasses(1)
 	costOpaque := math.Inf(1)

@@ -4,9 +4,15 @@
 // table, giving unaffected blocks dummy writes (a re-encryption of the
 // data they already hold).
 //
-// One record per block, as in the paper's implementation. The trusted
-// metadata per table is tiny: the capacity, the used-row count, and the
-// cursor for the constant-time insert variant.
+// Unlike the paper's one-record-per-block implementation, each sealed
+// block packs R records (the paper's design only fixes the *block* as the
+// sealed unit). R is public geometry chosen at table creation — by
+// default sized so a block holds ~4 KiB of plaintext — and every
+// full-table pass costs one AEAD open and one seal per block instead of
+// per row, dividing crypto, trace, and allocation cost by R. R = 1
+// reproduces the paper's geometry exactly. The trusted metadata per table
+// is tiny: the capacity, the used-row count, and the cursor for the
+// constant-time insert variant.
 package storage
 
 import (
@@ -14,27 +20,55 @@ import (
 
 	"oblidb/internal/enclave"
 	"oblidb/internal/table"
-	"oblidb/internal/trace"
 )
 
-// Flat is a flat-method table: capacity sealed record blocks in untrusted
-// memory.
+// DefaultBlockBytes is the plaintext block size the default packing
+// targets: large enough to amortize the fixed per-AEAD-call cost, small
+// enough that a single-row RMW does not dominate point updates.
+const DefaultBlockBytes = 4096
+
+// DefaultRowsPerBlock returns the packing factor R that makes one block
+// hold ~DefaultBlockBytes of plaintext for the schema (at least 1).
+func DefaultRowsPerBlock(s *table.Schema) int {
+	r := DefaultBlockBytes / s.RecordSize()
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Flat is a flat-method table: ceil(capacity/R) sealed blocks in
+// untrusted memory, each packing R records.
 type Flat struct {
 	enc      *enclave.Enclave
 	schema   *table.Schema
 	store    *enclave.Store
 	name     string
-	rows     int // number of used records (trusted metadata)
-	appendAt int // next slot for the constant-time insert variant
-	buf      []byte
+	rpb      int             // R, records per sealed block (public geometry)
+	rows     int             // number of used records (trusted metadata)
+	appendAt int             // next row slot for the constant-time insert variant
+	blk      []byte          // one-block plaintext scratch (hot path, reused)
+	dec      *table.BlockBuf // decode scratch for Scan (lazily allocated)
 }
 
-// NewFlat creates a flat table with the given fixed capacity in rows.
+// NewFlat creates a flat table with the given fixed capacity in rows and
+// the paper's one-record-per-block geometry (R = 1).
 func NewFlat(e *enclave.Enclave, name string, schema *table.Schema, capacity int) (*Flat, error) {
+	return NewFlatGeom(e, name, schema, capacity, 1)
+}
+
+// NewFlatGeom creates a flat table packing rowsPerBlock records into
+// each sealed block. The row capacity is rounded up to a whole number of
+// blocks; both the block count and R are public.
+func NewFlatGeom(e *enclave.Enclave, name string, schema *table.Schema, capacity, rowsPerBlock int) (*Flat, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("storage: flat table %q needs positive capacity, got %d", name, capacity)
 	}
-	store, err := e.NewStore(name, capacity, schema.RecordSize())
+	if rowsPerBlock <= 0 {
+		return nil, fmt.Errorf("storage: flat table %q needs positive rows per block, got %d", name, rowsPerBlock)
+	}
+	blocks := (capacity + rowsPerBlock - 1) / rowsPerBlock
+	store, err := e.NewStore(name, blocks, schema.BlockSize(rowsPerBlock))
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +77,8 @@ func NewFlat(e *enclave.Enclave, name string, schema *table.Schema, capacity int
 		schema: schema,
 		store:  store,
 		name:   name,
-		buf:    make([]byte, schema.RecordSize()),
+		rpb:    rowsPerBlock,
+		blk:    make([]byte, schema.BlockSize(rowsPerBlock)),
 	}, nil
 }
 
@@ -53,9 +88,16 @@ func (f *Flat) Name() string { return f.name }
 // Schema returns the table schema.
 func (f *Flat) Schema() *table.Schema { return f.schema }
 
-// Capacity returns the number of record blocks. This is the size the
-// adversary sees.
-func (f *Flat) Capacity() int { return f.store.Len() }
+// Capacity returns the number of row slots (block count × R). Both
+// factors are public: this is the size the adversary sees, in rows.
+func (f *Flat) Capacity() int { return f.store.Len() * f.rpb }
+
+// NumBlocks returns the number of sealed blocks — the untrusted
+// structure's extent, and the unit every trace event indexes.
+func (f *Flat) NumBlocks() int { return f.store.Len() }
+
+// RowsPerBlock returns R, the packing factor.
+func (f *Flat) RowsPerBlock() int { return f.rpb }
 
 // NumRows returns the used-record count (trusted enclave metadata).
 func (f *Flat) NumRows() int { return f.rows }
@@ -64,95 +106,141 @@ func (f *Flat) NumRows() int { return f.rows }
 // operators that stream blocks directly).
 func (f *Flat) Store() *enclave.Store { return f.store }
 
-// ReadBlock decrypts block i, returning its row and used flag.
-func (f *Flat) ReadBlock(i int) (table.Row, bool, error) {
-	plain, err := f.store.Read(i)
+// readBlk reads block b into the table's plaintext scratch.
+func (f *Flat) readBlk(b int) error {
+	plain, err := f.store.ReadInto(b, f.blk)
 	if err != nil {
-		return nil, false, err
-	}
-	return f.schema.DecodeRecord(plain)
-}
-
-// ReadBlockVia is ReadBlock with the untrusted access recorded on a
-// worker enclave's tracer (see enclave.Store.ReadVia); partition views
-// use it so concurrent workers never touch a shared tracer.
-func (f *Flat) ReadBlockVia(via *enclave.Enclave, r trace.Region, i int) (table.Row, bool, error) {
-	plain, err := f.store.ReadVia(via, r, i)
-	if err != nil {
-		return nil, false, err
-	}
-	return f.schema.DecodeRecord(plain)
-}
-
-// WriteRow seals row r into block i as a used record.
-func (f *Flat) WriteRow(i int, r table.Row) error {
-	if err := f.schema.EncodeRecord(f.buf, r); err != nil {
 		return err
 	}
-	return f.store.Write(i, f.buf)
+	f.blk = plain
+	return nil
 }
 
-// WriteDummy seals an unused record into block i.
-func (f *Flat) WriteDummy(i int) error {
-	if err := f.schema.EncodeDummy(f.buf); err != nil {
+// ReadRow decrypts the block containing row slot i and decodes that
+// record, returning a fresh Row the caller owns. One traced block read.
+func (f *Flat) ReadRow(i int) (table.Row, bool, error) {
+	if i < 0 || i >= f.Capacity() {
+		return nil, false, fmt.Errorf("storage: table %q row read out of range: %d of %d", f.name, i, f.Capacity())
+	}
+	if err := f.readBlk(i / f.rpb); err != nil {
+		return nil, false, err
+	}
+	return f.schema.DecodeRecordAt(f.blk, i%f.rpb)
+}
+
+// ReadBlockInto decrypts packed block b into the caller-owned scratch
+// buf (which fixes R and is reused across calls, so steady-state scans
+// allocate nothing per block).
+func (f *Flat) ReadBlockInto(b int, buf *table.BlockBuf) error {
+	if err := f.readBlk(b); err != nil {
 		return err
 	}
-	return f.store.Write(i, f.buf)
+	return f.schema.DecodeBlockInto(buf, f.blk)
 }
 
-// rewrite re-seals the given plaintext unchanged — the paper's dummy
-// write: "overwriting a row with the data it already held, re-encrypted
-// and therefore re-randomized".
-func (f *Flat) rewrite(i int, plain []byte) error {
-	return f.store.Write(i, plain)
+// SetRow writes a row (or dummy) to row slot i, adjusting nothing else.
+// At R = 1 this is a single block write; at R > 1 it is a
+// read-modify-write of the containing block — one read plus one write,
+// never R row operations. Row accounting stays with the caller
+// (BumpRows), as before.
+func (f *Flat) SetRow(i int, r table.Row, used bool) error {
+	if i < 0 || i >= f.Capacity() {
+		return fmt.Errorf("storage: table %q row write out of range: %d of %d", f.name, i, f.Capacity())
+	}
+	b, j := i/f.rpb, i%f.rpb
+	if f.rpb == 1 {
+		// The write covers the whole block: no read needed, preserving
+		// the paper geometry's exact one-write trace.
+		if err := f.encodeAt(f.blk, j, r, used); err != nil {
+			return err
+		}
+		return f.store.Write(b, f.blk)
+	}
+	var err error
+	f.blk, err = f.store.RMW(b, f.blk, func(plain []byte) error {
+		return f.encodeAt(plain, j, r, used)
+	})
+	return err
+}
+
+// RMWSlot reads the block containing row slot i, hands the plaintext and
+// the in-block record index to fn for in-place mutation, and re-seals the
+// block — exactly one read plus one write whatever fn does, so a packed
+// dummy write (fn leaving the plaintext untouched) re-seals one block,
+// not R rows.
+func (f *Flat) RMWSlot(i int, fn func(plain []byte, j int) error) error {
+	if i < 0 || i >= f.Capacity() {
+		return fmt.Errorf("storage: table %q slot RMW out of range: %d of %d", f.name, i, f.Capacity())
+	}
+	b, j := i/f.rpb, i%f.rpb
+	var err error
+	f.blk, err = f.store.RMW(b, f.blk, func(plain []byte) error {
+		return fn(plain, j)
+	})
+	return err
+}
+
+// encodeAt encodes a record (or dummy) at slot j of a block plaintext.
+func (f *Flat) encodeAt(plain []byte, j int, r table.Row, used bool) error {
+	if !used {
+		return f.schema.EncodeDummyAt(plain, j)
+	}
+	return f.schema.EncodeRecordAt(plain, j, r)
 }
 
 // Insert obliviously inserts a row: one pass over the table in which the
-// first unused block receives the real write and every other block a dummy
-// write. Leaks only the table size.
+// block holding the first unused slot receives the real write (a
+// read-modify-write) and every other block a dummy write (a re-seal of
+// the data it already holds). One read and one write per block; leaks
+// only the table size and geometry.
 func (f *Flat) Insert(r table.Row) error {
 	if err := f.schema.ValidateRow(r); err != nil {
 		return err
 	}
 	inserted := false
-	for i := 0; i < f.store.Len(); i++ {
-		plain, err := f.store.Read(i)
-		if err != nil {
+	for b := 0; b < f.store.Len(); b++ {
+		if err := f.readBlk(b); err != nil {
 			return err
 		}
-		if !inserted && plain[0] == 0 {
-			if err := f.WriteRow(i, r); err != nil {
-				return err
+		if !inserted {
+			for j := 0; j < f.rpb; j++ {
+				if f.schema.UsedAt(f.blk, j) {
+					continue
+				}
+				if err := f.schema.EncodeRecordAt(f.blk, j, r); err != nil {
+					return err
+				}
+				inserted = true
+				if i := b*f.rpb + j; i >= f.appendAt {
+					f.appendAt = i + 1
+				}
+				break
 			}
-			inserted = true
-			if i >= f.appendAt {
-				f.appendAt = i + 1
-			}
-			continue
 		}
-		if err := f.rewrite(i, plain); err != nil {
+		if err := f.store.Write(b, f.blk); err != nil {
 			return err
 		}
 	}
 	if !inserted {
-		return fmt.Errorf("storage: table %q is full (%d rows)", f.name, f.store.Len())
+		return fmt.Errorf("storage: table %q is full (%d rows)", f.name, f.Capacity())
 	}
 	f.rows++
 	return nil
 }
 
 // InsertFast is the constant-time insertion variant for tables with few
-// deletions (§3.1): it writes directly to the next slot, skipping the
-// scan. The slot sequence depends only on the number of prior insertions,
-// which the adversary already learns from table sizes over time.
+// deletions (§3.1): it touches only the block holding the next slot,
+// skipping the scan. The slot sequence depends only on the number of
+// prior insertions, which the adversary already learns from table sizes
+// over time.
 func (f *Flat) InsertFast(r table.Row) error {
 	if err := f.schema.ValidateRow(r); err != nil {
 		return err
 	}
-	if f.appendAt >= f.store.Len() {
-		return fmt.Errorf("storage: table %q is full (%d rows)", f.name, f.store.Len())
+	if f.appendAt >= f.Capacity() {
+		return fmt.Errorf("storage: table %q is full (%d rows)", f.name, f.Capacity())
 	}
-	if err := f.WriteRow(f.appendAt, r); err != nil {
+	if err := f.SetRow(f.appendAt, r, true); err != nil {
 		return err
 	}
 	f.appendAt++
@@ -160,57 +248,86 @@ func (f *Flat) InsertFast(r table.Row) error {
 	return nil
 }
 
-// Update obliviously applies upd to every row matching pred in one pass:
-// matching blocks get the rewritten row, all others a dummy write. It
-// returns the number of rows updated.
+// Update obliviously applies upd to every row matching pred. It runs two
+// full passes whose traces depend only on the block count: a read-only
+// validation pass that applies upd to every matching row and checks the
+// result (ValidateRow), then a read-modify-write pass giving every block
+// one read and one write (re-applying upd to its matching records, or a
+// dummy re-encryption). A misbehaving updater — wrong arity, wrong kind,
+// oversized string — fails cleanly in the first pass with the table
+// untouched, instead of erroring mid-pass with the table half-rewritten;
+// nothing is buffered, so tables arbitrarily larger than the oblivious
+// memory update in O(1) enclave space. pred and upd must be pure: both
+// passes evaluate them, so side-effecting or non-deterministic callbacks
+// would diverge between validation and write. It returns the number of
+// rows updated.
 func (f *Flat) Update(pred table.Pred, upd table.Updater) (int, error) {
+	err := f.Scan(func(i int, row table.Row, used bool) error {
+		if !used || !pred(row) {
+			return nil
+		}
+		if err := f.schema.ValidateRow(upd(row.Clone())); err != nil {
+			return fmt.Errorf("storage: update on %q produced an invalid row: %w", f.name, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if f.dec == nil {
+		f.dec = f.schema.NewBlockBuf(f.rpb)
+	}
 	updated := 0
-	for i := 0; i < f.store.Len(); i++ {
-		plain, err := f.store.Read(i)
-		if err != nil {
-			return updated, err
-		}
-		row, used, err := f.schema.DecodeRecord(plain)
-		if err != nil {
-			return updated, err
-		}
-		if used && pred(row) {
-			newRow := upd(row)
-			if err := f.WriteRow(i, newRow); err != nil {
-				return updated, err
+	for b := 0; b < f.store.Len(); b++ {
+		f.blk, err = f.store.RMW(b, f.blk, func(plain []byte) error {
+			if err := f.schema.DecodeBlockInto(f.dec, plain); err != nil {
+				return err
 			}
-			updated++
-			continue
-		}
-		if err := f.rewrite(i, plain); err != nil {
+			for j := 0; j < f.rpb; j++ {
+				row, used := f.dec.Row(j)
+				if !used || !pred(row) {
+					continue
+				}
+				if err := f.schema.EncodeRecordAt(plain, j, upd(row.Clone())); err != nil {
+					return err
+				}
+				updated++
+			}
+			return nil
+		})
+		if err != nil {
 			return updated, err
 		}
 	}
 	return updated, nil
 }
 
-// Delete obliviously marks every row matching pred unused, overwriting it
-// with dummy data; all other blocks get dummy writes. It returns the
-// number of rows deleted.
+// Delete obliviously marks every row matching pred unused, overwriting
+// it with dummy data; every block gets exactly one read and one write
+// (its survivors re-encrypted). It returns the number of rows deleted.
 func (f *Flat) Delete(pred table.Pred) (int, error) {
+	if f.dec == nil {
+		f.dec = f.schema.NewBlockBuf(f.rpb)
+	}
 	deleted := 0
-	for i := 0; i < f.store.Len(); i++ {
-		plain, err := f.store.Read(i)
-		if err != nil {
-			return deleted, err
-		}
-		row, used, err := f.schema.DecodeRecord(plain)
-		if err != nil {
-			return deleted, err
-		}
-		if used && pred(row) {
-			if err := f.WriteDummy(i); err != nil {
-				return deleted, err
+	for b := 0; b < f.store.Len(); b++ {
+		var err error
+		f.blk, err = f.store.RMW(b, f.blk, func(plain []byte) error {
+			if err := f.schema.DecodeBlockInto(f.dec, plain); err != nil {
+				return err
 			}
-			deleted++
-			continue
-		}
-		if err := f.rewrite(i, plain); err != nil {
+			for j := 0; j < f.rpb; j++ {
+				row, used := f.dec.Row(j)
+				if used && pred(row) {
+					if err := f.schema.EncodeDummyAt(plain, j); err != nil {
+						return err
+					}
+					deleted++
+				}
+			}
+			return nil
+		})
+		if err != nil {
 			return deleted, err
 		}
 	}
@@ -219,34 +336,43 @@ func (f *Flat) Delete(pred table.Pred) (int, error) {
 		// Deletions may open holes before appendAt; fall back to scanning
 		// inserts for correctness (the paper offers InsertFast for tables
 		// "with few deletions").
-		f.appendAt = f.store.Len()
+		f.appendAt = f.Capacity()
 	}
 	return deleted, nil
 }
 
-// Scan reads every block once in order, invoking fn inside the enclave.
-// This is the read pass underlying aggregates and the planner's stats
-// scan; its trace is one read per block regardless of data.
+// Scan reads every block once in order, invoking fn inside the enclave
+// for each row slot (row is nil when the slot is unused). The rows
+// passed to fn alias a scratch buffer reused block to block: fn must
+// Clone any row it retains. The trace is one read per block regardless
+// of data, and the steady-state path allocates nothing per block.
 func (f *Flat) Scan(fn func(i int, row table.Row, used bool) error) error {
-	for i := 0; i < f.store.Len(); i++ {
-		row, used, err := f.ReadBlock(i)
-		if err != nil {
+	if f.dec == nil {
+		f.dec = f.schema.NewBlockBuf(f.rpb)
+	}
+	for b := 0; b < f.store.Len(); b++ {
+		if err := f.ReadBlockInto(b, f.dec); err != nil {
 			return err
 		}
-		if err := fn(i, row, used); err != nil {
-			return err
+		base := b * f.rpb
+		for j := 0; j < f.rpb; j++ {
+			row, used := f.dec.Row(j)
+			if err := fn(base+j, row, used); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// Rows collects all used rows in block order. It is a convenience for
-// tests and result delivery, not an oblivious operator.
+// Rows collects all used rows in slot order. It is a convenience for
+// tests and result delivery, not an oblivious operator. The result slice
+// is preallocated to the known row count and every row is a fresh copy.
 func (f *Flat) Rows() ([]table.Row, error) {
-	var out []table.Row
+	out := make([]table.Row, 0, f.rows)
 	err := f.Scan(func(_ int, row table.Row, used bool) error {
 		if used {
-			out = append(out, row)
+			out = append(out, row.Clone())
 		}
 		return nil
 	})
@@ -254,21 +380,25 @@ func (f *Flat) Rows() ([]table.Row, error) {
 }
 
 // CopyInto obliviously copies this table block-for-block into dst, which
-// must have at least the same capacity and an equal schema. The copy's
-// trace depends only on sizes (used by the Large select, §4.1).
+// must have at least the same capacity, an equal schema, and the same
+// packing factor. The copy's trace depends only on sizes (used by table
+// growth); dst blocks past the source keep their freshly-initialized
+// dummy contents.
 func (f *Flat) CopyInto(dst *Flat) error {
 	if !f.schema.Equal(dst.schema) {
 		return fmt.Errorf("storage: schema mismatch copying %q into %q", f.name, dst.name)
 	}
-	if dst.store.Len() < f.store.Len() {
-		return fmt.Errorf("storage: destination %q too small: %d < %d", dst.name, dst.store.Len(), f.store.Len())
+	if dst.rpb != f.rpb {
+		return fmt.Errorf("storage: geometry mismatch copying %q (R=%d) into %q (R=%d)", f.name, f.rpb, dst.name, dst.rpb)
 	}
-	for i := 0; i < f.store.Len(); i++ {
-		plain, err := f.store.Read(i)
-		if err != nil {
+	if dst.Capacity() < f.Capacity() {
+		return fmt.Errorf("storage: destination %q too small: %d < %d", dst.name, dst.Capacity(), f.Capacity())
+	}
+	for b := 0; b < f.store.Len(); b++ {
+		if err := f.readBlk(b); err != nil {
 			return err
 		}
-		if err := dst.store.Write(i, plain); err != nil {
+		if err := dst.store.Write(b, f.blk); err != nil {
 			return err
 		}
 	}
@@ -277,14 +407,14 @@ func (f *Flat) CopyInto(dst *Flat) error {
 	return nil
 }
 
-// Expand returns a new flat table with larger capacity holding the same
-// rows ("an initial maximum capacity that can be increased later by
-// copying to a new, larger table", §3).
+// Expand returns a new flat table with larger capacity (same geometry)
+// holding the same rows ("an initial maximum capacity that can be
+// increased later by copying to a new, larger table", §3).
 func (f *Flat) Expand(name string, newCapacity int) (*Flat, error) {
-	if newCapacity < f.store.Len() {
-		return nil, fmt.Errorf("storage: cannot shrink %q from %d to %d", f.name, f.store.Len(), newCapacity)
+	if newCapacity < f.Capacity() {
+		return nil, fmt.Errorf("storage: cannot shrink %q from %d to %d", f.name, f.Capacity(), newCapacity)
 	}
-	bigger, err := NewFlat(f.enc, name, f.schema, newCapacity)
+	bigger, err := NewFlatGeom(f.enc, name, f.schema, newCapacity, f.rpb)
 	if err != nil {
 		return nil, err
 	}
@@ -294,16 +424,77 @@ func (f *Flat) Expand(name string, newCapacity int) (*Flat, error) {
 	return bigger, nil
 }
 
-// SetRow writes a row (or dummy) directly to block i, adjusting the used
-// count. It is the building block operators use when they own the whole
-// output table; it performs exactly one write.
-func (f *Flat) SetRow(i int, r table.Row, used bool) error {
-	if !used {
-		return f.WriteDummy(i)
-	}
-	return f.WriteRow(i, r)
+// BumpRows adjusts the trusted row count after operators fill an output
+// table directly through SetRow or a BlockWriter.
+func (f *Flat) BumpRows(n int) { f.rows += n }
+
+// seqFill owns the sequential-fill slot arithmetic shared by
+// BlockWriter and storage.RangeWriter: records encode into an
+// in-enclave block buffer and each block is handed to write exactly
+// once — when it completes, or dummy-padded at Flush. One sealed write
+// per block instead of one read-modify-write per row.
+type seqFill struct {
+	f       *Flat
+	buf     []byte
+	next    int // next row slot, relative to the fill's origin
+	slots   int // total row slots available
+	flushed bool
+	write   func(block int, plain []byte) error
 }
 
-// BumpRows adjusts the trusted row count after operators fill an output
-// table directly through SetRow.
-func (f *Flat) BumpRows(n int) { f.rows += n }
+func newSeqFill(f *Flat, slots int, write func(block int, plain []byte) error) seqFill {
+	return seqFill{f: f, buf: make([]byte, f.store.BlockSize()), slots: slots, write: write}
+}
+
+// Append encodes one row (or dummy) into the next slot, emitting the
+// block when it completes.
+func (w *seqFill) Append(r table.Row, used bool) error {
+	if w.flushed {
+		return fmt.Errorf("storage: sequential fill of %q appended after Flush", w.f.name)
+	}
+	if w.next >= w.slots {
+		return fmt.Errorf("storage: sequential fill past its %d slots of %q", w.slots, w.f.name)
+	}
+	j := w.next % w.f.rpb
+	if err := w.f.encodeAt(w.buf, j, r, used); err != nil {
+		return err
+	}
+	w.next++
+	if j == w.f.rpb-1 {
+		return w.write(w.next/w.f.rpb-1, w.buf)
+	}
+	return nil
+}
+
+// Written returns the number of slots appended so far.
+func (w *seqFill) Written() int { return w.next }
+
+// Flush completes a partial final block, padding its remaining slots
+// with dummies. Appending after Flush is an error.
+func (w *seqFill) Flush() error {
+	w.flushed = true
+	j := w.next % w.f.rpb
+	if j == 0 {
+		return nil
+	}
+	for ; j < w.f.rpb; j++ {
+		if err := w.f.schema.EncodeDummyAt(w.buf, j); err != nil {
+			return err
+		}
+		w.next++
+	}
+	return w.write(w.next/w.f.rpb-1, w.buf)
+}
+
+// BlockWriter fills a table's row slots sequentially from slot 0 — the
+// output half of every sequential-fill operator. The writer must own
+// the whole table (a fresh operator output); Flush pads the final
+// partial block's remaining slots with dummies and writes it.
+type BlockWriter struct{ seqFill }
+
+// NewBlockWriter creates a sequential writer over f starting at slot 0.
+func (f *Flat) NewBlockWriter() *BlockWriter {
+	return &BlockWriter{newSeqFill(f, f.Capacity(), func(b int, plain []byte) error {
+		return f.store.Write(b, plain)
+	})}
+}

@@ -30,7 +30,7 @@ func TestAttackBitFlip(t *testing.T) {
 	raw := f.Store().AdversaryRawBlock(3)
 	raw[5] ^= 0x01
 	f.Store().AdversarySetRawBlock(3, raw)
-	if _, _, err := f.ReadBlock(3); err == nil {
+	if _, _, err := f.ReadRow(3); err == nil {
 		t.Fatal("bit flip undetected")
 	}
 }
@@ -38,10 +38,10 @@ func TestAttackBitFlip(t *testing.T) {
 func TestAttackRowSwap(t *testing.T) {
 	f := attackTable(t)
 	f.Store().AdversarySwapBlocks(0, 5)
-	if _, _, err := f.ReadBlock(0); err == nil {
+	if _, _, err := f.ReadRow(0); err == nil {
 		t.Fatal("row shuffle undetected")
 	}
-	if _, _, err := f.ReadBlock(5); err == nil {
+	if _, _, err := f.ReadRow(5); err == nil {
 		t.Fatal("row shuffle undetected at the other slot")
 	}
 }
@@ -56,7 +56,7 @@ func TestAttackRollbackAfterDelete(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Store().AdversarySetRawBlock(2, old)
-	if _, _, err := f.ReadBlock(2); err == nil {
+	if _, _, err := f.ReadRow(2); err == nil {
 		t.Fatal("deleted row resurrected undetected")
 	}
 }
@@ -90,7 +90,7 @@ func TestAttackBlockFromOtherTable(t *testing.T) {
 	_ = a.InsertFast(row(1, "from-a"))
 	_ = b.InsertFast(row(2, "from-b"))
 	b.Store().AdversarySetRawBlock(0, a.Store().AdversaryRawBlock(0))
-	if _, _, err := b.ReadBlock(0); err == nil {
+	if _, _, err := b.ReadRow(0); err == nil {
 		t.Fatal("cross-table block transplant undetected")
 	}
 }

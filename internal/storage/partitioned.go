@@ -8,13 +8,14 @@ import (
 	"oblidb/internal/trace"
 )
 
-// Partitioned splits a flat table's block array into P equal padded
-// partitions for partition-parallel operators. The split is purely a
-// view: partition p covers blocks [p·S, (p+1)·S) of the source, where
-// S = ceil(capacity/P), and indices past the source capacity read as
-// padding (an unused record) without touching untrusted memory. Both P
-// and S are functions of the (public) table size alone, so the layout
-// leaks nothing beyond P itself.
+// Partitioned splits a flat table's sealed-block array into P equal
+// padded partitions for partition-parallel operators. Partition
+// boundaries are aligned to whole blocks — partition p covers blocks
+// [p·S, (p+1)·S) of the source, where S = ceil(blocks/P) — so parallel
+// workers never share a sealed block, and indices past the source extent
+// read as padding (all-dummy records) without touching untrusted memory.
+// P, S, and the packing factor R are all functions of public sizes and
+// configuration, so the layout leaks nothing beyond P itself.
 //
 // Each partition reads the shared source through its own worker
 // enclave: the access lands on that worker's tracer — the adversarial
@@ -25,7 +26,7 @@ import (
 type Partitioned struct {
 	src     *Flat
 	parts   []*PartitionView
-	partLen int
+	partLen int // S, in blocks
 }
 
 // NewPartitioned builds the P-way partitioned view of src, one
@@ -35,7 +36,7 @@ func NewPartitioned(src *Flat, workers []*enclave.Enclave) (*Partitioned, error)
 	if p < 1 {
 		return nil, fmt.Errorf("storage: partitioning %q needs at least one worker", src.Name())
 	}
-	partLen := (src.Capacity() + p - 1) / p
+	partLen := (src.NumBlocks() + p - 1) / p
 	pt := &Partitioned{src: src, partLen: partLen}
 	for i, w := range workers {
 		view := &PartitionView{
@@ -44,6 +45,7 @@ func NewPartitioned(src *Flat, workers []*enclave.Enclave) (*Partitioned, error)
 			lo:   i * partLen,
 			n:    partLen,
 			part: i,
+			raw:  make([]byte, src.Store().BlockSize()),
 		}
 		if tr := w.Tracer(); tr != nil {
 			view.region = tr.Region(fmt.Sprintf("%s.part%d", src.Name(), i))
@@ -59,105 +61,136 @@ func (p *Partitioned) NumPartitions() int { return len(p.parts) }
 // PartLen returns S, the padded per-partition block count.
 func (p *Partitioned) PartLen() int { return p.partLen }
 
+// PartRows returns the padded per-partition row capacity, S·R.
+func (p *Partitioned) PartRows() int { return p.partLen * p.src.RowsPerBlock() }
+
 // Part returns partition i's view (an operator input).
 func (p *Partitioned) Part(i int) *PartitionView { return p.parts[i] }
 
 // Source returns the underlying flat table.
 func (p *Partitioned) Source() *Flat { return p.src }
 
-// PartitionView is one partition: an exec.Input over a block range of
-// the source table, reading through one worker enclave.
+// PartitionView is one partition: an exec.Input over a sealed-block
+// range of the source table, reading through one worker enclave with its
+// own plaintext scratch (so concurrent partition scans stay
+// allocation-free per block).
 type PartitionView struct {
 	src    *Flat
 	via    *enclave.Enclave
 	region trace.Region
-	lo     int
-	n      int
+	lo     int // first source block
+	n      int // padded partition length, in blocks
 	part   int
+	raw    []byte
 }
 
 // Schema describes the rows (the source schema).
 func (v *PartitionView) Schema() *table.Schema { return v.src.Schema() }
 
-// Blocks is the padded partition size S — identical for every
-// partition, whatever the data.
+// Blocks is the padded partition size S in sealed blocks — identical
+// for every partition, whatever the data.
 func (v *PartitionView) Blocks() int { return v.n }
+
+// RowsPerBlock returns the source's packing factor R.
+func (v *PartitionView) RowsPerBlock() int { return v.src.RowsPerBlock() }
 
 // Index reports which partition this view is.
 func (v *PartitionView) Index() int { return v.part }
 
-// ReadBlock reads partition block i, i.e. source block lo+i. Padding
-// blocks past the source capacity decode as unused records without an
-// untrusted access; whether index i is padding is a function of the
+// ReadBlockInto reads partition block b, i.e. source block lo+b, into
+// buf. Padding blocks past the source extent decode as all-dummy without
+// an untrusted access; whether index b is padding is a function of the
 // public sizes only.
-func (v *PartitionView) ReadBlock(i int) (table.Row, bool, error) {
-	if i < 0 || i >= v.n {
-		return nil, false, fmt.Errorf("storage: partition %d read out of range: %d of %d", v.part, i, v.n)
+func (v *PartitionView) ReadBlockInto(b int, buf *table.BlockBuf) error {
+	if b < 0 || b >= v.n {
+		return fmt.Errorf("storage: partition %d read out of range: %d of %d", v.part, b, v.n)
 	}
-	abs := v.lo + i
-	if abs >= v.src.Capacity() {
-		return nil, false, nil
+	abs := v.lo + b
+	if abs >= v.src.NumBlocks() {
+		buf.SetAllDummy()
+		return nil
 	}
-	return v.src.ReadBlockVia(v.via, v.region, abs)
-}
-
-// RangeWriter gives one worker write access to a disjoint block range
-// [lo, lo+n) of a shared output table: sealing runs on the worker's
-// enclave and the accesses land on its tracer, so P workers can fill P
-// disjoint ranges of one output concurrently with no combine pass
-// afterwards. The caller guarantees ranges do not overlap and that
-// nobody reads the table until the workers join; row accounting
-// (BumpRows) stays with the caller.
-type RangeWriter struct {
-	f      *Flat
-	via    *enclave.Enclave
-	region trace.Region
-	lo, n  int
-	buf    []byte
-}
-
-// RangeWriter creates a writer for blocks [lo, lo+n) of f through
-// worker enclave w (partition index part names the trace region).
-func (f *Flat) RangeWriter(w *enclave.Enclave, part, lo, n int) *RangeWriter {
-	rw := &RangeWriter{f: f, via: w, lo: lo, n: n, buf: make([]byte, f.schema.RecordSize())}
-	if tr := w.Tracer(); tr != nil {
-		rw.region = tr.Region(fmt.Sprintf("%s.out%d", f.name, part))
-	}
-	return rw
-}
-
-// SetRow writes a row (or dummy) to range block i, i.e. table block
-// lo+i.
-func (w *RangeWriter) SetRow(i int, r table.Row, used bool) error {
-	if i < 0 || i >= w.n {
-		return fmt.Errorf("storage: range write out of range: %d of %d", i, w.n)
-	}
-	var err error
-	if used {
-		err = w.f.schema.EncodeRecord(w.buf, r)
-	} else {
-		err = w.f.schema.EncodeDummy(w.buf)
-	}
+	plain, err := v.src.Store().ReadIntoVia(v.via, v.region, abs, v.raw)
 	if err != nil {
 		return err
 	}
-	return w.f.store.WriteVia(w.via, w.region, w.lo+i, w.buf)
+	v.raw = plain
+	return v.src.Schema().DecodeBlockInto(buf, plain)
 }
 
-// ReadBlock reads range block i back (the read-modify half of operators
-// like Large's clearing pass), traced on the worker.
-func (w *RangeWriter) ReadBlock(i int) (table.Row, bool, error) {
-	if i < 0 || i >= w.n {
-		return nil, false, fmt.Errorf("storage: range read out of range: %d of %d", i, w.n)
+// RangeWriter gives one worker write access to a disjoint, block-aligned
+// row range [lo, lo+n) of a shared output table: sealing runs on the
+// worker's enclave and the accesses land on its tracer, so P workers can
+// fill P disjoint ranges of one output concurrently with no combine pass
+// afterwards. Sequential fills buffer records in-enclave and seal each
+// block once (Append/Flush); the read-modify half of operators like
+// Large's clearing pass works block-at-a-time through RMWBlock. The
+// caller guarantees ranges do not overlap and that nobody reads the
+// table until the workers join; row accounting (BumpRows) stays with the
+// caller.
+type RangeWriter struct {
+	seqFill // sequential Append/Flush over the range, sealed via the worker
+	via     *enclave.Enclave
+	region  trace.Region
+	lo      int // first block of the range
+	n       int // range length in blocks
+	raw     []byte
+}
+
+// RangeWriter creates a writer for row slots [lo, lo+n) of f through
+// worker enclave w (partition index part names the trace region). lo and
+// n must be multiples of f's packing factor — partition layouts are
+// block-aligned by construction.
+func (f *Flat) RangeWriter(w *enclave.Enclave, part, lo, n int) (*RangeWriter, error) {
+	if lo%f.rpb != 0 || n%f.rpb != 0 {
+		return nil, fmt.Errorf("storage: range [%d,%d) of %q not block-aligned (R=%d)", lo, lo+n, f.name, f.rpb)
 	}
-	return w.f.ReadBlockVia(w.via, w.region, w.lo+i)
+	rw := &RangeWriter{
+		via: w,
+		lo:  lo / f.rpb,
+		n:   n / f.rpb,
+		raw: make([]byte, f.store.BlockSize()),
+	}
+	if tr := w.Tracer(); tr != nil {
+		rw.region = tr.Region(fmt.Sprintf("%s.out%d", f.name, part))
+	}
+	rw.seqFill = newSeqFill(f, n, func(b int, plain []byte) error {
+		return f.store.WriteVia(rw.via, rw.region, rw.lo+b, plain)
+	})
+	return rw, nil
+}
+
+// RMWBlock reads range block b back through the worker, hands the
+// plaintext to fn for in-place mutation, and re-seals it — exactly one
+// read and one write on the worker's trace whatever fn does.
+func (w *RangeWriter) RMWBlock(b int, fn func(plain []byte) error) error {
+	if b < 0 || b >= w.n {
+		return fmt.Errorf("storage: range RMW out of range: %d of %d", b, w.n)
+	}
+	abs := w.lo + b
+	plain, err := w.f.store.ReadIntoVia(w.via, w.region, abs, w.raw)
+	if err != nil {
+		return err
+	}
+	w.raw = plain
+	if err := fn(plain); err != nil {
+		return err
+	}
+	return w.f.store.WriteVia(w.via, w.region, abs, plain)
 }
 
 // FullView wraps an entire flat table as a single worker-read view —
 // the broadcast side of a parallel join, where every worker streams the
 // same (small) table through its own enclave.
 func FullView(src *Flat, w *enclave.Enclave, part int) *PartitionView {
-	v := &PartitionView{src: src, via: w, lo: 0, n: src.Capacity(), part: part}
+	v := &PartitionView{
+		src:  src,
+		via:  w,
+		lo:   0,
+		n:    src.NumBlocks(),
+		part: part,
+		raw:  make([]byte, src.Store().BlockSize()),
+	}
 	if tr := w.Tracer(); tr != nil {
 		v.region = tr.Region(fmt.Sprintf("%s.bcast%d", src.Name(), part))
 	}

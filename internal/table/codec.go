@@ -4,15 +4,123 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Record layout: a one-byte used flag followed by the fixed-length row
 // encoding. A record with flag 0 is a dummy — either never-written space
 // or a row "marked unused and overwritten with dummy data" by a delete or
 // by an oblivious operator writing filler (§3.1, §4).
+//
+// Block layout: R records packed back to back. The paper's design (§3)
+// only requires that the *block* be the sealed unit, so packing R > 1
+// records per block divides the per-row sealing, tracing, and allocation
+// cost of every full-table pass by R. R is public geometry, fixed per
+// table at creation.
 
 // RecordSize returns the fixed block payload size for rows of this schema.
 func (s *Schema) RecordSize() int { return 1 + s.rowSize }
+
+// BlockSize returns the plaintext size of a block packing r records.
+func (s *Schema) BlockSize(r int) int { return r * s.RecordSize() }
+
+// EncodeRecordAt writes a used record for row r at slot j of a packed
+// block. The rest of the block is left untouched.
+func (s *Schema) EncodeRecordAt(dst []byte, j int, r Row) error {
+	return s.EncodeRecord(dst[j*s.RecordSize():], r)
+}
+
+// EncodeDummyAt writes an unused (dummy) record at slot j of a packed
+// block.
+func (s *Schema) EncodeDummyAt(dst []byte, j int) error {
+	return s.EncodeDummy(dst[j*s.RecordSize():])
+}
+
+// UsedAt reports whether slot j of a packed block holds a live record,
+// without decoding it. It reads only the flag byte, so geometry passes
+// (insert's first-free search, compaction counts) stay cheap.
+func (s *Schema) UsedAt(b []byte, j int) bool {
+	return b[j*s.RecordSize()] != 0
+}
+
+// DecodeRecordAt parses slot j of a packed block into a fresh Row.
+func (s *Schema) DecodeRecordAt(b []byte, j int) (Row, bool, error) {
+	return s.DecodeRecord(b[j*s.RecordSize():])
+}
+
+// DecodeRecordInto parses slot j of a packed block into dst, which must
+// have exactly NumColumns entries. It allocates nothing: numeric values
+// decode in place and string values alias b directly, so the decoded
+// row is valid only until b is reused — callers retaining a row (or any
+// of its values) past that must Clone it. When the slot is a dummy, dst
+// is left untouched and used is false.
+func (s *Schema) DecodeRecordInto(dst Row, b []byte, j int) (used bool, err error) {
+	rec := b[j*s.RecordSize():]
+	if len(rec) < s.RecordSize() {
+		return false, fmt.Errorf("table: record too short: %d < %d", len(rec), s.RecordSize())
+	}
+	if rec[0] == 0 {
+		return false, nil
+	}
+	if len(dst) != len(s.cols) {
+		return false, fmt.Errorf("table: decode scratch has %d values, schema has %d columns", len(dst), len(s.cols))
+	}
+	return true, s.decodeRowInto(dst, rec[1:], true)
+}
+
+// BlockBuf is a caller-owned scratch buffer holding one decoded packed
+// block: R rows plus their used flags. Steady-state scans allocate one
+// BlockBuf up front and reuse it for every block; the rows inside are
+// overwritten by each decode, so callers must Clone any row they retain.
+type BlockBuf struct {
+	rows []Row
+	used []bool
+}
+
+// NewBlockBuf allocates a scratch buffer for blocks of r records.
+func (s *Schema) NewBlockBuf(r int) *BlockBuf {
+	buf := &BlockBuf{rows: make([]Row, r), used: make([]bool, r)}
+	for j := range buf.rows {
+		buf.rows[j] = make(Row, len(s.cols))
+	}
+	return buf
+}
+
+// Len returns the buffer's slot count R.
+func (b *BlockBuf) Len() int { return len(b.rows) }
+
+// Row returns slot j's decoded row and used flag. The row aliases the
+// buffer's scratch: it is valid until the next decode into this buffer.
+func (b *BlockBuf) Row(j int) (Row, bool) {
+	if !b.used[j] {
+		return nil, false
+	}
+	return b.rows[j], true
+}
+
+// SetAllDummy marks every slot unused (padding blocks past a table's
+// real extent decode as all dummies without an untrusted access).
+func (b *BlockBuf) SetAllDummy() {
+	for j := range b.used {
+		b.used[j] = false
+	}
+}
+
+// DecodeBlockInto parses a packed block's records into buf, whose slot
+// count fixes R. Slots beyond the block's payload would be an error.
+func (s *Schema) DecodeBlockInto(buf *BlockBuf, b []byte) error {
+	if len(b) < s.BlockSize(buf.Len()) {
+		return fmt.Errorf("table: block too short: %d < %d", len(b), s.BlockSize(buf.Len()))
+	}
+	for j := range buf.rows {
+		used, err := s.DecodeRecordInto(buf.rows[j], b, j)
+		if err != nil {
+			return err
+		}
+		buf.used[j] = used
+	}
+	return nil
+}
 
 // EncodeRecord writes a used record for row r into dst, which must be at
 // least RecordSize bytes. Bytes beyond the record are left untouched.
@@ -83,9 +191,22 @@ func (s *Schema) encodeRow(dst []byte, r Row) error {
 	return nil
 }
 
-// decodeRow parses the fixed encoding back into a Row.
+// decodeRow parses the fixed encoding back into a fresh Row whose
+// string values are self-contained copies.
 func (s *Schema) decodeRow(b []byte) (Row, error) {
 	row := make(Row, len(s.cols))
+	if err := s.decodeRowInto(row, b, false); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// decodeRowInto parses the fixed encoding into an existing Row, writing
+// each column value in place. With alias set, string values point
+// directly into b — zero allocations, valid only until b is reused;
+// retained values must be detached with Clone. Without it, strings are
+// copied out and the row owns its payloads.
+func (s *Schema) decodeRowInto(row Row, b []byte, alias bool) error {
 	for i, c := range s.cols {
 		field := b[s.offsets[i]:]
 		switch c.Kind {
@@ -98,12 +219,26 @@ func (s *Schema) decodeRow(b []byte) (Row, error) {
 		case KindString:
 			n := int(binary.LittleEndian.Uint16(field))
 			if n > c.Width {
-				return nil, fmt.Errorf("table: corrupt string length %d > width %d in column %q", n, c.Width, c.Name)
+				return fmt.Errorf("table: corrupt string length %d > width %d in column %q", n, c.Width, c.Name)
 			}
-			row[i] = Str(string(field[2 : 2+n]))
+			if alias {
+				row[i] = Str(aliasString(field[2 : 2+n]))
+			} else {
+				row[i] = Str(string(field[2 : 2+n]))
+			}
 		}
 	}
-	return row, nil
+	return nil
+}
+
+// aliasString views a byte slice as a string without copying. The
+// string is valid only while the underlying buffer is; it is the
+// zero-allocation half of the scratch-decode contract.
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
 }
 
 // kindAssignable reports whether a value of kind v can be stored in a

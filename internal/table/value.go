@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -181,13 +182,26 @@ func (v Value) Equal(o Value) bool {
 	return err == nil && c == 0
 }
 
+// Clone returns a self-contained copy of the value: string payloads are
+// copied out of whatever buffer they alias. Rows decoded into scratch
+// (Schema.DecodeRecordInto, Flat.Scan, exec.ForEachRow) alias the reused
+// block buffer for speed; any value retained past the current row must
+// be detached with Clone.
+func (v Value) Clone() Value {
+	v.str = strings.Clone(v.str)
+	return v
+}
+
 // Row is one tuple of values, ordered per its schema.
 type Row []Value
 
-// Clone returns a copy of the row.
+// Clone returns a self-contained copy of the row (see Value.Clone: the
+// copy is detached from any scratch buffer the source row aliases).
 func (r Row) Clone() Row {
 	cp := make(Row, len(r))
-	copy(cp, r)
+	for i, v := range r {
+		cp[i] = v.Clone()
+	}
 	return cp
 }
 

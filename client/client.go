@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"oblidb/internal/table"
 	"oblidb/internal/wire"
@@ -43,11 +44,47 @@ type Conn struct {
 
 	wmu sync.Mutex // serializes frame writes
 
+	// Local traffic counters (see Stats).
+	framesSent, framesReceived atomic.Uint64
+	bytesWritten, bytesRead    atomic.Uint64
+
 	mu      sync.Mutex
 	nextID  uint32
 	pending map[uint32]chan *wire.Response
 	stmts   map[uint32]struct{} // open prepared handles
 	err     error               // terminal receive error, sticky
+}
+
+// ConnStats is a connection's local self-report: counters the client
+// maintains itself, available even when the server is unreachable.
+// Frame counts include fire-and-forget frames (statement closes);
+// bytes include the 4-byte frame headers.
+type ConnStats struct {
+	FramesSent, FramesReceived uint64
+	BytesWritten, BytesRead    uint64
+	// Pending is the number of requests awaiting a response.
+	Pending int
+	// LastError is the terminal connection error, "" while healthy.
+	LastError string
+}
+
+// Stats reports the connection's local counters. For the server's
+// self-report (epochs, plan cache, the full metrics snapshot), use
+// ServerStats.
+func (c *Conn) Stats() ConnStats {
+	st := ConnStats{
+		FramesSent:     c.framesSent.Load(),
+		FramesReceived: c.framesReceived.Load(),
+		BytesWritten:   c.bytesWritten.Load(),
+		BytesRead:      c.bytesRead.Load(),
+	}
+	c.mu.Lock()
+	st.Pending = len(c.pending)
+	if c.err != nil {
+		st.LastError = c.err.Error()
+	}
+	c.mu.Unlock()
+	return st
 }
 
 // Dial connects to an ObliDB server at addr ("host:port").
@@ -72,6 +109,8 @@ func (c *Conn) receive() {
 	for {
 		payload, err := wire.ReadFrame(c.conn)
 		if err == nil {
+			c.framesReceived.Add(1)
+			c.bytesRead.Add(uint64(len(payload)) + 4)
 			var resp *wire.Response
 			if resp, err = wire.DecodeResponse(payload); err == nil {
 				c.mu.Lock()
@@ -117,6 +156,10 @@ func (c *Conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response
 	c.wmu.Lock()
 	err := wire.WriteFrame(c.conn, payload)
 	c.wmu.Unlock()
+	if err == nil {
+		c.framesSent.Add(1)
+		c.bytesWritten.Add(uint64(len(payload)) + 4)
+	}
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
@@ -264,11 +307,17 @@ func (c *Conn) sendClose(handle uint32) error {
 	payload := wire.EncodeRequest(&wire.Request{Type: wire.TClosePrepared, Handle: handle})
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return wire.WriteFrame(c.conn, payload)
+	if err := wire.WriteFrame(c.conn, payload); err != nil {
+		return err
+	}
+	c.framesSent.Add(1)
+	c.bytesWritten.Add(uint64(len(payload)) + 4)
+	return nil
 }
 
-// Stats fetches the server's public counters.
-func (c *Conn) Stats() (Stats, error) {
+// ServerStats fetches the server's public counters, including (from v3
+// servers) the full metrics snapshot in Stats.MetricsJSON.
+func (c *Conn) ServerStats() (Stats, error) {
 	resp, err := c.roundTrip(context.Background(), &wire.Request{Type: wire.TStats})
 	if err != nil {
 		return Stats{}, err

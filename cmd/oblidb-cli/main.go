@@ -26,6 +26,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -216,7 +217,7 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 				printPicks(out, db.PlanStats())
 				continue
 			}
-			st, err := conn.Stats()
+			st, err := conn.ServerStats()
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
@@ -233,6 +234,14 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 				}
 				fmt.Fprintf(out, "  operator picks: %s\n", strings.Join(parts, " "))
 			}
+			cs := conn.Stats()
+			fmt.Fprintf(out, "  connection: %d frame(s) sent (%d B), %d received (%d B), %d pending",
+				cs.FramesSent, cs.BytesWritten, cs.FramesReceived, cs.BytesRead, cs.Pending)
+			if cs.LastError != "" {
+				fmt.Fprintf(out, "; last error: %s", cs.LastError)
+			}
+			fmt.Fprintln(out)
+			printMetricsJSON(out, st.MetricsJSON)
 			continue
 		case line == `\explain`:
 			fmt.Fprintln(out, `usage: \explain <sql>`)
@@ -294,6 +303,56 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 			}
 		}
 	}
+}
+
+// printMetricsJSON renders a server's metrics snapshot (the wire.Stats
+// v3 extension): one line per family, names sorted, values rendered
+// compactly. Histograms show count and sum; labeled families list
+// label=value pairs.
+func printMetricsJSON(out io.Writer, metricsJSON string) {
+	if metricsJSON == "" {
+		return // pre-v3 server
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(metricsJSON), &snap); err != nil {
+		fmt.Fprintf(out, "  metrics: unreadable snapshot: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "  metrics (%d families):\n", len(snap))
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(out, "    %s: %s\n", name, renderMetricValue(snap[name]))
+	}
+}
+
+func renderMetricValue(v any) string {
+	switch v := v.(type) {
+	case map[string]any:
+		if _, ok := v["buckets"]; ok {
+			// Histogram: count and sum say most of it at a glance.
+			return fmt.Sprintf("count=%s sum=%s",
+				renderMetricValue(v["count"]), renderMetricValue(v["sum"]))
+		}
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + renderMetricValue(v[k])
+		}
+		return strings.Join(parts, " ")
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case nil:
+		return "0"
+	}
+	return fmt.Sprint(v)
 }
 
 // printPicks renders the engine's per-algorithm pick counters.

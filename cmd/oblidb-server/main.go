@@ -9,11 +9,16 @@
 //	$ oblidb-cli -connect localhost:7744
 //
 // Flags tune the enclave (-memory, -pad) exactly as in oblidb-cli.
+// With -debug-addr the server also serves /metrics (Prometheus text),
+// /debug/vars (JSON snapshot), and /debug/pprof/* on a separate
+// listener; bind it to loopback or an operator network.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,12 +30,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7744", "TCP listen address")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for /metrics, /debug/vars, /debug/pprof (empty = off)")
 	epochSize := flag.Int("epoch-size", 8, "statement slots per epoch")
 	epochInterval := flag.Duration("epoch-interval", 5*time.Millisecond, "fixed cadence between epochs")
 	memory := flag.Int("memory", 0, "oblivious memory budget in bytes (0 = paper default 20 MB)")
 	pad := flag.Int("pad", 0, "padding mode: pad intermediate tables to this many rows (0 = off)")
 	parallelism := flag.Int("parallelism", 1, "intra-query worker pool size (-1 = GOMAXPROCS, 1 = serial)")
 	workers := flag.Int("workers", 1, "epoch slots executed concurrently (1 = serial)")
+	slowEpochs := flag.Int("slow-epochs", 0, "log statements that wait at least this many epochs, by literal-free shape (0 = default 8)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	quiet := flag.Bool("quiet", false, "suppress serving diagnostics")
 	flag.Parse()
 
@@ -38,22 +46,33 @@ func main() {
 	if *pad > 0 {
 		engine.Padding = core.PaddingConfig{Enabled: true, PadRows: *pad, PadGroups: *pad}
 	}
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "oblidb-server: bad -log-level %q\n", *logLevel)
+		os.Exit(2)
 	}
+	logDst := io.Writer(os.Stderr)
 	if *quiet {
-		logf = nil
+		logDst = io.Discard
 	}
+	logger := slog.New(slog.NewTextHandler(logDst, &slog.HandlerOptions{Level: level}))
 	srv, err := server.New(server.Config{
-		Engine:        engine,
-		EpochSize:     *epochSize,
-		EpochInterval: *epochInterval,
-		Workers:       *workers,
-		Logf:          logf,
+		Engine:              engine,
+		EpochSize:           *epochSize,
+		EpochInterval:       *epochInterval,
+		Workers:             *workers,
+		Logger:              logger,
+		SlowStatementEpochs: *slowEpochs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oblidb-server:", err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		if _, err := srv.ServeDebug(*debugAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "oblidb-server:", err)
+			os.Exit(1)
+		}
 	}
 
 	sigs := make(chan os.Signal, 1)

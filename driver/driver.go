@@ -367,7 +367,7 @@ func (c *netConn) Ping(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if _, err := c.c.Stats(); err != nil {
+	if _, err := c.c.ServerStats(); err != nil {
 		return driver.ErrBadConn
 	}
 	return nil

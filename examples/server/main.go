@@ -113,7 +113,7 @@ func main() {
 	res = mustExec(`SELECT COUNT(*) FROM events`)
 	fmt.Printf("-- after concurrent inserts: %s rows\n", res.Rows[0][0])
 
-	st, err := c.Stats()
+	st, err := c.ServerStats()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,7 @@ import (
 // operations at R = 1 (the paper's one-record-per-block geometry) versus
 // packed geometries, where every full-table pass costs one AEAD
 // open/seal per sealed block instead of per row. The speedup column is
-// the bench trajectory future perf PRs compare against (BENCH_5.json).
+// the bench trajectory future perf PRs compare against (BENCH_6.json).
 
 // packingGeometries lists the packing factors the figure sweeps: the
 // paper geometry, two fixed intermediate points, and the engine's
@@ -162,8 +162,9 @@ type servedCell struct {
 }
 
 // measureServed runs the loopback server benchmark at geometry r (0 =
-// engine default) and epoch size 8.
-func measureServed(o Options, r int) (servedCell, error) {
+// engine default) and epoch size 8. Alongside the throughput cell it
+// returns the server's end-of-run metrics snapshot.
+func measureServed(o Options, r int) (servedCell, map[string]any, error) {
 	const clients = 4
 	const epochSize = 8
 	perClient := o.n(200)
@@ -174,7 +175,7 @@ func measureServed(o Options, r int) (servedCell, error) {
 		EpochInterval: time.Millisecond,
 	})
 	if err != nil {
-		return servedCell{}, err
+		return servedCell{}, nil, err
 	}
 	defer srv.Close()
 	serveErr := make(chan error, 1)
@@ -182,7 +183,7 @@ func measureServed(o Options, r int) (servedCell, error) {
 	for srv.Addr() == nil {
 		select {
 		case err := <-serveErr:
-			return servedCell{}, err
+			return servedCell{}, nil, err
 		default:
 			time.Sleep(time.Millisecond)
 		}
@@ -190,11 +191,11 @@ func measureServed(o Options, r int) (servedCell, error) {
 	addr := srv.Addr().String()
 	setup, err := client.Dial(addr)
 	if err != nil {
-		return servedCell{}, err
+		return servedCell{}, nil, err
 	}
 	if _, err := setup.Exec(fmt.Sprintf(
 		"CREATE TABLE s (k INTEGER, payload VARCHAR(32)) CAPACITY = %d", 4*clients*perClient+64)); err != nil {
-		return servedCell{}, err
+		return servedCell{}, nil, err
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -228,18 +229,22 @@ func measureServed(o Options, r int) (servedCell, error) {
 	close(errs)
 	for err := range errs {
 		if err != nil {
-			return servedCell{}, err
+			return servedCell{}, nil, err
 		}
 	}
 	total := clients * perClient
-	return servedCell{
+	cell := servedCell{
 		R:            r,
 		Stmts:        total,
 		StmtsPerSec:  float64(total) / elapsed.Seconds(),
 		EpochSize:    epochSize,
 		NsPerStmt:    float64(elapsed.Nanoseconds()) / float64(total),
 		ClientsCount: clients,
-	}, nil
+	}
+	// The full metrics snapshot of the served run: epoch occupancy,
+	// padding ratio, enclave I/O, plan-cache behavior — the telemetry a
+	// perf PR wants next to the throughput number it changed.
+	return cell, srv.Metrics().Snapshot(), nil
 }
 
 // BenchReport is the machine-readable perf trajectory one PR leaves for
@@ -252,10 +257,15 @@ type BenchReport struct {
 	DefaultR int           `json:"default_rows_per_block"`
 	Packing  []packingCell `json:"packing"`
 	Served   []servedCell  `json:"served"`
+	// Metrics is the served run's full metrics snapshot at the default
+	// geometry (the same catalog /metrics exposes), so the trajectory
+	// records occupancy, padding, enclave I/O, and plan-cache behavior
+	// next to the throughput numbers.
+	Metrics map[string]any `json:"metrics"`
 }
 
 // WriteBenchJSON runs the packing and served measurements at R ∈ {1,
-// default} and writes BENCH_5.json-style output to path. CI uploads it
+// default} and writes BENCH_6.json-style output to path. CI uploads it
 // as an artifact so subsequent PRs have a trajectory to compare against.
 func WriteBenchJSON(o Options, path string) error {
 	def := storage.DefaultRowsPerBlock(workload.Schema())
@@ -272,12 +282,13 @@ func WriteBenchJSON(o Options, path string) error {
 			return err
 		}
 		rep.Packing = append(rep.Packing, cs...)
-		sc, err := measureServed(o, r)
+		sc, snap, err := measureServed(o, r)
 		if err != nil {
 			return err
 		}
 		sc.R = r
 		rep.Served = append(rep.Served, sc)
+		rep.Metrics = snap
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -206,6 +206,48 @@ func (db *DB) pickJoin(name string) {
 	db.picks.Join[name]++
 }
 
+// IOStats folds the sealed-block I/O tallies of the main enclave and
+// every Split worker into one snapshot — the per-worker tallies are the
+// per-core adversarial views, and their sum is the total sealed-block
+// traffic the host observed.
+func (db *DB) IOStats() enclave.IOSnapshot {
+	s := db.enc.IOStats()
+	for _, w := range db.workers {
+		s.Add(w.IOStats())
+	}
+	return s
+}
+
+// StorageGeomStats describes the flat tables at one packing geometry
+// (rows-per-block value): counts of tables, sealed blocks, live rows,
+// and untrusted bytes including sealing overhead. All public sizes.
+type StorageGeomStats struct {
+	Tables, Blocks, Rows int
+	UntrustedBytes       int
+}
+
+// StorageStats reports flat-storage gauges grouped by packing geometry
+// R. The key set is the distinct R values in use — a small closed set
+// (the configured knob or the per-schema ~4 KiB default), never
+// data-derived.
+func (db *DB) StorageStats() map[int]StorageGeomStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[int]StorageGeomStats)
+	for _, t := range db.tables {
+		if t.flat == nil {
+			continue // indexed-only tables live in ORAM, counted via IOStats
+		}
+		g := out[t.flat.RowsPerBlock()]
+		g.Tables++
+		g.Blocks += t.flat.NumBlocks()
+		g.Rows += t.flat.NumRows()
+		g.UntrustedBytes += t.flat.Store().SizeBytes()
+		out[t.flat.RowsPerBlock()] = g
+	}
+	return out
+}
+
 // PlanInfo reports which physical operators the planner chose — exactly
 // the information the paper concedes a query plan leaks (§2.3).
 type PlanInfo struct {

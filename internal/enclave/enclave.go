@@ -56,14 +56,57 @@ type Enclave struct {
 	tracer *trace.Tracer
 	rng    *rand.Rand
 	budget int
-	used   int
-	peak   int
-	key    []byte
-	seed   uint64
+	// used and peak are atomic so a metrics scrape can read the
+	// accountant while worker enclaves reserve concurrently; each
+	// enclave's reservations themselves stay single-goroutine.
+	used atomic.Int64
+	peak atomic.Int64
+	key  []byte
+	seed uint64
+	// io tallies sealed-block traffic through this enclave's boundary.
+	// Split workers each own their tallies; readers fold across the
+	// pool (core.DB.IOStats).
+	io IOStats
 	// tids hands out store ids for sealed-block domain separation. It is
 	// shared (and atomic) across an enclave and its Split workers so two
 	// workers never seal blocks under the same id.
 	tids *atomic.Uint32
+}
+
+// IOStats counts the sealed blocks and plaintext bytes crossing one
+// enclave's boundary to untrusted memory: blocks opened (read +
+// authenticated + decrypted) and sealed (encrypted + written). All four
+// are functions of the executed access sequence — exactly what the
+// untrusted host already observes — so they are safe to publish.
+// The counters are atomic: hot paths Add, scrapes Load.
+type IOStats struct {
+	BlocksOpened, BlocksSealed atomic.Uint64
+	BytesOpened, BytesSealed   atomic.Uint64
+}
+
+// IOSnapshot is a point-in-time copy of IOStats.
+type IOSnapshot struct {
+	BlocksOpened, BlocksSealed uint64
+	BytesOpened, BytesSealed   uint64
+}
+
+// Add folds another snapshot into this one.
+func (s *IOSnapshot) Add(o IOSnapshot) {
+	s.BlocksOpened += o.BlocksOpened
+	s.BlocksSealed += o.BlocksSealed
+	s.BytesOpened += o.BytesOpened
+	s.BytesSealed += o.BytesSealed
+}
+
+// IOStats snapshots this enclave's sealed-block I/O tallies. For a
+// parallel engine, fold the Split workers' snapshots in too.
+func (e *Enclave) IOStats() IOSnapshot {
+	return IOSnapshot{
+		BlocksOpened: e.io.BlocksOpened.Load(),
+		BlocksSealed: e.io.BlocksSealed.Load(),
+		BytesOpened:  e.io.BytesOpened.Load(),
+		BytesSealed:  e.io.BytesSealed.Load(),
+	}
 }
 
 // New creates a simulated enclave. A zero Config gets the paper's default
@@ -173,21 +216,23 @@ func (e *Enclave) Reserve(n int) error {
 	if n < 0 {
 		return fmt.Errorf("enclave: reserve of negative size %d", n)
 	}
-	if e.used+n > e.budget {
+	used := e.used.Load()
+	if used+int64(n) > int64(e.budget) {
 		return fmt.Errorf("enclave: oblivious memory exhausted: want %d bytes, %d of %d in use",
-			n, e.used, e.budget)
+			n, used, e.budget)
 	}
-	e.used += n
-	if e.used > e.peak {
-		e.peak = e.used
+	now := e.used.Add(int64(n))
+	for {
+		peak := e.peak.Load()
+		if now <= peak || e.peak.CompareAndSwap(peak, now) {
+			return nil
+		}
 	}
-	return nil
 }
 
 // Release returns n bytes of oblivious memory to the pool.
 func (e *Enclave) Release(n int) {
-	e.used -= n
-	if e.used < 0 {
+	if e.used.Add(-int64(n)) < 0 {
 		panic("enclave: release of more oblivious memory than reserved")
 	}
 }
@@ -195,13 +240,16 @@ func (e *Enclave) Release(n int) {
 // Available returns the unreserved oblivious memory in bytes. Operators
 // that "use whatever quantity of oblivious memory is made available" (§4)
 // size their buffers from this.
-func (e *Enclave) Available() int { return e.budget - e.used }
+func (e *Enclave) Available() int { return e.budget - int(e.used.Load()) }
 
 // Budget returns the total oblivious memory budget in bytes.
 func (e *Enclave) Budget() int { return e.budget }
 
+// Used returns the currently reserved oblivious memory in bytes.
+func (e *Enclave) Used() int { return int(e.used.Load()) }
+
 // PeakUsed returns the high-water mark of reserved oblivious memory.
-func (e *Enclave) PeakUsed() int { return e.peak }
+func (e *Enclave) PeakUsed() int { return int(e.peak.Load()) }
 
 // nextTableID hands out unique ids for sealed-block domain separation.
 func (e *Enclave) nextTableID() uint32 {

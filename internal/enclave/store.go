@@ -45,6 +45,8 @@ func (e *Enclave) NewStore(name string, n, blockSize int) (*Store, error) {
 	for i := range s.blocks {
 		s.blocks[i] = e.sealer.Seal(s.id, uint32(i), 0, zero)
 	}
+	e.io.BlocksSealed.Add(uint64(n))
+	e.io.BytesSealed.Add(uint64(n) * uint64(blockSize))
 	return s, nil
 }
 
@@ -73,6 +75,8 @@ func (s *Store) ReadInto(i int, dst []byte) ([]byte, error) {
 		return nil, fmt.Errorf("enclave: store %q read out of range: %d of %d", s.region.Name(), i, len(s.blocks))
 	}
 	s.enclave.tracer.Record(s.region, trace.Read, i)
+	s.enclave.io.BlocksOpened.Add(1)
+	s.enclave.io.BytesOpened.Add(uint64(s.bsize))
 	pt, err := s.enclave.sealer.OpenInto(dst, s.id, uint32(i), s.revs[i], s.blocks[i])
 	if err != nil {
 		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
@@ -100,6 +104,8 @@ func (s *Store) ReadIntoVia(via *Enclave, r trace.Region, i int, dst []byte) ([]
 		return nil, fmt.Errorf("enclave: store %q read out of range: %d of %d", s.region.Name(), i, len(s.blocks))
 	}
 	via.tracer.Record(r, trace.Read, i)
+	via.io.BlocksOpened.Add(1)
+	via.io.BytesOpened.Add(uint64(s.bsize))
 	pt, err := via.sealer.OpenInto(dst, s.id, uint32(i), s.revs[i], s.blocks[i])
 	if err != nil {
 		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
@@ -119,6 +125,8 @@ func (s *Store) Write(i int, plaintext []byte) error {
 		return fmt.Errorf("enclave: store %q write of %d bytes to %d-byte blocks", s.region.Name(), len(plaintext), s.bsize)
 	}
 	s.enclave.tracer.Record(s.region, trace.Write, i)
+	s.enclave.io.BlocksSealed.Add(1)
+	s.enclave.io.BytesSealed.Add(uint64(len(plaintext)))
 	s.revs[i]++
 	// Re-seal into the slot's existing ciphertext buffer: the sealed size
 	// is fixed, so steady-state writes (every dummy write included)
@@ -164,6 +172,8 @@ func (s *Store) WriteVia(via *Enclave, r trace.Region, i int, plaintext []byte) 
 		return fmt.Errorf("enclave: store %q write of %d bytes to %d-byte blocks", s.region.Name(), len(plaintext), s.bsize)
 	}
 	via.tracer.Record(r, trace.Write, i)
+	via.io.BlocksSealed.Add(1)
+	via.io.BytesSealed.Add(uint64(len(plaintext)))
 	s.revs[i]++
 	s.blocks[i] = via.sealer.SealTo(s.blocks[i][:0], s.id, uint32(i), s.revs[i], plaintext)
 	return nil

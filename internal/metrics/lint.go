@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// Lint checks a Prometheus text exposition for the rules this repo
+// enforces in CI:
+//
+//   - every metric family has a # HELP and a # TYPE line before its
+//     first sample;
+//   - metric and label names are snake_case ([a-z][a-z0-9_]*);
+//   - no family exceeds MaxChildren label values (the registry folds
+//     overflow into OverflowLabel, so a violation means someone bypassed
+//     it — high-cardinality labels are an operational and leakage
+//     hazard);
+//   - sample lines parse (name, optional {label="value"}, value).
+//
+// It returns one message per violation; an empty slice means the
+// exposition is clean.
+func Lint(r io.Reader) ([]string, error) {
+	var problems []string
+	help := make(map[string]bool)
+	typed := make(map[string]bool)
+	cardinality := make(map[string]map[string]bool)
+
+	sampleRe := regexp.MustCompile(`^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
+	labelRe := regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, text, _ := strings.Cut(rest, " ")
+			if strings.TrimSpace(text) == "" {
+				problems = append(problems, fmt.Sprintf("line %d: empty HELP text for %q", n, name))
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			typed[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			problems = append(problems, fmt.Sprintf("line %d: unparsable sample %q", n, line))
+			continue
+		}
+		name := m[1]
+		// Histogram series carry their family's HELP/TYPE.
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && (help[b] || typed[b]) {
+				base = b
+				break
+			}
+		}
+		if !nameRe.MatchString(name) {
+			problems = append(problems, fmt.Sprintf("line %d: metric %q is not snake_case", n, name))
+		}
+		if !help[base] {
+			problems = append(problems, fmt.Sprintf("line %d: metric %q has no # HELP", n, base))
+			help[base] = true // report once
+		}
+		if !typed[base] {
+			problems = append(problems, fmt.Sprintf("line %d: metric %q has no # TYPE", n, base))
+			typed[base] = true
+		}
+		if m[2] != "" {
+			for _, lm := range labelRe.FindAllStringSubmatch(m[2], -1) {
+				key, val := lm[1], lm[2]
+				if key == "le" {
+					continue // histogram bucket bound, unbounded by design
+				}
+				if !nameRe.MatchString(key) {
+					problems = append(problems, fmt.Sprintf("line %d: label %q is not snake_case", n, key))
+				}
+				seen := cardinality[base+"/"+key]
+				if seen == nil {
+					seen = make(map[string]bool)
+					cardinality[base+"/"+key] = seen
+				}
+				seen[val] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return problems, err
+	}
+	for _, famLabel := range sortedKeys(cardinality) {
+		if vals := cardinality[famLabel]; len(vals) > MaxChildren {
+			problems = append(problems, fmt.Sprintf(
+				"family/label %s has %d label values (max %d)", famLabel, len(vals), MaxChildren))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,503 @@
+// Package metrics is ObliDB's dependency-free telemetry registry:
+// atomic counters, gauges, and fixed-bucket histograms with Prometheus
+// text exposition and an expvar-style JSON snapshot.
+//
+// Every metric registered here is published to the untrusted host (the
+// debug listener serves /metrics over plain HTTP), so the registry is
+// leakage-audited by construction: a metric may be a function of public
+// quantities only — statement shapes, table sizes and geometry, the
+// epoch schedule, algorithm picks (conceded plan leakage, §2.3 of the
+// paper) — never of data values or query parameters. DESIGN.md §13
+// argues this per metric, and the server's obliviousness tests pin it:
+// two workloads with identical statement shapes and epoch schedules but
+// different data values must produce byte-identical expositions, which
+// is also why WriteText is fully deterministic (registration order for
+// families, sorted label values within one).
+//
+// Durations are never exported at wall-clock resolution. Latency
+// histograms observe epoch-quantized values (whole multiples of the
+// epoch interval), so the exported buckets are a function of the epoch
+// schedule, not of hardware jitter or data-dependent micro-timing.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxChildren caps the number of label values one labeled family may
+// hold. Labels here are closed sets (statement kinds, frame types,
+// algorithm names, block geometries); anything past the cap folds into
+// the "other" child rather than growing without bound — high-cardinality
+// labels are both an operational hazard and a leakage hazard (a label
+// per user-controlled string would republish that string).
+const MaxChildren = 32
+
+// OverflowLabel is the label value that absorbs children past
+// MaxChildren.
+const OverflowLabel = "other"
+
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// kind is a metric family's type.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets. The
+// bucket bounds are fixed at registration; Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    Gauge // observations are quantized, so the sum is shape-determined too
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Buckets returns the cumulative per-bucket counts, one per bound plus
+// the final +Inf bucket (which equals Count).
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	out[len(h.bounds)] = h.count.Load()
+	return out
+}
+
+// ExpBuckets returns histogram bounds {0, 1, 2, 4, ..., 2^k} with the
+// last bound ≥ max — the fixed epoch-quantized grid latency histograms
+// use. The bounds depend only on public configuration (the epoch size
+// or a constant), never on observations.
+func ExpBuckets(max int) []float64 {
+	bounds := []float64{0}
+	for b := 1; ; b *= 2 {
+		bounds = append(bounds, float64(b))
+		if b >= max {
+			return bounds
+		}
+	}
+}
+
+// family is one named metric with its children (one for unlabeled
+// metrics, one per label value for labeled ones).
+type family struct {
+	name, help string
+	kind       kind
+	label      string // "" for unlabeled
+	bounds     []float64
+
+	mu       sync.Mutex
+	children map[string]any // label value → *Counter | *Gauge | *Histogram
+
+	// Collected families are read through fn at exposition time instead
+	// of holding registered children; the value type depends on kind.
+	fnCounter    func() uint64
+	fnGauge      func() float64
+	fnCounterVec func() map[string]uint64
+	fnGaugeVec   func() map[string]float64
+}
+
+// Registry holds metric families and renders them deterministically.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register adds a family, panicking on invalid or duplicate names —
+// metric registration is programmer-controlled startup code, and a
+// typo'd catalog should fail loudly, not scrape quietly.
+func (r *Registry) register(f *family) *family {
+	if !nameRe.MatchString(f.name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q (want snake_case)", f.name))
+	}
+	if f.label != "" && !nameRe.MatchString(f.label) {
+		panic(fmt.Sprintf("metrics: invalid label name %q (want snake_case)", f.label))
+	}
+	if f.help == "" {
+		panic(fmt.Sprintf("metrics: metric %q registered without help text", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, kind: kindCounter,
+		children: map[string]any{"": c}})
+	return c
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, kind: kindGauge,
+		children: map[string]any{"": g}})
+	return g
+}
+
+// Histogram registers a histogram with the given ascending bucket upper
+// bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&family{name: name, help: help, kind: kindHistogram, bounds: bounds,
+		children: map[string]any{"": h}})
+	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %v", bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Vec is a labeled family of metrics sharing one name; With returns the
+// child for a label value, creating it on first use (capped at
+// MaxChildren, folding the excess into OverflowLabel).
+type Vec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *Vec {
+	return &Vec{r.register(&family{name: name, help: help, kind: kindCounter,
+		label: label, children: make(map[string]any)})}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *Vec {
+	return &Vec{r.register(&family{name: name, help: help, kind: kindHistogram,
+		label: label, bounds: bounds, children: make(map[string]any)})}
+}
+
+// WithCounter returns the counter child for a label value.
+func (v *Vec) WithCounter(label string) *Counter {
+	return v.child(label, func() any { return &Counter{} }).(*Counter)
+}
+
+// WithHistogram returns the histogram child for a label value.
+func (v *Vec) WithHistogram(label string) *Histogram {
+	return v.child(label, func() any { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+func (v *Vec) child(label string, mk func() any) any {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.children[label]; ok {
+		return c
+	}
+	// Reserve one slot for the overflow child so the family never
+	// exposes more than MaxChildren label values in total.
+	if len(v.f.children) >= MaxChildren-1 {
+		if c, ok := v.f.children[OverflowLabel]; ok {
+			return c
+		}
+		label = OverflowLabel
+	}
+	c := mk()
+	v.f.children[label] = c
+	return c
+}
+
+// CounterFunc registers a counter whose value is collected at
+// exposition time. Use it to publish counters owned by another layer
+// (the enclave's I/O tallies, the plan cache) without double-counting.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(&family{name: name, help: help, kind: kindCounter, fnCounter: fn})
+}
+
+// GaugeFunc registers a gauge collected at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, fnGauge: fn})
+}
+
+// CounterVecFunc registers a labeled counter family collected at
+// exposition time; fn returns the current value per label.
+func (r *Registry) CounterVecFunc(name, help, label string, fn func() map[string]uint64) {
+	r.register(&family{name: name, help: help, kind: kindCounter, label: label, fnCounterVec: fn})
+}
+
+// GaugeVecFunc registers a labeled gauge family collected at exposition
+// time.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, label: label, fnGaugeVec: fn})
+}
+
+// fmtFloat renders a float the way both expositions use: integral
+// values without an exponent or trailing zeros, so counters read as
+// counts.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedLabels returns the family's label values in exposition order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format. Output is deterministic: families in registration order,
+// label values sorted, every family preceded by # HELP and # TYPE.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var sb strings.Builder
+	for _, f := range fams {
+		sb.WriteString("# HELP ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		sb.WriteString(strings.ReplaceAll(f.help, "\n", " "))
+		sb.WriteByte('\n')
+		sb.WriteString("# TYPE ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		sb.WriteString(f.kind.String())
+		sb.WriteByte('\n')
+		f.writeText(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (f *family) writeText(sb *strings.Builder) {
+	line := func(suffix, labels string, val string) {
+		sb.WriteString(f.name)
+		sb.WriteString(suffix)
+		sb.WriteString(labels)
+		sb.WriteByte(' ')
+		sb.WriteString(val)
+		sb.WriteByte('\n')
+	}
+	labelFor := func(value string) string {
+		if f.label == "" {
+			return ""
+		}
+		return `{` + f.label + `="` + value + `"}`
+	}
+	switch {
+	case f.fnCounter != nil:
+		line("", "", strconv.FormatUint(f.fnCounter(), 10))
+	case f.fnGauge != nil:
+		line("", "", fmtFloat(f.fnGauge()))
+	case f.fnCounterVec != nil:
+		vals := f.fnCounterVec()
+		for _, k := range sortedKeys(vals) {
+			line("", labelFor(k), strconv.FormatUint(vals[k], 10))
+		}
+	case f.fnGaugeVec != nil:
+		vals := f.fnGaugeVec()
+		for _, k := range sortedKeys(vals) {
+			line("", labelFor(k), fmtFloat(vals[k]))
+		}
+	default:
+		f.mu.Lock()
+		keys := sortedKeys(f.children)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		for i, k := range keys {
+			switch c := children[i].(type) {
+			case *Counter:
+				line("", labelFor(k), strconv.FormatUint(c.Value(), 10))
+			case *Gauge:
+				line("", labelFor(k), fmtFloat(c.Value()))
+			case *Histogram:
+				cum := c.Buckets()
+				for bi, b := range f.bounds {
+					lab := `{le="` + fmtFloat(b) + `"}`
+					if f.label != "" {
+						lab = `{` + f.label + `="` + k + `",le="` + fmtFloat(b) + `"}`
+					}
+					line("_bucket", lab, strconv.FormatUint(cum[bi], 10))
+				}
+				lab := `{le="+Inf"}`
+				if f.label != "" {
+					lab = `{` + f.label + `="` + k + `",le="+Inf"}`
+				}
+				line("_bucket", lab, strconv.FormatUint(cum[len(cum)-1], 10))
+				line("_sum", labelFor(k), fmtFloat(c.sum.Value()))
+				line("_count", labelFor(k), strconv.FormatUint(c.Count(), 10))
+			}
+		}
+	}
+}
+
+// Snapshot returns the registry as a JSON-marshalable tree: metric name
+// → value (or label → value, or histogram object). The same snapshot
+// backs /debug/vars, the wire.Stats v3 extension, and the bench
+// trajectory artifact.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	out := make(map[string]any, len(fams))
+	for _, f := range fams {
+		out[f.name] = f.snapshot()
+	}
+	return out
+}
+
+func (f *family) snapshot() any {
+	switch {
+	case f.fnCounter != nil:
+		return f.fnCounter()
+	case f.fnGauge != nil:
+		return f.fnGauge()
+	case f.fnCounterVec != nil:
+		vals := f.fnCounterVec()
+		m := make(map[string]any, len(vals))
+		for k, v := range vals {
+			m[k] = v
+		}
+		return m
+	case f.fnGaugeVec != nil:
+		vals := f.fnGaugeVec()
+		m := make(map[string]any, len(vals))
+		for k, v := range vals {
+			m[k] = v
+		}
+		return m
+	}
+	f.mu.Lock()
+	keys := sortedKeys(f.children)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	one := func(c any) any {
+		switch c := c.(type) {
+		case *Counter:
+			return c.Value()
+		case *Gauge:
+			return c.Value()
+		case *Histogram:
+			cum := c.Buckets()
+			buckets := make(map[string]uint64, len(cum))
+			for i, b := range f.bounds {
+				buckets[fmtFloat(b)] = cum[i]
+			}
+			buckets["+Inf"] = cum[len(cum)-1]
+			return map[string]any{
+				"count": c.Count(), "sum": c.sum.Value(), "buckets": buckets,
+			}
+		}
+		return nil
+	}
+	if f.label == "" {
+		if len(children) == 0 {
+			return nil
+		}
+		return one(children[0])
+	}
+	m := make(map[string]any, len(keys))
+	for i, k := range keys {
+		m[k] = one(children[i])
+	}
+	return m
+}
+
+// WriteJSON renders the snapshot as indented JSON (the /debug/vars
+// body).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "operations executed")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "queue depth")
+	g.Set(3)
+	g.Add(-0.5)
+	h := r.Histogram("test_latency_epochs", "latency in epochs", []float64{0, 1, 2, 4})
+	for _, v := range []float64{0, 0, 1, 3, 9} {
+		h.Observe(v)
+	}
+	v := r.CounterVec("test_statements_total", "statements by kind", "kind")
+	v.WithCounter("select").Add(2)
+	v.WithCounter("insert").Inc()
+	r.GaugeFunc("test_collected", "collected at scrape", func() float64 { return 7 })
+	r.CounterVecFunc("test_picks_total", "algorithm picks", "algorithm",
+		func() map[string]uint64 { return map[string]uint64{"b": 2, "a": 1} })
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP test_ops_total operations executed
+# TYPE test_ops_total counter
+test_ops_total 42
+# HELP test_depth queue depth
+# TYPE test_depth gauge
+test_depth 2.5
+# HELP test_latency_epochs latency in epochs
+# TYPE test_latency_epochs histogram
+test_latency_epochs_bucket{le="0"} 2
+test_latency_epochs_bucket{le="1"} 3
+test_latency_epochs_bucket{le="2"} 3
+test_latency_epochs_bucket{le="4"} 4
+test_latency_epochs_bucket{le="+Inf"} 5
+test_latency_epochs_sum 13
+test_latency_epochs_count 5
+# HELP test_statements_total statements by kind
+# TYPE test_statements_total counter
+test_statements_total{kind="insert"} 1
+test_statements_total{kind="select"} 2
+# HELP test_collected collected at scrape
+# TYPE test_collected gauge
+test_collected 7
+# HELP test_picks_total algorithm picks
+# TYPE test_picks_total counter
+test_picks_total{algorithm="a"} 1
+test_picks_total{algorithm="b"} 2
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if problems, err := Lint(strings.NewReader(got)); err != nil || len(problems) != 0 {
+		t.Errorf("self-exposition fails lint: %v %v", problems, err)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("det_total", "determinism probe", "k")
+	for i := 0; i < 10; i++ {
+		v.WithCounter(fmt.Sprintf("k%d", i)).Add(uint64(i))
+	}
+	render := func() string {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 20; i++ {
+		if got := render(); got != first {
+			t.Fatalf("exposition not deterministic on render %d", i)
+		}
+	}
+}
+
+func TestVecCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cap_total", "cap probe", "k")
+	for i := 0; i < MaxChildren+10; i++ {
+		v.WithCounter(fmt.Sprintf("k%03d", i)).Inc()
+	}
+	other := v.WithCounter(OverflowLabel)
+	if got := other.Value(); got != 11 {
+		t.Fatalf("overflow child absorbed %d increments, want 11", got)
+	}
+	// An already-created child keeps working past the cap.
+	v.WithCounter("k001").Inc()
+	if got := v.WithCounter("k001").Value(); got != 2 {
+		t.Fatalf("existing child after cap: %d, want 2", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if problems, err := Lint(strings.NewReader(sb.String())); err != nil || len(problems) != 0 {
+		t.Errorf("capped vec fails lint: %v %v", problems, err)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "count").Add(5)
+	h := r.Histogram("snap_hist", "hist", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(5)
+	v := r.CounterVec("snap_vec_total", "vec", "kind")
+	v.WithCounter("a").Add(3)
+
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["snap_total"].(float64) != 5 {
+		t.Errorf("snap_total = %v", back["snap_total"])
+	}
+	hist := back["snap_hist"].(map[string]any)
+	if hist["count"].(float64) != 2 || hist["sum"].(float64) != 6 {
+		t.Errorf("snap_hist = %v", hist)
+	}
+	if back["snap_vec_total"].(map[string]any)["a"].(float64) != 3 {
+		t.Errorf("snap_vec_total = %v", back["snap_vec_total"])
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	for name, fn := range map[string]func(*Registry){
+		"camelCase name": func(r *Registry) { r.Counter("camelCase", "x") },
+		"empty help":     func(r *Registry) { r.Counter("ok_total", "") },
+		"duplicate":      func(r *Registry) { r.Counter("dup_total", "x"); r.Counter("dup_total", "x") },
+		"bad label":      func(r *Registry) { r.CounterVec("v_total", "x", "Kind") },
+		"bad buckets":    func(r *Registry) { r.Histogram("h_total", "x", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: registration did not panic", name)
+				}
+			}()
+			fn(NewRegistry())
+		}()
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "x")
+	h := r.Histogram("conc_hist", "x", ExpBuckets(64))
+	v := r.CounterVec("conc_vec_total", "x", "k")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 100))
+				v.WithCounter(fmt.Sprintf("k%d", w%4)).Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with writers.
+	for i := 0; i < 10; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		r.Snapshot()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("conc_total = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("conc_hist count = %d, want 8000", h.Count())
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"missing HELP": "# TYPE x_total counter\nx_total 1\n",
+		"missing TYPE": "# HELP x_total help\nx_total 1\n",
+		"camelCase":    "# HELP xTotal help\n# TYPE xTotal counter\nxTotal 1\n",
+		"bad sample":   "# HELP x_total help\n# TYPE x_total counter\nx_total\n",
+	}
+	for name, src := range cases {
+		problems, err := Lint(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(problems) == 0 {
+			t.Errorf("%s: lint found no problems in %q", name, src)
+		}
+	}
+	// High cardinality.
+	var sb strings.Builder
+	sb.WriteString("# HELP big_total help\n# TYPE big_total counter\n")
+	for i := 0; i < MaxChildren+1; i++ {
+		fmt.Fprintf(&sb, "big_total{k=\"v%d\"} 1\n", i)
+	}
+	problems, err := Lint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Error("lint missed high-cardinality label")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(8)
+	want := []float64{0, 1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets(8) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets(8) = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Command promlint lints a Prometheus text exposition read from stdin
+// against the repo's rules (HELP/TYPE present, snake_case names, no
+// high-cardinality labels). CI pipes a scrape of the server's /metrics
+// endpoint through it; exit status 1 means violations were found.
+//
+//	curl -fsS http://127.0.0.1:7745/metrics | go run ./internal/metrics/promlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"oblidb/internal/metrics"
+)
+
+func main() {
+	problems, err := metrics.Lint(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d violation(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition clean")
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugHandler returns the server's debug mux:
+//
+//	/metrics       Prometheus text exposition of the metric catalog
+//	/debug/vars    the same registry as an expvar-style JSON snapshot
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Everything served here is either the leakage-audited registry
+// (DESIGN.md §13) or process-level profiling data; bind it to loopback
+// or an operator network, not the client port. The handlers are
+// registered on a private mux — importing net/http/pprof's side-effect
+// registration on http.DefaultServeMux is deliberately avoided.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.m.reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.m.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug HTTP listener on addr ("host:port") and
+// returns its bound address (useful with ":0"). The listener is owned
+// by the server and shut down by Close.
+func (s *Server) ServeDebug(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.DebugHandler(), ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return nil, errClosed
+	}
+	s.debugLis = lis
+	s.mu.Unlock()
+	s.log.Info("debug listener started", "addr", lis.Addr().String())
+	go hs.Serve(lis)
+	return lis.Addr(), nil
+}

@@ -25,6 +25,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -70,8 +72,16 @@ type Config struct {
 	// Tracer, if non-nil, records one event per executed statement slot
 	// so tests can assert the observable stream is client-independent.
 	Tracer *trace.Tracer
-	// Logf, if non-nil, receives serving diagnostics.
-	Logf func(format string, args ...any)
+	// Logger, if non-nil, receives structured serving diagnostics:
+	// connection lifecycle, epoch summaries (at Debug level), and the
+	// slow-statement log. Log lines carry statement *shapes* — the
+	// literal-free rendering of sql.Shape — never statement literals or
+	// argument values. Nil discards everything.
+	Logger *slog.Logger
+	// SlowStatementEpochs is the latency threshold, in whole epochs
+	// waited between submission and execution, at or above which a
+	// statement counts as slow and is logged by shape (default 8).
+	SlowStatementEpochs int
 }
 
 // padTable is the server-owned table the default dummy statement reads.
@@ -86,25 +96,27 @@ type Server struct {
 	jobs  chan *job
 	quit  chan struct{}
 	done  chan struct{}
+	m     *serverMetrics
+	log   *slog.Logger
 
 	slotRegion trace.Region
 
-	mu         sync.Mutex
-	lis        net.Listener
-	sessions   map[*session]struct{}
-	closed     bool
-	start      time.Time
-	epochCount uint64
+	mu       sync.Mutex
+	lis      net.Listener
+	debugLis net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+	start    time.Time
 	// epochs holds the observable per-epoch slot counts for trace
 	// assertions. It is recorded only when a Tracer is configured: a
 	// production server at a 5ms cadence would otherwise grow it
 	// forever.
-	epochs  []int
-	real    uint64
-	dummies uint64
+	epochs []int
 
 	epochMu sync.Mutex // serializes runEpoch across scheduler/RunEpoch/Close
 }
+
+var errClosed = fmt.Errorf("server: already closed")
 
 // job is one client statement waiting for an epoch slot, with the
 // arguments bound to its placeholders (nil for unparameterized
@@ -116,6 +128,10 @@ type job struct {
 	id   uint32
 	prep *sql.Prepared
 	args []table.Value
+	// submitEpoch is the epoch count at submission; the difference to
+	// the executing epoch is the statement's latency in whole epochs —
+	// the only latency resolution the server ever publishes.
+	submitEpoch uint64
 }
 
 // New opens an engine and starts the epoch scheduler. The server is
@@ -131,6 +147,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 4096
 	}
+	if cfg.SlowStatementEpochs <= 0 {
+		cfg.SlowStatementEpochs = 8
+	}
 	db, err := core.Open(cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -145,6 +164,11 @@ func New(cfg Config) (*Server, error) {
 		sessions: make(map[*session]struct{}),
 		start:    time.Now(),
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.m = newServerMetrics(s)
 	if cfg.Tracer != nil {
 		s.slotRegion = cfg.Tracer.Region("server.epochs")
 	}
@@ -167,6 +191,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: dummy statement has %d placeholder(s); it must be self-contained", n)
 	}
 	go s.schedule()
+	s.log.Info("server started",
+		"epoch_size", cfg.EpochSize, "epoch_interval", cfg.EpochInterval,
+		"workers", cfg.Workers, "manual", cfg.Manual)
 	return s, nil
 }
 
@@ -210,6 +237,7 @@ func (s *Server) schedule() {
 func (s *Server) RunEpoch() {
 	s.epochMu.Lock()
 	defer s.epochMu.Unlock()
+	epochStart := time.Now()
 	size := s.cfg.EpochSize
 	batch := make([]*job, 0, size)
 collect:
@@ -255,14 +283,23 @@ collect:
 		close(slots)
 		wg.Wait()
 	}
-	s.mu.Lock()
-	s.epochCount++
 	if s.cfg.Tracer != nil {
+		s.mu.Lock()
 		s.epochs = append(s.epochs, size)
+		s.mu.Unlock()
 	}
-	s.real += uint64(len(batch))
-	s.dummies += uint64(size - len(batch))
-	s.mu.Unlock()
+	s.m.occupancy.Observe(float64(len(batch)))
+	s.m.realTotal.Add(uint64(len(batch)))
+	s.m.dummyTotal.Add(uint64(size - len(batch)))
+	// Epoch duration is published only at epoch-interval resolution:
+	// the histogram observes whole intervals elapsed, so its buckets
+	// are a function of the epoch schedule, not of micro-timing.
+	s.m.epochDuration.Observe(float64(time.Since(epochStart) / s.cfg.EpochInterval))
+	// Incremented last, under epochMu: a statement submitted during
+	// epoch N observes submitEpoch ≥ N, never a half-counted epoch.
+	s.m.epochsTotal.Inc()
+	s.log.Debug("epoch complete",
+		"epoch", s.m.epochsTotal.Value(), "real", len(batch), "dummies", size-len(batch))
 }
 
 // executeSlot runs one epoch slot: a queued statement (answered to its
@@ -272,10 +309,23 @@ func (s *Server) executeSlot(slot int, batch []*job) {
 		j := batch[slot]
 		res, err := j.prep.Exec(j.args)
 		j.sess.reply(j.id, res, err)
+		kind := j.prep.Kind()
+		s.m.statements.WithCounter(kind).Inc()
+		// Latency in whole epochs waited: epochs completed since the
+		// statement was submitted. Epoch-schedule-derived, no wall clock.
+		waited := s.m.epochsTotal.Value() - j.submitEpoch
+		s.m.latency.WithHistogram(kind).Observe(float64(waited))
+		if waited >= uint64(s.cfg.SlowStatementEpochs) {
+			s.m.slowTotal.Inc()
+			// The shape is literal-free (sql.Shape): argument values and
+			// statement literals never reach a log line.
+			s.log.Warn("slow statement",
+				"shape", j.prep.Shape(), "kind", kind, "epochs_waited", waited)
+		}
 		return
 	}
-	if _, err := s.dummy.Exec(nil); err != nil && s.cfg.Logf != nil {
-		s.cfg.Logf("server: dummy statement failed: %v", err)
+	if _, err := s.dummy.Exec(nil); err != nil {
+		s.log.Error("dummy statement failed", "err", err)
 	}
 }
 
@@ -344,6 +394,7 @@ func (s *Server) dropSession(sess *session) {
 // blocks for back-pressure when the queue is full and fails once the
 // server is shutting down.
 func (s *Server) submit(j *job) error {
+	j.submitEpoch = s.m.epochsTotal.Value()
 	select {
 	case <-s.quit:
 		return fmt.Errorf("server: shutting down")
@@ -363,10 +414,15 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	lis := s.lis
+	debugLis := s.debugLis
 	s.mu.Unlock()
 	if lis != nil {
 		lis.Close()
 	}
+	if debugLis != nil {
+		debugLis.Close()
+	}
+	s.log.Info("server stopping")
 	close(s.quit)
 	if s.cfg.Manual {
 		// Manual mode: flush on the caller's goroutine.
@@ -400,18 +456,20 @@ func (s *Server) Close() error {
 func (s *Server) Pending() int { return len(s.jobs) }
 
 // Stats reports the server's public counters, including the SQL layer's
-// plan-cache counters and the engine's per-algorithm pick tallies (plan
-// choices are already-conceded leakage, §2.3).
+// plan-cache counters, the engine's per-algorithm pick tallies (plan
+// choices are already-conceded leakage, §2.3), and — as the v3
+// MetricsJSON extension — the full metric-registry snapshot.
 func (s *Server) Stats() wire.Stats {
 	cache := s.exec.CacheStats()
 	picks := enginePicks(s.db.PlanStats())
+	metricsJSON := s.metricsJSON()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return wire.Stats{
-		Epochs:       s.epochCount,
+		Epochs:       s.m.epochsTotal.Value(),
 		EpochSize:    uint32(s.cfg.EpochSize),
-		Real:         s.real,
-		Dummy:        s.dummies,
+		Real:         s.m.realTotal.Value(),
+		Dummy:        s.m.dummyTotal.Value(),
 		Sessions:     uint32(len(s.sessions)),
 		UptimeMillis: uint64(time.Since(s.start) / time.Millisecond),
 
@@ -421,6 +479,8 @@ func (s *Server) Stats() wire.Stats {
 		PlanCompiles:     cache.Compiles,
 		PlanCompileSkips: cache.CompileSkips,
 		Picks:            picks,
+
+		MetricsJSON: metricsJSON,
 	}
 }
 

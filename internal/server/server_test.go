@@ -367,7 +367,7 @@ func TestOrderLimitAndExplainServed(t *testing.T) {
 		}
 	}
 
-	st, err := c.Stats()
+	st, err := c.ServerStats()
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}

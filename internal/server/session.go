@@ -54,6 +54,8 @@ func newSession(s *Server, conn net.Conn) *session {
 // serve runs the reader loop until the connection drops or the server
 // closes it.
 func (ss *session) serve() {
+	ss.srv.log.Info("session connected", "remote", ss.conn.RemoteAddr().String())
+	defer ss.srv.log.Info("session closed", "remote", ss.conn.RemoteAddr().String())
 	defer ss.srv.dropSession(ss)
 	defer ss.close()
 	defer close(ss.readDone)
@@ -63,16 +65,28 @@ func (ss *session) serve() {
 		if err != nil {
 			return
 		}
+		ss.srv.m.bytesIn.Add(uint64(len(payload)) + 4)
 		req, err := wire.DecodeRequest(payload)
 		if err != nil {
 			// Undecodable frame: the stream is unsynchronized, drop it.
-			if ss.srv.cfg.Logf != nil {
-				ss.srv.cfg.Logf("server: bad frame from %s: %v", ss.conn.RemoteAddr(), err)
-			}
+			ss.srv.m.framesIn.WithCounter("unknown").Inc()
+			ss.srv.log.Warn("bad frame", "remote", ss.conn.RemoteAddr().String(), "err", err)
 			return
 		}
+		ss.srv.m.framesIn.WithCounter(frameTypeName(req.Type)).Inc()
 		ss.handle(req)
 	}
+}
+
+// writeResp encodes and writes one response frame, counting it.
+func (ss *session) writeResp(r *wire.Response) error {
+	payload := wire.EncodeResponse(r)
+	if err := wire.WriteFrame(ss.conn, payload); err != nil {
+		return err
+	}
+	ss.srv.m.framesOut.WithCounter(frameTypeName(r.Type)).Inc()
+	ss.srv.m.bytesOut.Add(uint64(len(payload)) + 4)
+	return nil
 }
 
 // writer drains the out channel onto the socket. After the reader
@@ -81,7 +95,7 @@ func (ss *session) writer() {
 	for {
 		select {
 		case r := <-ss.out:
-			if err := wire.WriteFrame(ss.conn, wire.EncodeResponse(r)); err != nil {
+			if err := ss.writeResp(r); err != nil {
 				ss.close()
 				return
 			}
@@ -89,7 +103,7 @@ func (ss *session) writer() {
 			for {
 				select {
 				case r := <-ss.out:
-					if err := wire.WriteFrame(ss.conn, wire.EncodeResponse(r)); err != nil {
+					if err := ss.writeResp(r); err != nil {
 						return
 					}
 				default:
@@ -209,9 +223,7 @@ func (ss *session) send(r *wire.Response) {
 	select {
 	case ss.out <- r:
 	default:
-		if ss.srv.cfg.Logf != nil {
-			ss.srv.cfg.Logf("server: dropping slow client %s", ss.conn.RemoteAddr())
-		}
+		ss.srv.log.Warn("dropping slow client", "remote", ss.conn.RemoteAddr().String())
 		ss.close()
 	}
 }

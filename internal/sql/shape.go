@@ -1,0 +1,65 @@
+package sql
+
+import "strings"
+
+// Shape returns a literal-free rendering of a statement's text: the
+// token stream with every number and string literal replaced by a ?
+// placeholder. It is what observability surfaces (the slow-statement
+// log, per-shape tallies) may publish — the shape is exactly the
+// information the plan cache already keys on and the paper concedes as
+// plan leakage (§2.3), while the elided literals are the private values
+// the engine promises to hide. Unlexable input collapses to "?".
+func Shape(src string) string {
+	toks, err := lex(src)
+	if err != nil {
+		return "?"
+	}
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.kind {
+		case tokNumber, tokString:
+			parts = append(parts, "?")
+		case tokParam:
+			parts = append(parts, "$"+t.text)
+		default:
+			if t.text == "" { // the trailing EOF token
+				continue
+			}
+			parts = append(parts, t.text)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// KindOf names a statement's kind for per-kind telemetry. The result
+// set is closed (one label value per AST node type), so it is safe as
+// a metric label.
+func KindOf(stmt Statement) string {
+	switch stmt.(type) {
+	case *Select:
+		return "select"
+	case *Insert:
+		return "insert"
+	case *Update:
+		return "update"
+	case *Delete:
+		return "delete"
+	case *CreateTable:
+		return "create_table"
+	case *DropTable:
+		return "drop_table"
+	case *Explain:
+		return "explain"
+	}
+	return "other"
+}
+
+// Shape returns the prepared statement's literal-free shape (see the
+// package-level Shape). The canonical String rendering is re-lexed so
+// literals in one-shot statements never reach a log line.
+func (p *Prepared) Shape() string {
+	return Shape(p.entry.stmt.(interface{ String() string }).String())
+}
+
+// Kind names the prepared statement's kind (see KindOf).
+func (p *Prepared) Kind() string { return KindOf(p.entry.stmt) }

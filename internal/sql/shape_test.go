@@ -1,0 +1,74 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeElidesLiterals(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"SELECT name FROM t WHERE id = 42", "SELECT name FROM t WHERE id = ?"},
+		{"INSERT INTO t VALUES (1, 'secret')", "INSERT INTO t VALUES ( ? , ? )"},
+		{"SELECT * FROM t WHERE v = $1", "SELECT * FROM t WHERE v = $1"},
+		{"SELECT * FROM t WHERE v = ? AND w = 3.5", "SELECT * FROM t WHERE v = ? AND w = ?"},
+	}
+	for _, c := range cases {
+		if got := Shape(c.src); got != c.want {
+			t.Errorf("Shape(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+	// No literal survives, whatever the spelling.
+	for _, src := range []string{
+		"SELECT * FROM t WHERE name = 'alice'",
+		"UPDATE t SET v = 987654 WHERE id = 42",
+	} {
+		shape := Shape(src)
+		for _, leak := range []string{"alice", "987654", "42"} {
+			if strings.Contains(shape, leak) {
+				t.Errorf("Shape(%q) = %q leaks %q", src, shape, leak)
+			}
+		}
+	}
+	if got := Shape("SELECT ' unterminated"); got != "?" {
+		t.Errorf("Shape of unlexable input = %q, want %q", got, "?")
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	cases := map[string]string{
+		"SELECT * FROM t":             "select",
+		"INSERT INTO t VALUES (1)":    "insert",
+		"UPDATE t SET v = 1":          "update",
+		"DELETE FROM t":               "delete",
+		"CREATE TABLE t (id INTEGER)": "create_table",
+		"DROP TABLE t":                "drop_table",
+		"EXPLAIN SELECT * FROM t":     "explain",
+	}
+	for src, want := range cases {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if got := KindOf(stmt); got != want {
+			t.Errorf("KindOf(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestPreparedShape(t *testing.T) {
+	x := New(nil)
+	p, err := x.Prepare("SELECT name FROM t WHERE id = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := p.Shape()
+	if strings.Contains(shape, "7") {
+		t.Errorf("Prepared.Shape() = %q leaks the literal", shape)
+	}
+	if !strings.Contains(shape, "?") {
+		t.Errorf("Prepared.Shape() = %q has no placeholder", shape)
+	}
+	if p.Kind() != "select" {
+		t.Errorf("Prepared.Kind() = %q", p.Kind())
+	}
+}

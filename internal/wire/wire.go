@@ -105,6 +105,13 @@ type Stats struct {
 	// Picks tallies runtime operator-algorithm decisions, e.g.
 	// "select.Hash" or "join.Opaque" or "sort", sorted by name.
 	Picks []AlgPick
+
+	// MetricsJSON is the server's full metrics snapshot, JSON-encoded
+	// (a v3 extension; v1/v2 frames decode with ""). It carries the
+	// same leakage-audited registry the /metrics endpoint exposes, so a
+	// client behind a firewall still gets the whole catalog through the
+	// protocol it already speaks.
+	MetricsJSON string
 }
 
 // AlgPick is one operator-algorithm tally of Stats.Picks.
@@ -324,6 +331,8 @@ func EncodeResponse(r *Response) []byte {
 			e.str(p.Name)
 			e.u64(p.Count)
 		}
+		// v3 extension: the full metrics snapshot as JSON.
+		e.str(r.Stats.MetricsJSON)
 	}
 	return e.b
 }
@@ -372,6 +381,11 @@ func DecodeResponse(payload []byte) (*Response, error) {
 				if d.err == nil {
 					r.Stats.Picks = picks
 				}
+			}
+			// Protocol v2 ended here; the remainder is the v3 metrics
+			// snapshot.
+			if d.err == nil && len(d.b) > 0 {
+				r.Stats.MetricsJSON = d.str()
 			}
 		}
 	default:

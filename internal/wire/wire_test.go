@@ -183,3 +183,65 @@ func TestLegacyStatsFrameDecodes(t *testing.T) {
 		t.Fatalf("v1 frame grew plan fields: %+v", resp.Stats)
 	}
 }
+
+// TestStatsFrameVersionMatrix pins the three TStatsResult generations
+// against golden frames: a v3 frame round-trips MetricsJSON, a v2 frame
+// (ending after the picks) decodes with MetricsJSON empty, and a v1
+// frame (ending after UptimeMillis) decodes with every extension
+// zeroed. Encoding v3 then truncating at the documented boundaries
+// reproduces exactly what a v2 or v1 peer would have sent, so the
+// truncation points themselves are part of the pin.
+func TestStatsFrameVersionMatrix(t *testing.T) {
+	full := &Response{Type: TStatsResult, ID: 9, Stats: Stats{
+		Epochs: 10, EpochSize: 8, Real: 3, Dummy: 77, Sessions: 2, UptimeMillis: 1234,
+		PlanEntries: 4, PlanHits: 20, PlanMisses: 5, PlanCompiles: 6, PlanCompileSkips: 14,
+		Picks:       []AlgPick{{Name: "select.Hash", Count: 7}, {Name: "sort", Count: 3}},
+		MetricsJSON: `{"oblidb_epochs_total":10}`,
+	}}
+	payload := EncodeResponse(full)
+
+	// v1 boundary: type+id (5) + u64 + u32 + u64 + u64 + u32 + u64.
+	v1End := 5 + 8 + 4 + 8 + 8 + 4 + 8
+	// v2 boundary: v1 + plan counters (u32 + 4×u64) + picks (uvarint
+	// count, then per pick a uvarint-length name and a u64 count).
+	v2End := v1End + 4 + 4*8 + 1
+	for _, p := range full.Stats.Picks {
+		v2End += 1 + len(p.Name) + 8
+	}
+
+	// v3: full round-trip.
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("v3 frame: %v", err)
+	}
+	if resp.Stats.MetricsJSON != full.Stats.MetricsJSON {
+		t.Fatalf("v3 MetricsJSON = %q, want %q", resp.Stats.MetricsJSON, full.Stats.MetricsJSON)
+	}
+	if len(resp.Stats.Picks) != 2 || resp.Stats.Picks[0].Name != "select.Hash" {
+		t.Fatalf("v3 picks = %+v", resp.Stats.Picks)
+	}
+
+	// v2: same header and plan fields, no metrics.
+	resp, err = DecodeResponse(payload[:v2End])
+	if err != nil {
+		t.Fatalf("v2 frame: %v", err)
+	}
+	if resp.Stats.PlanHits != 20 || len(resp.Stats.Picks) != 2 {
+		t.Fatalf("v2 frame lost plan fields: %+v", resp.Stats)
+	}
+	if resp.Stats.MetricsJSON != "" {
+		t.Fatalf("v2 frame grew MetricsJSON %q", resp.Stats.MetricsJSON)
+	}
+
+	// v1: header only.
+	resp, err = DecodeResponse(payload[:v1End])
+	if err != nil {
+		t.Fatalf("v1 frame: %v", err)
+	}
+	if resp.Stats.Epochs != 10 || resp.Stats.Dummy != 77 || resp.Stats.UptimeMillis != 1234 {
+		t.Fatalf("v1 frame decoded to %+v", resp.Stats)
+	}
+	if resp.Stats.PlanEntries != 0 || resp.Stats.Picks != nil || resp.Stats.MetricsJSON != "" {
+		t.Fatalf("v1 frame grew extensions: %+v", resp.Stats)
+	}
+}

@@ -315,6 +315,41 @@ func (c *Conn) sendClose(handle uint32) error {
 	return nil
 }
 
+// txControl round-trips one empty-body transaction frame.
+func (c *Conn) txControl(ctx context.Context, t byte) (*Result, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Type: t})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.TResult {
+		return nil, fmt.Errorf("oblidb client: unexpected response type %d", resp.Type)
+	}
+	return resp.Result, nil
+}
+
+// Begin opens a transaction on this connection's session. Writes issued
+// until Commit are deferred server-side (they acknowledge 0 affected
+// rows immediately); reads keep executing against the pre-transaction
+// snapshot. A connection has at most one open transaction.
+func (c *Conn) Begin(ctx context.Context) error {
+	_, err := c.txControl(ctx, wire.TBegin)
+	return err
+}
+
+// Commit applies the transaction's deferred writes atomically in one
+// epoch slot — and, when the server journals, as one durable commit.
+// The result's single cell is the transaction's total affected-row
+// count.
+func (c *Conn) Commit(ctx context.Context) (*Result, error) {
+	return c.txControl(ctx, wire.TCommit)
+}
+
+// Rollback discards the transaction's deferred writes.
+func (c *Conn) Rollback(ctx context.Context) error {
+	_, err := c.txControl(ctx, wire.TRollback)
+	return err
+}
+
 // ServerStats fetches the server's public counters, including (from v3
 // servers) the full metrics snapshot in Stats.MetricsJSON.
 func (c *Conn) ServerStats() (Stats, error) {

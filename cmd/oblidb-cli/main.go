@@ -60,6 +60,7 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 	var db *core.DB
 	var exec *sql.Executor
 	var conn *client.Conn
+	var tx sql.TxState // embedded mode; in connect mode the server owns it
 	localPrepared := make(map[string]*sql.Prepared)
 	remotePrepared := make(map[string]*client.Stmt)
 
@@ -195,7 +196,7 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 					fmt.Fprintf(out, "error: no prepared statement %q (use \\prepare)\n", name)
 					continue
 				}
-				res, err := st.Exec(args)
+				res, err := routeLocal(exec, &tx, st, args)
 				if err != nil {
 					fmt.Fprintln(out, "error:", err)
 					continue
@@ -282,7 +283,7 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 			}
 		} else {
 			var res *core.Result
-			if res, err = exec.Execute(line); err == nil && res != nil {
+			if res, err = runLocal(exec, &tx, line); err == nil && res != nil {
 				cols, rows = res.Cols, res.Rows
 			}
 		}
@@ -303,6 +304,66 @@ func run(in io.Reader, out io.Writer, memory, pad int, showTime bool, connect st
 			}
 		}
 	}
+}
+
+// runLocal executes one statement line in the embedded engine,
+// honoring the shell's transaction state.
+func runLocal(x *sql.Executor, tx *sql.TxState, line string) (*core.Result, error) {
+	prep, err := x.PrepareOneShot(line)
+	if err != nil {
+		return nil, err
+	}
+	if prep.NumParams() > 0 {
+		return nil, fmt.Errorf("statement has parameters; use \\prepare and \\exec")
+	}
+	return routeLocal(x, tx, prep, nil)
+}
+
+// routeLocal dispatches one prepared statement through the shell's
+// transaction state: BEGIN/COMMIT/ROLLBACK drive the state, writes
+// inside an open transaction are buffered until COMMIT (acknowledging
+// 0 affected rows now), and reads run immediately against the
+// pre-transaction snapshot.
+func routeLocal(x *sql.Executor, tx *sql.TxState, prep *sql.Prepared, args []table.Value) (*core.Result, error) {
+	stmt := prep.Stmt()
+	switch {
+	case sql.IsBegin(stmt):
+		if err := tx.Begin(); err != nil {
+			return nil, err
+		}
+		return ackResult(), nil
+	case sql.IsCommit(stmt):
+		items, err := tx.Take()
+		if err != nil {
+			return nil, err
+		}
+		return x.ExecTx(items)
+	case sql.IsRollback(stmt):
+		if err := tx.Rollback(); err != nil {
+			return nil, err
+		}
+		return ackResult(), nil
+	case tx.Active() && sql.IsDDL(stmt):
+		return nil, fmt.Errorf("DDL cannot run inside a transaction")
+	case tx.Active() && sql.IsWrite(stmt):
+		if len(args) != prep.NumParams() {
+			return nil, fmt.Errorf("statement has %d parameter(s), got %d argument(s)",
+				prep.NumParams(), len(args))
+		}
+		if err := tx.Buffer(prep, args); err != nil {
+			return nil, err
+		}
+		return ackResult(), nil
+	default:
+		return prep.Exec(args)
+	}
+}
+
+// ackResult is the zero-affected acknowledgment for statements the
+// transaction state absorbs.
+func ackResult() *core.Result {
+	return &core.Result{Cols: []string{"affected"},
+		Rows: []table.Row{{table.Int(0)}}, Affected: true}
 }
 
 // printMetricsJSON renders a server's metrics snapshot (the wire.Stats

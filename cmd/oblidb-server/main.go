@@ -8,6 +8,16 @@
 //	$ oblidb-server -addr :7744 -epoch-size 8 -epoch-interval 5ms
 //	$ oblidb-cli -connect localhost:7744
 //
+// With -wal the server journals every committed mutation to a sealed
+// write-ahead log and replays it on startup, so a kill -9 (or power
+// loss, with -wal-sync) loses no acknowledged commit:
+//
+//	$ oblidb-server -addr :7744 -wal /var/lib/oblidb/oblidb.wal
+//
+// The journal's sealing key is read from -wal-key (hex, one line),
+// generated on first use. Keep the key file as safe as the journal is
+// sensitive: together they are the database.
+//
 // Flags tune the enclave (-memory, -pad) exactly as in oblidb-cli.
 // With -debug-addr the server also serves /metrics (Prometheus text),
 // /debug/vars (JSON snapshot), and /debug/pprof/* on a separate
@@ -15,17 +25,21 @@
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"oblidb/internal/core"
+	"oblidb/internal/crypt"
 	"oblidb/internal/server"
+	"oblidb/internal/wal"
 )
 
 func main() {
@@ -38,6 +52,10 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "intra-query worker pool size (-1 = GOMAXPROCS, 1 = serial)")
 	workers := flag.Int("workers", 1, "epoch slots executed concurrently (1 = serial)")
 	slowEpochs := flag.Int("slow-epochs", 0, "log statements that wait at least this many epochs, by literal-free shape (0 = default 8)")
+	walPath := flag.String("wal", "", "write-ahead log file; replayed on startup, journaled while serving (empty = no durability)")
+	walKeyPath := flag.String("wal-key", "", "journal sealing key file, hex (default <wal>.key; created if missing)")
+	walSync := flag.Bool("wal-sync", true, "fsync the journal on every commit")
+	walCheckpointBytes := flag.Int64("wal-checkpoint-bytes", 64<<20, "compact the journal once it exceeds this size (0 = never)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	quiet := flag.Bool("quiet", false, "suppress serving diagnostics")
 	flag.Parse()
@@ -56,6 +74,29 @@ func main() {
 		logDst = io.Discard
 	}
 	logger := slog.New(slog.NewTextHandler(logDst, &slog.HandlerOptions{Level: level}))
+
+	var journal *wal.Log
+	if *walPath != "" {
+		keyPath := *walKeyPath
+		if keyPath == "" {
+			keyPath = *walPath + ".key"
+		}
+		key, err := loadWALKey(keyPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oblidb-server:", err)
+			os.Exit(1)
+		}
+		journal, err = wal.Open(*walPath, key, wal.Options{
+			Sync:                *walSync,
+			AutoCheckpointBytes: *walCheckpointBytes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oblidb-server:", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+	}
+
 	srv, err := server.New(server.Config{
 		Engine:              engine,
 		EpochSize:           *epochSize,
@@ -63,6 +104,7 @@ func main() {
 		Workers:             *workers,
 		Logger:              logger,
 		SlowStatementEpochs: *slowEpochs,
+		WAL:                 journal,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oblidb-server:", err)
@@ -92,4 +134,30 @@ func main() {
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr, "oblidb-server: %d epochs, %d real + %d dummy statements, up %s\n",
 		st.Epochs, st.Real, st.Dummy, time.Duration(st.UptimeMillis)*time.Millisecond)
+}
+
+// loadWALKey reads the journal sealing key (hex, one line) from path,
+// generating and writing a fresh one (mode 0600) on first use.
+func loadWALKey(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		key := crypt.NewRandomKey()
+		line := hex.EncodeToString(key) + "\n"
+		if err := os.WriteFile(path, []byte(line), 0o600); err != nil {
+			return nil, fmt.Errorf("writing new key file: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "oblidb-server: generated journal key %s\n", path)
+		return key, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading key file: %w", err)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("key file %s: %w", path, err)
+	}
+	if len(key) != crypt.KeySize {
+		return nil, fmt.Errorf("key file %s: want %d key bytes, got %d", path, crypt.KeySize, len(key))
+	}
+	return key, nil
 }

@@ -25,8 +25,16 @@
 // encrypted channel) and cannot influence the query plan or any
 // host-observable access pattern.
 //
-// Unsupported database/sql features: transactions (Begin errors — the
-// engine executes single statements), named parameters, and
+// Transactions are supported through the standard Tx API and are
+// *deferred*: INSERT/UPDATE/DELETE issued on the Tx are buffered (each
+// reports 0 affected rows) and applied atomically at Commit — in one
+// epoch slot server-side, and as one durable journal commit when the
+// server runs with -wal. Queries on the Tx see the pre-transaction
+// snapshot, not the buffered writes; DDL cannot run inside a
+// transaction. Only the default and serializable isolation levels are
+// accepted.
+//
+// Unsupported database/sql features: named parameters and
 // LastInsertId.
 package driver
 
@@ -50,8 +58,11 @@ func init() {
 	sql.Register("oblidb", &Driver{})
 }
 
-// ErrNoTransactions is returned by Begin: the engine executes single
-// statements; there is no multi-statement transaction layer.
+// ErrNoTransactions is no longer returned: the driver supports
+// deferred transactions through the standard Tx API.
+//
+// Deprecated: kept only so existing code comparing against it still
+// compiles.
 var ErrNoTransactions = errors.New("oblidb driver: transactions are not supported")
 
 // Driver is the database/sql driver. The zero value is ready to use;
@@ -123,13 +134,17 @@ func (c *memConnector) Connect(ctx context.Context) (driver.Conn, error) {
 func (c *memConnector) Driver() driver.Driver { return c.drv }
 
 // memConn is one pooled handle onto the shared in-process engine.
+// database/sql pins a connection for the life of a Tx, so the deferred
+// transaction state lives here.
 type memConn struct {
 	exec   *sqlexec.Executor
+	tx     sqlexec.TxState
 	closed bool
 }
 
 var _ driver.Conn = (*memConn)(nil)
 var _ driver.ConnPrepareContext = (*memConn)(nil)
+var _ driver.ConnBeginTx = (*memConn)(nil)
 var _ driver.ExecerContext = (*memConn)(nil)
 var _ driver.QueryerContext = (*memConn)(nil)
 var _ driver.Pinger = (*memConn)(nil)
@@ -179,7 +194,47 @@ func (c *memConn) run(ctx context.Context, query string, args []driver.NamedValu
 	if err != nil {
 		return nil, err
 	}
+	if c.tx.Active() {
+		prep, err := c.exec.Prepare(query)
+		if err != nil {
+			return nil, err
+		}
+		return c.routeTx(prep, vals)
+	}
 	return c.exec.ExecuteArgs(query, vals)
+}
+
+// routeTx executes one statement issued while this connection's
+// transaction is open: writes are buffered until Commit (each
+// acknowledging 0 affected rows), reads run immediately against the
+// pre-transaction snapshot, and statements that cannot ride a deferred
+// transaction are rejected.
+func (c *memConn) routeTx(prep *sqlexec.Prepared, vals []table.Value) (*core.Result, error) {
+	stmt := prep.Stmt()
+	switch {
+	case sqlexec.IsTxControl(stmt):
+		return nil, errors.New("oblidb driver: use the database/sql Tx API for transaction control")
+	case sqlexec.IsDDL(stmt):
+		return nil, errors.New("oblidb driver: DDL cannot run inside a transaction")
+	case sqlexec.IsWrite(stmt):
+		if len(vals) != prep.NumParams() {
+			return nil, fmt.Errorf("oblidb driver: statement has %d parameter(s), got %d argument(s)",
+				prep.NumParams(), len(vals))
+		}
+		if err := c.tx.Buffer(prep, vals); err != nil {
+			return nil, err
+		}
+		return deferredAck(), nil
+	default:
+		return prep.Exec(vals)
+	}
+}
+
+// deferredAck is the result a buffered write reports: 0 affected rows
+// now, with the transaction's total surfacing at Commit.
+func deferredAck() *core.Result {
+	return &core.Result{Cols: []string{"affected"},
+		Rows: []table.Row{{table.Int(0)}}, Affected: true}
 }
 
 func (c *memConn) Ping(ctx context.Context) error {
@@ -189,7 +244,41 @@ func (c *memConn) Ping(ctx context.Context) error {
 	return ctx.Err()
 }
 
-func (c *memConn) Begin() (driver.Tx, error) { return nil, ErrNoTransactions }
+func (c *memConn) Begin() (driver.Tx, error) {
+	return c.BeginTx(context.Background(), driver.TxOptions{})
+}
+
+func (c *memConn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	if c.closed {
+		return nil, driver.ErrBadConn
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := checkTxOptions(opts); err != nil {
+		return nil, err
+	}
+	if err := c.tx.Begin(); err != nil {
+		return nil, err
+	}
+	return &memTx{conn: c}, nil
+}
+
+// memTx commits or discards the connection's buffered writes.
+type memTx struct{ conn *memConn }
+
+var _ driver.Tx = (*memTx)(nil)
+
+func (t *memTx) Commit() error {
+	items, err := t.conn.tx.Take()
+	if err != nil {
+		return err
+	}
+	_, err = t.conn.exec.ExecTx(items)
+	return err
+}
+
+func (t *memTx) Rollback() error { return t.conn.tx.Rollback() }
 
 func (c *memConn) Close() error {
 	// The engine is owned by the connector (shared by the pool); closing
@@ -225,6 +314,9 @@ func (s *memStmt) run(ctx context.Context, vals []table.Value) (*core.Result, er
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if s.conn.tx.Active() {
+		return s.conn.routeTx(s.prep, vals)
 	}
 	return s.prep.Exec(vals)
 }
@@ -306,6 +398,7 @@ type netConn struct {
 
 var _ driver.Conn = (*netConn)(nil)
 var _ driver.ConnPrepareContext = (*netConn)(nil)
+var _ driver.ConnBeginTx = (*netConn)(nil)
 var _ driver.ExecerContext = (*netConn)(nil)
 var _ driver.QueryerContext = (*netConn)(nil)
 var _ driver.Pinger = (*netConn)(nil)
@@ -373,7 +466,35 @@ func (c *netConn) Ping(ctx context.Context) error {
 	return nil
 }
 
-func (c *netConn) Begin() (driver.Tx, error) { return nil, ErrNoTransactions }
+func (c *netConn) Begin() (driver.Tx, error) {
+	return c.BeginTx(context.Background(), driver.TxOptions{})
+}
+
+func (c *netConn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	if c.closed {
+		return nil, driver.ErrBadConn
+	}
+	if err := checkTxOptions(opts); err != nil {
+		return nil, err
+	}
+	if err := c.c.Begin(ctx); err != nil {
+		return nil, err
+	}
+	return &netTx{c: c.c}, nil
+}
+
+// netTx drives the session's server-side transaction: the server
+// buffers the writes; Commit rides one epoch slot.
+type netTx struct{ c *client.Conn }
+
+var _ driver.Tx = (*netTx)(nil)
+
+func (t *netTx) Commit() error {
+	_, err := t.c.Commit(context.Background())
+	return err
+}
+
+func (t *netTx) Rollback() error { return t.c.Rollback(context.Background()) }
 
 func (c *netConn) Close() error {
 	c.closed = true
@@ -428,6 +549,22 @@ func (s *netStmt) query(ctx context.Context, args []any) (driver.Rows, error) {
 }
 
 // --- shared plumbing -------------------------------------------------------
+
+// checkTxOptions rejects transaction options the engine cannot honor.
+// Deferred transactions apply their writes under one hold of the
+// engine mutex, so serializable (and the default) are the honest
+// offers; weaker levels would promise reads the snapshot model does
+// not provide, and read-only enforcement does not exist.
+func checkTxOptions(opts driver.TxOptions) error {
+	if opts.ReadOnly {
+		return errors.New("oblidb driver: read-only transactions are not supported")
+	}
+	switch sql.IsolationLevel(opts.Isolation) {
+	case sql.LevelDefault, sql.LevelSerializable:
+		return nil
+	}
+	return fmt.Errorf("oblidb driver: isolation level %v is not supported", sql.IsolationLevel(opts.Isolation))
+}
 
 // namedToValues converts database/sql arguments, rejecting named
 // parameters (the dialect has only positional ones).

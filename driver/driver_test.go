@@ -235,12 +235,96 @@ func TestCtxCancellationBetweenStatements(t *testing.T) {
 	})
 }
 
-func TestTransactionsUnsupported(t *testing.T) {
+func TestTransactionCommit(t *testing.T) {
 	eachDSN(t, func(t *testing.T, db *sql.DB) {
-		if _, err := db.Begin(); err == nil {
-			t.Fatal("Begin unexpectedly succeeded")
-		} else if !strings.Contains(err.Error(), "transactions") {
-			t.Fatalf("unhelpful Begin error: %v", err)
+		seed(t, db)
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Exec(`INSERT INTO users VALUES (4, 'dave', 52)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Exec(`DELETE FROM users WHERE id = 2`); err != nil {
+			t.Fatal(err)
+		}
+		// Deferred writes are invisible until COMMIT — including to the
+		// session's own reads (pre-transaction snapshot).
+		var n int
+		if err := db.QueryRow(`SELECT COUNT(*) FROM users`).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != 3 {
+			t.Fatalf("count mid-tx = %d, want 3", n)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.QueryRow(`SELECT COUNT(*) FROM users`).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != 3 {
+			t.Fatalf("count post-commit = %d, want 3", n)
+		}
+		if err := db.QueryRow(`SELECT COUNT(*) FROM users WHERE id = 4`).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatal("committed insert missing")
+		}
+	})
+}
+
+func TestTransactionRollback(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Exec(`DELETE FROM users WHERE age > 0`); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		if err := db.QueryRow(`SELECT COUNT(*) FROM users`).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != 3 {
+			t.Fatalf("count post-rollback = %d, want 3", n)
+		}
+	})
+}
+
+func TestTransactionRejectsDDLAndOptions(t *testing.T) {
+	eachDSN(t, func(t *testing.T, db *sql.DB) {
+		seed(t, db)
+		ctx := context.Background()
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Exec(`CREATE TABLE nope (a INTEGER)`); err == nil ||
+			!strings.Contains(err.Error(), "DDL") {
+			t.Fatalf("DDL inside tx: %v", err)
+		}
+		if err := tx.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.BeginTx(ctx, &sql.TxOptions{ReadOnly: true}); err == nil {
+			t.Fatal("read-only tx accepted")
+		}
+		if _, err := db.BeginTx(ctx, &sql.TxOptions{Isolation: sql.LevelReadCommitted}); err == nil {
+			t.Fatal("unsupported isolation level accepted")
+		}
+		tx, err = db.BeginTx(ctx, &sql.TxOptions{Isolation: sql.LevelSerializable})
+		if err != nil {
+			t.Fatalf("serializable tx rejected: %v", err)
+		}
+		if err := tx.Rollback(); err != nil {
+			t.Fatal(err)
 		}
 	})
 }

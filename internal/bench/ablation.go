@@ -3,9 +3,12 @@ package bench
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"time"
 
 	"oblidb/internal/core"
+	"oblidb/internal/crypt"
 	"oblidb/internal/enclave"
 	"oblidb/internal/exec"
 	"oblidb/internal/obtree"
@@ -246,10 +249,16 @@ func ablationWAL(o Options) error {
 	run := func(journal bool) (time.Duration, error) {
 		db := core.MustOpen(core.Config{Seed: o.seed()})
 		if journal {
-			l, err := wal.New(db.Enclave(), "abl.wal", n+8)
+			dir, err := os.MkdirTemp("", "oblidb-abl-wal")
 			if err != nil {
 				return 0, err
 			}
+			defer os.RemoveAll(dir)
+			l, err := wal.Open(filepath.Join(dir, "abl.wal"), crypt.NewRandomKey(), wal.Options{})
+			if err != nil {
+				return 0, err
+			}
+			defer l.Close()
 			if err := db.AttachWAL(l); err != nil {
 				return 0, err
 			}

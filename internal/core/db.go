@@ -124,10 +124,17 @@ type DB struct {
 	tables  map[string]*Table
 	workers []*enclave.Enclave // intra-query worker pool (nil when serial)
 	tmpSeq  int
-	// wal, when attached, journals every mutation before it executes;
-	// recovering suppresses re-logging during replay.
+	// wal, when attached, journals every applied mutation; the staged
+	// batch commits durably when the statement (or explicit transaction)
+	// does. recovering suppresses re-logging during replay.
 	wal        *wal.Log
 	recovering bool
+	// inTx defers the journal commit across statements (ExecutePlanTx);
+	// undo records how to reverse applied-but-uncommitted changes, and
+	// inUndo suppresses tracking while it replays (see wal.go).
+	inTx   bool
+	inUndo bool
+	undo   []undoRec
 	// LastPlan records the most recent planner decisions, exposed for the
 	// planner-effectiveness experiments (Figure 13/14). It is written
 	// under the database mutex; read it only while no other goroutine is
@@ -309,13 +316,15 @@ func (db *DB) Enclave() *enclave.Enclave { return db.enc }
 
 // Table is one named table with its storage representations.
 type Table struct {
-	name    string
-	schema  *table.Schema
-	kind    StorageKind
-	flat    *storage.Flat
-	index   *obtree.Tree
-	keyCol  int  // indexed column; -1 if none
-	oblivIn bool // inserts scan obliviously rather than appending
+	name     string
+	schema   *table.Schema
+	kind     StorageKind
+	flat     *storage.Flat
+	index    *obtree.Tree
+	keyCol   int  // indexed column; -1 if none
+	oblivIn  bool // inserts scan obliviously rather than appending
+	recORAM  bool // index uses the recursive position map
+	capacity int  // creation capacity (flat growth is read live)
 }
 
 // Name returns the table name.
@@ -363,10 +372,23 @@ type TableOptions struct {
 	RecursiveORAM bool
 }
 
-// CreateTable creates a table.
+// CreateTable creates a table. With a journal attached the definition is
+// journaled too (so recovery rebuilds the catalog), and DDL works at any
+// point in the log's life — the seed's WAL fixed its entry size at the
+// first append and rejected later registrations.
 func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	wm, um := db.mutationMarks()
+	t, err := db.createTableBody(name, schema, opts)
+	if e := db.endMutation(err, wm, um); e != nil {
+		return nil, e
+	}
+	return t, nil
+}
+
+// createTableBody is CreateTable without lock or journal commit.
+func (db *DB) createTableBody(name string, schema *table.Schema, opts TableOptions) (*Table, error) {
 	lname := strings.ToLower(name)
 	if _, exists := db.tables[lname]; exists {
 		return nil, fmt.Errorf("core: table %q already exists", name)
@@ -375,7 +397,10 @@ func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) 
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	t := &Table{name: name, schema: schema, kind: opts.Kind, keyCol: -1, oblivIn: opts.ObliviousInserts}
+	t := &Table{
+		name: name, schema: schema, kind: opts.Kind, keyCol: -1,
+		oblivIn: opts.ObliviousInserts, recORAM: opts.RecursiveORAM, capacity: capacity,
+	}
 	if opts.Kind == KindFlat || opts.Kind == KindBoth {
 		f, err := storage.NewFlatGeom(db.enc, name+".flat", schema, capacity, db.rowsPerBlockFor(schema))
 		if err != nil {
@@ -398,15 +423,16 @@ func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) 
 		t.index = idx
 		t.keyCol = col
 	}
-	if db.wal != nil {
-		// The journal's entry size is fixed at its first append, so all
-		// logged tables must exist before mutations begin.
-		if err := db.wal.Register(name, schema); err != nil {
-			return nil, err
-		}
-	}
 	db.tables[lname] = t
 	db.catEpoch++
+	if db.trackingMutations() {
+		db.undo = append(db.undo, undoRec{op: undoCreate, table: t.name})
+		if db.wal != nil {
+			if err := db.wal.AppendCreate(db.tableDef(t)); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return t, nil
 }
 
@@ -437,10 +463,37 @@ func (db *DB) Tables() []string {
 	return out
 }
 
-// DropTable removes a table, releasing index resources.
+// DropTable removes a table, releasing index resources. A drop cannot be
+// undone in memory (the index's ORAM is gone), so under a journal the
+// drop record commits durably *before* the in-memory removal — which
+// cannot fail — keeping log and memory in lockstep.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("core: no table %q", name)
+	}
+	if db.wal != nil && !db.recovering {
+		mark := db.wal.Staged()
+		if err := db.wal.AppendDrop(t.name); err != nil {
+			db.wal.Rewind(mark)
+			return err
+		}
+		if !db.inTx {
+			if err := db.wal.Commit(); err != nil {
+				db.wal.Rewind(mark)
+				return fmt.Errorf("core: journal commit failed, table kept: %w", err)
+			}
+			db.maybeCheckpointLocked()
+		}
+	}
+	return db.dropTableBody(t.name)
+}
+
+// dropTableBody removes the table from memory; it cannot fail on an
+// existing table.
+func (db *DB) dropTableBody(name string) error {
 	lname := strings.ToLower(name)
 	t, ok := db.tables[lname]
 	if !ok {
@@ -466,26 +519,47 @@ func (db *DB) Insert(name string, rows ...table.Row) error {
 // insertRows is Insert without the lock, for internal cross-calls (the
 // plan interpreter runs under the database mutex already).
 func (db *DB) insertRows(name string, rows []table.Row) error {
+	wm, um := db.mutationMarks()
+	return db.endMutation(db.insertRowsBody(name, rows), wm, um)
+}
+
+// insertRowsBody applies the inserts, journaling each row only after it
+// lands: a pass that fails midway leaves nothing staged for the rows it
+// never wrote. The undo record is taken *before* each apply (removal
+// tolerates absence), so a failed apply still unwinds cleanly.
+func (db *DB) insertRowsBody(name string, rows []table.Row) error {
 	t, err := db.lookup(name)
 	if err != nil {
 		return err
 	}
+	track := db.trackingMutations()
 	for _, r := range rows {
 		if err := t.schema.ValidateRow(r); err != nil {
 			return err
 		}
-		if err := db.logMutation(wal.OpInsert, t.name, r); err != nil {
+		if track {
+			db.undo = append(db.undo, undoRec{op: undoInsert, table: t.name, post: []table.Row{r.Clone()}})
+		}
+		if err := db.applyInsert(t, r); err != nil {
 			return err
 		}
-		if t.flat != nil {
-			if err := db.insertFlat(t, r); err != nil {
-				return err
-			}
+		if err := db.logMutation(wal.OpInsert, t, r); err != nil {
+			return err
 		}
-		if t.index != nil {
-			if err := t.index.Insert(r); err != nil {
-				return err
-			}
+	}
+	return nil
+}
+
+// applyInsert writes one row into every representation the table keeps.
+func (db *DB) applyInsert(t *Table, r table.Row) error {
+	if t.flat != nil {
+		if err := db.insertFlat(t, r); err != nil {
+			return err
+		}
+	}
+	if t.index != nil {
+		if err := t.index.Insert(r); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -526,6 +600,13 @@ func (db *DB) insertFlat(t *Table, r table.Row) error {
 	if !strings.Contains(err.Error(), "is full") {
 		return err
 	}
+	if t.flat.NumRows() < t.flat.Capacity() {
+		// Deletions opened holes before the append cursor: the table
+		// reports full to the fast path but has free slots. Reuse them
+		// with the scanning insert instead of growing without bound on
+		// insert/delete churn.
+		return t.flat.Insert(r)
+	}
 	// Grow by copying to a larger table (§3: capacity "can be increased
 	// later by copying to a new, larger table"). The growth is public —
 	// table sizes always are.
@@ -551,6 +632,11 @@ func (db *DB) BulkLoad(name string, rows []table.Row) error {
 
 // bulkLoad is BulkLoad without the lock, for internal cross-calls.
 func (db *DB) bulkLoad(name string, rows []table.Row) error {
+	wm, um := db.mutationMarks()
+	return db.endMutation(db.bulkLoadBody(name, rows), wm, um)
+}
+
+func (db *DB) bulkLoadBody(name string, rows []table.Row) error {
 	t, err := db.lookup(name)
 	if err != nil {
 		return err
@@ -577,6 +663,18 @@ func (db *DB) bulkLoad(name string, rows []table.Row) error {
 			return err
 		}
 	}
+	if db.trackingMutations() {
+		pre := make([]table.Row, len(rows))
+		for i, r := range rows {
+			pre[i] = r.Clone()
+		}
+		db.undo = append(db.undo, undoRec{op: undoInsert, table: t.name, post: pre})
+		for _, r := range rows {
+			if err := db.logMutation(wal.OpInsert, t, r); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -591,6 +689,19 @@ func (db *DB) Delete(name string, pred table.Pred, key *KeyRange) (int, error) {
 
 // deleteRows is Delete without the lock, for internal cross-calls.
 func (db *DB) deleteRows(name string, pred table.Pred, key *KeyRange) (int, error) {
+	wm, um := db.mutationMarks()
+	n, err := db.deleteRowsBody(name, pred, key)
+	if e := db.endMutation(err, wm, um); e != nil {
+		return 0, e
+	}
+	return n, nil
+}
+
+// deleteRowsBody runs the delete pass, journaling the pre-images only
+// after every representation succeeded — the seed journaled them first,
+// so a pass failing midway left the log describing deletions that never
+// happened.
+func (db *DB) deleteRowsBody(name string, pred table.Pred, key *KeyRange) (int, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return 0, err
@@ -600,15 +711,11 @@ func (db *DB) deleteRows(name string, pred table.Pred, key *KeyRange) (int, erro
 	}
 	full := combinePred(t, pred, key)
 
-	if db.wal != nil && !db.recovering {
-		pre, err := db.collectMatching(t, full)
-		if err != nil {
+	track := db.trackingMutations()
+	var pre []table.Row
+	if track {
+		if pre, err = db.collectMatching(t, full); err != nil {
 			return 0, err
-		}
-		for _, r := range pre {
-			if err := db.logMutation(wal.OpDelete, t.name, r); err != nil {
-				return 0, err
-			}
 		}
 	}
 
@@ -657,6 +764,14 @@ func (db *DB) deleteRows(name string, pred table.Pred, key *KeyRange) (int, erro
 			n = deleted
 		}
 	}
+	if track {
+		db.undo = append(db.undo, undoRec{op: undoDelete, table: t.name, pre: pre})
+		for _, r := range pre {
+			if err := db.logMutation(wal.OpDelete, t, r); err != nil {
+				return 0, err
+			}
+		}
+	}
 	return n, nil
 }
 
@@ -670,6 +785,20 @@ func (db *DB) Update(name string, pred table.Pred, upd table.Updater, key *KeyRa
 
 // updateRows is Update without the lock, for internal cross-calls.
 func (db *DB) updateRows(name string, pred table.Pred, upd table.Updater, key *KeyRange) (int, error) {
+	wm, um := db.mutationMarks()
+	n, err := db.updateRowsBody(name, pred, upd, key)
+	if e := db.endMutation(err, wm, um); e != nil {
+		return 0, e
+	}
+	return n, nil
+}
+
+// updateRowsBody runs the update pass. Under tracking, every post-image
+// is computed and validated up front — before anything applies — so a
+// row the updater would break fails the whole statement cleanly instead
+// of leaving half the pass applied; the journal records are staged only
+// after the pass succeeds.
+func (db *DB) updateRowsBody(name string, pred table.Pred, upd table.Updater, key *KeyRange) (int, error) {
 	t, err := db.lookup(name)
 	if err != nil {
 		return 0, err
@@ -679,22 +808,19 @@ func (db *DB) updateRows(name string, pred table.Pred, upd table.Updater, key *K
 	}
 	full := combinePred(t, pred, key)
 
-	if db.wal != nil && !db.recovering {
-		pre, err := db.collectMatching(t, full)
-		if err != nil {
+	track := db.trackingMutations()
+	var pre, post []table.Row
+	if track {
+		if pre, err = db.collectMatching(t, full); err != nil {
 			return 0, err
 		}
-		for _, r := range pre {
-			if err := db.logMutation(wal.OpDelete, t.name, r); err != nil {
+		post = make([]table.Row, len(pre))
+		for i, r := range pre {
+			p := upd(r.Clone())
+			if err := t.schema.ValidateRow(p); err != nil {
 				return 0, err
 			}
-			post := upd(r.Clone())
-			if err := t.schema.ValidateRow(post); err != nil {
-				return 0, err
-			}
-			if err := db.logMutation(wal.OpUpdate, t.name, post); err != nil {
-				return 0, err
-			}
+			post[i] = p
 		}
 	}
 
@@ -742,6 +868,17 @@ func (db *DB) updateRows(name string, pred table.Pred, upd table.Updater, key *K
 		}
 		if t.flat == nil {
 			n = len(before)
+		}
+	}
+	if track {
+		db.undo = append(db.undo, undoRec{op: undoUpdate, table: t.name, pre: pre, post: post})
+		for i := range pre {
+			if err := db.logMutation(wal.OpDelete, t, pre[i]); err != nil {
+				return 0, err
+			}
+			if err := db.logMutation(wal.OpUpdate, t, post[i]); err != nil {
+				return 0, err
+			}
 		}
 	}
 	return n, nil

@@ -172,8 +172,57 @@ func (db *DB) runPlan(n plan.Node, b plan.Binder) (*Result, error) {
 			return nil, err
 		}
 		return affectedResult(count), nil
+	case *plan.Tx:
+		// BEGIN/COMMIT/ROLLBACK compile to a plan node so EXPLAIN and the
+		// plan cache treat them uniformly, but they carry session state the
+		// engine does not hold — a transaction-aware surface (the server's
+		// sessions, the driver, oblidb.DB.Begin) must route them.
+		return nil, fmt.Errorf("core: %s must run through a transaction-aware session", x.Kind)
 	}
 	return nil, fmt.Errorf("core: cannot execute plan node %T as a statement", n)
+}
+
+// PlanBinding pairs a compiled plan with the binder holding one
+// execution's argument values.
+type PlanBinding struct {
+	Root   plan.Node
+	Binder plan.Binder
+}
+
+// ExecutePlanTx executes a transaction's statements as one atomic batch
+// under a single hold of the database mutex: all succeed and their
+// journal records commit durably together, or any failure rolls every
+// in-memory change back and discards the staged records. The engine is
+// single-writer, so atomicity needs no cross-statement locking — only
+// the deferred journal commit and the undo log (see wal.go).
+func (db *DB) ExecutePlanTx(items []PlanBinding) ([]*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	walMark, undoMark := db.mutationMarks()
+	db.inTx = true
+	results := make([]*Result, 0, len(items))
+	var err error
+	for _, it := range items {
+		var res *Result
+		if res, err = db.runPlan(it.Root, it.Binder); err == nil {
+			err = it.Binder.Err()
+		}
+		if err != nil {
+			break
+		}
+		results = append(results, res)
+	}
+	db.inTx = false
+	if err != nil {
+		if rerr := db.rollbackTo(walMark, undoMark); rerr != nil {
+			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+		}
+		return nil, err
+	}
+	if err := db.commitLocked(walMark, undoMark); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // runCollect materializes the subtree and decrypts it into a Result,

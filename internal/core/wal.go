@@ -2,25 +2,42 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"oblidb/internal/table"
 	"oblidb/internal/wal"
 )
 
-// AttachWAL starts journaling this database's mutations into l, as §3
-// sketches: one sealed append per inserted, rewritten, or deleted row,
-// before the mutation itself. Existing tables are registered with the
-// log; tables created afterwards register automatically. Appends leak
-// only the (public) mutation count.
+// This file wires the durable journal (internal/wal) into the engine.
+// Every mutating statement runs inside an implicit transaction: its
+// journal records are staged as the mutation pass applies, and endMutation
+// commits them (or rewinds the stage and undoes the in-memory changes on
+// failure). Explicit transactions (ExecutePlanTx) stretch the same
+// mechanism across statements. Journaling happens *after* each row is
+// applied, so a pass that fails midway stages nothing replayable — the
+// log can never describe state that did not exist (the seed logged ahead
+// of the pass and could).
+
+// AttachWAL starts journaling this database's mutations into l. The log
+// is immediately checkpointed to a snapshot of the current catalog and
+// rows, so the file is self-contained: Recover needs no pre-existing
+// tables. Journaling leaks only mutation counts and schemas — public
+// under the paper's model (§3).
 func (db *DB) AttachWAL(l *wal.Log) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for _, t := range db.tables {
-		if err := l.Register(t.name, t.schema); err != nil {
-			return err
-		}
+	if db.wal != nil {
+		return fmt.Errorf("core: a journal is already attached")
+	}
+	if l.Staged() != 0 {
+		return fmt.Errorf("core: journal has %d staged records", l.Staged())
 	}
 	db.wal = l
+	if err := db.checkpointLocked(); err != nil {
+		db.wal = nil
+		return err
+	}
 	return nil
 }
 
@@ -31,43 +48,300 @@ func (db *DB) DetachWAL() {
 	db.wal = nil
 }
 
-// logMutation appends one entry unless recovery is replaying.
-func (db *DB) logMutation(op wal.Op, tableName string, row table.Row) error {
-	if db.wal == nil || db.recovering {
+// Checkpoint compacts the journal to a snapshot of the live state.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return fmt.Errorf("core: no journal attached")
+	}
+	return db.checkpointLocked()
+}
+
+// checkpointLocked snapshots every table — definition plus live rows, in
+// sorted name order — into a fresh journal file that atomically replaces
+// the old one.
+func (db *DB) checkpointLocked() error {
+	return db.wal.Checkpoint(func() error {
+		names := make([]string, 0, len(db.tables))
+		for n := range db.tables {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			t := db.tables[n]
+			if err := db.wal.AppendCreate(db.tableDef(t)); err != nil {
+				return err
+			}
+			rows, err := db.collectMatching(t, table.All)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if err := db.wal.Append(wal.OpInsert, t.name, t.schema, r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// tableDef captures a table's journaled definition. Capacity reflects
+// the current flat capacity so recovery re-creates the grown table
+// without replaying the growth.
+func (db *DB) tableDef(t *Table) wal.TableDef {
+	def := wal.TableDef{
+		Name:             t.name,
+		Schema:           t.schema,
+		Kind:             uint8(t.kind),
+		Capacity:         t.capacity,
+		ObliviousInserts: t.oblivIn,
+		RecursiveORAM:    t.recORAM,
+	}
+	if t.flat != nil {
+		def.Capacity = t.flat.Capacity()
+	}
+	if t.keyCol >= 0 {
+		def.KeyColumn = t.schema.Col(t.keyCol).Name
+	}
+	return def
+}
+
+// maybeCheckpointLocked compacts the journal when it has outgrown its
+// configured threshold. A failed checkpoint is not an error for the
+// statement that triggered it — the old file remains valid and the next
+// commit retries.
+func (db *DB) maybeCheckpointLocked() {
+	if db.wal != nil && db.wal.ShouldCheckpoint() {
+		_ = db.checkpointLocked()
+	}
+}
+
+// logMutation stages one journal record for an applied row mutation.
+func (db *DB) logMutation(op wal.Op, t *Table, row table.Row) error {
+	if db.wal == nil || db.recovering || db.inUndo {
 		return nil
 	}
-	return db.wal.Append(wal.Entry{Op: op, Table: tableName, Row: row.Clone()})
+	return db.wal.Append(op, t.name, t.schema, row)
+}
+
+// trackingMutations reports whether mutation bodies must record undo
+// entries and journal records: yes under a journal or an explicit
+// transaction, never while replaying or unwinding.
+func (db *DB) trackingMutations() bool {
+	return (db.wal != nil || db.inTx) && !db.recovering && !db.inUndo
+}
+
+// mutationMarks snapshots the journal stage and undo log at statement
+// entry, so a failure can rewind exactly this statement's effects.
+func (db *DB) mutationMarks() (walMark, undoMark int) {
+	if db.wal != nil {
+		walMark = db.wal.Staged()
+	}
+	return walMark, len(db.undo)
+}
+
+// endMutation finishes one mutating statement: on error, its staged
+// journal records are discarded and its in-memory changes undone; on
+// success outside an explicit transaction, the staged batch commits
+// durably. Inside a transaction both stay staged for the enclosing
+// commit. During recovery or unwinding it is a passthrough.
+func (db *DB) endMutation(err error, walMark, undoMark int) error {
+	if db.recovering || db.inUndo {
+		return err
+	}
+	if err != nil {
+		if rerr := db.rollbackTo(walMark, undoMark); rerr != nil {
+			return fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+		}
+		return err
+	}
+	if db.inTx {
+		return nil
+	}
+	return db.commitLocked(walMark, undoMark)
+}
+
+// commitLocked makes the staged batch durable and clears the undo log.
+// If the journal write fails, the in-memory changes are rolled back too:
+// acknowledged means durable.
+func (db *DB) commitLocked(walMark, undoMark int) error {
+	if db.wal != nil {
+		if err := db.wal.Commit(); err != nil {
+			if rerr := db.rollbackTo(walMark, undoMark); rerr != nil {
+				return fmt.Errorf("core: journal commit failed: %w (rollback also failed: %v)", err, rerr)
+			}
+			return fmt.Errorf("core: journal commit failed, changes rolled back: %w", err)
+		}
+		db.maybeCheckpointLocked()
+	}
+	db.undo = db.undo[:0]
+	return nil
+}
+
+// rollbackTo rewinds the journal stage and replays the undo log (newest
+// first) down to the marks.
+func (db *DB) rollbackTo(walMark, undoMark int) error {
+	if db.wal != nil {
+		db.wal.Rewind(walMark)
+	}
+	db.inUndo = true
+	defer func() { db.inUndo = false }()
+	var firstErr error
+	for i := len(db.undo) - 1; i >= undoMark; i-- {
+		if err := db.applyUndo(db.undo[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	db.undo = db.undo[:undoMark]
+	return firstErr
+}
+
+// undoOp tags one undo record.
+type undoOp uint8
+
+const (
+	// undoInsert removes the rows in post (recorded before the insert
+	// applied, so removal tolerates rows the failed pass never wrote).
+	undoInsert undoOp = iota
+	// undoDelete re-inserts the rows in pre.
+	undoDelete
+	// undoUpdate removes each post row and re-inserts its pre image.
+	undoUpdate
+	// undoCreate drops the named table.
+	undoCreate
+)
+
+// undoRec is one entry of the in-memory undo log, recorded by mutation
+// bodies so a failed statement (or an explicit ROLLBACK) restores the
+// engine to the state the durable journal describes.
+type undoRec struct {
+	op        undoOp
+	table     string
+	pre, post []table.Row
+}
+
+// applyUndo reverses one undo record.
+func (db *DB) applyUndo(r undoRec) error {
+	switch r.op {
+	case undoCreate:
+		t, ok := db.tables[strings.ToLower(r.table)]
+		if !ok {
+			return nil
+		}
+		if t.index != nil {
+			t.index.Close()
+		}
+		delete(db.tables, strings.ToLower(r.table))
+		db.catEpoch++
+		return nil
+	}
+	t, err := db.lookup(r.table)
+	if err != nil {
+		return err
+	}
+	switch r.op {
+	case undoInsert:
+		for _, row := range r.post {
+			if err := db.removeOneRow(t, row); err != nil {
+				return err
+			}
+		}
+	case undoDelete:
+		for _, row := range r.pre {
+			if err := db.applyInsert(t, row); err != nil {
+				return err
+			}
+		}
+	case undoUpdate:
+		for i := range r.post {
+			if err := db.removeOneRow(t, r.post[i]); err != nil {
+				return err
+			}
+			if err := db.applyInsert(t, r.pre[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// removeOneRow deletes at most one row equal to row from each
+// representation. Absence is not an error: undoInsert records are
+// written before the insert applies, so the row may never have landed.
+func (db *DB) removeOneRow(t *Table, row table.Row) error {
+	if t.flat != nil {
+		done := false
+		if _, err := t.flat.Delete(func(r table.Row) bool {
+			if done || !rowsEqual(r, row) {
+				return false
+			}
+			done = true
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	if t.index != nil {
+		if _, err := t.index.Delete(row[t.keyCol].AsInt()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Recover rebuilds this database from a journal, standard redo-recovery
-// style: the log is folded into each table's final row multiset inside
-// the enclave — inserts and update post-images add a row, deletes and
-// update pre-images remove one equal row — and the result is bulk-loaded.
-// The database's tables must already exist (schemas are not journaled)
-// and start empty; recovery leaks only the log length and final table
-// sizes.
+// style: committed entries are folded into each table's final row
+// multiset inside the enclave — inserts and update post-images add a
+// row, deletes remove one equal row, journaled DDL creates and drops
+// tables — and the result is bulk-loaded. The database must be empty;
+// the journal carries the catalog. Recovery leaks only the log length
+// and the final table sizes.
 func (db *DB) Recover(l *wal.Log) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for _, t := range db.tables {
-		if t.NumRows() != 0 {
-			return fmt.Errorf("core: recovery requires empty tables; %q has %d rows", t.name, t.NumRows())
-		}
+	if len(db.tables) != 0 {
+		return fmt.Errorf("core: recovery requires an empty database, have %d tables", len(db.tables))
 	}
-	state := make(map[string][]table.Row, len(db.tables))
+	db.recovering = true
+	defer func() { db.recovering = false }()
+	state := make(map[string][]table.Row)
 	err := l.Replay(func(e wal.Entry) error {
-		if _, err := db.lookup(e.Table); err != nil {
-			return err
-		}
 		switch e.Op {
+		case wal.OpCreateTable:
+			d := e.Def
+			opts := TableOptions{
+				Kind:             StorageKind(d.Kind),
+				KeyColumn:        d.KeyColumn,
+				Capacity:         d.Capacity,
+				ObliviousInserts: d.ObliviousInserts,
+				RecursiveORAM:    d.RecursiveORAM,
+			}
+			if _, err := db.createTableBody(d.Name, d.Schema, opts); err != nil {
+				return err
+			}
+			state[strings.ToLower(d.Name)] = nil
+			return nil
+		case wal.OpDropTable:
+			if err := db.dropTableBody(e.Table); err != nil {
+				return err
+			}
+			delete(state, strings.ToLower(e.Table))
+			return nil
 		case wal.OpInsert, wal.OpUpdate:
-			state[e.Table] = append(state[e.Table], e.Row.Clone())
+			key := strings.ToLower(e.Table)
+			if _, ok := state[key]; !ok {
+				return fmt.Errorf("core: journal mutates %q before defining it", e.Table)
+			}
+			state[key] = append(state[key], e.Row)
 			return nil
 		case wal.OpDelete:
-			rows := state[e.Table]
+			key := strings.ToLower(e.Table)
+			rows := state[key]
 			for i, r := range rows {
 				if rowsEqual(r, e.Row) {
-					state[e.Table] = append(rows[:i], rows[i+1:]...)
+					state[key] = append(rows[:i], rows[i+1:]...)
 					return nil
 				}
 			}
@@ -78,14 +352,52 @@ func (db *DB) Recover(l *wal.Log) error {
 	if err != nil {
 		return err
 	}
-	db.recovering = true
-	defer func() { db.recovering = false }()
-	for name, rows := range state {
+	// Load in sorted name order: map order would randomize the replay
+	// trace run to run, which both breaks trace comparisons and is noise
+	// the host need not see.
+	names := make([]string, 0, len(state))
+	for name := range state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := state[name]
+		if len(rows) == 0 {
+			continue
+		}
 		if err := db.bulkLoad(name, rows); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WALStats is a metrics snapshot of the attached journal.
+type WALStats struct {
+	// Attached reports whether a journal is attached.
+	Attached bool
+	// Entries and Commits are monotonic totals across checkpoints.
+	Entries, Commits uint64
+	// Checkpoints counts completed compactions.
+	Checkpoints uint64
+	// SizeBytes is the committed size of the current file.
+	SizeBytes int64
+}
+
+// WALStats reports journal counters (zero when none is attached).
+func (db *DB) WALStats() WALStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return WALStats{}
+	}
+	return WALStats{
+		Attached:    true,
+		Entries:     db.wal.TotalEntries(),
+		Commits:     db.wal.TotalCommits(),
+		Checkpoints: db.wal.Checkpoints(),
+		SizeBytes:   db.wal.SizeBytes(),
+	}
 }
 
 func rowsEqual(a, b table.Row) bool {

@@ -140,6 +140,8 @@ func describe(n Node) string {
 			s += " via " + rangeSQL(x.KeyCol, *x.Key)
 		}
 		return s
+	case *Tx:
+		return "Tx " + x.Kind.String()
 	}
 	return fmt.Sprintf("%T", n)
 }

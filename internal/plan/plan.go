@@ -19,6 +19,7 @@
 package plan
 
 import (
+	"fmt"
 	"math"
 
 	"oblidb/internal/exec"
@@ -195,6 +196,39 @@ type Delete struct {
 	KeyCol  string
 }
 
+// Tx is a transaction-control statement. It compiles like any other
+// statement so EXPLAIN renders it and the plan cache keys it, but it
+// executes in the session layer (transaction state is per-connection,
+// not per-engine).
+type Tx struct {
+	Kind TxKind
+}
+
+// TxKind selects which transaction-control statement a Tx node is.
+type TxKind uint8
+
+const (
+	// TxBegin opens a transaction.
+	TxBegin TxKind = iota
+	// TxCommit atomically applies the buffered writes.
+	TxCommit
+	// TxRollback discards them.
+	TxRollback
+)
+
+// String renders the kind as its SQL keyword.
+func (k TxKind) String() string {
+	switch k {
+	case TxBegin:
+		return "BEGIN"
+	case TxCommit:
+		return "COMMIT"
+	case TxRollback:
+		return "ROLLBACK"
+	}
+	return fmt.Sprintf("TxKind(%d)", uint8(k))
+}
+
 func (*Scan) node()      {}
 func (*IndexScan) node() {}
 func (*Filter) node()    {}
@@ -208,6 +242,7 @@ func (*Collect) node()   {}
 func (*Insert) node()    {}
 func (*Update) node()    {}
 func (*Delete) node()    {}
+func (*Tx) node()        {}
 
 // Choice records the optimizer pass's per-node decisions and padded
 // cost estimates — exactly the information the paper concedes a query

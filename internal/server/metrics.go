@@ -36,6 +36,11 @@ type serverMetrics struct {
 	framesOut *metrics.Vec
 	bytesIn   *metrics.Counter
 	bytesOut  *metrics.Counter
+
+	txBegun      *metrics.Counter
+	txCommitted  *metrics.Counter
+	txRolledBack *metrics.Counter
+	txAborted    *metrics.Counter
 }
 
 // latencyMax bounds the epoch-latency histogram grid: a statement that
@@ -92,6 +97,25 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.framesOut = r.CounterVec("oblidb_frames_sent_total", "protocol frames sent by type", "type")
 	m.bytesIn = r.Counter("oblidb_net_read_bytes_total", "protocol bytes received, including frame headers")
 	m.bytesOut = r.Counter("oblidb_net_written_bytes_total", "protocol bytes sent, including frame headers")
+
+	// Transactions and the durable journal. Counts of transaction
+	// control and journal activity are functions of (public) statement
+	// counts; the journal's size is a function of mutation counts and
+	// schemas. All families register whether or not a journal is
+	// attached, so the metric catalog's shape never depends on
+	// configuration discovered at scrape time.
+	m.txBegun = r.Counter("oblidb_tx_begun_total", "transactions opened")
+	m.txCommitted = r.Counter("oblidb_tx_committed_total", "transactions committed")
+	m.txRolledBack = r.Counter("oblidb_tx_rolled_back_total", "transactions rolled back by the client")
+	m.txAborted = r.Counter("oblidb_tx_aborted_total", "transaction commits that failed and rolled back")
+	r.CounterFunc("oblidb_wal_entries_total", "journal records committed durably",
+		func() uint64 { return s.db.WALStats().Entries })
+	r.CounterFunc("oblidb_wal_commits_total", "journal batch commits",
+		func() uint64 { return s.db.WALStats().Commits })
+	r.CounterFunc("oblidb_wal_checkpoints_total", "journal checkpoint compactions",
+		func() uint64 { return s.db.WALStats().Checkpoints })
+	r.GaugeFunc("oblidb_wal_size_bytes", "committed journal file size",
+		func() float64 { return float64(s.db.WALStats().SizeBytes) })
 
 	// SQL layer: plan cache and compiled-plan replay.
 	r.GaugeFunc("oblidb_plan_cache_entries", "cached statement shapes",
@@ -188,6 +212,12 @@ func frameTypeName(t byte) string {
 		return "prepared"
 	case wire.TStatsResult:
 		return "stats_result"
+	case wire.TBegin:
+		return "begin"
+	case wire.TCommit:
+		return "commit"
+	case wire.TRollback:
+		return "rollback"
 	}
 	return "unknown"
 }

@@ -36,6 +36,7 @@ import (
 	"oblidb/internal/sql"
 	"oblidb/internal/table"
 	"oblidb/internal/trace"
+	"oblidb/internal/wal"
 	"oblidb/internal/wire"
 )
 
@@ -82,6 +83,13 @@ type Config struct {
 	// waited between submission and execution, at or above which a
 	// statement counts as slow and is logged by shape (default 8).
 	SlowStatementEpochs int
+	// WAL, if non-nil, is the durable journal: the server first recovers
+	// the engine from it (replaying every committed batch), then attaches
+	// it so all further mutations — including transaction commits — are
+	// journaled. The journal changes nothing observable: commits ride the
+	// same padded epoch slots, and the log file's growth is a function of
+	// public mutation counts.
+	WAL *wal.Log
 }
 
 // padTable is the server-owned table the default dummy statement reads.
@@ -128,6 +136,12 @@ type job struct {
 	id   uint32
 	prep *sql.Prepared
 	args []table.Value
+	// commit marks a transaction's COMMIT: txItems holds the writes the
+	// session buffered since BEGIN, applied atomically by the engine in
+	// this one slot. A commit occupies a slot exactly like any other
+	// statement — transactions add nothing to the observable stream.
+	commit  bool
+	txItems []sql.TxItem
 	// submitEpoch is the epoch count at submission; the difference to
 	// the executing epoch is the statement's latency in whole epochs —
 	// the only latency resolution the server ever publishes.
@@ -154,6 +168,18 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.WAL != nil {
+		// Crash recovery before anything touches the engine: replay the
+		// journal's committed batches (uncommitted tails were already
+		// discarded when the log was opened), then attach it so every
+		// further mutation is journaled.
+		if err := db.Recover(cfg.WAL); err != nil {
+			return nil, fmt.Errorf("server: wal recovery: %w", err)
+		}
+		if err := db.AttachWAL(cfg.WAL); err != nil {
+			return nil, fmt.Errorf("server: wal attach: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		db:       db,
@@ -174,12 +200,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	dummySQL := cfg.DummySQL
 	if dummySQL == "" {
-		for _, stmt := range []string{
-			"CREATE TABLE " + padTable + " (k INTEGER)",
-			"INSERT INTO " + padTable + " VALUES (0)",
-		} {
-			if _, err := s.exec.Execute(stmt); err != nil {
-				return nil, fmt.Errorf("server: creating pad table: %w", err)
+		// Recovery may have rebuilt the pad table from the journal; only
+		// a fresh database creates it.
+		if _, err := db.Table(padTable); err != nil {
+			for _, stmt := range []string{
+				"CREATE TABLE " + padTable + " (k INTEGER)",
+				"INSERT INTO " + padTable + " VALUES (0)",
+			} {
+				if _, err := s.exec.Execute(stmt); err != nil {
+					return nil, fmt.Errorf("server: creating pad table: %w", err)
+				}
 			}
 		}
 		dummySQL = "SELECT COUNT(*) FROM " + padTable
@@ -307,9 +337,24 @@ collect:
 func (s *Server) executeSlot(slot int, batch []*job) {
 	if slot < len(batch) {
 		j := batch[slot]
-		res, err := j.prep.Exec(j.args)
+		var (
+			res  *core.Result
+			err  error
+			kind string
+		)
+		if j.commit {
+			res, err = s.exec.ExecTx(j.txItems)
+			kind = "commit"
+			if err != nil {
+				s.m.txAborted.Inc()
+			} else {
+				s.m.txCommitted.Inc()
+			}
+		} else {
+			res, err = j.prep.Exec(j.args)
+			kind = j.prep.Kind()
+		}
 		j.sess.reply(j.id, res, err)
-		kind := j.prep.Kind()
 		s.m.statements.WithCounter(kind).Inc()
 		// Latency in whole epochs waited: epochs completed since the
 		// statement was submitted. Epoch-schedule-derived, no wall clock.
@@ -318,9 +363,14 @@ func (s *Server) executeSlot(slot int, batch []*job) {
 		if waited >= uint64(s.cfg.SlowStatementEpochs) {
 			s.m.slowTotal.Inc()
 			// The shape is literal-free (sql.Shape): argument values and
-			// statement literals never reach a log line.
+			// statement literals never reach a log line. A commit logs its
+			// keyword plus the (public) buffered-statement count.
+			shape := "COMMIT"
+			if !j.commit {
+				shape = j.prep.Shape()
+			}
 			s.log.Warn("slow statement",
-				"shape", j.prep.Shape(), "kind", kind, "epochs_waited", waited)
+				"shape", shape, "kind", kind, "epochs_waited", waited)
 		}
 		return
 	}
@@ -463,6 +513,7 @@ func (s *Server) Stats() wire.Stats {
 	cache := s.exec.CacheStats()
 	picks := enginePicks(s.db.PlanStats())
 	metricsJSON := s.metricsJSON()
+	ws := s.db.WALStats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return wire.Stats{
@@ -481,6 +532,15 @@ func (s *Server) Stats() wire.Stats {
 		Picks:            picks,
 
 		MetricsJSON: metricsJSON,
+
+		TxBegun:        s.m.txBegun.Value(),
+		TxCommitted:    s.m.txCommitted.Value(),
+		TxRolledBack:   s.m.txRolledBack.Value(),
+		TxAborted:      s.m.txAborted.Value(),
+		WalEntries:     ws.Entries,
+		WalCommits:     ws.Commits,
+		WalCheckpoints: ws.Checkpoints,
+		WalBytes:       uint64(ws.SizeBytes),
 	}
 }
 

@@ -38,6 +38,14 @@ type session struct {
 	prepared   map[uint32]*sql.Prepared
 	nextHandle uint32
 
+	// tx is this session's transaction state, touched only by the reader
+	// goroutine: writes between BEGIN and COMMIT are buffered here and
+	// handed to the engine as one atomic epoch-slot job at COMMIT. Reads
+	// inside a transaction run immediately against the pre-transaction
+	// snapshot (see internal/sql's transaction notes). Dropping the
+	// connection abandons the buffer — an implicit rollback.
+	tx sql.TxState
+
 	closeOnce sync.Once
 }
 
@@ -130,7 +138,7 @@ func (ss *session) handle(req *wire.Request) {
 			ss.send(&wire.Response{Type: wire.TError, ID: req.ID, Err: err.Error()})
 			return
 		}
-		ss.enqueue(req.ID, prep, nil)
+		ss.route(req.ID, prep, nil)
 	case wire.TPrepare:
 		prep, err := ss.srv.exec.Prepare(req.SQL)
 		if err == nil {
@@ -157,11 +165,17 @@ func (ss *session) handle(req *wire.Request) {
 					ps.NumParams(), len(req.Args))})
 			return
 		}
-		ss.enqueue(req.ID, ps, req.Args)
+		ss.route(req.ID, ps, req.Args)
 	case wire.TClosePrepared:
 		delete(ss.prepared, req.Handle)
 	case wire.TStats:
 		ss.send(&wire.Response{Type: wire.TStatsResult, ID: req.ID, Stats: ss.srv.Stats()})
+	case wire.TBegin:
+		ss.begin(req.ID)
+	case wire.TCommit:
+		ss.commit(req.ID)
+	case wire.TRollback:
+		ss.rollback(req.ID)
 	default:
 		ss.send(&wire.Response{Type: wire.TError, ID: req.ID,
 			Err: fmt.Sprintf("server: unknown request type %d", req.Type)})
@@ -190,6 +204,75 @@ func checkReserved(stmt sql.Statement) error {
 		return fmt.Errorf("server: table %q is reserved", padTable)
 	}
 	return nil
+}
+
+// route dispatches a checked statement: transaction control runs here
+// in the session (BEGIN/ROLLBACK never touch the engine; COMMIT becomes
+// one epoch-slot job), writes inside an open transaction are buffered,
+// and everything else — including reads inside a transaction, which see
+// the pre-transaction snapshot — takes the normal epoch path.
+func (ss *session) route(id uint32, prep *sql.Prepared, args []table.Value) {
+	stmt := prep.Stmt()
+	switch {
+	case sql.IsBegin(stmt):
+		ss.begin(id)
+	case sql.IsCommit(stmt):
+		ss.commit(id)
+	case sql.IsRollback(stmt):
+		ss.rollback(id)
+	case ss.tx.Active() && sql.IsDDL(stmt):
+		ss.send(&wire.Response{Type: wire.TError, ID: id,
+			Err: "server: DDL cannot run inside a transaction"})
+	case ss.tx.Active() && sql.IsWrite(stmt):
+		if err := ss.tx.Buffer(prep, args); err != nil {
+			ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+			return
+		}
+		// Deferred writes acknowledge 0 affected rows at buffer time; the
+		// COMMIT result carries the transaction's total.
+		ss.ack(id)
+	default:
+		ss.enqueue(id, prep, args)
+	}
+}
+
+// begin opens this session's transaction.
+func (ss *session) begin(id uint32) {
+	if err := ss.tx.Begin(); err != nil {
+		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		return
+	}
+	ss.srv.m.txBegun.Inc()
+	ss.ack(id)
+}
+
+// commit queues the buffered writes as one atomic epoch-slot job. An
+// empty transaction still rides a slot, so commits look alike.
+func (ss *session) commit(id uint32) {
+	items, err := ss.tx.Take()
+	if err != nil {
+		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		return
+	}
+	if err := ss.srv.submit(&job{sess: ss, id: id, commit: true, txItems: items}); err != nil {
+		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+	}
+}
+
+// rollback discards the buffered writes.
+func (ss *session) rollback(id uint32) {
+	if err := ss.tx.Rollback(); err != nil {
+		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		return
+	}
+	ss.srv.m.txRolledBack.Inc()
+	ss.ack(id)
+}
+
+// ack answers a session-level statement with the zero-affected result.
+func (ss *session) ack(id uint32) {
+	ss.send(&wire.Response{Type: wire.TResult, ID: id, Result: &wire.Result{
+		Cols: []string{"affected"}, Rows: []table.Row{{table.Int(0)}}, Affected: true}})
 }
 
 // enqueue hands a prepared statement and its bound arguments to the

@@ -103,6 +103,15 @@ type DropTable struct{ Name string }
 // when the inner statement has placeholders) and touches no table data.
 type Explain struct{ Stmt Statement }
 
+// Begin opens an explicit transaction (BEGIN [TRANSACTION | WORK]).
+type Begin struct{}
+
+// Commit atomically applies the transaction's buffered writes.
+type Commit struct{}
+
+// Rollback discards them.
+type Rollback struct{}
+
 func (*CreateTable) stmt() {}
 func (*Insert) stmt()      {}
 func (*Select) stmt()      {}
@@ -110,6 +119,9 @@ func (*Update) stmt()      {}
 func (*Delete) stmt()      {}
 func (*DropTable) stmt()   {}
 func (*Explain) stmt()     {}
+func (*Begin) stmt()       {}
+func (*Commit) stmt()      {}
+func (*Rollback) stmt()    {}
 
 // Expr is a SQL expression evaluated inside the enclave.
 type Expr interface{ expr() }

@@ -86,6 +86,12 @@ func (x *Executor) compile(stmt Statement) (plan.Node, error) {
 			Cond:  exprOrNil(s.Where), CondSQL: condSQL(s.Where),
 			Key: planRange(rangeFor(t, s.Where)), KeyCol: keyColName(t),
 		}, nil
+	case *Begin:
+		return &plan.Tx{Kind: plan.TxBegin}, nil
+	case *Commit:
+		return &plan.Tx{Kind: plan.TxCommit}, nil
+	case *Rollback:
+		return &plan.Tx{Kind: plan.TxRollback}, nil
 	}
 	return nil, fmt.Errorf("sql: cannot compile %T into a plan", stmt)
 }

@@ -114,8 +114,25 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		return &DropTable{Name: name}, nil
+	case p.acceptKeyword("BEGIN"):
+		p.txNoise()
+		return &Begin{}, nil
+	case p.acceptKeyword("COMMIT"):
+		p.txNoise()
+		return &Commit{}, nil
+	case p.acceptKeyword("ROLLBACK"):
+		p.txNoise()
+		return &Rollback{}, nil
 	}
 	return nil, fmt.Errorf("sql: expected a statement, got %q", p.peek().text)
+}
+
+// txNoise swallows the optional TRANSACTION / WORK keyword after
+// BEGIN, COMMIT, or ROLLBACK.
+func (p *parser) txNoise() {
+	if !p.acceptKeyword("TRANSACTION") {
+		p.acceptKeyword("WORK")
+	}
 }
 
 func (p *parser) createTable() (Statement, error) {

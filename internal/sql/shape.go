@@ -50,6 +50,12 @@ func KindOf(stmt Statement) string {
 		return "drop_table"
 	case *Explain:
 		return "explain"
+	case *Begin:
+		return "begin"
+	case *Commit:
+		return "commit"
+	case *Rollback:
+		return "rollback"
 	}
 	return "other"
 }

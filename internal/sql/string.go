@@ -164,6 +164,12 @@ func (s *Delete) String() string {
 // String renders the statement as parseable SQL.
 func (s *DropTable) String() string { return "DROP TABLE " + s.Name }
 
+func (s *Begin) String() string { return "BEGIN" }
+
+func (s *Commit) String() string { return "COMMIT" }
+
+func (s *Rollback) String() string { return "ROLLBACK" }
+
 // String renders the statement as parseable SQL.
 func (s *Explain) String() string {
 	return "EXPLAIN " + s.Stmt.(fmt.Stringer).String()

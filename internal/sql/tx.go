@@ -1,0 +1,157 @@
+package sql
+
+import (
+	"fmt"
+
+	"oblidb/internal/core"
+	"oblidb/internal/table"
+)
+
+// This file is the SQL layer's transaction support. Transactions are
+// *deferred*: writes issued between BEGIN and COMMIT are buffered as
+// prepared statements plus their bound arguments, and COMMIT hands the
+// whole batch to the engine's ExecutePlanTx, which applies it atomically
+// under one hold of the database mutex (and one durable journal commit).
+// Reads inside a transaction execute immediately against the pre-
+// transaction snapshot — they do not see the buffered writes, the same
+// trade Obladi makes to keep epoch batching intact (PAPERS.md): the
+// server commits ride the existing epoch slots unchanged, so an open
+// transaction is invisible in the padded statement stream.
+//
+// Transaction state is per-session (a server connection, a driver conn,
+// an oblidb.Tx), never per-Executor — the Executor is shared across
+// sessions.
+
+// IsBegin reports whether stmt is BEGIN.
+func IsBegin(stmt Statement) bool { _, ok := stmt.(*Begin); return ok }
+
+// IsCommit reports whether stmt is COMMIT.
+func IsCommit(stmt Statement) bool { _, ok := stmt.(*Commit); return ok }
+
+// IsRollback reports whether stmt is ROLLBACK.
+func IsRollback(stmt Statement) bool { _, ok := stmt.(*Rollback); return ok }
+
+// IsTxControl reports whether stmt is BEGIN, COMMIT, or ROLLBACK.
+func IsTxControl(stmt Statement) bool {
+	return IsBegin(stmt) || IsCommit(stmt) || IsRollback(stmt)
+}
+
+// IsWrite reports whether stmt is a DML write a transaction buffers.
+func IsWrite(stmt Statement) bool {
+	switch stmt.(type) {
+	case *Insert, *Update, *Delete:
+		return true
+	}
+	return false
+}
+
+// IsDDL reports whether stmt changes the catalog. DDL is rejected
+// inside explicit transactions: a CREATE/DROP must commit durably in
+// lockstep with its (irreversible) in-memory effect.
+func IsDDL(stmt Statement) bool {
+	switch stmt.(type) {
+	case *CreateTable, *DropTable:
+		return true
+	}
+	return false
+}
+
+// TxItem is one buffered write: the prepared statement and the argument
+// values it was issued with.
+type TxItem struct {
+	Prep *Prepared
+	Args []table.Value
+}
+
+// TxState is one session's transaction: whether one is open and the
+// writes buffered so far. The zero value is ready to use. Not safe for
+// concurrent use — each session owns its state.
+type TxState struct {
+	active bool
+	items  []TxItem
+}
+
+// Active reports whether a transaction is open.
+func (t *TxState) Active() bool { return t.active }
+
+// Pending reports how many writes are buffered.
+func (t *TxState) Pending() int { return len(t.items) }
+
+// Begin opens a transaction.
+func (t *TxState) Begin() error {
+	if t.active {
+		return fmt.Errorf("sql: transaction already open")
+	}
+	t.active = true
+	t.items = t.items[:0]
+	return nil
+}
+
+// Buffer defers one write until COMMIT. The statement must be DML (the
+// caller routes reads around the buffer and rejects DDL with a clearer
+// message than this one).
+func (t *TxState) Buffer(prep *Prepared, args []table.Value) error {
+	if !t.active {
+		return fmt.Errorf("sql: no open transaction")
+	}
+	if IsDDL(prep.Stmt()) {
+		return fmt.Errorf("sql: DDL cannot run inside a transaction")
+	}
+	if !IsWrite(prep.Stmt()) {
+		return fmt.Errorf("sql: only INSERT, UPDATE, and DELETE can be buffered")
+	}
+	t.items = append(t.items, TxItem{Prep: prep, Args: args})
+	return nil
+}
+
+// Take closes the transaction and returns its buffered writes for
+// ExecTx — the COMMIT path.
+func (t *TxState) Take() ([]TxItem, error) {
+	if !t.active {
+		return nil, fmt.Errorf("sql: no open transaction")
+	}
+	items := t.items
+	t.items = nil
+	t.active = false
+	return items, nil
+}
+
+// Rollback closes the transaction, discarding its buffered writes.
+func (t *TxState) Rollback() error {
+	if !t.active {
+		return fmt.Errorf("sql: no open transaction")
+	}
+	t.items = nil
+	t.active = false
+	return nil
+}
+
+// ExecTx executes a transaction's buffered writes as one atomic batch.
+// It returns the usual one-row "affected" result summing every
+// statement's count — the deferred writes each acknowledged 0 at buffer
+// time, so the total surfaces here.
+func (x *Executor) ExecTx(items []TxItem) (*core.Result, error) {
+	bindings := make([]core.PlanBinding, len(items))
+	for i, it := range items {
+		if len(it.Args) != it.Prep.NumParams() {
+			return nil, fmt.Errorf("sql: statement %d has %d parameter(s), got %d argument(s)",
+				i, it.Prep.NumParams(), len(it.Args))
+		}
+		root, err := x.compiledPlan(it.Prep.entry)
+		if err != nil {
+			return nil, err
+		}
+		bindings[i] = core.PlanBinding{Root: root, Binder: newBinder(it.Args)}
+	}
+	results, err := x.db.ExecutePlanTx(bindings)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, r := range results {
+		if r != nil && r.Affected && len(r.Rows) == 1 && len(r.Rows[0]) == 1 {
+			total += int(r.Rows[0][0].AsInt())
+		}
+	}
+	return affected(total), nil
+}

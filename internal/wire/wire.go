@@ -41,6 +41,13 @@ const (
 	TClosePrepared byte = 4
 	// TStats requests server statistics (empty body).
 	TStats byte = 5
+	// TBegin opens a transaction on this session (v4; empty body).
+	TBegin byte = 6
+	// TCommit commits the session's open transaction (v4; empty body).
+	// The result carries the transaction's total affected-row count.
+	TCommit byte = 7
+	// TRollback discards the session's open transaction (v4; empty body).
+	TRollback byte = 8
 
 	// TResult answers an Exec with a materialized result.
 	TResult byte = 16
@@ -112,6 +119,14 @@ type Stats struct {
 	// client behind a firewall still gets the whole catalog through the
 	// protocol it already speaks.
 	MetricsJSON string
+
+	// Transaction and journal counters (a v4 extension; older frames
+	// decode with zeros). The Tx counters tally BEGIN/COMMIT/ROLLBACK
+	// traffic the client already generated; the Wal counters describe
+	// the durable journal — all zero when the server runs without one.
+	TxBegun, TxCommitted, TxRolledBack, TxAborted uint64
+	WalEntries, WalCommits, WalCheckpoints        uint64
+	WalBytes                                      uint64
 }
 
 // AlgPick is one operator-algorithm tally of Stats.Picks.
@@ -293,7 +308,7 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		}
 	case TClosePrepared:
 		r.Handle = d.u32()
-	case TStats:
+	case TStats, TBegin, TCommit, TRollback:
 	default:
 		return nil, fmt.Errorf("wire: unknown request type %d", r.Type)
 	}
@@ -333,6 +348,15 @@ func EncodeResponse(r *Response) []byte {
 		}
 		// v3 extension: the full metrics snapshot as JSON.
 		e.str(r.Stats.MetricsJSON)
+		// v4 extension: transaction and journal counters.
+		e.u64(r.Stats.TxBegun)
+		e.u64(r.Stats.TxCommitted)
+		e.u64(r.Stats.TxRolledBack)
+		e.u64(r.Stats.TxAborted)
+		e.u64(r.Stats.WalEntries)
+		e.u64(r.Stats.WalCommits)
+		e.u64(r.Stats.WalCheckpoints)
+		e.u64(r.Stats.WalBytes)
 	}
 	return e.b
 }
@@ -386,6 +410,18 @@ func DecodeResponse(payload []byte) (*Response, error) {
 			// snapshot.
 			if d.err == nil && len(d.b) > 0 {
 				r.Stats.MetricsJSON = d.str()
+				// Protocol v3 ended here; the remainder is the v4
+				// transaction and journal counters.
+				if d.err == nil && len(d.b) > 0 {
+					r.Stats.TxBegun = d.u64()
+					r.Stats.TxCommitted = d.u64()
+					r.Stats.TxRolledBack = d.u64()
+					r.Stats.TxAborted = d.u64()
+					r.Stats.WalEntries = d.u64()
+					r.Stats.WalCommits = d.u64()
+					r.Stats.WalCheckpoints = d.u64()
+					r.Stats.WalBytes = d.u64()
+				}
 			}
 		}
 	default:

@@ -245,3 +245,60 @@ func TestStatsFrameVersionMatrix(t *testing.T) {
 		t.Fatalf("v1 frame grew extensions: %+v", resp.Stats)
 	}
 }
+
+// TestTxControlFramesRoundTrip pins the v4 transaction-control request
+// frames: empty bodies, just type and ID.
+func TestTxControlFramesRoundTrip(t *testing.T) {
+	for _, typ := range []byte{TBegin, TCommit, TRollback} {
+		req := &Request{Type: typ, ID: 21}
+		got, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			t.Fatalf("decode %d: %v", typ, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("round trip %d: got %+v, want %+v", typ, got, req)
+		}
+	}
+}
+
+// TestStatsFrameV4Tail pins the v4 TStatsResult extension: eight u64
+// transaction/journal counters after MetricsJSON. A v4 frame round-trips
+// them; the same frame truncated at the v3 boundary decodes with the
+// tail zeroed, exactly what a v3 peer would have sent.
+func TestStatsFrameV4Tail(t *testing.T) {
+	full := &Response{Type: TStatsResult, ID: 4, Stats: Stats{
+		Epochs: 10, EpochSize: 8, Real: 3, Dummy: 77, Sessions: 2, UptimeMillis: 1234,
+		MetricsJSON:    `{"oblidb_epochs_total":10}`,
+		TxBegun:        6,
+		TxCommitted:    4,
+		TxRolledBack:   1,
+		TxAborted:      1,
+		WalEntries:     250,
+		WalCommits:     40,
+		WalCheckpoints: 2,
+		WalBytes:       4096,
+	}}
+	payload := EncodeResponse(full)
+
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("v4 frame: %v", err)
+	}
+	if !reflect.DeepEqual(resp.Stats, full.Stats) {
+		t.Fatalf("v4 round trip: got %+v, want %+v", resp.Stats, full.Stats)
+	}
+
+	// v3 boundary: everything up to and including MetricsJSON — the v4
+	// tail is exactly the last 8 u64s.
+	v3End := len(payload) - 8*8
+	resp, err = DecodeResponse(payload[:v3End])
+	if err != nil {
+		t.Fatalf("v3 frame: %v", err)
+	}
+	if resp.Stats.MetricsJSON != full.Stats.MetricsJSON {
+		t.Fatalf("v3 frame lost MetricsJSON: %+v", resp.Stats)
+	}
+	if resp.Stats.TxBegun != 0 || resp.Stats.WalEntries != 0 || resp.Stats.WalBytes != 0 {
+		t.Fatalf("v3 frame grew v4 fields: %+v", resp.Stats)
+	}
+}

@@ -25,6 +25,7 @@ func TestAllFiguresSmoke(t *testing.T) {
 		"Figure 14", "Padding mode", "Served throughput", "Parallel speedup",
 		"Opaque Oblivious", "ObliDB (indexed)", "Spark SQL (plain)",
 		"HIRB", "planner pick", "Dummy share", "Speedup @4",
+		"Indexed access method", "index point",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)

@@ -938,10 +938,11 @@ var Figures = map[string]func(Options) error{
 	"served":   RunServed,
 	"parallel": RunParallel,
 	"packing":  RunPacking,
+	"indexed":  RunIndexed,
 }
 
 // Order is the canonical run order for RunAll.
-var Order = []string{"2", "3", "6", "7", "8", "9", "10", "11", "12", "13", "14", "pad", "abl", "served", "parallel", "packing"}
+var Order = []string{"2", "3", "6", "7", "8", "9", "10", "11", "12", "13", "14", "pad", "abl", "served", "parallel", "packing", "indexed"}
 
 // RunAll executes every experiment.
 func RunAll(o Options) error {

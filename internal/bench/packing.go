@@ -21,7 +21,8 @@ import (
 // operations at R = 1 (the paper's one-record-per-block geometry) versus
 // packed geometries, where every full-table pass costs one AEAD
 // open/seal per sealed block instead of per row. The speedup column is
-// the bench trajectory future perf PRs compare against (BENCH_6.json).
+// part of the bench trajectory future perf PRs compare against
+// (BENCH_8.json, which also carries the access-method sweep).
 
 // packingGeometries lists the packing factors the figure sweeps: the
 // paper geometry, two fixed intermediate points, and the engine's
@@ -257,6 +258,13 @@ type BenchReport struct {
 	DefaultR int           `json:"default_rows_per_block"`
 	Packing  []packingCell `json:"packing"`
 	Served   []servedCell  `json:"served"`
+	// Indexed is the access-method figure: point and 1% range reads via
+	// flat scan vs the ORAM index across the size sweep, and the
+	// point-lookup speedup at the largest size — the number this PR's
+	// trajectory pins (flat pays O(n) per point read, the index
+	// O(log² n), so the gap widens with n).
+	Indexed             []indexedCell `json:"indexed"`
+	IndexedPointSpeedup float64       `json:"indexed_point_speedup"`
 	// Metrics is the served run's full metrics snapshot at the default
 	// geometry (the same catalog /metrics exposes), so the trajectory
 	// records occupancy, padding, enclave I/O, and plan-cache behavior
@@ -265,13 +273,14 @@ type BenchReport struct {
 }
 
 // WriteBenchJSON runs the packing and served measurements at R ∈ {1,
-// default} and writes BENCH_6.json-style output to path. CI uploads it
-// as an artifact so subsequent PRs have a trajectory to compare against.
+// default} plus the access-method sweep, and writes BENCH_8.json-style
+// output to path. CI uploads it as an artifact so subsequent PRs have a
+// trajectory to compare against.
 func WriteBenchJSON(o Options, path string) error {
 	def := storage.DefaultRowsPerBlock(workload.Schema())
 	rows := o.n(100000)
 	rep := BenchReport{
-		Bench:    "block-packing",
+		Bench:    "access-methods",
 		GOOS:     runtime.GOOS,
 		GOARCH:   runtime.GOARCH,
 		DefaultR: def,
@@ -289,6 +298,18 @@ func WriteBenchJSON(o Options, path string) error {
 		sc.R = r
 		rep.Served = append(rep.Served, sc)
 		rep.Metrics = snap
+	}
+	for _, n := range indexedSizes(o) {
+		cs, err := measureIndexed(o, n)
+		if err != nil {
+			return err
+		}
+		rep.Indexed = append(rep.Indexed, cs...)
+		if n == indexedSizes(o)[len(indexedSizes(o))-1] {
+			if ip := indexedNs(cs, "point", "indexed"); ip > 0 {
+				rep.IndexedPointSpeedup = float64(indexedNs(cs, "point", "flat")) / float64(ip)
+			}
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -13,7 +13,7 @@ import (
 
 	"oblidb/internal/enclave"
 	"oblidb/internal/exec"
-	"oblidb/internal/obtree"
+	"oblidb/internal/indexed"
 	"oblidb/internal/planner"
 	"oblidb/internal/storage"
 	"oblidb/internal/table"
@@ -320,7 +320,7 @@ type Table struct {
 	schema   *table.Schema
 	kind     StorageKind
 	flat     *storage.Flat
-	index    *obtree.Tree
+	index    *indexed.Table
 	keyCol   int  // indexed column; -1 if none
 	oblivIn  bool // inserts scan obliviously rather than appending
 	recORAM  bool // index uses the recursive position map
@@ -348,8 +348,9 @@ func (t *Table) NumRows() int {
 // Flat exposes the flat representation (nil for indexed-only tables).
 func (t *Table) Flat() *storage.Flat { return t.flat }
 
-// Index exposes the oblivious B+ tree (nil for flat-only tables).
-func (t *Table) Index() *obtree.Tree { return t.index }
+// Index exposes the ORAM-backed indexed representation (nil for
+// flat-only tables).
+func (t *Table) Index() *indexed.Table { return t.index }
 
 // KeyColumn returns the indexed column index, or -1.
 func (t *Table) KeyColumn() int { return t.keyCol }
@@ -416,7 +417,10 @@ func (db *DB) createTableBody(name string, schema *table.Schema, opts TableOptio
 		if col < 0 {
 			return nil, fmt.Errorf("core: key column %q not in schema", opts.KeyColumn)
 		}
-		idx, err := obtree.New(db.enc, name+".index", schema, col, capacity, obtree.Options{RecursiveORAM: opts.RecursiveORAM})
+		idx, err := indexed.New(db.enc, name+".index", schema, col, capacity, indexed.Options{
+			RecursiveORAM: opts.RecursiveORAM,
+			RowsPerBlock:  db.rowsPerBlockFor(schema),
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -30,6 +30,12 @@ func (db *DB) tableMeta(name string) (plan.TableMeta, bool) {
 	if err != nil {
 		return plan.TableMeta{}, false
 	}
+	return db.metaFor(t), true
+}
+
+// metaFor builds the public metadata of a table handle (which may be an
+// unregistered intermediate).
+func (db *DB) metaFor(t *Table) plan.TableMeta {
 	m := plan.TableMeta{
 		RecordSize: t.schema.RecordSize(),
 		NumColumns: t.schema.NumColumns(),
@@ -37,7 +43,14 @@ func (db *DB) tableMeta(name string) (plan.TableMeta, bool) {
 	if t.keyCol >= 0 {
 		m.KeyColumn = t.schema.Col(t.keyCol).Name
 	}
+	if t.index != nil {
+		m.HasIndex = true
+		m.IndexHeight = t.index.Height()
+		m.IndexAccessesPerOp = t.index.AccessesPerOp()
+		m.IndexRowsPerBlock = t.index.RowsPerBlock()
+	}
 	if t.flat != nil {
+		m.HasFlat = true
 		m.Blocks = t.flat.NumBlocks()
 		m.Rows = t.flat.Capacity()
 		m.RowsPerBlock = t.flat.RowsPerBlock()
@@ -54,7 +67,7 @@ func (db *DB) tableMeta(name string) (plan.TableMeta, bool) {
 		m.Rows = m.Blocks * r
 		m.RowsPerBlock = r
 	}
-	return m, true
+	return m
 }
 
 // lockedCatalog adapts the (already locked) database for the optimizer
@@ -320,7 +333,7 @@ func (db *DB) planTable(n plan.Node, b plan.Binder) (*Table, *plan.JoinNames, er
 		if err != nil {
 			return nil, nil, err
 		}
-		in, release, err := db.inputFor(t, nil, nil)
+		in, _, release, err := db.inputFor(t, nil, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -433,11 +446,12 @@ func (db *DB) planSort(x *plan.Sort, b plan.Binder) (*Table, *plan.JoinNames, er
 			return nil, nil, err
 		}
 	}
-	in, release, err := db.inputFor(t, key, pred)
+	in, epred, release, err := db.inputFor(t, key, pred)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer release()
+	pred = epred
 	out, err := exec.OrderBy(db.enc, in, pred, col, x.Desc, db.tmpName("sort"))
 	if err != nil {
 		return nil, nil, err

@@ -6,6 +6,7 @@ import (
 
 	"oblidb/internal/enclave"
 	"oblidb/internal/exec"
+	"oblidb/internal/plan"
 	"oblidb/internal/planner"
 	"oblidb/internal/storage"
 	"oblidb/internal/table"
@@ -65,11 +66,12 @@ func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table
 	if pred == nil {
 		pred = table.All
 	}
-	in, release, err := db.inputFor(t, opts.KeyRange, pred)
+	in, epred, release, err := db.inputFor(t, opts.KeyRange, pred)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	pred = epred
 
 	projSchema, transform, err := db.projection(t.schema, opts.Projection)
 	if err != nil {
@@ -111,7 +113,7 @@ func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table
 	} else {
 		alg = planner.ChooseSelect(db.enc, recSize, st, db.cfg.Planner)
 	}
-	db.LastPlan = PlanInfo{SelectAlg: alg, Stats: st, UsedIndex: opts.KeyRange != nil && t.index != nil}
+	db.LastPlan = PlanInfo{SelectAlg: alg, Stats: st, UsedIndex: db.useIndexFor(t, opts.KeyRange)}
 	db.pickSelect(alg.String())
 	execOpts.OutSize = st.Matching
 	execOpts.ContinuousStart = st.Start
@@ -224,11 +226,12 @@ func (db *DB) aggregateTable(t *Table, pred table.Pred, specs []AggregateSpec, k
 	if pred == nil {
 		pred = table.All
 	}
-	in, release, err := db.inputFor(t, key, pred)
+	in, epred, release, err := db.inputFor(t, key, pred)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	pred = epred
 	es, names, err := db.resolveSpecs(t.schema, specs)
 	if err != nil {
 		return nil, err
@@ -276,11 +279,12 @@ func (db *DB) groupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, s
 	if pred == nil {
 		pred = table.All
 	}
-	in, release, err := db.inputFor(t, key, pred)
+	in, epred, release, err := db.inputFor(t, key, pred)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	pred = epred
 	es, _, err := db.resolveSpecs(t.schema, specs)
 	if err != nil {
 		return nil, err
@@ -361,12 +365,12 @@ func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 			return nil, err
 		}
 	}
-	lin, lrel, err := db.inputFor(lTab, nil, nil)
+	lin, _, lrel, err := db.inputFor(lTab, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	defer lrel()
-	rin, rrel, err := db.inputFor(rTab, nil, nil)
+	rin, _, rrel, err := db.inputFor(rTab, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -439,48 +443,71 @@ func (db *DB) wrapTemp(f *storage.Flat) *Table {
 	return &Table{name: f.Name(), schema: f.Schema(), kind: KindFlat, flat: f, keyCol: -1}
 }
 
+// useIndexFor is the engine-side half of the planner's access-method
+// decision: a keyed read routes through the index exactly when
+// planner.ChooseAccess — a function of public sizes only — prices it
+// below a full flat scan, so execution always matches the annotated
+// plan. Index-only tables have no flat fallback and always use it.
+func (db *DB) useIndexFor(t *Table, key *KeyRange) bool {
+	if t.index == nil || key == nil {
+		return false
+	}
+	return planner.ChooseAccess(db.metaFor(t), plan.KeyRange{Lo: key.Lo, Hi: key.Hi}).UseIndex
+}
+
 // inputFor builds the operator input for a table, routing through the
-// best access method:
+// access method the planner prices cheaper (§3, §5):
 //
-//   - key range + index: oblivious index range scan materialized into an
-//     intermediate table (leaking the scanned-segment size, §4.1).
-//   - flat representation: read directly.
+//   - key range + index, when the index wins: oblivious index range scan
+//     materialized into an intermediate table (leaking the scanned
+//     segment's size, §4.1).
+//   - flat representation: read directly; a key range the planner chose
+//     NOT to serve through the index folds into the returned predicate
+//     so the full scan still restricts correctly.
 //   - index only, full scan: the ORAM bucket array scanned linearly as a
 //     flat table (§3.2), at less than the full ORAM protocol's cost.
 //
-// release frees any intermediate resources.
-func (db *DB) inputFor(t *Table, key *KeyRange, pred table.Pred) (exec.Input, func(), error) {
+// It returns the effective predicate callers must use in place of the
+// one passed in. release frees any intermediate resources.
+func (db *DB) inputFor(t *Table, key *KeyRange, pred table.Pred) (exec.Input, table.Pred, func(), error) {
 	noop := func() {}
-	if key != nil && t.index != nil {
+	if db.useIndexFor(t, key) {
 		rows := make([]table.Row, 0, 64)
 		if _, err := t.index.RangeScan(key.Lo, key.Hi, func(r table.Row) error {
 			rows = append(rows, r.Clone())
 			return nil
 		}); err != nil {
-			return nil, noop, err
+			return nil, pred, noop, err
 		}
 		tmp, err := db.materialize(t.schema, rows, "range")
 		if err != nil {
-			return nil, noop, err
+			return nil, pred, noop, err
 		}
-		return exec.FromFlat(tmp), noop, nil
+		return exec.FromFlat(tmp), pred, noop, nil
 	}
 	if t.flat != nil {
-		return exec.FromFlat(t.flat), noop, nil
+		eff := pred
+		if key != nil {
+			if eff == nil {
+				eff = table.All
+			}
+			eff = combinePred(t, eff, key)
+		}
+		return exec.FromFlat(t.flat), eff, noop, nil
 	}
-	// Index-only full scan.
+	// Index-only full scan (an unkeyed read; keyed ones use the index).
 	rows := make([]table.Row, 0, t.index.NumRows())
 	if err := t.index.ScanRaw(func(r table.Row) error {
 		rows = append(rows, r.Clone())
 		return nil
 	}); err != nil {
-		return nil, noop, err
+		return nil, pred, noop, err
 	}
 	tmp, err := db.materialize(t.schema, rows, "rawscan")
 	if err != nil {
-		return nil, noop, err
+		return nil, pred, noop, err
 	}
-	return exec.FromFlat(tmp), noop, nil
+	return exec.FromFlat(tmp), pred, noop, nil
 }
 
 // materialize writes rows into a fresh flat intermediate table at the

@@ -210,6 +210,26 @@ func (e *Enclave) Tracer() *trace.Tracer { return e.tracer }
 // hardware CSPRNG; determinism here makes simulations reproducible.
 func (e *Enclave) Rand() *rand.Rand { return e.rng }
 
+// SeedFor derives a stable sub-seed for a named consumer — e.g. one
+// ORAM's leaf-assignment PRNG — from the enclave seed. Each oblivious
+// structure then draws from its own reproducible stream, so its leaf
+// assignments do not depend on how many random draws other structures
+// made first (the property trace-pinning tests rely on).
+func (e *Enclave) SeedFor(label string) uint64 {
+	h := e.seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
 // Reserve claims n bytes of oblivious memory, failing if the budget would
 // be exceeded. Callers must pair it with Release.
 func (e *Enclave) Reserve(n int) error {

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"math/rand/v2"
 
 	"oblidb/internal/enclave"
 )
@@ -51,7 +52,26 @@ type ORAM struct {
 	pos       posMap
 	stash     map[uint32]stashEntry
 	slotSize  int
-	plainBuf  []byte // reusable bucket buffer for eviction
+	plainBuf  []byte     // reusable bucket buffer for eviction
+	readBuf   []byte     // reusable bucket buffer for path reads
+	pathBuf   []int      // reusable root-to-leaf bucket index buffer
+	dummyBuf  []byte     // DummyAccess result sink
+	free      [][]byte   // recycled stash block buffers
+	rng       *rand.Rand // dedicated leaf-assignment stream (see Options.Seed)
+}
+
+// newBlockBuf returns a zeroed block-sized buffer, recycling buffers of
+// evicted stash entries so the steady-state stash churns no allocations.
+func (o *ORAM) newBlockBuf() []byte {
+	if n := len(o.free); n > 0 {
+		buf := o.free[n-1]
+		o.free = o.free[:n-1]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]byte, o.blockSize)
 }
 
 // Options configures ORAM construction.
@@ -62,6 +82,21 @@ type Options struct {
 	// MapBlockSize is the block size of the recursive position-map ORAM.
 	// Zero means 256 bytes (64 entries per map block).
 	MapBlockSize int
+	// Seed seeds this ORAM's private leaf-assignment PRNG. Zero derives a
+	// stable seed from the enclave seed and the store name, so leaf
+	// assignment is reproducible per (engine seed, table) regardless of
+	// what other structures draw from the enclave's shared PRNG.
+	Seed uint64
+}
+
+// newRng builds the ORAM's dedicated PRNG from Options.Seed (or the
+// enclave-derived default).
+func newRng(e *enclave.Enclave, name string, opts Options) *rand.Rand {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = e.SeedFor(name)
+	}
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 }
 
 // New creates an ORAM holding capacity logical blocks of blockSize bytes.
@@ -91,11 +126,12 @@ func New(e *enclave.Enclave, name string, capacity, blockSize int, opts Options)
 		stash:     make(map[uint32]stashEntry),
 		slotSize:  slotSize,
 		plainBuf:  make([]byte, Z*slotSize),
+		rng:       newRng(e, name, opts),
 	}
 	if opts.Recursive {
-		o.pos, err = newRecursiveMap(e, name+".posmap", capacity, leaves, opts.MapBlockSize)
+		o.pos, err = newRecursiveMap(e, name+".posmap", capacity, leaves, opts.MapBlockSize, o.rng)
 	} else {
-		o.pos, err = newPlainMap(e, capacity, leaves)
+		o.pos, err = newPlainMap(e, capacity, leaves, o.rng)
 	}
 	if err != nil {
 		return nil, err
@@ -128,6 +164,13 @@ func (o *ORAM) StashSize() int { return len(o.stash) }
 // overhead of Figure 2's "Index" column.
 func (o *ORAM) UntrustedBytes() int { return o.store.SizeBytes() }
 
+// Store exposes the untrusted bucket store for adversary tests.
+func (o *ORAM) Store() *enclave.Store { return o.store }
+
+// PosMapStore exposes the recursive position map's untrusted store (nil
+// when the map is held in enclave memory), for adversary tests.
+func (o *ORAM) PosMapStore() *enclave.Store { return o.pos.untrustedStore() }
+
 // AccessesPerOp returns the number of untrusted block accesses one ORAM
 // operation performs (path reads plus path writes), the O(log N) factor of
 // §3.2.
@@ -147,31 +190,55 @@ const (
 // resulting contents. Reads and writes are indistinguishable to the
 // adversary: both read one path and rewrite it.
 func (o *ORAM) Access(op Op, id int, data []byte) ([]byte, error) {
-	return o.access(op, id, data, nil)
+	return o.access(op, id, data, nil, nil)
+}
+
+// AccessInto is Access returning the contents in dst's capacity: when dst
+// can hold one block nothing is allocated for the result.
+func (o *ORAM) AccessInto(op Op, id int, data, dst []byte) ([]byte, error) {
+	return o.access(op, id, data, nil, dst)
 }
 
 // Update atomically reads block id, applies fn to its contents, and writes
 // the result back within a single path access. The slice passed to fn is
 // owned by fn and may be mutated and returned.
 func (o *ORAM) Update(id int, fn func([]byte) []byte) ([]byte, error) {
-	return o.access(OpRead, id, nil, fn)
+	return o.access(OpRead, id, nil, fn, nil)
+}
+
+// UpdateInto is Update returning the result in dst's capacity.
+func (o *ORAM) UpdateInto(id int, dst []byte, fn func([]byte) []byte) ([]byte, error) {
+	return o.access(OpRead, id, nil, fn, dst)
 }
 
 // DummyAccess performs a read of a uniformly random block, used by callers
-// that pad operations to worst-case access counts (§3.2).
+// that pad operations to worst-case access counts (§3.2). The result lands
+// in an internal scratch buffer so padding allocates nothing.
 func (o *ORAM) DummyAccess() error {
-	_, err := o.Access(OpRead, o.enc.Rand().IntN(o.capacity), nil)
+	var err error
+	o.dummyBuf, err = o.AccessInto(OpRead, o.rng.IntN(o.capacity), nil, o.dummyBuf)
 	return err
 }
 
-func (o *ORAM) access(op Op, id int, data []byte, fn func([]byte) []byte) ([]byte, error) {
+// resultInto copies one block's contents into dst's capacity (allocating
+// only when dst is too small), the shared tail of every access.
+func resultInto(dst, data []byte, blockSize int) []byte {
+	if cap(dst) < blockSize {
+		dst = make([]byte, blockSize)
+	}
+	dst = dst[:blockSize]
+	copy(dst, data)
+	return dst
+}
+
+func (o *ORAM) access(op Op, id int, data []byte, fn func([]byte) []byte, dst []byte) ([]byte, error) {
 	if id < 0 || id >= o.capacity {
 		return nil, fmt.Errorf("oram: block id %d out of range [0,%d)", id, o.capacity)
 	}
 	if op == OpWrite && len(data) != o.blockSize {
 		return nil, fmt.Errorf("oram: write of %d bytes, block size %d", len(data), o.blockSize)
 	}
-	newLeaf := uint32(o.enc.Rand().IntN(o.leaves))
+	newLeaf := uint32(o.rng.IntN(o.leaves))
 	oldLeaf, err := o.pos.getSet(id, newLeaf)
 	if err != nil {
 		return nil, err
@@ -190,7 +257,7 @@ func (o *ORAM) access(op Op, id int, data []byte, fn func([]byte) []byte) ([]byt
 	// evicted to its new path.
 	entry, ok := o.stash[uint32(id)]
 	if !ok {
-		entry = stashEntry{data: make([]byte, o.blockSize)}
+		entry = stashEntry{data: o.newBlockBuf()}
 	}
 	entry.leaf = newLeaf
 	switch {
@@ -200,13 +267,10 @@ func (o *ORAM) access(op Op, id int, data []byte, fn func([]byte) []byte) ([]byt
 			return nil, fmt.Errorf("oram: update fn returned %d bytes, block size %d", len(entry.data), o.blockSize)
 		}
 	case op == OpWrite:
-		cp := make([]byte, o.blockSize)
-		copy(cp, data)
-		entry.data = cp
+		copy(entry.data, data)
 	}
 	o.stash[uint32(id)] = entry
-	result := make([]byte, o.blockSize)
-	copy(result, entry.data)
+	result := resultInto(dst, entry.data, o.blockSize)
 
 	// Write the path back, greedily evicting stash blocks as deep as
 	// their assigned leaves allow.
@@ -217,9 +281,13 @@ func (o *ORAM) access(op Op, id int, data []byte, fn func([]byte) []byte) ([]byt
 }
 
 // pathBuckets returns bucket indices from root to the given leaf. Buckets
-// are heap-ordered: root 0, children of i at 2i+1 and 2i+2.
+// are heap-ordered: root 0, children of i at 2i+1 and 2i+2. The returned
+// slice is the ORAM's scratch, valid until the next call.
 func (o *ORAM) pathBuckets(leaf int) []int {
-	path := make([]int, o.levels)
+	if cap(o.pathBuf) < o.levels {
+		o.pathBuf = make([]int, o.levels)
+	}
+	path := o.pathBuf[:o.levels]
 	idx := o.leaves - 1 + leaf
 	for l := o.levels - 1; l >= 0; l-- {
 		path[l] = idx
@@ -243,10 +311,11 @@ func (o *ORAM) bucketAtLevel(leaf, level int) int {
 // as empty. Each slot carries the block's assigned leaf so eviction never
 // consults the position map.
 func (o *ORAM) readBucketIntoStash(bucket int) error {
-	plain, err := o.store.Read(bucket)
+	plain, err := o.store.ReadInto(bucket, o.readBuf)
 	if err != nil {
 		return err
 	}
+	o.readBuf = plain
 	for s := 0; s < Z; s++ {
 		off := s * o.slotSize
 		idPlus := binary.LittleEndian.Uint32(plain[off : off+4])
@@ -259,7 +328,7 @@ func (o *ORAM) readBucketIntoStash(bucket int) error {
 			continue
 		}
 		leaf := binary.LittleEndian.Uint32(plain[off+4 : off+8])
-		blk := make([]byte, o.blockSize)
+		blk := o.newBlockBuf()
 		copy(blk, plain[off+8:off+8+o.blockSize])
 		o.stash[id] = stashEntry{leaf: leaf, data: blk}
 	}
@@ -292,6 +361,7 @@ func (o *ORAM) evictPath(path []int) error {
 			binary.LittleEndian.PutUint32(plain[off:off+4], id+1)
 			binary.LittleEndian.PutUint32(plain[off+4:off+8], entry.leaf)
 			copy(plain[off+8:off+8+o.blockSize], entry.data)
+			o.free = append(o.free, entry.data)
 			delete(o.stash, id)
 		}
 		if err := o.store.Write(path[level], plain); err != nil {

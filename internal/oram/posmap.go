@@ -3,6 +3,7 @@ package oram
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand/v2"
 
 	"oblidb/internal/enclave"
 )
@@ -14,6 +15,9 @@ import (
 type posMap interface {
 	getSet(id int, newLeaf uint32) (uint32, error)
 	release()
+	// untrustedStore is the untrusted store backing the map (nil when the
+	// map lives wholly in enclave memory); adversary tests tamper with it.
+	untrustedStore() *enclave.Store
 }
 
 // plainMap keeps the whole map in enclave oblivious memory, charging the
@@ -24,14 +28,14 @@ type plainMap struct {
 	reserved int
 }
 
-func newPlainMap(e *enclave.Enclave, capacity, numLeaves int) (*plainMap, error) {
+func newPlainMap(e *enclave.Enclave, capacity, numLeaves int, rng *rand.Rand) (*plainMap, error) {
 	reserved := capacity * PosBytesPerBlock
 	if err := e.Reserve(reserved); err != nil {
 		return nil, fmt.Errorf("oram: position map for %d blocks: %w", capacity, err)
 	}
 	m := &plainMap{enc: e, leaves: make([]uint32, capacity), reserved: reserved}
 	for i := range m.leaves {
-		m.leaves[i] = uint32(e.Rand().IntN(numLeaves))
+		m.leaves[i] = uint32(rng.IntN(numLeaves))
 	}
 	return m, nil
 }
@@ -49,6 +53,8 @@ func (m *plainMap) release() {
 	}
 }
 
+func (m *plainMap) untrustedStore() *enclave.Store { return nil }
+
 // recursiveMap stores position-map entries packed into the blocks of a
 // child ORAM (Appendix B). One layer of recursion suffices in practice:
 // "a 10MB position map ... can support 1.1 million records"; the child's
@@ -59,7 +65,7 @@ type recursiveMap struct {
 	scratch []byte
 }
 
-func newRecursiveMap(e *enclave.Enclave, name string, capacity, numLeaves, mapBlockSize int) (*recursiveMap, error) {
+func newRecursiveMap(e *enclave.Enclave, name string, capacity, numLeaves, mapBlockSize int, rng *rand.Rand) (*recursiveMap, error) {
 	if mapBlockSize == 0 {
 		mapBlockSize = 256
 	}
@@ -68,7 +74,13 @@ func newRecursiveMap(e *enclave.Enclave, name string, capacity, numLeaves, mapBl
 	}
 	perBlk := mapBlockSize / 4
 	numBlocks := (capacity + perBlk - 1) / perBlk
-	child, err := New(e, name, numBlocks, mapBlockSize, Options{})
+	// The child ORAM draws its leaf assignments from its own stream,
+	// seeded deterministically from the parent's.
+	childSeed := rng.Uint64()
+	if childSeed == 0 {
+		childSeed = 1
+	}
+	child, err := New(e, name, numBlocks, mapBlockSize, Options{Seed: childSeed})
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +92,7 @@ func newRecursiveMap(e *enclave.Enclave, name string, capacity, numLeaves, mapBl
 	buf := make([]byte, mapBlockSize)
 	for b := 0; b < numBlocks; b++ {
 		for i := 0; i < perBlk; i++ {
-			binary.LittleEndian.PutUint32(buf[i*4:], uint32(e.Rand().IntN(numLeaves))+1)
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(rng.IntN(numLeaves))+1)
 		}
 		if _, err := child.Access(OpWrite, b, buf); err != nil {
 			return nil, err
@@ -92,7 +104,7 @@ func newRecursiveMap(e *enclave.Enclave, name string, capacity, numLeaves, mapBl
 func (m *recursiveMap) getSet(id int, newLeaf uint32) (uint32, error) {
 	blk, off := id/m.perBlk, (id%m.perBlk)*4
 	var old uint32
-	_, err := m.child.Update(blk, func(data []byte) []byte {
+	_, err := m.child.UpdateInto(blk, m.scratch, func(data []byte) []byte {
 		old = binary.LittleEndian.Uint32(data[off : off+4])
 		binary.LittleEndian.PutUint32(data[off:off+4], newLeaf+1)
 		return data
@@ -110,3 +122,5 @@ func (m *recursiveMap) getSet(id int, newLeaf uint32) (uint32, error) {
 func (m *recursiveMap) release() {
 	m.child.Close()
 }
+
+func (m *recursiveMap) untrustedStore() *enclave.Store { return m.child.store }

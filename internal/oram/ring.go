@@ -3,6 +3,8 @@ package oram
 import (
 	"fmt"
 	"math/bits"
+	"math/rand/v2"
+	"slices"
 
 	"oblidb/internal/enclave"
 )
@@ -36,17 +38,33 @@ type Ring struct {
 	stash     map[uint32]stashEntry
 	meta      []bucketMeta
 	reserved  int
-	accesses  int // since the last scheduled eviction
-	evictG    int // reverse-lexicographic eviction counter
+	accesses  int        // since the last scheduled eviction
+	evictG    int        // reverse-lexicographic eviction counter
+	rng       *rand.Rand // dedicated leaf-assignment stream (see Options.Seed)
+
+	// Reusable scratch: the access hot path allocates nothing in steady
+	// state (pinned by the indexed point-lookup AllocsPerRun test).
+	readBuf   []byte         // slot read buffer
+	zeroBuf   []byte         // dummy-slot payload
+	pathBuf   []int          // root-to-leaf bucket indices
+	chosenBuf []uint32       // eviction candidates per level
+	permBuf   [RingSlots]int // in-place slot permutation
+	slotAtBuf [RingSlots]uint32
+	dummyBuf  []byte   // DummyAccess result sink
+	free      [][]byte // recycled stash block buffers
 }
 
 // Ring ORAM parameters: Z real slots and S dummy slots per bucket, with a
-// scheduled eviction every EvictRate accesses. S ≈ EvictRate keeps early
-// reshuffles rare; these values give the ~1.5× bandwidth advantage the
-// paper quotes.
+// scheduled eviction every EvictRate accesses. Stash stability needs
+// EvictRate ≤ Z — each eviction must be able to place at least one
+// inter-eviction window's worth of blocks into the root bucket alone, or
+// the stash grows with the table instead of staying O(log N). Z = 8,
+// A = 8 is the Ring ORAM paper's stable configuration at this rate; with
+// 16 slots per bucket it leaves S = 8 dummies, so early reshuffles stay
+// rare and the amortized access count is unchanged from Z = 4.
 const (
-	RingZ         = 4
-	RingS         = 12
+	RingZ         = 8
+	RingS         = 8
 	RingSlots     = RingZ + RingS
 	RingEvictRate = 8
 )
@@ -82,6 +100,8 @@ func NewRing(e *enclave.Enclave, name string, capacity, blockSize int, opts Opti
 		leaves:    leaves,
 		stash:     make(map[uint32]stashEntry),
 		meta:      make([]bucketMeta, numBuckets),
+		rng:       newRng(e, name, opts),
+		zeroBuf:   make([]byte, blockSize),
 	}
 	// Enclave metadata: ~9 bytes per slot, charged like the position map.
 	r.reserved = numBuckets * RingSlots * 9
@@ -89,9 +109,9 @@ func NewRing(e *enclave.Enclave, name string, capacity, blockSize int, opts Opti
 		return nil, err
 	}
 	if opts.Recursive {
-		r.pos, err = newRecursiveMap(e, name+".posmap", capacity, leaves, opts.MapBlockSize)
+		r.pos, err = newRecursiveMap(e, name+".posmap", capacity, leaves, opts.MapBlockSize, r.rng)
 	} else {
-		r.pos, err = newPlainMap(e, capacity, leaves)
+		r.pos, err = newPlainMap(e, capacity, leaves, r.rng)
 	}
 	if err != nil {
 		e.Release(r.reserved)
@@ -127,31 +147,181 @@ func (r *Ring) StashSize() int { return len(r.stash) }
 // UntrustedBytes returns the untrusted footprint.
 func (r *Ring) UntrustedBytes() int { return r.store.SizeBytes() }
 
+// Store exposes the untrusted slot store for adversary tests.
+func (r *Ring) Store() *enclave.Store { return r.store }
+
+// PosMapStore exposes the recursive position map's untrusted store (nil
+// when the map is held in enclave memory), for adversary tests.
+func (r *Ring) PosMapStore() *enclave.Store { return r.pos.untrustedStore() }
+
+// AccessesPerOp returns the amortized untrusted block accesses per
+// logical operation: one slot read per path bucket, plus the scheduled
+// eviction's read+rewrite of every slot on one path, amortized over
+// EvictRate accesses. This is the public cost the planner prices indexed
+// access with.
+func (r *Ring) AccessesPerOp() int {
+	return r.levels + (2*r.levels*RingSlots+RingEvictRate-1)/RingEvictRate
+}
+
+// newBlockBuf returns a zeroed block-sized buffer, recycling buffers of
+// evicted stash entries so the steady-state stash churns no allocations.
+func (r *Ring) newBlockBuf() []byte {
+	if n := len(r.free); n > 0 {
+		buf := r.free[n-1]
+		r.free = r.free[:n-1]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]byte, r.blockSize)
+}
+
+// BulkStage registers a block for a bulk build without touching the
+// untrusted store: the block draws its random leaf and waits in the
+// stash until BulkCommit places it. Only valid on a fresh ORAM (no
+// accesses yet) — staging over live buckets would leave stale copies.
+func (r *Ring) BulkStage(id int, data []byte) error {
+	if id < 0 || id >= r.capacity {
+		return fmt.Errorf("oram: ring block id %d out of range [0,%d)", id, r.capacity)
+	}
+	if len(data) != r.blockSize {
+		return fmt.Errorf("oram: ring bulk write of %d bytes, block size %d", len(data), r.blockSize)
+	}
+	leaf := uint32(r.rng.IntN(r.leaves))
+	if _, err := r.pos.getSet(id, leaf); err != nil {
+		return err
+	}
+	entry, ok := r.stash[uint32(id)]
+	if !ok {
+		entry = stashEntry{data: r.newBlockBuf()}
+	}
+	entry.leaf = leaf
+	copy(entry.data, data)
+	r.stash[uint32(id)] = entry
+	return nil
+}
+
+// BulkCommit drains the staged stash into the tree bottom-up: each block
+// lands in the deepest non-full bucket on its leaf's path, and every
+// bucket that receives blocks is written exactly once. Compared to
+// replaying the blocks through Access, this leaves the stash empty
+// instead of flooded — per-access eviction drains at most Z blocks per
+// path, so a bulk load's inflow otherwise outruns it and the residue
+// taxes every later eviction. The pattern is public: which buckets are
+// written is a function of the PRNG leaf assignment and the staged id
+// set, never of block contents.
+func (r *Ring) BulkCommit() error {
+	type leafID struct{ leaf, id uint32 }
+	ents := make([]leafID, 0, len(r.stash))
+	for id, e := range r.stash {
+		ents = append(ents, leafID{e.leaf, id})
+	}
+	// Map iteration order is random; sort for a deterministic build.
+	slices.SortFunc(ents, func(a, b leafID) int {
+		if a.leaf != b.leaf {
+			return int(a.leaf) - int(b.leaf)
+		}
+		return int(a.id) - int(b.id)
+	})
+	// place fills the bucket at (level, leafLo) from the deepest level up,
+	// returning the ids its subtree could not hold.
+	var place func(level, leafLo, width int, seg []leafID) ([]uint32, error)
+	place = func(level, leafLo, width int, seg []leafID) ([]uint32, error) {
+		var pool []uint32
+		if level == r.levels-1 {
+			for _, e := range seg {
+				pool = append(pool, e.id)
+			}
+		} else {
+			half := width / 2
+			mid := 0
+			for mid < len(seg) && int(seg[mid].leaf) < leafLo+half {
+				mid++
+			}
+			left, err := place(level+1, leafLo, half, seg[:mid])
+			if err != nil {
+				return nil, err
+			}
+			right, err := place(level+1, leafLo+half, half, seg[mid:])
+			if err != nil {
+				return nil, err
+			}
+			pool = append(left, right...)
+			slices.Sort(pool)
+		}
+		if len(pool) == 0 {
+			return nil, nil
+		}
+		chosen := pool
+		if len(chosen) > RingZ {
+			chosen = chosen[:RingZ]
+		}
+		if err := r.writeBucket(r.bucketAtLevel(leafLo, level), chosen); err != nil {
+			return nil, err
+		}
+		return pool[len(chosen):], nil
+	}
+	// Leftover spill past the root stays in the stash, like any other
+	// overflow, and drains through scheduled evictions.
+	if _, err := place(0, 0, r.leaves, ents); err != nil {
+		return err
+	}
+	// Staging inflated the stash map's capacity to the staged count, and
+	// Go maps never shrink — but evictPath iterates the stash on every
+	// scheduled eviction, so rebuild it at its (near-empty) final size.
+	// Ditto the recycled-buffer list, which now holds one buffer per
+	// placed block.
+	fresh := make(map[uint32]stashEntry, len(r.stash)+16)
+	for id, e := range r.stash {
+		fresh[id] = e
+	}
+	r.stash = fresh
+	if len(r.free) > 2*RingSlots {
+		r.free = append([][]byte(nil), r.free[:2*RingSlots]...)
+	}
+	return nil
+}
+
 // Access performs one logical operation: one slot read per path bucket,
 // plus the amortized scheduled eviction.
 func (r *Ring) Access(op Op, id int, data []byte) ([]byte, error) {
-	return r.access(op, id, data, nil)
+	return r.access(op, id, data, nil, nil)
+}
+
+// AccessInto is Access returning the contents in dst's capacity: when dst
+// can hold one block nothing is allocated for the result.
+func (r *Ring) AccessInto(op Op, id int, data, dst []byte) ([]byte, error) {
+	return r.access(op, id, data, nil, dst)
 }
 
 // Update reads, transforms, and rewrites a block in one operation.
 func (r *Ring) Update(id int, fn func([]byte) []byte) ([]byte, error) {
-	return r.access(OpRead, id, nil, fn)
+	return r.access(OpRead, id, nil, fn, nil)
 }
 
-// DummyAccess reads a random block.
+// UpdateInto is Update returning the result in dst's capacity.
+func (r *Ring) UpdateInto(id int, dst []byte, fn func([]byte) []byte) ([]byte, error) {
+	return r.access(OpRead, id, nil, fn, dst)
+}
+
+// DummyAccess reads a random block. The result lands in an internal
+// scratch buffer so padded operations (obtree/indexed lookups that pad to
+// worst-case counts) stay allocation-free.
 func (r *Ring) DummyAccess() error {
-	_, err := r.Access(OpRead, r.enc.Rand().IntN(r.capacity), nil)
+	var err error
+	r.dummyBuf, err = r.AccessInto(OpRead, r.rng.IntN(r.capacity), nil, r.dummyBuf)
 	return err
 }
 
-func (r *Ring) access(op Op, id int, data []byte, fn func([]byte) []byte) ([]byte, error) {
+func (r *Ring) access(op Op, id int, data []byte, fn func([]byte) []byte, dst []byte) ([]byte, error) {
 	if id < 0 || id >= r.capacity {
 		return nil, fmt.Errorf("oram: ring block id %d out of range [0,%d)", id, r.capacity)
 	}
 	if op == OpWrite && len(data) != r.blockSize {
 		return nil, fmt.Errorf("oram: ring write of %d bytes, block size %d", len(data), r.blockSize)
 	}
-	newLeaf := uint32(r.enc.Rand().IntN(r.leaves))
+	newLeaf := uint32(r.rng.IntN(r.leaves))
 	oldLeaf, err := r.pos.getSet(id, newLeaf)
 	if err != nil {
 		return nil, err
@@ -167,7 +337,7 @@ func (r *Ring) access(op Op, id int, data []byte, fn func([]byte) []byte) ([]byt
 
 	entry, ok := r.stash[uint32(id)]
 	if !ok {
-		entry = stashEntry{data: make([]byte, r.blockSize)}
+		entry = stashEntry{data: r.newBlockBuf()}
 	}
 	entry.leaf = newLeaf
 	switch {
@@ -177,13 +347,10 @@ func (r *Ring) access(op Op, id int, data []byte, fn func([]byte) []byte) ([]byt
 			return nil, fmt.Errorf("oram: ring update fn returned %d bytes, block size %d", len(entry.data), r.blockSize)
 		}
 	case op == OpWrite:
-		cp := make([]byte, r.blockSize)
-		copy(cp, data)
-		entry.data = cp
+		copy(entry.data, data)
 	}
 	r.stash[uint32(id)] = entry
-	result := make([]byte, r.blockSize)
-	copy(result, entry.data)
+	result := resultInto(dst, entry.data, r.blockSize)
 
 	// Scheduled eviction along the reverse-lexicographic path order.
 	r.accesses++
@@ -215,14 +382,16 @@ func (r *Ring) readOneSlot(bucket int, id uint32) error {
 		}
 	}
 	if target < 0 {
-		var unused []int
+		var unused [RingSlots]int
+		n := 0
 		for s := 0; s < RingSlots; s++ {
 			if !m.used[s] {
-				unused = append(unused, s)
+				unused[n] = s
+				n++
 			}
 		}
-		if len(unused) > 0 {
-			target = unused[r.enc.Rand().IntN(len(unused))]
+		if n > 0 {
+			target = unused[r.rng.IntN(n)]
 		}
 	}
 	if target < 0 {
@@ -230,16 +399,17 @@ func (r *Ring) readOneSlot(bucket int, id uint32) error {
 		if err := r.rewriteBucket(bucket); err != nil {
 			return err
 		}
-		target = r.enc.Rand().IntN(RingSlots)
+		target = r.rng.IntN(RingSlots)
 	}
-	data, err := r.store.Read(bucket*RingSlots + target)
+	data, err := r.store.ReadInto(bucket*RingSlots+target, r.readBuf)
 	if err != nil {
 		return err
 	}
+	r.readBuf = data
 	if m.ids[target] != 0 {
 		bid := m.ids[target] - 1
 		if _, dup := r.stash[bid]; !dup {
-			blk := make([]byte, r.blockSize)
+			blk := r.newBlockBuf()
 			copy(blk, data)
 			r.stash[bid] = stashEntry{leaf: m.leaf[target], data: blk}
 		}
@@ -252,21 +422,8 @@ func (r *Ring) readOneSlot(bucket int, id uint32) error {
 // rewriteBucket is Ring ORAM's early reshuffle: pull the bucket's live
 // blocks into the stash and rewrite all its slots fresh.
 func (r *Ring) rewriteBucket(bucket int) error {
-	m := &r.meta[bucket]
-	for s := 0; s < RingSlots; s++ {
-		data, err := r.store.Read(bucket*RingSlots + s)
-		if err != nil {
-			return err
-		}
-		if m.ids[s] != 0 {
-			id := m.ids[s] - 1
-			if _, dup := r.stash[id]; !dup {
-				blk := make([]byte, r.blockSize)
-				copy(blk, data)
-				r.stash[id] = stashEntry{leaf: m.leaf[s], data: blk}
-			}
-			m.ids[s] = 0
-		}
+	if err := r.pullBucketIntoStash(bucket); err != nil {
+		return err
 	}
 	return r.writeBucket(bucket, nil)
 }
@@ -277,25 +434,42 @@ func (r *Ring) rewriteBucket(bucket int) error {
 // information.
 func (r *Ring) writeBucket(bucket int, chosen []uint32) error {
 	m := &r.meta[bucket]
-	zero := make([]byte, r.blockSize)
-	perm := r.enc.Rand().Perm(RingSlots)
-	slotOf := make(map[int]uint32, len(chosen))
+	// In-place Fisher–Yates over the slot indices: the allocation-free
+	// equivalent of Rand().Perm(RingSlots).
+	perm := &r.permBuf
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := RingSlots - 1; i > 0; i-- {
+		j := r.rng.IntN(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	slotAt := &r.slotAtBuf
+	for s := range slotAt {
+		slotAt[s] = 0
+	}
 	for i, id := range chosen {
-		slotOf[perm[i]] = id
+		slotAt[perm[i]] = id + 1
 	}
 	for s := 0; s < RingSlots; s++ {
 		m.ids[s] = 0
 		m.used[s] = false
-		payload := zero
-		if id, ok := slotOf[s]; ok {
+		payload := r.zeroBuf
+		var recycle []byte
+		if idPlus := slotAt[s]; idPlus != 0 {
+			id := idPlus - 1
 			entry := r.stash[id]
-			m.ids[s] = id + 1
+			m.ids[s] = idPlus
 			m.leaf[s] = entry.leaf
 			payload = entry.data
+			recycle = entry.data
 			delete(r.stash, id)
 		}
 		if err := r.store.Write(bucket*RingSlots+s, payload); err != nil {
 			return err
+		}
+		if recycle != nil {
+			r.free = append(r.free, recycle)
 		}
 	}
 	return nil
@@ -307,43 +481,50 @@ func (r *Ring) writeBucket(bucket int, chosen []uint32) error {
 func (r *Ring) evictPath(leaf uint32) error {
 	path := r.pathBuckets(int(leaf))
 	for _, b := range path {
-		if err := r.rewriteBucketIntoStash(b); err != nil {
+		if err := r.pullBucketIntoStash(b); err != nil {
 			return err
 		}
 	}
-	var chosen []uint32
+	chosen := r.chosenBuf[:0]
 	for level := r.levels - 1; level >= 0; level-- {
+		// Collect every candidate and sort before truncating to RingZ: map
+		// iteration order is random, and which blocks land in a bucket
+		// steers future read-slot positions — two same-shape instances must
+		// evict identically for their physical traces to stay identical.
 		chosen = chosen[:0]
 		for id, entry := range r.stash {
-			if len(chosen) == RingZ {
-				break
-			}
 			if r.bucketAtLevel(int(entry.leaf), level) == path[level] {
 				chosen = append(chosen, id)
 			}
+		}
+		slices.Sort(chosen)
+		if len(chosen) > RingZ {
+			chosen = chosen[:RingZ]
 		}
 		if err := r.writeBucket(path[level], chosen); err != nil {
 			return err
 		}
 	}
+	r.chosenBuf = chosen[:0]
 	return nil
 }
 
-// rewriteBucketIntoStash reads a bucket's live blocks into the stash
-// without rewriting it (the eviction's write pass follows).
-func (r *Ring) rewriteBucketIntoStash(bucket int) error {
+// pullBucketIntoStash reads a bucket's live blocks into the stash
+// without rewriting it (the caller's write pass follows).
+func (r *Ring) pullBucketIntoStash(bucket int) error {
 	m := &r.meta[bucket]
 	for s := 0; s < RingSlots; s++ {
-		data, err := r.store.Read(bucket*RingSlots + s)
+		data, err := r.store.ReadInto(bucket*RingSlots+s, r.readBuf)
 		if err != nil {
 			return err
 		}
+		r.readBuf = data
 		if m.ids[s] == 0 {
 			continue
 		}
 		id := m.ids[s] - 1
 		if _, dup := r.stash[id]; !dup {
-			blk := make([]byte, r.blockSize)
+			blk := r.newBlockBuf()
 			copy(blk, data)
 			r.stash[id] = stashEntry{leaf: m.leaf[s], data: blk}
 		}
@@ -381,7 +562,10 @@ func (r *Ring) RawScan(fn func(id int, data []byte) error) error {
 }
 
 func (r *Ring) pathBuckets(leaf int) []int {
-	path := make([]int, r.levels)
+	if cap(r.pathBuf) < r.levels {
+		r.pathBuf = make([]int, r.levels)
+	}
+	path := r.pathBuf[:r.levels]
 	idx := r.leaves - 1 + leaf
 	for l := r.levels - 1; l >= 0; l-- {
 		path[l] = idx

@@ -8,8 +8,18 @@ package oram
 type Scheme interface {
 	// Access performs one logical read or write of block id.
 	Access(op Op, id int, data []byte) ([]byte, error)
+	// AccessInto is Access returning the block contents in dst's capacity
+	// (see enclave.Store.ReadInto): hot paths that reuse one scratch block
+	// pay zero allocations per access.
+	AccessInto(op Op, id int, data, dst []byte) ([]byte, error)
 	// Update reads, transforms, and rewrites a block in one operation.
 	Update(id int, fn func([]byte) []byte) ([]byte, error)
+	// UpdateInto is Update returning the result in dst's capacity.
+	UpdateInto(id int, dst []byte, fn func([]byte) []byte) ([]byte, error)
+	// AccessesPerOp is the number of untrusted block accesses one logical
+	// operation costs (amortized), the public O(log N) factor the planner
+	// prices indexed access with.
+	AccessesPerOp() int
 	// DummyAccess performs an access indistinguishable from a real one,
 	// for callers padding to worst-case counts.
 	DummyAccess() error

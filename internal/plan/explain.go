@@ -75,7 +75,12 @@ func describe(n Node) string {
 		return "Scan " + x.Table
 	case *IndexScan:
 		s := fmt.Sprintf("IndexScan %s (%s)", x.Table, rangeSQL(x.KeyCol, x.Range))
-		if x.InBlocks > 0 {
+		if x.Algorithm != "" {
+			// Both method prices are rendered so EXPLAIN shows *why* the
+			// planner picked flat or indexed access, not just which.
+			s += fmt.Sprintf(" [alg≈%s index≈%d flat≈%d blocks≤%d]",
+				x.Algorithm, x.IndexCost, x.FlatCost, x.InBlocks)
+		} else if x.InBlocks > 0 {
 			s += fmt.Sprintf(" [blocks≤%d]", x.InBlocks)
 		}
 		return s

@@ -60,6 +60,11 @@ type IndexScan struct {
 	Table  string
 	KeyCol string
 	Range  KeyRange
+	// IndexCost and FlatCost are the estimated untrusted block accesses
+	// of serving this ranged read through the index vs. a full flat scan;
+	// Choice.Algorithm records which method the planner picked. Both are
+	// functions of public sizes only.
+	IndexCost, FlatCost int64
 	Choice
 }
 
@@ -295,6 +300,21 @@ type TableMeta struct {
 	KeyColumn string
 	// NumColumns is the schema width (needed for join layouts).
 	NumColumns int
+	// HasFlat reports whether the table has a flat representation a full
+	// scan can run against (false for index-only tables).
+	HasFlat bool
+	// HasIndex reports whether the table has an ORAM-backed index the
+	// planner may route ranged reads through.
+	HasIndex bool
+	// IndexHeight is the B+ tree's level count — public, a function of
+	// the (leaked) row count.
+	IndexHeight int
+	// IndexAccessesPerOp is the untrusted block accesses one logical ORAM
+	// operation costs — the public O(log N) factor of the indexed method.
+	IndexAccessesPerOp int
+	// IndexRowsPerBlock is the packing factor of the index's record
+	// blocks (how many rows one ORAM record block holds).
+	IndexRowsPerBlock int
 }
 
 // Catalog exposes public table metadata to the compiler and optimizer.

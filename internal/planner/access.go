@@ -1,0 +1,79 @@
+package planner
+
+import "oblidb/internal/plan"
+
+// This file prices the paper's two storage methods (§3) against each
+// other for one ranged read: a flat scan always touches every sealed
+// block of the table, while the indexed method descends the oblivious
+// B+ tree and walks the scanned segment, paying the ORAM's O(log N)
+// factor per logical block touched. Both prices are functions of public
+// sizes only — the catalog's block counts, the tree height, the ORAM
+// geometry, and the key-range width (ranges come from statement
+// literals, so the width is part of the query shape the adversary
+// already sees).
+
+// AccessChoice is the planner's verdict on how to serve one ranged read.
+type AccessChoice struct {
+	// UseIndex says the indexed method is estimated cheaper (always true
+	// for index-only tables, always false for tables without an index).
+	UseIndex bool
+	// IndexCost and FlatCost are the two methods' estimated untrusted
+	// block accesses. IndexCost is 0 when the table has no index.
+	IndexCost, FlatCost int64
+}
+
+// indexLeafFill is the entries-per-leaf estimate used to price leaf-chain
+// hops: bulk loads fill leaves to 3/4 of the tree's fanout of 8, and
+// incremental splits keep occupancy between half and full.
+const indexLeafFill = 6
+
+// ChooseAccess prices flat-scan vs. indexed access for a read of r
+// against the table described by m.
+func ChooseAccess(m plan.TableMeta, r plan.KeyRange) AccessChoice {
+	c := AccessChoice{FlatCost: int64(m.Blocks)}
+	if !m.HasIndex {
+		return c
+	}
+	est := rangeRows(r, m.Rows)
+	perOp := m.IndexAccessesPerOp
+	if perOp < 1 {
+		perOp = 1
+	}
+	rpb := m.IndexRowsPerBlock
+	if rpb < 1 {
+		rpb = 1
+	}
+	// Tree operations: a point read costs the fixed padded lookup target
+	// height+2; a range read descends once, then hops est/fill leaves and
+	// reads est/R record blocks. Each operation is one ORAM access of
+	// perOp untrusted block touches.
+	var treeOps int64
+	if est <= 1 {
+		treeOps = int64(m.IndexHeight + 2)
+	} else {
+		leaves := (est + indexLeafFill - 1) / indexLeafFill
+		recBlocks := (est + rpb - 1) / rpb
+		treeOps = int64(m.IndexHeight + leaves + recBlocks)
+	}
+	c.IndexCost = treeOps * int64(perOp)
+	if !m.HasFlat {
+		c.UseIndex = true
+		return c
+	}
+	c.UseIndex = c.IndexCost < c.FlatCost
+	return c
+}
+
+// rangeRows is the public row estimate of a key range: its width, capped
+// at the table's row capacity. The subtraction is two's-complement so a
+// full range (MinInt64, MaxInt64) saturates instead of overflowing.
+func rangeRows(r plan.KeyRange, rows int) int {
+	if rows < 1 {
+		rows = 1
+	}
+	w := uint64(r.Hi) - uint64(r.Lo)
+	if w >= uint64(rows) {
+		return rows
+	}
+	return int(w) + 1
+}

@@ -66,11 +66,20 @@ func annotate(n plan.Node, cat plan.Catalog, e *enclave.Enclave, cfg Config, max
 		if !ok {
 			return nodeInfo{}
 		}
-		// The scanned segment's size is data-dependent (the conceded
-		// index leakage of §4.1); the padded estimate is the whole
-		// table. Range-scan materializations repack at the engine's
-		// geometry, which the catalog reports per table.
-		x.Algorithm, x.Estimated = "RangeScan", true
+		// Price the two §3 storage methods against each other: full flat
+		// scan vs. ORAM-backed B+ tree descent. Choosing the index leaks
+		// the scanned segment's size (the conceded leakage of §4.1); the
+		// materialized output is still padded to the whole table, and
+		// range-scan materializations repack at the engine's geometry,
+		// which the catalog reports per table.
+		ch := ChooseAccess(m, x.Range)
+		x.IndexCost, x.FlatCost = ch.IndexCost, ch.FlatCost
+		if ch.UseIndex {
+			x.Algorithm, x.Cost = "IndexRange", ch.IndexCost
+		} else {
+			x.Algorithm, x.Cost = "FlatScan", ch.FlatCost
+		}
+		x.Estimated = true
 		x.InBlocks, x.OutBlocks = m.Blocks, m.Blocks
 		x.RowsPerBlock = m.RowsPerBlock
 		return geom(m.Rows, m.RowsPerBlock, m.RecordSize)

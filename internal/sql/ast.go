@@ -10,12 +10,16 @@ import (
 type Statement interface{ stmt() }
 
 // CreateTable is CREATE TABLE name (cols...) [STORAGE = kind]
-// [INDEX ON col] [CAPACITY = n] [OBLIVIOUS INSERTS].
+// [USING INDEX(col) | INDEX ON col] [CAPACITY = n] [OBLIVIOUS INSERTS].
 type CreateTable struct {
-	Name       string
-	Columns    []table.Column
-	Kind       core.StorageKind
-	IndexCol   string
+	Name     string
+	Columns  []table.Column
+	Kind     core.StorageKind
+	IndexCol string
+	// UsingIndex marks the USING INDEX(col) spelling, which picks the
+	// index-only storage method by default; the INDEX ON col spelling
+	// defaults to both representations.
+	UsingIndex bool
 	Capacity   int
 	ObliviousI bool
 }

@@ -358,7 +358,11 @@ func (x *Executor) createTable(s *CreateTable) (*core.Result, error) {
 	}
 	kind := s.Kind
 	if s.IndexCol != "" && kind == core.KindFlat {
-		kind = core.KindBoth
+		if s.UsingIndex {
+			kind = core.KindIndexed
+		} else {
+			kind = core.KindBoth
+		}
 	}
 	_, err = x.db.CreateTable(s.Name, schema, core.TableOptions{
 		Kind:             kind,

@@ -40,29 +40,63 @@ func TestExplainGolden(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res := mustExec(t, x, "EXPLAIN "+tc.sql)
-			var lines []string
-			for _, r := range res.Rows {
-				lines = append(lines, r[0].AsString())
-			}
-			got := strings.Join(lines, "\n") + "\n"
-			path := filepath.Join("testdata", "explain", tc.name+".golden")
-			if *updateGolden {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden file (run with -update): %v", err)
-			}
-			if got != string(want) {
-				t.Errorf("EXPLAIN %s drifted from golden:\n--- got ---\n%s--- want ---\n%s", tc.sql, got, want)
-			}
+			goldenCheck(t, tc.name, explainLines(t, x, tc.sql))
 		})
+	}
+}
+
+// TestExplainAccessFlipGolden pins the planner's access-method flip: the
+// same point-query shape is served by a flat scan on a small table and
+// by the ORAM index on a large one, and EXPLAIN shows both methods'
+// block-access prices either way.
+func TestExplainAccessFlipGolden(t *testing.T) {
+	// One record per sealed block makes flat scans pay one access per
+	// row, so the flip happens at a capacity unit tests can afford.
+	x := New(core.MustOpen(core.Config{RowsPerBlock: 1}))
+	for _, stmt := range []string{
+		"CREATE TABLE small (id INTEGER, amount INTEGER) INDEX ON id CAPACITY = 16",
+		"CREATE TABLE large (id INTEGER, amount INTEGER) INDEX ON id CAPACITY = 4096",
+	} {
+		mustExec(t, x, stmt)
+	}
+	t.Run("small", func(t *testing.T) {
+		goldenCheck(t, "access_flip_small", explainLines(t, x, "SELECT * FROM small WHERE id = 7"))
+	})
+	t.Run("large", func(t *testing.T) {
+		goldenCheck(t, "access_flip_large", explainLines(t, x, "SELECT * FROM large WHERE id = 7"))
+	})
+}
+
+// explainLines runs EXPLAIN and joins the rendered plan.
+func explainLines(t *testing.T, x *Executor, sql string) string {
+	t.Helper()
+	res := mustExec(t, x, "EXPLAIN "+sql)
+	var lines []string
+	for _, r := range res.Rows {
+		lines = append(lines, r[0].AsString())
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// goldenCheck compares got against testdata/explain/<name>.golden,
+// rewriting the file under -update.
+func goldenCheck(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "explain", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
 	}
 }

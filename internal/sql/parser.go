@@ -194,6 +194,24 @@ func (p *parser) createTable() (Statement, error) {
 				return nil, err
 			}
 			stmt.IndexCol = col
+		case p.acceptKeyword("USING"):
+			// USING INDEX(col): the indexed storage method as the table's
+			// primary representation (defaults to index-only storage).
+			if err := p.expectKeyword("INDEX"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			stmt.IndexCol = col
+			stmt.UsingIndex = true
 		case p.acceptKeyword("CAPACITY"):
 			if !p.accept("=") {
 				return nil, fmt.Errorf("sql: expected = after CAPACITY")
@@ -210,7 +228,11 @@ func (p *parser) createTable() (Statement, error) {
 			stmt.ObliviousI = true
 		default:
 			if stmt.IndexCol != "" && stmt.Kind == core.KindFlat {
-				stmt.Kind = core.KindBoth
+				if stmt.UsingIndex {
+					stmt.Kind = core.KindIndexed
+				} else {
+					stmt.Kind = core.KindBoth
+				}
 			}
 			return stmt, nil
 		}

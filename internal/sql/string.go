@@ -44,8 +44,14 @@ func (s *CreateTable) String() string {
 		sb.WriteString(strings.ToUpper(s.Kind.String()))
 	}
 	if s.IndexCol != "" {
-		sb.WriteString(" INDEX ON ")
-		sb.WriteString(s.IndexCol)
+		if s.UsingIndex {
+			sb.WriteString(" USING INDEX(")
+			sb.WriteString(s.IndexCol)
+			sb.WriteString(")")
+		} else {
+			sb.WriteString(" INDEX ON ")
+			sb.WriteString(s.IndexCol)
+		}
 	}
 	if s.Capacity != 0 {
 		fmt.Fprintf(&sb, " CAPACITY = %d", s.Capacity)

@@ -50,7 +50,8 @@ func main() {
 	memory := flag.Int("memory", 0, "oblivious memory budget in bytes (0 = paper default 20 MB)")
 	pad := flag.Int("pad", 0, "padding mode: pad intermediate tables to this many rows (0 = off)")
 	parallelism := flag.Int("parallelism", 1, "intra-query worker pool size (-1 = GOMAXPROCS, 1 = serial)")
-	workers := flag.Int("workers", 1, "epoch slots executed concurrently (1 = serial)")
+	workers := flag.Int("workers", 1, "epoch read slots executed concurrently (1 = serial)")
+	contentionProfile := flag.Bool("contention-profile", false, "enable mutex and block profiles on /debug/pprof")
 	slowEpochs := flag.Int("slow-epochs", 0, "log statements that wait at least this many epochs, by literal-free shape (0 = default 8)")
 	walPath := flag.String("wal", "", "write-ahead log file; replayed on startup, journaled while serving (empty = no durability)")
 	walKeyPath := flag.String("wal-key", "", "journal sealing key file, hex (default <wal>.key; created if missing)")
@@ -102,6 +103,7 @@ func main() {
 		EpochSize:           *epochSize,
 		EpochInterval:       *epochInterval,
 		Workers:             *workers,
+		ContentionProfiling: *contentionProfile,
 		Logger:              logger,
 		SlowStatementEpochs: *slowEpochs,
 		WAL:                 journal,

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file is the sqlbench-style regression gate of the ROADMAP: it
+// diffs a fresh (or saved) trajectory run against a checked-in
+// BENCH_<n>.json baseline, cell by cell, and fails past a threshold.
+// Wall-clock microbenchmarks on shared CI runners are noisy, so the
+// gate is advisory there (continue-on-error); the point is that a perf
+// PR sees the regression it introduced in the numbers it changed.
+
+// compareResult is one matched baseline/current cell pair.
+type compareResult struct {
+	name     string
+	base     float64 // baseline value
+	cur      float64 // current value
+	slowdown float64 // >1 = current is worse, in the metric's own sense
+}
+
+// loadReport reads a BenchReport from a BENCH_<n>.json file.
+func loadReport(path string) (BenchReport, error) {
+	var rep BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports matches every cell family by identity — (op, rows, R)
+// for packing, (R, epoch size) for served, (op, rows, method) for the
+// access-method sweep, worker count for concurrency — and computes the
+// current-vs-baseline slowdown. Cells present on only one side are
+// skipped: a new figure has no baseline to regress against.
+func compareReports(base, cur BenchReport) []compareResult {
+	var out []compareResult
+
+	packKey := func(c packingCell) string { return fmt.Sprintf("packing %s rows=%d R=%d", c.Op, c.Rows, c.R) }
+	basePack := map[string]packingCell{}
+	for _, c := range base.Packing {
+		basePack[packKey(c)] = c
+	}
+	for _, c := range cur.Packing {
+		if b, ok := basePack[packKey(c)]; ok && b.NsPerOp > 0 {
+			out = append(out, compareResult{packKey(c), b.NsPerOp, c.NsPerOp, c.NsPerOp / b.NsPerOp})
+		}
+	}
+
+	servedKey := func(c servedCell) string { return fmt.Sprintf("served R=%d epoch=%d", c.R, c.EpochSize) }
+	baseServed := map[string]servedCell{}
+	for _, c := range base.Served {
+		baseServed[servedKey(c)] = c
+	}
+	for _, c := range cur.Served {
+		// Throughput: slowdown is baseline/current.
+		if b, ok := baseServed[servedKey(c)]; ok && c.StmtsPerSec > 0 {
+			out = append(out, compareResult{servedKey(c), b.StmtsPerSec, c.StmtsPerSec, b.StmtsPerSec / c.StmtsPerSec})
+		}
+	}
+
+	idxKey := func(c indexedCell) string { return fmt.Sprintf("indexed %s rows=%d %s", c.Op, c.Rows, c.Method) }
+	baseIdx := map[string]indexedCell{}
+	for _, c := range base.Indexed {
+		baseIdx[idxKey(c)] = c
+	}
+	for _, c := range cur.Indexed {
+		if b, ok := baseIdx[idxKey(c)]; ok && b.NsPerOp > 0 {
+			out = append(out, compareResult{idxKey(c), b.NsPerOp, c.NsPerOp, c.NsPerOp / b.NsPerOp})
+		}
+	}
+
+	concKey := func(c concurrencyCell) string { return fmt.Sprintf("concurrency workers=%d", c.Workers) }
+	baseConc := map[string]concurrencyCell{}
+	for _, c := range base.Concurrency {
+		baseConc[concKey(c)] = c
+	}
+	for _, c := range cur.Concurrency {
+		if b, ok := baseConc[concKey(c)]; ok && c.StmtsPerSec > 0 {
+			out = append(out, compareResult{concKey(c), b.StmtsPerSec, c.StmtsPerSec, b.StmtsPerSec / c.StmtsPerSec})
+		}
+	}
+	return out
+}
+
+// Compare diffs the perf trajectory against the baseline at
+// baselinePath. When againstPath is non-empty it holds a saved current
+// run; otherwise the full measurement suite runs now. Returns an error
+// listing every cell whose slowdown exceeds threshold (e.g. 1.5 =
+// fifty percent worse than baseline).
+func Compare(o Options, baselinePath, againstPath string, threshold float64) error {
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var cur BenchReport
+	if againstPath != "" {
+		if cur, err = loadReport(againstPath); err != nil {
+			return fmt.Errorf("current: %w", err)
+		}
+	} else {
+		o.printf("measuring current trajectory (baseline %s)...\n", baselinePath)
+		if cur, err = measureReport(o); err != nil {
+			return err
+		}
+	}
+
+	results := compareReports(base, cur)
+	if len(results) == 0 {
+		return fmt.Errorf("no comparable cells between baseline and current run")
+	}
+	tp := newTable("Cell", "Baseline", "Current", "Slowdown", "Verdict")
+	regressions := 0
+	for _, r := range results {
+		verdict := "ok"
+		if r.slowdown > threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		tp.addf(r.name,
+			fmt.Sprintf("%.3g", r.base), fmt.Sprintf("%.3g", r.cur),
+			fmt.Sprintf("%.2fx", r.slowdown), verdict)
+	}
+	tp.render(o.Out)
+	o.printf("  (%d cells compared against %s, threshold %.2fx)\n\n", len(results), baselinePath, threshold)
+	if regressions > 0 {
+		return fmt.Errorf("%d of %d cells regressed more than %.2fx over %s",
+			regressions, len(results), threshold, baselinePath)
+	}
+	return nil
+}

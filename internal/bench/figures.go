@@ -922,27 +922,28 @@ func RunPadding(o Options) error {
 
 // Figures maps experiment ids to runners.
 var Figures = map[string]func(Options) error{
-	"2":        RunFig2,
-	"3":        RunFig3,
-	"6":        RunFig6,
-	"7":        RunFig7,
-	"8":        RunFig8,
-	"9":        RunFig9,
-	"10":       RunFig10,
-	"11":       RunFig11,
-	"12":       RunFig12,
-	"13":       RunFig13,
-	"14":       RunFig14,
-	"pad":      RunPadding,
-	"abl":      RunAblations,
-	"served":   RunServed,
-	"parallel": RunParallel,
-	"packing":  RunPacking,
-	"indexed":  RunIndexed,
+	"2":           RunFig2,
+	"3":           RunFig3,
+	"6":           RunFig6,
+	"7":           RunFig7,
+	"8":           RunFig8,
+	"9":           RunFig9,
+	"10":          RunFig10,
+	"11":          RunFig11,
+	"12":          RunFig12,
+	"13":          RunFig13,
+	"14":          RunFig14,
+	"pad":         RunPadding,
+	"abl":         RunAblations,
+	"served":      RunServed,
+	"parallel":    RunParallel,
+	"packing":     RunPacking,
+	"indexed":     RunIndexed,
+	"concurrency": RunConcurrency,
 }
 
 // Order is the canonical run order for RunAll.
-var Order = []string{"2", "3", "6", "7", "8", "9", "10", "11", "12", "13", "14", "pad", "abl", "served", "parallel", "packing", "indexed"}
+var Order = []string{"2", "3", "6", "7", "8", "9", "10", "11", "12", "13", "14", "pad", "abl", "served", "parallel", "packing", "indexed", "concurrency"}
 
 // RunAll executes every experiment.
 func RunAll(o Options) error {

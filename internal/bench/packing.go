@@ -265,6 +265,12 @@ type BenchReport struct {
 	// O(log² n), so the gap widens with n).
 	Indexed             []indexedCell `json:"indexed"`
 	IndexedPointSpeedup float64       `json:"indexed_point_speedup"`
+	// Concurrency is the read-concurrency figure: served read-heavy
+	// throughput as Workers sweeps 1 → 8 with a modeled untrusted-store
+	// latency (DESIGN.md §16), and the Workers=4 speedup over serial —
+	// the number this PR's trajectory pins.
+	Concurrency          []concurrencyCell `json:"concurrency"`
+	ConcurrencySpeedupW4 float64           `json:"concurrency_speedup_w4"`
 	// Metrics is the served run's full metrics snapshot at the default
 	// geometry (the same catalog /metrics exposes), so the trajectory
 	// records occupancy, padding, enclave I/O, and plan-cache behavior
@@ -272,11 +278,10 @@ type BenchReport struct {
 	Metrics map[string]any `json:"metrics"`
 }
 
-// WriteBenchJSON runs the packing and served measurements at R ∈ {1,
-// default} plus the access-method sweep, and writes BENCH_8.json-style
-// output to path. CI uploads it as an artifact so subsequent PRs have a
-// trajectory to compare against.
-func WriteBenchJSON(o Options, path string) error {
+// measureReport runs every trajectory measurement — packing and served
+// throughput at R ∈ {1, default}, the access-method sweep, and the read
+// concurrency sweep — into one BenchReport.
+func measureReport(o Options) (BenchReport, error) {
 	def := storage.DefaultRowsPerBlock(workload.Schema())
 	rows := o.n(100000)
 	rep := BenchReport{
@@ -288,12 +293,12 @@ func WriteBenchJSON(o Options, path string) error {
 	for _, r := range []int{1, def} {
 		cs, err := measurePacking(o, rows, r)
 		if err != nil {
-			return err
+			return rep, err
 		}
 		rep.Packing = append(rep.Packing, cs...)
 		sc, snap, err := measureServed(o, r)
 		if err != nil {
-			return err
+			return rep, err
 		}
 		sc.R = r
 		rep.Served = append(rep.Served, sc)
@@ -302,7 +307,7 @@ func WriteBenchJSON(o Options, path string) error {
 	for _, n := range indexedSizes(o) {
 		cs, err := measureIndexed(o, n)
 		if err != nil {
-			return err
+			return rep, err
 		}
 		rep.Indexed = append(rep.Indexed, cs...)
 		if n == indexedSizes(o)[len(indexedSizes(o))-1] {
@@ -311,10 +316,31 @@ func WriteBenchJSON(o Options, path string) error {
 			}
 		}
 	}
+	ccells, err := measureConcurrency(o)
+	if err != nil {
+		return rep, err
+	}
+	rep.Concurrency = ccells
+	for _, c := range ccells {
+		if c.Workers == 4 {
+			rep.ConcurrencySpeedupW4 = c.Speedup
+		}
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON runs the full trajectory measurement and writes
+// BENCH_<n>.json-style output to path. CI uploads it as an artifact so
+// subsequent PRs have a trajectory to compare against.
+func WriteBenchJSON(o Options, path string) error {
+	rep, err := measureReport(o)
+	if err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
-	o.printf("wrote %s (default R=%d)\n", path, def)
+	o.printf("wrote %s (default R=%d)\n", path, rep.DefaultR)
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

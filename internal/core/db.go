@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"oblidb/internal/enclave"
 	"oblidb/internal/exec"
@@ -100,30 +102,63 @@ type Config struct {
 	// are recorded there. Tests assert the multiset of worker traces is
 	// input-independent (trace.MultisetFingerprint).
 	WorkerTracers []*trace.Tracer
+	// ReadConcurrency sizes the read-slot context pool: up to this many
+	// read statements execute concurrently under the shared side of the
+	// database lock, each on its own enclave replica (own sealer, PRNG
+	// stream, tracer, scratch). 0 or 1 keeps reads on the exclusive lock
+	// — the serial engine, byte-identical traces; -1 uses GOMAXPROCS.
+	// The pool size is public configuration, like the epoch cadence.
+	ReadConcurrency int
+	// ReadTracers, if non-nil, must hold one tracer per read-slot
+	// context; each slot's untrusted accesses are recorded there. Tests
+	// assert the multiset of read-slot traces is interleaving-independent
+	// (trace.EventMultisetFingerprint).
+	ReadTracers []*trace.Tracer
+	// StoreLatency models the cost of one untrusted-memory block access
+	// (see enclave.Config.StoreLatency). Zero keeps untrusted memory at
+	// in-process speed; benchmarks set it to measure latency-hiding read
+	// concurrency.
+	StoreLatency time.Duration
 }
 
 // DB is an ObliDB database: an enclave plus its tables.
 //
-// Concurrency: every exported method takes a single database-wide mutex,
-// so a DB is safe for concurrent use — one statement at a time. The
-// engine does not interleave two statements' accesses (that would
-// entangle their traces); instead it parallelizes WITHIN a statement
-// when Config.Parallelism allows it, splitting an operator into equal
-// padded partitions executed by worker enclaves whose per-core access
-// streams are each deterministic (see internal/exec's parallel
-// operators). The network server (internal/server) funnels all
-// statements through its epoch scheduler, and this mutex is the backstop
-// that keeps direct library use (tests, embedders sharing a DB across
-// goroutines) race-free as well. Exported methods lock and delegate to
+// Concurrency: the database lock is a read/write mutex. Mutations, DDL,
+// and transactions take the exclusive side — one at a time, exactly the
+// seed engine. Read statements take the shared side plus a per-slot
+// execution context from a fixed pool (Config.ReadConcurrency), so up
+// to that many reads run truly in parallel: each context carries its
+// own enclave replica (sealer, PRNG stream, tracer, accountant) and its
+// own per-table read views, while ORAM-backed index access — which
+// mutates stash and position map even on reads — serializes behind a
+// per-table lock (Table.idxMu). The catalog is resolved against a
+// copy-on-write snapshot republished on every DDL. With
+// ReadConcurrency ≤ 1 reads also take the exclusive side and run on the
+// engine's own context, preserving the serial engine's byte-identical
+// traces. Statement-internal partition parallelism
+// (Config.Parallelism) is unchanged and orthogonal; it stays exclusive
+// to the serial context. Exported methods lock and delegate to
 // unexported, unlocked variants; internal cross-calls use the unlocked
-// variants so the mutex is never taken reentrantly.
+// variants so the mutex is never taken reentrantly. See DESIGN.md §16.
 type DB struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	enc     *enclave.Enclave
 	cfg     Config
 	tables  map[string]*Table
 	workers []*enclave.Enclave // intra-query worker pool (nil when serial)
-	tmpSeq  int
+	// snap is the latest published catalog snapshot; readCtxs is the
+	// read-slot context pool (nil when reads serialize); serialCtx is
+	// the engine's own context for exclusive-side statements; lockC
+	// counts lock traffic for the contention metrics.
+	snap      atomic.Pointer[catalogSnap]
+	readCtxs  chan *execCtx
+	readEncs  []*enclave.Enclave // the pool's replica enclaves (stats)
+	serialCtx *execCtx
+	lockC     lockCounters
+	// planMu guards LastPlan and picks: read slots record planner
+	// decisions while holding only the shared database lock.
+	planMu sync.Mutex
+	tmpSeq atomic.Int64
 	// wal, when attached, journals every applied mutation; the staged
 	// batch commits durably when the statement (or explicit transaction)
 	// does. recovering suppresses re-logging during replay.
@@ -153,11 +188,10 @@ type DB struct {
 }
 
 // CatalogEpoch reports the current catalog version; it changes exactly
-// when CreateTable or DropTable succeeds.
+// when CreateTable or DropTable succeeds. It reads the published
+// snapshot, so it never blocks behind a running statement.
 func (db *DB) CatalogEpoch() uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.catEpoch
+	return db.snap.Load().epoch
 }
 
 // PickStats counts the planner's runtime algorithm picks — one tally
@@ -192,14 +226,16 @@ func (p PickStats) clone() PickStats {
 
 // PlanStats reports the engine's per-algorithm pick counters.
 func (db *DB) PlanStats() PickStats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
 	return db.picks.clone()
 }
 
-// pickSelect and pickJoin tally one runtime algorithm decision (called
-// with mu held).
+// pickSelect, pickJoin, pickSort, and pickLimit tally one runtime
+// algorithm decision each; planMu makes them safe from read slots.
 func (db *DB) pickSelect(name string) {
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
 	if db.picks.Select == nil {
 		db.picks.Select = make(map[string]uint64)
 	}
@@ -207,20 +243,52 @@ func (db *DB) pickSelect(name string) {
 }
 
 func (db *DB) pickJoin(name string) {
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
 	if db.picks.Join == nil {
 		db.picks.Join = make(map[string]uint64)
 	}
 	db.picks.Join[name]++
 }
 
-// IOStats folds the sealed-block I/O tallies of the main enclave and
-// every Split worker into one snapshot — the per-worker tallies are the
-// per-core adversarial views, and their sum is the total sealed-block
-// traffic the host observed.
+func (db *DB) pickSort() {
+	db.planMu.Lock()
+	db.picks.Sorts++
+	db.planMu.Unlock()
+}
+
+func (db *DB) pickLimit() {
+	db.planMu.Lock()
+	db.picks.Limits++
+	db.planMu.Unlock()
+}
+
+// setLastPlan records the most recent planner decisions under planMu;
+// setLastJoin updates just the join pick (joins run select sub-plans
+// first, which overwrite the whole record).
+func (db *DB) setLastPlan(p PlanInfo) {
+	db.planMu.Lock()
+	db.LastPlan = p
+	db.planMu.Unlock()
+}
+
+func (db *DB) setLastJoin(alg exec.JoinAlgorithm) {
+	db.planMu.Lock()
+	db.LastPlan.JoinAlg = alg
+	db.planMu.Unlock()
+}
+
+// IOStats folds the sealed-block I/O tallies of the main enclave, every
+// Split worker, and every read-slot replica into one snapshot — the
+// per-worker tallies are the per-core adversarial views, and their sum
+// is the total sealed-block traffic the host observed.
 func (db *DB) IOStats() enclave.IOSnapshot {
 	s := db.enc.IOStats()
 	for _, w := range db.workers {
 		s.Add(w.IOStats())
+	}
+	for _, r := range db.readEncs {
+		s.Add(r.IOStats())
 	}
 	return s
 }
@@ -238,7 +306,7 @@ type StorageGeomStats struct {
 // (the configured knob or the per-schema ~4 KiB default), never
 // data-derived.
 func (db *DB) StorageStats() map[int]StorageGeomStats {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	out := make(map[int]StorageGeomStats)
 	for _, t := range db.tables {
@@ -274,6 +342,7 @@ func Open(cfg Config) (*DB, error) {
 		Tracer:          cfg.Tracer,
 		Key:             cfg.Key,
 		Seed:            cfg.Seed,
+		StoreLatency:    cfg.StoreLatency,
 	})
 	if err != nil {
 		return nil, err
@@ -291,6 +360,32 @@ func Open(cfg Config) (*DB, error) {
 	} else if cfg.WorkerTracers != nil {
 		return nil, fmt.Errorf("core: WorkerTracers set on a serial engine")
 	}
+	db.serialCtx = &execCtx{db: db, enc: enc, serial: true}
+	rc := cfg.ReadConcurrency
+	if rc < 0 {
+		rc = runtime.GOMAXPROCS(0)
+	}
+	if rc > 1 {
+		if cfg.ReadTracers != nil && len(cfg.ReadTracers) != rc {
+			return nil, fmt.Errorf("core: ReadTracers has %d tracers for %d read slots", len(cfg.ReadTracers), rc)
+		}
+		db.readCtxs = make(chan *execCtx, rc)
+		for i := 0; i < rc; i++ {
+			var tr *trace.Tracer
+			if cfg.ReadTracers != nil {
+				tr = cfg.ReadTracers[i]
+			}
+			r, err := enc.Replica(i, tr)
+			if err != nil {
+				return nil, err
+			}
+			db.readEncs = append(db.readEncs, r)
+			db.readCtxs <- &execCtx{db: db, enc: r, views: make(map[*storage.Flat]*storage.ReadView)}
+		}
+	} else if cfg.ReadTracers != nil {
+		return nil, fmt.Errorf("core: ReadTracers set on a serial-read engine")
+	}
+	db.snap.Store(&catalogSnap{tables: map[string]*Table{}})
 	return db, nil
 }
 
@@ -325,6 +420,12 @@ type Table struct {
 	oblivIn  bool // inserts scan obliviously rather than appending
 	recORAM  bool // index uses the recursive position map
 	capacity int  // creation capacity (flat growth is read live)
+	// idxMu serializes index access from concurrent read slots: Ring
+	// ORAM mutates its stash and position map even on reads, so index
+	// reads are exclusive per table while flat reads of other tables
+	// proceed. Exclusive-side statements already hold the database
+	// write lock and skip it.
+	idxMu sync.Mutex
 }
 
 // Name returns the table name.
@@ -378,7 +479,7 @@ type TableOptions struct {
 // point in the log's life — the seed's WAL fixed its entry size at the
 // first append and rejected later registrations.
 func (db *DB) CreateTable(name string, schema *table.Schema, opts TableOptions) (*Table, error) {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	wm, um := db.mutationMarks()
 	t, err := db.createTableBody(name, schema, opts)
@@ -417,7 +518,16 @@ func (db *DB) createTableBody(name string, schema *table.Schema, opts TableOptio
 		if col < 0 {
 			return nil, fmt.Errorf("core: key column %q not in schema", opts.KeyColumn)
 		}
-		idx, err := indexed.New(db.enc, name+".index", schema, col, capacity, indexed.Options{
+		// The index lives on a child enclave with its own sealer: two
+		// read slots may hit two different tables' indexes concurrently,
+		// and a sealer is single-stream. The child shares the parent's
+		// accountant, tracer, and seed, so budget, trace, and ORAM leaf
+		// assignment are identical to building on db.enc directly.
+		ienc, err := db.enc.Child(name + ".index")
+		if err != nil {
+			return nil, err
+		}
+		idx, err := indexed.New(ienc, name+".index", schema, col, capacity, indexed.Options{
 			RecursiveORAM: opts.RecursiveORAM,
 			RowsPerBlock:  db.rowsPerBlockFor(schema),
 		})
@@ -428,7 +538,7 @@ func (db *DB) createTableBody(name string, schema *table.Schema, opts TableOptio
 		t.keyCol = col
 	}
 	db.tables[lname] = t
-	db.catEpoch++
+	db.publishCatalog()
 	if db.trackingMutations() {
 		db.undo = append(db.undo, undoRec{op: undoCreate, table: t.name})
 		if db.wal != nil {
@@ -440,10 +550,13 @@ func (db *DB) createTableBody(name string, schema *table.Schema, opts TableOptio
 	return t, nil
 }
 
-// Table looks up a table by name (case-insensitive).
+// Table looks up a table by name (case-insensitive). Lookup reads the
+// catalog only, so it takes the shared lock: compilation and metadata
+// probes must not park an epoch's read slots behind an exclusive
+// acquisition.
 func (db *DB) Table(name string) (*Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lockShared()
+	defer db.mu.RUnlock()
 	return db.lookup(name)
 }
 
@@ -458,7 +571,7 @@ func (db *DB) lookup(name string) (*Table, error) {
 
 // Tables lists table names.
 func (db *DB) Tables() []string {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	out := make([]string, 0, len(db.tables))
 	for _, t := range db.tables {
@@ -472,7 +585,7 @@ func (db *DB) Tables() []string {
 // drop record commits durably *before* the in-memory removal — which
 // cannot fail — keeping log and memory in lockstep.
 func (db *DB) DropTable(name string) error {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
@@ -507,7 +620,7 @@ func (db *DB) dropTableBody(name string) error {
 		t.index.Close()
 	}
 	delete(db.tables, lname)
-	db.catEpoch++
+	db.publishCatalog()
 	return nil
 }
 
@@ -515,7 +628,7 @@ func (db *DB) dropTableBody(name string) error {
 // keeps (§3.3: "Using both storage methods ... incurring the cost of both
 // for insertions").
 func (db *DB) Insert(name string, rows ...table.Row) error {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	return db.insertRows(name, rows)
 }
@@ -629,7 +742,7 @@ func (db *DB) insertFlat(t *Table, r table.Row) error {
 // flat representation and a bottom-up build of the index. Used for
 // initial loads, where only the row count leaks.
 func (db *DB) BulkLoad(name string, rows []table.Row) error {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	return db.bulkLoad(name, rows)
 }
@@ -686,7 +799,7 @@ func (db *DB) bulkLoadBody(name string, rows []table.Row) error {
 // range on the indexed column. It returns the count removed — already
 // public as the change in table size.
 func (db *DB) Delete(name string, pred table.Pred, key *KeyRange) (int, error) {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	return db.deleteRows(name, pred, key)
 }
@@ -782,7 +895,7 @@ func (db *DB) deleteRowsBody(name string, pred table.Pred, key *KeyRange) (int, 
 // Update rewrites rows matching pred with upd, optionally narrowed by a
 // key range. Key-column changes are handled as delete+insert on indexes.
 func (db *DB) Update(name string, pred table.Pred, upd table.Updater, key *KeyRange) (int, error) {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	return db.updateRows(name, pred, upd, key)
 }
@@ -924,8 +1037,10 @@ func (db *DB) rowsPerBlockFor(s *table.Schema) int {
 	return storage.DefaultRowsPerBlock(s)
 }
 
-// tmpName generates a unique name for intermediate tables.
+// tmpName generates a unique name for intermediate tables. The counter
+// is atomic so concurrent read slots never collide; trace comparisons
+// across interleavings normalize the digits away
+// (trace.EventMultisetFingerprint).
 func (db *DB) tmpName(op string) string {
-	db.tmpSeq++
-	return fmt.Sprintf("tmp%d.%s", db.tmpSeq, op)
+	return fmt.Sprintf("tmp%d.%s", db.tmpSeq.Add(1), op)
 }

@@ -18,9 +18,13 @@ import (
 // not leakage.
 
 // TableMeta implements plan.Catalog with the engine's public metadata.
+// It reads catalog metadata only, so it takes the shared lock: plan
+// compilation for one slot must not stall the read slots of the same
+// epoch (an exclusive acquisition would park every later shared one
+// behind it).
 func (db *DB) TableMeta(name string) (plan.TableMeta, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lockShared()
+	defer db.mu.RUnlock()
 	return db.tableMeta(name)
 }
 
@@ -87,7 +91,7 @@ func (c lockedCatalog) TableMeta(name string) (plan.TableMeta, bool) {
 // another annotation writes them. The interpreter's runtime decisions
 // use the same choosers with the stats scan's exact |R| where one runs.
 func (db *DB) ExplainPlan(root plan.Node) []string {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	workers := len(db.workers)
 	if workers == 0 {
@@ -101,10 +105,22 @@ func (db *DB) ExplainPlan(root plan.Node) []string {
 // execution's argument values. Deferred evaluation errors surface after
 // the operators complete — they must run their full padded access
 // sequences regardless.
+//
+// Read-only plans (plan.ReadOnly) run under the shared side of the
+// database lock on a pooled read-slot context, so the server's epoch
+// workers execute them concurrently; everything else — DML, DDL,
+// transactions — takes the exclusive side as before.
 func (db *DB) ExecutePlan(root plan.Node, b plan.Binder) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	res, err := db.runPlan(root, b)
+	var ec *execCtx
+	var release func()
+	if plan.ReadOnly(root) {
+		ec, release = db.beginRead()
+	} else {
+		db.lockWrite()
+		ec, release = db.serialCtx, db.mu.Unlock
+	}
+	defer release()
+	res, err := db.runPlan(ec, root, b)
 	if err != nil {
 		return nil, err
 	}
@@ -115,12 +131,12 @@ func (db *DB) ExecutePlan(root plan.Node, b plan.Binder) (*Result, error) {
 }
 
 // runPlan executes a statement-level plan node.
-func (db *DB) runPlan(n plan.Node, b plan.Binder) (*Result, error) {
+func (db *DB) runPlan(ec *execCtx, n plan.Node, b plan.Binder) (*Result, error) {
 	switch x := n.(type) {
 	case *plan.Collect:
-		return db.runCollect(x, b)
+		return db.runCollect(ec, x, b)
 	case *plan.Aggregate:
-		t, key, cond, names, err := db.planSource(x.Input, b)
+		t, key, cond, names, err := db.planSource(ec, x.Input, b)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +150,7 @@ func (db *DB) runPlan(n plan.Node, b plan.Binder) (*Result, error) {
 			specs[i] = AggregateSpec{Kind: s.Kind, Column: planAggColumn(t.schema, s.Column, names)}
 			outNames[i] = s.Name
 		}
-		res, err := db.aggregateTable(t, pred, specs, key)
+		res, err := db.aggregateTable(ec, t, pred, specs, key)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +225,7 @@ type PlanBinding struct {
 // single-writer, so atomicity needs no cross-statement locking — only
 // the deferred journal commit and the undo log (see wal.go).
 func (db *DB) ExecutePlanTx(items []PlanBinding) ([]*Result, error) {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	walMark, undoMark := db.mutationMarks()
 	db.inTx = true
@@ -217,7 +233,7 @@ func (db *DB) ExecutePlanTx(items []PlanBinding) ([]*Result, error) {
 	var err error
 	for _, it := range items {
 		var res *Result
-		if res, err = db.runPlan(it.Root, it.Binder); err == nil {
+		if res, err = db.runPlan(db.serialCtx, it.Root, it.Binder); err == nil {
 			err = it.Binder.Err()
 		}
 		if err != nil {
@@ -240,14 +256,14 @@ func (db *DB) ExecutePlanTx(items []PlanBinding) ([]*Result, error) {
 
 // runCollect materializes the subtree and decrypts it into a Result,
 // applying the trailing projection (a trace-neutral in-enclave map).
-func (db *DB) runCollect(c *plan.Collect, b plan.Binder) (*Result, error) {
+func (db *DB) runCollect(ec *execCtx, c *plan.Collect, b plan.Binder) (*Result, error) {
 	inner := c.Input
 	var items []plan.ProjItem
 	if pr, ok := inner.(*plan.Project); ok {
 		items = pr.Items
 		inner = pr.Input
 	}
-	t, names, err := db.planTable(inner, b)
+	t, names, err := db.planTable(ec, inner, b)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +272,7 @@ func (db *DB) runCollect(c *plan.Collect, b plan.Binder) (*Result, error) {
 	if err := b.Err(); err != nil {
 		return nil, err
 	}
-	raw, err := db.collect(t)
+	raw, err := db.collect(ec, t)
 	if err != nil {
 		return nil, err
 	}
@@ -284,10 +300,10 @@ func (db *DB) runCollect(c *plan.Collect, b plan.Binder) (*Result, error) {
 // planTable materializes a table-producing plan node into an
 // intermediate table, returning the join naming context its rows carry
 // (nil outside joins).
-func (db *DB) planTable(n plan.Node, b plan.Binder) (*Table, *plan.JoinNames, error) {
+func (db *DB) planTable(ec *execCtx, n plan.Node, b plan.Binder) (*Table, *plan.JoinNames, error) {
 	switch x := n.(type) {
 	case *plan.Filter:
-		t, key, cond, names, err := db.planSource(x, b)
+		t, key, cond, names, err := db.planSource(ec, x, b)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -295,15 +311,15 @@ func (db *DB) planTable(n plan.Node, b plan.Binder) (*Table, *plan.JoinNames, er
 		if err != nil {
 			return nil, nil, err
 		}
-		out, err := db.selectTable(t, pred, SelectOptions{KeyRange: key, Force: x.Force})
+		out, err := db.selectTable(ec, t, pred, SelectOptions{KeyRange: key, Force: x.Force})
 		if err != nil {
 			return nil, nil, err
 		}
 		return out, names, nil
 	case *plan.Join:
-		return db.planJoin(x, b)
+		return db.planJoin(ec, x, b)
 	case *plan.GroupBy:
-		t, key, cond, names, err := db.planSource(x.Input, b)
+		t, key, cond, names, err := db.planSource(ec, x.Input, b)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -319,7 +335,7 @@ func (db *DB) planTable(n plan.Node, b plan.Binder) (*Table, *plan.JoinNames, er
 		for i, s := range x.Specs {
 			specs[i] = AggregateSpec{Kind: s.Kind, Column: planAggColumn(t.schema, s.Column, names)}
 		}
-		out, err := db.groupAggregateTable(t, pred, groupKey, specs, key)
+		out, err := db.groupAggregateTable(ec, t, pred, groupKey, specs, key)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -327,32 +343,32 @@ func (db *DB) planTable(n plan.Node, b plan.Binder) (*Table, *plan.JoinNames, er
 		// naming does not survive it.
 		return out, nil, nil
 	case *plan.Sort:
-		return db.planSort(x, b)
+		return db.planSort(ec, x, b)
 	case *plan.Limit:
-		t, names, err := db.planTable(x.Input, b)
+		t, names, err := db.planTable(ec, x.Input, b)
 		if err != nil {
 			return nil, nil, err
 		}
-		in, _, release, err := db.inputFor(t, nil, nil)
+		in, _, release, err := db.inputFor(ec, t, nil, nil)
 		if err != nil {
 			return nil, nil, err
 		}
 		defer release()
-		out, err := exec.Limit(db.enc, in, x.N, db.tmpName("limit"))
+		out, err := exec.Limit(ec.enc, in, x.N, db.tmpName("limit"))
 		if err != nil {
 			return nil, nil, err
 		}
-		db.picks.Limits++
+		db.pickLimit()
 		return db.wrapTemp(out), names, nil
 	case *plan.Scan, *plan.IndexScan:
 		// The compiler wraps leaves in Filter; a bare leaf still
 		// materializes through an all-rows oblivious select (the engine
 		// never hands out raw storage).
-		t, key, _, _, err := db.planSource(n, b)
+		t, key, _, _, err := db.planSource(ec, n, b)
 		if err != nil {
 			return nil, nil, err
 		}
-		out, err := db.selectTable(t, table.All, SelectOptions{KeyRange: key})
+		out, err := db.selectTable(ec, t, table.All, SelectOptions{KeyRange: key})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -365,36 +381,36 @@ func (db *DB) planTable(n plan.Node, b plan.Binder) (*Table, *plan.JoinNames, er
 // condition, join names) without materializing the filter, so callers
 // fuse the predicate into their own operator pass — the aggregate's
 // fused scan, the sort's copy pass, the select's chosen algorithm.
-func (db *DB) planSource(n plan.Node, b plan.Binder) (*Table, *KeyRange, plan.Expr, *plan.JoinNames, error) {
+func (db *DB) planSource(ec *execCtx, n plan.Node, b plan.Binder) (*Table, *KeyRange, plan.Expr, *plan.JoinNames, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
-		t, err := db.lookup(x.Table)
+		t, err := ec.lookup(x.Table)
 		return t, nil, nil, nil, err
 	case *plan.IndexScan:
-		t, err := db.lookup(x.Table)
+		t, err := ec.lookup(x.Table)
 		return t, &KeyRange{Lo: x.Range.Lo, Hi: x.Range.Hi}, nil, nil, err
 	case *plan.Filter:
 		switch x.Input.(type) {
 		case *plan.Scan, *plan.IndexScan:
-			t, key, _, _, err := db.planSource(x.Input, b)
+			t, key, _, _, err := db.planSource(ec, x.Input, b)
 			return t, key, x.Cond, nil, err
 		}
-		t, names, err := db.planTable(x.Input, b)
+		t, names, err := db.planTable(ec, x.Input, b)
 		return t, nil, x.Cond, names, err
 	default:
-		t, names, err := db.planTable(n, b)
+		t, names, err := db.planTable(ec, n, b)
 		return t, nil, nil, names, err
 	}
 }
 
 // planJoin executes a Join node: side filters (the children's
 // conditions) fuse into the join's oblivious pre-filter passes.
-func (db *DB) planJoin(x *plan.Join, b plan.Binder) (*Table, *plan.JoinNames, error) {
-	lt, err := db.lookup(x.LeftTable)
+func (db *DB) planJoin(ec *execCtx, x *plan.Join, b plan.Binder) (*Table, *plan.JoinNames, error) {
+	lt, err := ec.lookup(x.LeftTable)
 	if err != nil {
 		return nil, nil, err
 	}
-	rt, err := db.lookup(x.RightTable)
+	rt, err := ec.lookup(x.RightTable)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -415,7 +431,7 @@ func (db *DB) planJoin(x *plan.Join, b plan.Binder) (*Table, *plan.JoinNames, er
 			return nil, nil, err
 		}
 	}
-	joined, err := db.joinTable(x.LeftTable, x.RightTable, x.LeftCol, x.RightCol, JoinOptions{
+	joined, err := db.joinTable(ec, x.LeftTable, x.RightTable, x.LeftCol, x.RightCol, JoinOptions{
 		FilterLeft:  leftPred,
 		FilterRight: rightPred,
 		Force:       x.Force,
@@ -431,8 +447,8 @@ func (db *DB) planJoin(x *plan.Join, b plan.Binder) (*Table, *plan.JoinNames, er
 // copy pass (no stats scan, no |R|-sized intermediate — the trace
 // depends only on the input capacity), then the bitonic network orders
 // the padded table dummy-last.
-func (db *DB) planSort(x *plan.Sort, b plan.Binder) (*Table, *plan.JoinNames, error) {
-	t, key, cond, names, err := db.planSource(x.Input, b)
+func (db *DB) planSort(ec *execCtx, x *plan.Sort, b plan.Binder) (*Table, *plan.JoinNames, error) {
+	t, key, cond, names, err := db.planSource(ec, x.Input, b)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -446,17 +462,17 @@ func (db *DB) planSort(x *plan.Sort, b plan.Binder) (*Table, *plan.JoinNames, er
 			return nil, nil, err
 		}
 	}
-	in, epred, release, err := db.inputFor(t, key, pred)
+	in, epred, release, err := db.inputFor(ec, t, key, pred)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer release()
 	pred = epred
-	out, err := exec.OrderBy(db.enc, in, pred, col, x.Desc, db.tmpName("sort"))
+	out, err := exec.OrderBy(ec.enc, in, pred, col, x.Desc, db.tmpName("sort"))
 	if err != nil {
 		return nil, nil, err
 	}
-	db.picks.Sorts++
+	db.pickSort()
 	return db.wrapTemp(out), names, nil
 }
 

@@ -39,34 +39,35 @@ type SelectOptions struct {
 
 // Select runs an oblivious selection and materializes the result.
 func (db *DB) Select(name string, pred table.Pred, opts SelectOptions) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.lookup(name)
+	c, release := db.beginRead()
+	defer release()
+	t, err := c.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	tmp, err := db.selectTable(t, pred, opts)
+	tmp, err := db.selectTable(c, t, pred, opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.collect(tmp)
+	return db.collect(c, tmp)
 }
 
 // SelectTable runs an oblivious selection into an intermediate table for
 // further composition. The planner's stats scan supplies |R| and
 // contiguity; padding mode skips planning and pads the output (§2.3).
 func (db *DB) SelectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.selectTable(t, pred, opts)
+	c, release := db.beginRead()
+	defer release()
+	return db.selectTable(c, t, pred, opts)
 }
 
-// selectTable is SelectTable without the lock, for internal cross-calls.
-func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table, error) {
+// selectTable is SelectTable without the lock, for internal cross-calls;
+// c is the execution context the statement runs under.
+func (db *DB) selectTable(c *execCtx, t *Table, pred table.Pred, opts SelectOptions) (*Table, error) {
 	if pred == nil {
 		pred = table.All
 	}
-	in, epred, release, err := db.inputFor(t, opts.KeyRange, pred)
+	in, epred, release, err := db.inputFor(c, t, opts.KeyRange, pred)
 	if err != nil {
 		return nil, err
 	}
@@ -93,11 +94,11 @@ func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table
 		}
 		execOpts.OutSize = db.cfg.Padding.PadRows
 		alg = exec.SelectHash
-		db.LastPlan = PlanInfo{SelectAlg: alg, Stats: st}
+		db.setLastPlan(PlanInfo{SelectAlg: alg, Stats: st})
 		db.pickSelect(alg.String())
 		// The Hash operator places st.Matching real rows among the padded
 		// structure; pred gates real writes, the pad hides |R|.
-		out, err := db.runSelect(in, pred, alg, execOpts, st.Matching)
+		out, err := db.runSelect(c, in, pred, alg, execOpts, st.Matching)
 		if err != nil {
 			return nil, err
 		}
@@ -111,13 +112,15 @@ func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table
 	if opts.Force != nil {
 		alg = *opts.Force
 	} else {
+		// Pricing runs against the parent enclave's budget — shared by
+		// all contexts — so the pick is interleaving-independent.
 		alg = planner.ChooseSelect(db.enc, recSize, st, db.cfg.Planner)
 	}
-	db.LastPlan = PlanInfo{SelectAlg: alg, Stats: st, UsedIndex: db.useIndexFor(t, opts.KeyRange)}
+	db.setLastPlan(PlanInfo{SelectAlg: alg, Stats: st, UsedIndex: db.useIndexFor(t, opts.KeyRange)})
 	db.pickSelect(alg.String())
 	execOpts.OutSize = st.Matching
 	execOpts.ContinuousStart = st.Start
-	out, err := db.runSelect(in, pred, alg, execOpts, st.Matching)
+	out, err := db.runSelect(c, in, pred, alg, execOpts, st.Matching)
 	if err != nil {
 		return nil, err
 	}
@@ -126,11 +129,11 @@ func (db *DB) selectTable(t *Table, pred table.Pred, opts SelectOptions) (*Table
 
 // runSelect invokes the operator, retrying hash overflow with fresh salts
 // (the Azar-bound failure case, §4.1).
-func (db *DB) runSelect(in exec.Input, pred table.Pred, alg exec.SelectAlgorithm, opts exec.SelectOptions, matching int) (*storage.Flat, error) {
+func (db *DB) runSelect(c *execCtx, in exec.Input, pred table.Pred, alg exec.SelectAlgorithm, opts exec.SelectOptions, matching int) (*storage.Flat, error) {
 	name := db.tmpName("select")
 	for attempt := 0; ; attempt++ {
 		opts.Salt = uint64(attempt)
-		out, err := db.execSelect(in, pred, alg, opts, name)
+		out, err := db.execSelect(c, in, pred, alg, opts, name)
 		if err == nil {
 			return out, nil
 		}
@@ -143,26 +146,29 @@ func (db *DB) runSelect(in exec.Input, pred table.Pred, alg exec.SelectAlgorithm
 // execSelect dispatches one select to the parallel variant when the
 // worker pool, the planner's partition rule, and the algorithm allow it,
 // falling back to the serial operator otherwise. The dispatch decision
-// uses public sizes only.
-func (db *DB) execSelect(in exec.Input, pred table.Pred, alg exec.SelectAlgorithm, opts exec.SelectOptions, name string) (*storage.Flat, error) {
+// uses public sizes only. The operator itself runs on the context's
+// enclave.
+func (db *DB) execSelect(c *execCtx, in exec.Input, pred table.Pred, alg exec.SelectAlgorithm, opts exec.SelectOptions, name string) (*storage.Flat, error) {
 	recSize := in.Schema().RecordSize()
 	if opts.OutSchema != nil {
 		recSize = opts.OutSchema.RecordSize()
 	}
-	if ws, f, ok := db.parallelFor(in, recSize); ok && exec.ParallelizableSelect(alg) && !db.cfg.Padding.Enabled {
+	if ws, f, ok := db.parallelFor(c, in, recSize); ok && exec.ParallelizableSelect(alg) && !db.cfg.Padding.Enabled {
 		out, err := exec.ParallelSelect(db.enc, ws, f, pred, alg, opts, name)
 		if !errors.Is(err, exec.ErrSerialFallback) {
 			return out, err
 		}
 	}
-	return exec.Select(db.enc, in, pred, alg, opts, name)
+	return exec.Select(c.enc, in, pred, alg, opts, name)
 }
 
 // parallelFor decides whether an operator over in runs partitioned: the
-// engine must have a pool, the input must be a flat block array, and the
-// planner must find a partition count ≥ 2 worth the handoff.
-func (db *DB) parallelFor(in exec.Input, recSize int) ([]*enclave.Enclave, *storage.Flat, bool) {
-	if len(db.workers) < 2 {
+// engine must have a pool, the statement must hold the exclusive lock
+// (the Split workers are a single shared pool), the input must be a flat
+// block array, and the planner must find a partition count ≥ 2 worth the
+// handoff.
+func (db *DB) parallelFor(c *execCtx, in exec.Input, recSize int) ([]*enclave.Enclave, *storage.Flat, bool) {
+	if !c.serial || len(db.workers) < 2 {
 		return nil, nil, false
 	}
 	f, ok := exec.AsFlat(in)
@@ -205,28 +211,28 @@ func (db *DB) resolveSpecs(s *table.Schema, specs []AggregateSpec) ([]exec.AggSp
 // select+aggregate pass — no intermediate table, no intermediate leakage
 // (§4.2).
 func (db *DB) Aggregate(name string, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.lookup(name)
+	c, release := db.beginRead()
+	defer release()
+	t, err := c.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return db.aggregateTable(t, pred, specs, key)
+	return db.aggregateTable(c, t, pred, specs, key)
 }
 
 // AggregateTable is Aggregate over a table handle.
 func (db *DB) AggregateTable(t *Table, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.aggregateTable(t, pred, specs, key)
+	c, release := db.beginRead()
+	defer release()
+	return db.aggregateTable(c, t, pred, specs, key)
 }
 
 // aggregateTable is AggregateTable without the lock.
-func (db *DB) aggregateTable(t *Table, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
+func (db *DB) aggregateTable(c *execCtx, t *Table, pred table.Pred, specs []AggregateSpec, key *KeyRange) (*Result, error) {
 	if pred == nil {
 		pred = table.All
 	}
-	in, epred, release, err := db.inputFor(t, key, pred)
+	in, epred, release, err := db.inputFor(c, t, key, pred)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +243,7 @@ func (db *DB) aggregateTable(t *Table, pred table.Pred, specs []AggregateSpec, k
 		return nil, err
 	}
 	var vals []table.Value
-	if ws, f, ok := db.parallelFor(in, t.schema.RecordSize()); ok {
+	if ws, f, ok := db.parallelFor(c, in, t.schema.RecordSize()); ok {
 		vals, err = exec.ParallelAggregate(ws, f, pred, es)
 	} else {
 		vals, err = exec.Aggregate(in, pred, es)
@@ -254,32 +260,32 @@ type GroupKey = exec.GroupBy
 // GroupAggregate runs grouped aggregation (hash bucketing, §4.2),
 // returning one row [group, aggregates...] per group.
 func (db *DB) GroupAggregate(name string, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.lookup(name)
+	c, release := db.beginRead()
+	defer release()
+	t, err := c.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	tmp, err := db.groupAggregateTable(t, pred, groupBy, specs, key)
+	tmp, err := db.groupAggregateTable(c, t, pred, groupBy, specs, key)
 	if err != nil {
 		return nil, err
 	}
-	return db.collect(tmp)
+	return db.collect(c, tmp)
 }
 
 // GroupAggregateTable is GroupAggregate into an intermediate table.
 func (db *DB) GroupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.groupAggregateTable(t, pred, groupBy, specs, key)
+	c, release := db.beginRead()
+	defer release()
+	return db.groupAggregateTable(c, t, pred, groupBy, specs, key)
 }
 
 // groupAggregateTable is GroupAggregateTable without the lock.
-func (db *DB) groupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Table, error) {
+func (db *DB) groupAggregateTable(c *execCtx, t *Table, pred table.Pred, groupBy GroupKey, specs []AggregateSpec, key *KeyRange) (*Table, error) {
 	if pred == nil {
 		pred = table.All
 	}
-	in, epred, release, err := db.inputFor(t, key, pred)
+	in, epred, release, err := db.inputFor(c, t, key, pred)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +300,7 @@ func (db *DB) groupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, s
 		gopts.PadGroups = db.cfg.Padding.PadGroups
 	}
 	var out *storage.Flat
-	if ws, f, ok := db.parallelFor(in, t.schema.RecordSize()); ok {
+	if ws, f, ok := db.parallelFor(c, in, t.schema.RecordSize()); ok {
 		out, err = exec.ParallelGroupAggregate(db.enc, ws, f, pred, groupBy, es, gopts, db.tmpName("group"))
 		if !errors.Is(err, exec.ErrSerialFallback) {
 			if err != nil {
@@ -303,7 +309,7 @@ func (db *DB) groupAggregateTable(t *Table, pred table.Pred, groupBy GroupKey, s
 			return db.wrapTemp(out), nil
 		}
 	}
-	out, err = exec.GroupAggregate(db.enc, in, pred, groupBy, es, gopts, db.tmpName("group"))
+	out, err = exec.GroupAggregate(c.enc, in, pred, groupBy, es, gopts, db.tmpName("group"))
 	if err != nil {
 		return nil, err
 	}
@@ -322,29 +328,29 @@ type JoinOptions struct {
 // Join joins left and right on leftCol = rightCol. left is the primary
 // (unique-key) side for the foreign-key sort-merge joins (§4.3).
 func (db *DB) Join(left, right, leftCol, rightCol string, opts JoinOptions) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tmp, err := db.joinTable(left, right, leftCol, rightCol, opts)
+	c, release := db.beginRead()
+	defer release()
+	tmp, err := db.joinTable(c, left, right, leftCol, rightCol, opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.collect(tmp)
+	return db.collect(c, tmp)
 }
 
 // JoinTable is Join into an intermediate table for further composition.
 func (db *DB) JoinTable(left, right, leftCol, rightCol string, opts JoinOptions) (*Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.joinTable(left, right, leftCol, rightCol, opts)
+	c, release := db.beginRead()
+	defer release()
+	return db.joinTable(c, left, right, leftCol, rightCol, opts)
 }
 
 // joinTable is JoinTable without the lock.
-func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions) (*Table, error) {
-	lt, err := db.lookup(left)
+func (db *DB) joinTable(c *execCtx, left, right, leftCol, rightCol string, opts JoinOptions) (*Table, error) {
+	lt, err := c.lookup(left)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := db.lookup(right)
+	rt, err := c.lookup(right)
 	if err != nil {
 		return nil, err
 	}
@@ -356,21 +362,21 @@ func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 
 	lTab, rTab := lt, rt
 	if opts.FilterLeft != nil {
-		if lTab, err = db.selectTable(lt, opts.FilterLeft, SelectOptions{}); err != nil {
+		if lTab, err = db.selectTable(c, lt, opts.FilterLeft, SelectOptions{}); err != nil {
 			return nil, err
 		}
 	}
 	if opts.FilterRight != nil {
-		if rTab, err = db.selectTable(rt, opts.FilterRight, SelectOptions{}); err != nil {
+		if rTab, err = db.selectTable(c, rt, opts.FilterRight, SelectOptions{}); err != nil {
 			return nil, err
 		}
 	}
-	lin, _, lrel, err := db.inputFor(lTab, nil, nil)
+	lin, _, lrel, err := db.inputFor(c, lTab, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	defer lrel()
-	rin, _, rrel, err := db.inputFor(rTab, nil, nil)
+	rin, _, rrel, err := db.inputFor(c, rTab, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -393,11 +399,11 @@ func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 			SortBlockSize: 9 + max(lTab.schema.RecordSize(), rTab.schema.RecordSize()),
 		})
 	}
-	db.LastPlan.JoinAlg = alg
+	db.setLastJoin(alg)
 	db.pickJoin(alg.String())
 	name := db.tmpName("join")
 	var out *storage.Flat
-	if ws, rf, ok := db.parallelFor(rin, rTab.schema.RecordSize()); ok && alg == exec.JoinHash {
+	if ws, rf, ok := db.parallelFor(c, rin, rTab.schema.RecordSize()); ok && alg == exec.JoinHash {
 		if lf, lok := exec.AsFlat(lin); lok {
 			out, err = exec.ParallelHashJoin(db.enc, ws, lf, rf, lcol, rcol, outSchema, name)
 			if errors.Is(err, exec.ErrSerialFallback) {
@@ -406,7 +412,7 @@ func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 		}
 	}
 	if out == nil && err == nil {
-		out, err = exec.Join(db.enc, lin, rin, lcol, rcol, alg, exec.JoinOptions{OutSchema: outSchema}, name)
+		out, err = exec.Join(c.enc, lin, rin, lcol, rcol, alg, exec.JoinOptions{OutSchema: outSchema}, name)
 	}
 	if err != nil {
 		return nil, err
@@ -416,17 +422,31 @@ func (db *DB) joinTable(left, right, leftCol, rightCol string, opts JoinOptions)
 
 // Collect decrypts a table's live rows into a Result.
 func (db *DB) Collect(t *Table) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.collect(t)
+	c, release := db.beginRead()
+	defer release()
+	return db.collect(c, t)
 }
 
-// collect is Collect without the lock.
-func (db *DB) collect(t *Table) (*Result, error) {
+// collect is Collect without the lock. Read-slot contexts stream the
+// rows through their own view (the table's scratch is not theirs to
+// use); the row order and contents match Flat.Rows exactly.
+func (db *DB) collect(c *execCtx, t *Table) (*Result, error) {
 	if t.flat == nil {
 		return nil, fmt.Errorf("core: cannot collect an index-only table; select from it instead")
 	}
-	rows, err := t.flat.Rows()
+	var rows []table.Row
+	var err error
+	if c.serial {
+		rows, err = t.flat.Rows()
+	} else {
+		rows = make([]table.Row, 0, t.flat.NumRows())
+		err = exec.ForEachRow(c.input(t.flat), func(_ int, r table.Row, used bool) error {
+			if used {
+				rows = append(rows, r.Clone())
+			}
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -469,21 +489,35 @@ func (db *DB) useIndexFor(t *Table, key *KeyRange) bool {
 //
 // It returns the effective predicate callers must use in place of the
 // one passed in. release frees any intermediate resources.
-func (db *DB) inputFor(t *Table, key *KeyRange, pred table.Pred) (exec.Input, table.Pred, func(), error) {
+//
+// Index access from a read-slot context serializes behind the table's
+// idxMu: Ring ORAM mutates its stash and position map even on reads, so
+// two slots may not touch one index concurrently (different tables'
+// indexes may — each lives on its own child enclave with its own
+// sealer). Exclusive-side statements skip the lock: the database write
+// lock already excludes every read slot.
+func (db *DB) inputFor(c *execCtx, t *Table, key *KeyRange, pred table.Pred) (exec.Input, table.Pred, func(), error) {
 	noop := func() {}
 	if db.useIndexFor(t, key) {
 		rows := make([]table.Row, 0, 64)
-		if _, err := t.index.RangeScan(key.Lo, key.Hi, func(r table.Row) error {
+		if !c.serial {
+			t.idxMu.Lock()
+		}
+		_, err := t.index.RangeScan(key.Lo, key.Hi, func(r table.Row) error {
 			rows = append(rows, r.Clone())
 			return nil
-		}); err != nil {
-			return nil, pred, noop, err
+		})
+		if !c.serial {
+			t.idxMu.Unlock()
 		}
-		tmp, err := db.materialize(t.schema, rows, "range")
 		if err != nil {
 			return nil, pred, noop, err
 		}
-		return exec.FromFlat(tmp), pred, noop, nil
+		tmp, err := db.materialize(c, t.schema, rows, "range")
+		if err != nil {
+			return nil, pred, noop, err
+		}
+		return c.input(tmp), pred, noop, nil
 	}
 	if t.flat != nil {
 		eff := pred
@@ -493,27 +527,36 @@ func (db *DB) inputFor(t *Table, key *KeyRange, pred table.Pred) (exec.Input, ta
 			}
 			eff = combinePred(t, eff, key)
 		}
-		return exec.FromFlat(t.flat), eff, noop, nil
+		return c.input(t.flat), eff, noop, nil
 	}
 	// Index-only full scan (an unkeyed read; keyed ones use the index).
 	rows := make([]table.Row, 0, t.index.NumRows())
-	if err := t.index.ScanRaw(func(r table.Row) error {
+	if !c.serial {
+		t.idxMu.Lock()
+	}
+	err := t.index.ScanRaw(func(r table.Row) error {
 		rows = append(rows, r.Clone())
 		return nil
-	}); err != nil {
-		return nil, pred, noop, err
+	})
+	if !c.serial {
+		t.idxMu.Unlock()
 	}
-	tmp, err := db.materialize(t.schema, rows, "rawscan")
 	if err != nil {
 		return nil, pred, noop, err
 	}
-	return exec.FromFlat(tmp), pred, noop, nil
+	tmp, err := db.materialize(c, t.schema, rows, "rawscan")
+	if err != nil {
+		return nil, pred, noop, err
+	}
+	return c.input(tmp), pred, noop, nil
 }
 
 // materialize writes rows into a fresh flat intermediate table at the
-// engine's configured geometry, sealing one packed block at a time.
-func (db *DB) materialize(s *table.Schema, rows []table.Row, op string) (*storage.Flat, error) {
-	tmp, err := storage.NewFlatGeom(db.enc, db.tmpName(op), s, max(1, len(rows)), db.rowsPerBlockFor(s))
+// engine's configured geometry, sealing one packed block at a time. The
+// table lives on the context's enclave: its sealer and tracer are the
+// statement's own.
+func (db *DB) materialize(c *execCtx, s *table.Schema, rows []table.Row, op string) (*storage.Flat, error) {
+	tmp, err := storage.NewFlatGeom(c.enc, db.tmpName(op), s, max(1, len(rows)), db.rowsPerBlockFor(s))
 	if err != nil {
 		return nil, err
 	}

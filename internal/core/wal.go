@@ -25,7 +25,7 @@ import (
 // tables. Journaling leaks only mutation counts and schemas — public
 // under the paper's model (§3).
 func (db *DB) AttachWAL(l *wal.Log) error {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	if db.wal != nil {
 		return fmt.Errorf("core: a journal is already attached")
@@ -43,14 +43,14 @@ func (db *DB) AttachWAL(l *wal.Log) error {
 
 // DetachWAL stops journaling.
 func (db *DB) DetachWAL() {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	db.wal = nil
 }
 
 // Checkpoint compacts the journal to a snapshot of the live state.
 func (db *DB) Checkpoint() error {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	if db.wal == nil {
 		return fmt.Errorf("core: no journal attached")
@@ -234,7 +234,7 @@ func (db *DB) applyUndo(r undoRec) error {
 			t.index.Close()
 		}
 		delete(db.tables, strings.ToLower(r.table))
-		db.catEpoch++
+		db.publishCatalog()
 		return nil
 	}
 	t, err := db.lookup(r.table)
@@ -299,7 +299,7 @@ func (db *DB) removeOneRow(t *Table, row table.Row) error {
 // the journal carries the catalog. Recovery leaks only the log length
 // and the final table sizes.
 func (db *DB) Recover(l *wal.Log) error {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	if len(db.tables) != 0 {
 		return fmt.Errorf("core: recovery requires an empty database, have %d tables", len(db.tables))
@@ -386,7 +386,7 @@ type WALStats struct {
 
 // WALStats reports journal counters (zero when none is attached).
 func (db *DB) WALStats() WALStats {
-	db.mu.Lock()
+	db.lockWrite()
 	defer db.mu.Unlock()
 	if db.wal == nil {
 		return WALStats{}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync/atomic"
+	"time"
 
 	"oblidb/internal/crypt"
 	"oblidb/internal/trace"
@@ -43,6 +44,15 @@ type Config struct {
 	// Seed seeds the enclave's PRNG (ORAM leaf assignment, hash salts).
 	// Zero derives a seed from the key so runs are reproducible per key.
 	Seed uint64
+	// StoreLatency models the cost of one untrusted-memory block access
+	// (the OCALL / remote-storage round trip a deployed enclave pays):
+	// every Store read and write sleeps this long before touching the
+	// block. Zero (the default) keeps untrusted memory at in-process
+	// speed. The delay is per access — a function of the traced sequence
+	// only, never of data — so it adds no leakage channel. Benchmarks use
+	// it to measure latency-hiding concurrency on hardware where sealed
+	// blocks would otherwise be CPU-bound.
+	StoreLatency time.Duration
 }
 
 // DefaultObliviousMemory is the 20 MB budget used throughout the paper's
@@ -55,22 +65,36 @@ type Enclave struct {
 	sealer *crypt.Sealer
 	tracer *trace.Tracer
 	rng    *rand.Rand
-	budget int
-	// used and peak are atomic so a metrics scrape can read the
-	// accountant while worker enclaves reserve concurrently; each
-	// enclave's reservations themselves stay single-goroutine.
-	used atomic.Int64
-	peak atomic.Int64
+	// acct is the oblivious-memory accountant. Split workers and Replica
+	// contexts own their accountant; Child contexts share the parent's, so
+	// standing reservations (ORAM stashes, position maps) stay visible to
+	// everyone pricing against the parent.
+	acct *acct
 	key  []byte
 	seed uint64
 	// io tallies sealed-block traffic through this enclave's boundary.
-	// Split workers each own their tallies; readers fold across the
-	// pool (core.DB.IOStats).
-	io IOStats
+	// Split workers and Replica contexts each own their tallies (readers
+	// fold across the pool, core.DB.IOStats); Child contexts share the
+	// parent's so a table's index I/O lands on the engine tally.
+	io *IOStats
 	// tids hands out store ids for sealed-block domain separation. It is
 	// shared (and atomic) across an enclave and its Split workers so two
 	// workers never seal blocks under the same id.
 	tids *atomic.Uint32
+	// latency is Config.StoreLatency: the modeled cost of one untrusted
+	// block access. Inherited by Split/Child/Replica contexts so every
+	// path to untrusted memory pays the same toll.
+	latency time.Duration
+}
+
+// acct meters oblivious memory for one budget domain. used and peak are
+// atomic so a metrics scrape can read the accountant while worker
+// enclaves reserve concurrently, and so enclaves sharing an accountant
+// (Child) reserve safely.
+type acct struct {
+	budget int
+	used   atomic.Int64
+	peak   atomic.Int64
 }
 
 // IOStats counts the sealed blocks and plaintext bytes crossing one
@@ -132,13 +156,15 @@ func New(cfg Config) (*Enclave, error) {
 		seed = binary.LittleEndian.Uint64(key[:8])
 	}
 	return &Enclave{
-		sealer: sealer,
-		tracer: cfg.Tracer,
-		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
-		budget: budget,
-		key:    key,
-		seed:   seed,
-		tids:   new(atomic.Uint32),
+		sealer:  sealer,
+		tracer:  cfg.Tracer,
+		rng:     rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		acct:    &acct{budget: budget},
+		key:     key,
+		seed:    seed,
+		io:      new(IOStats),
+		tids:    new(atomic.Uint32),
+		latency: cfg.StoreLatency,
 	}, nil
 }
 
@@ -173,16 +199,82 @@ func (e *Enclave) Split(n int, tracers []*trace.Tracer) ([]*Enclave, error) {
 		}
 		seed := e.seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
 		workers[i] = &Enclave{
-			sealer: sealer,
-			tracer: tr,
-			rng:    rand.New(rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9)),
-			budget: share,
-			key:    e.key,
-			seed:   seed,
-			tids:   e.tids,
+			sealer:  sealer,
+			tracer:  tr,
+			rng:     rand.New(rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9)),
+			acct:    &acct{budget: share},
+			key:     e.key,
+			seed:    seed,
+			io:      new(IOStats),
+			tids:    e.tids,
+			latency: e.latency,
 		}
 	}
 	return workers, nil
+}
+
+// Child derives a context that acts as the parent for everything the
+// trace and the accountant can see — same seed (so SeedFor-derived PRNG
+// streams, e.g. ORAM leaf assignment, are identical), same tracer, same
+// oblivious-memory accountant, same I/O tallies, same store-id counter —
+// but owns the one thing a concurrent goroutine must not share: the
+// sealer's stateful nonce pool. A structure built on a Child behaves
+// byte-for-byte like one built on the parent while remaining safe to
+// drive from a different goroutine than the parent's other children.
+func (e *Enclave) Child(label string) (*Enclave, error) {
+	sealer, err := crypt.NewSealer(e.key)
+	if err != nil {
+		return nil, err
+	}
+	sub := e.SeedFor(label)
+	return &Enclave{
+		sealer:  sealer,
+		tracer:  e.tracer,
+		rng:     rand.New(rand.NewPCG(sub, sub^0xbf58476d1ce4e5b9)),
+		acct:    e.acct,
+		key:     e.key,
+		seed:    e.seed,
+		io:      e.io,
+		tids:    e.tids,
+		latency: e.latency,
+	}, nil
+}
+
+// Replica derives a read-slot context: own sealer, own PRNG stream, own
+// tracer, own I/O tallies, and — unlike Split — its own accountant at the
+// parent's full budget rather than a 1/n share, so operator buffer sizing
+// (and therefore the planner's algorithm picks and the emitted trace) is
+// identical to the serial engine's. Callers re-sync the budget with
+// Rebudget at checkout so standing reservations on the parent (ORAM
+// stashes, position maps) are reflected exactly as a serial operator
+// would see them.
+func (e *Enclave) Replica(i int, tr *trace.Tracer) (*Enclave, error) {
+	sealer, err := crypt.NewSealer(e.key)
+	if err != nil {
+		return nil, err
+	}
+	sub := e.seed ^ (uint64(i+1) * 0xd6e8feb86659fd93)
+	return &Enclave{
+		sealer:  sealer,
+		tracer:  tr,
+		rng:     rand.New(rand.NewPCG(sub, sub^0xbf58476d1ce4e5b9)),
+		acct:    &acct{budget: e.acct.budget},
+		key:     e.key,
+		seed:    e.seed,
+		io:      new(IOStats),
+		tids:    e.tids,
+		latency: e.latency,
+	}, nil
+}
+
+// Rebudget resets this enclave's oblivious-memory budget to n bytes. It
+// must only be called when no reservations are outstanding — read-slot
+// pools call it between statements to mirror the parent's Available().
+func (e *Enclave) Rebudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.acct.budget = n
 }
 
 // MustNew is New for tests and examples where the config is known good.
@@ -199,7 +291,7 @@ func MustNew(cfg Config) *Enclave {
 // accountant permits only reservations of zero bytes.
 func NewZeroOblivious(tr *trace.Tracer) *Enclave {
 	e := MustNew(Config{Tracer: tr})
-	e.budget = 0
+	e.acct.budget = 0
 	return e
 }
 
@@ -236,15 +328,15 @@ func (e *Enclave) Reserve(n int) error {
 	if n < 0 {
 		return fmt.Errorf("enclave: reserve of negative size %d", n)
 	}
-	used := e.used.Load()
-	if used+int64(n) > int64(e.budget) {
+	used := e.acct.used.Load()
+	if used+int64(n) > int64(e.acct.budget) {
 		return fmt.Errorf("enclave: oblivious memory exhausted: want %d bytes, %d of %d in use",
-			n, used, e.budget)
+			n, used, e.acct.budget)
 	}
-	now := e.used.Add(int64(n))
+	now := e.acct.used.Add(int64(n))
 	for {
-		peak := e.peak.Load()
-		if now <= peak || e.peak.CompareAndSwap(peak, now) {
+		peak := e.acct.peak.Load()
+		if now <= peak || e.acct.peak.CompareAndSwap(peak, now) {
 			return nil
 		}
 	}
@@ -252,7 +344,7 @@ func (e *Enclave) Reserve(n int) error {
 
 // Release returns n bytes of oblivious memory to the pool.
 func (e *Enclave) Release(n int) {
-	if e.used.Add(-int64(n)) < 0 {
+	if e.acct.used.Add(-int64(n)) < 0 {
 		panic("enclave: release of more oblivious memory than reserved")
 	}
 }
@@ -260,16 +352,25 @@ func (e *Enclave) Release(n int) {
 // Available returns the unreserved oblivious memory in bytes. Operators
 // that "use whatever quantity of oblivious memory is made available" (§4)
 // size their buffers from this.
-func (e *Enclave) Available() int { return e.budget - int(e.used.Load()) }
+func (e *Enclave) Available() int { return e.acct.budget - int(e.acct.used.Load()) }
 
 // Budget returns the total oblivious memory budget in bytes.
-func (e *Enclave) Budget() int { return e.budget }
+func (e *Enclave) Budget() int { return e.acct.budget }
 
 // Used returns the currently reserved oblivious memory in bytes.
-func (e *Enclave) Used() int { return int(e.used.Load()) }
+func (e *Enclave) Used() int { return int(e.acct.used.Load()) }
 
 // PeakUsed returns the high-water mark of reserved oblivious memory.
-func (e *Enclave) PeakUsed() int { return int(e.peak.Load()) }
+func (e *Enclave) PeakUsed() int { return int(e.acct.peak.Load()) }
+
+// hostDelay pays the modeled untrusted-memory access cost (see
+// Config.StoreLatency). It runs once per block access, before the
+// block is touched, and is a no-op when no latency is configured.
+func (e *Enclave) hostDelay() {
+	if e.latency > 0 {
+		time.Sleep(e.latency)
+	}
+}
 
 // nextTableID hands out unique ids for sealed-block domain separation.
 func (e *Enclave) nextTableID() uint32 {

@@ -77,6 +77,7 @@ func (s *Store) ReadInto(i int, dst []byte) ([]byte, error) {
 	s.enclave.tracer.Record(s.region, trace.Read, i)
 	s.enclave.io.BlocksOpened.Add(1)
 	s.enclave.io.BytesOpened.Add(uint64(s.bsize))
+	s.enclave.hostDelay()
 	pt, err := s.enclave.sealer.OpenInto(dst, s.id, uint32(i), s.revs[i], s.blocks[i])
 	if err != nil {
 		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
@@ -106,6 +107,7 @@ func (s *Store) ReadIntoVia(via *Enclave, r trace.Region, i int, dst []byte) ([]
 	via.tracer.Record(r, trace.Read, i)
 	via.io.BlocksOpened.Add(1)
 	via.io.BytesOpened.Add(uint64(s.bsize))
+	via.hostDelay()
 	pt, err := via.sealer.OpenInto(dst, s.id, uint32(i), s.revs[i], s.blocks[i])
 	if err != nil {
 		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
@@ -127,6 +129,7 @@ func (s *Store) Write(i int, plaintext []byte) error {
 	s.enclave.tracer.Record(s.region, trace.Write, i)
 	s.enclave.io.BlocksSealed.Add(1)
 	s.enclave.io.BytesSealed.Add(uint64(len(plaintext)))
+	s.enclave.hostDelay()
 	s.revs[i]++
 	// Re-seal into the slot's existing ciphertext buffer: the sealed size
 	// is fixed, so steady-state writes (every dummy write included)
@@ -174,6 +177,7 @@ func (s *Store) WriteVia(via *Enclave, r trace.Region, i int, plaintext []byte) 
 	via.tracer.Record(r, trace.Write, i)
 	via.io.BlocksSealed.Add(1)
 	via.io.BytesSealed.Add(uint64(len(plaintext)))
+	via.hostDelay()
 	s.revs[i]++
 	s.blocks[i] = via.sealer.SealTo(s.blocks[i][:0], s.id, uint32(i), s.revs[i], plaintext)
 	return nil

@@ -359,3 +359,18 @@ type Binder interface {
 	// compiled callback, checked after operators complete.
 	Err() error
 }
+
+// ReadOnly reports whether executing the plan cannot mutate engine
+// state. Collect and Aggregate roots are pure reads: their subtrees are
+// built exclusively from Scan/IndexScan/Filter/Join/GroupBy/Sort/Limit/
+// Project nodes, none of which mutate. Insert, Update, Delete, and Tx
+// roots are writes. The engine routes read-only plans to its shared
+// (read-concurrent) lock side and everything else to the exclusive side.
+func ReadOnly(n Node) bool {
+	switch n.(type) {
+	case *Collect, *Aggregate:
+		return true
+	default:
+		return false
+	}
+}

@@ -157,6 +157,23 @@ func newServerMetrics(s *Server) *serverMetrics {
 		func() float64 { return float64(s.db.Enclave().PeakUsed()) })
 	r.GaugeFunc("oblidb_enclave_workers", "partition-parallel worker enclaves",
 		func() float64 { return float64(s.db.Parallelism()) })
+	r.GaugeFunc("oblidb_engine_read_slots", "concurrent read-slot contexts (public configuration)",
+		func() float64 { return float64(s.db.ReadConcurrency()) })
+
+	// Engine lock contention: how often statements took each side of the
+	// database lock, and how many of those acquisitions had to wait.
+	// These are counts of statement executions by kind — conceded by the
+	// epoch slot stream — with no timing component (DESIGN.md §13).
+	r.CounterVecFunc("oblidb_engine_lock_acquires_total", "database lock acquisitions by side", "side",
+		func() map[string]uint64 {
+			ls := s.db.LockStats()
+			return map[string]uint64{"shared": ls.SharedAcquires, "exclusive": ls.ExclusiveAcquires}
+		})
+	r.CounterVecFunc("oblidb_engine_lock_waits_total", "database lock acquisitions that blocked", "side",
+		func() map[string]uint64 {
+			ls := s.db.LockStats()
+			return map[string]uint64{"shared": ls.SharedWaits, "exclusive": ls.ExclusiveWaits}
+		})
 
 	// Storage: flat-table geometry. rows_per_block is a closed label
 	// set (the packing knob), so per-geometry gauges stay low-cardinality.

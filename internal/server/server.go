@@ -28,6 +28,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -50,15 +51,24 @@ type Config struct {
 	EpochInterval time.Duration
 	// Workers is the number of statement slots of one epoch executed
 	// concurrently (default 1: slots run serially in arrival order).
-	// With Workers > 1 the slots of an epoch are dispatched to a
-	// goroutine pool; the engine's internal locking keeps statements
-	// race-free, and engine-level Config.Parallelism lets each
-	// statement's operators fan out across partitions. Statements
-	// within one epoch may then complete in any order — the protocol
-	// already answers by request id, not arrival order — so clients
-	// that need ordering await each result. The observable stream is
-	// unchanged: exactly EpochSize slot executions per epoch.
+	// With Workers > 1, maximal runs of consecutive read slots (SELECTs
+	// and padding dummies) are dispatched to a goroutine pool and
+	// execute truly in parallel on the engine's read-slot contexts
+	// (core.Config.ReadConcurrency, defaulted to Workers); mutation
+	// slots and transaction commits are barriers, executing serially in
+	// arrival order between runs. Statements within one read run may
+	// complete in any order — the protocol already answers by request
+	// id, not arrival order — so clients that need ordering await each
+	// result. The observable stream is unchanged: exactly EpochSize slot
+	// executions per epoch, with slot events recorded before any slot
+	// runs.
 	Workers int
+	// ContentionProfiling enables the runtime's mutex and block
+	// profiles (runtime.SetMutexProfileFraction, SetBlockProfileRate)
+	// so /debug/pprof/mutex and /debug/pprof/block on the debug
+	// endpoint show where the engine waits. Off by default: the
+	// profiles cost a few percent on contended paths.
+	ContentionProfiling bool
 	// Manual disables the internal scheduler goroutine: epochs then run
 	// only when RunEpoch is called, which tests use to drive the epoch
 	// stream deterministically.
@@ -163,6 +173,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.SlowStatementEpochs <= 0 {
 		cfg.SlowStatementEpochs = 8
+	}
+	if cfg.Workers > 1 && cfg.Engine.ReadConcurrency == 0 {
+		// Concurrent slots need concurrent read contexts, or the pool
+		// would serialize on the engine's exclusive lock.
+		cfg.Engine.ReadConcurrency = cfg.Workers
+	}
+	if cfg.ContentionProfiling {
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(int(time.Microsecond))
 	}
 	db, err := core.Open(cfg.Engine)
 	if err != nil {
@@ -296,22 +315,24 @@ collect:
 			s.executeSlot(slot, batch)
 		}
 	} else {
-		slots := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for slot := range slots {
-					s.executeSlot(slot, batch)
-				}
-			}()
+		// Maximal runs of consecutive read slots fan out across the
+		// worker pool; each mutation slot (or tx commit) is a barrier
+		// executed alone, so writes apply in arrival order and every
+		// read observes a quiescent engine state. The slot events above
+		// were already recorded, so this scheduling is invisible.
+		for slot := 0; slot < size; {
+			if !readSlot(slot, batch) {
+				s.executeSlot(slot, batch)
+				slot++
+				continue
+			}
+			end := slot + 1
+			for end < size && readSlot(end, batch) {
+				end++
+			}
+			s.runReadRun(slot, end, batch, workers)
+			slot = end
 		}
-		for slot := 0; slot < size; slot++ {
-			slots <- slot
-		}
-		close(slots)
-		wg.Wait()
 	}
 	if s.cfg.Tracer != nil {
 		s.mu.Lock()
@@ -330,6 +351,49 @@ collect:
 	s.m.epochsTotal.Inc()
 	s.log.Debug("epoch complete",
 		"epoch", s.m.epochsTotal.Value(), "real", len(batch), "dummies", size-len(batch))
+}
+
+// readSlot classifies one epoch slot: padding dummies and SELECTs are
+// reads (they take the engine's shared lock); everything else — DML,
+// DDL, commits, EXPLAIN — mutates or must serialize, and runs alone.
+// The classification uses only the statement kind, which the slot's
+// execution reveals anyway (plan choice is conceded leakage, §2.3).
+func readSlot(slot int, batch []*job) bool {
+	if slot >= len(batch) {
+		return true // dummy: a self-contained SELECT
+	}
+	j := batch[slot]
+	return !j.commit && j.prep.Kind() == "select"
+}
+
+// runReadRun executes slots [start, end) — all reads — across up to
+// workers goroutines.
+func (s *Server) runReadRun(start, end int, batch []*job, workers int) {
+	if n := end - start; workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for slot := start; slot < end; slot++ {
+			s.executeSlot(slot, batch)
+		}
+		return
+	}
+	slots := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := range slots {
+				s.executeSlot(slot, batch)
+			}
+		}()
+	}
+	for slot := start; slot < end; slot++ {
+		slots <- slot
+	}
+	close(slots)
+	wg.Wait()
 }
 
 // executeSlot runs one epoch slot: a queued statement (answered to its

@@ -20,6 +20,7 @@ import (
 
 	"oblidb/internal/enclave"
 	"oblidb/internal/table"
+	"oblidb/internal/trace"
 )
 
 // DefaultBlockBytes is the plaintext block size the default packing
@@ -497,4 +498,57 @@ func (f *Flat) NewBlockWriter() *BlockWriter {
 	return &BlockWriter{newSeqFill(f, f.Capacity(), func(b int, plain []byte) error {
 		return f.store.Write(b, plain)
 	})}
+}
+
+// ReadView is a read-only view of a flat table owned by one concurrent
+// read context: it carries its own plaintext and decode scratch and reads
+// through the context's enclave (ReadIntoVia), so several views — and the
+// table's owner — may read the same sealed blocks concurrently. Accesses
+// are recorded on the view's tracer under the table's name, exactly as
+// the owning enclave would record them. A view is only valid while no
+// goroutine writes the table (the engine guarantees this with its
+// read/write lock) and is invalidated by Expand, which replaces the
+// table's store.
+//
+// ReadView implements the exec.Input block-reader shape directly.
+type ReadView struct {
+	f      *Flat
+	via    *enclave.Enclave
+	region trace.Region
+	blk    []byte
+}
+
+// ReadViewVia creates a read view of f for the given enclave context.
+// The view registers a region named after the table on the context's
+// tracer.
+func (f *Flat) ReadViewVia(via *enclave.Enclave) *ReadView {
+	return &ReadView{
+		f:      f,
+		via:    via,
+		region: via.Tracer().Region(f.name),
+		blk:    make([]byte, f.store.BlockSize()),
+	}
+}
+
+// Table returns the flat table behind the view.
+func (v *ReadView) Table() *Flat { return v.f }
+
+// Schema returns the table schema.
+func (v *ReadView) Schema() *table.Schema { return v.f.schema }
+
+// Blocks returns the number of sealed blocks.
+func (v *ReadView) Blocks() int { return v.f.store.Len() }
+
+// RowsPerBlock returns R, the packing factor.
+func (v *ReadView) RowsPerBlock() int { return v.f.rpb }
+
+// ReadBlockInto decrypts packed block b through the view's enclave into
+// the caller-owned scratch buf.
+func (v *ReadView) ReadBlockInto(b int, buf *table.BlockBuf) error {
+	plain, err := v.f.store.ReadIntoVia(v.via, v.region, b, v.blk)
+	if err != nil {
+		return err
+	}
+	v.blk = plain
+	return v.f.schema.DecodeBlockInto(buf, plain)
 }

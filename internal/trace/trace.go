@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Op distinguishes reads from writes. The adversary sees which one occurs
@@ -61,7 +62,13 @@ type Event struct {
 // Tracer accumulates events. The zero value is a valid, disabled tracer:
 // Record is a no-op until Enable is called, so production paths pay nothing
 // when tracing is off.
+//
+// A Tracer is safe for concurrent use: an engine's base tracer can be
+// shared by per-table index contexts that run on different goroutines
+// (enclave.Child shares the parent tracer). The nil-tracer fast path
+// stays lock-free.
 type Tracer struct {
+	mu      sync.Mutex
 	enabled bool
 	events  []Event
 	regions []string
@@ -77,21 +84,38 @@ func New() *Tracer {
 }
 
 // Enable turns on full event recording.
-func (t *Tracer) Enable() { t.enabled = true }
+func (t *Tracer) Enable() {
+	t.mu.Lock()
+	t.enabled = true
+	t.mu.Unlock()
+}
 
 // Disable turns off full event recording (counting continues if on).
-func (t *Tracer) Disable() { t.enabled = false }
+func (t *Tracer) Disable() {
+	t.mu.Lock()
+	t.enabled = false
+	t.mu.Unlock()
+}
 
 // Enabled reports whether full event recording is on.
-func (t *Tracer) Enabled() bool { return t != nil && t.enabled }
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
 
 // EnableCounts turns on lightweight per-region access counting, which is
 // cheap enough to leave on during benchmarks.
 func (t *Tracer) EnableCounts() {
+	t.mu.Lock()
 	t.countOn = true
 	if t.counts == nil {
 		t.counts = make(map[uint32]uint64)
 	}
+	t.mu.Unlock()
 }
 
 // Region registers a named region and returns its handle.
@@ -99,6 +123,8 @@ func (t *Tracer) Region(name string) Region {
 	if t == nil {
 		return Region{}
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	id := uint32(len(t.regions))
 	t.regions = append(t.regions, name)
 	return Region{id: id, name: name}
@@ -109,13 +135,14 @@ func (t *Tracer) Record(r Region, op Op, index int) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	if t.countOn {
 		t.counts[r.id]++
 	}
-	if !t.enabled {
-		return
+	if t.enabled {
+		t.events = append(t.events, Event{Region: r.id, Op: op, Index: uint32(index)})
 	}
-	t.events = append(t.events, Event{Region: r.id, Op: op, Index: uint32(index)})
+	t.mu.Unlock()
 }
 
 // Reset discards all recorded events and counts but keeps region names.
@@ -123,10 +150,12 @@ func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.events = t.events[:0]
 	for k := range t.counts {
 		delete(t.counts, k)
 	}
+	t.mu.Unlock()
 }
 
 // Len returns the number of recorded events.
@@ -134,15 +163,20 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.events)
 }
 
 // Events returns the recorded events. The returned slice aliases internal
-// storage; callers must not mutate it.
+// storage; callers must not mutate it, and must not call it while other
+// goroutines are still recording.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.events
 }
 
@@ -151,6 +185,8 @@ func (t *Tracer) Count(r Region) uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.counts[r.id]
 }
 
@@ -159,6 +195,8 @@ func (t *Tracer) TotalCount() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var n uint64
 	for _, c := range t.counts {
 		n += c
@@ -171,6 +209,8 @@ func (t *Tracer) TotalCount() uint64 {
 // are equal (region ids are allocation-ordered, so equal programs produce
 // equal ids).
 func (t *Tracer) Fingerprint() [32]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	h := sha256.New()
 	var buf [9]byte
 	for _, e := range t.events {
@@ -191,6 +231,8 @@ func (t *Tracer) Fingerprint() [32]byte {
 // match; the adversary likewise identifies fresh allocations only by
 // order of appearance.
 func (t *Tracer) CanonicalFingerprint() [32]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	h := sha256.New()
 	remap := make(map[uint32]uint32, 8)
 	var buf [9]byte
@@ -271,10 +313,110 @@ func (t *Tracer) format(e Event) string {
 // String renders the whole trace, one event per line. Useful only for
 // small traces in debugging.
 func (t *Tracer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var sb strings.Builder
 	for _, e := range t.events {
 		sb.WriteString(t.format(e))
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+// normalizeRegion strips ASCII digits from a region name. Temporary
+// structures are named with a global sequence number ("tmp12.select"), so
+// the same statement executed at a different point in an interleaving
+// allocates a differently-numbered — but structurally identical — region.
+// The adversary can of course see allocation order; digit-stripped names
+// compare what it learns beyond that order, which is what the
+// interleaving-independence tests pin.
+func normalizeRegion(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		if name[i] >= '0' && name[i] <= '9' {
+			continue
+		}
+		sb.WriteByte(name[i])
+	}
+	return sb.String()
+}
+
+// namedEvents renders a tracer's events as "name op index" strings with
+// digit-normalized region names.
+func (t *Tracer) namedEvents() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.events))
+	for _, e := range t.events {
+		name := fmt.Sprintf("region%d", e.Region)
+		if int(e.Region) < len(t.regions) {
+			name = normalizeRegion(t.regions[e.Region])
+		}
+		out = append(out, fmt.Sprintf("%s %s %d", name, e.Op, e.Index))
+	}
+	return out
+}
+
+// EventMultisetFingerprint digests the multiset of (normalized region
+// name, op, block index) tuples recorded across a set of tracers. Unlike
+// MultisetFingerprint — which hashes each worker's stream whole and so is
+// sensitive to how statements were assigned to workers — this collapses
+// the execution to the unordered bag of accesses the adversary observed,
+// with temporary-structure sequence numbers normalized away. A serial
+// engine and a concurrent engine executing the same statements are
+// equivalent under this fingerprint exactly when concurrency changed
+// nothing about which structures were touched, how often, and at which
+// block offsets.
+func EventMultisetFingerprint(tracers ...*Tracer) [32]byte {
+	var all []string
+	for _, t := range tracers {
+		all = append(all, t.namedEvents()...)
+	}
+	sort.Strings(all)
+	h := sha256.New()
+	for _, s := range all {
+		h.Write([]byte(s))
+		h.Write([]byte{'\n'})
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// NormalizedRegionCounts folds per-region access counts across tracers,
+// keyed by digit-normalized region name. ORAM access patterns are
+// randomized per run (leaf assignment draws from a PRNG whose consumption
+// order depends on statement interleaving), so concurrent-vs-serial
+// comparisons for index-backed workloads assert on these counts — the
+// number of accesses per structure is fixed by public parameters (tree
+// height, padded ops) even when the leaf sequence is not.
+func NormalizedRegionCounts(tracers ...*Tracer) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		t.mu.Lock()
+		for _, e := range t.events {
+			name := fmt.Sprintf("region%d", e.Region)
+			if int(e.Region) < len(t.regions) {
+				name = normalizeRegion(t.regions[e.Region])
+			}
+			out[name]++
+		}
+		for id, c := range t.counts {
+			if !t.enabled { // counts double events when both are on
+				name := fmt.Sprintf("region%d", id)
+				if int(id) < len(t.regions) {
+					name = normalizeRegion(t.regions[id])
+				}
+				out[name] += c
+			}
+		}
+		t.mu.Unlock()
+	}
+	return out
 }

@@ -64,9 +64,9 @@ func TestPrepareExecPreparedLifecycle(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Executing a closed handle is a server-side error, not a hang or a
+	// Executing a closed handle is an immediate error, not a hang or a
 	// protocol desync.
-	if _, err := st.Exec(); err == nil || !strings.Contains(err.Error(), "no prepared statement") {
+	if _, err := st.Exec(); err == nil || !strings.Contains(err.Error(), "statement is closed") {
 		t.Fatalf("exec after close: %v", err)
 	}
 	// The connection is still healthy after the error.

@@ -38,6 +38,7 @@ import (
 
 	"oblidb/internal/core"
 	"oblidb/internal/crypt"
+	"oblidb/internal/faultstore"
 	"oblidb/internal/server"
 	"oblidb/internal/wal"
 )
@@ -57,6 +58,11 @@ func main() {
 	walKeyPath := flag.String("wal-key", "", "journal sealing key file, hex (default <wal>.key; created if missing)")
 	walSync := flag.Bool("wal-sync", true, "fsync the journal on every commit")
 	walCheckpointBytes := flag.Int64("wal-checkpoint-bytes", 64<<20, "compact the journal once it exceeds this size (0 = never)")
+	maxPending := flag.Int("max-pending", 0, "admission queue bound; a queue full past -admission-timeout rejects with a retriable overload error (0 = default 4096)")
+	admissionTimeout := flag.Duration("admission-timeout", 0, "how long a full queue blocks a session before rejecting (0 = default 1s)")
+	writeDeadline := flag.Duration("write-deadline", 0, "per-response write deadline; clients stalled past it are evicted (0 = off)")
+	walCrashPoint := flag.String("wal-crash-point", "", "TESTING ONLY: kill the process at a named journal crash point (pre-commit, mid-commit-marker, post-commit-pre-ack)")
+	walCrashAfter := flag.Uint64("wal-crash-after", 0, "TESTING ONLY: journal file writes to allow before -wal-crash-point fires")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	quiet := flag.Bool("quiet", false, "suppress serving diagnostics")
 	flag.Parse()
@@ -77,6 +83,7 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(logDst, &slog.HandlerOptions{Level: level}))
 
 	var journal *wal.Log
+	var crash *faultstore.Crash
 	if *walPath != "" {
 		keyPath := *walKeyPath
 		if keyPath == "" {
@@ -87,10 +94,33 @@ func main() {
 			fmt.Fprintln(os.Stderr, "oblidb-server:", err)
 			os.Exit(1)
 		}
-		journal, err = wal.Open(*walPath, key, wal.Options{
+		opts := wal.Options{
 			Sync:                *walSync,
 			AutoCheckpointBytes: *walCheckpointBytes,
-		})
+		}
+		if *walCrashPoint != "" {
+			// Crash-point testing: every journal file write goes through a
+			// fault wrapper that hard-kills the process at the named point.
+			// The controller is armed only after startup recovery finishes
+			// (below), so -wal-crash-after counts serving-time writes.
+			point := *walCrashPoint
+			crash, err = faultstore.NewCrash(point, int(*walCrashAfter), func() {
+				fmt.Fprintf(os.Stderr, "oblidb-server: crash point %s fired\n", point)
+				os.Exit(137)
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oblidb-server:", err)
+				os.Exit(2)
+			}
+			opts.OpenFile = func(p string) (wal.File, error) {
+				f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o600)
+				if err != nil {
+					return nil, err
+				}
+				return faultstore.WrapFile(f, faultstore.FileSchedule{}, crash), nil
+			}
+		}
+		journal, err = wal.Open(*walPath, key, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oblidb-server:", err)
 			os.Exit(1)
@@ -106,11 +136,19 @@ func main() {
 		ContentionProfiling: *contentionProfile,
 		Logger:              logger,
 		SlowStatementEpochs: *slowEpochs,
+		MaxPending:          *maxPending,
+		AdmissionTimeout:    *admissionTimeout,
+		WriteDeadline:       *writeDeadline,
 		WAL:                 journal,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oblidb-server:", err)
 		os.Exit(1)
+	}
+	if crash != nil {
+		// Startup recovery (and its checkpoint) is done; from here on the
+		// armed crash point counts journal writes and kills the process.
+		crash.Arm()
 	}
 	if *debugAddr != "" {
 		if _, err := srv.ServeDebug(*debugAddr); err != nil {

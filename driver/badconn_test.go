@@ -1,0 +1,63 @@
+package driver
+
+import (
+	"database/sql/driver"
+	"errors"
+	"testing"
+
+	"oblidb/internal/oberr"
+)
+
+// TestBadConnMapping pins the asymmetric pool-retry contract: an
+// unambiguous delivery failure (the request provably never left the
+// client) becomes driver.ErrBadConn on every path, while the ambiguous
+// connection loss becomes ErrBadConn only where re-running is safe —
+// read-only statements. Everything else passes through untouched, codes
+// intact, so applications can classify with oblidb.ErrorCodeOf.
+func TestBadConnMapping(t *testing.T) {
+	unavailable := oberr.New(oberr.CodeUnavailable, "not connected")
+	connLost := oberr.New(oberr.CodeConnLost, "connection lost")
+	overload := oberr.New(oberr.CodeOverload, "queue full")
+	plain := errors.New("syntax error")
+
+	cases := []struct {
+		name     string
+		err      error
+		readOnly bool
+		wantBad  bool
+	}{
+		{"unavailable-read", unavailable, true, true},
+		{"unavailable-write", unavailable, false, true},
+		{"connlost-read", connLost, true, true},
+		{"connlost-write", connLost, false, false},
+		{"overload-read", overload, true, false},
+		{"overload-write", overload, false, false},
+		{"untyped", plain, true, false},
+	}
+	for _, c := range cases {
+		got := badConn(c.err, c.readOnly)
+		if c.wantBad {
+			if got != driver.ErrBadConn {
+				t.Errorf("%s: got %v, want ErrBadConn", c.name, got)
+			}
+			continue
+		}
+		if got != c.err {
+			t.Errorf("%s: error rewritten to %v", c.name, got)
+		}
+		if oberr.CodeOf(got) != oberr.CodeOf(c.err) {
+			t.Errorf("%s: code lost in mapping", c.name)
+		}
+	}
+}
+
+func TestIsReadOnlySQL(t *testing.T) {
+	if !isReadOnlySQL("  select * from t") {
+		t.Fatal("SELECT not read-only")
+	}
+	for _, q := range []string{"INSERT INTO t VALUES (1)", "UPDATE t SET k = 1", "DELETE FROM t", ""} {
+		if isReadOnlySQL(q) {
+			t.Fatalf("%q classified read-only", q)
+		}
+	}
+}

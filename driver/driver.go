@@ -50,6 +50,7 @@ import (
 
 	"oblidb/client"
 	"oblidb/internal/core"
+	"oblidb/internal/oberr"
 	sqlexec "oblidb/internal/sql"
 	"oblidb/internal/table"
 )
@@ -396,6 +397,26 @@ type netConn struct {
 	closed bool
 }
 
+// badConn maps typed connection failures onto driver.ErrBadConn, which
+// tells database/sql to discard this pooled connection and retry the
+// operation on a fresh one. The mapping is deliberately asymmetric:
+// CodeUnavailable guarantees the request never reached the server, so
+// pool-level retry is safe for any statement; the ambiguous
+// CodeConnLost (the request may have executed) maps only on read-only
+// paths — on exec paths the typed error surfaces to the application,
+// which alone knows whether re-running the mutation is acceptable.
+func badConn(err error, readOnly bool) error {
+	switch oberr.CodeOf(err) {
+	case oberr.CodeUnavailable:
+		return driver.ErrBadConn
+	case oberr.CodeConnLost:
+		if readOnly {
+			return driver.ErrBadConn
+		}
+	}
+	return err
+}
+
 var _ driver.Conn = (*netConn)(nil)
 var _ driver.ConnPrepareContext = (*netConn)(nil)
 var _ driver.ConnBeginTx = (*netConn)(nil)
@@ -413,7 +434,9 @@ func (c *netConn) PrepareContext(ctx context.Context, query string) (driver.Stmt
 	}
 	st, err := c.c.PrepareContext(ctx, query)
 	if err != nil {
-		return nil, err
+		// Preparing parses but never executes: always safe to retry on a
+		// fresh pooled connection.
+		return nil, badConn(err, true)
 	}
 	return &netStmt{st: st}, nil
 }
@@ -430,7 +453,7 @@ func (c *netConn) ExecContext(ctx context.Context, query string, args []driver.N
 	}
 	res, err := c.c.ExecContext(ctx, query)
 	if err != nil {
-		return nil, err
+		return nil, badConn(err, false)
 	}
 	return wireResultFrom(res), nil
 }
@@ -445,12 +468,21 @@ func (c *netConn) QueryContext(ctx context.Context, query string, args []driver.
 	}
 	res, err := c.c.ExecContext(ctx, query)
 	if err != nil {
-		return nil, err
+		// Query paths still check the statement text: Query on a mutation
+		// is legal, and an ambiguous loss must not silently re-run it.
+		return nil, badConn(err, isReadOnlySQL(query))
 	}
 	if res == nil {
 		return newRows(nil, nil), nil
 	}
 	return newRows(res.Cols, res.Rows), nil
+}
+
+// isReadOnlySQL reports whether a statement provably cannot mutate;
+// anything unrecognized is conservatively a write.
+func isReadOnlySQL(query string) bool {
+	f := strings.Fields(query)
+	return len(f) > 0 && strings.EqualFold(f[0], "SELECT")
 }
 
 func (c *netConn) Ping(ctx context.Context) error {
@@ -478,7 +510,10 @@ func (c *netConn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx
 		return nil, err
 	}
 	if err := c.c.Begin(ctx); err != nil {
-		return nil, err
+		// BEGIN only arms session state; if it was lost in flight the
+		// abandoned session rolls back server-side, so a fresh pooled
+		// connection can safely begin again.
+		return nil, badConn(err, true)
 	}
 	return &netTx{c: c.c}, nil
 }
@@ -524,7 +559,7 @@ func (s *netStmt) ExecContext(ctx context.Context, args []driver.NamedValue) (dr
 func (s *netStmt) exec(ctx context.Context, args []any) (driver.Result, error) {
 	res, err := s.st.ExecContext(ctx, args...)
 	if err != nil {
-		return nil, err
+		return nil, badConn(err, false)
 	}
 	return wireResultFrom(res), nil
 }
@@ -540,7 +575,7 @@ func (s *netStmt) QueryContext(ctx context.Context, args []driver.NamedValue) (d
 func (s *netStmt) query(ctx context.Context, args []any) (driver.Rows, error) {
 	res, err := s.st.ExecContext(ctx, args...)
 	if err != nil {
-		return nil, err
+		return nil, badConn(err, isReadOnlySQL(s.st.String()))
 	}
 	if res == nil {
 		return newRows(nil, nil), nil

@@ -119,6 +119,13 @@ type Config struct {
 	// in-process speed; benchmarks set it to measure latency-hiding read
 	// concurrency.
 	StoreLatency time.Duration
+	// Fault, if non-nil, models the unreliable untrusted host: it is
+	// consulted once per sealed-block access and may transiently fail
+	// it (see enclave.Config.Fault and internal/faultstore). Faulted
+	// mutations roll back through the undo log and surface as typed
+	// retriable errors; the chaos difftests drive entire workloads
+	// through this knob.
+	Fault enclave.FaultInjector
 }
 
 // DB is an ObliDB database: an enclave plus its tables.
@@ -170,6 +177,13 @@ type DB struct {
 	inTx   bool
 	inUndo bool
 	undo   []undoRec
+	// broken latches when fault containment itself fails — a rollback
+	// hit a second store fault — so the in-memory state can no longer
+	// be trusted. Every subsequent statement is refused with a typed
+	// CodeEngineFailed error; the remedy is recovery from the journal
+	// on a fresh engine (see wal.go and DESIGN.md §17). Written under
+	// the exclusive lock; read under either side.
+	broken error
 	// LastPlan records the most recent planner decisions, exposed for the
 	// planner-effectiveness experiments (Figure 13/14). It is written
 	// under the database mutex; read it only while no other goroutine is
@@ -343,6 +357,7 @@ func Open(cfg Config) (*DB, error) {
 		Key:             cfg.Key,
 		Seed:            cfg.Seed,
 		StoreLatency:    cfg.StoreLatency,
+		Fault:           cfg.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -761,6 +776,16 @@ func (db *DB) bulkLoadBody(name string, rows []table.Row) error {
 	if t.NumRows() != 0 {
 		return fmt.Errorf("core: BulkLoad requires an empty table, %q has %d rows", name, t.NumRows())
 	}
+	track := db.trackingMutations()
+	if track {
+		pre := make([]table.Row, len(rows))
+		for i, r := range rows {
+			pre[i] = r.Clone()
+		}
+		// Recorded before the load so a store fault midway through it
+		// unwinds the rows that did land (removal tolerates the rest).
+		db.undo = append(db.undo, undoRec{op: undoInsert, table: t.name, post: pre})
+	}
 	if t.flat != nil {
 		for t.flat.Capacity() < len(rows) {
 			bigger, err := t.flat.Expand(t.name+".flat", 2*t.flat.Capacity())
@@ -780,12 +805,7 @@ func (db *DB) bulkLoadBody(name string, rows []table.Row) error {
 			return err
 		}
 	}
-	if db.trackingMutations() {
-		pre := make([]table.Row, len(rows))
-		for i, r := range rows {
-			pre[i] = r.Clone()
-		}
-		db.undo = append(db.undo, undoRec{op: undoInsert, table: t.name, post: pre})
+	if track {
 		for _, r := range rows {
 			if err := db.logMutation(wal.OpInsert, t, r); err != nil {
 				return err
@@ -834,6 +854,11 @@ func (db *DB) deleteRowsBody(name string, pred table.Pred, key *KeyRange) (int, 
 		if pre, err = db.collectMatching(t, full); err != nil {
 			return 0, err
 		}
+		// The undo record must exist BEFORE the apply pass: a store fault
+		// midway through it leaves some rows deleted, and only a
+		// pre-recorded undo can put them back (its replay tolerates rows
+		// the pass never removed).
+		db.undo = append(db.undo, undoRec{op: undoDelete, table: t.name, pre: pre})
 	}
 
 	// Indexed representation: find victim keys (by range when given,
@@ -882,7 +907,6 @@ func (db *DB) deleteRowsBody(name string, pred table.Pred, key *KeyRange) (int, 
 		}
 	}
 	if track {
-		db.undo = append(db.undo, undoRec{op: undoDelete, table: t.name, pre: pre})
 		for _, r := range pre {
 			if err := db.logMutation(wal.OpDelete, t, r); err != nil {
 				return 0, err
@@ -939,6 +963,10 @@ func (db *DB) updateRowsBody(name string, pred table.Pred, upd table.Updater, ke
 			}
 			post[i] = p
 		}
+		// Record the undo before anything applies (see deleteRowsBody):
+		// a fault mid-pass leaves a mix of pre- and post-image rows, and
+		// the two-phase undo replay restores the pre multiset exactly.
+		db.undo = append(db.undo, undoRec{op: undoUpdate, table: t.name, pre: pre, post: post})
 	}
 
 	var before []table.Row
@@ -988,7 +1016,6 @@ func (db *DB) updateRowsBody(name string, pred table.Pred, upd table.Updater, ke
 		}
 	}
 	if track {
-		db.undo = append(db.undo, undoRec{op: undoUpdate, table: t.name, pre: pre, post: post})
 		for i := range pre {
 			if err := db.logMutation(wal.OpDelete, t, pre[i]); err != nil {
 				return 0, err

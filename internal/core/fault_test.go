@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"oblidb/internal/crypt"
+	"oblidb/internal/faultstore"
+	"oblidb/internal/oberr"
+	"oblidb/internal/table"
+	"oblidb/internal/trace"
+	"oblidb/internal/wal"
+)
+
+// faultStatements is the containment workload: every mutation kind,
+// DDL included, as individually retriable statements. base varies the
+// values (never the shape) between runs.
+func faultStatements(base int64) []func(*DB) error {
+	s := walTestSchema()
+	stmts := []func(*DB) error{
+		func(db *DB) error {
+			_, err := db.CreateTable("ft", s, TableOptions{Capacity: 32})
+			return err
+		},
+	}
+	for b := int64(0); b < 3; b++ {
+		b := b
+		stmts = append(stmts, func(db *DB) error {
+			rows := make([]table.Row, 0, 4)
+			for i := int64(0); i < 4; i++ {
+				v := base + 4*b + i
+				rows = append(rows, table.Row{table.Int(v), table.Str(fmt.Sprintf("r%d", v))})
+			}
+			return db.Insert("ft", rows...)
+		})
+	}
+	stmts = append(stmts,
+		func(db *DB) error {
+			_, err := db.Update("ft",
+				func(r table.Row) bool { return r[0].AsInt() < base+4 },
+				func(r table.Row) table.Row { return table.Row{r[0], table.Str("upd")} }, nil)
+			return err
+		},
+		func(db *DB) error {
+			_, err := db.Delete("ft",
+				func(r table.Row) bool { return r[0].AsInt() >= base+9 }, nil)
+			return err
+		},
+		func(db *DB) error {
+			_, err := db.CreateTable("scratch", s, TableOptions{Capacity: 16})
+			return err
+		},
+		func(db *DB) error {
+			return db.Insert("scratch", table.Row{table.Int(base), table.Str("gone")})
+		},
+		func(db *DB) error { return db.DropTable("scratch") },
+		func(db *DB) error {
+			return db.Insert("ft", table.Row{table.Int(base + 50), table.Str("tail")})
+		},
+	)
+	return stmts
+}
+
+// runFaultWorkload drives the containment workload on a journaled
+// engine under the given injector, retrying each statement on typed
+// retriable errors. It returns the final row snapshot and the journal
+// path for recovery cross-checks.
+func runFaultWorkload(t *testing.T, key []byte, inj *faultstore.Injector, base int64) (rows []string, walPath string, accesses uint64) {
+	t.Helper()
+	walPath = filepath.Join(t.TempDir(), "fault.wal")
+	db := MustOpen(Config{Key: key, Seed: 7, RowsPerBlock: 4, Fault: inj})
+	l := openTestLog(t, walPath, key, wal.Options{})
+	if err := db.AttachWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	for si, stmt := range faultStatements(base) {
+		for attempt := 0; ; attempt++ {
+			err := stmt(db)
+			if err == nil {
+				break
+			}
+			if !oberr.Retriable(err) {
+				t.Fatalf("statement %d failed with a non-retriable error: %v", si, err)
+			}
+			if attempt > 4 {
+				t.Fatalf("statement %d still failing after %d attempts: %v", si, attempt, err)
+			}
+		}
+		if berr := db.Broken(); berr != nil {
+			t.Fatalf("single-fault workload broke the engine at statement %d: %v", si, berr)
+		}
+	}
+	// The access count is taken before the snapshot read: the sweep must
+	// only target accesses the (retriable) statements perform, not the
+	// test's own verification Select.
+	accesses = inj.Accesses()
+	return snapshotRows(t, db, "ft"), walPath, accesses
+}
+
+// TestFaultAtEveryAccessIndexContained is the containment pin: inject
+// one transient store fault at every access index of a workload and
+// require the final state — and the state a fresh engine recovers from
+// the journal — to match the fault-free reference exactly. A fault
+// mid-mutation must roll back via the undo log and surface as a typed
+// retriable error; a retry must then land the statement as if the
+// fault never happened.
+func TestFaultAtEveryAccessIndexContained(t *testing.T) {
+	key := crypt.NewRandomKey()
+	counter := faultstore.NewInjector(faultstore.Schedule{})
+	ref, _, n := runFaultWorkload(t, key, counter, 100)
+	if n == 0 {
+		t.Fatal("workload performed no store accesses")
+	}
+	stride := uint64(1)
+	if testing.Short() {
+		stride = n/40 + 1
+	}
+	for k := uint64(0); k < n; k += stride {
+		inj := faultstore.NewInjector(faultstore.Schedule{FailAt: []uint64{k}, MaxFaults: 1})
+		got, walPath, _ := runFaultWorkload(t, key, inj, 100)
+		if inj.Injected() != 1 {
+			t.Fatalf("fault at access %d never fired (injected=%d)", k, inj.Injected())
+		}
+		if rowsDiffer(ref, got) {
+			t.Fatalf("fault at access %d diverged the engine:\n got %v\nwant %v", k, got, ref)
+		}
+		// The journal must describe the same state: recover it into a
+		// fresh, fault-free engine and compare again.
+		l := openTestLog(t, walPath, key, wal.Options{})
+		rec := MustOpen(Config{Key: key, Seed: 7, RowsPerBlock: 4})
+		if err := rec.Recover(l); err != nil {
+			t.Fatalf("fault at access %d left an unrecoverable journal: %v", k, err)
+		}
+		if got := snapshotRows(t, rec, "ft"); rowsDiffer(ref, got) {
+			t.Fatalf("fault at access %d diverged the journal:\n got %v\nwant %v", k, got, ref)
+		}
+	}
+}
+
+// TestFaultTraceIdentity pins the obliviousness of injection and
+// retries: two workloads with the same statement shapes but different
+// data, run under the same fault schedule with the same retry policy,
+// must emit byte-identical traces — the fault decisions key on access
+// index only, so the truncation points and retries line up exactly.
+func TestFaultTraceIdentity(t *testing.T) {
+	key := crypt.NewRandomKey()
+	fingerprint := func(base int64) [32]byte {
+		tr := trace.New()
+		inj := faultstore.NewInjector(faultstore.Schedule{Seed: 99, ReadFault: 0.01, WriteFault: 0.01})
+		db := MustOpen(Config{Key: key, Seed: 7, RowsPerBlock: 4, Tracer: tr, Fault: inj})
+		l := openTestLog(t, filepath.Join(t.TempDir(), "ti.wal"), key, wal.Options{})
+		if err := db.AttachWAL(l); err != nil {
+			t.Fatal(err)
+		}
+		for si, stmt := range faultStatements(base) {
+			for attempt := 0; ; attempt++ {
+				err := stmt(db)
+				if err == nil {
+					break
+				}
+				if !oberr.Retriable(err) {
+					t.Fatalf("statement %d: non-retriable %v", si, err)
+				}
+				if attempt > 50 {
+					t.Fatalf("statement %d: no progress after %d attempts", si, attempt)
+				}
+			}
+		}
+		return tr.Fingerprint()
+	}
+	if fingerprint(100) != fingerprint(7700) {
+		t.Fatal("same-shape/different-data workloads diverged their traces under one fault schedule")
+	}
+}

@@ -120,6 +120,9 @@ func (db *DB) ExecutePlan(root plan.Node, b plan.Binder) (*Result, error) {
 		ec, release = db.serialCtx, db.mu.Unlock
 	}
 	defer release()
+	if db.broken != nil {
+		return nil, db.broken
+	}
 	res, err := db.runPlan(ec, root, b)
 	if err != nil {
 		return nil, err
@@ -227,6 +230,9 @@ type PlanBinding struct {
 func (db *DB) ExecutePlanTx(items []PlanBinding) ([]*Result, error) {
 	db.lockWrite()
 	defer db.mu.Unlock()
+	if db.broken != nil {
+		return nil, db.broken
+	}
 	walMark, undoMark := db.mutationMarks()
 	db.inTx = true
 	results := make([]*Result, 0, len(items))
@@ -244,7 +250,7 @@ func (db *DB) ExecutePlanTx(items []PlanBinding) ([]*Result, error) {
 	db.inTx = false
 	if err != nil {
 		if rerr := db.rollbackTo(walMark, undoMark); rerr != nil {
-			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+			return nil, db.latchBroken(err, rerr)
 		}
 		return nil, err
 	}

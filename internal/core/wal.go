@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"oblidb/internal/oberr"
 	"oblidb/internal/table"
 	"oblidb/internal/wal"
 )
@@ -153,7 +154,7 @@ func (db *DB) endMutation(err error, walMark, undoMark int) error {
 	}
 	if err != nil {
 		if rerr := db.rollbackTo(walMark, undoMark); rerr != nil {
-			return fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+			return db.latchBroken(err, rerr)
 		}
 		return err
 	}
@@ -163,6 +164,30 @@ func (db *DB) endMutation(err error, walMark, undoMark int) error {
 	return db.commitLocked(walMark, undoMark)
 }
 
+// latchBroken marks the engine broken: a statement failed AND the undo
+// replay that should have contained it failed too (a second store
+// fault mid-rollback), so the in-memory state no longer matches the
+// journal. Every later statement is refused with the same typed
+// CodeEngineFailed error — the containment guarantee is honest: rather
+// than serve potentially wrong answers, the engine insists on being
+// rebuilt from the journal (Recover on a fresh engine), exactly what a
+// crash would force.
+func (db *DB) latchBroken(err, rerr error) error {
+	db.broken = oberr.Wrapf(oberr.CodeEngineFailed, err,
+		"core: rollback failed (%v); engine state is untrusted, recover from the journal", rerr)
+	return db.broken
+}
+
+// Broken reports the containment-failure latch: nil while the engine's
+// in-memory state is trustworthy, the typed CodeEngineFailed error
+// after a failed rollback. The chaos harness polls it to decide when
+// to recover from the journal.
+func (db *DB) Broken() error {
+	db.lockShared()
+	defer db.mu.RUnlock()
+	return db.broken
+}
+
 // commitLocked makes the staged batch durable and clears the undo log.
 // If the journal write fails, the in-memory changes are rolled back too:
 // acknowledged means durable.
@@ -170,7 +195,7 @@ func (db *DB) commitLocked(walMark, undoMark int) error {
 	if db.wal != nil {
 		if err := db.wal.Commit(); err != nil {
 			if rerr := db.rollbackTo(walMark, undoMark); rerr != nil {
-				return fmt.Errorf("core: journal commit failed: %w (rollback also failed: %v)", err, rerr)
+				return db.latchBroken(fmt.Errorf("core: journal commit failed: %w", err), rerr)
 			}
 			return fmt.Errorf("core: journal commit failed, changes rolled back: %w", err)
 		}
@@ -249,16 +274,35 @@ func (db *DB) applyUndo(r undoRec) error {
 			}
 		}
 	case undoDelete:
+		// The pass may have removed any subset of pre. Remove whatever
+		// copies remain (tolerating absence), then reinsert the full
+		// pre multiset — the result is exactly pre regardless of how far
+		// the failed pass got.
+		for _, row := range r.pre {
+			if err := db.removeOneRow(t, row); err != nil {
+				return err
+			}
+		}
 		for _, row := range r.pre {
 			if err := db.applyInsert(t, row); err != nil {
 				return err
 			}
 		}
 	case undoUpdate:
+		// The pass may have rewritten any subset of pre into post. Clear
+		// both images (each row is present as exactly one of the two),
+		// then reinsert the pre multiset.
 		for i := range r.post {
 			if err := db.removeOneRow(t, r.post[i]); err != nil {
 				return err
 			}
+		}
+		for i := range r.pre {
+			if err := db.removeOneRow(t, r.pre[i]); err != nil {
+				return err
+			}
+		}
+		for i := range r.pre {
 			if err := db.applyInsert(t, r.pre[i]); err != nil {
 				return err
 			}

@@ -53,6 +53,25 @@ type Config struct {
 	// it to measure latency-hiding concurrency on hardware where sealed
 	// blocks would otherwise be CPU-bound.
 	StoreLatency time.Duration
+	// Fault, if non-nil, is consulted once per untrusted-memory block
+	// access and may fail it — the unreliable (not malicious) host of
+	// the failure model. Implementations must key their decisions on
+	// the access count only, never on data (internal/faultstore does),
+	// so injection adds no leakage channel. Inherited by Split, Child,
+	// and Replica contexts so every path to untrusted memory is
+	// covered.
+	Fault FaultInjector
+}
+
+// FaultInjector decides, per untrusted-memory block access, whether
+// the host transiently fails it. Access is called after the access is
+// traced and accounted (the adversary observes attempts, not
+// outcomes) and before the block is touched; returning a non-nil
+// error aborts the access with no state change. Implementations must
+// be safe for concurrent use and data-independent: the decision may
+// depend on how MANY accesses happened, never on what they carried.
+type FaultInjector interface {
+	Access(write bool) error
 }
 
 // DefaultObliviousMemory is the 20 MB budget used throughout the paper's
@@ -85,6 +104,10 @@ type Enclave struct {
 	// block access. Inherited by Split/Child/Replica contexts so every
 	// path to untrusted memory pays the same toll.
 	latency time.Duration
+	// fault is Config.Fault: the unreliable-host model. Inherited by
+	// Split/Child/Replica contexts so every path to untrusted memory
+	// can fail, not just the serial engine's.
+	fault FaultInjector
 }
 
 // acct meters oblivious memory for one budget domain. used and peak are
@@ -165,6 +188,7 @@ func New(cfg Config) (*Enclave, error) {
 		io:      new(IOStats),
 		tids:    new(atomic.Uint32),
 		latency: cfg.StoreLatency,
+		fault:   cfg.Fault,
 	}, nil
 }
 
@@ -208,6 +232,7 @@ func (e *Enclave) Split(n int, tracers []*trace.Tracer) ([]*Enclave, error) {
 			io:      new(IOStats),
 			tids:    e.tids,
 			latency: e.latency,
+			fault:   e.fault,
 		}
 	}
 	return workers, nil
@@ -237,6 +262,7 @@ func (e *Enclave) Child(label string) (*Enclave, error) {
 		io:      e.io,
 		tids:    e.tids,
 		latency: e.latency,
+		fault:   e.fault,
 	}, nil
 }
 
@@ -264,6 +290,7 @@ func (e *Enclave) Replica(i int, tr *trace.Tracer) (*Enclave, error) {
 		io:      new(IOStats),
 		tids:    e.tids,
 		latency: e.latency,
+		fault:   e.fault,
 	}, nil
 }
 
@@ -370,6 +397,18 @@ func (e *Enclave) hostDelay() {
 	if e.latency > 0 {
 		time.Sleep(e.latency)
 	}
+}
+
+// hostAccess is the per-access untrusted-host model: the latency toll
+// followed by the fault injector's verdict. It runs after the access
+// is traced (the adversary sees attempts) and before the block is
+// touched, so a failed access changes no store state.
+func (e *Enclave) hostAccess(write bool) error {
+	e.hostDelay()
+	if e.fault != nil {
+		return e.fault.Access(write)
+	}
+	return nil
 }
 
 // nextTableID hands out unique ids for sealed-block domain separation.

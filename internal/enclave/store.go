@@ -4,8 +4,17 @@ import (
 	"fmt"
 
 	"oblidb/internal/crypt"
+	"oblidb/internal/oberr"
 	"oblidb/internal/trace"
 )
+
+// authError types a sealed-block authentication failure: the MALICIOUS
+// host of the threat model, as opposed to the merely unreliable one
+// (CodeStoreFault). Never retriable.
+func authError(store string, i int, err error) error {
+	return oberr.Wrapf(oberr.CodeAuth, err,
+		"enclave: store %q block %d (tampering or rollback detected)", store, i)
+}
 
 // Store is a fixed-block-size array in untrusted memory. It is the only
 // way data leaves the enclave: every Read/Write is recorded by the tracer
@@ -77,10 +86,12 @@ func (s *Store) ReadInto(i int, dst []byte) ([]byte, error) {
 	s.enclave.tracer.Record(s.region, trace.Read, i)
 	s.enclave.io.BlocksOpened.Add(1)
 	s.enclave.io.BytesOpened.Add(uint64(s.bsize))
-	s.enclave.hostDelay()
+	if err := s.enclave.hostAccess(false); err != nil {
+		return nil, fmt.Errorf("enclave: store %q block %d: %w", s.region.Name(), i, err)
+	}
 	pt, err := s.enclave.sealer.OpenInto(dst, s.id, uint32(i), s.revs[i], s.blocks[i])
 	if err != nil {
-		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
+		return nil, authError(s.region.Name(), i, err)
 	}
 	return pt, nil
 }
@@ -107,10 +118,12 @@ func (s *Store) ReadIntoVia(via *Enclave, r trace.Region, i int, dst []byte) ([]
 	via.tracer.Record(r, trace.Read, i)
 	via.io.BlocksOpened.Add(1)
 	via.io.BytesOpened.Add(uint64(s.bsize))
-	via.hostDelay()
+	if err := via.hostAccess(false); err != nil {
+		return nil, fmt.Errorf("enclave: store %q block %d: %w", s.region.Name(), i, err)
+	}
 	pt, err := via.sealer.OpenInto(dst, s.id, uint32(i), s.revs[i], s.blocks[i])
 	if err != nil {
-		return nil, fmt.Errorf("enclave: store %q block %d: %w (tampering or rollback detected)", s.region.Name(), i, err)
+		return nil, authError(s.region.Name(), i, err)
 	}
 	return pt, nil
 }
@@ -129,7 +142,9 @@ func (s *Store) Write(i int, plaintext []byte) error {
 	s.enclave.tracer.Record(s.region, trace.Write, i)
 	s.enclave.io.BlocksSealed.Add(1)
 	s.enclave.io.BytesSealed.Add(uint64(len(plaintext)))
-	s.enclave.hostDelay()
+	if err := s.enclave.hostAccess(true); err != nil {
+		return fmt.Errorf("enclave: store %q block %d: %w", s.region.Name(), i, err)
+	}
 	s.revs[i]++
 	// Re-seal into the slot's existing ciphertext buffer: the sealed size
 	// is fixed, so steady-state writes (every dummy write included)
@@ -177,7 +192,9 @@ func (s *Store) WriteVia(via *Enclave, r trace.Region, i int, plaintext []byte) 
 	via.tracer.Record(r, trace.Write, i)
 	via.io.BlocksSealed.Add(1)
 	via.io.BytesSealed.Add(uint64(len(plaintext)))
-	via.hostDelay()
+	if err := via.hostAccess(true); err != nil {
+		return fmt.Errorf("enclave: store %q block %d: %w", s.region.Name(), i, err)
+	}
 	s.revs[i]++
 	s.blocks[i] = via.sealer.SealTo(s.blocks[i][:0], s.id, uint32(i), s.revs[i], plaintext)
 	return nil

@@ -1,0 +1,390 @@
+// Package faultstore is the seeded fault-injection layer: it wraps the
+// two untrusted surfaces the engine depends on — the sealed-block
+// Store (via the enclave.FaultInjector hook) and the journal's backing
+// file (via the wal.Options.OpenFile hook) — and makes them fail on a
+// deterministic, schedule-driven basis.
+//
+// Every fault decision is drawn from a seeded PRNG keyed on the ACCESS
+// COUNT, never on data, offsets, or block contents: the decision for
+// access i is a pure function of (seed, i). Injection therefore cannot
+// introduce a data-dependent channel — two workloads with the same
+// statement shapes see faults at the same access indices, so their
+// (truncated, retried) traces stay identical. DESIGN.md §17 makes this
+// argument part of the failure model.
+//
+// The package also provides named crash points on the journal file
+// (pre-commit, mid-commit-marker, post-commit-pre-ack), which exploit
+// the journal's commit discipline — one contiguous WriteAt carrying
+// every staged frame plus the commit marker — to simulate a process
+// death at an exact durability boundary.
+package faultstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oblidb/internal/oberr"
+)
+
+// ErrInjected is the sentinel underneath every injected fault, so tests
+// can tell injected failures from real bugs with errors.Is.
+var ErrInjected = errors.New("faultstore: injected fault")
+
+// ErrCrashed is returned by every operation on a crashed File: the
+// simulated process is gone, and nothing more reaches the disk.
+var ErrCrashed = errors.New("faultstore: crashed at crash point")
+
+// mix is splitmix64's finalizer: the per-access decision hash. A pure
+// function of its input, so the decision for access i is fixed by
+// (seed, i) alone.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Schedule drives an Injector. The zero value injects nothing.
+type Schedule struct {
+	// Seed keys every probabilistic decision. Two injectors with the
+	// same seed fault at the same access indices.
+	Seed uint64
+	// ReadFault and WriteFault are per-access probabilities of a
+	// transient error on a read / write access.
+	ReadFault, WriteFault float64
+	// LatencyProb and Latency inject latency spikes: with probability
+	// LatencyProb an access sleeps Latency before proceeding.
+	LatencyProb float64
+	Latency     time.Duration
+	// FailAt lists explicit access indices (0-based) that fault,
+	// independent of the probabilities — the exhaustive containment
+	// tests inject one fault at every index of a workload this way.
+	FailAt []uint64
+	// MaxFaults, when positive, caps the total number of injected
+	// faults; once reached the injector passes everything through.
+	MaxFaults uint64
+}
+
+// Injector implements enclave.FaultInjector: a per-access fault
+// decision keyed on its own access counter. Safe for concurrent use.
+type Injector struct {
+	sched    Schedule
+	failAt   map[uint64]struct{}
+	accesses atomic.Uint64
+	injected atomic.Uint64
+}
+
+// NewInjector builds an injector for a schedule.
+func NewInjector(s Schedule) *Injector {
+	in := &Injector{sched: s}
+	if len(s.FailAt) > 0 {
+		in.failAt = make(map[uint64]struct{}, len(s.FailAt))
+		for _, i := range s.FailAt {
+			in.failAt[i] = struct{}{}
+		}
+	}
+	return in
+}
+
+// Access implements the enclave hook: called once per sealed-block
+// access with the access kind, it returns nil (pass through) or a
+// typed retriable store fault. The decision depends only on the access
+// index and the seed.
+func (in *Injector) Access(write bool) error {
+	idx := in.accesses.Add(1) - 1
+	kind := "read"
+	stream := uint64(0x7265616400000000) // "read"
+	p := in.sched.ReadFault
+	if write {
+		kind = "write"
+		stream = 0x7772697400000000 // "writ"
+		p = in.sched.WriteFault
+	}
+	if in.sched.LatencyProb > 0 && in.sched.Latency > 0 &&
+		unit(mix(in.sched.Seed^idx^0x6c617400000000)) < in.sched.LatencyProb {
+		time.Sleep(in.sched.Latency)
+	}
+	fault := false
+	if _, ok := in.failAt[idx]; ok {
+		fault = true
+	} else if p > 0 && unit(mix(in.sched.Seed^idx^stream)) < p {
+		fault = true
+	}
+	if !fault {
+		return nil
+	}
+	if in.sched.MaxFaults > 0 && in.injected.Load() >= in.sched.MaxFaults {
+		return nil
+	}
+	in.injected.Add(1)
+	return oberr.Wrapf(oberr.CodeStoreFault, ErrInjected,
+		"faultstore: transient %s fault at access %d", kind, idx)
+}
+
+// Accesses returns how many store accesses the injector has observed.
+// A fault-free reference run uses this to learn a workload's access
+// count before sweeping FailAt over every index.
+func (in *Injector) Accesses() uint64 { return in.accesses.Load() }
+
+// Injected returns the total number of faults injected so far — the
+// authoritative source for oblidb_store_faults_injected_total.
+func (in *Injector) Injected() uint64 { return in.injected.Load() }
+
+// Crash points on the journal file. The journal lands each commit as
+// ONE contiguous WriteAt (staged frames + commit marker), so the three
+// durability boundaries are expressible purely in WriteAt behavior.
+const (
+	// PointPreCommit crashes before any byte of the commit batch is
+	// written: the transaction must vanish on recovery.
+	PointPreCommit = "pre-commit"
+	// PointMidCommitMarker writes the batch but tears the trailing
+	// commit marker: recovery must truncate the torn tail and the
+	// transaction must vanish.
+	PointMidCommitMarker = "mid-commit-marker"
+	// PointPostCommitPreAck writes and syncs the full batch, then
+	// crashes before the engine can acknowledge: the transaction is
+	// durable and must SURVIVE recovery even though no client saw an
+	// acknowledgment.
+	PointPostCommitPreAck = "post-commit-pre-ack"
+)
+
+// markerTear is how many trailing bytes PointMidCommitMarker withholds:
+// enough to tear the commit-marker frame's MAC, never the whole batch.
+const markerTear = 5
+
+// Crash is a named crash point shared by every File of one journal
+// (the live file and checkpoint temporaries): after Arm, the n-th
+// subsequent commit write triggers the point, runs the crash function,
+// and latches every wrapped file dead. The zero of after crashes on
+// the first post-arm commit.
+type Crash struct {
+	point string
+	after int
+	fn    func()
+
+	mu      sync.Mutex
+	armed   bool
+	writes  int
+	crashed bool
+}
+
+// NewCrash validates the point name and builds a controller. fn runs
+// at the crash instant — os.Exit in the server binary, nil (latch
+// only) in tests, which then reopen the file and recover.
+func NewCrash(point string, after int, fn func()) (*Crash, error) {
+	switch point {
+	case PointPreCommit, PointMidCommitMarker, PointPostCommitPreAck:
+	default:
+		return nil, fmt.Errorf("faultstore: unknown crash point %q", point)
+	}
+	if fn == nil {
+		fn = func() {}
+	}
+	return &Crash{point: point, after: after, fn: fn}, nil
+}
+
+// Arm starts counting commit writes. Writes before Arm (recovery,
+// checkpointing at attach, pad-table setup) pass through untouched.
+func (c *Crash) Arm() {
+	c.mu.Lock()
+	c.armed = true
+	c.mu.Unlock()
+}
+
+// Crashed reports whether the point has fired.
+func (c *Crash) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// hostFile is the slice of *os.File the journal uses; it matches
+// wal.File structurally so a faultstore.File can be returned from
+// wal.Options.OpenFile without an import cycle.
+type hostFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// FileSchedule drives probabilistic faults on a wrapped journal file.
+// The zero value injects nothing. Decisions are keyed on the file's
+// write-access counter with the same splitmix64 construction as the
+// store injector.
+type FileSchedule struct {
+	Seed uint64
+	// WriteFault is the per-WriteAt probability of failing outright
+	// with no bytes written.
+	WriteFault float64
+	// TornWrite is the per-WriteAt probability of a torn write: a
+	// prefix of the buffer lands, the rest is lost, and the call
+	// errors. The prefix length is drawn from the same keyed PRNG —
+	// or fixed by TornPrefix when ≥ 0.
+	TornWrite  float64
+	TornPrefix int
+	// SyncFault is the per-Sync probability of failing.
+	SyncFault float64
+}
+
+// File wraps a journal file with schedule-driven write faults and an
+// optional crash point. It satisfies wal.File.
+type File struct {
+	f      hostFile
+	sched  FileSchedule
+	crash  *Crash
+	writes atomic.Uint64
+	faults atomic.Uint64
+}
+
+// WrapFile wraps f. sched may be zero and crash may be nil; a Crash
+// may be shared across several files (the journal and its checkpoint
+// temporaries) so the countdown covers whichever file commits next.
+func WrapFile(f hostFile, sched FileSchedule, crash *Crash) *File {
+	if sched.TornPrefix == 0 {
+		sched.TornPrefix = -1
+	}
+	return &File{f: f, sched: sched, crash: crash}
+}
+
+// Faults returns the number of probabilistic faults this file injected.
+func (w *File) Faults() uint64 { return w.faults.Load() }
+
+// checkCrash runs the crash-point protocol for one WriteAt. It returns
+// (handled, n, err): when handled, the write was consumed by the crash
+// point and n/err are the result.
+func (w *File) checkCrash(p []byte, off int64) (bool, int, error) {
+	c := w.crash
+	if c == nil {
+		return false, 0, nil
+	}
+	c.mu.Lock()
+	if c.crashed {
+		c.mu.Unlock()
+		return true, 0, ErrCrashed
+	}
+	if !c.armed {
+		c.mu.Unlock()
+		return false, 0, nil
+	}
+	if c.writes < c.after {
+		c.writes++
+		c.mu.Unlock()
+		return false, 0, nil
+	}
+	c.crashed = true
+	point, fn := c.point, c.fn
+	c.mu.Unlock()
+
+	switch point {
+	case PointPreCommit:
+		fn()
+		return true, 0, fmt.Errorf("%w (%s)", ErrCrashed, point)
+	case PointMidCommitMarker:
+		n := len(p) - markerTear
+		if n < 0 {
+			n = 0
+		}
+		wrote, _ := w.f.WriteAt(p[:n], off)
+		_ = w.f.Sync()
+		fn()
+		return true, wrote, fmt.Errorf("%w (%s)", ErrCrashed, point)
+	case PointPostCommitPreAck:
+		wrote, err := w.f.WriteAt(p, off)
+		if err == nil {
+			err = w.f.Sync()
+		}
+		fn()
+		if err != nil {
+			return true, wrote, err
+		}
+		return true, wrote, fmt.Errorf("%w (%s)", ErrCrashed, point)
+	}
+	return true, 0, ErrCrashed
+}
+
+// WriteAt applies the crash point and the probabilistic schedule, then
+// forwards to the underlying file.
+func (w *File) WriteAt(p []byte, off int64) (int, error) {
+	if handled, n, err := w.checkCrash(p, off); handled {
+		return n, err
+	}
+	idx := w.writes.Add(1) - 1
+	s := w.sched
+	if s.WriteFault > 0 && unit(mix(s.Seed^idx^0x66756c6c00000000)) < s.WriteFault {
+		w.faults.Add(1)
+		return 0, oberr.Wrapf(oberr.CodeStoreFault, ErrInjected,
+			"faultstore: journal write fault at write %d", idx)
+	}
+	if s.TornWrite > 0 && unit(mix(s.Seed^idx^0x746f726e00000000)) < s.TornWrite {
+		n := s.TornPrefix
+		if n < 0 {
+			n = int(mix(s.Seed^idx^0x6c656e00000000) % uint64(len(p)+1))
+		}
+		if n > len(p) {
+			n = len(p)
+		}
+		wrote, werr := w.f.WriteAt(p[:n], off)
+		w.faults.Add(1)
+		err := oberr.Wrapf(oberr.CodeStoreFault, ErrInjected,
+			"faultstore: torn journal write at write %d (%d of %d bytes)", idx, n, len(p))
+		if werr != nil {
+			return wrote, werr
+		}
+		return wrote, err
+	}
+	return w.f.WriteAt(p, off)
+}
+
+// ReadAt forwards, failing when crashed.
+func (w *File) ReadAt(p []byte, off int64) (int, error) {
+	if w.crashDead() {
+		return 0, ErrCrashed
+	}
+	return w.f.ReadAt(p, off)
+}
+
+// Truncate forwards, failing when crashed — a crashed process cannot
+// rewind the journal, so the engine's broken-latch path is exercised
+// exactly as a real crash would.
+func (w *File) Truncate(size int64) error {
+	if w.crashDead() {
+		return ErrCrashed
+	}
+	return w.f.Truncate(size)
+}
+
+// Sync applies the schedule, then forwards.
+func (w *File) Sync() error {
+	if w.crashDead() {
+		return ErrCrashed
+	}
+	idx := w.writes.Add(1) - 1
+	if s := w.sched; s.SyncFault > 0 && unit(mix(s.Seed^idx^0x73796e6300000000)) < s.SyncFault {
+		w.faults.Add(1)
+		return oberr.Wrapf(oberr.CodeStoreFault, ErrInjected,
+			"faultstore: journal sync fault at access %d", idx)
+	}
+	return w.f.Sync()
+}
+
+// Stat forwards.
+func (w *File) Stat() (os.FileInfo, error) { return w.f.Stat() }
+
+// Close forwards; closing a crashed file is allowed so tests can
+// release the descriptor before reopening for recovery.
+func (w *File) Close() error { return w.f.Close() }
+
+func (w *File) crashDead() bool {
+	return w.crash != nil && w.crash.Crashed()
+}

@@ -1,0 +1,246 @@
+package faultstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oblidb/internal/crypt"
+	"oblidb/internal/oberr"
+	"oblidb/internal/table"
+	"oblidb/internal/wal"
+)
+
+// TestInjectorDeterministic pins the obliviousness property of the
+// harness itself: fault decisions are a pure function of (seed, access
+// index), so two injectors with the same schedule fault at identical
+// indices whatever the workload carried.
+func TestInjectorDeterministic(t *testing.T) {
+	sched := Schedule{Seed: 42, ReadFault: 0.1, WriteFault: 0.2}
+	a, b := NewInjector(sched), NewInjector(sched)
+	const n = 2000
+	var faultsA, faultsB []int
+	for i := 0; i < n; i++ {
+		if a.Access(i%3 == 0) != nil {
+			faultsA = append(faultsA, i)
+		}
+		if b.Access(i%3 == 0) != nil {
+			faultsB = append(faultsB, i)
+		}
+	}
+	if len(faultsA) == 0 {
+		t.Fatal("schedule with 10-20% fault rates injected nothing over 2000 accesses")
+	}
+	if len(faultsA) != len(faultsB) {
+		t.Fatalf("same schedule, different fault counts: %d vs %d", len(faultsA), len(faultsB))
+	}
+	for i := range faultsA {
+		if faultsA[i] != faultsB[i] {
+			t.Fatalf("fault index %d differs: %d vs %d", i, faultsA[i], faultsB[i])
+		}
+	}
+	if a.Injected() != uint64(len(faultsA)) || a.Accesses() != n {
+		t.Fatalf("counters: injected=%d accesses=%d, want %d/%d", a.Injected(), a.Accesses(), len(faultsA), n)
+	}
+}
+
+// TestInjectorFailAt pins the exhaustive-containment mode: exactly the
+// listed access indices fault, typed and retriable.
+func TestInjectorFailAt(t *testing.T) {
+	in := NewInjector(Schedule{FailAt: []uint64{3}})
+	for i := 0; i < 10; i++ {
+		err := in.Access(false)
+		if (err != nil) != (i == 3) {
+			t.Fatalf("access %d: err=%v", i, err)
+		}
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected fault should wrap ErrInjected, got %v", err)
+			}
+			if !oberr.Retriable(err) || oberr.CodeOf(err) != oberr.CodeStoreFault {
+				t.Fatalf("injected fault should be a retriable store fault, got %v", err)
+			}
+		}
+	}
+}
+
+// TestInjectorMaxFaults pins the cap: once MaxFaults fire, everything
+// passes through.
+func TestInjectorMaxFaults(t *testing.T) {
+	in := NewInjector(Schedule{FailAt: []uint64{1, 2, 3, 4}, MaxFaults: 2})
+	faults := 0
+	for i := 0; i < 10; i++ {
+		if in.Access(true) != nil {
+			faults++
+		}
+	}
+	if faults != 2 {
+		t.Fatalf("MaxFaults=2 injected %d", faults)
+	}
+}
+
+// journalWithCrash builds a journal through a crash-wrapped file, with
+// one committed batch of two rows before the crash point is armed.
+func journalWithCrash(t *testing.T, point string) (string, []byte, *Crash) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash.wal")
+	key := crypt.NewRandomKey()
+	crash, err := NewCrash(point, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wal.Options{Sync: true, OpenFile: func(p string) (wal.File, error) {
+		f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o600)
+		if err != nil {
+			return nil, err
+		}
+		return WrapFile(f, FileSchedule{}, crash), nil
+	}}
+	l, err := wal.Open(path, key, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.MustSchema(table.Column{Name: "k", Kind: table.KindInt})
+	def := wal.TableDef{Name: "t", Schema: s, Capacity: 8}
+	if err := l.AppendCreate(def); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(wal.OpInsert, "t", s, table.Row{table.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	crash.Arm()
+	if err := l.Append(wal.OpInsert, "t", s, table.Row{table.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	err = l.Commit()
+	if err == nil {
+		t.Fatalf("%s: commit across the crash point should error", point)
+	}
+	if !crash.Crashed() {
+		t.Fatalf("%s: crash point did not fire", point)
+	}
+	l.Close()
+	return path, key, crash
+}
+
+// TestCrashPoints drives each named crash point through a real journal
+// commit and checks what recovery finds: the pre-commit and
+// mid-commit-marker crashes lose the batch, the post-commit-pre-ack
+// crash keeps it — durable but unacknowledged.
+func TestCrashPoints(t *testing.T) {
+	cases := []struct {
+		point    string
+		wantRows int
+	}{
+		{PointPreCommit, 1},
+		{PointMidCommitMarker, 1},
+		{PointPostCommitPreAck, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			path, key, _ := journalWithCrash(t, tc.point)
+			// Reopen the file fresh — the "restarted process".
+			l, err := wal.Open(path, key, wal.Options{})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer l.Close()
+			rows := 0
+			err = l.Replay(func(e wal.Entry) error {
+				if e.Op == wal.OpInsert {
+					rows++
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if rows != tc.wantRows {
+				t.Fatalf("%s: recovered %d inserted rows, want %d", tc.point, rows, tc.wantRows)
+			}
+		})
+	}
+}
+
+// TestTornWriteRollsBack pins the probabilistic file schedule: a torn
+// commit write errors, the log rolls back, and a reopen recovers only
+// the committed prefix.
+func TestTornWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.wal")
+	key := crypt.NewRandomKey()
+	var wrapped *File
+	armed := false
+	opts := wal.Options{OpenFile: func(p string) (wal.File, error) {
+		f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o600)
+		if err != nil {
+			return nil, err
+		}
+		sched := FileSchedule{}
+		if armed {
+			sched = FileSchedule{TornWrite: 1, TornPrefix: 7}
+		}
+		wrapped = WrapFile(f, sched, nil)
+		return wrapped, nil
+	}}
+	l, err := wal.Open(path, key, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.MustSchema(table.Column{Name: "k", Kind: table.KindInt})
+	if err := l.AppendCreate(wal.TableDef{Name: "t", Schema: s, Capacity: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	committed := l.SizeBytes()
+	l.Close()
+
+	armed = true
+	l, err = wal.Open(path, key, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(wal.OpInsert, "t", s, table.Row{table.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	err = l.Commit()
+	if err == nil {
+		t.Fatal("torn write should fail the commit")
+	}
+	if !oberr.Retriable(err) || oberr.CodeOf(err) != oberr.CodeStoreFault {
+		t.Fatalf("torn commit should be a typed retriable store fault, got %v", err)
+	}
+	if wrapped.Faults() == 0 {
+		t.Fatal("wrapper did not count the injected fault")
+	}
+	if l.SizeBytes() != committed {
+		t.Fatalf("failed commit left size %d, want rollback to %d", l.SizeBytes(), committed)
+	}
+	// The log stays usable: the same batch commits once faults stop.
+	wrapped.sched.TornWrite = 0
+	if err := l.Append(wal.OpInsert, "t", s, table.Row{table.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("retry after torn write: %v", err)
+	}
+	l.Close()
+
+	armed = false
+	l, err = wal.Open(path, key, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Len() != 2 {
+		t.Fatalf("recovered %d entries, want 2 (create + retried insert)", l.Len())
+	}
+}

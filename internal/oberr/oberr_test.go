@@ -1,0 +1,64 @@
+package oberr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRetriableClassification(t *testing.T) {
+	retriable := []Code{CodeStoreFault, CodeOverload, CodeShutdown, CodeConnLost, CodeUnavailable}
+	fatal := []Code{CodeUnknown, CodeAuth, CodeEngineFailed}
+	for _, c := range retriable {
+		if !c.Retriable() {
+			t.Errorf("%v should be retriable", c)
+		}
+	}
+	for _, c := range fatal {
+		if c.Retriable() {
+			t.Errorf("%v should not be retriable", c)
+		}
+	}
+}
+
+func TestCodeOfThroughWrapping(t *testing.T) {
+	base := New(CodeStoreFault, "injected fault at access %d", 7)
+	wrapped := fmt.Errorf("statement failed: %w", base)
+	deeper := fmt.Errorf("outer: %w", wrapped)
+
+	if got := CodeOf(deeper); got != CodeStoreFault {
+		t.Fatalf("CodeOf = %v, want store_fault", got)
+	}
+	if !Retriable(deeper) {
+		t.Fatal("wrapped store fault should stay retriable")
+	}
+	if Retriable(errors.New("plain")) {
+		t.Fatal("unclassified errors must not be retriable")
+	}
+	if CodeOf(nil) != CodeUnknown {
+		t.Fatal("CodeOf(nil) should be unknown")
+	}
+}
+
+func TestWrapPreservesCause(t *testing.T) {
+	cause := errors.New("disk on fire")
+	err := Wrapf(CodeStoreFault, cause, "journal commit")
+	if !errors.Is(err, cause) {
+		t.Fatal("Wrapf must preserve the cause for errors.Is")
+	}
+	if err.Error() != "journal commit: disk on fire" {
+		t.Fatalf("message = %q", err.Error())
+	}
+	if Wrap(CodeAuth, cause).Error() != "disk on fire" {
+		t.Fatal("Wrap without message should render the cause")
+	}
+}
+
+func TestCodeStrings(t *testing.T) {
+	if CodeStoreFault.String() != "store_fault" || CodeConnLost.String() != "conn_lost" {
+		t.Fatal("stable code names changed")
+	}
+	if Code(99).String() != "code_99" {
+		t.Fatalf("unknown code renders %q", Code(99).String())
+	}
+}

@@ -41,6 +41,9 @@ type serverMetrics struct {
 	txCommitted  *metrics.Counter
 	txRolledBack *metrics.Counter
 	txAborted    *metrics.Counter
+
+	admissionRejected *metrics.Counter
+	sessionsEvicted   *metrics.Counter
 }
 
 // latencyMax bounds the epoch-latency histogram grid: a statement that
@@ -93,6 +96,23 @@ func newServerMetrics(s *Server) *serverMetrics {
 			defer s.mu.Unlock()
 			return float64(len(s.sessions))
 		})
+	// Overload and fault-injection accounting. All three are counts of
+	// events the host observes directly (a rejected frame, a torn-down
+	// connection, an injected host fault) — no data dependence. The
+	// store-fault counter reads the engine's configured injector when one
+	// is present and stays 0 otherwise; it registers unconditionally so
+	// the catalog's shape never depends on configuration.
+	m.admissionRejected = r.Counter("oblidb_admission_rejected_total",
+		"statements rejected because the admission queue stayed full past the timeout")
+	m.sessionsEvicted = r.Counter("oblidb_sessions_evicted_total",
+		"sessions dropped for not consuming responses (slow reader or write deadline)")
+	faultCount := func() uint64 { return 0 }
+	if inj, ok := s.cfg.Engine.Fault.(interface{ Injected() uint64 }); ok {
+		faultCount = inj.Injected
+	}
+	r.CounterFunc("oblidb_store_faults_injected_total",
+		"transient store faults injected by the configured fault schedule", faultCount)
+
 	m.framesIn = r.CounterVec("oblidb_frames_received_total", "protocol frames received by type", "type")
 	m.framesOut = r.CounterVec("oblidb_frames_sent_total", "protocol frames sent by type", "type")
 	m.bytesIn = r.Counter("oblidb_net_read_bytes_total", "protocol bytes received, including frame headers")

@@ -235,6 +235,11 @@ func TestSlowStatementLog(t *testing.T) {
 	if !strings.Contains(sb.String(), "oblidb_slow_statements_total 1") {
 		t.Errorf("slow counter not incremented:\n%s", sb.String())
 	}
+	// Read the log only after Close: the session goroutines log lines
+	// as they unwind, and Close waiting them out is the happens-before
+	// edge that makes the buffer safe to read.
+	c.Close()
+	srv.Close()
 	logged := logBuf.String()
 	if !strings.Contains(logged, "slow statement") {
 		t.Fatalf("no slow-statement log line:\n%s", logged)
@@ -245,8 +250,6 @@ func TestSlowStatementLog(t *testing.T) {
 	if !strings.Contains(logged, "?") {
 		t.Fatalf("slow-statement log shape has no placeholder:\n%s", logged)
 	}
-	c.Close()
-	srv.Close()
 }
 
 // TestConnStats pins the client's local counters: frames and bytes in

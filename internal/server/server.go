@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"oblidb/internal/core"
+	"oblidb/internal/oberr"
 	"oblidb/internal/sql"
 	"oblidb/internal/table"
 	"oblidb/internal/trace"
@@ -77,6 +78,19 @@ type Config struct {
 	// queue blocks the session that is reading, back-pressuring that
 	// client's connection.
 	MaxPending int
+	// AdmissionTimeout bounds how long a session blocks on a full queue
+	// before the statement is rejected with a typed, retriable overload
+	// error instead (default 1s). Bounded admission turns a saturated
+	// server into explicit backpressure the client can retry against,
+	// rather than an unbounded stall.
+	AdmissionTimeout time.Duration
+	// WriteDeadline, when positive, is applied to every response frame
+	// write. A client that stops draining its socket past the deadline
+	// is evicted (connection closed, counted in
+	// oblidb_sessions_evicted_total) instead of pinning the writer
+	// goroutine's buffer forever. Zero disables the deadline; the
+	// outBuffer slow-consumer drop still protects the epoch scheduler.
+	WriteDeadline time.Duration
 	// DummySQL overrides the padding statement. The default is an
 	// aggregate over a one-row table the server creates at startup.
 	DummySQL string
@@ -123,6 +137,7 @@ type Server struct {
 	lis      net.Listener
 	debugLis net.Listener
 	sessions map[*session]struct{}
+	sessWG   sync.WaitGroup // running session goroutines; Close waits it out
 	closed   bool
 	start    time.Time
 	// epochs holds the observable per-epoch slot counts for trace
@@ -135,6 +150,11 @@ type Server struct {
 }
 
 var errClosed = fmt.Errorf("server: already closed")
+
+// errShutdown is the typed rejection for statements arriving while the
+// server drains. CodeShutdown is retriable: the statement never reached
+// an epoch slot, so a client may safely retry it elsewhere (or later).
+var errShutdown = oberr.New(oberr.CodeShutdown, "server: shutting down")
 
 // job is one client statement waiting for an epoch slot, with the
 // arguments bound to its placeholders (nil for unparameterized
@@ -170,6 +190,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 4096
+	}
+	if cfg.AdmissionTimeout <= 0 {
+		cfg.AdmissionTimeout = time.Second
 	}
 	if cfg.SlowStatementEpochs <= 0 {
 		cfg.SlowStatementEpochs = 8
@@ -482,8 +505,12 @@ func (s *Server) Serve(lis net.Listener) error {
 			return nil
 		}
 		s.sessions[sess] = struct{}{}
+		s.sessWG.Add(1)
 		s.mu.Unlock()
-		go sess.serve()
+		go func() {
+			defer s.sessWG.Done()
+			sess.serve()
+		}()
 	}
 }
 
@@ -505,15 +532,30 @@ func (s *Server) dropSession(sess *session) {
 }
 
 // submit queues one statement for the next epoch with a free slot. It
-// blocks for back-pressure when the queue is full and fails once the
-// server is shutting down.
+// blocks for back-pressure while the queue is full, but only up to
+// AdmissionTimeout: past that the statement is rejected with a typed,
+// retriable overload error — bounded admission instead of an unbounded
+// stall. It fails with a typed shutdown error once the server drains.
 func (s *Server) submit(j *job) error {
 	j.submitEpoch = s.m.epochsTotal.Value()
 	select {
 	case <-s.quit:
-		return fmt.Errorf("server: shutting down")
+		return errShutdown
 	case s.jobs <- j:
 		return nil
+	default:
+	}
+	timer := time.NewTimer(s.cfg.AdmissionTimeout)
+	defer timer.Stop()
+	select {
+	case <-s.quit:
+		return errShutdown
+	case s.jobs <- j:
+		return nil
+	case <-timer.C:
+		s.m.admissionRejected.Inc()
+		return oberr.New(oberr.CodeOverload,
+			"server: admission queue full (%d pending), retry later", len(s.jobs))
 	}
 }
 
@@ -550,7 +592,7 @@ func (s *Server) Close() error {
 	for {
 		select {
 		case j := <-s.jobs:
-			j.sess.reply(j.id, nil, fmt.Errorf("server: shutting down"))
+			j.sess.reply(j.id, nil, errShutdown)
 		default:
 			s.mu.Lock()
 			sessions := make([]*session, 0, len(s.sessions))
@@ -558,9 +600,29 @@ func (s *Server) Close() error {
 				sessions = append(sessions, sess)
 			}
 			s.mu.Unlock()
+			// The writers own the hang-up: each flushes its queued
+			// replies to the socket before closing, so nothing the
+			// final epochs answered is lost to a close/flush race. A
+			// client that stopped reading is force-closed after the
+			// flush deadline rather than wedging shutdown.
 			for _, sess := range sessions {
+				sess.beginShutdown()
+			}
+			for _, sess := range sessions {
+				select {
+				case <-sess.writerDone:
+				case <-time.After(closeFlushDeadline + time.Second):
+					sess.close()
+					<-sess.writerDone
+				}
+				// The writer has flushed; now hang up so the reader
+				// (blocked in ReadFrame) unwinds too.
 				sess.close()
 			}
+			// Wait for every session goroutine to finish unwinding, so
+			// callers observe a quiescent server: no late log lines, no
+			// stray goroutines after Close returns.
+			s.sessWG.Wait()
 			return nil
 		}
 	}

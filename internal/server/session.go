@@ -5,8 +5,10 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"oblidb/internal/core"
+	"oblidb/internal/oberr"
 	"oblidb/internal/sql"
 	"oblidb/internal/table"
 	"oblidb/internal/wire"
@@ -27,8 +29,10 @@ type session struct {
 	srv  *Server
 	conn net.Conn
 
-	out      chan *wire.Response
-	readDone chan struct{} // closed when the reader loop exits
+	out        chan *wire.Response
+	readDone   chan struct{} // closed when the reader loop exits
+	closing    chan struct{} // closed by Server.Close: flush out, then hang up
+	writerDone chan struct{} // closed when the writer goroutine exits
 
 	// prepared is touched only by the reader goroutine. Each entry is a
 	// statement shape whose parse and compiled plan are shared through
@@ -51,11 +55,13 @@ type session struct {
 
 func newSession(s *Server, conn net.Conn) *session {
 	return &session{
-		srv:      s,
-		conn:     conn,
-		out:      make(chan *wire.Response, outBuffer),
-		readDone: make(chan struct{}),
-		prepared: make(map[uint32]*sql.Prepared),
+		srv:        s,
+		conn:       conn,
+		out:        make(chan *wire.Response, outBuffer),
+		readDone:   make(chan struct{}),
+		closing:    make(chan struct{}),
+		writerDone: make(chan struct{}),
+		prepared:   make(map[uint32]*sql.Prepared),
 	}
 }
 
@@ -67,6 +73,17 @@ func (ss *session) serve() {
 	defer ss.srv.dropSession(ss)
 	defer ss.close()
 	defer close(ss.readDone)
+	// A connection that drops with a transaction open abandons its
+	// buffered writes — an implicit rollback, counted like an explicit
+	// one. tx is owned by this (reader) goroutine, so the defer is the
+	// one safe place to account it.
+	defer func() {
+		if ss.tx.Active() {
+			if err := ss.tx.Rollback(); err == nil {
+				ss.srv.m.txRolledBack.Inc()
+			}
+		}
+	}()
 	go ss.writer()
 	for {
 		payload, err := wire.ReadFrame(ss.conn)
@@ -86,10 +103,21 @@ func (ss *session) serve() {
 	}
 }
 
-// writeResp encodes and writes one response frame, counting it.
+// writeResp encodes and writes one response frame, counting it. With
+// WriteDeadline configured, a client that stops draining its socket
+// fails the write within the deadline and is evicted, instead of
+// holding the writer goroutine (and its buffered responses) forever.
 func (ss *session) writeResp(r *wire.Response) error {
 	payload := wire.EncodeResponse(r)
+	if d := ss.srv.cfg.WriteDeadline; d > 0 {
+		_ = ss.conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	if err := wire.WriteFrame(ss.conn, payload); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			ss.srv.m.sessionsEvicted.Inc()
+			ss.srv.log.Warn("evicting stalled client",
+				"remote", ss.conn.RemoteAddr().String(), "deadline", ss.srv.cfg.WriteDeadline)
+		}
 		return err
 	}
 	ss.srv.m.framesOut.WithCounter(frameTypeName(r.Type)).Inc()
@@ -97,9 +125,18 @@ func (ss *session) writeResp(r *wire.Response) error {
 	return nil
 }
 
+// closeFlushDeadline bounds the graceful-shutdown flush: a client that
+// has stopped reading cannot hold Server.Close hostage past it.
+const closeFlushDeadline = 5 * time.Second
+
 // writer drains the out channel onto the socket. After the reader
-// exits it flushes what is already queued, then stops.
+// exits it flushes what is already queued, then stops. On graceful
+// shutdown (closing) the writer owns the hang-up ordering: every reply
+// the drain queued is flushed to the socket *before* the connection
+// closes, so a statement answered by the final epochs is never lost to
+// a close/flush race.
 func (ss *session) writer() {
+	defer close(ss.writerDone)
 	for {
 		select {
 		case r := <-ss.out:
@@ -108,16 +145,28 @@ func (ss *session) writer() {
 				return
 			}
 		case <-ss.readDone:
-			for {
-				select {
-				case r := <-ss.out:
-					if err := ss.writeResp(r); err != nil {
-						return
-					}
-				default:
-					return
-				}
+			ss.flush()
+			return
+		case <-ss.closing:
+			_ = ss.conn.SetWriteDeadline(time.Now().Add(closeFlushDeadline))
+			ss.flush()
+			ss.close()
+			return
+		}
+	}
+}
+
+// flush writes everything already queued, stopping at the first write
+// error (the connection is dead; the remaining replies have no reader).
+func (ss *session) flush() {
+	for {
+		select {
+		case r := <-ss.out:
+			if err := ss.writeResp(r); err != nil {
+				return
 			}
+		default:
+			return
 		}
 	}
 }
@@ -135,7 +184,7 @@ func (ss *session) handle(req *wire.Request) {
 			err = fmt.Errorf("server: statement has parameters; prepare it and execute with arguments")
 		}
 		if err != nil {
-			ss.send(&wire.Response{Type: wire.TError, ID: req.ID, Err: err.Error()})
+			ss.send(errResp(req.ID, err))
 			return
 		}
 		ss.route(req.ID, prep, nil)
@@ -145,7 +194,7 @@ func (ss *session) handle(req *wire.Request) {
 			err = checkReserved(prep.Stmt())
 		}
 		if err != nil {
-			ss.send(&wire.Response{Type: wire.TError, ID: req.ID, Err: err.Error()})
+			ss.send(errResp(req.ID, err))
 			return
 		}
 		ss.nextHandle++
@@ -225,7 +274,7 @@ func (ss *session) route(id uint32, prep *sql.Prepared, args []table.Value) {
 			Err: "server: DDL cannot run inside a transaction"})
 	case ss.tx.Active() && sql.IsWrite(stmt):
 		if err := ss.tx.Buffer(prep, args); err != nil {
-			ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+			ss.send(errResp(id, err))
 			return
 		}
 		// Deferred writes acknowledge 0 affected rows at buffer time; the
@@ -239,7 +288,7 @@ func (ss *session) route(id uint32, prep *sql.Prepared, args []table.Value) {
 // begin opens this session's transaction.
 func (ss *session) begin(id uint32) {
 	if err := ss.tx.Begin(); err != nil {
-		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		ss.send(errResp(id, err))
 		return
 	}
 	ss.srv.m.txBegun.Inc()
@@ -251,18 +300,18 @@ func (ss *session) begin(id uint32) {
 func (ss *session) commit(id uint32) {
 	items, err := ss.tx.Take()
 	if err != nil {
-		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		ss.send(errResp(id, err))
 		return
 	}
 	if err := ss.srv.submit(&job{sess: ss, id: id, commit: true, txItems: items}); err != nil {
-		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		ss.send(errResp(id, err))
 	}
 }
 
 // rollback discards the buffered writes.
 func (ss *session) rollback(id uint32) {
 	if err := ss.tx.Rollback(); err != nil {
-		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		ss.send(errResp(id, err))
 		return
 	}
 	ss.srv.m.txRolledBack.Inc()
@@ -279,14 +328,23 @@ func (ss *session) ack(id uint32) {
 // scheduler.
 func (ss *session) enqueue(id uint32, prep *sql.Prepared, args []table.Value) {
 	if err := ss.srv.submit(&job{sess: ss, id: id, prep: prep, args: args}); err != nil {
-		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		ss.send(errResp(id, err))
 	}
+}
+
+// errResp builds a TError frame carrying the error's stable code (the
+// wire v5 extension), so clients can branch on retriability without
+// parsing message strings. Untyped errors carry code 0 (unknown) —
+// never retriable.
+func errResp(id uint32, err error) *wire.Response {
+	return &wire.Response{Type: wire.TError, ID: id,
+		Err: err.Error(), ErrCode: uint16(oberr.CodeOf(err))}
 }
 
 // reply delivers an epoch slot's outcome to the client.
 func (ss *session) reply(id uint32, res *core.Result, err error) {
 	if err != nil {
-		ss.send(&wire.Response{Type: wire.TError, ID: id, Err: err.Error()})
+		ss.send(errResp(id, err))
 		return
 	}
 	wres := &wire.Result{}
@@ -306,6 +364,7 @@ func (ss *session) send(r *wire.Response) {
 	select {
 	case ss.out <- r:
 	default:
+		ss.srv.m.sessionsEvicted.Inc()
 		ss.srv.log.Warn("dropping slow client", "remote", ss.conn.RemoteAddr().String())
 		ss.close()
 	}
@@ -314,4 +373,10 @@ func (ss *session) send(r *wire.Response) {
 // close tears the connection down, unblocking the reader and writer.
 func (ss *session) close() {
 	ss.closeOnce.Do(func() { ss.conn.Close() })
+}
+
+// beginShutdown asks the writer to flush queued replies and then hang
+// up; writerDone reports when it has. Called once, by Server.Close.
+func (ss *session) beginShutdown() {
+	close(ss.closing)
 }

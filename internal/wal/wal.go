@@ -31,9 +31,23 @@ import (
 	"strings"
 
 	"oblidb/internal/crypt"
+	"oblidb/internal/oberr"
 	"oblidb/internal/table"
 	"oblidb/internal/trace"
 )
+
+// File is the slice of *os.File the log uses. It exists so tests (and
+// the fault-injection harness, internal/faultstore) can interpose on
+// the journal's disk traffic: Options.OpenFile returns one for the
+// live log file and for checkpoint temporaries alike.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
 
 // Op tags a logged record.
 type Op uint8
@@ -104,6 +118,19 @@ type Options struct {
 	// true once the file exceeds this size, so the engine compacts the
 	// journal instead of ever hitting a "log full" dead end.
 	AutoCheckpointBytes int64
+	// OpenFile, when set, opens (or creates, read-write) the backing
+	// file for a path instead of os.OpenFile. Open uses it for the log
+	// file and Checkpoint for its temporary, so a fault-injecting
+	// wrapper sees every byte the journal writes.
+	OpenFile func(path string) (File, error)
+}
+
+// openFile opens path through the configured hook or the OS default.
+func (o *Options) openFile(path string, flag int) (File, error) {
+	if o.OpenFile != nil {
+		return o.OpenFile(path)
+	}
+	return os.OpenFile(path, flag, 0o600)
 }
 
 // Log is a sealed, file-backed, append-only mutation journal.
@@ -111,7 +138,7 @@ type Options struct {
 // Concurrency: a Log is not safe for concurrent use; the engine calls it
 // under its database mutex.
 type Log struct {
-	f      *os.File
+	f      File
 	path   string
 	sealer *crypt.Sealer
 	key    []byte
@@ -157,7 +184,7 @@ func Open(path string, key []byte, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	f, err := opts.openFile(path, os.O_RDWR|os.O_CREATE)
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +208,24 @@ func (l *Log) scan() error {
 	}
 	fileSize := info.Size()
 	if fileSize == 0 {
+		if _, err := l.f.WriteAt([]byte(magic), 0); err != nil {
+			return err
+		}
+		l.size = int64(len(magic))
+		return nil
+	}
+	if fileSize < int64(len(magic)) {
+		// A file shorter than the header can only be a creation torn by
+		// a crash before the header landed. If the bytes are a clean
+		// prefix of the magic, restart the file; anything else is not a
+		// WAL file.
+		hdr := make([]byte, fileSize)
+		if _, err := io.ReadFull(io.NewSectionReader(l.f, 0, fileSize), hdr); err != nil || string(hdr) != magic[:fileSize] {
+			return fmt.Errorf("wal: %s is not a WAL file (bad header)", l.path)
+		}
+		if err := l.f.Truncate(0); err != nil {
+			return err
+		}
 		if _, err := l.f.WriteAt([]byte(magic), 0); err != nil {
 			return err
 		}
@@ -445,12 +490,12 @@ func (l *Log) Commit() error {
 
 	if _, err := l.f.WriteAt(l.wbuf, l.size); err != nil {
 		l.undoWrite()
-		return fmt.Errorf("wal: commit write: %w", err)
+		return oberr.Wrapf(oberr.CodeStoreFault, err, "wal: commit write")
 	}
 	if l.opts.Sync {
 		if err := l.f.Sync(); err != nil {
 			l.undoWrite()
-			return fmt.Errorf("wal: commit sync: %w", err)
+			return oberr.Wrapf(oberr.CodeStoreFault, err, "wal: commit sync")
 		}
 	}
 	if l.opts.Tracer != nil {
@@ -477,7 +522,11 @@ func (l *Log) undoWrite() {
 	l.arena = l.arena[:0]
 	l.offs = l.offs[:0]
 	if err := l.f.Truncate(l.size); err != nil {
-		l.broken = fmt.Errorf("wal: log unusable after failed rollback (reopen to recover): %w", err)
+		// Typed CodeEngineFailed, not retriable: the file may hold a
+		// partial batch that only a reopen (whose scan truncates it)
+		// can clean up, so callers must recover, not retry.
+		l.broken = oberr.Wrapf(oberr.CodeEngineFailed, err,
+			"wal: log unusable after failed rollback (reopen to recover)")
 	}
 }
 
@@ -654,8 +703,13 @@ func (l *Log) Checkpoint(fill func() error) error {
 		return fmt.Errorf("wal: checkpoint with %d records staged", len(l.offs))
 	}
 	tmpPath := l.path + ".ckpt"
-	tmpf, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	tmpf, err := l.opts.openFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC)
 	if err != nil {
+		return err
+	}
+	if err := tmpf.Truncate(0); err != nil {
+		tmpf.Close()
+		os.Remove(tmpPath)
 		return err
 	}
 	if _, err := tmpf.WriteAt([]byte(magic), 0); err != nil {

@@ -137,9 +137,13 @@ type AlgPick struct {
 
 // Response is any server→client message.
 type Response struct {
-	Type      byte
-	ID        uint32
-	Err       string  // TError
+	Type byte
+	ID   uint32
+	Err  string // TError
+	// ErrCode is the stable oberr.Code of a TError (a v5 extension;
+	// older frames decode with 0 = unknown). Clients branch on it for
+	// retry decisions, so codes are never renumbered.
+	ErrCode   uint16
 	Result    *Result // TResult
 	Handle    uint32  // TPrepared
 	NumParams uint32  // TPrepared: placeholder count of the statement
@@ -323,6 +327,8 @@ func EncodeResponse(r *Response) []byte {
 	switch r.Type {
 	case TError:
 		e.str(r.Err)
+		// v5 extension: the stable error code.
+		e.uvarint(int(r.ErrCode))
 	case TPrepared:
 		e.u32(r.Handle)
 		e.uvarint(int(r.NumParams))
@@ -368,6 +374,10 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	switch r.Type {
 	case TError:
 		r.Err = d.str()
+		// Protocol v4 ended here; the remainder is the v5 error code.
+		if d.err == nil && len(d.b) > 0 {
+			r.ErrCode = uint16(d.uvarint())
+		}
 	case TPrepared:
 		r.Handle = d.u32()
 		// Protocol v1 ended here; an empty remainder is zero parameters.

@@ -60,6 +60,7 @@ func TestRequestRoundTrip(t *testing.T) {
 func TestResponseRoundTrip(t *testing.T) {
 	resps := []*Response{
 		{Type: TError, ID: 1, Err: "core: no table \"t\""},
+		{Type: TError, ID: 7, Err: "server: admission queue full", ErrCode: 3},
 		{Type: TPrepared, ID: 2, Handle: 42},
 		{Type: TPrepared, ID: 6, Handle: 43, NumParams: 3},
 		{Type: TStatsResult, ID: 3, Stats: Stats{
@@ -90,6 +91,7 @@ func TestResponseRoundTrip(t *testing.T) {
 			t.Fatalf("decode %d: %v", resp.Type, err)
 		}
 		if got.Type != resp.Type || got.ID != resp.ID || got.Err != resp.Err ||
+			got.ErrCode != resp.ErrCode ||
 			got.Handle != resp.Handle || got.NumParams != resp.NumParams ||
 			!reflect.DeepEqual(got.Stats, resp.Stats) {
 			t.Fatalf("round trip %d: got %+v, want %+v", resp.Type, got, resp)
@@ -158,6 +160,28 @@ func TestLegacyPreparedFramesDecode(t *testing.T) {
 	}
 	if resp.Handle != 42 || resp.NumParams != 0 {
 		t.Fatalf("legacy TPrepared decoded to %+v", resp)
+	}
+}
+
+// TestLegacyErrorFrameDecodes pins the v5 TError extension: a v4-style
+// frame ending at the message string still decodes, with ErrCode 0
+// (unknown) — and a v5 frame truncated mid-code errors instead of
+// panicking.
+func TestLegacyErrorFrameDecodes(t *testing.T) {
+	legacy := &enc{}
+	legacy.byte(TError)
+	legacy.u32(5)
+	legacy.str("boom")
+	resp, err := DecodeResponse(legacy.b)
+	if err != nil {
+		t.Fatalf("legacy TError: %v", err)
+	}
+	if resp.Err != "boom" || resp.ErrCode != 0 {
+		t.Fatalf("legacy TError decoded to %+v", resp)
+	}
+	// A multi-byte varint cut after its continuation byte must error.
+	if _, err := DecodeResponse(append(legacy.b, 0xff)); err == nil {
+		t.Fatal("truncated v5 error code accepted")
 	}
 }
 

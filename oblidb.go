@@ -54,8 +54,41 @@ import (
 
 	"oblidb/internal/core"
 	"oblidb/internal/exec"
+	"oblidb/internal/oberr"
 	"oblidb/internal/sql"
 )
+
+// Error is the typed error every tier wraps failures in. Its Code is a
+// stable classification that survives the wire protocol, and
+// Retriable() reports mechanically whether retrying the statement can
+// help (transient host faults, overload, shutdown) or cannot
+// (tampering, containment failure). Extract one from any error chain
+// with errors.As, or use the ErrorCode/Retriable helpers.
+type Error = oberr.Error
+
+// ErrorCode classifies an Error; see the Code* constants.
+type ErrorCode = oberr.Code
+
+// Stable error codes, carried end-to-end from the failing tier to the
+// client. See internal/oberr for the semantics of each.
+const (
+	CodeUnknown      = oberr.CodeUnknown
+	CodeStoreFault   = oberr.CodeStoreFault
+	CodeAuth         = oberr.CodeAuth
+	CodeOverload     = oberr.CodeOverload
+	CodeShutdown     = oberr.CodeShutdown
+	CodeConnLost     = oberr.CodeConnLost
+	CodeUnavailable  = oberr.CodeUnavailable
+	CodeEngineFailed = oberr.CodeEngineFailed
+)
+
+// ErrorCodeOf extracts the classification from an error chain;
+// CodeUnknown when none is present.
+func ErrorCodeOf(err error) ErrorCode { return oberr.CodeOf(err) }
+
+// Retriable reports whether the error chain carries a retriable
+// classification. Unclassified errors are not retriable.
+func Retriable(err error) bool { return oberr.Retriable(err) }
 
 // Config configures a database; see core.Config for fields. The zero
 // value gets the paper's defaults (20 MB oblivious memory, no padding).
